@@ -1,0 +1,148 @@
+//! A text genome browser.
+//!
+//! §4.3: "it will also be possible to visualize results on genome
+//! browsers". For terminal workflows this module renders dataset tracks
+//! over a genomic window as aligned ASCII lanes — the quickest way to
+//! eyeball a COVER result or a JOIN's pairs next to their annotation,
+//! directly from the CLI or an example.
+
+use nggc_gdm::{Chrom, Dataset, Strand};
+
+/// A rendering window on one chromosome.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Chromosome.
+    pub chrom: Chrom,
+    /// Window start (inclusive).
+    pub left: u64,
+    /// Window end (exclusive).
+    pub right: u64,
+    /// Character width of the rendering.
+    pub width: usize,
+}
+
+impl Window {
+    /// Create a window; `right > left`, `width >= 10`.
+    pub fn new(chrom: impl Into<Chrom>, left: u64, right: u64, width: usize) -> Window {
+        assert!(right > left, "window must be non-empty");
+        Window { chrom: chrom.into(), left, right, width: width.max(10) }
+    }
+
+    fn column(&self, pos: u64) -> usize {
+        let span = (self.right - self.left) as f64;
+        let rel = (pos.saturating_sub(self.left)) as f64 / span;
+        ((rel * self.width as f64) as usize).min(self.width - 1)
+    }
+}
+
+/// Render one track line per sample of each dataset, plus a coordinate
+/// ruler. Regions draw as runs of `=` (`>`/`<` at the stranded ends),
+/// overlapping the window; lanes are labelled `dataset/sample`.
+pub fn render_tracks(window: &Window, datasets: &[&Dataset]) -> String {
+    let mut lanes: Vec<(String, String)> = Vec::new();
+    for ds in datasets {
+        for s in &ds.samples {
+            let mut lane = vec![b'.'; window.width];
+            for r in s.chrom_slice(&window.chrom) {
+                if r.right <= window.left {
+                    continue;
+                }
+                if r.left >= window.right {
+                    break;
+                }
+                let from = window.column(r.left.max(window.left));
+                let to = window.column((r.right - 1).min(window.right - 1));
+                for c in lane.iter_mut().take(to + 1).skip(from) {
+                    *c = b'=';
+                }
+                match r.strand {
+                    Strand::Pos => lane[to] = b'>',
+                    Strand::Neg => lane[from] = b'<',
+                    Strand::Unstranded => {}
+                }
+            }
+            lanes.push((format!("{}/{}", ds.name, s.name), String::from_utf8(lane).expect("ascii")));
+        }
+    }
+    let label_width = lanes.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    // Ruler: tick marks every ~10 columns with the left coordinate.
+    out.push_str(&format!(
+        "{:>label_width$} {}:{}-{}\n",
+        "window", window.chrom, window.left, window.right
+    ));
+    let mut ruler = vec![b' '; window.width];
+    let step = (window.width / 8).max(1);
+    for i in (0..window.width).step_by(step) {
+        ruler[i] = b'|';
+    }
+    out.push_str(&format!(
+        "{:>label_width$} {}\n",
+        "",
+        String::from_utf8(ruler).expect("ascii")
+    ));
+    for (label, lane) in lanes {
+        out.push_str(&format!("{label:>label_width$} {lane}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{GRegion, Sample, Schema};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("PEAKS", Schema::empty());
+        ds.add_sample(Sample::new("s1", "PEAKS").with_regions(vec![
+            GRegion::new("chr1", 100, 200, Strand::Pos),
+            GRegion::new("chr1", 400, 450, Strand::Neg),
+        ]))
+        .unwrap();
+        ds.add_sample(Sample::new("s2", "PEAKS").with_regions(vec![
+            GRegion::new("chr1", 150, 350, Strand::Unstranded),
+            GRegion::new("chr2", 0, 1000, Strand::Unstranded),
+        ]))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn renders_one_lane_per_sample() {
+        let ds = dataset();
+        let w = Window::new("chr1", 0, 500, 50);
+        let text = render_tracks(&w, &[&ds]);
+        let lanes: Vec<&str> = text.lines().collect();
+        assert_eq!(lanes.len(), 4, "header + ruler + 2 lanes");
+        assert!(lanes[2].contains("PEAKS/s1"));
+        assert!(lanes[2].contains('='), "regions drawn");
+        assert!(lanes[2].contains('>'), "plus-strand end marked");
+        assert!(lanes[2].contains('<'), "minus-strand start marked");
+    }
+
+    #[test]
+    fn clips_to_window_and_chromosome() {
+        let ds = dataset();
+        // Window on chr2: only s2's chr2 region shows.
+        let w = Window::new("chr2", 0, 100, 40);
+        let text = render_tracks(&w, &[&ds]);
+        let s1_lane = text.lines().find(|l| l.contains("/s1")).unwrap();
+        assert!(!s1_lane.contains('='), "s1 has nothing on chr2");
+        let s2_lane = text.lines().find(|l| l.contains("/s2")).unwrap();
+        assert!(s2_lane.matches('=').count() >= 39, "chr2 region covers the window");
+    }
+
+    #[test]
+    fn window_outside_regions_is_blank() {
+        let ds = dataset();
+        let w = Window::new("chr1", 10_000, 20_000, 40);
+        let text = render_tracks(&w, &[&ds]);
+        assert!(!text.lines().skip(2).any(|l| l.contains('=')));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        Window::new("chr1", 5, 5, 40);
+    }
+}

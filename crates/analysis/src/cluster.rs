@@ -1,0 +1,234 @@
+//! K-means clustering of genome-space rows.
+//!
+//! §4.1: "query results ... the starting point for data analysis
+//! (including advanced data mining and computational intelligence)" —
+//! e.g. "DNA region clustering" (abstract). K-means with k-means++
+//! seeding over region profiles groups regions with similar behaviour
+//! across experiments.
+
+use crate::genome_space::GenomeSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means result.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster assignment per row.
+    pub assignment: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Total within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Run k-means (k-means++ seeding, Lloyd iterations) over the rows of a
+/// genome space. Deterministic given `seed`. `k` is clamped to the row
+/// count.
+pub fn kmeans(space: &GenomeSpace, k: usize, max_iter: usize, seed: u64) -> Clustering {
+    let rows = &space.values;
+    let n = rows.len();
+    let k = k.clamp(1, n.max(1));
+    if n == 0 {
+        return Clustering { assignment: vec![], centroids: vec![], inertia: 0.0, iterations: 0 };
+    }
+    let dims = rows[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(rows[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = rows
+            .iter()
+            .map(|r| centroids.iter().map(|c| sq_dist(r, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 1e-12 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    pick = i;
+                    break;
+                }
+                target -= d;
+            }
+            pick
+        };
+        centroids.push(rows[next].clone());
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, r) in rows.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| sq_dist(r, &centroids[a]).total_cmp(&sq_dist(r, &centroids[b])))
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (i, r) in rows.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, v) in sums[assignment[i]].iter_mut().zip(r) {
+                *s += v;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+    }
+    let inertia = rows
+        .iter()
+        .zip(&assignment)
+        .map(|(r, &a)| sq_dist(r, &centroids[a]))
+        .sum();
+    Clustering { assignment, centroids, inertia, iterations }
+}
+
+/// Mean silhouette coefficient of a clustering (in [-1, 1]; higher =
+/// tighter, better-separated clusters). Rows in singleton clusters score
+/// 0, the usual convention.
+pub fn silhouette(space: &GenomeSpace, assignment: &[usize]) -> f64 {
+    let n = space.values.len();
+    assert_eq!(n, assignment.len(), "assignment length must match rows");
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut sizes = vec![0usize; k];
+    for &a in assignment {
+        sizes[a] += 1;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignment[i];
+        if sizes[own] <= 1 {
+            continue; // singleton contributes 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignment[j]] += sq_dist(&space.values[i], &space.values[j]).sqrt();
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_space::RegionKey;
+    use nggc_gdm::{Chrom, Strand};
+
+    fn space(values: Vec<Vec<f64>>) -> GenomeSpace {
+        let n = values.len();
+        GenomeSpace {
+            regions: (0..n)
+                .map(|i| RegionKey {
+                    chrom: Chrom::new("chr1"),
+                    left: i as u64,
+                    right: i as u64 + 1,
+                    strand: Strand::Unstranded,
+                    label: None,
+                })
+                .collect(),
+            experiments: vec!["e".into(); values.first().map(|r| r.len()).unwrap_or(0)],
+            values,
+        }
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let gs = space(vec![
+            vec![0.0, 0.1],
+            vec![0.1, 0.0],
+            vec![0.05, 0.05],
+            vec![10.0, 10.1],
+            vec![10.1, 9.9],
+        ]);
+        let c = kmeans(&gs, 2, 50, 3);
+        assert_eq!(c.assignment.len(), 5);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert!(c.inertia < 1.0, "tight clusters: inertia {}", c.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gs = space((0..20).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect());
+        let a = kmeans(&gs, 3, 30, 42);
+        let b = kmeans(&gs, 3, 30, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn silhouette_rewards_good_clusterings() {
+        let gs = space(vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![10.0, 10.0],
+            vec![10.2, 9.8],
+        ]);
+        let good = silhouette(&gs, &[0, 0, 1, 1]);
+        let bad = silhouette(&gs, &[0, 1, 0, 1]);
+        assert!(good > 0.8, "tight well-separated clusters: {good}");
+        assert!(bad < 0.0, "mixed clusters score negative: {bad}");
+        // Endorse what kmeans finds.
+        let c = kmeans(&gs, 2, 20, 1);
+        assert!(silhouette(&gs, &c.assignment) > 0.8);
+    }
+
+    #[test]
+    fn silhouette_edge_cases() {
+        let gs = space(vec![vec![1.0]]);
+        assert_eq!(silhouette(&gs, &[0]), 0.0, "single row");
+        let gs2 = space(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(silhouette(&gs2, &[0, 1]), 0.0, "all singletons");
+    }
+
+    #[test]
+    fn k_clamped_and_empty_ok() {
+        let gs = space(vec![vec![1.0], vec![2.0]]);
+        let c = kmeans(&gs, 10, 10, 0);
+        assert!(c.centroids.len() <= 2);
+        let empty = space(vec![]);
+        let c = kmeans(&empty, 3, 10, 0);
+        assert!(c.assignment.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! GREAT-style enrichment statistics.
+//!
+//! §4.3: "Custom queries will need to be augmented with suitable
+//! mechanisms for reasoning about data; such services could imitate the
+//! GREAT service ... which includes powerful statistics to indicate the
+//! significance of query results" (paper ref [18]). This module
+//! implements the two tests GREAT popularised for region sets:
+//!
+//! * the **binomial test** over genomic coverage — is the fraction of
+//!   study regions hitting an annotation larger than the annotation's
+//!   genomic fraction would predict?
+//! * the **hypergeometric test** over gene/region counts — classic
+//!   over-representation.
+
+/// Natural log of the gamma function (Lanczos approximation, |err| <
+/// 1e-10 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    const G: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = G[0];
+    let t = x + 7.5;
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        a += g / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Upper-tail binomial p-value: `P[X >= k]` for `X ~ Bin(n, p)`.
+pub fn binomial_sf(k: u64, n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let mut total = 0.0f64;
+    for i in k..=n {
+        let ln_term =
+            ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln();
+        total += ln_term.exp();
+    }
+    total.min(1.0)
+}
+
+/// Upper-tail hypergeometric p-value: drawing `n` from a population of
+/// `total` containing `successes` marked items, probability of seeing at
+/// least `k` marked.
+pub fn hypergeometric_sf(k: u64, total: u64, successes: u64, n: u64) -> f64 {
+    assert!(successes <= total && n <= total, "invalid population");
+    if k == 0 {
+        return 1.0;
+    }
+    let hi = n.min(successes);
+    if k > hi {
+        return 0.0;
+    }
+    let denom = ln_choose(total, n);
+    let mut total_p = 0.0f64;
+    for i in k..=hi {
+        // Need n - i failures from total - successes.
+        if n - i > total - successes {
+            continue;
+        }
+        let ln_term = ln_choose(successes, i) + ln_choose(total - successes, n - i) - denom;
+        total_p += ln_term.exp();
+    }
+    total_p.min(1.0)
+}
+
+/// Result of a region-set enrichment test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Enrichment {
+    /// Study regions hitting the annotation.
+    pub hits: u64,
+    /// Study region count.
+    pub study_size: u64,
+    /// Expected hits under the null.
+    pub expected: f64,
+    /// Fold enrichment (`hits / expected`).
+    pub fold: f64,
+    /// Binomial upper-tail p-value.
+    pub p_value: f64,
+}
+
+/// GREAT's binomial region-set test: `hits` of `study_size` study
+/// regions fall in annotated territory covering `annotated_bp` of
+/// `genome_bp`.
+pub fn region_enrichment(
+    hits: u64,
+    study_size: u64,
+    annotated_bp: u64,
+    genome_bp: u64,
+) -> Enrichment {
+    assert!(genome_bp > 0, "genome size must be positive");
+    let p = (annotated_bp as f64 / genome_bp as f64).clamp(0.0, 1.0);
+    let expected = study_size as f64 * p;
+    let fold = if expected > 0.0 { hits as f64 / expected } else { f64::INFINITY };
+    Enrichment { hits, study_size, expected, fold, p_value: binomial_sf(hits, study_size, p) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (5, 24.0), (10, 362880.0)] {
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-9, "Γ({n})");
+        }
+        assert!((ln_gamma(0.5) - (std::f64::consts::PI.sqrt()).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 0)).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_tail_sane() {
+        // Fair coin, P[X >= 0] = 1; P[X >= n] = p^n.
+        assert_eq!(binomial_sf(0, 10, 0.5), 1.0);
+        assert!((binomial_sf(10, 10, 0.5) - 0.5f64.powi(10)).abs() < 1e-12);
+        // Monotone decreasing in k.
+        let p1 = binomial_sf(3, 20, 0.1);
+        let p2 = binomial_sf(6, 20, 0.1);
+        assert!(p1 > p2);
+        // 6 of 20 at p=0.1 is clearly enriched (exact tail ≈ 0.0113).
+        assert!((p2 - 0.0113).abs() < 0.001, "P[X>=6 | Bin(20,0.1)] = {p2}");
+    }
+
+    #[test]
+    fn hypergeometric_tail_sane() {
+        // Urn: 10 balls, 5 red, draw 5: P[>=5 red] = 1/C(10,5) = 1/252.
+        let p = hypergeometric_sf(5, 10, 5, 5);
+        assert!((p - 1.0 / 252.0).abs() < 1e-9);
+        assert_eq!(hypergeometric_sf(0, 10, 5, 5), 1.0);
+        assert_eq!(hypergeometric_sf(6, 10, 5, 5), 0.0, "cannot exceed draws");
+    }
+
+    #[test]
+    fn region_enrichment_detects_signal() {
+        // 30 of 100 study regions in 1% of the genome: wildly enriched.
+        let e = region_enrichment(30, 100, 1_000_000, 100_000_000);
+        assert!((e.expected - 1.0).abs() < 1e-9);
+        assert!(e.fold > 25.0);
+        assert!(e.p_value < 1e-20);
+        // 1 of 100 in 1%: expected, not significant.
+        let e0 = region_enrichment(1, 100, 1_000_000, 100_000_000);
+        assert!(e0.p_value > 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Agglomerative hierarchical clustering of genome-space rows.
+//!
+//! Complements k-means (§4.1's "advanced data mining") with a
+//! dendrogram-producing method: useful when the number of co-activity
+//! programmes is unknown. Single and complete linkage over Euclidean
+//! distances; `O(n² log n)` via a sorted merge queue — fine for the
+//! region counts genome spaces carry after a MAP over genes.
+
+use crate::genome_space::GenomeSpace;
+
+/// Linkage criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters (chains).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+}
+
+/// One merge of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// First cluster id (original rows are 0..n; merges create n, n+1, …).
+    pub a: usize,
+    /// Second cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Id of the new cluster.
+    pub id: usize,
+}
+
+/// The clustering result: the full merge history.
+#[derive(Debug, Clone, Default)]
+pub struct Dendrogram {
+    /// Merges in order of increasing distance.
+    pub merges: Vec<Merge>,
+    /// Number of original observations.
+    pub n: usize,
+}
+
+impl Dendrogram {
+    /// Cut the tree into (at most) `k` clusters: undo the last `k - 1`
+    /// merges. Returns a cluster label per original row, labels densely
+    /// renumbered from 0.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        let k = k.clamp(1, self.n.max(1));
+        // Union-find over the first n - k merges.
+        let total = self.n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let keep = self.n.saturating_sub(k);
+        for m in self.merges.iter().take(keep) {
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = m.id;
+            parent[rb] = m.id;
+        }
+        let mut labels = Vec::with_capacity(self.n);
+        let mut dense: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            let next = dense.len();
+            labels.push(*dense.entry(root).or_insert(next));
+        }
+        labels
+    }
+}
+
+/// Cluster the genome-space rows. Deterministic; ties merge in index
+/// order.
+pub fn hierarchical(space: &GenomeSpace, linkage: Linkage) -> Dendrogram {
+    let n = space.values.len();
+    if n == 0 {
+        return Dendrogram::default();
+    }
+    // Active clusters: id → member rows.
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+    let linkage_dist = |xs: &[usize], ys: &[usize]| -> f64 {
+        let mut best = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => 0.0,
+        };
+        for &x in xs {
+            for &y in ys {
+                let d = dist(&space.values[x], &space.values[y]);
+                best = match linkage {
+                    Linkage::Single => best.min(d),
+                    Linkage::Complete => best.max(d),
+                };
+            }
+        }
+        best
+    };
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut active: Vec<usize> = (0..n).collect();
+    while active.len() > 1 {
+        // Find the closest active pair (quadratic scan; n is modest).
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (ai, &a) in active.iter().enumerate() {
+            for &b in &active[ai + 1..] {
+                let d = linkage_dist(
+                    members[a].as_ref().expect("active"),
+                    members[b].as_ref().expect("active"),
+                );
+                if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                    best = Some((d, a, b));
+                }
+            }
+        }
+        let (d, a, b) = best.expect("at least one pair");
+        let id = members.len();
+        let mut merged = members[a].take().expect("active");
+        merged.extend(members[b].take().expect("active"));
+        members.push(Some(merged));
+        active.retain(|&x| x != a && x != b);
+        active.push(id);
+        merges.push(Merge { a, b, distance: d, id });
+    }
+    Dendrogram { merges, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_space::RegionKey;
+    use nggc_gdm::{Chrom, Strand};
+
+    fn space(values: Vec<Vec<f64>>) -> GenomeSpace {
+        let n = values.len();
+        GenomeSpace {
+            regions: (0..n)
+                .map(|i| RegionKey {
+                    chrom: Chrom::new("chr1"),
+                    left: i as u64,
+                    right: i as u64 + 1,
+                    strand: Strand::Unstranded,
+                    label: None,
+                })
+                .collect(),
+            experiments: vec!["e".into(); values.first().map(Vec::len).unwrap_or(0)],
+            values,
+        }
+    }
+
+    #[test]
+    fn two_obvious_clusters_cut_correctly() {
+        let gs = space(vec![
+            vec![0.0],
+            vec![0.5],
+            vec![1.0],
+            vec![100.0],
+            vec![100.5],
+        ]);
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let tree = hierarchical(&gs, linkage);
+            assert_eq!(tree.merges.len(), 4);
+            let labels = tree.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[1], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_distances_nondecreasing_for_single_linkage() {
+        let gs = space(vec![vec![1.0], vec![4.0], vec![9.0], vec![16.0], vec![25.0]]);
+        let tree = hierarchical(&gs, Linkage::Single);
+        for w in tree.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_vs_complete_differ_on_chains() {
+        // A chain 0-1-2-3 with gaps of 1 plus an outlier: single linkage
+        // keeps the chain together longer than complete linkage.
+        let gs = space(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]]);
+        let single = hierarchical(&gs, Linkage::Single);
+        let complete = hierarchical(&gs, Linkage::Complete);
+        let last_single = single.merges.last().unwrap().distance;
+        let last_complete = complete.merges.last().unwrap().distance;
+        assert!(last_complete >= last_single, "complete linkage stretches further");
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let gs = space(vec![vec![0.0], vec![1.0], vec![2.0]]);
+        let tree = hierarchical(&gs, Linkage::Single);
+        assert_eq!(tree.cut(1), vec![0, 0, 0]);
+        let all = tree.cut(3);
+        let distinct: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), 3);
+        assert_eq!(tree.cut(99).len(), 3, "k clamps");
+    }
+
+    #[test]
+    fn empty_input() {
+        let gs = space(vec![]);
+        let tree = hierarchical(&gs, Linkage::Single);
+        assert!(tree.merges.is_empty());
+        assert!(tree.cut(2).is_empty());
+    }
+}

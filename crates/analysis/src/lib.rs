@@ -1,0 +1,35 @@
+//! # `nggc-analysis` — from query results to biological insight
+//!
+//! §4.1 of the paper bridges GMQL to data analysis: a MAP result is a
+//! **genome space** (regions × experiments matrix, Figure 4) that can be
+//! read as an adjacency structure and converted into a **gene network**,
+//! clustered, or tested for statistical enrichment:
+//!
+//! * [`genome_space`] — build the matrix from MAP results;
+//! * [`network`] — correlation networks, degrees, hubs, components;
+//! * [`cluster`] — k-means (k-means++ seeding) over region profiles;
+//! * [`pca`] — principal components via power iteration (latent analysis);
+//! * [`browser`] — ASCII genome-browser tracks for terminal inspection;
+//! * [`enrichment`] — GREAT-style binomial / hypergeometric statistics
+//!   (§4.3's "powerful statistics to indicate the significance of query
+//!   results").
+
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod cluster;
+pub mod enrichment;
+pub mod genome_space;
+pub mod hierarchical;
+pub mod network;
+pub mod pca;
+
+pub use browser::{render_tracks, Window};
+pub use cluster::{kmeans, silhouette, Clustering};
+pub use enrichment::{
+    binomial_sf, hypergeometric_sf, ln_choose, ln_gamma, region_enrichment, Enrichment,
+};
+pub use genome_space::{GenomeSpace, GenomeSpaceError, RegionKey};
+pub use hierarchical::{hierarchical, Dendrogram, Linkage, Merge};
+pub use network::{pearson, Network};
+pub use pca::{pca, Pca};

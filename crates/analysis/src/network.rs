@@ -1,0 +1,201 @@
+//! Gene networks from genome spaces (Figure 4, right).
+//!
+//! "Such table can be also interpreted as an adjacency matrix
+//! representing a network, where regions are nodes and arcs have a
+//! weight obtained by further aggregating properties across experiments"
+//! (§4.1). Edge weights here are Pearson correlations of region profiles
+//! across experiments; a threshold keeps the strong interactions.
+
+use crate::genome_space::GenomeSpace;
+use std::collections::HashMap;
+
+/// A weighted undirected network over genome-space regions.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// Node labels (region keys rendered).
+    pub nodes: Vec<String>,
+    /// Edges `(a, b, weight)` with `a < b`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+/// Pearson correlation of two equal-length profiles; 0 when degenerate.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 1e-12 || vb <= 1e-12 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+impl Network {
+    /// Build the co-activity network: an edge joins regions whose
+    /// cross-experiment profiles correlate at least `threshold`
+    /// (absolute value).
+    pub fn from_genome_space(space: &GenomeSpace, threshold: f64) -> Network {
+        let nodes: Vec<String> = space.regions.iter().map(|k| k.to_string()).collect();
+        let mut edges = Vec::new();
+        for i in 0..space.n_regions() {
+            for j in (i + 1)..space.n_regions() {
+                let w = pearson(space.row(i), space.row(j));
+                if w.abs() >= threshold {
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        Network { nodes, edges }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of every node.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0; self.nodes.len()];
+        for (a, b, _) in &self.edges {
+            deg[*a] += 1;
+            deg[*b] += 1;
+        }
+        deg
+    }
+
+    /// The `k` highest-degree nodes (hubs), ties by index.
+    pub fn hubs(&self, k: usize) -> Vec<(String, usize)> {
+        let mut idx: Vec<(usize, usize)> =
+            self.degrees().into_iter().enumerate().collect();
+        idx.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        idx.truncate(k);
+        idx.into_iter().map(|(i, d)| (self.nodes[i].clone(), d)).collect()
+    }
+
+    /// Connected components, as a node → component-id map plus count.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (a, b, _) in &self.edges {
+            let ra = find(&mut parent, *a);
+            let rb = find(&mut parent, *b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut ids: HashMap<usize, usize> = HashMap::new();
+        let mut labels = vec![0; n];
+        for (i, label) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            let next_id = ids.len();
+            *label = *ids.entry(root).or_insert(next_id);
+        }
+        let count = ids.len();
+        (labels, count)
+    }
+
+    /// Mean edge weight (interaction strength summary).
+    pub fn mean_weight(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges.iter().map(|(_, _, w)| w.abs()).sum::<f64>() / self.edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_space::RegionKey;
+    use nggc_gdm::{Chrom, Strand};
+
+    fn space(values: Vec<Vec<f64>>) -> GenomeSpace {
+        let n = values.len();
+        GenomeSpace {
+            regions: (0..n)
+                .map(|i| RegionKey {
+                    chrom: Chrom::new("chr1"),
+                    left: i as u64 * 10,
+                    right: i as u64 * 10 + 5,
+                    strand: Strand::Unstranded,
+                    label: Some(format!("G{i}")),
+                })
+                .collect(),
+            experiments: (0..values[0].len()).map(|i| format!("e{i}")).collect(),
+            values,
+        }
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "constant profile degenerates to 0");
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn correlated_regions_connect() {
+        // G0 and G1 perfectly correlated, G2 anti-correlated, G3 flat.
+        let gs = space(vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+        ]);
+        let net = Network::from_genome_space(&gs, 0.9);
+        assert_eq!(net.n_nodes(), 4);
+        // |r|: (0,1)=1, (0,2)=1, (1,2)=1 → three edges; flat row joins none.
+        assert_eq!(net.n_edges(), 3);
+        let degrees = net.degrees();
+        assert_eq!(degrees, vec![2, 2, 2, 0]);
+        let (labels, count) = net.components();
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn hubs_ranked_by_degree() {
+        let gs = space(vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.1],
+        ]);
+        let net = Network::from_genome_space(&gs, 0.99);
+        let hubs = net.hubs(1);
+        assert_eq!(hubs.len(), 1);
+        assert!(hubs[0].1 >= 1);
+        assert!(net.mean_weight() > 0.9);
+    }
+}

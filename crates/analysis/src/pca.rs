@@ -1,0 +1,236 @@
+//! Principal component analysis of genome spaces.
+//!
+//! §4.1 points genome spaces at "advanced data mining and computational
+//! intelligence", including latent analyses ("advanced latent semantic
+//! analysis and topic modelling"). PCA is the workhorse latent method for
+//! region × experiment matrices: projecting regions onto the first
+//! components separates the dominant co-activity programmes. Implemented
+//! via power iteration with deflation — no linear-algebra dependency.
+
+use crate::genome_space::GenomeSpace;
+
+/// Result of a PCA.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Principal axes (each of length = number of experiments), strongest
+    /// first.
+    pub components: Vec<Vec<f64>>,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f64>,
+    /// Column means subtracted before analysis.
+    pub means: Vec<f64>,
+    /// Row scores: projection of each (centred) region onto each
+    /// component; `scores[r][c]`.
+    pub scores: Vec<Vec<f64>>,
+}
+
+/// Compute the first `k` principal components of the genome-space rows
+/// (regions as observations, experiments as variables). Deterministic:
+/// power iteration starts from a fixed vector.
+pub fn pca(space: &GenomeSpace, k: usize, iterations: usize) -> Pca {
+    let n = space.n_regions();
+    let d = space.n_experiments();
+    let k = k.min(d);
+    if n == 0 || d == 0 || k == 0 {
+        return Pca {
+            components: vec![],
+            explained_variance: vec![],
+            means: vec![0.0; d],
+            scores: vec![vec![]; n],
+        };
+    }
+
+    // Centre the data.
+    let mut means = vec![0.0; d];
+    for row in &space.values {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let centred: Vec<Vec<f64>> = space
+        .values
+        .iter()
+        .map(|row| row.iter().zip(&means).map(|(v, m)| v - m).collect())
+        .collect();
+
+    // Covariance matrix (d × d); d = number of experiments is small.
+    // Triangle-indexed accumulation is clearest here.
+    #[allow(clippy::needless_range_loop)]
+    let cov = {
+    let mut cov = vec![vec![0.0; d]; d];
+    for row in &centred {
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            cov[i][j] /= denom;
+            cov[j][i] = cov[i][j];
+        }
+    }
+    cov
+    };
+
+    // Power iteration with deflation.
+    let mut components = Vec::with_capacity(k);
+    let mut explained = Vec::with_capacity(k);
+    let mut work = cov;
+    for comp_idx in 0..k {
+        // Deterministic start, varying per component to escape
+        // orthogonal-start stalls.
+        let mut v: Vec<f64> =
+            (0..d).map(|i| 1.0 + ((i + comp_idx) % 3) as f64 * 0.25).collect();
+        normalize(&mut v);
+        let mut eigenvalue = 0.0;
+        for _ in 0..iterations {
+            let mut next = vec![0.0; d];
+            for (i, row) in work.iter().enumerate() {
+                next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+            }
+            eigenvalue = norm(&next);
+            if eigenvalue <= 1e-12 {
+                break;
+            }
+            for x in &mut next {
+                *x /= eigenvalue;
+            }
+            let delta: f64 =
+                next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        // Deflate: work -= λ v vᵀ.
+        for i in 0..d {
+            for j in 0..d {
+                work[i][j] -= eigenvalue * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        explained.push(eigenvalue);
+    }
+
+    let scores: Vec<Vec<f64>> = centred
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum())
+                .collect()
+        })
+        .collect();
+
+    Pca { components, explained_variance: explained, means, scores }
+}
+
+fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v);
+    if n > 1e-12 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome_space::RegionKey;
+    use nggc_gdm::{Chrom, Strand};
+
+    fn space(values: Vec<Vec<f64>>) -> GenomeSpace {
+        let n = values.len();
+        GenomeSpace {
+            regions: (0..n)
+                .map(|i| RegionKey {
+                    chrom: Chrom::new("chr1"),
+                    left: i as u64,
+                    right: i as u64 + 1,
+                    strand: Strand::Unstranded,
+                    label: None,
+                })
+                .collect(),
+            experiments: (0..values.first().map(Vec::len).unwrap_or(0))
+                .map(|i| format!("e{i}"))
+                .collect(),
+            values,
+        }
+    }
+
+    #[test]
+    fn first_component_follows_dominant_direction() {
+        // Points along the (1, 1) diagonal with small noise orthogonal.
+        let gs = space(vec![
+            vec![1.0, 1.1],
+            vec![2.0, 1.9],
+            vec![3.0, 3.05],
+            vec![4.0, 3.95],
+            vec![5.0, 5.0],
+        ]);
+        let p = pca(&gs, 2, 200);
+        let c0 = &p.components[0];
+        let ratio = (c0[0] / c0[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.1, "first axis ≈ diagonal, got {c0:?}");
+        assert!(
+            p.explained_variance[0] > 10.0 * p.explained_variance[1],
+            "diagonal dominates: {:?}",
+            p.explained_variance
+        );
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let gs = space(vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 3.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+            vec![1.5, 2.5, 2.0],
+        ]);
+        let p = pca(&gs, 3, 300);
+        for (i, a) in p.components.iter().enumerate() {
+            assert!((norm(a) - 1.0).abs() < 1e-6, "unit norm");
+            for b in p.components.iter().skip(i + 1) {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                assert!(dot.abs() < 1e-4, "orthogonal, dot = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_separate_groups() {
+        let gs = space(vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 9.9],
+        ]);
+        let p = pca(&gs, 1, 100);
+        let s: Vec<f64> = p.scores.iter().map(|r| r[0]).collect();
+        // The two groups land on opposite sides of the first component.
+        assert!(s[0].signum() == s[1].signum());
+        assert!(s[2].signum() == s[3].signum());
+        assert!(s[0].signum() != s[2].signum());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = space(vec![]);
+        let p = pca(&empty, 2, 10);
+        assert!(p.components.is_empty());
+        let one = space(vec![vec![1.0, 2.0]]);
+        let p = pca(&one, 5, 10);
+        assert_eq!(p.components.len(), 2, "k clamps to dimensionality");
+    }
+}

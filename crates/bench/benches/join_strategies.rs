@@ -1,0 +1,104 @@
+//! **E10a/E10b** — join-strategy ablation and bin-width sweep.
+//!
+//! The GMQL cloud implementations partition genometric joins by genome
+//! bins; this reproduction also provides a chrom-sweep sort-merge kernel
+//! and the exhaustive baseline. The ablation measures all three on the
+//! same workloads, plus the binned kernel across bin widths (DESIGN.md
+//! §5 items 1–2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nggc_engine::{
+    overlap_pairs_binned, overlap_pairs_naive, overlap_pairs_sort_merge, Binner, NcList,
+};
+use nggc_gdm::{GRegion, Strand};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn regions(n: usize, span: u64, width: u64, seed: u64) -> Vec<GRegion> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<GRegion> = (0..n)
+        .map(|_| {
+            let l = rng.gen_range(0..span);
+            let w = rng.gen_range(50..width);
+            GRegion::new("chr1", l, l + w, Strand::Unstranded)
+        })
+        .collect();
+    out.sort_by(|a, b| a.cmp_coords(b));
+    out
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_strategies");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let left = regions(n / 10, 10_000_000, 2_000, 1);
+        let right = regions(n, 10_000_000, 400, 2);
+        group.bench_with_input(BenchmarkId::new("sort_merge", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                overlap_pairs_sort_merge(&left, &right, |_, _| count += 1);
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binned_100k", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                overlap_pairs_binned(&left, &right, Binner::new(100_000), |_, _| count += 1);
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nclist_probe", n), &n, |b, _| {
+            // Index build amortised across joins: build once, probe per left.
+            let index = NcList::build(&right);
+            b.iter(|| {
+                let mut count = 0usize;
+                for a in &left {
+                    index.overlaps(a.left, a.right, |_| count += 1);
+                }
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nclist_build_probe", n), &n, |b, _| {
+            b.iter(|| {
+                let index = NcList::build(&right);
+                let mut count = 0usize;
+                for a in &left {
+                    index.overlaps(a.left, a.right, |_| count += 1);
+                }
+                black_box(count)
+            })
+        });
+        // The exhaustive baseline only at sizes where it finishes quickly.
+        if n <= 5_000 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    overlap_pairs_naive(&left, &right, |_, _| count += 1);
+                    black_box(count)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bin_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_width");
+    group.sample_size(10);
+    let left = regions(2_000, 10_000_000, 2_000, 3);
+    let right = regions(20_000, 10_000_000, 400, 4);
+    for &width in &[10_000u64, 100_000, 1_000_000, 10_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut count = 0usize;
+                overlap_pairs_binned(&left, &right, Binner::new(w), |_, _| count += 1);
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_bin_width);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Per-operator benchmarks plus **E10c** — the metadata-first ablation.
+//!
+//! Measures the GMQL operators the three E6 queries exercise (MAP,
+//! genometric JOIN, COVER/HISTOGRAM) at a fixed workload, and SELECT with
+//! metadata-first evaluation on vs off (DESIGN.md §5 item 3: the GMQL
+//! optimizer's decision to evaluate metadata predicates before any
+//! region scan).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nggc_bench::map_workload;
+use nggc_core::{ExecOptions, GmqlEngine};
+use std::hint::black_box;
+
+fn engine(meta_first: bool) -> GmqlEngine {
+    let w = map_workload(0.002, 5);
+    let mut engine = GmqlEngine::with_workers(2)
+        .with_options(ExecOptions { meta_first, optimize: true });
+    engine.register(w.encode);
+    engine.register(w.annotations);
+    engine
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let eng = engine(true);
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(10);
+    group.bench_function("map_count", |b| {
+        b.iter(|| {
+            black_box(
+                eng.run(
+                    "P = SELECT(region: annType == 'promoter') ANNOTATIONS;
+                     R = MAP(n AS COUNT) P ENCODE; MATERIALIZE R;",
+                )
+                .expect("runs"),
+            )
+        })
+    });
+    group.bench_function("join_dle20k", |b| {
+        b.iter(|| {
+            black_box(
+                eng.run(
+                    "P = SELECT(region: annType == 'promoter') ANNOTATIONS;
+                     R = JOIN(DLE(20000); output: LEFT) P ENCODE; MATERIALIZE R;",
+                )
+                .expect("runs"),
+            )
+        })
+    });
+    group.bench_function("histogram", |b| {
+        b.iter(|| black_box(eng.run("R = HISTOGRAM(2, ANY) ENCODE; MATERIALIZE R;").expect("runs")))
+    });
+    group.bench_function("cover_2_any", |b| {
+        b.iter(|| black_box(eng.run("R = COVER(2, ANY) ENCODE; MATERIALIZE R;").expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_meta_first(c: &mut Criterion) {
+    // A selective metadata predicate: only a fraction of samples match,
+    // so metadata-first skips most region scans.
+    const QUERY: &str = "
+        R = SELECT(cell == 'K562'; region: p_value < 0.0001) ENCODE;
+        MATERIALIZE R;
+    ";
+    let mut group = c.benchmark_group("select_meta_first");
+    group.sample_size(10);
+    let on = engine(true);
+    group.bench_function("meta_first_on", |b| {
+        b.iter(|| black_box(on.run(QUERY).expect("runs")))
+    });
+    let off = engine(false);
+    group.bench_function("meta_first_off", |b| {
+        b.iter(|| black_box(off.run(QUERY).expect("runs")))
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    // A diamond query whose two branches are identical: CSE halves the
+    // SELECT work; SELECT-fusion collapses the stacked filters.
+    const QUERY: &str = "
+        A = SELECT(dataType == 'ChipSeq') ENCODE;
+        B = SELECT(region: p_value < 0.5) A;
+        C = SELECT(dataType == 'ChipSeq') ENCODE;
+        D = SELECT(region: p_value < 0.5) C;
+        M = MAP(n AS COUNT) B D;
+        MATERIALIZE M;
+    ";
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    let on = engine(true); // optimize: true by default
+    group.bench_function("optimize_on", |b| {
+        b.iter(|| black_box(on.run(QUERY).expect("runs")))
+    });
+    let w = map_workload(0.002, 5);
+    let mut off_engine = GmqlEngine::with_workers(2)
+        .with_options(ExecOptions { meta_first: true, optimize: false });
+    off_engine.register(w.encode);
+    off_engine.register(w.annotations);
+    group.bench_function("optimize_off", |b| {
+        b.iter(|| black_box(off_engine.run(QUERY).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_meta_first, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! **E3** — Figure 4: MAP result → genome space → gene network.
+//!
+//! The paper's Figure 4 interprets a MAP over gene regions as a tabular
+//! genome space and then as a weighted gene network. This binary
+//! regenerates the figure's two transformations on a small synthetic
+//! workload and prints both artefacts, plus network statistics and a
+//! k-means clustering of the gene profiles ("DNA region clustering",
+//! abstract).
+
+use nggc_analysis::{kmeans, pca, GenomeSpace, Network};
+use nggc_bench::Table;
+use nggc_core::GmqlEngine;
+use nggc_synth::{generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome};
+
+fn main() {
+    let genome = Genome::human(0.001);
+    let encode = generate_encode(
+        &genome,
+        &EncodeConfig { samples: 8, mean_peaks_per_sample: 500.0, seed: 4, ..Default::default() },
+    );
+    let (annotations, _) = generate_annotations(
+        &genome,
+        &AnnotationConfig { genes: 10, seed: 2, ..Default::default() },
+    );
+    let mut engine = GmqlEngine::with_workers(4);
+    engine.register(encode);
+    engine.register(annotations);
+
+    // MAP experiments onto gene regions (Figure 4, first transformation).
+    let out = engine
+        .run(
+            "GENES = SELECT(region: annType == 'gene') ANNOTATIONS;
+             EXPS  = SELECT(dataType == 'ChipSeq') ENCODE;
+             GS    = MAP(n AS COUNT) GENES EXPS;
+             MATERIALIZE GS;",
+        )
+        .expect("query runs");
+
+    let space = GenomeSpace::from_map_result(&out["GS"], "n", Some("name"))
+        .expect("genome space builds");
+    println!("== E3 / Figure 4: genome space ({} genes × {} experiments) ==\n", space.n_regions(), space.n_experiments());
+    println!("{}", space.to_tsv());
+
+    // Second transformation: the gene network.
+    let threshold = 0.6;
+    let network = Network::from_genome_space(&space, threshold);
+    println!("== gene network (|pearson| >= {threshold}) ==");
+    let mut table = Table::new(&["gene_a", "gene_b", "weight"]);
+    for (a, b, w) in &network.edges {
+        table.row(&[
+            network.nodes[*a].clone(),
+            network.nodes[*b].clone(),
+            format!("{w:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    let (_, components) = network.components();
+    println!(
+        "nodes: {}, edges: {}, components: {}, mean |weight|: {:.3}",
+        network.n_nodes(),
+        network.n_edges(),
+        components,
+        network.mean_weight()
+    );
+    println!("hubs: {:?}", network.hubs(3));
+
+    // Region clustering over the same space.
+    let clustering = kmeans(&space, 3, 50, 11);
+    println!("\n== k-means clustering of gene profiles (k=3) ==");
+    for (key, cluster) in space.regions.iter().zip(&clustering.assignment) {
+        println!("  {key} -> cluster {cluster}");
+    }
+    println!("inertia: {:.2} after {} iterations", clustering.inertia, clustering.iterations);
+
+    // Latent structure (§4.1's "advanced latent semantic analysis"):
+    // principal components of the gene × experiment matrix.
+    let p = pca(&space, 2, 200);
+    println!("\n== PCA of gene profiles ==");
+    println!(
+        "explained variance: {:?}",
+        p.explained_variance.iter().map(|v| format!("{v:.1}")).collect::<Vec<_>>()
+    );
+    for (key, score) in space.regions.iter().zip(&p.scores) {
+        println!("  {key}: PC1 {:+.2}  PC2 {:+.2}", score[0], score[1]);
+    }
+}

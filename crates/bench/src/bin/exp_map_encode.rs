@@ -1,0 +1,94 @@
+//! **E1** — the paper's §2 ENCODE MAP experiment, at configurable scale.
+//!
+//! Paper: "This query above was executed over 2,423 ENCODE samples
+//! including a total of 83,899,526 peaks, which were mapped to 131,780
+//! promoters, producing as result 29 GB of data."
+//!
+//! We run the same three-operation query over ENCODE-shaped synthetic
+//! data at a sweep of scale factors and report the measured
+//! cardinalities next to the paper's, plus the per-scale extrapolation
+//! of the output size to scale 1.0 (which should land in the tens of
+//! gigabytes, matching the paper's 29 GB shape).
+//!
+//! Usage: `exp_map_encode [max_scale]` (default 0.02).
+
+use nggc_bench::{human_bytes, map_workload, paper, Table, MAP_QUERY};
+use nggc_core::GmqlEngine;
+use std::time::Instant;
+
+fn main() {
+    let max_scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let scales: Vec<f64> = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+        .into_iter()
+        .filter(|&s| s <= max_scale + 1e-12)
+        .collect();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+
+    println!("== E1: §2 ENCODE MAP experiment (synthetic, {workers} workers) ==\n");
+    println!(
+        "paper reference @ scale 1.0: {} samples, {} peaks, {} promoters, {}",
+        paper::SAMPLES,
+        paper::PEAKS,
+        paper::PROMOTERS,
+        human_bytes(paper::OUTPUT_BYTES)
+    );
+    println!();
+
+    let mut table = Table::new(&[
+        "scale",
+        "samples",
+        "peaks",
+        "promoters",
+        "out_samples",
+        "out_regions",
+        "out_bytes",
+        "extrap@1.0",
+        "time",
+    ]);
+    for scale in scales {
+        let w = map_workload(scale, 42);
+        let promoters = w.annotations.region_count() / 2; // genes + promoters
+        let peaks = w.encode.region_count();
+        let samples = w.encode.sample_count();
+
+        let mut engine = GmqlEngine::with_workers(workers);
+        engine.register(w.encode);
+        engine.register(w.annotations);
+        let t0 = Instant::now();
+        let out = engine.run(MAP_QUERY).expect("query runs");
+        let elapsed = t0.elapsed();
+        let result = &out["RESULT"];
+        let out_bytes = result.encoded_size();
+        // Output grows with samples × promoters, i.e. quadratically in the
+        // scale factor: extrapolate accordingly.
+        let extrap = (out_bytes as f64 / (scale * scale)) as usize;
+
+        table.row(&[
+            format!("{scale}"),
+            samples.to_string(),
+            peaks.to_string(),
+            promoters.to_string(),
+            result.sample_count().to_string(),
+            result.region_count().to_string(),
+            human_bytes(out_bytes),
+            human_bytes(extrap),
+            format!("{elapsed:.2?}"),
+        ]);
+
+        // Shape checks mirroring the paper's cardinality structure.
+        assert_eq!(result.sample_count(), samples, "one output sample per input sample");
+        assert_eq!(
+            result.region_count(),
+            samples * promoters,
+            "each output sample holds every promoter"
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check: output samples = input samples; output regions = samples × promoters ✓"
+    );
+    println!("(the paper's 2,423 × 131,780 = {} regions ≈ 29 GB)", 2_423usize * 131_780);
+}

@@ -1,0 +1,162 @@
+//! **E8 + E9** — search quality (§4.5) and the Internet of Genomes.
+//!
+//! E8: precision/recall/F1 of the three metadata-search rankers
+//! (Boolean, TF-IDF, ontology-expanded) on a corpus with planted
+//! relevance — the paper's "classical measures of precision and recall".
+//!
+//! E9: crawl throughput and freshness of the Internet-of-Genomes
+//! simulation — hosts publishing datasets, a polite incremental crawler,
+//! snippet search, asynchronous downloads.
+//!
+//! Usage: `exp_search [--no-iog]` (both run by default; `--no-iog` keeps E8 only).
+
+use nggc_bench::{human_bytes, Table};
+use nggc_gdm::{Dataset, Metadata, Sample, Schema};
+use nggc_ontology::mini_umls;
+use nggc_repository::{MetaIndex, SampleRef};
+use nggc_search::{evaluate, Host, MetadataSearch, RankMode, SearchService, SimulatedHost};
+use nggc_synth::{generate_encode, EncodeConfig, Genome};
+use std::time::Instant;
+
+/// Build a corpus where relevance to each query is planted by
+/// construction (cancer cell lines are relevant to "cancer", etc.).
+fn corpus() -> (MetaIndex, Vec<(String, Vec<SampleRef>)>) {
+    let cells: [(&str, bool, bool); 9] = [
+        // (cell line, is cancer, is blood)
+        ("HeLa-S3", true, false),
+        ("K562", true, true),
+        ("HepG2", true, false),
+        ("A549", true, false),
+        ("MCF-7", true, false),
+        ("GM12878", false, true),
+        ("IMR90", false, false),
+        ("H1-hESC", false, false),
+        ("SK-N-SH", true, false),
+    ];
+    let mut ds = Dataset::new("CORPUS", Schema::empty());
+    let mut cancer_rel = Vec::new();
+    let mut blood_rel = Vec::new();
+    for (i, (cell, is_cancer, is_blood)) in cells.iter().enumerate() {
+        for rep in 0..3 {
+            let name = format!("s{i}_{rep}");
+            ds.add_sample(
+                Sample::new(name.clone(), "CORPUS").with_metadata(Metadata::from_pairs([
+                    ("cell", *cell),
+                    ("antibody", if rep == 0 { "CTCF" } else { "H3K27ac" }),
+                    ("assay", "ChipSeq"),
+                ])),
+            )
+            .expect("sample ok");
+            let sref = SampleRef { dataset: "CORPUS".into(), sample: name };
+            if *is_cancer {
+                cancer_rel.push(sref.clone());
+            }
+            if *is_blood {
+                blood_rel.push(sref);
+            }
+        }
+    }
+    let mut idx = MetaIndex::new();
+    idx.add_dataset(&ds);
+    (idx, vec![("cancer".into(), cancer_rel), ("blood".into(), blood_rel)])
+}
+
+fn run_e8() {
+    println!("== E8: metadata search — precision / recall / F1 ==\n");
+    let (idx, queries) = corpus();
+    let onto = mini_umls();
+    let search = MetadataSearch::new(&idx, Some(&onto));
+    let mut table = Table::new(&["query", "ranker", "hits", "precision", "recall", "f1"]);
+    for (query, relevant) in &queries {
+        for (label, mode) in [
+            ("boolean", RankMode::Boolean),
+            ("tf-idf", RankMode::TfIdf),
+            ("ontology", RankMode::Expanded),
+        ] {
+            let hits = search.search(query, mode);
+            let e = evaluate(&hits, relevant);
+            table.row(&[
+                query.clone(),
+                label.to_string(),
+                hits.len().to_string(),
+                format!("{:.2}", e.precision),
+                format!("{:.2}", e.recall),
+                format!("{:.2}", e.f1),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("expected shape: ontology expansion lifts recall from 0 to ≈1 at full precision.\n");
+}
+
+fn run_e9() {
+    println!("== E9: Internet of Genomes — crawl & search ==\n");
+    let genome = Genome::human(0.0005);
+    let n_hosts = 20;
+    let mut hosts: Vec<SimulatedHost> = Vec::new();
+    for h in 0..n_hosts {
+        let mut host = SimulatedHost::new(format!("center{h:02}.example"));
+        for d in 0..3 {
+            let mut ds = generate_encode(
+                &genome,
+                &EncodeConfig {
+                    samples: 4,
+                    mean_peaks_per_sample: 60.0,
+                    seed: (h * 31 + d) as u64,
+                    ..Default::default()
+                },
+            );
+            ds.name = format!("DS_{h:02}_{d}");
+            host.publish(ds);
+        }
+        hosts.push(host);
+    }
+    let refs: Vec<&dyn Host> = hosts.iter().map(|h| h as &dyn Host).collect();
+
+    let mut service = SearchService::new(1);
+    let t0 = Instant::now();
+    let stats = service.crawl(&refs);
+    let crawl_time = t0.elapsed();
+    let mut table = Table::new(&["metric", "value"]);
+    table.row(&["hosts visited".into(), stats.hosts_visited.to_string()]);
+    table.row(&["entries discovered".into(), stats.entries_seen.to_string()]);
+    table.row(&["entries indexed".into(), stats.entries_indexed.to_string()]);
+    table.row(&["datasets cached".into(), stats.datasets_fetched.to_string()]);
+    table.row(&["bytes fetched".into(), human_bytes(stats.bytes_fetched)]);
+    table.row(&["crawl time".into(), format!("{crawl_time:.2?}")]);
+
+    // Freshness: update 5 hosts, re-crawl.
+    for host in hosts.iter_mut().take(5) {
+        let mut ds = generate_encode(
+            &genome,
+            &EncodeConfig { samples: 4, mean_peaks_per_sample: 60.0, seed: 999, ..Default::default() },
+        );
+        ds.name = "DS_UPDATED".into();
+        host.publish(ds);
+    }
+    let refs: Vec<&dyn Host> = hosts.iter().map(|h| h as &dyn Host).collect();
+    let stats2 = service.crawl(&refs);
+    table.row(&["re-indexed after 5 updates".into(), stats2.entries_indexed.to_string()]);
+
+    let t0 = Instant::now();
+    let hits = service.search("CTCF ChipSeq");
+    let search_time = t0.elapsed();
+    table.row(&["snippet hits for 'CTCF ChipSeq'".into(), hits.len().to_string()]);
+    table.row(&["search latency".into(), format!("{search_time:.2?}")]);
+
+    // Async download of the first non-cached hit.
+    if let Some(remote) = hits.iter().find(|s| !s.cached) {
+        service.request_download(&remote.link);
+        let done = service.poll_downloads(&refs, 4);
+        table.row(&["async downloads completed".into(), done.len().to_string()]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    run_e8();
+    // E9 runs by default; `--no-iog` restricts the binary to E8.
+    if !std::env::args().any(|a| a == "--no-iog") {
+        run_e9();
+    }
+}

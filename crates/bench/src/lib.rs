@@ -1,0 +1,165 @@
+//! # `nggc-bench` — experiment harness
+//!
+//! Shared workload builders and table rendering for the experiment
+//! binaries (`src/bin/exp_*.rs`, one per DESIGN.md experiment id) and the
+//! Criterion micro-benchmarks (`benches/`). See EXPERIMENTS.md for the
+//! paper-vs-measured record each binary regenerates.
+
+#![warn(missing_docs)]
+
+use nggc_gdm::Dataset;
+use nggc_synth::{
+    generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome,
+};
+
+/// The §2 experiment's reference cardinalities (the paper's only
+/// quantified result).
+pub mod paper {
+    /// ENCODE samples mapped in the §2 experiment.
+    pub const SAMPLES: usize = 2_423;
+    /// Total peaks across those samples.
+    pub const PEAKS: usize = 83_899_526;
+    /// UCSC promoters used as references.
+    pub const PROMOTERS: usize = 131_780;
+    /// Reported output size in bytes ("29 GB of data").
+    pub const OUTPUT_BYTES: usize = 29 * 1024 * 1024 * 1024;
+}
+
+/// A scaled §2-experiment workload.
+pub struct MapWorkload {
+    /// The synthetic genome.
+    pub genome: Genome,
+    /// ENCODE-shaped peak dataset.
+    pub encode: Dataset,
+    /// Promoter annotation dataset (single reference sample).
+    pub annotations: Dataset,
+    /// The scale factor relative to the paper's experiment.
+    pub scale: f64,
+}
+
+/// Build the §2 workload at `scale` (1.0 = the paper's 2,423 samples /
+/// 83.9 M peaks / 131,780 promoters). Cardinalities scale linearly;
+/// the genome scales with the square root so region density grows with
+/// scale, as it does when adding ENCODE samples over a fixed genome.
+pub fn map_workload(scale: f64, seed: u64) -> MapWorkload {
+    assert!(scale > 0.0);
+    let genome = Genome::human((scale.sqrt() * 0.05).clamp(0.0005, 1.0));
+    let samples = ((paper::SAMPLES as f64 * scale).round() as usize).max(2);
+    let peaks_per_sample = paper::PEAKS as f64 / paper::SAMPLES as f64;
+    let genes = ((paper::PROMOTERS as f64 * scale).round() as usize).max(20);
+    let encode = generate_encode(
+        &genome,
+        &EncodeConfig {
+            samples,
+            mean_peaks_per_sample: peaks_per_sample,
+            chipseq_fraction: 1.0,
+            seed,
+            ..Default::default()
+        },
+    );
+    let (annotations, _) = generate_annotations(
+        &genome,
+        &AnnotationConfig { genes, seed: seed ^ 0xa0a0, ..Default::default() },
+    );
+    MapWorkload { genome, encode, annotations, scale }
+}
+
+/// The §2 query (annotation regions are all promoters here, so the
+/// region filter is a no-op kept for fidelity).
+pub const MAP_QUERY: &str = "
+    PROMS = SELECT(region: annType == 'promoter') ANNOTATIONS;
+    PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+    RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+    MATERIALIZE RESULT;
+";
+
+/// Simple fixed-width table printer for experiment outputs.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-readable byte counts.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scales_cardinalities() {
+        let w = map_workload(0.001, 1);
+        assert_eq!(w.encode.sample_count(), 2);
+        assert!(w.annotations.region_count() >= 2 * 131); // genes + promoters
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.row(&["1".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("long_header"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert!(human_bytes(29 * 1024 * 1024 * 1024).starts_with("29.00 GiB"));
+    }
+}

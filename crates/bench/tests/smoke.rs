@@ -1,0 +1,71 @@
+//! Smoke tests: every experiment binary runs end to end at a tiny scale
+//! and prints the expected table shape.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin).args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn exp_map_encode_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_map_encode"), &["0.002"]);
+    assert!(stdout.contains("paper reference @ scale 1.0"));
+    assert!(stdout.contains("extrap@1.0"));
+    assert!(stdout.contains("shape check"));
+}
+
+#[test]
+fn exp_genome_space_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_genome_space"), &[]);
+    assert!(stdout.contains("genome space"));
+    assert!(stdout.contains("gene network"));
+    assert!(stdout.contains("PCA of gene profiles"));
+}
+
+#[test]
+fn exp_search_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_search"), &[]);
+    assert!(stdout.contains("precision"));
+    assert!(stdout.contains("ontology"));
+    assert!(stdout.contains("Internet of Genomes"));
+    assert!(stdout.contains("re-indexed after 5 updates"));
+}
+
+#[test]
+fn exp_federation_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_federation"), &["4"]);
+    assert!(stdout.contains("ship-query vs ship-data"));
+    assert!(stdout.contains("byte_ratio"));
+}
+
+#[test]
+fn exp_parallel_scaling_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_parallel_scaling"), &["0.002"]);
+    assert!(stdout.contains("Q1-MAP"));
+    assert!(stdout.contains("Q2-JOIN"));
+    assert!(stdout.contains("Q3-HISTO"));
+    assert!(stdout.contains("speedup"));
+}
+
+#[test]
+fn exp_case_studies_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_case_studies"), &[]);
+    assert!(stdout.contains("E4"));
+    assert!(stdout.contains("E5"));
+    assert!(stdout.contains("recall"));
+}
+
+#[test]
+fn exp_distributed_smoke() {
+    let stdout = run(env!("CARGO_BIN_EXE_exp_distributed"), &[]);
+    assert!(stdout.contains("distributed execution"));
+    assert!(stdout.contains("ANNOTATIONS<-broad"));
+    assert!(stdout.contains("polimi"));
+}

@@ -1,0 +1,325 @@
+//! Abstract syntax of GMQL queries.
+//!
+//! A query is a sequence of assignments closing with MATERIALIZE
+//! statements, exactly as in the paper's §2 example:
+//!
+//! ```text
+//! PROMS  = SELECT(annType == 'promoter') ANNOTATIONS;
+//! PEAKS  = SELECT(dataType == 'ChipSeq') ENCODE;
+//! RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+//! MATERIALIZE RESULT;
+//! ```
+
+use crate::aggregates::Aggregate;
+use crate::predicates::{MetaPredicate, RegionExpr};
+use std::fmt;
+
+/// One statement of a GMQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `VAR = OP(...) OPERAND...;`
+    Assign {
+        /// Variable being defined.
+        var: String,
+        /// Operator call.
+        call: OpCall,
+    },
+    /// `MATERIALIZE VAR [INTO name];`
+    Materialize {
+        /// Variable to materialize.
+        var: String,
+        /// Output dataset name (defaults to the variable name).
+        into: Option<String>,
+    },
+}
+
+/// An operator applied to named operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpCall {
+    /// The operator and its parameters.
+    pub op: Operator,
+    /// Operand variable or dataset names (1 for unary, 2 for binary ops).
+    pub operands: Vec<String>,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A metadata semijoin clause of SELECT: `semijoin: attr, ... IN DS`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiJoin {
+    /// The attributes that must agree.
+    pub attrs: Vec<String>,
+    /// The external dataset/variable name (resolved at plan time into a
+    /// second input of the SELECT node).
+    pub external: String,
+    /// Negate: keep samples matching **no** external sample (GMQL's
+    /// `NOT IN`).
+    pub negated: bool,
+}
+
+/// Genometric join clauses (paper §2: "GENOMETRIC JOIN selects region
+/// pairs based upon distance properties").
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenometricClause {
+    /// `DLE(d)`: distance less than or equal to `d`.
+    DistLessEq(i64),
+    /// `DGE(d)`: distance greater than or equal to `d`.
+    DistGreaterEq(i64),
+    /// `MD(k)`: the `k` closest right regions of each left region.
+    MinDist(usize),
+    /// `UP`: right region upstream of the left one (strand-aware).
+    Upstream,
+    /// `DOWN`: right region downstream of the left one (strand-aware).
+    Downstream,
+}
+
+/// Region composition of genometric JOIN output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutput {
+    /// Keep the left (anchor) region coordinates.
+    Left,
+    /// Keep the right (experiment) region coordinates.
+    Right,
+    /// Intersection of the two regions (pairs must overlap).
+    Intersection,
+    /// Contiguous hull: `[min(lefts), max(rights))` (`CAT` in GMQL).
+    Contig,
+}
+
+/// An accumulation bound of COVER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccBound {
+    /// `ANY`: no constraint (lower bound 1 / upper bound ∞).
+    Any,
+    /// `ALL`: the number of samples in the operand.
+    All,
+    /// An explicit count.
+    Value(usize),
+}
+
+impl AccBound {
+    /// Resolve against the number of contributing samples; `lower` selects
+    /// the lower-bound interpretation of `ANY`.
+    pub fn resolve(self, n_samples: usize, lower: bool) -> usize {
+        match self {
+            AccBound::Any => {
+                if lower {
+                    1
+                } else {
+                    usize::MAX
+                }
+            }
+            AccBound::All => n_samples.max(1),
+            AccBound::Value(v) => v,
+        }
+    }
+}
+
+/// COVER variants (paper §2 names COVER; GMQL defines the variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverVariant {
+    /// Merged regions where accumulation stays within bounds.
+    Cover,
+    /// Like COVER but extended to the full span of contributing regions.
+    Flat,
+    /// Points of locally maximal accumulation within qualifying regions.
+    Summit,
+    /// One region per maximal run of constant accumulation.
+    Histogram,
+}
+
+impl CoverVariant {
+    /// Operator keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoverVariant::Cover => "COVER",
+            CoverVariant::Flat => "FLAT",
+            CoverVariant::Summit => "SUMMIT",
+            CoverVariant::Histogram => "HISTOGRAM",
+        }
+    }
+}
+
+/// The GMQL operator algebra: "classic algebraic transformations
+/// (SELECT, PROJECT, UNION, DIFFERENCE, JOIN, SORT, AGGREGATE) and
+/// domain-specific transformations" (paper §2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operator {
+    /// Filter samples by metadata and regions by a region predicate,
+    /// optionally restricted by a metadata semijoin against another
+    /// dataset (`semijoin: attr, ... IN OTHER`).
+    Select {
+        /// Metadata predicate ([`MetaPredicate::True`] when absent).
+        meta: MetaPredicate,
+        /// Optional region predicate.
+        region: Option<RegionExpr>,
+        /// Optional metadata semijoin (GMQL's "metadata semijoin"): keep
+        /// a sample only when some sample of the external dataset shares
+        /// at least one value for every listed attribute.
+        semijoin: Option<SemiJoin>,
+    },
+    /// Keep/compute region attributes and optionally project metadata.
+    Project {
+        /// Attributes to keep (`None` = keep all).
+        attrs: Option<Vec<String>>,
+        /// New attributes computed from expressions.
+        new_attrs: Vec<(String, RegionExpr)>,
+        /// Metadata attributes to keep (`None` = keep all).
+        meta_attrs: Option<Vec<String>>,
+    },
+    /// Add metadata computed as aggregates over each sample's regions.
+    Extend {
+        /// `(metadata attribute, aggregate)` assignments.
+        assignments: Vec<(String, Aggregate)>,
+    },
+    /// Merge all samples (or one group per `groupby` value combination)
+    /// into a single sample.
+    Merge {
+        /// Metadata attributes defining groups (empty = one group).
+        groupby: Vec<String>,
+    },
+    /// Group samples by metadata values; optionally aggregate duplicate
+    /// regions within each group.
+    Group {
+        /// Grouping metadata attributes.
+        by: Vec<String>,
+        /// Aggregates computed over duplicate regions (same coordinates).
+        region_aggs: Vec<(String, Aggregate)>,
+    },
+    /// Order samples by metadata (and/or regions by attributes), with
+    /// optional top-k truncation.
+    Order {
+        /// Sample-level keys (metadata attributes).
+        meta_keys: Vec<(String, SortDir)>,
+        /// Keep only the first `k` samples.
+        top: Option<usize>,
+        /// Region-level keys (region attributes).
+        region_keys: Vec<(String, SortDir)>,
+        /// Keep only the first `k` regions per sample.
+        region_top: Option<usize>,
+    },
+    /// Union of two datasets (schema merging).
+    Union,
+    /// Regions of the left operand that do not intersect any right-operand
+    /// region.
+    Difference {
+        /// Require exact coordinate equality instead of intersection.
+        exact: bool,
+        /// Pair samples only when these metadata attributes agree.
+        joinby: Vec<String>,
+    },
+    /// Genometric join.
+    Join {
+        /// Distance clauses, all of which must hold.
+        clauses: Vec<GenometricClause>,
+        /// Output region composition.
+        output: JoinOutput,
+        /// Pair samples only when these metadata attributes agree.
+        joinby: Vec<String>,
+    },
+    /// Map experiment regions onto reference regions with aggregates.
+    Map {
+        /// Named aggregates computed over intersecting experiment regions.
+        aggs: Vec<(String, Aggregate)>,
+        /// Pair samples only when these metadata attributes agree.
+        joinby: Vec<String>,
+    },
+    /// COVER and its variants.
+    Cover {
+        /// Variant.
+        variant: CoverVariant,
+        /// Minimum accumulation.
+        min_acc: AccBound,
+        /// Maximum accumulation.
+        max_acc: AccBound,
+        /// Group samples by these metadata attributes first.
+        groupby: Vec<String>,
+        /// Aggregates over contributing regions, added as attributes.
+        aggs: Vec<(String, Aggregate)>,
+    },
+}
+
+impl Operator {
+    /// Operator keyword (for provenance and plan printing).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::Select { .. } => "SELECT",
+            Operator::Project { .. } => "PROJECT",
+            Operator::Extend { .. } => "EXTEND",
+            Operator::Merge { .. } => "MERGE",
+            Operator::Group { .. } => "GROUP",
+            Operator::Order { .. } => "ORDER",
+            Operator::Union => "UNION",
+            Operator::Difference { .. } => "DIFFERENCE",
+            Operator::Join { .. } => "JOIN",
+            Operator::Map { .. } => "MAP",
+            Operator::Cover { variant, .. } => variant.name(),
+        }
+    }
+
+    /// Number of operands the operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operator::Union
+            | Operator::Difference { .. }
+            | Operator::Join { .. }
+            | Operator::Map { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for OpCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(…) {}", self.op.name(), self.operands.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_per_operator() {
+        assert_eq!(Operator::Union.arity(), 2);
+        assert_eq!(
+            Operator::Select { meta: MetaPredicate::True, region: None, semijoin: None }.arity(),
+            1
+        );
+        assert_eq!(
+            Operator::Map { aggs: vec![], joinby: vec![] }.arity(),
+            2
+        );
+    }
+
+    #[test]
+    fn acc_bound_resolution() {
+        assert_eq!(AccBound::Any.resolve(10, true), 1);
+        assert_eq!(AccBound::Any.resolve(10, false), usize::MAX);
+        assert_eq!(AccBound::All.resolve(10, true), 10);
+        assert_eq!(AccBound::All.resolve(0, true), 1, "empty dataset clamps to 1");
+        assert_eq!(AccBound::Value(3).resolve(10, false), 3);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(
+            Operator::Cover {
+                variant: CoverVariant::Summit,
+                min_acc: AccBound::Any,
+                max_acc: AccBound::Any,
+                groupby: vec![],
+                aggs: vec![],
+            }
+            .name(),
+            "SUMMIT"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type of the GMQL crate.
+
+use nggc_gdm::GdmError;
+use std::fmt;
+
+/// Errors raised while parsing, planning, or executing GMQL queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GmqlError {
+    /// Lexical or syntactic error in the query text.
+    Syntax {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A semantic error: unknown variable, unknown attribute, type error.
+    Semantic(String),
+    /// A runtime failure while evaluating an operator.
+    Runtime(String),
+    /// An underlying data-model violation.
+    Model(GdmError),
+}
+
+impl GmqlError {
+    /// Construct a [`GmqlError::Syntax`].
+    pub fn syntax(line: usize, column: usize, message: impl Into<String>) -> GmqlError {
+        GmqlError::Syntax { line, column, message: message.into() }
+    }
+
+    /// Construct a [`GmqlError::Semantic`].
+    pub fn semantic(message: impl Into<String>) -> GmqlError {
+        GmqlError::Semantic(message.into())
+    }
+
+    /// Construct a [`GmqlError::Runtime`].
+    pub fn runtime(message: impl Into<String>) -> GmqlError {
+        GmqlError::Runtime(message.into())
+    }
+}
+
+impl fmt::Display for GmqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmqlError::Syntax { line, column, message } => {
+                write!(f, "syntax error at {line}:{column}: {message}")
+            }
+            GmqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+            GmqlError::Runtime(m) => write!(f, "runtime error: {m}"),
+            GmqlError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GmqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GmqlError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GdmError> for GmqlError {
+    fn from(e: GdmError) -> Self {
+        GmqlError::Model(e)
+    }
+}

@@ -1,0 +1,326 @@
+//! Lexical analysis of GMQL query text.
+
+use crate::error::GmqlError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string literal (single or double quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenise GMQL text. `#` starts a comment running to end of line.
+pub fn lex(text: &str) -> Result<Vec<Spanned>, GmqlError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LParen, line: tl, column: tc });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RParen, line: tl, column: tc });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Comma, line: tl, column: tc });
+            }
+            ';' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Semi, line: tl, column: tc });
+            }
+            ':' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Colon, line: tl, column: tc });
+            }
+            '+' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Plus, line: tl, column: tc });
+            }
+            '-' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Minus, line: tl, column: tc });
+            }
+            '*' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Star, line: tl, column: tc });
+            }
+            '/' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Slash, line: tl, column: tc });
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::EqEq, line: tl, column: tc });
+                } else {
+                    out.push(Spanned { tok: Tok::Assign, line: tl, column: tc });
+                }
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::NotEq, line: tl, column: tc });
+                } else {
+                    return Err(GmqlError::syntax(tl, tc, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Le, line: tl, column: tc });
+                } else {
+                    out.push(Spanned { tok: Tok::Lt, line: tl, column: tc });
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Spanned { tok: Tok::Ge, line: tl, column: tc });
+                } else {
+                    out.push(Spanned { tok: Tok::Gt, line: tl, column: tc });
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some(ch) if ch == quote => break,
+                        Some('\n') | None => {
+                            return Err(GmqlError::syntax(tl, tc, "unterminated string literal"))
+                        }
+                        Some(ch) => s.push(ch),
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), line: tl, column: tc });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_digit() || ch == '.' {
+                        s.push(ch);
+                        bump!();
+                    } else if (ch == 'e' || ch == 'E')
+                        && !s.is_empty()
+                        && !s.contains('e')
+                        && !s.contains('E')
+                    {
+                        s.push(ch);
+                        bump!();
+                        if let Some(&sign) = chars.peek() {
+                            if sign == '+' || sign == '-' {
+                                s.push(sign);
+                                bump!();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let n: f64 = s
+                    .parse()
+                    .map_err(|_| GmqlError::syntax(tl, tc, format!("bad number {s:?}")))?;
+                out.push(Spanned { tok: Tok::Number(n), line: tl, column: tc });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' {
+                        s.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line: tl, column: tc });
+            }
+            other => {
+                return Err(GmqlError::syntax(tl, tc, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<Tok> {
+        lex(text).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn paper_example_lexes() {
+        let ts = toks("PROMS = SELECT(annType == 'promoter') ANNOTATIONS;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("PROMS".into()),
+                Tok::Assign,
+                Tok::Ident("SELECT".into()),
+                Tok::LParen,
+                Tok::Ident("annType".into()),
+                Tok::EqEq,
+                Tok::Str("promoter".into()),
+                Tok::RParen,
+                Tok::Ident("ANNOTATIONS".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            toks("p_value <= 0.05 AND score > 1e3"),
+            vec![
+                Tok::Ident("p_value".into()),
+                Tok::Le,
+                Tok::Number(0.05),
+                Tok::Ident("AND".into()),
+                Tok::Ident("score".into()),
+                Tok::Gt,
+                Tok::Number(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("# full line\nX = Y; # trailing"), toks("X = Y;"));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        assert_eq!(toks("left.cell"), vec![Tok::Ident("left.cell".into())]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let sp = lex("A\n  B").unwrap();
+        assert_eq!((sp[0].line, sp[0].column), (1, 1));
+        assert_eq!((sp[1].line, sp[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("x ! y").is_err());
+    }
+
+    #[test]
+    fn double_quotes_accepted() {
+        assert_eq!(toks("\"hi\""), vec![Tok::Str("hi".into())]);
+    }
+}

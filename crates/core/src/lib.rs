@@ -1,0 +1,49 @@
+//! # `nggc-core` — GMQL, the GenoMetric Query Language
+//!
+//! The paper's primary contribution (§2): a closed algebra over GDM
+//! datasets combining classic relational operators (SELECT, PROJECT,
+//! UNION, DIFFERENCE, JOIN, ORDER, EXTEND/aggregates) with domain-specific
+//! genomic ones (COVER and variants, MAP, genometric JOIN on distance
+//! predicates), with implicit sample iteration, metadata propagation, and
+//! provenance tracing.
+//!
+//! Pipeline: [`parser`] → [`plan`] (schema-inferring compiler) →
+//! [`optimizer`] (SELECT fusion, CSE) → [`exec`] (parallel evaluation on
+//! the `nggc-engine` runtime, one operator implementation per module in
+//! [`ops`]).
+//!
+//! The paper's §2 example runs end to end:
+//!
+//! ```text
+//! PROMS  = SELECT(annType == 'promoter') ANNOTATIONS;
+//! PEAKS  = SELECT(dataType == 'ChipSeq') ENCODE;
+//! RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+//! MATERIALIZE RESULT;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregates;
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod ops;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod predicates;
+pub mod query;
+
+pub use aggregates::{AggFunc, Aggregate};
+pub use ast::{
+    AccBound, CoverVariant, GenometricClause, JoinOutput, OpCall, Operator, SemiJoin, SortDir,
+    Statement,
+};
+pub use error::GmqlError;
+pub use exec::{execute, execute_with_metrics, DatasetProvider, ExecOptions, NodeMetrics};
+pub use optimizer::{optimize, OptimizerReport};
+pub use parser::parse;
+pub use plan::{infer_schema, LogicalNode, LogicalPlan, NodeId, PlanOp};
+pub use predicates::{BinOp, CmpOp, MetaPredicate, RegionExpr};
+pub use query::{run_with_provider, EstimatedOutput, GmqlEngine, QueryEstimate};

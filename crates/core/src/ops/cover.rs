@@ -1,0 +1,336 @@
+//! COVER and its variants: FLAT, SUMMIT, HISTOGRAM.
+//!
+//! "COVER deals with replicas of a same experiment" (paper §2): it
+//! flattens the samples of a dataset (or of each metadata group) into the
+//! genomic regions where between `minAcc` and `maxAcc` input regions
+//! accumulate. Every output region carries the `accindex` accumulation
+//! attribute plus optional aggregates over the contributing regions.
+
+use crate::aggregates::Aggregate;
+use crate::ast::{AccBound, CoverVariant};
+use crate::error::GmqlError;
+use crate::ops::merge::partition_by_meta;
+use nggc_gdm::{Chrom, Dataset, GRegion, Metadata, Provenance, Sample, Schema, Strand, Value};
+use nggc_engine::{coverage_segments, merge_cover, CovSeg, ExecContext};
+
+/// Execute COVER/FLAT/SUMMIT/HISTOGRAM.
+#[allow(clippy::too_many_arguments)]
+pub fn cover(
+    ctx: &ExecContext,
+    variant: CoverVariant,
+    min_acc: AccBound,
+    max_acc: AccBound,
+    groupby: &[String],
+    aggs: &[(String, Aggregate)],
+    input: &Dataset,
+    out_schema: &Schema,
+) -> Result<Dataset, GmqlError> {
+    let resolved: Vec<(Aggregate, Option<usize>)> = aggs
+        .iter()
+        .map(|(_, agg)| agg.resolve(&input.schema).map(|(pos, _)| (agg.clone(), pos)))
+        .collect::<Result<_, _>>()?;
+    let groups = partition_by_meta(input, groupby);
+    let detail = format!("{variant:?}({min_acc:?}, {max_acc:?})");
+
+    let samples = ctx.pool().parallel_map(groups, |(key, members)| {
+        let n = members.len();
+        let min = min_acc.resolve(n, true).max(1);
+        let max = max_acc.resolve(n, false);
+
+        // Pool all regions of the group, sorted, then process per chrom.
+        let mut pooled: Vec<GRegion> =
+            members.iter().flat_map(|s| s.regions.iter().cloned()).collect();
+        nggc_engine::parallel_sort_by(ctx.pool(), &mut pooled, |a, b| a.cmp_coords(b));
+        let pool_sample =
+            Sample::derived("pool", Provenance::source("tmp", "pool")).with_regions(pooled);
+
+        let chroms: Vec<Chrom> = pool_sample.chromosomes();
+        let per_chrom: Vec<Vec<GRegion>> = ctx.pool().parallel_map(chroms, |c| {
+            let slice = pool_sample.chrom_slice(&c);
+            let intervals: Vec<(u64, u64)> = slice.iter().map(|r| (r.left, r.right)).collect();
+            let segs = coverage_segments(&intervals);
+            let shapes: Vec<(u64, u64, usize)> = match variant {
+                CoverVariant::Cover => merge_cover(&segs, min, max),
+                CoverVariant::Histogram => segs
+                    .iter()
+                    .filter(|s| s.acc >= min && s.acc <= max)
+                    .map(|s| (s.left, s.right, s.acc))
+                    .collect(),
+                CoverVariant::Summit => summits(&segs, min, max),
+                CoverVariant::Flat => merge_cover(&segs, min, max)
+                    .into_iter()
+                    .map(|(l, r, acc)| {
+                        let (fl, fr) = flat_extent(slice, l, r);
+                        (fl, fr, acc)
+                    })
+                    .collect(),
+            };
+            shapes
+                .into_iter()
+                .map(|(l, r, acc)| {
+                    let mut values = vec![Value::Int(acc as i64)];
+                    if !resolved.is_empty() {
+                        // Contributing regions: those overlapping the output.
+                        let contributing: Vec<&GRegion> = slice
+                            .iter()
+                            .filter(|x| {
+                                nggc_gdm::interval_overlap(x.left, x.right, l, r)
+                            })
+                            .collect();
+                        for (agg, pos) in &resolved {
+                            let value = match pos {
+                                Some(p) => {
+                                    let vals: Vec<&Value> =
+                                        contributing.iter().map(|x| &x.values[*p]).collect();
+                                    agg.compute(&vals, contributing.len())
+                                }
+                                None => agg.compute(&[], contributing.len()),
+                            };
+                            values.push(value);
+                        }
+                    }
+                    GRegion::new(c.as_str(), l, r, Strand::Unstranded).with_values(values)
+                })
+                .collect()
+        });
+
+        let provenance = Provenance::derived(
+            variant.name(),
+            detail.clone(),
+            members.iter().map(|s| s.provenance.clone()).collect(),
+        );
+        let name = if key.is_empty() {
+            variant.name().to_ascii_lowercase()
+        } else {
+            format!("{}_{}", variant.name().to_ascii_lowercase(), key.join("_"))
+        };
+        let mut metadata = Metadata::new();
+        for s in &members {
+            metadata.merge_from(&s.metadata, "");
+        }
+        for (attr, val) in groupby.iter().zip(&key) {
+            if !val.is_empty() {
+                metadata.insert(attr, val.clone());
+            }
+        }
+        let mut out = Sample::derived(name, provenance);
+        out.metadata = metadata;
+        out.regions = per_chrom.into_iter().flatten().collect();
+        out
+    });
+
+    let mut out = Dataset::new(input.name.clone(), out_schema.clone());
+    for s in samples {
+        out.add_sample_unchecked(s);
+    }
+    Ok(out)
+}
+
+/// Local-maximum segments within maximal runs of qualifying coverage.
+/// A segment is a summit when its accumulation is strictly greater than
+/// the previous qualifying-run segment's and at least the next one's
+/// (plateaus emit once, at their first segment).
+fn summits(segs: &[CovSeg], min: usize, max: usize) -> Vec<(u64, u64, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < segs.len() {
+        if segs[i].acc < min || segs[i].acc > max {
+            i += 1;
+            continue;
+        }
+        // A maximal run of contiguous qualifying segments.
+        let mut j = i;
+        while j + 1 < segs.len()
+            && segs[j + 1].left == segs[j].right
+            && segs[j + 1].acc >= min
+            && segs[j + 1].acc <= max
+        {
+            j += 1;
+        }
+        let run = &segs[i..=j];
+        for (k, s) in run.iter().enumerate() {
+            let prev = if k == 0 { 0 } else { run[k - 1].acc };
+            let next = if k + 1 == run.len() { 0 } else { run[k + 1].acc };
+            if s.acc > prev && s.acc >= next {
+                out.push((s.left, s.right, s.acc));
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// FLAT extent: the hull of the original regions intersecting `[l, r)`.
+fn flat_extent(slice: &[GRegion], l: u64, r: u64) -> (u64, u64) {
+    let mut fl = l;
+    let mut fr = r;
+    for x in slice {
+        if x.left >= r {
+            break;
+        }
+        if nggc_gdm::interval_overlap(x.left, x.right, l, r) {
+            fl = fl.min(x.left);
+            fr = fr.max(x.right);
+        }
+    }
+    (fl, fr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::AggFunc;
+    use crate::ast::Operator;
+    use crate::plan::infer_schema;
+    use nggc_gdm::{Attribute, ValueType};
+
+    fn replicas() -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("signal", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new("R", schema);
+        // Three replicas with a common core at chr1:50-80.
+        for (name, l, r, sig) in
+            [("r1", 0u64, 80u64, 1.0), ("r2", 50u64, 100u64, 2.0), ("r3", 40u64, 90u64, 3.0)]
+        {
+            ds.add_sample(
+                Sample::new(name, "R").with_regions(vec![
+                    GRegion::new("chr1", l, r, Strand::Unstranded).with_values(vec![sig.into()]),
+                ]),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn run(variant: CoverVariant, min: AccBound, max: AccBound, aggs: Vec<(String, Aggregate)>) -> Dataset {
+        let ds = replicas();
+        let op = Operator::Cover {
+            variant,
+            min_acc: min,
+            max_acc: max,
+            groupby: vec![],
+            aggs: aggs.clone(),
+        };
+        let schema = infer_schema(&op, &[&ds.schema]).unwrap();
+        let ctx = ExecContext::with_workers(2);
+        cover(&ctx, variant, min, max, &[], &aggs, &ds, &schema).unwrap()
+    }
+
+    #[test]
+    fn cover_two_of_three() {
+        let out = run(CoverVariant::Cover, AccBound::Value(2), AccBound::Any, vec![]);
+        assert_eq!(out.sample_count(), 1);
+        let s = &out.samples[0];
+        // acc>=2 where at least two replicas stack: [40,90).
+        assert_eq!(s.region_count(), 1);
+        assert_eq!((s.regions[0].left, s.regions[0].right), (40, 90));
+        assert_eq!(s.regions[0].values[0], Value::Int(3), "accindex is max accumulation");
+    }
+
+    #[test]
+    fn cover_all_requires_every_replica() {
+        let out = run(CoverVariant::Cover, AccBound::All, AccBound::All, vec![]);
+        let s = &out.samples[0];
+        assert_eq!((s.regions[0].left, s.regions[0].right), (50, 80));
+    }
+
+    #[test]
+    fn histogram_emits_constant_acc_segments() {
+        let out = run(CoverVariant::Histogram, AccBound::Any, AccBound::Any, vec![]);
+        let s = &out.samples[0];
+        // Boundaries at 0,40,50,80,90,100 → acc 1,2,3,2,1.
+        let accs: Vec<i64> = s.regions.iter().map(|r| r.values[0].as_i64().unwrap()).collect();
+        assert_eq!(accs, vec![1, 2, 3, 2, 1]);
+        assert_eq!(s.regions[2].left, 50);
+        assert_eq!(s.regions[2].right, 80);
+    }
+
+    #[test]
+    fn summit_is_the_peak_segment() {
+        let out = run(CoverVariant::Summit, AccBound::Any, AccBound::Any, vec![]);
+        let s = &out.samples[0];
+        assert_eq!(s.region_count(), 1);
+        assert_eq!((s.regions[0].left, s.regions[0].right), (50, 80));
+        assert_eq!(s.regions[0].values[0], Value::Int(3));
+    }
+
+    #[test]
+    fn flat_extends_to_contributing_hull() {
+        let out = run(CoverVariant::Flat, AccBound::Value(3), AccBound::Any, vec![]);
+        let s = &out.samples[0];
+        // Core [50,80) with acc 3; contributing regions span [0,100).
+        assert_eq!((s.regions[0].left, s.regions[0].right), (0, 100));
+    }
+
+    #[test]
+    fn aggregates_over_contributing_regions() {
+        let out = run(
+            CoverVariant::Cover,
+            AccBound::Value(3),
+            AccBound::Any,
+            vec![
+                ("n".into(), Aggregate::count()),
+                ("max_sig".into(), Aggregate::over(AggFunc::Max, "signal")),
+            ],
+        );
+        let r = &out.samples[0].regions[0];
+        assert_eq!(r.values, vec![Value::Int(3), Value::Int(3), Value::Float(3.0)]);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn groupby_produces_one_sample_per_group() {
+        let mut ds = replicas();
+        ds.samples[0].metadata.insert("cell", "A");
+        ds.samples[1].metadata.insert("cell", "A");
+        ds.samples[2].metadata.insert("cell", "B");
+        let op = Operator::Cover {
+            variant: CoverVariant::Cover,
+            min_acc: AccBound::Any,
+            max_acc: AccBound::Any,
+            groupby: vec!["cell".into()],
+            aggs: vec![],
+        };
+        let schema = infer_schema(&op, &[&ds.schema]).unwrap();
+        let ctx = ExecContext::with_workers(2);
+        let out = cover(
+            &ctx,
+            CoverVariant::Cover,
+            AccBound::Any,
+            AccBound::Any,
+            &["cell".to_string()],
+            &[],
+            &ds,
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(out.sample_count(), 2);
+        assert!(out.samples.iter().any(|s| s.metadata.has("cell", "A")));
+        assert!(out.samples.iter().any(|s| s.metadata.has("cell", "B")));
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_cover() {
+        let ds = Dataset::new("E", Schema::empty());
+        let op = Operator::Cover {
+            variant: CoverVariant::Cover,
+            min_acc: AccBound::Any,
+            max_acc: AccBound::Any,
+            groupby: vec![],
+            aggs: vec![],
+        };
+        let schema = infer_schema(&op, &[&ds.schema]).unwrap();
+        let ctx = ExecContext::with_workers(1);
+        let out = cover(
+            &ctx,
+            CoverVariant::Cover,
+            AccBound::Any,
+            AccBound::Any,
+            &[],
+            &[],
+            &ds,
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(out.sample_count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! MERGE: collapse samples (per metadata group) into single samples.
+//!
+//! `MERGE()` produces one sample holding every region of the dataset;
+//! `MERGE(groupby: cell)` produces one per distinct `cell` value.
+//! Result metadata is the union of the merged samples' metadata (GMQL
+//! binary-metadata rule applied n-ways).
+
+use crate::error::GmqlError;
+use crate::ops::group_key;
+use nggc_gdm::{Dataset, Metadata, Provenance, Sample};
+use nggc_engine::ExecContext;
+
+/// Execute MERGE.
+pub fn merge(
+    ctx: &ExecContext,
+    groupby: &[String],
+    input: &Dataset,
+) -> Result<Dataset, GmqlError> {
+    let groups = partition_by_meta(input, groupby);
+    let detail = if groupby.is_empty() {
+        String::new()
+    } else {
+        format!("groupby: {}", groupby.join(","))
+    };
+
+    let samples = ctx.pool().parallel_map(groups, |(key, members)| {
+        let provenance = Provenance::derived(
+            "MERGE",
+            detail.clone(),
+            members.iter().map(|s| s.provenance.clone()).collect(),
+        );
+        let name = if key.is_empty() {
+            "merged".to_owned()
+        } else {
+            format!("merged_{}", key.join("_"))
+        };
+        let mut out = Sample::derived(name, provenance);
+        let mut metadata = Metadata::new();
+        let mut regions: Vec<nggc_gdm::GRegion> = Vec::new();
+        for s in &members {
+            metadata.merge_from(&s.metadata, "");
+            regions.extend(s.regions.iter().cloned());
+        }
+        for (attr, val) in groupby.iter().zip(&key) {
+            if !val.is_empty() {
+                metadata.insert(attr, val.clone());
+            }
+        }
+        out.metadata = metadata;
+        nggc_engine::parallel_sort_by(ctx.pool(), &mut regions, |a, b| a.cmp_coords(b));
+        out.regions = regions;
+        out
+    });
+
+    let mut out = Dataset::new(input.name.clone(), input.schema.clone());
+    for s in samples {
+        out.add_sample_unchecked(s);
+    }
+    Ok(out)
+}
+
+/// Partition samples into `(group key, members)` lists, deterministic in
+/// key order.
+pub(crate) fn partition_by_meta<'a>(
+    input: &'a Dataset,
+    groupby: &[String],
+) -> Vec<(Vec<String>, Vec<&'a Sample>)> {
+    let mut groups: Vec<(Vec<String>, Vec<&Sample>)> = Vec::new();
+    for s in &input.samples {
+        let key = group_key(&s.metadata, groupby);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(s),
+            None => groups.push((key, vec![s])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{GRegion, Schema, Strand};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("D", Schema::empty());
+        for (name, cell, chrom, l) in [
+            ("s1", "HeLa", "chr2", 10),
+            ("s2", "K562", "chr1", 5),
+            ("s3", "HeLa", "chr1", 0),
+        ] {
+            ds.add_sample(
+                Sample::new(name, "D")
+                    .with_regions(vec![GRegion::new(chrom, l, l + 10, Strand::Unstranded)])
+                    .with_metadata(Metadata::from_pairs([("cell", cell), ("src", name)])),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn merge_all_into_one() {
+        let ctx = ExecContext::with_workers(2);
+        let out = merge(&ctx, &[], &dataset()).unwrap();
+        assert_eq!(out.sample_count(), 1);
+        let s = &out.samples[0];
+        assert_eq!(s.region_count(), 3);
+        assert!(s.is_sorted(), "merged regions re-sorted into genome order");
+        // Union of metadata.
+        assert!(s.metadata.has("src", "s1"));
+        assert!(s.metadata.has("src", "s3"));
+    }
+
+    #[test]
+    fn merge_groupby_cell() {
+        let ctx = ExecContext::with_workers(2);
+        let out = merge(&ctx, &["cell".into()], &dataset()).unwrap();
+        assert_eq!(out.sample_count(), 2);
+        let hela = out.samples.iter().find(|s| s.metadata.has("cell", "HeLa")).unwrap();
+        assert_eq!(hela.region_count(), 2);
+        assert_eq!(hela.regions[0].chrom.as_str(), "chr1", "sorted");
+    }
+
+    #[test]
+    fn provenance_lists_all_members() {
+        let ctx = ExecContext::with_workers(1);
+        let out = merge(&ctx, &[], &dataset()).unwrap();
+        let sources = out.samples[0].provenance.sources();
+        assert_eq!(sources.len(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Physical operator implementations.
+//!
+//! Every operator consumes and produces whole [`Dataset`]s (GMQL is a
+//! closed algebra, paper §2) and follows the common rules:
+//!
+//! * **implicit sample iteration** — unary operators map over samples;
+//!   MAP/JOIN iterate over (reference, experiment) sample pairs;
+//! * **metadata propagation** — result samples carry their input samples'
+//!   metadata (prefixed per side for binary operators);
+//! * **provenance** — every result sample records the operator and its
+//!   input lineages;
+//! * **parallelism** — sample(-pair) tasks run on the engine pool, and
+//!   genometric work shards per chromosome.
+
+pub mod cover;
+pub mod difference;
+pub mod extend;
+pub mod group;
+pub mod join;
+pub mod map;
+pub mod merge;
+pub mod order;
+pub mod project;
+pub mod select;
+pub mod union;
+
+use nggc_gdm::Metadata;
+
+/// The grouping key of a sample under `groupby` metadata attributes: the
+/// sorted distinct values of each attribute, joined. Samples missing an
+/// attribute contribute the empty value (they group together).
+pub(crate) fn group_key(meta: &Metadata, attrs: &[String]) -> Vec<String> {
+    attrs
+        .iter()
+        .map(|a| {
+            let mut vs: Vec<&str> = meta.get(a).iter().map(String::as_str).collect();
+            vs.sort_unstable();
+            vs.join("|")
+        })
+        .collect()
+}
+
+/// GMQL `joinby` semantics: two samples pair when, for every listed
+/// attribute, they share at least one common value. An empty attribute
+/// list pairs everything.
+pub(crate) fn joinby_matches(a: &Metadata, b: &Metadata, attrs: &[String]) -> bool {
+    attrs.iter().all(|attr| {
+        let av = a.get(attr);
+        let bv = b.get(attr);
+        av.iter().any(|x| bv.iter().any(|y| x == y))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_key_sorted_multivalue() {
+        let m = Metadata::from_pairs([("antibody", "B"), ("antibody", "A"), ("cell", "HeLa")]);
+        assert_eq!(
+            group_key(&m, &["antibody".into(), "cell".into()]),
+            vec!["A|B".to_string(), "HeLa".into()]
+        );
+        assert_eq!(group_key(&m, &["missing".into()]), vec![String::new()]);
+    }
+
+    #[test]
+    fn joinby_requires_common_value_per_attribute() {
+        let a = Metadata::from_pairs([("cell", "HeLa"), ("cell", "K562"), ("t", "x")]);
+        let b = Metadata::from_pairs([("cell", "K562"), ("t", "y")]);
+        assert!(joinby_matches(&a, &b, &["cell".into()]));
+        assert!(!joinby_matches(&a, &b, &["cell".into(), "t".into()]));
+        assert!(joinby_matches(&a, &b, &[]), "empty joinby pairs everything");
+        assert!(!joinby_matches(&a, &b, &["absent".into()]), "missing attribute never matches");
+    }
+}

@@ -1,0 +1,190 @@
+//! ORDER: sort samples by metadata and/or regions by attributes, with
+//! top-k truncation.
+//!
+//! Sample ordering assigns an `order` metadata attribute with each
+//! sample's 1-based rank. Region ordering selects the top-k regions by
+//! the key, then restores genome order (the GDM dataset invariant keeps
+//! regions genome-sorted; the *selection* is what ORDER contributes).
+
+use crate::ast::SortDir;
+use crate::error::GmqlError;
+use nggc_gdm::{Dataset, Provenance, Sample, Value};
+use nggc_engine::ExecContext;
+use std::cmp::Ordering;
+
+/// Execute ORDER.
+#[allow(clippy::too_many_arguments)]
+pub fn order(
+    ctx: &ExecContext,
+    meta_keys: &[(String, SortDir)],
+    top: Option<usize>,
+    region_keys: &[(String, SortDir)],
+    region_top: Option<usize>,
+    input: &Dataset,
+) -> Result<Dataset, GmqlError> {
+    // Validate region keys up front.
+    let resolved_region_keys: Vec<(usize, SortDir)> = region_keys
+        .iter()
+        .map(|(name, dir)| {
+            input
+                .schema
+                .position(name)
+                .map(|p| (p, *dir))
+                .ok_or_else(|| GmqlError::semantic(format!("unknown region attribute {name:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let detail = format!(
+        "meta: [{}] top: {:?}; region: [{}] top: {:?}",
+        meta_keys.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(","),
+        top,
+        region_keys.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(","),
+        region_top
+    );
+
+    // Region-level transformation in parallel.
+    let mut samples: Vec<Sample> = ctx.map_samples(&input.samples, |s| {
+        let mut out = Sample::derived(
+            s.name.clone(),
+            Provenance::derived("ORDER", detail.clone(), vec![s.provenance.clone()]),
+        );
+        out.metadata = s.metadata.clone();
+        let mut regions = s.regions.clone();
+        if !resolved_region_keys.is_empty() {
+            regions.sort_by(|a, b| {
+                for (pos, dir) in &resolved_region_keys {
+                    let ord = a.values[*pos].total_cmp(&b.values[*pos]);
+                    let ord = if *dir == SortDir::Desc { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.cmp_coords(b)
+            });
+            if let Some(k) = region_top {
+                regions.truncate(k);
+            }
+            regions.sort_by(|a, b| a.cmp_coords(b));
+        } else if let Some(k) = region_top {
+            regions.truncate(k);
+        }
+        out.regions = regions;
+        out
+    });
+
+    // Sample-level ordering (serial; sample counts are small).
+    if !meta_keys.is_empty() {
+        samples.sort_by(|a, b| {
+            for (attr, dir) in meta_keys {
+                let va = meta_sort_value(a, attr);
+                let vb = meta_sort_value(b, attr);
+                let ord = va.total_cmp(&vb);
+                let ord = if *dir == SortDir::Desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if let Some(k) = top {
+        samples.truncate(k);
+    }
+    for (rank, s) in samples.iter_mut().enumerate() {
+        s.metadata.insert("order", (rank + 1).to_string());
+    }
+
+    let mut out = Dataset::new(input.name.clone(), input.schema.clone());
+    for s in samples {
+        out.add_sample_unchecked(s);
+    }
+    Ok(out)
+}
+
+/// Numeric-aware sort key of a sample's first value for an attribute;
+/// missing attributes sort last.
+fn meta_sort_value(s: &Sample, attr: &str) -> Value {
+    match s.metadata.first(attr) {
+        Some(v) => match v.parse::<f64>() {
+            Ok(n) => Value::Float(n),
+            Err(_) => Value::Str(v.to_owned()),
+        },
+        None => Value::Str("\u{10FFFF}".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Attribute, GRegion, Metadata, Schema, Strand, ValueType};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new("D", schema);
+        for (name, age, scores) in
+            [("a", "30", vec![1.0, 9.0]), ("b", "20", vec![5.0]), ("c", "25", vec![3.0, 7.0, 2.0])]
+        {
+            let regions = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &sc)| {
+                    GRegion::new("chr1", i as u64 * 100, i as u64 * 100 + 10, Strand::Pos)
+                        .with_values(vec![Value::Float(sc)])
+                })
+                .collect();
+            ds.add_sample(
+                Sample::new(name, "D")
+                    .with_regions(regions)
+                    .with_metadata(Metadata::from_pairs([("age", age)])),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn samples_sorted_numerically_with_rank() {
+        let ctx = ExecContext::with_workers(2);
+        let out =
+            order(&ctx, &[("age".into(), SortDir::Asc)], None, &[], None, &dataset()).unwrap();
+        let names: Vec<&str> = out.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "c", "a"], "20 < 25 < 30 numerically");
+        assert_eq!(out.samples[0].metadata.first("order"), Some("1"));
+        assert_eq!(out.samples[2].metadata.first("order"), Some("3"));
+    }
+
+    #[test]
+    fn top_k_truncates_samples() {
+        let ctx = ExecContext::with_workers(1);
+        let out = order(&ctx, &[("age".into(), SortDir::Desc)], Some(1), &[], None, &dataset())
+            .unwrap();
+        assert_eq!(out.sample_count(), 1);
+        assert_eq!(out.samples[0].name, "a");
+    }
+
+    #[test]
+    fn region_top_k_by_score_keeps_genome_order() {
+        let ctx = ExecContext::with_workers(2);
+        let out = order(
+            &ctx,
+            &[],
+            None,
+            &[("score".into(), SortDir::Desc)],
+            Some(2),
+            &dataset(),
+        )
+        .unwrap();
+        let c = out.sample_by_name("c").unwrap();
+        assert_eq!(c.region_count(), 2, "top 2 of 3");
+        // Kept the score-7 and score-3 regions, but in genome order.
+        assert!(c.is_sorted());
+        let scores: Vec<f64> =
+            c.regions.iter().map(|r| r.values[0].as_f64().unwrap()).collect();
+        assert_eq!(scores, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn unknown_region_key_rejected() {
+        let ctx = ExecContext::with_workers(1);
+        assert!(order(&ctx, &[], None, &[("zzz".into(), SortDir::Asc)], None, &dataset()).is_err());
+    }
+}

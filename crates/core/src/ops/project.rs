@@ -1,0 +1,156 @@
+//! PROJECT: keep and compute region attributes.
+//!
+//! Computed attributes evaluate against the *input* schema, so an
+//! expression may reference attributes being dropped (e.g. keep only a
+//! normalised score while dropping the raw one).
+
+use crate::error::GmqlError;
+use crate::predicates::RegionExpr;
+use nggc_gdm::{Dataset, Provenance, Sample, Schema};
+use nggc_engine::ExecContext;
+
+/// Execute PROJECT. `out_schema` is the inferred output schema;
+/// `meta_attrs`, when given, lists the metadata attributes to keep.
+pub fn project(
+    ctx: &ExecContext,
+    attrs: Option<&[String]>,
+    new_attrs: &[(String, RegionExpr)],
+    meta_attrs: Option<&[String]>,
+    input: &Dataset,
+    out_schema: &Schema,
+) -> Result<Dataset, GmqlError> {
+    // Positions of kept attributes in the input schema.
+    let keep: Vec<usize> = match attrs {
+        Some(names) => {
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            input.schema.project(&refs)?.1
+        }
+        None => (0..input.schema.len()).collect(),
+    };
+    let in_schema = &input.schema;
+    let detail = format!(
+        "{}{}",
+        attrs.map(|a| a.join(",")).unwrap_or_else(|| "*".to_owned()),
+        if new_attrs.is_empty() {
+            String::new()
+        } else {
+            format!("; +{}", new_attrs.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(","))
+        }
+    );
+
+    let samples = ctx.map_samples(&input.samples, |s| {
+        let mut out = Sample::derived(
+            s.name.clone(),
+            Provenance::derived("PROJECT", detail.clone(), vec![s.provenance.clone()]),
+        );
+        out.metadata = match meta_attrs {
+            Some(keep) => {
+                let mut m = nggc_gdm::Metadata::new();
+                for (k, v) in s.metadata.iter() {
+                    if keep.iter().any(|a| a.eq_ignore_ascii_case(k)) {
+                        m.insert(k, v);
+                    }
+                }
+                m
+            }
+            None => s.metadata.clone(),
+        };
+        out.regions = s
+            .regions
+            .iter()
+            .map(|r| {
+                let mut values = Vec::with_capacity(keep.len() + new_attrs.len());
+                for &i in &keep {
+                    values.push(r.values[i].clone());
+                }
+                for (_, expr) in new_attrs {
+                    values.push(expr.eval(r, in_schema));
+                }
+                let mut nr = r.clone();
+                nr.values = values;
+                nr
+            })
+            .collect();
+        out
+    });
+
+    let mut out = Dataset::new(input.name.clone(), out_schema.clone());
+    for s in samples {
+        out.add_sample_unchecked(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Operator;
+    use crate::plan::infer_schema;
+    use crate::predicates::BinOp;
+    use nggc_gdm::{Attribute, GRegion, Strand, Value, ValueType};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![
+            Attribute::new("score", ValueType::Float),
+            Attribute::new("name", ValueType::Str),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new("D", schema);
+        ds.add_sample(Sample::new("s", "D").with_regions(vec![
+            GRegion::new("chr1", 10, 20, Strand::Pos)
+                .with_values(vec![Value::Float(2.0), Value::Str("a".into())]),
+        ]))
+        .unwrap();
+        ds
+    }
+
+    fn run(attrs: Option<Vec<String>>, new_attrs: Vec<(String, RegionExpr)>) -> Dataset {
+        let ds = dataset();
+        let op = Operator::Project {
+            attrs: attrs.clone(),
+            new_attrs: new_attrs.clone(),
+            meta_attrs: None,
+        };
+        let out_schema = infer_schema(&op, &[&ds.schema]).unwrap();
+        let ctx = ExecContext::with_workers(2);
+        project(&ctx, attrs.as_deref(), &new_attrs, None, &ds, &out_schema).unwrap()
+    }
+
+    #[test]
+    fn keeps_selected_attributes() {
+        let out = run(Some(vec!["name".into()]), vec![]);
+        assert_eq!(out.schema.len(), 1);
+        assert_eq!(out.samples[0].regions[0].values, vec![Value::Str("a".into())]);
+    }
+
+    #[test]
+    fn computes_new_attribute_from_dropped_one() {
+        let doubled = RegionExpr::Binary(
+            Box::new(RegionExpr::attr("score")),
+            BinOp::Mul,
+            Box::new(RegionExpr::num(2.0)),
+        );
+        let out = run(Some(vec!["name".into()]), vec![("score2".into(), doubled)]);
+        assert_eq!(out.schema.len(), 2);
+        assert_eq!(
+            out.samples[0].regions[0].values,
+            vec![Value::Str("a".into()), Value::Float(4.0)]
+        );
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn coordinate_derived_attribute() {
+        let len = RegionExpr::attr("len");
+        let out = run(None, vec![("length".into(), len)]);
+        assert_eq!(out.samples[0].regions[0].values[2], Value::Int(10));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let ds = dataset();
+        let ctx = ExecContext::with_workers(1);
+        let err = project(&ctx, Some(&["zzz".to_string()]), &[], None, &ds, &ds.schema);
+        assert!(err.is_err());
+    }
+}

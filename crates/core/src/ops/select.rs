@@ -1,0 +1,205 @@
+//! SELECT: filter samples by metadata, regions by a region predicate.
+//!
+//! This is the workhorse of the paper's §2 example
+//! (`SELECT(annType == 'promoter') ANNOTATIONS`). The **metadata-first**
+//! strategy — decide sample membership from metadata before touching any
+//! region — is the optimization GMQL's logical optimizer relies on; it is
+//! toggleable here for the E10 ablation.
+
+use crate::ast::SemiJoin;
+use crate::error::GmqlError;
+use crate::exec::ExecOptions;
+use crate::ops::joinby_matches;
+use crate::predicates::{MetaPredicate, RegionExpr};
+use nggc_gdm::{Dataset, Provenance, Sample};
+use nggc_engine::ExecContext;
+
+/// Execute SELECT. `ext` is the external dataset of the metadata
+/// semijoin, when one is declared.
+pub fn select(
+    ctx: &ExecContext,
+    opts: &ExecOptions,
+    meta: &MetaPredicate,
+    region: Option<&RegionExpr>,
+    semijoin: Option<&SemiJoin>,
+    input: &Dataset,
+    ext: Option<&Dataset>,
+) -> Result<Dataset, GmqlError> {
+    let mut detail = match region {
+        Some(r) => format!("{meta}; region: {r}"),
+        None => meta.to_string(),
+    };
+    if let Some(sj) = semijoin {
+        detail.push_str(&format!(
+            "; semijoin: {} {}IN {}",
+            sj.attrs.join(","),
+            if sj.negated { "NOT " } else { "" },
+            sj.external
+        ));
+    }
+    let schema = input.schema.clone();
+
+    // Combined sample-level admission: metadata predicate AND semijoin.
+    let admit = |s: &Sample| -> bool {
+        if !meta.eval(&s.metadata) {
+            return false;
+        }
+        match (semijoin, ext) {
+            (Some(sj), Some(ext_ds)) => {
+                let matched = ext_ds
+                    .samples
+                    .iter()
+                    .any(|e| joinby_matches(&s.metadata, &e.metadata, &sj.attrs));
+                matched != sj.negated
+            }
+            (Some(sj), None) => {
+                // Plan construction always supplies the external input.
+                unreachable!("semijoin {sj:?} without external dataset")
+            }
+            (None, _) => true,
+        }
+    };
+
+    let filter_regions = |s: &Sample| -> Sample {
+        let mut out = Sample::derived(
+            s.name.clone(),
+            Provenance::derived("SELECT", detail.clone(), vec![s.provenance.clone()]),
+        );
+        out.metadata = s.metadata.clone();
+        out.regions = match region {
+            Some(expr) => {
+                s.regions.iter().filter(|r| expr.eval_bool(r, &schema)).cloned().collect()
+            }
+            None => s.regions.clone(),
+        };
+        out
+    };
+
+    let samples: Vec<Sample> = if opts.meta_first {
+        // Evaluate the cheap metadata predicate (and semijoin) first and
+        // only scan the regions of surviving samples.
+        let survivors: Vec<&Sample> = input.samples.iter().filter(|s| admit(s)).collect();
+        ctx.pool().parallel_map(survivors, filter_regions)
+    } else {
+        // Ablation baseline: scan every sample's regions, then filter.
+        let all = ctx.map_samples(&input.samples, |s| {
+            let keep = admit(s);
+            (keep, filter_regions(s))
+        });
+        all.into_iter().filter_map(|(keep, s)| keep.then_some(s)).collect()
+    };
+
+    let mut out = Dataset::new(input.name.clone(), input.schema.clone());
+    for s in samples {
+        out.add_sample_unchecked(s);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicates::CmpOp;
+    use nggc_gdm::{Attribute, GRegion, Metadata, Schema, Strand, Value, ValueType};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p_value", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new("D", schema);
+        ds.add_sample(
+            Sample::new("cancer1", "D")
+                .with_regions(vec![
+                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![Value::Float(0.001)]),
+                    GRegion::new("chr1", 20, 30, Strand::Pos).with_values(vec![Value::Float(0.5)]),
+                ])
+                .with_metadata(Metadata::from_pairs([("karyotype", "cancer")])),
+        )
+        .unwrap();
+        ds.add_sample(
+            Sample::new("normal1", "D")
+                .with_regions(vec![
+                    GRegion::new("chr2", 5, 9, Strand::Neg).with_values(vec![Value::Float(0.002)]),
+                ])
+                .with_metadata(Metadata::from_pairs([("karyotype", "normal")])),
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn metadata_filtering_drops_samples() {
+        let ctx = ExecContext::with_workers(2);
+        let out = select(
+            &ctx,
+            &ExecOptions::default(),
+            &MetaPredicate::eq("karyotype", "cancer"),
+            None,
+            None,
+            &dataset(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.sample_count(), 1);
+        assert_eq!(out.samples[0].name, "cancer1");
+        assert_eq!(out.samples[0].region_count(), 2, "regions untouched");
+    }
+
+    #[test]
+    fn region_predicate_filters_regions() {
+        let ctx = ExecContext::with_workers(2);
+        let pred = RegionExpr::attr("p_value").cmp(CmpOp::Lt, RegionExpr::num(0.01));
+        let out =
+            select(&ctx, &ExecOptions::default(), &MetaPredicate::True, Some(&pred), None, &dataset(), None)
+                .unwrap();
+        assert_eq!(out.sample_count(), 2, "both samples kept");
+        assert_eq!(out.samples[0].region_count(), 1, "high-p region dropped");
+        assert_eq!(out.samples[1].region_count(), 1);
+    }
+
+    #[test]
+    fn meta_first_and_region_first_agree() {
+        let ctx = ExecContext::with_workers(2);
+        let pred = RegionExpr::attr("left").cmp(CmpOp::Ge, RegionExpr::Lit(Value::Int(5)));
+        let meta = MetaPredicate::eq("karyotype", "normal");
+        let a = select(
+            &ctx,
+            &ExecOptions { meta_first: true, ..Default::default() },
+            &meta,
+            Some(&pred),
+            None,
+            &dataset(),
+            None,
+        )
+        .unwrap();
+        let b = select(
+            &ctx,
+            &ExecOptions { meta_first: false, ..Default::default() },
+            &meta,
+            Some(&pred),
+            None,
+            &dataset(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(a.sample_count(), b.sample_count());
+        assert_eq!(a.samples[0].regions, b.samples[0].regions);
+    }
+
+    #[test]
+    fn provenance_records_predicate() {
+        let ctx = ExecContext::with_workers(1);
+        let out = select(
+            &ctx,
+            &ExecOptions::default(),
+            &MetaPredicate::eq("karyotype", "cancer"),
+            None,
+            None,
+            &dataset(),
+            None,
+        )
+        .unwrap();
+        let p = out.samples[0].provenance.to_string();
+        assert!(p.contains("SELECT"));
+        assert!(p.contains("karyotype"));
+        assert_eq!(out.samples[0].provenance.sources(), vec![("D".into(), "cancer1".into())]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Logical plan optimizer.
+//!
+//! The paper's architecture (§4.2) puts a logical optimizer between the
+//! compiler and the backend encodings. Implemented rewrites:
+//!
+//! 1. **SELECT fusion** — consecutive SELECTs collapse into one (metadata
+//!    predicates conjoin, region predicates conjoin), saving a full
+//!    dataset materialisation per fused pair.
+//! 2. **Common subexpression elimination** — structurally identical nodes
+//!    (same operator, same inputs) are evaluated once; diamond-shaped
+//!    query texts (the same SELECT feeding MAP and JOIN) become DAGs.
+//!
+//! A third optimization, **metadata-first evaluation** inside SELECT, is
+//! an execution-strategy flag ([`crate::exec::ExecOptions::meta_first`])
+//! rather than a plan rewrite; E10 ablates all three.
+
+use crate::ast::Operator;
+use crate::plan::{LogicalNode, LogicalPlan, NodeId, PlanOp};
+use crate::predicates::{BinOp, MetaPredicate, RegionExpr};
+use std::collections::HashMap;
+
+/// What the optimizer did, for EXPLAIN output and the E10 ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerReport {
+    /// Number of SELECT pairs fused.
+    pub selects_fused: usize,
+    /// Number of duplicate nodes eliminated.
+    pub nodes_deduplicated: usize,
+}
+
+/// Optimize a plan, returning the rewritten plan and a report.
+pub fn optimize(plan: &LogicalPlan) -> (LogicalPlan, OptimizerReport) {
+    let mut report = OptimizerReport::default();
+    let fused = fuse_selects(plan, &mut report);
+    let deduped = eliminate_common_subexpressions(&fused, &mut report);
+    (deduped, report)
+}
+
+/// Fuse `SELECT(p2) (SELECT(p1) X)` into `SELECT(p1 AND p2) X`.
+fn fuse_selects(plan: &LogicalPlan, report: &mut OptimizerReport) -> LogicalPlan {
+    let mut nodes: Vec<LogicalNode> = plan.nodes.clone();
+    // Iterate to a fixpoint: a chain of three SELECTs fuses twice.
+    loop {
+        let mut changed = false;
+        for i in 0..nodes.len() {
+            let PlanOp::Apply(Operator::Select {
+                meta: outer_meta,
+                region: outer_region,
+                semijoin: outer_sj,
+            }) = nodes[i].op.clone()
+            else {
+                continue;
+            };
+            let input = nodes[i].inputs[0];
+            let PlanOp::Apply(Operator::Select {
+                meta: inner_meta,
+                region: inner_region,
+                semijoin: inner_sj,
+            }) = nodes[input].op.clone()
+            else {
+                continue;
+            };
+            // Conservative: fuse only plain SELECT pairs; semijoins carry
+            // extra inputs whose rewiring is not worth the complexity.
+            if outer_sj.is_some() || inner_sj.is_some() {
+                continue;
+            }
+            let meta = match (inner_meta, outer_meta) {
+                (MetaPredicate::True, m) | (m, MetaPredicate::True) => m,
+                (a, b) => a.and(b),
+            };
+            let region = match (inner_region, outer_region) {
+                (None, r) | (r, None) => r,
+                (Some(a), Some(b)) => {
+                    Some(RegionExpr::Binary(Box::new(a), BinOp::And, Box::new(b)))
+                }
+            };
+            nodes[i].op = PlanOp::Apply(Operator::Select { meta, region, semijoin: None });
+            nodes[i].inputs = vec![nodes[input].inputs[0]];
+            report.selects_fused += 1;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out = plan.clone();
+    out.nodes = nodes;
+    prune_unreachable(&mut out);
+    out
+}
+
+/// Hash-cons nodes: identical `(op, inputs)` pairs collapse to one node.
+fn eliminate_common_subexpressions(
+    plan: &LogicalPlan,
+    report: &mut OptimizerReport,
+) -> LogicalPlan {
+    let mut out = LogicalPlan::default();
+    let mut remap: Vec<NodeId> = Vec::with_capacity(plan.nodes.len());
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    for node in &plan.nodes {
+        let inputs: Vec<NodeId> = node.inputs.iter().map(|&i| remap[i]).collect();
+        let key = format!("{:?}|{:?}", node.op, inputs);
+        if let Some(&existing) = seen.get(&key) {
+            remap.push(existing);
+            report.nodes_deduplicated += 1;
+        } else {
+            let id = out.nodes.len();
+            let mut n = node.clone();
+            n.inputs = inputs;
+            out.nodes.push(n);
+            seen.insert(key, id);
+            remap.push(id);
+        }
+    }
+    out.outputs = plan.outputs.iter().map(|(name, id)| (name.clone(), remap[*id])).collect();
+    out
+}
+
+/// Drop nodes not reachable from any output, preserving topological order.
+fn prune_unreachable(plan: &mut LogicalPlan) {
+    let mut live = vec![false; plan.nodes.len()];
+    let mut stack: Vec<NodeId> = plan.outputs.iter().map(|(_, id)| *id).collect();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id], true) {
+            continue;
+        }
+        stack.extend(plan.nodes[id].inputs.iter().copied());
+    }
+    let mut remap: Vec<Option<NodeId>> = vec![None; plan.nodes.len()];
+    let mut nodes = Vec::new();
+    for (i, node) in plan.nodes.iter().enumerate() {
+        if live[i] {
+            let mut n = node.clone();
+            n.inputs = n.inputs.iter().map(|&x| remap[x].expect("inputs precede")).collect();
+            remap[i] = Some(nodes.len());
+            nodes.push(n);
+        }
+    }
+    plan.outputs = plan
+        .outputs
+        .iter()
+        .map(|(name, id)| (name.clone(), remap[*id].expect("output is live")))
+        .collect();
+    plan.nodes = nodes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nggc_gdm::{Attribute, Schema, ValueType};
+
+    fn catalog(name: &str) -> Option<Schema> {
+        (name == "D").then(|| {
+            Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap()
+        })
+    }
+
+    fn compile(q: &str) -> LogicalPlan {
+        LogicalPlan::compile(&parse(q).unwrap(), &catalog).unwrap()
+    }
+
+    #[test]
+    fn select_chain_fuses() {
+        let plan = compile(
+            "A = SELECT(x == 1) D;
+             B = SELECT(y == 2) A;
+             C = SELECT(region: score > 1) B;
+             MATERIALIZE C;",
+        );
+        let (opt, report) = optimize(&plan);
+        assert_eq!(report.selects_fused, 2);
+        // Source + one fused SELECT remain.
+        assert_eq!(opt.nodes.len(), 2);
+        match &opt.nodes[1].op {
+            PlanOp::Apply(Operator::Select { meta, region, .. }) => {
+                assert!(meta.to_string().contains("AND"), "metadata predicates conjoined: {meta}");
+                assert!(region.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cse_merges_identical_selects() {
+        let plan = compile(
+            "A = SELECT(x == 1) D;
+             B = SELECT(x == 1) D;
+             M = MAP(n AS COUNT) A B;
+             MATERIALIZE M;",
+        );
+        let (opt, report) = optimize(&plan);
+        assert_eq!(report.nodes_deduplicated, 1);
+        // Source, one SELECT, MAP.
+        assert_eq!(opt.nodes.len(), 3);
+        let map_node = opt.nodes.last().unwrap();
+        assert_eq!(map_node.inputs[0], map_node.inputs[1], "diamond over one node");
+    }
+
+    #[test]
+    fn optimization_preserves_outputs() {
+        let plan = compile("A = SELECT(x == 1) D; MATERIALIZE A INTO out;");
+        let (opt, _) = optimize(&plan);
+        assert_eq!(opt.outputs.len(), 1);
+        assert_eq!(opt.outputs[0].0, "out");
+        assert!(opt.outputs[0].1 < opt.nodes.len());
+    }
+
+    #[test]
+    fn no_op_on_plain_plan() {
+        let plan = compile("M = MAP(n AS COUNT) D D;");
+        let (opt, report) = optimize(&plan);
+        assert_eq!(report, OptimizerReport::default());
+        assert_eq!(opt.nodes.len(), plan.nodes.len());
+    }
+}

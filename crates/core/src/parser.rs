@@ -1,0 +1,986 @@
+//! Recursive-descent parser for GMQL.
+//!
+//! The concrete syntax follows the paper's examples: statements assign the
+//! result of an operator call to a variable, parameters live in
+//! parentheses with `;`-separated labelled sections, and operands follow
+//! the closing parenthesis:
+//!
+//! ```text
+//! PROMS  = SELECT(annType == 'promoter') ANNOTATIONS;
+//! NEAR   = JOIN(DLE(10000); output: INT; joinby: cell) PROMS PEAKS;
+//! RES    = MAP(peak_count AS COUNT) PROMS PEAKS;
+//! BOTH   = COVER(2, ANY) PEAKS;
+//! MATERIALIZE RES INTO result;
+//! ```
+
+use crate::aggregates::{AggFunc, Aggregate};
+use crate::ast::*;
+use crate::error::GmqlError;
+use crate::lexer::{lex, Spanned, Tok};
+use crate::predicates::{BinOp, CmpOp, MetaPredicate, RegionExpr};
+use nggc_gdm::Value;
+
+/// Parse a full GMQL query into statements.
+pub fn parse(text: &str) -> Result<Vec<Statement>, GmqlError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+    }
+    if out.is_empty() {
+        return Err(GmqlError::semantic("empty query"));
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.column))
+            .unwrap_or((0, 0))
+    }
+
+    fn err(&self, msg: impl Into<String>) -> GmqlError {
+        let (l, c) = self.here();
+        GmqlError::syntax(l, c, msg)
+    }
+
+    fn next(&mut self) -> Result<Tok, GmqlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|s| s.tok.clone())
+            .ok_or_else(|| self.err("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), GmqlError> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected {t}, found {got}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, GmqlError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {other}")))
+            }
+        }
+    }
+
+    /// Consume an identifier equal (case-insensitively) to `kw`.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, GmqlError> {
+        if self.eat_kw("MATERIALIZE") {
+            let var = self.ident()?;
+            let into = if self.eat_kw("INTO") { Some(self.ident()?) } else { None };
+            self.expect(&Tok::Semi)?;
+            return Ok(Statement::Materialize { var, into });
+        }
+        let var = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let call = self.opcall()?;
+        self.expect(&Tok::Semi)?;
+        Ok(Statement::Assign { var, call })
+    }
+
+    fn opcall(&mut self) -> Result<OpCall, GmqlError> {
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let op = match name.to_ascii_uppercase().as_str() {
+            "SELECT" => self.params_select()?,
+            "PROJECT" => self.params_project()?,
+            "EXTEND" => self.params_extend()?,
+            "MERGE" => self.params_merge()?,
+            "GROUP" => self.params_group()?,
+            "ORDER" | "SORT" => self.params_order()?,
+            "UNION" => {
+                self.expect(&Tok::RParen)?;
+                Operator::Union
+            }
+            "DIFFERENCE" => self.params_difference()?,
+            "JOIN" => self.params_join()?,
+            "MAP" => self.params_map()?,
+            "COVER" => self.params_cover(CoverVariant::Cover)?,
+            "FLAT" => self.params_cover(CoverVariant::Flat)?,
+            "SUMMIT" => self.params_cover(CoverVariant::Summit)?,
+            "HISTOGRAM" => self.params_cover(CoverVariant::Histogram)?,
+            other => return Err(self.err(format!("unknown operator {other:?}"))),
+        };
+        let mut operands = Vec::new();
+        while let Some(Tok::Ident(_)) = self.peek() {
+            operands.push(self.ident()?);
+        }
+        if operands.len() != op.arity() {
+            return Err(self.err(format!(
+                "{} takes {} operand(s), found {}",
+                op.name(),
+                op.arity(),
+                operands.len()
+            )));
+        }
+        Ok(OpCall { op, operands })
+    }
+
+    // ---- per-operator parameter parsing ---------------------------------
+
+    fn params_select(&mut self) -> Result<Operator, GmqlError> {
+        let mut meta = MetaPredicate::True;
+        let mut region = None;
+        let mut semijoin = None;
+        if !self.try_rparen() {
+            loop {
+                if self.peek_kw("region") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    region = Some(self.region_expr()?);
+                } else if self.peek_kw("semijoin") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    semijoin = Some(self.semijoin_clause()?);
+                } else {
+                    meta = self.meta_predicate()?;
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Select { meta, region, semijoin })
+    }
+
+    /// `attr, ... [NOT] IN DS` — the metadata semijoin of SELECT.
+    fn semijoin_clause(&mut self) -> Result<SemiJoin, GmqlError> {
+        let mut attrs = vec![self.ident()?];
+        while self.eat(&Tok::Comma) {
+            attrs.push(self.ident()?);
+        }
+        let negated = self.eat_kw("NOT");
+        if !self.eat_kw("IN") {
+            return Err(self.err("expected IN after semijoin attributes"));
+        }
+        let external = self.ident()?;
+        Ok(SemiJoin { attrs, external, negated })
+    }
+
+    fn params_project(&mut self) -> Result<Operator, GmqlError> {
+        let mut attrs: Option<Vec<String>> = None;
+        let mut new_attrs = Vec::new();
+        let mut meta_attrs: Option<Vec<String>> = None;
+        if !self.try_rparen() {
+            loop {
+                if self.peek_kw("meta") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    meta_attrs = Some(self.ident_list()?);
+                } else {
+                    loop {
+                        let name = self.ident()?;
+                        if self.eat_kw("AS") {
+                            new_attrs.push((name, self.region_expr()?));
+                        } else {
+                            attrs.get_or_insert_with(Vec::new).push(name);
+                        }
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Project { attrs, new_attrs, meta_attrs })
+    }
+
+    fn params_extend(&mut self) -> Result<Operator, GmqlError> {
+        let assignments = self.agg_assignments()?;
+        self.expect(&Tok::RParen)?;
+        Ok(Operator::Extend { assignments })
+    }
+
+    fn params_merge(&mut self) -> Result<Operator, GmqlError> {
+        let mut groupby = Vec::new();
+        if !self.try_rparen() {
+            if self.eat_kw("groupby") {
+                self.expect(&Tok::Colon)?;
+            }
+            groupby = self.ident_list()?;
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Merge { groupby })
+    }
+
+    fn params_group(&mut self) -> Result<Operator, GmqlError> {
+        let mut by = Vec::new();
+        let mut region_aggs = Vec::new();
+        if !self.try_rparen() {
+            loop {
+                if self.eat_kw("aggregate") {
+                    self.expect(&Tok::Colon)?;
+                    region_aggs = self.agg_assignments()?;
+                } else {
+                    by = self.ident_list()?;
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Group { by, region_aggs })
+    }
+
+    fn params_order(&mut self) -> Result<Operator, GmqlError> {
+        let mut meta_keys = Vec::new();
+        let mut top = None;
+        let mut region_keys = Vec::new();
+        let mut region_top = None;
+        if !self.try_rparen() {
+            loop {
+                if self.peek_kw("top") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    top = Some(self.usize_lit()?);
+                } else if self.peek_kw("region_top") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    region_top = Some(self.usize_lit()?);
+                } else if self.peek_kw("region") && self.peek2() == Some(&Tok::Colon) {
+                    self.pos += 2;
+                    region_keys = self.sort_keys()?;
+                } else {
+                    meta_keys = self.sort_keys()?;
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Order { meta_keys, top, region_keys, region_top })
+    }
+
+    fn params_difference(&mut self) -> Result<Operator, GmqlError> {
+        let mut exact = false;
+        let mut joinby = Vec::new();
+        if !self.try_rparen() {
+            loop {
+                if self.eat_kw("exact") {
+                    self.expect(&Tok::Colon)?;
+                    let v = self.ident()?;
+                    exact = v.eq_ignore_ascii_case("true");
+                } else if self.eat_kw("joinby") {
+                    self.expect(&Tok::Colon)?;
+                    joinby = self.ident_list()?;
+                } else {
+                    return Err(self.err("DIFFERENCE accepts 'exact:' and 'joinby:' sections"));
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Difference { exact, joinby })
+    }
+
+    fn params_join(&mut self) -> Result<Operator, GmqlError> {
+        let mut clauses = Vec::new();
+        let mut output = JoinOutput::Left;
+        let mut joinby = Vec::new();
+        if !self.try_rparen() {
+            loop {
+                if self.eat_kw("output") {
+                    self.expect(&Tok::Colon)?;
+                    let o = self.ident()?;
+                    output = match o.to_ascii_uppercase().as_str() {
+                        "LEFT" => JoinOutput::Left,
+                        "RIGHT" => JoinOutput::Right,
+                        "INT" | "INTERSECTION" => JoinOutput::Intersection,
+                        "CAT" | "CONTIG" => JoinOutput::Contig,
+                        other => return Err(self.err(format!("unknown join output {other:?}"))),
+                    };
+                } else if self.eat_kw("joinby") {
+                    self.expect(&Tok::Colon)?;
+                    joinby = self.ident_list()?;
+                } else {
+                    loop {
+                        clauses.push(self.genometric_clause()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Join { clauses, output, joinby })
+    }
+
+    fn genometric_clause(&mut self) -> Result<GenometricClause, GmqlError> {
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "DLE" => {
+                self.expect(&Tok::LParen)?;
+                let d = self.i64_lit()?;
+                self.expect(&Tok::RParen)?;
+                Ok(GenometricClause::DistLessEq(d))
+            }
+            "DGE" => {
+                self.expect(&Tok::LParen)?;
+                let d = self.i64_lit()?;
+                self.expect(&Tok::RParen)?;
+                Ok(GenometricClause::DistGreaterEq(d))
+            }
+            "MD" => {
+                self.expect(&Tok::LParen)?;
+                let k = self.usize_lit()?;
+                self.expect(&Tok::RParen)?;
+                Ok(GenometricClause::MinDist(k))
+            }
+            "UP" | "UPSTREAM" => Ok(GenometricClause::Upstream),
+            "DOWN" | "DOWNSTREAM" => Ok(GenometricClause::Downstream),
+            other => Err(self.err(format!("unknown genometric clause {other:?}"))),
+        }
+    }
+
+    fn params_map(&mut self) -> Result<Operator, GmqlError> {
+        let mut aggs = Vec::new();
+        let mut joinby = Vec::new();
+        if !self.try_rparen() {
+            loop {
+                if self.eat_kw("joinby") {
+                    self.expect(&Tok::Colon)?;
+                    joinby = self.ident_list()?;
+                } else {
+                    aggs = self.agg_assignments()?;
+                }
+                if !self.eat_semi_section() {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok(Operator::Map { aggs, joinby })
+    }
+
+    fn params_cover(&mut self, variant: CoverVariant) -> Result<Operator, GmqlError> {
+        let min_acc = self.acc_bound()?;
+        self.expect(&Tok::Comma)?;
+        let max_acc = self.acc_bound()?;
+        let mut groupby = Vec::new();
+        let mut aggs = Vec::new();
+        while self.eat_semi_section() {
+            if self.eat_kw("groupby") {
+                self.expect(&Tok::Colon)?;
+                groupby = self.ident_list()?;
+            } else if self.eat_kw("aggregate") {
+                self.expect(&Tok::Colon)?;
+                aggs = self.agg_assignments()?;
+            } else {
+                return Err(self.err("COVER accepts 'groupby:' and 'aggregate:' sections"));
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Operator::Cover { variant, min_acc, max_acc, groupby, aggs })
+    }
+
+    fn acc_bound(&mut self) -> Result<AccBound, GmqlError> {
+        if self.eat_kw("ANY") {
+            Ok(AccBound::Any)
+        } else if self.eat_kw("ALL") {
+            Ok(AccBound::All)
+        } else {
+            Ok(AccBound::Value(self.usize_lit()?))
+        }
+    }
+
+    // ---- shared pieces ---------------------------------------------------
+
+    /// `name AS AGG(attr)` comma list (used by EXTEND, MAP, GROUP, COVER).
+    fn agg_assignments(&mut self) -> Result<Vec<(String, Aggregate)>, GmqlError> {
+        let mut out = Vec::new();
+        if matches!(self.peek(), Some(Tok::RParen | Tok::Semi)) {
+            return Ok(out);
+        }
+        loop {
+            let name = self.ident()?;
+            if !self.eat_kw("AS") {
+                return Err(self.err(format!("expected AS after aggregate name {name:?}")));
+            }
+            let func_name = self.ident()?;
+            let func = AggFunc::parse(&func_name)
+                .ok_or_else(|| self.err(format!("unknown aggregate function {func_name:?}")))?;
+            let attr = if self.eat(&Tok::LParen) {
+                if self.eat(&Tok::RParen) {
+                    None
+                } else {
+                    let a = self.ident()?;
+                    self.expect(&Tok::RParen)?;
+                    Some(a)
+                }
+            } else {
+                None
+            };
+            out.push((name, Aggregate { func, attr }));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, GmqlError> {
+        let mut out = vec![self.ident()?];
+        while self.eat(&Tok::Comma) {
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    fn sort_keys(&mut self) -> Result<Vec<(String, SortDir)>, GmqlError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let dir = if self.eat_kw("DESC") {
+                SortDir::Desc
+            } else {
+                self.eat_kw("ASC");
+                SortDir::Asc
+            };
+            out.push((name, dir));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, GmqlError> {
+        match self.next()? {
+            Tok::Number(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected non-negative integer, found {other}")))
+            }
+        }
+    }
+
+    fn i64_lit(&mut self) -> Result<i64, GmqlError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.next()? {
+            Tok::Number(n) if n.fract() == 0.0 => Ok(if neg { -(n as i64) } else { n as i64 }),
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected integer, found {other}")))
+            }
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Section separator `;` inside parentheses (not statement-final).
+    fn eat_semi_section(&mut self) -> bool {
+        if self.peek() == Some(&Tok::Semi) && self.peek2() != Some(&Tok::RParen) {
+            // A `;` directly before `)` would be an empty section.
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn try_rparen(&mut self) -> bool {
+        self.eat(&Tok::RParen)
+    }
+
+    // ---- metadata predicates ---------------------------------------------
+
+    fn meta_predicate(&mut self) -> Result<MetaPredicate, GmqlError> {
+        self.meta_or()
+    }
+
+    fn meta_or(&mut self) -> Result<MetaPredicate, GmqlError> {
+        let mut left = self.meta_and()?;
+        while self.eat_kw("OR") {
+            let right = self.meta_and()?;
+            left = MetaPredicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn meta_and(&mut self) -> Result<MetaPredicate, GmqlError> {
+        let mut left = self.meta_unary()?;
+        while self.eat_kw("AND") {
+            let right = self.meta_unary()?;
+            left = MetaPredicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn meta_unary(&mut self) -> Result<MetaPredicate, GmqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(MetaPredicate::Not(Box::new(self.meta_unary()?)));
+        }
+        if self.eat(&Tok::LParen) {
+            let inner = self.meta_or()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(inner);
+        }
+        if self.eat_kw("EXISTS") {
+            self.expect(&Tok::LParen)?;
+            let attr = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(MetaPredicate::Exists(attr));
+        }
+        let attr = self.ident()?;
+        let op = match self.next()? {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => {
+                self.pos -= 1;
+                return Err(self.err(format!("expected comparison operator, found {other}")));
+            }
+        };
+        let value = match self.next()? {
+            Tok::Str(s) => s,
+            Tok::Number(n) => {
+                if n.fract() == 0.0 {
+                    format!("{}", n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Tok::Ident(s) => s,
+            other => {
+                self.pos -= 1;
+                return Err(self.err(format!("expected literal, found {other}")));
+            }
+        };
+        Ok(MetaPredicate::Cmp { attr, op, value })
+    }
+
+    // ---- region expressions -----------------------------------------------
+
+    fn region_expr(&mut self) -> Result<RegionExpr, GmqlError> {
+        self.region_or()
+    }
+
+    fn region_or(&mut self) -> Result<RegionExpr, GmqlError> {
+        let mut left = self.region_and()?;
+        while self.eat_kw("OR") {
+            let right = self.region_and()?;
+            left = RegionExpr::Binary(Box::new(left), BinOp::Or, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn region_and(&mut self) -> Result<RegionExpr, GmqlError> {
+        let mut left = self.region_cmp()?;
+        while self.eat_kw("AND") {
+            let right = self.region_cmp()?;
+            left = RegionExpr::Binary(Box::new(left), BinOp::And, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn region_cmp(&mut self) -> Result<RegionExpr, GmqlError> {
+        let left = self.region_add()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(CmpOp::Eq),
+            Some(Tok::NotEq) => Some(CmpOp::Ne),
+            Some(Tok::Lt) => Some(CmpOp::Lt),
+            Some(Tok::Le) => Some(CmpOp::Le),
+            Some(Tok::Gt) => Some(CmpOp::Gt),
+            Some(Tok::Ge) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.region_add()?;
+            return Ok(RegionExpr::Binary(Box::new(left), BinOp::Cmp(op), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn region_add(&mut self) -> Result<RegionExpr, GmqlError> {
+        let mut left = self.region_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.region_mul()?;
+            left = RegionExpr::Binary(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn region_mul(&mut self) -> Result<RegionExpr, GmqlError> {
+        let mut left = self.region_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.region_unary()?;
+            left = RegionExpr::Binary(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn region_unary(&mut self) -> Result<RegionExpr, GmqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(RegionExpr::Not(Box::new(self.region_unary()?)));
+        }
+        if self.eat(&Tok::Minus) {
+            let inner = self.region_unary()?;
+            return Ok(RegionExpr::Binary(
+                Box::new(RegionExpr::Lit(Value::Int(0))),
+                BinOp::Sub,
+                Box::new(inner),
+            ));
+        }
+        match self.next()? {
+            Tok::Number(n) => Ok(RegionExpr::Lit(number_value(n))),
+            Tok::Str(s) => Ok(RegionExpr::Lit(Value::Str(s))),
+            Tok::Ident(name) => Ok(RegionExpr::Attr(name)),
+            Tok::LParen => {
+                let inner = self.region_or()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            other => {
+                self.pos -= 1;
+                Err(self.err(format!("expected expression, found {other}")))
+            }
+        }
+    }
+}
+
+/// Represent a numeric literal as Int when it is a safe integer.
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_parses() {
+        let q = "
+            PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+            PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+            RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+            MATERIALIZE RESULT;
+        ";
+        let stmts = parse(q).unwrap();
+        assert_eq!(stmts.len(), 4);
+        match &stmts[0] {
+            Statement::Assign { var, call } => {
+                assert_eq!(var, "PROMS");
+                assert_eq!(call.operands, vec!["ANNOTATIONS"]);
+                match &call.op {
+                    Operator::Select { meta, region, .. } => {
+                        assert_eq!(*meta, MetaPredicate::eq("annType", "promoter"));
+                        assert!(region.is_none());
+                    }
+                    other => panic!("expected SELECT, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &stmts[2] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Map { aggs, .. } => {
+                    assert_eq!(aggs.len(), 1);
+                    assert_eq!(aggs[0].0, "peak_count");
+                    assert_eq!(aggs[0].1, Aggregate::count());
+                }
+                other => panic!("expected MAP, got {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stmts[3], Statement::Materialize { var: "RESULT".into(), into: None });
+    }
+
+    #[test]
+    fn select_with_region_section() {
+        let stmts = parse("X = SELECT(cell == 'HeLa'; region: p_value < 0.01 AND left > 1000) D;")
+            .unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Select { meta, region, .. } => {
+                    assert!(matches!(meta, MetaPredicate::Cmp { .. }));
+                    assert!(region.is_some());
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn select_region_only() {
+        let stmts = parse("X = SELECT(region: score >= 2.5) D;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Select { meta, region, .. } => {
+                    assert_eq!(*meta, MetaPredicate::True);
+                    assert!(region.is_some());
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn join_full_form() {
+        let stmts =
+            parse("X = JOIN(DLE(10000), UP; output: INT; joinby: cell, tissue) A B;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Join { clauses, output, joinby } => {
+                    assert_eq!(
+                        *clauses,
+                        vec![GenometricClause::DistLessEq(10000), GenometricClause::Upstream]
+                    );
+                    assert_eq!(*output, JoinOutput::Intersection);
+                    assert_eq!(*joinby, vec!["cell", "tissue"]);
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn join_md_and_negative_dge() {
+        let stmts = parse("X = JOIN(MD(1), DGE(-5)) A B;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Join { clauses, .. } => {
+                    assert_eq!(
+                        *clauses,
+                        vec![GenometricClause::MinDist(1), GenometricClause::DistGreaterEq(-5)]
+                    );
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cover_bounds() {
+        let stmts = parse("X = COVER(2, ANY) D; Y = HISTOGRAM(ALL, ALL; groupby: cell) D;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Cover { variant, min_acc, max_acc, .. } => {
+                    assert_eq!(*variant, CoverVariant::Cover);
+                    assert_eq!(*min_acc, AccBound::Value(2));
+                    assert_eq!(*max_acc, AccBound::Any);
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+        match &stmts[1] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Cover { variant, groupby, .. } => {
+                    assert_eq!(*variant, CoverVariant::Histogram);
+                    assert_eq!(*groupby, vec!["cell"]);
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn extend_and_project() {
+        let stmts = parse(
+            "X = EXTEND(region_count AS COUNT, max_p AS MAX(p_value)) D;
+             Y = PROJECT(name, p_value, minus_log AS 0 - p_value) X;",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Extend { assignments } => {
+                    assert_eq!(assignments.len(), 2);
+                    assert_eq!(assignments[1].1, Aggregate::over(AggFunc::Max, "p_value"));
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+        match &stmts[1] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Project { attrs, new_attrs, .. } => {
+                    assert_eq!(attrs.as_deref(), Some(&["name".to_string(), "p_value".into()][..]));
+                    assert_eq!(new_attrs.len(), 1);
+                    assert_eq!(new_attrs[0].0, "minus_log");
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn order_and_difference_and_merge() {
+        let stmts = parse(
+            "A = ORDER(age DESC, name; top: 5; region: p_value; region_top: 100) D;
+             B = DIFFERENCE(exact: false; joinby: cell) D E;
+             C = MERGE(groupby: tissue) D;",
+        )
+        .unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Order { meta_keys, top, region_keys, region_top } => {
+                    assert_eq!(meta_keys[0], ("age".to_string(), SortDir::Desc));
+                    assert_eq!(meta_keys[1], ("name".to_string(), SortDir::Asc));
+                    assert_eq!(*top, Some(5));
+                    assert_eq!(region_keys.len(), 1);
+                    assert_eq!(*region_top, Some(100));
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+        match &stmts[1] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Difference { exact, joinby } => {
+                    assert!(!exact);
+                    assert_eq!(*joinby, vec!["cell"]);
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+        match &stmts[2] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Merge { groupby } => assert_eq!(*groupby, vec!["tissue"]),
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn union_no_params() {
+        let stmts = parse("U = UNION() A B;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => {
+                assert_eq!(call.op, Operator::Union);
+                assert_eq!(call.operands, vec!["A", "B"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(parse("U = UNION() A;").is_err());
+        assert!(parse("S = SELECT(x == 1) A B;").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse("X = SELEKT(a == 1) D;").unwrap_err();
+        match err {
+            GmqlError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("").is_err());
+        assert!(parse("X = SELECT(a == ) D;").is_err());
+    }
+
+    #[test]
+    fn materialize_into() {
+        let stmts = parse("MATERIALIZE X INTO results;").unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::Materialize { var: "X".into(), into: Some("results".into()) }
+        );
+    }
+
+    #[test]
+    fn meta_predicate_parens_and_not() {
+        let stmts =
+            parse("X = SELECT(NOT (a == 1) AND (b == 2 OR c == 3)) D;").unwrap();
+        match &stmts[0] {
+            Statement::Assign { call, .. } => match &call.op {
+                Operator::Select { meta, .. } => {
+                    assert!(matches!(meta, MetaPredicate::And(_, _)));
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Logical query plans.
+//!
+//! Statements compile into a DAG of logical nodes with **inferred
+//! schemas**: GMQL is a closed algebra over datasets (paper §2), so every
+//! node's output schema is computable from its inputs, and attribute
+//! references are validated before any region is touched. The paper's
+//! architecture (§4.2) separates "compiler, logical optimizer" from the
+//! backend — this module is the compiler half; [`crate::optimizer`] is
+//! the optimizer; [`crate::exec`] is the (hand-built) backend.
+
+use crate::ast::{Operator, Statement};
+use crate::error::GmqlError;
+use nggc_gdm::{Attribute, Schema, ValueType};
+use std::collections::HashMap;
+
+/// Index of a node in a [`LogicalPlan`].
+pub type NodeId = usize;
+
+/// A logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// A source dataset loaded from the repository.
+    Source(String),
+    /// An operator application.
+    Apply(Operator),
+}
+
+/// A node of the logical DAG.
+#[derive(Debug, Clone)]
+pub struct LogicalNode {
+    /// What the node computes.
+    pub op: PlanOp,
+    /// Input node ids (empty for sources).
+    pub inputs: Vec<NodeId>,
+    /// Inferred output region schema.
+    pub schema: Schema,
+    /// The query variable this node defines (sources use the dataset name).
+    pub label: String,
+}
+
+/// A compiled logical plan: nodes in topological order plus the
+/// materialization outputs.
+#[derive(Debug, Clone, Default)]
+pub struct LogicalPlan {
+    /// Nodes; every node's inputs precede it.
+    pub nodes: Vec<LogicalNode>,
+    /// `(output dataset name, node)` pairs from MATERIALIZE statements.
+    pub outputs: Vec<(String, NodeId)>,
+}
+
+impl LogicalPlan {
+    /// Compile statements against a schema catalog for source datasets.
+    ///
+    /// `source_schema` returns the region schema of a repository dataset,
+    /// or `None` when the dataset does not exist.
+    pub fn compile(
+        statements: &[Statement],
+        source_schema: &dyn Fn(&str) -> Option<Schema>,
+    ) -> Result<LogicalPlan, GmqlError> {
+        let mut plan = LogicalPlan::default();
+        // Variable name -> node. Also caches source nodes by dataset name.
+        let mut env: HashMap<String, NodeId> = HashMap::new();
+
+        let resolve = |plan: &mut LogicalPlan,
+                           env: &mut HashMap<String, NodeId>,
+                           name: &str|
+         -> Result<NodeId, GmqlError> {
+            if let Some(&id) = env.get(name) {
+                return Ok(id);
+            }
+            let schema = source_schema(name).ok_or_else(|| {
+                GmqlError::semantic(format!("unknown variable or dataset {name:?}"))
+            })?;
+            let id = plan.nodes.len();
+            plan.nodes.push(LogicalNode {
+                op: PlanOp::Source(name.to_owned()),
+                inputs: Vec::new(),
+                schema,
+                label: name.to_owned(),
+            });
+            env.insert(name.to_owned(), id);
+            Ok(id)
+        };
+
+        let mut any_materialize = false;
+        for stmt in statements {
+            match stmt {
+                Statement::Assign { var, call } => {
+                    let mut inputs: Vec<NodeId> = call
+                        .operands
+                        .iter()
+                        .map(|o| resolve(&mut plan, &mut env, o))
+                        .collect::<Result<_, _>>()?;
+                    // A SELECT semijoin references an extra dataset; it
+                    // becomes a second input of the node.
+                    if let Operator::Select { semijoin: Some(sj), .. } = &call.op {
+                        inputs.push(resolve(&mut plan, &mut env, &sj.external)?);
+                    }
+                    let in_schemas: Vec<&Schema> =
+                        inputs.iter().map(|&i| &plan.nodes[i].schema).collect();
+                    let schema = infer_schema(&call.op, &in_schemas)?;
+                    let id = plan.nodes.len();
+                    plan.nodes.push(LogicalNode {
+                        op: PlanOp::Apply(call.op.clone()),
+                        inputs,
+                        schema,
+                        label: var.clone(),
+                    });
+                    env.insert(var.clone(), id);
+                }
+                Statement::Materialize { var, into } => {
+                    let id = *env.get(var).ok_or_else(|| {
+                        GmqlError::semantic(format!("MATERIALIZE of undefined variable {var:?}"))
+                    })?;
+                    any_materialize = true;
+                    plan.outputs.push((into.clone().unwrap_or_else(|| var.clone()), id));
+                }
+            }
+        }
+        if !any_materialize {
+            // Convenience: materialize the last assignment when the query
+            // has no explicit MATERIALIZE (useful interactively).
+            if let Some(Statement::Assign { var, .. }) =
+                statements.iter().rev().find(|s| matches!(s, Statement::Assign { .. }))
+            {
+                let id = env[var];
+                plan.outputs.push((var.clone(), id));
+            }
+        }
+        if plan.outputs.is_empty() {
+            return Err(GmqlError::semantic("query materializes nothing"));
+        }
+        Ok(plan)
+    }
+
+    /// Human-readable plan listing (one node per line).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let what = match &n.op {
+                PlanOp::Source(name) => format!("SOURCE {name}"),
+                PlanOp::Apply(op) => format!("{} <- {:?}", op.name(), n.inputs),
+            };
+            out.push_str(&format!("#{i} [{}] {} :: {}\n", n.label, what, n.schema));
+        }
+        for (name, id) in &self.outputs {
+            out.push_str(&format!("OUTPUT {name} = #{id}\n"));
+        }
+        out
+    }
+}
+
+/// Infer the output schema of an operator given input schemas, validating
+/// every attribute reference.
+pub fn infer_schema(op: &Operator, inputs: &[&Schema]) -> Result<Schema, GmqlError> {
+    let unary = || -> Result<&Schema, GmqlError> {
+        inputs.first().copied().ok_or_else(|| GmqlError::semantic("missing operand"))
+    };
+    match op {
+        Operator::Select { region, .. } => {
+            let s = unary()?;
+            if let Some(expr) = region {
+                expr.check(s)?;
+            }
+            Ok(s.clone())
+        }
+        Operator::Project { attrs, new_attrs, .. } => {
+            let s = unary()?;
+            let mut out = match attrs {
+                Some(names) => {
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    s.project(&refs)?.0
+                }
+                None => s.clone(),
+            };
+            for (name, expr) in new_attrs {
+                let ty = expr.check(s)?.unwrap_or(ValueType::Float);
+                out.push(Attribute::new(name.clone(), ty))?;
+            }
+            Ok(out)
+        }
+        Operator::Extend { assignments } => {
+            let s = unary()?;
+            for (_, agg) in assignments {
+                agg.resolve(s)?;
+            }
+            Ok(s.clone())
+        }
+        Operator::Merge { .. } | Operator::Order { .. } => Ok(unary()?.clone()),
+        Operator::Group { region_aggs, .. } => {
+            let s = unary()?;
+            let mut out = s.clone();
+            for (name, agg) in region_aggs {
+                let (_, ty) = agg.resolve(s)?;
+                out.push(Attribute::new(name.clone(), ty))?;
+            }
+            Ok(out)
+        }
+        Operator::Union => {
+            let [a, b] = two(inputs)?;
+            Ok(a.merge(b).schema)
+        }
+        Operator::Difference { .. } => Ok(two(inputs)?[0].clone()),
+        Operator::Join { output: _, .. } => {
+            let [a, b] = two(inputs)?;
+            let mut out = Schema::empty();
+            for attr in a.attributes() {
+                out.push(Attribute::new(format!("left.{}", attr.name), attr.ty))?;
+            }
+            for attr in b.attributes() {
+                out.push(Attribute::new(format!("right.{}", attr.name), attr.ty))?;
+            }
+            Ok(out)
+        }
+        Operator::Map { aggs, .. } => {
+            let [r, e] = two(inputs)?;
+            let mut out = r.clone();
+            for (name, agg) in aggs {
+                let (_, ty) = agg.resolve(e)?;
+                out.push(Attribute::new(name.clone(), ty))?;
+            }
+            Ok(out)
+        }
+        Operator::Cover { aggs, .. } => {
+            let s = unary()?;
+            let mut out = Schema::new(vec![Attribute::new("accindex", ValueType::Int)])?;
+            for (name, agg) in aggs {
+                let (_, ty) = agg.resolve(s)?;
+                out.push(Attribute::new(name.clone(), ty))?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn two<'a>(inputs: &[&'a Schema]) -> Result<[&'a Schema; 2], GmqlError> {
+    match inputs {
+        [a, b] => Ok([a, b]),
+        _ => Err(GmqlError::semantic("binary operator requires two operands")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn catalog(name: &str) -> Option<Schema> {
+        match name {
+            "ENCODE" | "PEAKS2" => Some(
+                Schema::new(vec![
+                    Attribute::new("p_value", ValueType::Float),
+                    Attribute::new("name", ValueType::Str),
+                ])
+                .unwrap(),
+            ),
+            "ANNOTATIONS" => Some(
+                Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap(),
+            ),
+            _ => None,
+        }
+    }
+
+    fn compile(q: &str) -> Result<LogicalPlan, GmqlError> {
+        LogicalPlan::compile(&parse(q).unwrap(), &catalog)
+    }
+
+    #[test]
+    fn paper_query_compiles_with_schemas() {
+        let plan = compile(
+            "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+             PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+             RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+             MATERIALIZE RESULT;",
+        )
+        .unwrap();
+        assert_eq!(plan.outputs.len(), 1);
+        let result = &plan.nodes[plan.outputs[0].1];
+        assert_eq!(result.label, "RESULT");
+        // RESULT schema = ANNOTATIONS schema + peak_count.
+        assert!(result.schema.get("annType").is_some());
+        assert_eq!(result.schema.get("peak_count").unwrap().ty, ValueType::Int);
+    }
+
+    #[test]
+    fn unknown_dataset_rejected() {
+        let err = compile("X = SELECT(a == 1) NOPE;").unwrap_err();
+        assert!(matches!(err, GmqlError::Semantic(_)));
+    }
+
+    #[test]
+    fn unknown_attribute_in_region_predicate_rejected() {
+        let err = compile("X = SELECT(region: zzz > 1) ENCODE;").unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn join_schema_prefixes() {
+        let plan = compile("J = JOIN(DLE(100)) ANNOTATIONS ENCODE;").unwrap();
+        let s = &plan.nodes[plan.outputs[0].1].schema;
+        assert!(s.get("left.annType").is_some());
+        assert!(s.get("right.p_value").is_some());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn union_merges_schemas() {
+        let plan = compile("U = UNION() ENCODE PEAKS2;").unwrap();
+        let s = &plan.nodes[plan.outputs[0].1].schema;
+        assert_eq!(s.len(), 2, "identical schemas unify");
+    }
+
+    #[test]
+    fn cover_schema_has_accindex() {
+        let plan = compile("C = COVER(2, ANY; aggregate: maxp AS MAX(p_value)) ENCODE;").unwrap();
+        let s = &plan.nodes[plan.outputs[0].1].schema;
+        assert_eq!(s.get("accindex").unwrap().ty, ValueType::Int);
+        assert_eq!(s.get("maxp").unwrap().ty, ValueType::Float);
+    }
+
+    #[test]
+    fn implicit_materialize_of_last_assignment() {
+        let plan = compile("X = SELECT(a == 1) ENCODE;").unwrap();
+        assert_eq!(plan.outputs, vec![("X".to_string(), 1)]);
+    }
+
+    #[test]
+    fn map_aggregate_resolves_against_experiment_schema() {
+        // p_value lives in ENCODE (experiment side), not ANNOTATIONS.
+        let plan = compile("M = MAP(mp AS MAX(p_value)) ANNOTATIONS ENCODE;").unwrap();
+        let s = &plan.nodes[plan.outputs[0].1].schema;
+        assert!(s.get("mp").is_some());
+        // The reverse direction must fail: SUM needs a numeric attribute,
+        // and `p_value` is absent from ANNOTATIONS (the experiment side).
+        assert!(compile("M = MAP(mp AS SUM(annType)) ENCODE ANNOTATIONS;").is_err());
+        assert!(compile("M = MAP(mp AS MAX(p_value)) ENCODE ANNOTATIONS;").is_err());
+    }
+
+    #[test]
+    fn explain_lists_nodes() {
+        let plan = compile("X = SELECT(a == 1) ENCODE; MATERIALIZE X INTO out;").unwrap();
+        let text = plan.explain();
+        assert!(text.contains("SOURCE ENCODE"));
+        assert!(text.contains("OUTPUT out"));
+    }
+}

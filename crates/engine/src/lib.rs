@@ -1,0 +1,37 @@
+//! # `nggc-engine` — the hand-built parallel runtime
+//!
+//! The paper (§4.2) executes GMQL on Spark/Flink; this reproduction
+//! substitutes a manual parallel engine (per the calibration note "no
+//! Spark; must build parallel engine manually") that implements the same
+//! decomposition those backends exploit:
+//!
+//! * **sample parallelism** — GMQL operators implicitly iterate over all
+//!   samples; each sample (or sample pair) is an independent task;
+//! * **genome partitioning** — within a sample pair, per-chromosome and
+//!   per-bin sharding keeps genometric operations local ([`Binner`], with
+//!   the anchor-bin deduplication rule);
+//! * **work stealing** — a fixed pool of workers with per-worker LIFO
+//!   deques and a global injector ([`WorkerPool`]).
+//!
+//! The interval kernels ([`interval`]) are shared by the GMQL operators
+//! and benchmarked head-to-head in the join-strategy ablation (DESIGN.md
+//! E10).
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod interval;
+pub mod nclist;
+pub mod par;
+pub mod pool;
+pub mod sort;
+
+pub use binning::Binner;
+pub use interval::{
+    coverage_segments, gap_pairs_naive, gap_pairs_sort_merge, k_nearest, merge_cover,
+    overlap_pairs_binned, overlap_pairs_naive, overlap_pairs_sort_merge, CovSeg,
+};
+pub use nclist::NcList;
+pub use par::{union_chroms, ExecContext};
+pub use pool::WorkerPool;
+pub use sort::parallel_sort_by;

@@ -1,0 +1,225 @@
+//! Nested containment lists (NCList) — an interval index for repeated
+//! overlap queries.
+//!
+//! The sort-merge and binned kernels in [`crate::interval`] are
+//! single-pass: they pay their cost per join. When the same region set
+//! is probed repeatedly (feature-based region search §4.5, reference
+//! annotations queried by many experiments), an index amortises the
+//! build. NCList (Alekseyenko & Lee, 2007) stores intervals so that each
+//! list is sorted by start with strictly nested intervals demoted to
+//! sublists; a stabbing/overlap query binary-searches each level and
+//! descends only into sublists that can intersect.
+
+use nggc_gdm::{interval_overlap, GRegion};
+
+/// One entry: the interval, its original index, and its sublist.
+#[derive(Debug, Clone)]
+struct Entry {
+    left: u64,
+    right: u64,
+    /// Index into the original region slice.
+    id: usize,
+    /// Child list (intervals strictly contained in this one).
+    children: Vec<Entry>,
+}
+
+/// A nested containment list over one chromosome's regions.
+#[derive(Debug, Clone, Default)]
+pub struct NcList {
+    top: Vec<Entry>,
+    len: usize,
+}
+
+impl NcList {
+    /// Build from regions sorted in genome order (as produced by
+    /// [`nggc_gdm::Sample::chrom_slice`]). `O(n)` after the sort.
+    pub fn build(regions: &[GRegion]) -> NcList {
+        debug_assert!(
+            regions.windows(2).all(|w| (w[0].left, w[0].right) <= (w[1].left, w[1].right)),
+            "NcList::build requires sorted input"
+        );
+        // Sorted by (left asc, right desc) puts containers before their
+        // contents; a stack of open containers assigns nesting.
+        let mut order: Vec<usize> = (0..regions.len()).collect();
+        order.sort_by(|&a, &b| {
+            regions[a]
+                .left
+                .cmp(&regions[b].left)
+                .then(regions[b].right.cmp(&regions[a].right))
+        });
+        let mut top: Vec<Entry> = Vec::new();
+        // Stack of (entry, path) — we store entries and fold them into
+        // parents as they close.
+        let mut stack: Vec<Entry> = Vec::new();
+        let flush = |stack: &mut Vec<Entry>, top: &mut Vec<Entry>, upto_left: u64| {
+            while let Some(open) = stack.last() {
+                if open.right > upto_left {
+                    break;
+                }
+                let closed = stack.pop().expect("non-empty");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(closed),
+                    None => top.push(closed),
+                }
+            }
+        };
+        for &i in &order {
+            let r = &regions[i];
+            // Close every open interval that cannot contain r.
+            // Containment requires open.right >= r.right; since order is
+            // (left asc, right desc), open.right < r.right means open
+            // ends before r does and cannot be an ancestor. Also close
+            // strictly-before intervals.
+            while let Some(open) = stack.last() {
+                let contains = open.left <= r.left && r.right <= open.right;
+                if contains {
+                    break;
+                }
+                let closed = stack.pop().expect("non-empty");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(closed),
+                    None => top.push(closed),
+                }
+            }
+            stack.push(Entry { left: r.left, right: r.right, id: i, children: Vec::new() });
+        }
+        flush(&mut stack, &mut top, u64::MAX);
+        NcList { top, len: regions.len() }
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visit the original indices of every interval overlapping
+    /// `[left, right)` (half-open, with the zero-length conventions of
+    /// [`interval_overlap`]).
+    pub fn overlaps(&self, left: u64, right: u64, mut visit: impl FnMut(usize)) {
+        Self::query_list(&self.top, left, right, &mut visit);
+    }
+
+    /// Collect the overlapping indices (sorted).
+    pub fn overlaps_vec(&self, left: u64, right: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.overlaps(left, right, |i| out.push(i));
+        out.sort_unstable();
+        out
+    }
+
+    fn query_list(list: &[Entry], left: u64, right: u64, visit: &mut impl FnMut(usize)) {
+        // Each level is sorted by start; within a level, an entry's
+        // subtree spans [entry.left, entry.right). Binary search to the
+        // first entry whose interval could still overlap, then scan while
+        // starts precede the query end.
+        let from = list.partition_point(|e| e.right < left && e.left != e.right);
+        for e in &list[from..] {
+            if e.left > right || (e.left == right && left != right && e.left != e.right) {
+                break;
+            }
+            if interval_overlap(e.left, e.right, left, right) {
+                visit(e.id);
+            }
+            // Children are contained in e, so they can only overlap when
+            // e's span intersects the query at all.
+            if e.left <= right && left <= e.right {
+                Self::query_list(&e.children, left, right, visit);
+            }
+        }
+    }
+
+    /// Maximum nesting depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn d(list: &[Entry]) -> usize {
+            list.iter().map(|e| 1 + d(&e.children)).max().unwrap_or(0)
+        }
+        d(&self.top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::overlap_pairs_naive;
+    use nggc_gdm::Strand;
+
+    fn r(l: u64, rr: u64) -> GRegion {
+        GRegion::new("chr1", l, rr, Strand::Unstranded)
+    }
+
+    fn sorted(mut rs: Vec<GRegion>) -> Vec<GRegion> {
+        rs.sort_by(|a, b| a.cmp_coords(b));
+        rs
+    }
+
+    #[test]
+    fn nested_structure_and_queries() {
+        // Deep nesting: [0,100) ⊃ [10,90) ⊃ [20,80), plus siblings.
+        let regions = sorted(vec![r(0, 100), r(10, 90), r(20, 80), r(150, 160), r(30, 40)]);
+        let idx = NcList::build(&regions);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.depth() >= 3, "nesting recognised: depth {}", idx.depth());
+        assert_eq!(idx.overlaps_vec(25, 35).len(), 4, "all nested levels hit");
+        assert_eq!(idx.overlaps_vec(95, 99), vec![0], "only the outermost");
+        assert_eq!(idx.overlaps_vec(150, 151).len(), 1);
+        assert!(idx.overlaps_vec(200, 300).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_on_many_shapes() {
+        // Deterministic pseudo-random workload.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        let regions: Vec<GRegion> = sorted(
+            (0..400)
+                .map(|_| {
+                    let l = next() % 10_000;
+                    let w = next() % 500;
+                    r(l, l + w)
+                })
+                .collect(),
+        );
+        let idx = NcList::build(&regions);
+        let queries: Vec<GRegion> =
+            (0..100).map(|_| {
+                let l = next() % 10_000;
+                let w = next() % 800;
+                r(l, l + w)
+            }).collect();
+        for q in &queries {
+            let got = idx.overlaps_vec(q.left, q.right);
+            let mut expect = Vec::new();
+            overlap_pairs_naive(std::slice::from_ref(q), &regions, |_, j| expect.push(j));
+            expect.sort_unstable();
+            assert_eq!(got, expect, "query {}..{}", q.left, q.right);
+        }
+    }
+
+    #[test]
+    fn zero_length_intervals() {
+        let regions = sorted(vec![r(5, 5), r(0, 10), r(10, 20)]);
+        let idx = NcList::build(&regions);
+        // Point query inside [0,10) hits it and the point itself.
+        assert_eq!(idx.overlaps_vec(5, 5).len(), 2);
+        // Query [10,10) inside [10,20) only.
+        assert_eq!(idx.overlaps_vec(10, 10).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let idx = NcList::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.overlaps_vec(0, 10).is_empty());
+        let idx = NcList::build(&[r(3, 7)]);
+        assert_eq!(idx.overlaps_vec(0, 5), vec![0]);
+        assert!(idx.overlaps_vec(7, 9).is_empty(), "touching is not overlap");
+    }
+}

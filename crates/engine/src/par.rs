@@ -1,0 +1,157 @@
+//! Dataset-level parallel execution helpers.
+//!
+//! GMQL operations "implicitly iterate over all the samples of their
+//! operand datasets" (paper §2); sample iteration is therefore the outer
+//! parallel dimension, and per-chromosome sharding the inner one —
+//! exactly the (sample × genome-partition) decomposition the GMQL cloud
+//! implementations use. [`ExecContext`] bundles the pool and binning
+//! configuration every operator receives.
+
+use crate::binning::Binner;
+use crate::pool::WorkerPool;
+use nggc_gdm::{Chrom, GRegion, Sample};
+use std::sync::Arc;
+
+/// Execution context shared by all operators of a query.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    pool: Arc<WorkerPool>,
+    binner: Binner,
+}
+
+impl ExecContext {
+    /// Context over an existing pool with the default bin width.
+    pub fn new(pool: Arc<WorkerPool>) -> ExecContext {
+        ExecContext { pool, binner: Binner::default() }
+    }
+
+    /// Context with `workers` threads and the default bin width.
+    pub fn with_workers(workers: usize) -> ExecContext {
+        ExecContext::new(Arc::new(WorkerPool::new(workers)))
+    }
+
+    /// Serial context (one worker) — the baseline of experiment E6.
+    pub fn serial() -> ExecContext {
+        ExecContext::with_workers(1)
+    }
+
+    /// Override the genome bin width (experiment E10 sweeps this).
+    pub fn with_bin_width(mut self, width: u64) -> ExecContext {
+        self.binner = Binner::new(width);
+        self
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The genome binner.
+    pub fn binner(&self) -> Binner {
+        self.binner
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Transform every sample in parallel (the implicit iteration of
+    /// unary GMQL operators). Order is preserved.
+    pub fn map_samples<R, F>(&self, samples: &[Sample], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Sample) -> R + Sync,
+    {
+        self.pool.parallel_map_slice(samples, f)
+    }
+
+    /// Transform every (reference sample, experiment sample) pair in
+    /// parallel — the iteration shape of MAP and JOIN, which produce one
+    /// result sample per pair. Results are in row-major order
+    /// (`refs[0]×exps[0..]`, then `refs[1]×exps[0..]`, …).
+    pub fn map_sample_pairs<R, F>(&self, refs: &[Sample], exps: &[Sample], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Sample, &Sample) -> R + Sync,
+    {
+        let pairs: Vec<(&Sample, &Sample)> =
+            refs.iter().flat_map(|r| exps.iter().map(move |e| (r, e))).collect();
+        self.pool.parallel_map(pairs, |(r, e)| f(r, e))
+    }
+
+    /// Run a per-chromosome kernel over two samples in parallel and
+    /// concatenate the per-chromosome outputs in genome order. The
+    /// chromosome list is the union of both samples' chromosomes.
+    pub fn map_common_chroms<R, F>(&self, a: &Sample, b: &Sample, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Chrom, &[GRegion], &[GRegion]) -> Vec<R> + Sync,
+    {
+        let chroms = union_chroms(a, b);
+        let per_chrom = self.pool.parallel_map(chroms, |c| {
+            let out = f(&c, a.chrom_slice(&c), b.chrom_slice(&c));
+            (c, out)
+        });
+        per_chrom.into_iter().flat_map(|(_, v)| v).collect()
+    }
+}
+
+/// Union of the chromosomes of two samples, in genome order.
+pub fn union_chroms(a: &Sample, b: &Sample) -> Vec<Chrom> {
+    let mut out = a.chromosomes();
+    out.extend(b.chromosomes());
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::Strand;
+
+    fn sample(name: &str, regions: Vec<(&str, u64, u64)>) -> Sample {
+        Sample::new(name, "T").with_regions(
+            regions
+                .into_iter()
+                .map(|(c, l, r)| GRegion::new(c, l, r, Strand::Unstranded))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn map_samples_preserves_order() {
+        let ctx = ExecContext::with_workers(4);
+        let samples: Vec<Sample> =
+            (0..20).map(|i| sample(&format!("s{i}"), vec![("chr1", i, i + 1)])).collect();
+        let names = ctx.map_samples(&samples, |s| s.name.clone());
+        assert_eq!(names[0], "s0");
+        assert_eq!(names[19], "s19");
+    }
+
+    #[test]
+    fn map_sample_pairs_row_major() {
+        let ctx = ExecContext::with_workers(2);
+        let refs = vec![sample("r0", vec![]), sample("r1", vec![])];
+        let exps = vec![sample("e0", vec![]), sample("e1", vec![]), sample("e2", vec![])];
+        let got = ctx.map_sample_pairs(&refs, &exps, |r, e| format!("{}x{}", r.name, e.name));
+        assert_eq!(got, vec!["r0xe0", "r0xe1", "r0xe2", "r1xe0", "r1xe1", "r1xe2"]);
+    }
+
+    #[test]
+    fn map_common_chroms_covers_union_in_order() {
+        let ctx = ExecContext::with_workers(3);
+        let a = sample("a", vec![("chr2", 0, 5), ("chr10", 0, 5)]);
+        let b = sample("b", vec![("chr1", 0, 5), ("chr2", 3, 9)]);
+        let out = ctx.map_common_chroms(&a, &b, |c, ra, rb| {
+            vec![format!("{}:{}x{}", c, ra.len(), rb.len())]
+        });
+        assert_eq!(out, vec!["chr1:0x1", "chr2:1x1", "chr10:1x0"]);
+    }
+
+    #[test]
+    fn serial_context_has_one_worker() {
+        assert_eq!(ExecContext::serial().workers(), 1);
+    }
+}

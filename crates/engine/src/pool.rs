@@ -1,0 +1,329 @@
+//! A hand-built work-stealing worker pool.
+//!
+//! The paper's architecture runs GMQL operators on Spark/Flink (§4.2);
+//! this reproduction substitutes a manual parallel runtime. The pool is a
+//! classic work-stealing design: every worker owns a LIFO deque, a global
+//! FIFO injector receives submitted jobs, and idle workers steal from the
+//! injector first and then from siblings. Idle workers park on a condvar
+//! so an idle pool burns no CPU.
+//!
+//! [`WorkerPool::parallel_map`] is the primitive all operators build on:
+//! it fans a batch of borrowed work items out to the pool and blocks until
+//! every item completed. While blocked, the **calling thread helps** by
+//! executing queued jobs, which makes nested `parallel_map` calls
+//! deadlock-free even on a single-worker pool.
+
+use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Grab a job from the injector or any worker deque (used by helping
+    /// callers, which have no local deque).
+    fn steal_any(&self) -> Option<Job> {
+        loop {
+            match self.injector.steal() {
+                crossbeam_deque::Steal::Success(j) => return Some(j),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        for s in &self.stealers {
+            loop {
+                match s.steal() {
+                    crossbeam_deque::Steal::Success(j) => return Some(j),
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping the pool signals shutdown and joins all workers.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let mut local_queues = Vec::with_capacity(workers);
+        let mut stealers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let w = Worker::new_lifo();
+            stealers.push(w.stealer());
+            local_queues.push(w);
+        }
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = local_queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nggc-worker-{i}"))
+                    .spawn(move || worker_loop(local, shared))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, handles, workers }
+    }
+
+    /// Spawn a pool sized to the machine (`available_parallelism`).
+    pub fn with_default_size() -> WorkerPool {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        WorkerPool::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item in parallel, returning results in input
+    /// order. Blocks until all items complete; the calling thread executes
+    /// queued jobs while waiting. Panics in `f` are collected and re-raised
+    /// on the caller after all items finished (so borrowed data is never
+    /// left referenced by queued jobs).
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 || self.workers == 1 {
+            // Degenerate cases: run inline, no queue traffic.
+            return items.into_iter().map(&f).collect();
+        }
+        type TaskResult<R> = (usize, std::thread::Result<R>);
+        let (tx, rx): (Sender<TaskResult<R>>, Receiver<TaskResult<R>>) = bounded(n);
+        let f_ref = &f;
+        for (i, item) in items.into_iter().enumerate() {
+            let tx = tx.clone();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f_ref(item)));
+                // The receiver outlives all jobs; ignore send failure that
+                // can only happen during unwinding of the whole process.
+                let _ = tx.send((i, outcome));
+            });
+            // SAFETY: `parallel_map` does not return before receiving one
+            // message per submitted job, and jobs always send exactly one
+            // message (panics are caught). Hence every borrow captured by
+            // the job outlives its execution, and extending the lifetime to
+            // 'static for queue storage is sound.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            self.shared.injector.push(job);
+        }
+        drop(tx);
+        self.shared.wake.notify_all();
+
+        let mut results: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
+        let mut received = 0;
+        while received < n {
+            match rx.try_recv() {
+                Ok((i, r)) => {
+                    results[i] = Some(r);
+                    received += 1;
+                }
+                Err(TryRecvError::Empty) => {
+                    // Help: run someone's job instead of spinning.
+                    if let Some(job) = self.shared.steal_any() {
+                        job();
+                    } else if let Ok((i, r)) = rx.recv_timeout(Duration::from_micros(100)) {
+                        results[i] = Some(r);
+                        received += 1;
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    unreachable!("all senders kept alive by queued jobs until they send")
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for r in results {
+            match r.expect("all results received") {
+                Ok(v) => out.push(v),
+                Err(p) => panic = Some(panic.unwrap_or(p)),
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Parallel map over a borrowed slice (convenience over
+    /// [`WorkerPool::parallel_map`]).
+    pub fn parallel_map_slice<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        self.parallel_map(items.iter().collect(), f)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(local: Worker<Job>, shared: Arc<Shared>) {
+    loop {
+        // Drain local work first (LIFO keeps caches warm).
+        if let Some(job) = local.pop() {
+            job();
+            continue;
+        }
+        // Refill from the injector in batches, then steal from siblings.
+        let stolen = loop {
+            match shared.injector.steal_batch_and_pop(&local) {
+                crossbeam_deque::Steal::Success(j) => break Some(j),
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break None,
+            }
+        };
+        if let Some(job) = stolen {
+            job();
+            continue;
+        }
+        if let Some(job) = shared.steal_any() {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Nothing to do: park until new work or shutdown. Re-check the
+        // queues under the lock to avoid a missed-wakeup race.
+        let mut guard = shared.sleep_lock.lock();
+        if shared.shutdown.load(Ordering::SeqCst) || !shared.injector.is_empty() {
+            continue;
+        }
+        shared.wake.wait_for(&mut guard, Duration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.parallel_map((0..1000).collect(), |i: i64| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrows_are_allowed() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<String> = (0..100).map(|i| format!("item{i}")).collect();
+        let lens = pool.parallel_map_slice(&data, |s| s.len());
+        assert_eq!(lens[0], 5);
+        assert_eq!(lens[99], 6);
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(1);
+        let out = pool.parallel_map(vec![1, 2, 3], |i: i32| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_parallel_map_does_not_deadlock() {
+        let pool = WorkerPool::new(2);
+        let out = pool.parallel_map((0..8).collect(), |i: usize| {
+            pool.parallel_map((0..8).collect(), |j: usize| i * j).iter().sum::<usize>()
+        });
+        assert_eq!(out[2], 2 * 28);
+    }
+
+    #[test]
+    fn work_actually_distributes() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.parallel_map((0..10_000).collect::<Vec<usize>>(), |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn panic_propagates_after_completion() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_map((0..64).collect(), |i: usize| {
+                if i == 13 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let out = pool.parallel_map(vec![1, 2], |i: i32| i);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<i32> = pool.parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_shutdown_joins_cleanly() {
+        let pool = WorkerPool::new(3);
+        let _ = pool.parallel_map(vec![1, 2, 3], |i: i32| i);
+        drop(pool); // must not hang
+    }
+}

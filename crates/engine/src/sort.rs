@@ -1,0 +1,140 @@
+//! Parallel sorting on the worker pool.
+//!
+//! MERGE, GROUP and COVER pool regions from many samples and re-sort them
+//! into genome order; at the paper's cardinalities (tens of millions of
+//! regions) that sort dominates, so the engine provides a parallel merge
+//! sort: chunks sort concurrently on the pool, then a tournament-free
+//! pairwise merge (also parallel across pairs) combines them.
+
+use crate::pool::WorkerPool;
+use std::cmp::Ordering;
+
+/// Minimum chunk size; below this a serial sort wins.
+const MIN_CHUNK: usize = 8_192;
+
+/// Sort `items` by `cmp` using the pool. Stable. Falls back to the
+/// standard serial stable sort for small inputs or single-worker pools.
+pub fn parallel_sort_by<T, F>(pool: &WorkerPool, items: &mut Vec<T>, cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = items.len();
+    if n < 2 * MIN_CHUNK || pool.workers() == 1 {
+        items.sort_by(cmp);
+        return;
+    }
+    // Split into one chunk per worker (at least MIN_CHUNK each).
+    let chunks = (n / MIN_CHUNK).clamp(2, pool.workers() * 2);
+    let chunk_len = n.div_ceil(chunks);
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(chunks);
+    {
+        let mut rest = std::mem::take(items);
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(chunk_len));
+            runs.push(rest);
+            rest = tail;
+        }
+    }
+    // Sort each run in parallel.
+    let mut runs: Vec<Vec<T>> = pool.parallel_map(runs, |mut run| {
+        run.sort_by(&cmp);
+        run
+    });
+    // Pairwise merge rounds, each round parallel across pairs.
+    while runs.len() > 1 {
+        let mut pairs: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::with_capacity(runs.len() / 2 + 1);
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
+        }
+        runs = pool.parallel_map(pairs, |(a, b)| match b {
+            Some(b) => merge_by(a, b, &cmp),
+            None => a,
+        });
+    }
+    *items = runs.pop().unwrap_or_default();
+}
+
+/// Stable two-way merge.
+fn merge_by<T, F>(a: Vec<T>, b: Vec<T>, cmp: &F) -> Vec<T>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                // `a` precedes `b` on ties for stability.
+                if cmp(x, y) == Ordering::Greater {
+                    out.push(bi.next().expect("peeked"));
+                } else {
+                    out.push(ai.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => out.push(ai.next().expect("peeked")),
+            (None, Some(_)) => out.push(bi.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_large_random_input() {
+        let pool = WorkerPool::new(4);
+        // Deterministic pseudo-random values.
+        let mut xs: Vec<u64> =
+            (0..100_000u64).map(|i| i.wrapping_mul(6364136223846793005).rotate_left(17)).collect();
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        parallel_sort_by(&pool, &mut xs, |a, b| a.cmp(b));
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn small_inputs_and_edge_cases() {
+        let pool = WorkerPool::new(4);
+        let mut empty: Vec<i32> = vec![];
+        parallel_sort_by(&pool, &mut empty, |a, b| a.cmp(b));
+        assert!(empty.is_empty());
+        let mut one = vec![5];
+        parallel_sort_by(&pool, &mut one, |a, b| a.cmp(b));
+        assert_eq!(one, vec![5]);
+        let mut few = vec![3, 1, 2];
+        parallel_sort_by(&pool, &mut few, |a, b| a.cmp(b));
+        assert_eq!(few, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stability_preserved() {
+        let pool = WorkerPool::new(4);
+        // (key, original index): equal keys must keep index order.
+        let mut xs: Vec<(u32, usize)> =
+            (0..50_000).map(|i| ((i % 7) as u32, i)).collect();
+        parallel_sort_by(&pool, &mut xs, |a, b| a.0.cmp(&b.0));
+        for w in xs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let pool = WorkerPool::new(3);
+        let mut asc: Vec<u32> = (0..40_000).collect();
+        parallel_sort_by(&pool, &mut asc, |a, b| a.cmp(b));
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let mut desc: Vec<u32> = (0..40_000).rev().collect();
+        parallel_sort_by(&pool, &mut desc, |a, b| a.cmp(b));
+        assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,603 @@
+//! The federation coordinator.
+//!
+//! Nodes run on their own threads and communicate exclusively through
+//! protocol messages over channels — the in-process stand-in for the
+//! networked federation of §4.4 (DESIGN.md substitution table). The
+//! coordinator implements both execution strategies that experiment E7
+//! compares:
+//!
+//! * **ship-query** ([`Federation::ship_query`]) — "this paradigm allows
+//!   for distributing the processing to data, transferring only query
+//!   results which are usually small in size";
+//! * **ship-data** ([`Federation::ship_data`]) — today's practice the
+//!   paper argues against: "most of today's implementations requires
+//!   first a full data transmission and then to evaluate server-side
+//!   imperative programs".
+
+use crate::node::{decode_staged, FederationNode};
+use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate, TransferLog};
+use crossbeam_channel::{unbounded, Sender};
+use nggc_core::GmqlEngine;
+use nggc_gdm::Dataset;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+type Envelope = (Request, Sender<Response>);
+
+struct NodeHandle {
+    id: String,
+    tx: Sender<Envelope>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A federation of nodes plus a coordinating client.
+pub struct Federation {
+    nodes: Vec<NodeHandle>,
+}
+
+/// Error type of federation calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FederationError {
+    /// No node with the given id.
+    UnknownNode(String),
+    /// The node answered with a protocol error.
+    Remote(String),
+    /// The node thread is gone.
+    NodeDown(String),
+    /// Unexpected response variant.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FederationError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            FederationError::Remote(e) => write!(f, "remote error: {e}"),
+            FederationError::NodeDown(n) => write!(f, "node {n:?} is down"),
+            FederationError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+impl Federation {
+    /// Empty federation.
+    pub fn new() -> Federation {
+        Federation { nodes: Vec::new() }
+    }
+
+    /// Add a node; it starts serving requests on its own thread.
+    pub fn add_node(&mut self, mut node: FederationNode) {
+        let id = node.id.clone();
+        let (tx, rx) = unbounded::<Envelope>();
+        let join = std::thread::Builder::new()
+            .name(format!("nggc-fed-{id}"))
+            .spawn(move || {
+                while let Ok((req, reply)) = rx.recv() {
+                    let resp = node.handle(&req);
+                    let _ = reply.send(resp);
+                }
+            })
+            .expect("failed to spawn node thread");
+        self.nodes.push(NodeHandle { id, tx, join: Some(join) });
+    }
+
+    /// Node ids.
+    pub fn node_ids(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.id.as_str()).collect()
+    }
+
+    /// One request/response exchange with a node, recorded in `log`.
+    pub fn call(
+        &self,
+        node_id: &str,
+        request: Request,
+        log: &mut TransferLog,
+    ) -> Result<Response, FederationError> {
+        let node = self
+            .nodes
+            .iter()
+            .find(|n| n.id == node_id)
+            .ok_or_else(|| FederationError::UnknownNode(node_id.to_owned()))?;
+        let (reply_tx, reply_rx) = unbounded();
+        node.tx
+            .send((request.clone(), reply_tx))
+            .map_err(|_| FederationError::NodeDown(node_id.to_owned()))?;
+        let response =
+            reply_rx.recv().map_err(|_| FederationError::NodeDown(node_id.to_owned()))?;
+        log.record(&request, &response);
+        if let Response::Error(e) = &response {
+            return Err(FederationError::Remote(e.clone()));
+        }
+        Ok(response)
+    }
+
+    /// Discover every node's datasets (metadata-only, cheap).
+    pub fn discover(
+        &self,
+        log: &mut TransferLog,
+    ) -> Result<Vec<(String, Vec<DatasetSummary>)>, FederationError> {
+        let mut out = Vec::new();
+        for id in self.node_ids().into_iter().map(str::to_owned).collect::<Vec<_>>() {
+            match self.call(&id, Request::ListDatasets, log)? {
+                Response::Datasets(ds) => out.push((id, ds)),
+                other => return Err(FederationError::Protocol(format!("{other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compile remotely: correctness + schemas + size estimates, without
+    /// moving any region data.
+    pub fn compile_remote(
+        &self,
+        node_id: &str,
+        query: &str,
+        log: &mut TransferLog,
+    ) -> Result<Vec<SizeEstimate>, FederationError> {
+        match self.call(node_id, Request::Compile { query: query.to_owned() }, log)? {
+            Response::Compiled { estimates, .. } => Ok(estimates),
+            other => Err(FederationError::Protocol(format!("{other:?}"))),
+        }
+    }
+
+    /// **Ship-query**: execute remotely, stream results back in chunks.
+    pub fn ship_query(
+        &self,
+        node_id: &str,
+        query: &str,
+        chunk_bytes: usize,
+    ) -> Result<(HashMap<String, Dataset>, TransferLog), FederationError> {
+        let mut log = TransferLog::default();
+        let (ticket, chunks) = match self.call(
+            node_id,
+            Request::Execute { query: query.to_owned(), chunk_bytes },
+            &mut log,
+        )? {
+            Response::Accepted { ticket, chunks, .. } => (ticket, chunks),
+            other => return Err(FederationError::Protocol(format!("{other:?}"))),
+        };
+        let mut payload = Vec::new();
+        for i in 0..chunks {
+            match self.call(node_id, Request::FetchChunk { ticket, chunk: i }, &mut log)? {
+                Response::Chunk { data, .. } => payload.extend(data),
+                other => return Err(FederationError::Protocol(format!("{other:?}"))),
+            }
+        }
+        self.call(node_id, Request::Release { ticket }, &mut log)?;
+        let decoded = decode_staged(&payload).map_err(FederationError::Protocol)?;
+        Ok((decoded.into_iter().collect(), log))
+    }
+
+    /// **Ship-query with user samples** (§4.3): upload a private local
+    /// dataset to the node, run a query that may reference it, retrieve
+    /// the results, and drop the upload — the node never lists it and
+    /// holds it only for the duration of the conversation.
+    pub fn ship_query_with_upload(
+        &self,
+        node_id: &str,
+        upload: &Dataset,
+        query: &str,
+        chunk_bytes: usize,
+    ) -> Result<(HashMap<String, Dataset>, TransferLog), FederationError> {
+        let mut log = TransferLog::default();
+        let data = serde_json::to_vec(upload)
+            .map_err(|e| FederationError::Protocol(format!("serialising upload: {e}")))?;
+        self.call(
+            node_id,
+            Request::Upload { name: upload.name.clone(), data },
+            &mut log,
+        )?;
+        // Run the query; always attempt the drop, even on failure, so the
+        // privacy guarantee holds.
+        let result = self.ship_query(node_id, query, chunk_bytes);
+        let mut drop_log = TransferLog::default();
+        let dropped = self.call(
+            node_id,
+            Request::DropUpload { name: upload.name.clone() },
+            &mut drop_log,
+        );
+        let (outputs, qlog) = result?;
+        dropped?;
+        log.requests += qlog.requests + drop_log.requests;
+        log.bytes_sent += qlog.bytes_sent + drop_log.bytes_sent;
+        log.bytes_received += qlog.bytes_received + drop_log.bytes_received;
+        Ok((outputs, log))
+    }
+
+    /// **Ship-data**: fetch the named datasets wholesale, then run the
+    /// query locally with `local_workers` threads.
+    pub fn ship_data(
+        &self,
+        node_id: &str,
+        datasets: &[&str],
+        query: &str,
+        local_workers: usize,
+    ) -> Result<(HashMap<String, Dataset>, TransferLog), FederationError> {
+        let mut log = TransferLog::default();
+        let mut engine = GmqlEngine::with_workers(local_workers);
+        for name in datasets {
+            match self.call(
+                node_id,
+                Request::FetchDataset { name: (*name).to_owned() },
+                &mut log,
+            )? {
+                Response::WholeDataset { data } => {
+                    let ds: Dataset =
+                        serde_json::from_slice(&data).map_err(|e| {
+                            FederationError::Protocol(format!("bad dataset payload: {e}"))
+                        })?;
+                    engine.register(ds);
+                }
+                other => return Err(FederationError::Protocol(format!("{other:?}"))),
+            }
+        }
+        let outputs = engine.run(query).map_err(|e| FederationError::Remote(e.to_string()))?;
+        Ok((outputs, log))
+    }
+}
+
+/// Where each dataset of a distributed query lives and where it ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedPlan {
+    /// The node chosen to execute the query.
+    pub host: String,
+    /// Datasets shipped to the host from other nodes: `(dataset, owner)`.
+    pub shipped: Vec<(String, String)>,
+}
+
+impl Federation {
+    /// Execute a query whose source datasets may live on **different
+    /// nodes** (§4.4 federated processing proper). Strategy: pick the
+    /// node owning the largest share of referenced bytes as the host,
+    /// move the (smaller) remaining datasets to it as private temporary
+    /// uploads, execute there, retrieve results, and drop the uploads.
+    ///
+    /// Returns the outputs, the placement decisions, and the combined
+    /// transfer log.
+    pub fn execute_distributed(
+        &self,
+        query: &str,
+        chunk_bytes: usize,
+    ) -> Result<(HashMap<String, Dataset>, DistributedPlan, TransferLog), FederationError> {
+        let mut log = TransferLog::default();
+        // 1. Discover ownership and sizes.
+        let inventory = self.discover(&mut log)?;
+        let mut location: HashMap<String, (String, usize)> = HashMap::new();
+        for (node, datasets) in &inventory {
+            for d in datasets {
+                location.insert(d.name.clone(), (node.clone(), d.stats.bytes));
+            }
+        }
+        // 2. Which datasets does the query reference? Ask each node to
+        // compile until one accepts — cheaper: extract source names via
+        // nggc-core's parser.
+        let statements =
+            nggc_core::parse(query).map_err(|e| FederationError::Remote(e.to_string()))?;
+        let mut defined: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut sources: Vec<String> = Vec::new();
+        for stmt in &statements {
+            if let nggc_core::Statement::Assign { var, call } = stmt {
+                let mut referenced: Vec<&String> = call.operands.iter().collect();
+                if let nggc_core::Operator::Select { semijoin: Some(sj), .. } = &call.op {
+                    referenced.push(&sj.external);
+                }
+                for op in referenced {
+                    if !defined.contains(op) && !sources.contains(op) {
+                        sources.push(op.clone());
+                    }
+                }
+                defined.insert(var.clone());
+            }
+        }
+        // 3. Validate availability and pick the host.
+        let mut per_node_bytes: HashMap<&str, usize> = HashMap::new();
+        for src in &sources {
+            let (node, bytes) = location
+                .get(src)
+                .ok_or_else(|| FederationError::Remote(format!("no node owns {src:?}")))?;
+            *per_node_bytes.entry(node.as_str()).or_insert(0) += bytes;
+        }
+        let host = per_node_bytes
+            .iter()
+            .max_by_key(|(node, bytes)| (**bytes, std::cmp::Reverse(node.len())))
+            .map(|(node, _)| (*node).to_owned())
+            .ok_or_else(|| FederationError::Remote("query references no datasets".into()))?;
+        // 4. Ship foreign datasets to the host as temporary uploads.
+        let mut shipped = Vec::new();
+        for src in &sources {
+            let (owner, _) = &location[src];
+            if owner == &host {
+                continue;
+            }
+            let data = match self.call(
+                owner,
+                Request::FetchDataset { name: src.clone() },
+                &mut log,
+            )? {
+                Response::WholeDataset { data } => data,
+                other => return Err(FederationError::Protocol(format!("{other:?}"))),
+            };
+            self.call(&host, Request::Upload { name: src.clone(), data }, &mut log)?;
+            shipped.push((src.clone(), owner.clone()));
+        }
+        // 5. Execute on the host and always drop the uploads.
+        let result = self.ship_query(&host, query, chunk_bytes);
+        for (name, _) in &shipped {
+            let mut drop_log = TransferLog::default();
+            let _ = self.call(&host, Request::DropUpload { name: name.clone() }, &mut drop_log);
+            log.requests += drop_log.requests;
+            log.bytes_sent += drop_log.bytes_sent;
+            log.bytes_received += drop_log.bytes_received;
+        }
+        let (outputs, qlog) = result?;
+        log.requests += qlog.requests;
+        log.bytes_sent += qlog.bytes_sent;
+        log.bytes_received += qlog.bytes_received;
+        Ok((outputs, DistributedPlan { host, shipped }, log))
+    }
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation::new()
+    }
+}
+
+impl Drop for Federation {
+    fn drop(&mut self) {
+        for node in &mut self.nodes {
+            // Closing the channel stops the node loop.
+            let (tx, _) = unbounded();
+            let old = std::mem::replace(&mut node.tx, tx);
+            drop(old);
+            if let Some(join) = node.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Attribute, GRegion, Metadata, Sample, Schema, Strand, ValueType};
+
+    fn peaks(n_samples: usize, regions_per_sample: usize) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new("PEAKS", schema);
+        for i in 0..n_samples {
+            let regions = (0..regions_per_sample)
+                .map(|j| {
+                    GRegion::new("chr1", (j * 1000) as u64, (j * 1000 + 200) as u64, Strand::Unstranded)
+                        .with_values(vec![0.001.into()])
+                })
+                .collect();
+            ds.add_sample(
+                Sample::new(format!("s{i}"), "PEAKS")
+                    .with_regions(regions)
+                    .with_metadata(Metadata::from_pairs([(
+                        "cell",
+                        if i % 2 == 0 { "HeLa" } else { "K562" },
+                    )])),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    fn federation() -> Federation {
+        let mut fed = Federation::new();
+        let mut node = FederationNode::new("polimi", 2);
+        node.own(peaks(6, 50));
+        fed.add_node(node);
+        fed
+    }
+
+    const QUERY: &str =
+        "X = SELECT(cell == 'HeLa'; region: left < 5000) PEAKS; MATERIALIZE X;";
+
+    #[test]
+    fn discovery_lists_remote_datasets() {
+        let fed = federation();
+        let mut log = TransferLog::default();
+        let found = fed.discover(&mut log).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1[0].name, "PEAKS");
+        assert!(log.total() > 0);
+    }
+
+    #[test]
+    fn ship_query_returns_results() {
+        let fed = federation();
+        let (out, log) = fed.ship_query("polimi", QUERY, 4096).unwrap();
+        assert_eq!(out["X"].sample_count(), 3);
+        assert_eq!(out["X"].samples[0].region_count(), 5);
+        assert!(log.total() > 0);
+    }
+
+    #[test]
+    fn ship_data_agrees_but_moves_more_bytes() {
+        let fed = federation();
+        let (q_out, q_log) = fed.ship_query("polimi", QUERY, 4096).unwrap();
+        let (d_out, d_log) = fed.ship_data("polimi", &["PEAKS"], QUERY, 2).unwrap();
+        assert_eq!(q_out["X"].sample_count(), d_out["X"].sample_count());
+        assert_eq!(q_out["X"].region_count(), d_out["X"].region_count());
+        assert!(
+            d_log.bytes_received > q_log.bytes_received,
+            "ship-data {} must exceed ship-query {}",
+            d_log.bytes_received,
+            q_log.bytes_received
+        );
+    }
+
+    #[test]
+    fn compile_remote_estimates_before_moving_data() {
+        let fed = federation();
+        let mut log = TransferLog::default();
+        let est = fed.compile_remote("polimi", QUERY, &mut log).unwrap();
+        assert_eq!(est[0].name, "X");
+        assert!(est[0].bytes > 0);
+        // Compilation exchanges only small messages.
+        assert!(log.total() < 10_000, "compile moved {} bytes", log.total());
+    }
+
+    #[test]
+    fn chunked_retrieval_with_tiny_chunks() {
+        let fed = federation();
+        let (out, log) = fed.ship_query("polimi", QUERY, 1024).unwrap();
+        assert_eq!(out["X"].sample_count(), 3);
+        assert!(log.requests > 3, "multiple chunk fetches: {}", log.requests);
+    }
+
+    fn annotations() -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap();
+        let mut ds = Dataset::new("ANNOTATIONS", schema);
+        ds.add_sample(Sample::new("ucsc", "ANNOTATIONS").with_regions(vec![
+            GRegion::new("chr1", 0, 10_000, Strand::Unstranded)
+                .with_values(vec!["promoter".into()]),
+        ]))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn distributed_query_spans_two_nodes() {
+        // PEAKS lives on polimi (large), ANNOTATIONS on broad (small).
+        let mut fed = Federation::new();
+        let mut n1 = FederationNode::new("polimi", 2);
+        n1.own(peaks(6, 60));
+        fed.add_node(n1);
+        let mut n2 = FederationNode::new("broad", 2);
+        n2.own(annotations());
+        fed.add_node(n2);
+
+        const Q: &str = "
+            PROMS = SELECT(region: annType == 'promoter') ANNOTATIONS;
+            R = MAP(n AS COUNT) PROMS PEAKS;
+            MATERIALIZE R;
+        ";
+        let (out, plan, log) = fed.execute_distributed(Q, 32 * 1024).unwrap();
+        assert_eq!(plan.host, "polimi", "host = owner of the larger dataset");
+        assert_eq!(plan.shipped, vec![("ANNOTATIONS".to_string(), "broad".to_string())]);
+        assert_eq!(out["R"].sample_count(), 6);
+        assert!(log.total() > 0);
+
+        // Reference: both datasets local.
+        let mut local = GmqlEngine::with_workers(2);
+        local.register(peaks(6, 60));
+        local.register(annotations());
+        let expected = local.run(Q).unwrap();
+        assert_eq!(out["R"].region_count(), expected["R"].region_count());
+
+        // The shipped annotation upload was dropped from the host.
+        assert!(matches!(
+            fed.ship_query("polimi", "X = SELECT() ANNOTATIONS; MATERIALIZE X;", 4096),
+            Err(FederationError::Remote(_))
+        ));
+    }
+
+    #[test]
+    fn distributed_query_errors_on_unknown_dataset() {
+        let mut fed = Federation::new();
+        let mut n1 = FederationNode::new("polimi", 1);
+        n1.own(peaks(2, 5));
+        fed.add_node(n1);
+        assert!(matches!(
+            fed.execute_distributed("R = SELECT() NOWHERE; MATERIALIZE R;", 4096),
+            Err(FederationError::Remote(msg)) if msg.contains("NOWHERE")
+        ));
+    }
+
+    #[test]
+    fn user_upload_is_private_and_dropped() {
+        let fed = federation();
+        // A private user sample: one region overlapping the node's peaks.
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut mine = Dataset::new("MY_REGIONS", schema);
+        mine.add_sample(
+            Sample::new("user", "MY_REGIONS").with_regions(vec![
+                GRegion::new("chr1", 0, 2_000, Strand::Unstranded).with_values(vec![0.5.into()]),
+            ]),
+        )
+        .unwrap();
+
+        let (out, log) = fed
+            .ship_query_with_upload(
+                "polimi",
+                &mine,
+                "R = MAP(n AS COUNT) MY_REGIONS PEAKS; MATERIALIZE R;",
+                8192,
+            )
+            .unwrap();
+        assert_eq!(out["R"].sample_count(), 6, "one output per (user, peak-sample) pair");
+        assert!(log.bytes_sent > 0);
+
+        // The upload is gone: the same query now fails to compile, and it
+        // never appeared in the public listing.
+        assert!(matches!(
+            fed.ship_query("polimi", "R = MAP(n AS COUNT) MY_REGIONS PEAKS; MATERIALIZE R;", 8192),
+            Err(FederationError::Remote(_))
+        ));
+        let mut dlog = TransferLog::default();
+        let listed = fed.discover(&mut dlog).unwrap();
+        assert!(listed[0].1.iter().all(|d| d.name != "MY_REGIONS"));
+    }
+
+    #[test]
+    fn upload_cannot_shadow_repository_dataset() {
+        let fed = federation();
+        let shadow = Dataset::new("PEAKS", Schema::empty());
+        assert!(matches!(
+            fed.ship_query_with_upload("polimi", &shadow, "R = SELECT() PEAKS; MATERIALIZE R;", 8192),
+            Err(FederationError::Remote(_))
+        ));
+    }
+
+    #[test]
+    fn staging_capacity_enforced() {
+        let mut fed = Federation::new();
+        let mut node = FederationNode::new("tiny", 1).with_staging_capacity(1);
+        node.own(peaks(2, 5));
+        fed.add_node(node);
+        let mut log = TransferLog::default();
+        // First Execute fills the single staging slot.
+        let r1 = fed.call(
+            "tiny",
+            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            &mut log,
+        );
+        let ticket = match r1.unwrap() {
+            Response::Accepted { ticket, .. } => ticket,
+            other => panic!("{other:?}"),
+        };
+        // Second Execute is refused until the ticket is released.
+        let r2 = fed.call(
+            "tiny",
+            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            &mut log,
+        );
+        assert!(matches!(r2, Err(FederationError::Remote(msg)) if msg.contains("staging full")));
+        fed.call("tiny", Request::Release { ticket }, &mut log).unwrap();
+        let r3 = fed.call(
+            "tiny",
+            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            &mut log,
+        );
+        assert!(matches!(r3, Ok(Response::Accepted { .. })));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let fed = federation();
+        assert!(matches!(
+            fed.ship_query("nowhere", QUERY, 1024),
+            Err(FederationError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            fed.ship_query("polimi", "X = SELECT(a == 1) NOPE;", 1024),
+            Err(FederationError::Remote(_))
+        ));
+    }
+}

@@ -1,0 +1,20 @@
+//! # `nggc-federation` — federated GMQL query processing
+//!
+//! Implements the §4.4 vision: cooperating repository nodes form a
+//! federation; GMQL queries ship to the node owning the data, execute
+//! there, and only (small) results travel back, with compile-time size
+//! estimates and client-controlled staged retrieval. Every message is
+//! byte-accounted, which is how experiment E7 quantifies the paper's
+//! "move processing to data" claim against today's ship-data practice.
+
+#![warn(missing_docs)]
+
+pub mod federation;
+pub mod node;
+pub mod protocol;
+
+pub use federation::{DistributedPlan, Federation, FederationError};
+pub use node::{decode_staged, FederationNode};
+pub use protocol::{
+    DatasetSummary, Request, Response, SizeEstimate, TransferLog,
+};

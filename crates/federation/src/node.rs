@@ -1,0 +1,367 @@
+//! A federation node: owns datasets, answers protocol requests.
+//!
+//! "Each data repository will be the owner of the data that are locally
+//! produced ... queries move from a requesting node to a remote node, are
+//! locally executed, and results are communicated back" (§4.4). A node
+//! wraps a [`GmqlEngine`] over its local datasets, compiles and executes
+//! incoming GMQL text, and stages serialized results for chunked
+//! retrieval so the requester stays "in control of staging resources and
+//! of communication load".
+
+use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate};
+use nggc_core::GmqlEngine;
+use nggc_gdm::Dataset;
+use std::collections::HashMap;
+
+/// One federated node.
+pub struct FederationNode {
+    /// Node identifier.
+    pub id: String,
+    engine: GmqlEngine,
+    datasets: Vec<(String, nggc_gdm::DatasetStats)>,
+    staged: HashMap<u64, StagedResult>,
+    next_ticket: u64,
+    /// Temporary user uploads (private: never listed, dropped on request).
+    uploads: Vec<String>,
+    /// Maximum concurrently staged results ("control of staging
+    /// resources", §4.4).
+    max_staged: usize,
+}
+
+struct StagedResult {
+    chunks: Vec<Vec<u8>>,
+}
+
+impl FederationNode {
+    /// Create a node with `workers` local threads and the default
+    /// staging capacity (8 concurrent results).
+    pub fn new(id: impl Into<String>, workers: usize) -> FederationNode {
+        FederationNode {
+            id: id.into(),
+            engine: GmqlEngine::with_workers(workers),
+            datasets: Vec::new(),
+            staged: HashMap::new(),
+            next_ticket: 1,
+            uploads: Vec::new(),
+            max_staged: 8,
+        }
+    }
+
+    /// Override the staging capacity.
+    pub fn with_staging_capacity(mut self, max_staged: usize) -> FederationNode {
+        self.max_staged = max_staged.max(1);
+        self
+    }
+
+    /// Make the node own a dataset.
+    pub fn own(&mut self, dataset: Dataset) {
+        self.datasets.push((dataset.name.clone(), dataset.stats()));
+        self.engine.register(dataset);
+    }
+
+    /// Names of owned datasets.
+    pub fn owned(&self) -> Vec<&str> {
+        self.datasets.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Handle one protocol request.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match request {
+            Request::ListDatasets => Response::Datasets(
+                self.datasets
+                    .iter()
+                    .map(|(name, stats)| DatasetSummary {
+                        name: name.clone(),
+                        schema: self
+                            .engine
+                            .dataset(name)
+                            .map(|d| d.schema.clone())
+                            .unwrap_or_default(),
+                        stats: *stats,
+                    })
+                    .collect(),
+            ),
+            Request::DatasetInfo { name } => match self.engine.dataset(name) {
+                Some(d) => Response::Info(DatasetSummary {
+                    name: name.clone(),
+                    schema: d.schema.clone(),
+                    stats: d.stats(),
+                }),
+                None => Response::Error(format!("unknown dataset {name:?}")),
+            },
+            Request::Compile { query } => {
+                let plan = match self.engine.compile(query) {
+                    Ok(p) => p,
+                    Err(e) => return Response::Error(e.to_string()),
+                };
+                let outputs = plan
+                    .outputs
+                    .iter()
+                    .map(|(name, id)| (name.clone(), plan.nodes[*id].schema.clone()))
+                    .collect();
+                let estimates = match self.engine.estimate(query) {
+                    Ok(est) => est
+                        .outputs
+                        .into_iter()
+                        .map(|o| SizeEstimate {
+                            name: o.name,
+                            samples: o.samples,
+                            regions: o.regions,
+                            bytes: o.bytes,
+                        })
+                        .collect(),
+                    Err(e) => return Response::Error(e.to_string()),
+                };
+                Response::Compiled { outputs, estimates }
+            }
+            Request::Execute { query, chunk_bytes } => {
+                if self.staged.len() >= self.max_staged {
+                    return Response::Error(format!(
+                        "staging full ({} results held); release a ticket first",
+                        self.staged.len()
+                    ));
+                }
+                let results = match self.engine.run(query) {
+                    Ok(r) => r,
+                    Err(e) => return Response::Error(e.to_string()),
+                };
+                let mut outputs: Vec<String> = results.keys().cloned().collect();
+                outputs.sort();
+                let mut payload = Vec::new();
+                for name in &outputs {
+                    let bytes = match serde_json::to_vec(&results[name]) {
+                        Ok(b) => b,
+                        Err(e) => return Response::Error(e.to_string()),
+                    };
+                    // Frame: name length, name, body length, body.
+                    payload.extend((name.len() as u64).to_le_bytes());
+                    payload.extend(name.as_bytes());
+                    payload.extend((bytes.len() as u64).to_le_bytes());
+                    payload.extend(bytes);
+                }
+                let chunk_bytes = (*chunk_bytes).max(1024);
+                let chunks: Vec<Vec<u8>> =
+                    payload.chunks(chunk_bytes).map(|c| c.to_vec()).collect();
+                let total_bytes = payload.len();
+                let n_chunks = chunks.len().max(1);
+                let ticket = self.next_ticket;
+                self.next_ticket += 1;
+                self.staged.insert(
+                    ticket,
+                    StagedResult {
+                        chunks: if chunks.is_empty() { vec![Vec::new()] } else { chunks },
+                    },
+                );
+                Response::Accepted { ticket, outputs, chunks: n_chunks, total_bytes }
+            }
+            Request::FetchChunk { ticket, chunk } => match self.staged.get(ticket) {
+                Some(staged) => match staged.chunks.get(*chunk) {
+                    Some(data) => Response::Chunk {
+                        ticket: *ticket,
+                        index: *chunk,
+                        data: data.clone(),
+                        last: *chunk + 1 == staged.chunks.len(),
+                    },
+                    None => Response::Error(format!("chunk {chunk} out of range")),
+                },
+                None => Response::Error(format!("unknown ticket {ticket}")),
+            },
+            Request::FetchDataset { name } => match self.engine.dataset(name) {
+                Some(d) => match serde_json::to_vec(d) {
+                    Ok(data) => Response::WholeDataset { data },
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                None => Response::Error(format!("unknown dataset {name:?}")),
+            },
+            Request::Release { ticket } => {
+                if self.staged.remove(ticket).is_some() {
+                    Response::Ok
+                } else {
+                    Response::Error(format!("unknown ticket {ticket}"))
+                }
+            }
+            Request::Upload { name, data } => {
+                if self.datasets.iter().any(|(n, _)| n == name) {
+                    return Response::Error(format!(
+                        "{name:?} collides with a repository dataset"
+                    ));
+                }
+                match serde_json::from_slice::<Dataset>(data) {
+                    Ok(mut ds) => {
+                        ds.name = name.clone();
+                        if !self.uploads.contains(name) {
+                            self.uploads.push(name.clone());
+                        }
+                        self.engine.register(ds);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error(format!("bad upload payload: {e}")),
+                }
+            }
+            Request::DropUpload { name } => {
+                if let Some(pos) = self.uploads.iter().position(|n| n == name) {
+                    self.uploads.remove(pos);
+                    self.engine.unregister(name);
+                    Response::Ok
+                } else {
+                    Response::Error(format!("no upload named {name:?}"))
+                }
+            }
+        }
+    }
+
+    /// Names of live user uploads (test/observability hook).
+    pub fn uploads(&self) -> &[String] {
+        &self.uploads
+    }
+
+    /// Number of currently staged results (staging-resource control).
+    pub fn staged_results(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// Reassemble the framed payload of a staged result into named datasets.
+pub fn decode_staged(payload: &[u8]) -> Result<Vec<(String, Dataset)>, String> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < payload.len() {
+        let take_u64 = |pos: &mut usize| -> Result<u64, String> {
+            let end = *pos + 8;
+            if end > payload.len() {
+                return Err("truncated frame header".to_owned());
+            }
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&payload[*pos..end]);
+            *pos = end;
+            Ok(u64::from_le_bytes(buf))
+        };
+        let name_len = take_u64(&mut pos)? as usize;
+        if pos + name_len > payload.len() {
+            return Err("truncated name".to_owned());
+        }
+        let name = String::from_utf8_lossy(&payload[pos..pos + name_len]).into_owned();
+        pos += name_len;
+        let body_len = take_u64(&mut pos)? as usize;
+        if pos + body_len > payload.len() {
+            return Err("truncated body".to_owned());
+        }
+        let dataset: Dataset = serde_json::from_slice(&payload[pos..pos + body_len])
+            .map_err(|e| e.to_string())?;
+        pos += body_len;
+        out.push((name, dataset));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Attribute, GRegion, Metadata, Sample, Schema, Strand, ValueType};
+
+    fn node() -> FederationNode {
+        let mut node = FederationNode::new("polimi", 2);
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new("PEAKS", schema);
+        for i in 0..3 {
+            ds.add_sample(
+                Sample::new(format!("s{i}"), "PEAKS")
+                    .with_regions(vec![
+                        GRegion::new("chr1", i * 100, i * 100 + 50, Strand::Unstranded)
+                            .with_values(vec![0.01.into()]),
+                    ])
+                    .with_metadata(Metadata::from_pairs([(
+                        "cell",
+                        if i == 0 { "HeLa" } else { "K562" },
+                    )])),
+            )
+            .unwrap();
+        }
+        node.own(ds);
+        node
+    }
+
+    #[test]
+    fn list_and_info() {
+        let mut n = node();
+        match n.handle(&Request::ListDatasets) {
+            Response::Datasets(ds) => {
+                assert_eq!(ds.len(), 1);
+                assert_eq!(ds[0].stats.samples, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            n.handle(&Request::DatasetInfo { name: "PEAKS".into() }),
+            Response::Info(_)
+        ));
+        assert!(matches!(
+            n.handle(&Request::DatasetInfo { name: "NOPE".into() }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn compile_returns_schema_and_estimate() {
+        let mut n = node();
+        match n.handle(&Request::Compile {
+            query: "X = SELECT(cell == 'K562') PEAKS; MATERIALIZE X;".into(),
+        }) {
+            Response::Compiled { outputs, estimates } => {
+                assert_eq!(outputs[0].0, "X");
+                assert!(outputs[0].1.get("p").is_some());
+                assert!(estimates[0].bytes > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            n.handle(&Request::Compile { query: "X = SELEKT() P;".into() }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn execute_stage_fetch_release() {
+        let mut n = node();
+        let (ticket, chunks) = match n.handle(&Request::Execute {
+            query: "X = SELECT(cell == 'K562') PEAKS; MATERIALIZE X;".into(),
+            chunk_bytes: 1024,
+        }) {
+            Response::Accepted { ticket, chunks, total_bytes, .. } => {
+                assert!(total_bytes > 0);
+                (ticket, chunks)
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(n.staged_results(), 1);
+        let mut payload = Vec::new();
+        for i in 0..chunks {
+            match n.handle(&Request::FetchChunk { ticket, chunk: i }) {
+                Response::Chunk { data, last, .. } => {
+                    payload.extend(data);
+                    assert_eq!(last, i + 1 == chunks);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let results = decode_staged(&payload).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "X");
+        assert_eq!(results[0].1.sample_count(), 2, "two K562 samples");
+        assert!(matches!(n.handle(&Request::Release { ticket }), Response::Ok));
+        assert_eq!(n.staged_results(), 0);
+        assert!(matches!(n.handle(&Request::Release { ticket }), Response::Error(_)));
+    }
+
+    #[test]
+    fn whole_dataset_fetch() {
+        let mut n = node();
+        match n.handle(&Request::FetchDataset { name: "PEAKS".into() }) {
+            Response::WholeDataset { data } => {
+                let ds: Dataset = serde_json::from_slice(&data).unwrap();
+                assert_eq!(ds.sample_count(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The federation wire protocol.
+//!
+//! §4.4 sketches "simple interaction protocols, typically for: requesting
+//! information about remote datasets ...; transmitting a query in
+//! high-level format and obtain[ing] data about its compilation, not only
+//! limited to correctness, but including also estimates of the data sizes
+//! of results; launching query execution and then controlling the
+//! transmission of results, so as to be in control of staging resources
+//! and of communication load." The three message families below map to
+//! those three bullets; results stream back in fixed-size chunks the
+//! client pulls at its own pace.
+
+use nggc_gdm::{DatasetStats, Schema};
+use serde::{Deserialize, Serialize};
+
+/// A request from a coordinator to a federation node.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum Request {
+    /// List the datasets the node owns.
+    ListDatasets,
+    /// Detailed information about one dataset.
+    DatasetInfo {
+        /// Dataset name.
+        name: String,
+    },
+    /// Compile a GMQL query: correctness + schemas + size estimates.
+    Compile {
+        /// GMQL query text.
+        query: String,
+    },
+    /// Execute a GMQL query; the node stages results for chunked
+    /// retrieval and returns a ticket.
+    Execute {
+        /// GMQL query text.
+        query: String,
+        /// Preferred chunk size in bytes.
+        chunk_bytes: usize,
+    },
+    /// Pull one chunk of a staged result.
+    FetchChunk {
+        /// Ticket from [`Response::Accepted`].
+        ticket: u64,
+        /// Chunk index (0-based).
+        chunk: usize,
+    },
+    /// Fetch a whole dataset (the ship-data anti-pattern E7 measures).
+    FetchDataset {
+        /// Dataset name.
+        name: String,
+    },
+    /// Release a staged result.
+    Release {
+        /// Ticket to release.
+        ticket: u64,
+    },
+    /// Upload a user dataset for use in subsequent queries. §4.3: "It
+    /// will be possible to provide user input samples to the services,
+    /// whose privacy will be protected" — uploads are marked temporary
+    /// and dropped on request (or when the node is shut down), and they
+    /// never appear in ListDatasets.
+    Upload {
+        /// Temporary dataset name (queries reference it directly).
+        name: String,
+        /// Serialized dataset.
+        data: Vec<u8>,
+    },
+    /// Drop a previously uploaded user dataset.
+    DropUpload {
+        /// The temporary name.
+        name: String,
+    },
+}
+
+/// Summary of one remote dataset.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Region schema (enough to formalise queries, §4.4).
+    pub schema: Schema,
+    /// Cardinality statistics.
+    pub stats: DatasetStats,
+}
+
+/// Estimated output size returned by Compile.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SizeEstimate {
+    /// Output name.
+    pub name: String,
+    /// Estimated samples.
+    pub samples: usize,
+    /// Estimated regions.
+    pub regions: usize,
+    /// Estimated serialized bytes.
+    pub bytes: usize,
+}
+
+/// A response from a node.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum Response {
+    /// Answer to ListDatasets.
+    Datasets(Vec<DatasetSummary>),
+    /// Answer to DatasetInfo.
+    Info(DatasetSummary),
+    /// Answer to Compile.
+    Compiled {
+        /// `(output name, schema)` for each MATERIALIZE.
+        outputs: Vec<(String, Schema)>,
+        /// Size estimates per output.
+        estimates: Vec<SizeEstimate>,
+    },
+    /// Answer to Execute: results are staged.
+    Accepted {
+        /// Retrieval ticket.
+        ticket: u64,
+        /// Output names staged under the ticket.
+        outputs: Vec<String>,
+        /// Number of chunks to fetch.
+        chunks: usize,
+        /// Total staged bytes.
+        total_bytes: usize,
+    },
+    /// One chunk of a staged result.
+    Chunk {
+        /// The ticket.
+        ticket: u64,
+        /// Chunk index.
+        index: usize,
+        /// Serialized payload bytes.
+        data: Vec<u8>,
+        /// True when this is the final chunk.
+        last: bool,
+    },
+    /// A whole dataset (ship-data path).
+    WholeDataset {
+        /// Serialized dataset.
+        data: Vec<u8>,
+    },
+    /// Acknowledgement (Release).
+    Ok,
+    /// An error.
+    Error(String),
+}
+
+impl Request {
+    /// Serialized size of the message, for transfer accounting.
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+impl Response {
+    /// Serialized size of the message, for transfer accounting.
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// Bidirectional transfer accounting for one conversation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferLog {
+    /// Messages sent (requests).
+    pub requests: usize,
+    /// Bytes sent to the node.
+    pub bytes_sent: usize,
+    /// Bytes received from the node.
+    pub bytes_received: usize,
+}
+
+impl TransferLog {
+    /// Record one request/response exchange.
+    pub fn record(&mut self, req: &Request, resp: &Response) {
+        self.requests += 1;
+        self.bytes_sent += req.wire_size();
+        self.bytes_received += resp.wire_size();
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> usize {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_positive_and_roundtrip() {
+        let req = Request::Compile { query: "X = SELECT(a == 1) D;".into() };
+        assert!(req.wire_size() > 10);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn transfer_log_accumulates() {
+        let mut log = TransferLog::default();
+        let req = Request::ListDatasets;
+        let resp = Response::Ok;
+        log.record(&req, &resp);
+        log.record(&req, &resp);
+        assert_eq!(log.requests, 2);
+        assert_eq!(log.total(), 2 * (req.wire_size() + resp.wire_size()));
+    }
+}

@@ -1,0 +1,135 @@
+//! File-format detection and the uniform loader.
+//!
+//! GDM "mediates all existing data formats" (paper §2); this module maps a
+//! file extension to a parser and its induced schema so that heterogeneous
+//! files load into datasets with one call.
+
+use crate::bed::{parse_bed, BedOptions};
+use crate::bedgraph::{bedgraph_schema, parse_bedgraph};
+use crate::error::FormatError;
+use crate::gff3::{gff3_schema, parse_gff3};
+use crate::gtf::{gtf_schema, parse_gtf};
+use crate::peak::{parse_peaks, PeakKind};
+use crate::vcf::{parse_vcf, vcf_schema};
+use crate::wig::{parse_wig, wig_schema};
+use nggc_gdm::{GRegion, Schema};
+use std::path::Path;
+
+/// A recognised external genomic file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// BED (6 standard columns assumed when present).
+    Bed,
+    /// ENCODE narrowPeak.
+    NarrowPeak,
+    /// ENCODE broadPeak.
+    BroadPeak,
+    /// GTF annotation.
+    Gtf,
+    /// GFF3 annotation.
+    Gff3,
+    /// VCF variant calls.
+    Vcf,
+    /// bedGraph signal.
+    BedGraph,
+    /// WIG signal track.
+    Wig,
+}
+
+impl FileFormat {
+    /// Detect from a file extension (`.bed`, `.narrowPeak`, `.broadPeak`,
+    /// `.gtf`, `.vcf`, `.bedgraph`/`.bdg`).
+    pub fn from_path(path: &Path) -> Result<FileFormat, FormatError> {
+        let ext = path
+            .extension()
+            .map(|e| e.to_string_lossy().to_ascii_lowercase())
+            .unwrap_or_default();
+        match ext.as_str() {
+            "bed" => Ok(FileFormat::Bed),
+            "narrowpeak" => Ok(FileFormat::NarrowPeak),
+            "broadpeak" => Ok(FileFormat::BroadPeak),
+            "gtf" => Ok(FileFormat::Gtf),
+            "gff3" | "gff" => Ok(FileFormat::Gff3),
+            "vcf" => Ok(FileFormat::Vcf),
+            "bedgraph" | "bdg" => Ok(FileFormat::BedGraph),
+            "wig" => Ok(FileFormat::Wig),
+            other => Err(FormatError::UnknownFormat(format!("extension {other:?}"))),
+        }
+    }
+
+    /// The GDM region schema this format induces.
+    pub fn schema(self) -> Schema {
+        match self {
+            FileFormat::Bed => BedOptions::bed6().schema(),
+            FileFormat::NarrowPeak => PeakKind::Narrow.schema(),
+            FileFormat::BroadPeak => PeakKind::Broad.schema(),
+            FileFormat::Gtf => gtf_schema(),
+            FileFormat::Gff3 => gff3_schema(),
+            FileFormat::Vcf => vcf_schema(),
+            FileFormat::BedGraph => bedgraph_schema(),
+            FileFormat::Wig => wig_schema(),
+        }
+    }
+
+    /// Parse file text into regions under [`FileFormat::schema`].
+    pub fn parse(self, text: &str) -> Result<Vec<GRegion>, FormatError> {
+        match self {
+            FileFormat::Bed => parse_bed(text, &BedOptions::bed6()),
+            FileFormat::NarrowPeak => parse_peaks(text, PeakKind::Narrow),
+            FileFormat::BroadPeak => parse_peaks(text, PeakKind::Broad),
+            FileFormat::Gtf => parse_gtf(text),
+            FileFormat::Gff3 => parse_gff3(text),
+            FileFormat::Vcf => parse_vcf(text),
+            FileFormat::BedGraph => parse_bedgraph(text),
+            FileFormat::Wig => parse_wig(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_by_extension() {
+        assert_eq!(FileFormat::from_path(Path::new("x/a.bed")).unwrap(), FileFormat::Bed);
+        assert_eq!(
+            FileFormat::from_path(Path::new("a.narrowPeak")).unwrap(),
+            FileFormat::NarrowPeak
+        );
+        assert_eq!(FileFormat::from_path(Path::new("a.bdg")).unwrap(), FileFormat::BedGraph);
+        assert!(FileFormat::from_path(Path::new("a.xyz")).is_err());
+        assert!(FileFormat::from_path(Path::new("noext")).is_err());
+    }
+
+    #[test]
+    fn parse_dispatch_matches_schema_arity() {
+        for fmt in [
+            FileFormat::Bed,
+            FileFormat::NarrowPeak,
+            FileFormat::BroadPeak,
+            FileFormat::Gtf,
+            FileFormat::Gff3,
+            FileFormat::Vcf,
+            FileFormat::BedGraph,
+            FileFormat::Wig,
+        ] {
+            let schema = fmt.schema();
+            assert!(!schema.attributes().is_empty() || fmt == FileFormat::Bed);
+            let text = match fmt {
+                FileFormat::Bed => "chr1\t0\t5\tn\t1\t+\n",
+                FileFormat::NarrowPeak => "chr1\t0\t5\tn\t1\t+\t2\t3\t4\t2\n",
+                FileFormat::BroadPeak => "chr1\t0\t5\tn\t1\t+\t2\t3\t4\n",
+                FileFormat::Gtf => "chr1\ts\tgene\t1\t5\t.\t+\t.\tgene_id \"g\";\n",
+                FileFormat::Gff3 => "chr1\ts\tgene\t1\t5\t.\t+\t.\tID=g\n",
+                FileFormat::Vcf => "chr1\t1\t.\tA\tC\t.\tPASS\t.\n",
+                FileFormat::BedGraph => "chr1\t0\t5\t1.5\n",
+                FileFormat::Wig => "fixedStep chrom=chr1 start=1 step=5 span=5\n1.5\n",
+            };
+            let rs = fmt.parse(text).unwrap();
+            assert_eq!(rs.len(), 1);
+            assert_eq!(rs[0].values.len(), schema.len(), "{fmt:?} arity");
+            schema.check_row(&rs[0].values).unwrap();
+        }
+    }
+}

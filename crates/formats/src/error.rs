@@ -1,0 +1,62 @@
+//! Error type for format parsing and serialisation.
+
+use nggc_gdm::GdmError;
+use std::fmt;
+
+/// Errors raised while reading or writing genomic data files.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed input line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A model-level violation (schema/type errors).
+    Model(GdmError),
+    /// The file extension or content matches no known format.
+    UnknownFormat(String),
+}
+
+impl FormatError {
+    /// Construct a [`FormatError::Malformed`].
+    pub fn malformed(line: usize, reason: impl Into<String>) -> FormatError {
+        FormatError::Malformed { line, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            FormatError::Model(e) => write!(f, "model error: {e}"),
+            FormatError::UnknownFormat(what) => write!(f, "unknown format: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            FormatError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+impl From<GdmError> for FormatError {
+    fn from(e: GdmError) -> Self {
+        FormatError::Model(e)
+    }
+}

@@ -1,0 +1,171 @@
+//! Directory loading: mixed genomic files → GDM datasets.
+//!
+//! Real repositories are directories of heterogeneous files; GDM's
+//! promise is that they all load into one model. [`load_directory`]
+//! groups a directory's recognised files by format, makes one dataset per
+//! format (samples share a schema — the GDM constraint), attaches any
+//! sidecar `.meta` files, and reports what it skipped.
+
+use crate::detect::FileFormat;
+use crate::error::FormatError;
+use crate::native::parse_metadata;
+use nggc_gdm::{Dataset, Sample};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Result of a directory load.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// One dataset per encountered format, named `<DIR>_<FORMAT>`.
+    pub datasets: Vec<Dataset>,
+    /// Files skipped because their extension is not recognised.
+    pub skipped: Vec<PathBuf>,
+    /// Files that failed to parse, with the error text.
+    pub failed: Vec<(PathBuf, String)>,
+}
+
+/// Load every recognised genomic file under `dir` (non-recursive).
+/// A sidecar `<file>.meta` (attribute<TAB>value lines) attaches metadata
+/// to the sample; `imported_from` and `format` are always recorded.
+pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
+    type Pending = (FileFormat, Vec<(PathBuf, String)>);
+    let mut by_format: BTreeMap<&'static str, Pending> = BTreeMap::new();
+    let mut report = LoadReport::default();
+
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().map(|e| e == "meta").unwrap_or(false) {
+            continue; // sidecars are picked up with their data file
+        }
+        let Ok(format) = FileFormat::from_path(&path) else {
+            report.skipped.push(path);
+            continue;
+        };
+        let key = format_label(format);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                by_format.entry(key).or_insert_with(|| (format, Vec::new())).1.push((path, text))
+            }
+            Err(e) => report.failed.push((path, e.to_string())),
+        }
+    }
+
+    let dir_name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().to_uppercase())
+        .unwrap_or_else(|| "IMPORT".to_owned());
+    for (label, (format, files)) in by_format {
+        let mut dataset = Dataset::new(format!("{dir_name}_{label}"), format.schema());
+        for (path, text) in files {
+            match format.parse(&text) {
+                Ok(regions) => {
+                    let stem = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| "sample".to_owned());
+                    let mut sample =
+                        Sample::new(stem, &dataset.name).with_regions(regions);
+                    let sidecar = path.with_extension(format!(
+                        "{}.meta",
+                        path.extension().map(|e| e.to_string_lossy()).unwrap_or_default()
+                    ));
+                    if let Ok(meta_text) = std::fs::read_to_string(&sidecar) {
+                        if let Ok(meta) = parse_metadata(&meta_text) {
+                            sample.metadata = meta;
+                        }
+                    }
+                    sample.metadata.insert("imported_from", path.display().to_string());
+                    sample.metadata.insert("format", label.to_owned());
+                    dataset.add_sample_unchecked(sample);
+                }
+                Err(e) => report.failed.push((path, e.to_string())),
+            }
+        }
+        if dataset.sample_count() > 0 {
+            report.datasets.push(dataset);
+        }
+    }
+    Ok(report)
+}
+
+fn format_label(format: FileFormat) -> &'static str {
+    match format {
+        FileFormat::Bed => "BED",
+        FileFormat::NarrowPeak => "NARROWPEAK",
+        FileFormat::BroadPeak => "BROADPEAK",
+        FileFormat::Gtf => "GTF",
+        FileFormat::Gff3 => "GFF3",
+        FileFormat::Vcf => "VCF",
+        FileFormat::BedGraph => "BEDGRAPH",
+        FileFormat::Wig => "WIG",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn setup(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nggc_loader_{tag}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mixed_directory_loads_grouped_by_format() {
+        let dir = setup("mixed");
+        fs::write(dir.join("a.bed"), "chr1\t0\t10\tx\t1\t+\n").unwrap();
+        fs::write(dir.join("b.bed"), "chr2\t5\t15\ty\t2\t-\n").unwrap();
+        fs::write(dir.join("m.vcf"), "chr1\t7\t.\tA\tC\t50\tPASS\t.\n").unwrap();
+        fs::write(dir.join("notes.txt"), "not genomic").unwrap();
+        let report = load_directory(&dir).unwrap();
+        assert_eq!(report.datasets.len(), 2, "BED and VCF datasets");
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.failed.is_empty());
+        let bed = report.datasets.iter().find(|d| d.name.ends_with("_BED")).unwrap();
+        assert_eq!(bed.sample_count(), 2);
+        bed.validate().unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_metadata_attached() {
+        let dir = setup("meta");
+        fs::write(dir.join("peaks.bed"), "chr1\t0\t10\tx\t1\t+\n").unwrap();
+        fs::write(dir.join("peaks.bed.meta"), "cell\tHeLa\nantibody\tCTCF\n").unwrap();
+        let report = load_directory(&dir).unwrap();
+        let s = &report.datasets[0].samples[0];
+        assert!(s.metadata.has("cell", "HeLa"));
+        assert!(s.metadata.has("antibody", "CTCF"));
+        assert!(s.metadata.contains_attribute("imported_from"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_failures_reported_not_fatal() {
+        let dir = setup("fail");
+        fs::write(dir.join("good.bed"), "chr1\t0\t10\n").unwrap();
+        fs::write(dir.join("bad.bed"), "chr1\tnot_a_number\t10\n").unwrap();
+        let report = load_directory(&dir).unwrap();
+        assert_eq!(report.datasets.len(), 1);
+        assert_eq!(report.datasets[0].sample_count(), 1);
+        assert_eq!(report.failed.len(), 1);
+        assert!(report.failed[0].1.contains("bad start"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory() {
+        let dir = setup("empty");
+        let report = load_directory(&dir).unwrap();
+        assert!(report.datasets.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type of the GDM crate.
+
+use crate::value::{ValueParseError, ValueType};
+use std::fmt;
+
+/// Errors raised by GDM model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdmError {
+    /// An attribute name collides with a fixed coordinate attribute.
+    ReservedAttribute(String),
+    /// Two schema attributes share a (case-insensitive) name.
+    DuplicateAttribute(String),
+    /// A referenced attribute does not exist in the schema.
+    UnknownAttribute(String),
+    /// A region row has the wrong number of values.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Row arity.
+        got: usize,
+    },
+    /// A region value has the wrong type for its column.
+    TypeMismatch {
+        /// Offending attribute name.
+        attribute: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Actual value type.
+        got: ValueType,
+    },
+    /// A sample violates the dataset schema constraint.
+    SampleSchemaMismatch {
+        /// Sample name.
+        sample: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A sample's regions are not in genome order.
+    UnsortedSample(String),
+    /// A textual token could not be parsed as its declared type.
+    Parse(ValueParseError),
+}
+
+impl fmt::Display for GdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdmError::ReservedAttribute(n) => {
+                write!(f, "attribute name {n:?} is reserved for coordinates")
+            }
+            GdmError::DuplicateAttribute(n) => write!(f, "duplicate attribute {n:?}"),
+            GdmError::UnknownAttribute(n) => write!(f, "unknown attribute {n:?}"),
+            GdmError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema declares {expected}")
+            }
+            GdmError::TypeMismatch { attribute, expected, got } => {
+                write!(f, "attribute {attribute:?}: expected {expected}, got {got}")
+            }
+            GdmError::SampleSchemaMismatch { sample, reason } => {
+                write!(f, "sample {sample:?} violates dataset schema: {reason}")
+            }
+            GdmError::UnsortedSample(s) => write!(f, "sample {s:?} regions not in genome order"),
+            GdmError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GdmError {}
+
+impl From<ValueParseError> for GdmError {
+    fn from(e: ValueParseError) -> Self {
+        GdmError::Parse(e)
+    }
+}

@@ -1,0 +1,200 @@
+//! Samples: the unit linking regions and metadata.
+//!
+//! The sample ID provides the many-to-many connection between regions and
+//! metadata of one experimental sample (paper §2, Figure 2). A sample owns
+//! its regions (kept in genome order), its metadata, and its provenance.
+
+use crate::metadata::Metadata;
+use crate::provenance::Provenance;
+use crate::region::GRegion;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Opaque sample identifier, unique within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SampleId(pub u64);
+
+static NEXT_SAMPLE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl SampleId {
+    /// Allocate a fresh process-unique identifier.
+    pub fn fresh() -> SampleId {
+        SampleId(NEXT_SAMPLE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Display for SampleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One experimental sample: regions + metadata + provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Unique identifier.
+    pub id: SampleId,
+    /// Human-readable name (file stem for loaded samples).
+    pub name: String,
+    /// Regions in genome order (enforced by [`Sample::sort_regions`] and
+    /// checked by [`Sample::is_sorted`]).
+    pub regions: Vec<GRegion>,
+    /// Region-invariant metadata of the sample.
+    pub metadata: Metadata,
+    /// Lineage of the sample.
+    pub provenance: Arc<Provenance>,
+}
+
+impl Sample {
+    /// Create a sample with a fresh ID and source provenance.
+    pub fn new(name: impl Into<String>, dataset: &str) -> Sample {
+        let name = name.into();
+        Sample {
+            id: SampleId::fresh(),
+            provenance: Provenance::source(dataset, name.clone()),
+            name,
+            regions: Vec::new(),
+            metadata: Metadata::new(),
+        }
+    }
+
+    /// Create a derived sample carrying explicit provenance.
+    pub fn derived(name: impl Into<String>, provenance: Arc<Provenance>) -> Sample {
+        Sample {
+            id: SampleId::fresh(),
+            name: name.into(),
+            regions: Vec::new(),
+            metadata: Metadata::new(),
+            provenance,
+        }
+    }
+
+    /// Builder: attach regions (sorted on insertion).
+    pub fn with_regions(mut self, regions: Vec<GRegion>) -> Sample {
+        self.regions = regions;
+        self.sort_regions();
+        self
+    }
+
+    /// Builder: attach metadata.
+    pub fn with_metadata(mut self, metadata: Metadata) -> Sample {
+        self.metadata = metadata;
+        self
+    }
+
+    /// Sort regions into genome order (stable, so attribute order among
+    /// coordinate ties is preserved).
+    pub fn sort_regions(&mut self) {
+        self.regions.sort_by(|a, b| a.cmp_coords(b));
+    }
+
+    /// True when regions are in genome order.
+    pub fn is_sorted(&self) -> bool {
+        self.regions.windows(2).all(|w| w[0].cmp_coords(&w[1]) != std::cmp::Ordering::Greater)
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total bases covered, counting overlaps multiply.
+    pub fn total_region_length(&self) -> u64 {
+        self.regions.iter().map(GRegion::len).sum()
+    }
+
+    /// The regions of one chromosome, as a contiguous slice (requires the
+    /// sample to be sorted). Returns an empty slice when absent.
+    pub fn chrom_slice(&self, chrom: &crate::coords::Chrom) -> &[GRegion] {
+        debug_assert!(self.is_sorted(), "chrom_slice requires genome order");
+        let start = self.regions.partition_point(|r| r.chrom < *chrom);
+        let end = start + self.regions[start..].partition_point(|r| r.chrom == *chrom);
+        &self.regions[start..end]
+    }
+
+    /// Distinct chromosomes present, in genome order (requires sortedness).
+    pub fn chromosomes(&self) -> Vec<crate::coords::Chrom> {
+        let mut out: Vec<crate::coords::Chrom> = Vec::new();
+        for r in &self.regions {
+            if out.last() != Some(&r.chrom) {
+                out.push(r.chrom.clone());
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// Approximate serialized size in bytes (regions + metadata).
+    pub fn encoded_size(&self) -> usize {
+        self.regions.iter().map(GRegion::encoded_size).sum::<usize>() + self.metadata.encoded_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::Strand;
+
+    fn r(c: &str, l: u64, rr: u64) -> GRegion {
+        GRegion::new(c, l, rr, Strand::Unstranded)
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = SampleId::fresh();
+        let b = SampleId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_regions_sorts() {
+        let s = Sample::new("s", "D").with_regions(vec![
+            r("chr2", 0, 10),
+            r("chr1", 50, 60),
+            r("chr1", 5, 10),
+        ]);
+        assert!(s.is_sorted());
+        assert_eq!(s.regions[0].left, 5);
+        assert_eq!(s.regions[2].chrom.as_str(), "chr2");
+    }
+
+    #[test]
+    fn chrom_slice_boundaries() {
+        let s = Sample::new("s", "D").with_regions(vec![
+            r("chr1", 0, 10),
+            r("chr1", 20, 30),
+            r("chr2", 0, 5),
+            r("chr10", 0, 5),
+        ]);
+        assert_eq!(s.chrom_slice(&"chr1".into()).len(), 2);
+        assert_eq!(s.chrom_slice(&"chr2".into()).len(), 1);
+        assert_eq!(s.chrom_slice(&"chr10".into()).len(), 1);
+        assert_eq!(s.chrom_slice(&"chr3".into()).len(), 0);
+    }
+
+    #[test]
+    fn chromosomes_in_genome_order() {
+        let s = Sample::new("s", "D").with_regions(vec![
+            r("chr10", 0, 5),
+            r("chr2", 0, 5),
+            r("chr2", 9, 12),
+        ]);
+        let chroms: Vec<String> = s.chromosomes().iter().map(|c| c.as_str().into()).collect();
+        assert_eq!(chroms, vec!["chr2", "chr10"]);
+    }
+
+    #[test]
+    fn stats() {
+        let s = Sample::new("s", "D").with_regions(vec![r("chr1", 0, 10), r("chr1", 5, 25)]);
+        assert_eq!(s.region_count(), 2);
+        assert_eq!(s.total_region_length(), 30);
+        assert!(s.encoded_size() > 0);
+    }
+
+    #[test]
+    fn source_provenance_recorded() {
+        let s = Sample::new("rep1", "PEAKS");
+        assert_eq!(s.provenance.sources(), vec![("PEAKS".into(), "rep1".into())]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Region schemas and schema merging.
+//!
+//! A GDM dataset has a *normalized schema*: the fixed coordinate attributes
+//! `(chr, left, right, strand)` followed by typed variable attributes that
+//! reflect the calling process (paper §2). **Schema merging** builds a new
+//! schema whose fixed part is shared and whose variable parts are
+//! concatenated — the paper's interoperability mechanism across
+//! heterogeneous processed-data formats.
+
+use crate::error::GdmError;
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Names of the fixed coordinate attributes, reserved in every schema.
+pub const FIXED_ATTRIBUTES: [&str; 4] = ["chr", "left", "right", "strand"];
+
+/// One variable attribute of a region schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name (case-preserving; lookups are case-insensitive,
+    /// matching GMQL behaviour).
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// The variable part of a dataset's region schema.
+///
+/// Invariants: attribute names are unique case-insensitively and never
+/// collide with the fixed coordinate attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(try_from = "Vec<Attribute>", into = "Vec<Attribute>")]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    index: HashMap<String, usize>,
+}
+
+impl TryFrom<Vec<Attribute>> for Schema {
+    type Error = GdmError;
+    fn try_from(attrs: Vec<Attribute>) -> Result<Schema, GdmError> {
+        Schema::new(attrs)
+    }
+}
+
+impl From<Schema> for Vec<Attribute> {
+    fn from(s: Schema) -> Vec<Attribute> {
+        s.attrs
+    }
+}
+
+impl Schema {
+    /// The empty schema (regions carry coordinates only).
+    pub fn empty() -> Schema {
+        Schema::default()
+    }
+
+    /// Build a schema from attributes, validating the invariants.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Schema, GdmError> {
+        let mut s = Schema::default();
+        for a in attrs {
+            s.push(a)?;
+        }
+        Ok(s)
+    }
+
+    /// Append one attribute, rejecting duplicates and reserved names.
+    pub fn push(&mut self, attr: Attribute) -> Result<(), GdmError> {
+        let lower = attr.name.to_ascii_lowercase();
+        if FIXED_ATTRIBUTES.contains(&lower.as_str()) {
+            return Err(GdmError::ReservedAttribute(attr.name));
+        }
+        if self.index.contains_key(&lower) {
+            return Err(GdmError::DuplicateAttribute(attr.name));
+        }
+        self.index.insert(lower, self.attrs.len());
+        self.attrs.push(attr);
+        Ok(())
+    }
+
+    /// Number of variable attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when there are no variable attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Case-insensitive position lookup.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Attribute by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&Attribute> {
+        self.position(name).map(|i| &self.attrs[i])
+    }
+
+    /// Project onto a subset of attribute names (kept in the order given).
+    pub fn project(&self, names: &[&str]) -> Result<(Schema, Vec<usize>), GdmError> {
+        let mut out = Schema::default();
+        let mut positions = Vec::with_capacity(names.len());
+        for &n in names {
+            let i = self
+                .position(n)
+                .ok_or_else(|| GdmError::UnknownAttribute(n.to_owned()))?;
+            positions.push(i);
+            out.push(self.attrs[i].clone())?;
+        }
+        Ok((out, positions))
+    }
+
+    /// **Schema merging** (paper §2): fixed attributes stay in common,
+    /// variable attributes are concatenated. Attributes present in both
+    /// schemas with the same type are unified into one column; same-name
+    /// attributes with conflicting types keep both columns, the right one
+    /// renamed with a disambiguating suffix.
+    ///
+    /// Returns the merged schema plus, for each input side, the mapping
+    /// from its attribute positions to positions in the merged schema —
+    /// enough to re-shape any region row of either operand into the merged
+    /// layout (absent columns become [`Value::Null`]).
+    pub fn merge(&self, other: &Schema) -> MergedSchema {
+        let mut merged = Schema::default();
+        let mut left_map = Vec::with_capacity(self.attrs.len());
+        for a in &self.attrs {
+            left_map.push(merged.attrs.len());
+            // Cannot fail: `self` already satisfies the invariants.
+            merged.push(a.clone()).expect("left schema attributes are valid");
+        }
+        let mut right_map = Vec::with_capacity(other.attrs.len());
+        for a in &other.attrs {
+            match merged.get(&a.name) {
+                Some(existing) if existing.ty == a.ty => {
+                    right_map.push(merged.position(&a.name).expect("just found"));
+                }
+                Some(_) => {
+                    // Type conflict: keep both, disambiguate the right one.
+                    let mut n = 2;
+                    let renamed = loop {
+                        let candidate = format!("{}_{}", a.name, n);
+                        if merged.get(&candidate).is_none() {
+                            break candidate;
+                        }
+                        n += 1;
+                    };
+                    right_map.push(merged.attrs.len());
+                    merged
+                        .push(Attribute::new(renamed, a.ty))
+                        .expect("renamed attribute is fresh");
+                }
+                None => {
+                    right_map.push(merged.attrs.len());
+                    merged.push(a.clone()).expect("fresh attribute");
+                }
+            }
+        }
+        MergedSchema { schema: merged, left_map, right_map }
+    }
+
+    /// Validate a row of values against this schema (arity + types; nulls
+    /// are admissible everywhere).
+    pub fn check_row(&self, values: &[Value]) -> Result<(), GdmError> {
+        if values.len() != self.attrs.len() {
+            return Err(GdmError::ArityMismatch { expected: self.attrs.len(), got: values.len() });
+        }
+        for (a, v) in self.attrs.iter().zip(values) {
+            if let Some(t) = v.value_type() {
+                if t != a.ty {
+                    return Err(GdmError::TypeMismatch {
+                        attribute: a.name.clone(),
+                        expected: a.ty,
+                        got: t,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-shape a row from this schema into a merged layout produced by
+    /// [`Schema::merge`], filling absent columns with nulls.
+    pub fn reshape_row(values: &[Value], map: &[usize], merged_len: usize) -> Vec<Value> {
+        let mut out = vec![Value::Null; merged_len];
+        for (src, &dst) in values.iter().zip(map) {
+            out[dst] = src.clone();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(chr, left, right, strand")?;
+        for a in &self.attrs {
+            write!(f, ", {}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Result of [`Schema::merge`].
+#[derive(Debug, Clone)]
+pub struct MergedSchema {
+    /// The merged schema.
+    pub schema: Schema,
+    /// For each left attribute position, its position in `schema`.
+    pub left_map: Vec<usize>,
+    /// For each right attribute position, its position in `schema`.
+    pub right_map: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(pairs: &[(&str, ValueType)]) -> Schema {
+        Schema::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect()).unwrap()
+    }
+
+    #[test]
+    fn reserved_and_duplicate_names_rejected() {
+        assert!(matches!(
+            Schema::new(vec![Attribute::new("LEFT", ValueType::Int)]),
+            Err(GdmError::ReservedAttribute(_))
+        ));
+        assert!(matches!(
+            Schema::new(vec![
+                Attribute::new("score", ValueType::Float),
+                Attribute::new("SCORE", ValueType::Int),
+            ]),
+            Err(GdmError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema(&[("P_Value", ValueType::Float)]);
+        assert_eq!(s.position("p_value"), Some(0));
+        assert_eq!(s.get("P_VALUE").unwrap().ty, ValueType::Float);
+        assert_eq!(s.position("missing"), None);
+    }
+
+    #[test]
+    fn merge_concatenates_and_unifies() {
+        let a = schema(&[("p_value", ValueType::Float), ("name", ValueType::Str)]);
+        let b = schema(&[("p_value", ValueType::Float), ("fold", ValueType::Float)]);
+        let m = a.merge(&b);
+        assert_eq!(
+            m.schema.attributes().iter().map(|x| x.name.as_str()).collect::<Vec<_>>(),
+            vec!["p_value", "name", "fold"]
+        );
+        assert_eq!(m.left_map, vec![0, 1]);
+        assert_eq!(m.right_map, vec![0, 2]);
+    }
+
+    #[test]
+    fn merge_type_conflict_renames() {
+        let a = schema(&[("score", ValueType::Float)]);
+        let b = schema(&[("score", ValueType::Str)]);
+        let m = a.merge(&b);
+        assert_eq!(
+            m.schema.attributes().iter().map(|x| x.name.as_str()).collect::<Vec<_>>(),
+            vec!["score", "score_2"]
+        );
+        assert_eq!(m.right_map, vec![1]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_shape() {
+        let a = schema(&[("x", ValueType::Int)]);
+        let m = a.merge(&Schema::empty());
+        assert_eq!(m.schema, a);
+        let m2 = Schema::empty().merge(&a);
+        assert_eq!(m2.schema.attributes(), a.attributes());
+    }
+
+    #[test]
+    fn reshape_fills_nulls() {
+        let a = schema(&[("x", ValueType::Int)]);
+        let b = schema(&[("y", ValueType::Str)]);
+        let m = a.merge(&b);
+        let row = Schema::reshape_row(&[Value::Int(7)], &m.left_map, m.schema.len());
+        assert_eq!(row, vec![Value::Int(7), Value::Null]);
+        let row = Schema::reshape_row(&[Value::Str("q".into())], &m.right_map, m.schema.len());
+        assert_eq!(row, vec![Value::Null, Value::Str("q".into())]);
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = schema(&[("x", ValueType::Int), ("y", ValueType::Str)]);
+        assert!(s.check_row(&[Value::Int(1), Value::Str("a".into())]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::Null]).is_ok(), "null fits any column");
+        assert!(matches!(
+            s.check_row(&[Value::Int(1)]),
+            Err(GdmError::ArityMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Str("no".into()), Value::Str("a".into())]),
+            Err(GdmError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn project_keeps_order_given() {
+        let s = schema(&[("a", ValueType::Int), ("b", ValueType::Float), ("c", ValueType::Str)]);
+        let (p, idx) = s.project(&["c", "a"]).unwrap();
+        assert_eq!(idx, vec![2, 0]);
+        assert_eq!(p.attributes()[0].name, "c");
+        assert!(s.project(&["zz"]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = schema(&[("p", ValueType::Float)]);
+        assert_eq!(s.to_string(), "(chr, left, right, strand, p: float)");
+    }
+}

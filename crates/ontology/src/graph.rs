@@ -1,0 +1,270 @@
+//! The concept graph: concepts, synonyms, is-a edges, semantic closure.
+//!
+//! §4.3: "Ontological reasoning will be required in order to establish
+//! the appropriate conceptual relationships between the metadata ...
+//! semantically annotating the metadata of each repository's datasets by
+//! means of UMLS, and completing the information by performing the
+//! semantic closure of such annotations." UMLS itself is licensed; the
+//! reproduction ships a faithful miniature ([`crate::mini::mini_umls`])
+//! over the same graph machinery.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifier of a concept within an [`Ontology`].
+pub type ConceptId = usize;
+
+/// One ontology concept.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Concept {
+    /// Canonical (preferred) name.
+    pub name: String,
+    /// Alternative names.
+    pub synonyms: Vec<String>,
+    /// Semantic category (e.g. "Cell", "Tissue", "Assay").
+    pub category: String,
+}
+
+/// A directed acyclic is-a ontology with synonym-aware term lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ontology {
+    concepts: Vec<Concept>,
+    /// `parents[c]` = direct is-a super-concepts of `c`.
+    parents: Vec<Vec<ConceptId>>,
+    /// lowercase term → concept (names and synonyms).
+    #[serde(skip)]
+    term_index: HashMap<String, ConceptId>,
+}
+
+impl Ontology {
+    /// Empty ontology.
+    pub fn new() -> Ontology {
+        Ontology::default()
+    }
+
+    /// Add a concept; `parents` must already exist (ids are returned by
+    /// earlier `add` calls), which structurally guarantees acyclicity.
+    pub fn add(
+        &mut self,
+        name: &str,
+        category: &str,
+        synonyms: &[&str],
+        parents: &[ConceptId],
+    ) -> ConceptId {
+        for &p in parents {
+            assert!(p < self.concepts.len(), "parent {p} does not exist");
+        }
+        let id = self.concepts.len();
+        self.concepts.push(Concept {
+            name: name.to_owned(),
+            synonyms: synonyms.iter().map(|s| (*s).to_owned()).collect(),
+            category: category.to_owned(),
+        });
+        self.parents.push(parents.to_vec());
+        self.term_index.insert(name.to_ascii_lowercase(), id);
+        for s in synonyms {
+            self.term_index.insert(s.to_ascii_lowercase(), id);
+        }
+        id
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when the ontology has no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Concept by id.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id]
+    }
+
+    /// Resolve a term (name or synonym, case-insensitive) to a concept.
+    pub fn resolve(&self, term: &str) -> Option<ConceptId> {
+        self.term_index.get(&term.trim().to_ascii_lowercase()).copied()
+    }
+
+    /// Rebuild the term index (after deserialisation, which skips it).
+    pub fn rebuild_index(&mut self) {
+        self.term_index.clear();
+        for (id, c) in self.concepts.iter().enumerate() {
+            self.term_index.insert(c.name.to_ascii_lowercase(), id);
+            for s in &c.synonyms {
+                self.term_index.insert(s.to_ascii_lowercase(), id);
+            }
+        }
+    }
+
+    /// Direct parents of a concept.
+    pub fn parents(&self, id: ConceptId) -> &[ConceptId] {
+        &self.parents[id]
+    }
+
+    /// All ancestors of a concept (excluding itself), via is-a edges.
+    pub fn ancestors(&self, id: ConceptId) -> BTreeSet<ConceptId> {
+        let mut out = BTreeSet::new();
+        let mut stack: Vec<ConceptId> = self.parents[id].clone();
+        while let Some(c) = stack.pop() {
+            if out.insert(c) {
+                stack.extend(self.parents[c].iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All descendants of a concept (excluding itself).
+    pub fn descendants(&self, id: ConceptId) -> BTreeSet<ConceptId> {
+        let mut out = BTreeSet::new();
+        // is-a edges are sparse; a linear scan per level is fine at
+        // mini-UMLS scale.
+        let mut frontier = vec![id];
+        while let Some(cur) = frontier.pop() {
+            for (c, ps) in self.parents.iter().enumerate() {
+                if ps.contains(&cur) && out.insert(c) {
+                    frontier.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// **Semantic closure** of a set of concepts: the set plus all
+    /// ancestors (the §4.3 completion step — a sample annotated "HeLa"
+    /// is implicitly about "cervix carcinoma" and "cancer").
+    pub fn closure(&self, ids: &[ConceptId]) -> BTreeSet<ConceptId> {
+        let mut out: BTreeSet<ConceptId> = ids.iter().copied().collect();
+        for &id in ids {
+            out.extend(self.ancestors(id));
+        }
+        out
+    }
+
+    /// True when `specific` is-a `general` (reflexive).
+    pub fn is_a(&self, specific: ConceptId, general: ConceptId) -> bool {
+        specific == general || self.ancestors(specific).contains(&general)
+    }
+
+    /// Annotate free text: every maximal token run matching a concept
+    /// term yields that concept. Matches whole terms against the index
+    /// (single tokens and bigrams), the strategy of dictionary-based
+    /// biomedical annotators.
+    pub fn annotate(&self, text: &str) -> Vec<ConceptId> {
+        let tokens: Vec<&str> = text
+            .split(|c: char| !(c.is_alphanumeric() || c == '-'))
+            .filter(|t| !t.is_empty())
+            .collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            // Prefer the longer (bigram) match.
+            if i + 1 < tokens.len() {
+                let bigram = format!("{} {}", tokens[i], tokens[i + 1]);
+                if let Some(id) = self.resolve(&bigram) {
+                    out.push(id);
+                    i += 2;
+                    continue;
+                }
+            }
+            if let Some(id) = self.resolve(tokens[i]) {
+                out.push(id);
+            }
+            i += 1;
+        }
+        out.dedup();
+        out
+    }
+
+    /// Expand a query term to the names of the concept and all its
+    /// descendants (searching "carcinoma" should match samples annotated
+    /// with specific carcinoma cell lines).
+    pub fn expand_term(&self, term: &str) -> Vec<String> {
+        let Some(id) = self.resolve(term) else { return vec![term.to_owned()] };
+        let mut out = vec![self.concepts[id].name.clone()];
+        out.extend(self.concepts[id].synonyms.iter().cloned());
+        for d in self.descendants(id) {
+            out.push(self.concepts[d].name.clone());
+            out.extend(self.concepts[d].synonyms.iter().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Ontology, ConceptId, ConceptId, ConceptId, ConceptId) {
+        let mut o = Ontology::new();
+        let disease = o.add("disease", "Disease", &[], &[]);
+        let cancer = o.add("cancer", "Disease", &["neoplasm"], &[disease]);
+        let carcinoma = o.add("carcinoma", "Disease", &[], &[cancer]);
+        let hela = o.add("HeLa", "Cell", &["HeLa-S3"], &[carcinoma]);
+        (o, disease, cancer, carcinoma, hela)
+    }
+
+    #[test]
+    fn resolve_names_and_synonyms() {
+        let (o, _, cancer, _, hela) = toy();
+        assert_eq!(o.resolve("CANCER"), Some(cancer));
+        assert_eq!(o.resolve("neoplasm"), Some(cancer));
+        assert_eq!(o.resolve("hela-s3"), Some(hela));
+        assert_eq!(o.resolve("unknown"), None);
+    }
+
+    #[test]
+    fn ancestors_and_closure() {
+        let (o, disease, cancer, carcinoma, hela) = toy();
+        assert_eq!(o.ancestors(hela), [carcinoma, cancer, disease].into_iter().collect());
+        let cl = o.closure(&[hela]);
+        assert_eq!(cl.len(), 4);
+        assert!(o.is_a(hela, disease));
+        assert!(!o.is_a(disease, hela));
+        assert!(o.is_a(hela, hela), "reflexive");
+    }
+
+    #[test]
+    fn descendants() {
+        let (o, disease, ..) = toy();
+        assert_eq!(o.descendants(disease).len(), 3);
+    }
+
+    #[test]
+    fn annotation_prefers_bigrams() {
+        let mut o = Ontology::new();
+        let cell = o.add("cell line", "Cell", &[], &[]);
+        let k = o.add("K562", "Cell", &[], &[cell]);
+        let hits = o.annotate("Sample from cell line K562, replicate 2");
+        assert_eq!(hits, vec![cell, k]);
+    }
+
+    #[test]
+    fn expand_term_includes_descendants() {
+        let (o, _, _, _, _) = toy();
+        let exp = o.expand_term("cancer");
+        assert!(exp.contains(&"carcinoma".to_string()));
+        assert!(exp.contains(&"HeLa".to_string()));
+        assert!(exp.contains(&"HeLa-S3".to_string()), "synonyms included");
+        assert_eq!(o.expand_term("zzz"), vec!["zzz".to_string()], "unknown term passes through");
+    }
+
+    #[test]
+    fn serde_with_index_rebuild() {
+        let (o, _, cancer, _, _) = toy();
+        let json = serde_json::to_string(&o).unwrap();
+        let mut back: Ontology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.resolve("cancer"), None, "index skipped by serde");
+        back.rebuild_index();
+        assert_eq!(back.resolve("cancer"), Some(cancer));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_parent_rejected() {
+        let mut o = Ontology::new();
+        o.add("x", "X", &[], &[5]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # `nggc-ontology` — ontological mediation of metadata
+//!
+//! §4.3 of the paper calls for "the mediation of ontological knowledge":
+//! semantically annotating repository metadata with UMLS concepts,
+//! completing annotations via **semantic closure**, and expanding user
+//! queries through the concept graph. This crate implements the graph
+//! machinery ([`Ontology`]: concepts, synonyms, is-a DAG, closure,
+//! annotation, term expansion) and ships a miniature biomedical ontology
+//! ([`mini_umls`]) standing in for the licensed UMLS (see DESIGN.md's
+//! substitution table).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod mini;
+pub mod obo;
+
+pub use graph::{Concept, ConceptId, Ontology};
+pub use mini::mini_umls;
+pub use obo::{parse_obo, write_obo, OboError};

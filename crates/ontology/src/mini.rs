@@ -1,0 +1,165 @@
+//! A miniature UMLS-like biomedical ontology.
+//!
+//! UMLS (paper ref [15]) integrates full biomedical terminologies under a
+//! restrictive license; per the DESIGN.md substitution table we ship a
+//! faithful miniature covering the vocabulary that genomic-repository
+//! metadata actually uses — cell lines, tissues, assays, antibodies/
+//! histone marks, diseases — with is-a edges deep enough (4–5 levels) to
+//! exercise annotation, closure, and query expansion meaningfully.
+
+use crate::graph::Ontology;
+
+/// Build the miniature biomedical ontology (~120 concepts).
+pub fn mini_umls() -> Ontology {
+    let mut o = Ontology::new();
+
+    // --- top level ---------------------------------------------------------
+    let entity = o.add("biomedical entity", "Top", &[], &[]);
+    let disease = o.add("disease", "Disease", &["disorder"], &[entity]);
+    let anatomy = o.add("anatomical structure", "Anatomy", &[], &[entity]);
+    let cell = o.add("cell", "Cell", &[], &[entity]);
+    let assay = o.add("assay", "Assay", &["experiment type"], &[entity]);
+    let molecule = o.add("molecule", "Molecule", &[], &[entity]);
+
+    // --- diseases ----------------------------------------------------------
+    let cancer = o.add("cancer", "Disease", &["neoplasm", "tumor", "malignancy"], &[disease]);
+    let carcinoma = o.add("carcinoma", "Disease", &[], &[cancer]);
+    let leukemia = o.add("leukemia", "Disease", &["leukaemia"], &[cancer]);
+    let cml = o.add("chronic myelogenous leukemia", "Disease", &["CML"], &[leukemia]);
+    let cervical_ca = o.add("cervical carcinoma", "Disease", &[], &[carcinoma]);
+    let hepato_ca = o.add("hepatocellular carcinoma", "Disease", &["liver cancer"], &[carcinoma]);
+    let lung_ca = o.add("lung carcinoma", "Disease", &["lung cancer"], &[carcinoma]);
+    let breast_ca = o.add("breast carcinoma", "Disease", &["breast cancer"], &[carcinoma]);
+    o.add("melanoma", "Disease", &[], &[cancer]);
+    o.add("diabetes", "Disease", &["diabetes mellitus"], &[disease]);
+
+    // --- anatomy ------------------------------------------------------------
+    let tissue = o.add("tissue", "Anatomy", &[], &[anatomy]);
+    let liver = o.add("liver", "Anatomy", &["hepatic tissue"], &[tissue]);
+    let lung = o.add("lung", "Anatomy", &["pulmonary tissue"], &[tissue]);
+    let cervix = o.add("cervix", "Anatomy", &[], &[tissue]);
+    let blood = o.add("blood", "Anatomy", &["peripheral blood"], &[tissue]);
+    let breast = o.add("breast", "Anatomy", &["mammary gland"], &[tissue]);
+    let brain = o.add("brain", "Anatomy", &["cerebral tissue"], &[tissue]);
+    o.add("kidney", "Anatomy", &["renal tissue"], &[tissue]);
+    o.add("embryo", "Anatomy", &["embryonic tissue"], &[tissue]);
+
+    // --- cells & cell lines ---------------------------------------------------
+    let cell_line = o.add("cell line", "Cell", &["cultured cell line"], &[cell]);
+    let cancer_line = o.add("cancer cell line", "Cell", &[], &[cell_line, cancer]);
+    let stem = o.add("stem cell", "Cell", &[], &[cell]);
+    o.add("H1-hESC", "Cell", &["H1 human embryonic stem cells", "H1"], &[stem, cell_line]);
+    o.add("HeLa", "Cell", &["HeLa-S3", "Hela"], &[cancer_line, cervical_ca, cervix]);
+    o.add("K562", "Cell", &["K-562"], &[cancer_line, cml, blood]);
+    o.add("HepG2", "Cell", &["Hep-G2"], &[cancer_line, hepato_ca, liver]);
+    o.add("A549", "Cell", &[], &[cancer_line, lung_ca, lung]);
+    o.add("MCF-7", "Cell", &["MCF7"], &[cancer_line, breast_ca, breast]);
+    o.add("GM12878", "Cell", &["GM-12878"], &[cell_line, blood]);
+    o.add("IMR90", "Cell", &["IMR-90"], &[cell_line, lung]);
+    o.add("SK-N-SH", "Cell", &["SKNSH"], &[cancer_line, brain]);
+
+    // --- assays -------------------------------------------------------------
+    let seq = o.add("sequencing assay", "Assay", &["NGS assay"], &[assay]);
+    let chip = o.add("ChIP-seq", "Assay", &["ChipSeq", "chromatin immunoprecipitation"], &[seq]);
+    o.add("DNase-seq", "Assay", &["DnaseSeq", "DNase hypersensitivity"], &[seq]);
+    o.add("RNA-seq", "Assay", &["RnaSeq", "transcriptome profiling"], &[seq]);
+    o.add("WGBS", "Assay", &["whole genome bisulfite sequencing"], &[seq]);
+    o.add("Repli-seq", "Assay", &["replication timing assay"], &[seq]);
+    o.add("ChIA-PET", "Assay", &["chromatin interaction analysis"], &[seq]);
+    o.add("BLESS", "Assay", &["break labeling sequencing"], &[seq]);
+    o.add("ATAC-seq", "Assay", &["AtacSeq"], &[seq]);
+    let _ = chip;
+
+    // --- molecules: TFs and histone marks ---------------------------------------
+    let protein = o.add("protein", "Molecule", &[], &[molecule]);
+    let tf = o.add("transcription factor", "Molecule", &["TF"], &[protein]);
+    o.add("CTCF", "Molecule", &["CCCTC-binding factor"], &[tf]);
+    o.add("POLR2A", "Molecule", &["RNA polymerase II", "Pol2"], &[protein]);
+    o.add("MYC", "Molecule", &["c-Myc"], &[tf]);
+    o.add("EZH2", "Molecule", &[], &[protein]);
+    let histone = o.add("histone modification", "Molecule", &["histone mark"], &[molecule]);
+    let active_mark = o.add("active chromatin mark", "Molecule", &[], &[histone]);
+    let repressive_mark = o.add("repressive chromatin mark", "Molecule", &[], &[histone]);
+    o.add("H3K27ac", "Molecule", &["H3K27AC"], &[active_mark]);
+    o.add("H3K4me1", "Molecule", &["H3K4ME1"], &[active_mark]);
+    o.add("H3K4me3", "Molecule", &["H3K4ME3"], &[active_mark]);
+    o.add("H3K36me3", "Molecule", &[], &[active_mark]);
+    o.add("H3K27me3", "Molecule", &["H3K27ME3"], &[repressive_mark]);
+    o.add("H3K9me3", "Molecule", &[], &[repressive_mark]);
+
+    // --- genomic features (annotation vocabulary) --------------------------------
+    let feature = o.add("genomic feature", "Feature", &[], &[entity]);
+    let reg = o.add("regulatory region", "Feature", &[], &[feature]);
+    o.add("gene", "Feature", &[], &[feature]);
+    o.add("promoter", "Feature", &["promoter region"], &[reg]);
+    o.add("enhancer", "Feature", &[], &[reg]);
+    o.add("insulator", "Feature", &[], &[reg]);
+    o.add("mutation", "Feature", &["variant", "SNV"], &[feature]);
+    o.add("breakpoint", "Feature", &["break point", "DSB"], &[feature]);
+    o.add("replication origin", "Feature", &["ORC site"], &[feature]);
+
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_lookup() {
+        let o = mini_umls();
+        assert!(o.len() >= 60, "mini ontology has {} concepts", o.len());
+        assert!(o.resolve("HeLa-S3").is_some());
+        assert!(o.resolve("ChipSeq").is_some());
+    }
+
+    #[test]
+    fn hela_is_a_cancer() {
+        let o = mini_umls();
+        let hela = o.resolve("HeLa").unwrap();
+        let cancer = o.resolve("cancer").unwrap();
+        let disease = o.resolve("disease").unwrap();
+        assert!(o.is_a(hela, cancer));
+        assert!(o.is_a(hela, disease));
+    }
+
+    #[test]
+    fn cancer_expansion_reaches_cell_lines() {
+        let o = mini_umls();
+        let exp = o.expand_term("cancer");
+        for line in ["HeLa", "K562", "HepG2", "A549", "MCF-7"] {
+            assert!(exp.contains(&line.to_string()), "{line} missing from expansion");
+        }
+        // But a non-cancer line must not appear.
+        assert!(!exp.contains(&"GM12878".to_string()));
+        assert!(!exp.contains(&"IMR90".to_string()));
+    }
+
+    #[test]
+    fn tissue_expansion() {
+        let o = mini_umls();
+        let exp = o.expand_term("liver");
+        assert!(exp.contains(&"HepG2".to_string()));
+    }
+
+    #[test]
+    fn annotate_typical_metadata() {
+        let o = mini_umls();
+        let hits = o.annotate("ChipSeq experiment on HeLa-S3 with CTCF antibody");
+        let names: Vec<&str> = hits.iter().map(|&id| o.concept(id).name.as_str()).collect();
+        assert!(names.contains(&"ChIP-seq"));
+        assert!(names.contains(&"HeLa"));
+        assert!(names.contains(&"CTCF"));
+    }
+
+    #[test]
+    fn multi_parent_closure() {
+        let o = mini_umls();
+        let hepg2 = o.resolve("HepG2").unwrap();
+        let closure = o.closure(&[hepg2]);
+        let names: Vec<&str> = closure.iter().map(|&id| o.concept(id).name.as_str()).collect();
+        assert!(names.contains(&"liver"), "tissue parent");
+        assert!(names.contains(&"carcinoma"), "disease lineage");
+        assert!(names.contains(&"cell line"), "cell lineage");
+    }
+}

@@ -1,0 +1,262 @@
+//! OBO interchange: load and save ontologies in the (flat) OBO format.
+//!
+//! Real biomedical ontologies (GO, Uberon, Cell Ontology, DOID) ship as
+//! OBO files; supporting the core `[Term]` stanza subset means a
+//! repository operator can swap the built-in mini-UMLS for a real
+//! vocabulary without code changes. Supported tags: `id`, `name`,
+//! `synonym`, `is_a`, `namespace`; everything else is ignored, as OBO
+//! consumers are required to do with unknown tags.
+
+use crate::graph::{ConceptId, Ontology};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors parsing OBO text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OboError {
+    /// A term stanza without an `id:` tag.
+    MissingId {
+        /// 1-based line of the stanza header.
+        line: usize,
+    },
+    /// An `is_a:` referencing an id that appears nowhere in the file.
+    UnknownParent {
+        /// The child term id.
+        term: String,
+        /// The missing parent id.
+        parent: String,
+    },
+    /// Two stanzas share an id.
+    DuplicateId(String),
+}
+
+impl fmt::Display for OboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OboError::MissingId { line } => write!(f, "term stanza at line {line} has no id"),
+            OboError::UnknownParent { term, parent } => {
+                write!(f, "term {term:?} references unknown parent {parent:?}")
+            }
+            OboError::DuplicateId(id) => write!(f, "duplicate term id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OboError {}
+
+#[derive(Debug, Default, Clone)]
+struct RawTerm {
+    id: String,
+    name: String,
+    namespace: String,
+    synonyms: Vec<String>,
+    parents: Vec<String>,
+    obsolete: bool,
+}
+
+/// Parse OBO text into an [`Ontology`]. `is_a` edges may reference terms
+/// defined later in the file (two-pass). Obsolete terms are skipped.
+pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
+    // Pass 1: collect stanzas.
+    let mut terms: Vec<RawTerm> = Vec::new();
+    let mut current: Option<(RawTerm, usize)> = None;
+    let mut in_term = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            if let Some((t, line_no)) = current.take() {
+                if t.id.is_empty() {
+                    return Err(OboError::MissingId { line: line_no });
+                }
+                terms.push(t);
+            }
+            in_term = line == "[Term]";
+            if in_term {
+                current = Some((RawTerm::default(), idx + 1));
+            }
+            continue;
+        }
+        if !in_term {
+            continue;
+        }
+        let Some((term, _)) = current.as_mut() else { continue };
+        let Some((tag, value)) = line.split_once(':') else { continue };
+        // Comments after ' ! ' are standard OBO.
+        let value = value.split(" ! ").next().unwrap_or(value).trim();
+        match tag.trim() {
+            "id" => term.id = value.to_owned(),
+            "name" => term.name = value.to_owned(),
+            "namespace" => term.namespace = value.to_owned(),
+            "is_a" => term.parents.push(value.to_owned()),
+            "synonym" => {
+                // synonym: "text" SCOPE [xrefs]
+                if let Some(open) = value.find('"') {
+                    if let Some(close) = value[open + 1..].find('"') {
+                        term.synonyms.push(value[open + 1..open + 1 + close].to_owned());
+                    }
+                }
+            }
+            "is_obsolete" => term.obsolete = value == "true",
+            _ => {}
+        }
+    }
+    if let Some((t, line_no)) = current.take() {
+        if t.id.is_empty() {
+            return Err(OboError::MissingId { line: line_no });
+        }
+        terms.push(t);
+    }
+    terms.retain(|t| !t.obsolete);
+
+    // Pass 2: topological insertion (parents before children).
+    let mut by_id: HashMap<&str, &RawTerm> = HashMap::new();
+    for t in &terms {
+        if by_id.insert(t.id.as_str(), t).is_some() {
+            return Err(OboError::DuplicateId(t.id.clone()));
+        }
+    }
+    let mut onto = Ontology::new();
+    let mut placed: HashMap<String, ConceptId> = HashMap::new();
+    // Iterate until fixpoint; cycle or dangling parent ⇒ error.
+    let mut remaining: Vec<&RawTerm> = terms.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|t| {
+            let parent_ids: Option<Vec<ConceptId>> =
+                t.parents.iter().map(|p| placed.get(p).copied()).collect();
+            match parent_ids {
+                Some(parents) => {
+                    let name = if t.name.is_empty() { t.id.clone() } else { t.name.clone() };
+                    let syns: Vec<&str> = t.synonyms.iter().map(String::as_str).collect();
+                    let namespace =
+                        if t.namespace.is_empty() { "Term" } else { t.namespace.as_str() };
+                    let id = onto.add(&name, namespace, &syns, &parents);
+                    placed.insert(t.id.clone(), id);
+                    false
+                }
+                None => true,
+            }
+        });
+        if remaining.len() == before {
+            // No progress: some parent is missing (or a cycle exists).
+            let t = remaining[0];
+            let parent = t
+                .parents
+                .iter()
+                .find(|p| !placed.contains_key(*p))
+                .cloned()
+                .unwrap_or_default();
+            return Err(OboError::UnknownParent { term: t.id.clone(), parent });
+        }
+    }
+    Ok(onto)
+}
+
+/// Serialise an ontology as OBO text (ids are `NGGC:NNNNNNN`).
+pub fn write_obo(onto: &Ontology) -> String {
+    let mut out = String::from("format-version: 1.2\nontology: nggc\n");
+    for id in 0..onto.len() {
+        let c = onto.concept(id);
+        out.push_str("\n[Term]\n");
+        out.push_str(&format!("id: NGGC:{id:07}\n"));
+        out.push_str(&format!("name: {}\n", c.name));
+        out.push_str(&format!("namespace: {}\n", c.category));
+        for s in &c.synonyms {
+            out.push_str(&format!("synonym: \"{s}\" EXACT []\n"));
+        }
+        for &p in onto.parents(id) {
+            out.push_str(&format!("is_a: NGGC:{p:07} ! {}\n", onto.concept(p).name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mini::mini_umls;
+
+    const OBO: &str = r#"format-version: 1.2
+
+[Term]
+id: DOID:0001
+name: disease
+
+[Term]
+id: DOID:0002
+name: cancer
+synonym: "neoplasm" EXACT []
+synonym: "malignancy" RELATED [PMID:1]
+is_a: DOID:0001 ! disease
+
+[Term]
+id: DOID:0003
+name: carcinoma
+is_a: DOID:0002
+
+[Typedef]
+id: part_of
+name: part of
+
+[Term]
+id: DOID:0004
+name: old term
+is_obsolete: true
+"#;
+
+    #[test]
+    fn parses_terms_synonyms_hierarchy() {
+        let onto = parse_obo(OBO).unwrap();
+        assert_eq!(onto.len(), 3, "obsolete term and Typedef skipped");
+        let cancer = onto.resolve("cancer").unwrap();
+        assert_eq!(onto.resolve("neoplasm"), Some(cancer), "quoted synonym");
+        assert_eq!(onto.resolve("malignancy"), Some(cancer));
+        let carcinoma = onto.resolve("carcinoma").unwrap();
+        let disease = onto.resolve("disease").unwrap();
+        assert!(onto.is_a(carcinoma, disease));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // Child stanza BEFORE its parent.
+        let text = "[Term]\nid: B\nname: b\nis_a: A\n\n[Term]\nid: A\nname: a\n";
+        let onto = parse_obo(text).unwrap();
+        assert!(onto.is_a(onto.resolve("b").unwrap(), onto.resolve("a").unwrap()));
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert!(matches!(
+            parse_obo("[Term]\nname: no id here\n"),
+            Err(OboError::MissingId { .. })
+        ));
+        assert!(matches!(
+            parse_obo("[Term]\nid: X\nname: x\nis_a: GHOST\n"),
+            Err(OboError::UnknownParent { .. })
+        ));
+        assert!(matches!(
+            parse_obo("[Term]\nid: X\nname: a\n\n[Term]\nid: X\nname: b\n"),
+            Err(OboError::DuplicateId(_))
+        ));
+        // A cycle can never topo-sort.
+        assert!(parse_obo("[Term]\nid: A\nis_a: B\n\n[Term]\nid: B\nis_a: A\n").is_err());
+    }
+
+    #[test]
+    fn mini_umls_roundtrips_through_obo() {
+        let original = mini_umls();
+        let text = write_obo(&original);
+        let back = parse_obo(&text).unwrap();
+        assert_eq!(back.len(), original.len());
+        // Spot-check semantic equivalence.
+        for (specific, general) in
+            [("HeLa", "cancer"), ("HepG2", "liver"), ("H3K27ac", "histone modification")]
+        {
+            let s = back.resolve(specific).unwrap();
+            let g = back.resolve(general).unwrap();
+            assert!(back.is_a(s, g), "{specific} is_a {general} survives the roundtrip");
+        }
+        // Expansion still works after the roundtrip.
+        assert!(back.expand_term("cancer").contains(&"HeLa".to_string()));
+    }
+}

@@ -1,0 +1,256 @@
+//! The dataset repository: a directory of GDM-native datasets plus a
+//! catalog.
+//!
+//! The paper's integration vision (§4.3) assumes repositories of curated
+//! datasets "with both regions and metadata" addressable by name. A
+//! [`Repository`] manages such a directory: datasets persist in the
+//! GDM-native layout, and a JSON catalog keeps name → schema/statistics
+//! so that queries can be compiled (and their result sizes estimated,
+//! §4.4) without touching region files.
+
+use crate::error::RepoError;
+use nggc_formats::native;
+use nggc_gdm::{Dataset, DatasetStats, Schema};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One catalog entry.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CatalogEntry {
+    /// Dataset name.
+    pub name: String,
+    /// Region schema.
+    pub schema: Schema,
+    /// Cardinality statistics at save time.
+    pub stats: DatasetStats,
+}
+
+/// An on-disk dataset repository.
+#[derive(Debug)]
+pub struct Repository {
+    root: PathBuf,
+    catalog: BTreeMap<String, CatalogEntry>,
+}
+
+impl Repository {
+    /// Open (or initialise) a repository at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Repository, RepoError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let catalog_path = root.join("catalog.json");
+        let catalog = if catalog_path.exists() {
+            let text = fs::read_to_string(&catalog_path)?;
+            serde_json::from_str(&text)?
+        } else {
+            BTreeMap::new()
+        };
+        Ok(Repository { root, catalog })
+    }
+
+    /// The repository root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Save (or replace) a dataset; updates the catalog.
+    pub fn save(&mut self, dataset: &Dataset) -> Result<(), RepoError> {
+        dataset.validate().map_err(RepoError::Model)?;
+        let dir = self.dataset_dir(&dataset.name);
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        native::write_dataset(dataset, &dir)?;
+        // Any persisted metadata index is now stale.
+        fs::remove_file(self.root.join("meta_index.json")).ok();
+        self.catalog.insert(
+            dataset.name.clone(),
+            CatalogEntry {
+                name: dataset.name.clone(),
+                schema: dataset.schema.clone(),
+                stats: dataset.stats(),
+            },
+        );
+        self.flush_catalog()
+    }
+
+    /// Load a dataset by name.
+    pub fn load(&self, name: &str) -> Result<Dataset, RepoError> {
+        if !self.catalog.contains_key(name) {
+            return Err(RepoError::NotFound(name.to_owned()));
+        }
+        Ok(native::read_dataset(&self.dataset_dir(name))?)
+    }
+
+    /// Delete a dataset.
+    pub fn delete(&mut self, name: &str) -> Result<(), RepoError> {
+        if self.catalog.remove(name).is_none() {
+            return Err(RepoError::NotFound(name.to_owned()));
+        }
+        let dir = self.dataset_dir(name);
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        fs::remove_file(self.root.join("meta_index.json")).ok();
+        self.flush_catalog()
+    }
+
+    /// List catalog entries in name order.
+    pub fn list(&self) -> Vec<&CatalogEntry> {
+        self.catalog.values().collect()
+    }
+
+    /// Catalog entry of one dataset.
+    pub fn entry(&self, name: &str) -> Option<&CatalogEntry> {
+        self.catalog.get(name)
+    }
+
+    /// Schema of a dataset (for GMQL compilation) without loading regions.
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        self.catalog.get(name).map(|e| e.schema.clone())
+    }
+
+    /// Dataset existence check.
+    pub fn contains(&self, name: &str) -> bool {
+        self.catalog.contains_key(name)
+    }
+
+    /// Build (or rebuild) the persistent metadata index over every
+    /// dataset in the repository, writing it to `meta_index.json`. The
+    /// index powers search without loading any region data afterwards.
+    pub fn build_meta_index(&self) -> Result<crate::MetaIndex, RepoError> {
+        let mut index = crate::MetaIndex::new();
+        for name in self.catalog.keys() {
+            let ds = self.load(name)?;
+            index.add_dataset(&ds);
+        }
+        let text = serde_json::to_string(&index)?;
+        fs::write(self.root.join("meta_index.json"), text)?;
+        Ok(index)
+    }
+
+    /// Load the persisted metadata index, or rebuild it when absent /
+    /// unreadable.
+    pub fn meta_index(&self) -> Result<crate::MetaIndex, RepoError> {
+        let path = self.root.join("meta_index.json");
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Ok(index) = serde_json::from_str(&text) {
+                return Ok(index);
+            }
+        }
+        self.build_meta_index()
+    }
+
+    fn dataset_dir(&self, name: &str) -> PathBuf {
+        self.root.join("datasets").join(name)
+    }
+
+    fn flush_catalog(&self) -> Result<(), RepoError> {
+        let text = serde_json::to_string_pretty(&self.catalog)?;
+        fs::write(self.root.join("catalog.json"), text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Attribute, GRegion, Metadata, Sample, Strand, ValueType};
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nggc_repo_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn dataset(name: &str) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new(name, schema);
+        ds.add_sample(
+            Sample::new("s1", name)
+                .with_regions(vec![
+                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![0.5.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("PEAKS")).unwrap();
+        let back = repo.load("PEAKS").unwrap();
+        assert_eq!(back.sample_count(), 1);
+        assert!(back.samples[0].metadata.has("cell", "HeLa"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn catalog_persists_across_open() {
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("A")).unwrap();
+            repo.save(&dataset("B")).unwrap();
+        }
+        let repo = Repository::open(&root).unwrap();
+        let names: Vec<&str> = repo.list().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert!(repo.schema_of("A").unwrap().get("p").is_some());
+        assert_eq!(repo.entry("A").unwrap().stats.regions, 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn delete_removes_everything() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("X")).unwrap();
+        repo.delete("X").unwrap();
+        assert!(!repo.contains("X"));
+        assert!(matches!(repo.load("X"), Err(RepoError::NotFound(_))));
+        assert!(matches!(repo.delete("X"), Err(RepoError::NotFound(_))));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn meta_index_builds_and_persists() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("A")).unwrap();
+        let idx = repo.build_meta_index().unwrap();
+        assert_eq!(idx.lookup("cell", "HeLa").len(), 1);
+        assert!(root.join("meta_index.json").exists());
+        // Loading uses the persisted file.
+        let idx2 = repo.meta_index().unwrap();
+        assert_eq!(idx2.documents(), 1);
+        // A corrupt file falls back to a rebuild.
+        fs::write(root.join("meta_index.json"), "garbage").unwrap();
+        let idx3 = repo.meta_index().unwrap();
+        assert_eq!(idx3.documents(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn save_replaces() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("X")).unwrap();
+        let mut ds2 = dataset("X");
+        ds2.add_sample(Sample::new("s2", "X").with_regions(vec![
+            GRegion::new("chr2", 0, 5, Strand::Neg).with_values(vec![0.1.into()]),
+        ]))
+        .unwrap();
+        repo.save(&ds2).unwrap();
+        assert_eq!(repo.load("X").unwrap().sample_count(), 2);
+        fs::remove_dir_all(&root).ok();
+    }
+}

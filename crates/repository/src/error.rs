@@ -1,0 +1,60 @@
+//! Error type of the repository crate.
+
+use nggc_formats::FormatError;
+use nggc_gdm::GdmError;
+use std::fmt;
+
+/// Errors raised by repository operations.
+#[derive(Debug)]
+pub enum RepoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Catalog (de)serialisation failure.
+    Catalog(serde_json::Error),
+    /// Dataset file format failure.
+    Format(FormatError),
+    /// Data-model violation.
+    Model(GdmError),
+    /// No dataset with the given name.
+    NotFound(String),
+}
+
+impl fmt::Display for RepoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepoError::Io(e) => write!(f, "i/o error: {e}"),
+            RepoError::Catalog(e) => write!(f, "catalog error: {e}"),
+            RepoError::Format(e) => write!(f, "format error: {e}"),
+            RepoError::Model(e) => write!(f, "model error: {e}"),
+            RepoError::NotFound(n) => write!(f, "dataset {n:?} not found"),
+        }
+    }
+}
+
+impl std::error::Error for RepoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RepoError::Io(e) => Some(e),
+            RepoError::Catalog(e) => Some(e),
+            RepoError::Format(e) => Some(e),
+            RepoError::Model(e) => Some(e),
+            RepoError::NotFound(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RepoError {
+    fn from(e: std::io::Error) -> Self {
+        RepoError::Io(e)
+    }
+}
+impl From<serde_json::Error> for RepoError {
+    fn from(e: serde_json::Error) -> Self {
+        RepoError::Catalog(e)
+    }
+}
+impl From<FormatError> for RepoError {
+    fn from(e: FormatError) -> Self {
+        RepoError::Format(e)
+    }
+}

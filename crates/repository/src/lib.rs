@@ -1,0 +1,19 @@
+//! # `nggc-repository` — curated dataset repositories
+//!
+//! The paper's §4.3 vision provides "integrated access to curated data
+//! ... through user-friendly search services". This crate implements the
+//! storage half: an on-disk [`Repository`] of GDM-native datasets with a
+//! JSON [`catalog`](CatalogEntry) (schemas + statistics, enabling
+//! compilation and size estimation without region scans) and the
+//! [`MetaIndex`] inverted indexes that the search services (`nggc-search`)
+//! and the federation protocol (`nggc-federation`) build on.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod meta_index;
+
+pub use catalog::{CatalogEntry, Repository};
+pub use error::RepoError;
+pub use meta_index::{tokenize, MetaIndex, SampleRef};

@@ -1,0 +1,189 @@
+//! Metadata indexing: attribute–value and keyword inverted indexes.
+//!
+//! "Requesting information about remote datasets [is] facilitated by the
+//! availability of metadata (for locating data of interest)" (§4.4), and
+//! metadata search "should locate relevant samples within very large
+//! bodies" (§4.5). This module builds the two indexes that power both:
+//!
+//! * an exact **attribute–value index**: `(attr, value) → samples`;
+//! * a **keyword index** over tokenised attribute names and values, with
+//!   document frequencies for TF-IDF ranking (done in `nggc-search`).
+
+use nggc_gdm::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A `(dataset, sample)` posting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub struct SampleRef {
+    /// Dataset name.
+    pub dataset: String,
+    /// Sample name.
+    pub sample: String,
+}
+
+/// Inverted indexes over sample metadata.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetaIndex {
+    /// `attr (lowercase) → value → postings`.
+    exact: BTreeMap<String, BTreeMap<String, BTreeSet<SampleRef>>>,
+    /// `token (lowercase) → postings`.
+    keywords: BTreeMap<String, BTreeSet<SampleRef>>,
+    /// Total indexed samples (for IDF).
+    documents: usize,
+    /// Tokens per sample (document length, for length normalisation),
+    /// keyed by `dataset\u{0}sample` (JSON map keys must be strings).
+    doc_len: BTreeMap<String, usize>,
+}
+
+fn doc_key(sref: &SampleRef) -> String {
+    format!("{}\u{0}{}", sref.dataset, sref.sample)
+}
+
+/// Split text into lowercase alphanumeric tokens (≥ 2 chars).
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_ascii_lowercase)
+        .collect()
+}
+
+impl MetaIndex {
+    /// Empty index.
+    pub fn new() -> MetaIndex {
+        MetaIndex::default()
+    }
+
+    /// Index every sample of a dataset.
+    pub fn add_dataset(&mut self, dataset: &Dataset) {
+        for s in &dataset.samples {
+            let sref = SampleRef { dataset: dataset.name.clone(), sample: s.name.clone() };
+            let mut tokens = 0;
+            for (attr, value) in s.metadata.iter() {
+                self.exact
+                    .entry(attr.to_ascii_lowercase())
+                    .or_default()
+                    .entry(value.to_owned())
+                    .or_default()
+                    .insert(sref.clone());
+                for tok in tokenize(attr).into_iter().chain(tokenize(value)) {
+                    self.keywords.entry(tok).or_default().insert(sref.clone());
+                    tokens += 1;
+                }
+            }
+            self.doc_len.insert(doc_key(&sref), tokens);
+            self.documents += 1;
+        }
+    }
+
+    /// Samples carrying `attr == value` exactly (value case-sensitive,
+    /// attribute case-insensitive).
+    pub fn lookup(&self, attr: &str, value: &str) -> Vec<&SampleRef> {
+        self.exact
+            .get(&attr.to_ascii_lowercase())
+            .and_then(|vals| vals.get(value))
+            .map(|set| set.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// All distinct values of an attribute with their sample counts.
+    pub fn values_of(&self, attr: &str) -> Vec<(&str, usize)> {
+        self.exact
+            .get(&attr.to_ascii_lowercase())
+            .map(|vals| vals.iter().map(|(v, s)| (v.as_str(), s.len())).collect())
+            .unwrap_or_default()
+    }
+
+    /// Postings of one keyword token.
+    pub fn postings(&self, token: &str) -> Option<&BTreeSet<SampleRef>> {
+        self.keywords.get(&token.to_ascii_lowercase())
+    }
+
+    /// Number of indexed samples.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// Document frequency of a token.
+    pub fn df(&self, token: &str) -> usize {
+        self.postings(token).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// Token count of a sample's metadata document.
+    pub fn doc_len(&self, sref: &SampleRef) -> usize {
+        self.doc_len.get(&doc_key(sref)).copied().unwrap_or(0)
+    }
+
+    /// All indexed attribute names.
+    pub fn attributes(&self) -> Vec<&str> {
+        self.exact.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Metadata, Sample, Schema};
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("ENCODE", Schema::empty());
+        for (name, pairs) in [
+            ("s1", vec![("cell", "HeLa-S3"), ("antibody", "CTCF")]),
+            ("s2", vec![("cell", "K562"), ("antibody", "CTCF"), ("treatment", "IFNg stimulation")]),
+            ("s3", vec![("cell", "HeLa-S3"), ("antibody", "POLR2A")]),
+        ] {
+            ds.add_sample(
+                Sample::new(name, "ENCODE").with_metadata(Metadata::from_pairs(pairs)),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn tokenizer_splits_on_non_alnum() {
+        assert_eq!(tokenize("HeLa-S3"), vec!["hela", "s3"]);
+        assert_eq!(tokenize("IFNg stimulation"), vec!["ifng", "stimulation"]);
+        assert!(!tokenize("a-b-c").iter().all(|t| t.len() >= 2) || tokenize("x").is_empty());
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let mut idx = MetaIndex::new();
+        idx.add_dataset(&dataset());
+        let hits = idx.lookup("CELL", "HeLa-S3");
+        assert_eq!(hits.len(), 2);
+        assert!(idx.lookup("cell", "hela-s3").is_empty(), "values are case-sensitive");
+        assert_eq!(idx.lookup("antibody", "CTCF").len(), 2);
+    }
+
+    #[test]
+    fn keyword_postings_and_df() {
+        let mut idx = MetaIndex::new();
+        idx.add_dataset(&dataset());
+        assert_eq!(idx.df("hela"), 2);
+        assert_eq!(idx.df("ctcf"), 2);
+        assert_eq!(idx.df("ifng"), 1);
+        assert_eq!(idx.df("nonexistent"), 0);
+        assert_eq!(idx.documents(), 3);
+    }
+
+    #[test]
+    fn values_enumeration() {
+        let mut idx = MetaIndex::new();
+        idx.add_dataset(&dataset());
+        let vals = idx.values_of("cell");
+        assert_eq!(vals, vec![("HeLa-S3", 2), ("K562", 1)]);
+        assert!(idx.attributes().contains(&"treatment"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut idx = MetaIndex::new();
+        idx.add_dataset(&dataset());
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: MetaIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.documents(), 3);
+        assert_eq!(back.df("ctcf"), 2);
+    }
+}

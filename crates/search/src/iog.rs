@@ -1,0 +1,448 @@
+//! The Internet of Genomes, simulated.
+//!
+//! §4.5's "most ambitious and challenging vision": research centers
+//! publish links to genomic data with suitable metadata; a third party
+//! crawls the hosts, indexes all the metadata, stores some samples, and
+//! serves search queries with result snippets; users then download
+//! datasets asynchronously from the owning host. Network transport is
+//! irrelevant to the protocol design (DESIGN.md substitution table), so
+//! hosts are in-process objects behind the [`Host`] trait and the crawler
+//! talks to them through it.
+
+use nggc_gdm::Dataset;
+use nggc_repository::{tokenize, MetaIndex, SampleRef};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+// ---------------------------------------------------------------------------
+// Publishing protocol
+// ---------------------------------------------------------------------------
+
+/// One published dataset link (the protocol "prescribing how to publish a
+/// link to genomic data in their native format with suitable metadata").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PublishedEntry {
+    /// Stable link (unique within the host).
+    pub link: String,
+    /// Dataset name.
+    pub name: String,
+    /// Native format label (e.g. "gdm", "bed", "narrowPeak").
+    pub format: String,
+    /// Dataset-level metadata pairs exposed to crawlers.
+    pub metadata: Vec<(String, String)>,
+    /// Approximate size in bytes.
+    pub size_bytes: usize,
+    /// Logical modification stamp (monotone per host).
+    pub updated_at: u64,
+}
+
+/// A host's manifest: everything it currently publishes.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Manifest {
+    /// Host identifier (a URL in the vision; a name here).
+    pub host: String,
+    /// Published entries.
+    pub entries: Vec<PublishedEntry>,
+}
+
+/// A publishing host: answers manifest requests and (politely throttled)
+/// dataset fetches.
+pub trait Host {
+    /// Host identifier.
+    fn id(&self) -> &str;
+    /// The current manifest (cheap; metadata + links only).
+    fn manifest(&self) -> Manifest;
+    /// Fetch a published dataset by link.
+    fn fetch(&self, link: &str) -> Option<Dataset>;
+}
+
+/// An in-process host holding datasets (a research center's download
+/// site).
+#[derive(Debug, Default)]
+pub struct SimulatedHost {
+    id: String,
+    datasets: BTreeMap<String, (Dataset, u64)>,
+    clock: u64,
+}
+
+impl SimulatedHost {
+    /// Create a host.
+    pub fn new(id: impl Into<String>) -> SimulatedHost {
+        SimulatedHost { id: id.into(), datasets: BTreeMap::new(), clock: 0 }
+    }
+
+    /// Publish (or update) a dataset; the link is `<host>/<name>`.
+    pub fn publish(&mut self, dataset: Dataset) -> String {
+        self.clock += 1;
+        let link = format!("{}/{}", self.id, dataset.name);
+        self.datasets.insert(link.clone(), (dataset, self.clock));
+        link
+    }
+
+    /// Remove a published dataset.
+    pub fn unpublish(&mut self, link: &str) -> bool {
+        self.datasets.remove(link).is_some()
+    }
+}
+
+impl Host for SimulatedHost {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn manifest(&self) -> Manifest {
+        Manifest {
+            host: self.id.clone(),
+            entries: self
+                .datasets
+                .iter()
+                .map(|(link, (ds, stamp))| {
+                    // Dataset-level metadata: the union of sample pairs
+                    // (deduplicated) — what a publishing protocol would
+                    // reasonably expose without shipping region data.
+                    let mut pairs: Vec<(String, String)> = ds
+                        .samples
+                        .iter()
+                        .flat_map(|s| {
+                            s.metadata.iter().map(|(k, v)| (k.to_owned(), v.to_owned()))
+                        })
+                        .collect();
+                    pairs.sort();
+                    pairs.dedup();
+                    PublishedEntry {
+                        link: link.clone(),
+                        name: ds.name.clone(),
+                        format: "gdm".to_owned(),
+                        metadata: pairs,
+                        size_bytes: ds.encoded_size(),
+                        updated_at: *stamp,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn fetch(&self, link: &str) -> Option<Dataset> {
+        self.datasets.get(link).map(|(d, _)| d.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crawler
+// ---------------------------------------------------------------------------
+
+/// Crawl statistics (E9 reports these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    /// Hosts visited.
+    pub hosts_visited: usize,
+    /// Entries discovered in manifests.
+    pub entries_seen: usize,
+    /// Entries whose metadata was (re)indexed this crawl.
+    pub entries_indexed: usize,
+    /// Full datasets fetched into the cache.
+    pub datasets_fetched: usize,
+    /// Bytes of region data fetched.
+    pub bytes_fetched: usize,
+}
+
+/// The search service's crawler + index + dataset cache.
+#[derive(Default)]
+pub struct SearchService {
+    index: MetaIndex,
+    /// link → entry (the searchable catalog).
+    catalog: BTreeMap<String, PublishedEntry>,
+    /// link → last indexed stamp (incremental crawling).
+    seen: HashMap<String, u64>,
+    /// Cached datasets ("storing some of the samples within a large
+    /// repository").
+    cache: BTreeMap<String, Dataset>,
+    /// Pending asynchronous downloads.
+    pending: VecDeque<String>,
+    /// Per-crawl fetch budget per host (the "agreed, non-intrusive
+    /// protocol").
+    fetch_budget_per_host: usize,
+}
+
+impl SearchService {
+    /// Service with a per-host fetch budget per crawl.
+    pub fn new(fetch_budget_per_host: usize) -> SearchService {
+        SearchService { fetch_budget_per_host, ..Default::default() }
+    }
+
+    /// Crawl hosts: download manifests, index new/updated metadata, and
+    /// opportunistically cache datasets within the politeness budget.
+    pub fn crawl(&mut self, hosts: &[&dyn Host]) -> CrawlStats {
+        let mut stats = CrawlStats::default();
+        for host in hosts {
+            stats.hosts_visited += 1;
+            let manifest = host.manifest();
+            let mut budget = self.fetch_budget_per_host;
+            for entry in manifest.entries {
+                stats.entries_seen += 1;
+                let fresh =
+                    self.seen.get(&entry.link).map(|&s| s < entry.updated_at).unwrap_or(true);
+                if !fresh {
+                    continue;
+                }
+                // Index the entry's metadata as one synthetic document.
+                let mut doc = Dataset::new(entry.name.clone(), nggc_gdm::Schema::empty());
+                let mut sample = nggc_gdm::Sample::new(entry.link.clone(), &manifest.host);
+                for (k, v) in &entry.metadata {
+                    sample.metadata.insert(k, v.clone());
+                }
+                doc.add_sample_unchecked(sample);
+                self.index.add_dataset(&doc);
+                self.seen.insert(entry.link.clone(), entry.updated_at);
+                self.catalog.insert(entry.link.clone(), entry.clone());
+                stats.entries_indexed += 1;
+                // Cache the dataset if the budget allows.
+                if budget > 0 {
+                    if let Some(ds) = host.fetch(&entry.link) {
+                        stats.datasets_fetched += 1;
+                        stats.bytes_fetched += ds.encoded_size();
+                        self.cache.insert(entry.link.clone(), ds);
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Number of indexed entries.
+    pub fn indexed_entries(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Search published metadata; returns snippets with an indication of
+    /// cache presence (the §4.5 "indication of the presence of each
+    /// dataset in the repository").
+    pub fn search(&self, query: &str) -> Vec<Snippet> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let mut snippets = Vec::new();
+        for (link, entry) in &self.catalog {
+            let matched: Vec<(String, String)> = entry
+                .metadata
+                .iter()
+                .filter(|(k, v)| {
+                    let hay: Vec<String> =
+                        tokenize(k).into_iter().chain(tokenize(v)).collect();
+                    tokens.iter().any(|t| hay.contains(t))
+                })
+                .cloned()
+                .collect();
+            if matched.is_empty() {
+                continue;
+            }
+            snippets.push(Snippet {
+                link: link.clone(),
+                dataset: entry.name.clone(),
+                host: link.split('/').next().unwrap_or_default().to_owned(),
+                matched_pairs: matched,
+                cached: self.cache.contains_key(link),
+                size_bytes: entry.size_bytes,
+            });
+        }
+        snippets.sort_by(|a, b| {
+            b.matched_pairs.len().cmp(&a.matched_pairs.len()).then(a.link.cmp(&b.link))
+        });
+        snippets
+    }
+
+    /// Request an asynchronous download of a dataset ("users ... could
+    /// download them asynchronously").
+    pub fn request_download(&mut self, link: &str) -> bool {
+        if self.catalog.contains_key(link) && !self.pending.contains(&link.to_owned()) {
+            self.pending.push_back(link.to_owned());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Process up to `n` pending downloads against the hosts; returns the
+    /// completed datasets.
+    pub fn poll_downloads(&mut self, hosts: &[&dyn Host], n: usize) -> Vec<Dataset> {
+        let mut done = Vec::new();
+        for _ in 0..n {
+            let Some(link) = self.pending.pop_front() else { break };
+            if let Some(ds) = self.cache.get(&link) {
+                done.push(ds.clone());
+                continue;
+            }
+            let host_id = link.split('/').next().unwrap_or_default();
+            if let Some(host) = hosts.iter().find(|h| h.id() == host_id) {
+                if let Some(ds) = host.fetch(&link) {
+                    done.push(ds);
+                }
+            }
+        }
+        done
+    }
+
+    /// The underlying metadata index (for integration with
+    /// [`crate::metadata_search::MetadataSearch`]).
+    pub fn index(&self) -> &MetaIndex {
+        &self.index
+    }
+
+    /// Sample references currently indexed for a keyword (test hook).
+    pub fn postings(&self, token: &str) -> Vec<SampleRef> {
+        self.index.postings(token).map(|s| s.iter().cloned().collect()).unwrap_or_default()
+    }
+}
+
+/// A search result snippet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    /// Link to request the dataset.
+    pub link: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Owning host.
+    pub host: String,
+    /// The metadata pairs that matched the query.
+    pub matched_pairs: Vec<(String, String)>,
+    /// Whether the service already caches the dataset.
+    pub cached: bool,
+    /// Published size.
+    pub size_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{GRegion, Metadata, Sample, Schema, Strand};
+
+    fn dataset(name: &str, cell: &str) -> Dataset {
+        let mut ds = Dataset::new(name, Schema::empty());
+        ds.add_sample(
+            Sample::new("s1", name)
+                .with_regions(vec![GRegion::new("chr1", 0, 100, Strand::Unstranded)])
+                .with_metadata(Metadata::from_pairs([("cell", cell), ("assay", "ChipSeq")])),
+        )
+        .unwrap();
+        ds
+    }
+
+    fn world() -> (SimulatedHost, SimulatedHost) {
+        let mut h1 = SimulatedHost::new("polimi.example");
+        h1.publish(dataset("PEAKS_HELA", "HeLa-S3"));
+        h1.publish(dataset("PEAKS_K562", "K562"));
+        let mut h2 = SimulatedHost::new("broad.example");
+        h2.publish(dataset("TF_ATLAS", "GM12878"));
+        (h1, h2)
+    }
+
+    #[test]
+    fn crawl_indexes_all_manifest_entries() {
+        let (h1, h2) = world();
+        let mut svc = SearchService::new(10);
+        let stats = svc.crawl(&[&h1, &h2]);
+        assert_eq!(stats.hosts_visited, 2);
+        assert_eq!(stats.entries_seen, 3);
+        assert_eq!(stats.entries_indexed, 3);
+        assert_eq!(stats.datasets_fetched, 3);
+        assert!(stats.bytes_fetched > 0);
+        assert_eq!(svc.indexed_entries(), 3);
+    }
+
+    #[test]
+    fn recrawl_is_incremental() {
+        let (mut h1, h2) = world();
+        let mut svc = SearchService::new(10);
+        svc.crawl(&[&h1, &h2]);
+        let stats2 = svc.crawl(&[&h1, &h2]);
+        assert_eq!(stats2.entries_indexed, 0, "nothing changed");
+        // Publish an update on h1 → exactly one reindex.
+        h1.publish(dataset("PEAKS_HELA", "HeLa-S3"));
+        let stats3 = svc.crawl(&[&h1, &h2]);
+        assert_eq!(stats3.entries_indexed, 1);
+    }
+
+    #[test]
+    fn fetch_budget_limits_cache_fills() {
+        let (h1, h2) = world();
+        let mut svc = SearchService::new(1);
+        let stats = svc.crawl(&[&h1, &h2]);
+        assert_eq!(stats.datasets_fetched, 2, "one per host");
+        assert_eq!(stats.entries_indexed, 3, "metadata still fully indexed");
+    }
+
+    #[test]
+    fn search_returns_snippets_with_cache_flags() {
+        let (h1, h2) = world();
+        let mut svc = SearchService::new(1);
+        svc.crawl(&[&h1, &h2]);
+        let hits = svc.search("HeLa");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dataset, "PEAKS_HELA");
+        assert_eq!(hits[0].host, "polimi.example");
+        assert!(!hits[0].matched_pairs.is_empty());
+        let all = svc.search("ChipSeq");
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().any(|s| s.cached) && all.iter().any(|s| !s.cached));
+    }
+
+    #[test]
+    fn async_download_roundtrip() {
+        let (h1, h2) = world();
+        let mut svc = SearchService::new(0); // nothing cached
+        svc.crawl(&[&h1, &h2]);
+        assert!(svc.request_download("broad.example/TF_ATLAS"));
+        assert!(!svc.request_download("broad.example/TF_ATLAS"), "duplicate rejected");
+        assert!(!svc.request_download("nosuch/LINK"));
+        let done = svc.poll_downloads(&[&h1, &h2], 10);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].name, "TF_ATLAS");
+    }
+
+    /// A host whose dataset fetches always fail (e.g. the download site
+    /// is up for manifests but rejects crawler transfers).
+    struct FlakyHost(SimulatedHost);
+
+    impl Host for FlakyHost {
+        fn id(&self) -> &str {
+            self.0.id()
+        }
+        fn manifest(&self) -> Manifest {
+            self.0.manifest()
+        }
+        fn fetch(&self, _link: &str) -> Option<Dataset> {
+            None
+        }
+    }
+
+    #[test]
+    fn crawler_tolerates_fetch_failures() {
+        let (h1, _) = world();
+        let mut flaky = SimulatedHost::new("flaky.example");
+        flaky.publish(dataset("UNREACHABLE", "HeLa-S3"));
+        let flaky = FlakyHost(flaky);
+        let mut svc = SearchService::new(10);
+        let stats = svc.crawl(&[&h1, &flaky]);
+        // Metadata still fully indexed; only cache fills are lost.
+        assert_eq!(stats.entries_indexed, 3);
+        assert_eq!(stats.datasets_fetched, 2, "only h1's datasets cached");
+        let hits = svc.search("HeLa");
+        assert_eq!(hits.len(), 2, "the flaky host's entry is still searchable");
+        assert!(hits.iter().any(|s| s.host == "flaky.example" && !s.cached));
+        // Async download from the flaky host completes zero datasets but
+        // does not wedge the queue.
+        svc.request_download("flaky.example/UNREACHABLE");
+        let done = svc.poll_downloads(&[&h1, &flaky], 5);
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn unpublish_removes_from_future_manifests() {
+        let (mut h1, _) = world();
+        assert!(h1.unpublish("polimi.example/PEAKS_K562"));
+        assert_eq!(h1.manifest().entries.len(), 1);
+        assert!(!h1.unpublish("polimi.example/PEAKS_K562"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # `nggc-search` — search services over genomic repositories
+//!
+//! Implements the paper's §4.5 search vision in three layers:
+//!
+//! * [`metadata_search`] — keyword / TF-IDF / ontology-expanded sample
+//!   search with the "classical measures of precision and recall";
+//! * [`region_search`] — feature-based region search: compute
+//!   user-specified features, rank regions by similarity ("search and
+//!   feature evaluation have to intertwine");
+//! * [`custom`] — §4.3's "set of custom queries": parameterised GMQL
+//!   templates for the typical requests;
+//! * [`iog`] — the **Internet of Genomes**: a publishing protocol for
+//!   hosts, a polite incremental crawler, a metadata index with snippet
+//!   search, cached datasets, and asynchronous downloads.
+
+#![warn(missing_docs)]
+
+pub mod custom;
+pub mod iog;
+pub mod metadata_search;
+pub mod region_search;
+
+pub use custom::{CustomQuery, CustomQueryCatalog, TemplateError, TemplateParam};
+pub use iog::{CrawlStats, Host, Manifest, PublishedEntry, SearchService, SimulatedHost, Snippet};
+pub use metadata_search::{evaluate, Evaluation, Hit, MetadataSearch, RankMode};
+pub use region_search::{
+    compute_features, rank_regions, Feature, FeatureMatrix, FeatureSpec, RankedRegion,
+};

@@ -1,0 +1,283 @@
+//! Metadata search with keyword, TF-IDF, and ontology-expanded ranking.
+//!
+//! §4.5: "Search methods should locate relevant samples within very
+//! large bodies, using classical measures of precision and recall;
+//! keyword-based search or free text querying should be supported."
+//! Three rankers of increasing sophistication are provided — E8 compares
+//! their precision/recall on a planted-relevance corpus:
+//!
+//! * **Boolean** — samples containing every query token;
+//! * **TF-IDF** — cosine-ish scoring with inverse document frequency and
+//!   document-length normalisation;
+//! * **Ontology-expanded** — query terms expand through the mini-UMLS
+//!   is-a graph (§4.3) before TF-IDF scoring, so "cancer" finds HeLa/K562
+//!   samples that never mention the word.
+
+use nggc_ontology::Ontology;
+use nggc_repository::{tokenize, MetaIndex, SampleRef};
+use std::collections::HashMap;
+
+/// Ranking strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankMode {
+    /// Conjunctive keyword match, no scores.
+    Boolean,
+    /// TF-IDF scoring.
+    TfIdf,
+    /// Ontology expansion + TF-IDF.
+    Expanded,
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The sample.
+    pub sample: SampleRef,
+    /// Relevance score (1.0 for Boolean hits).
+    pub score: f64,
+}
+
+/// Metadata search engine over a [`MetaIndex`].
+pub struct MetadataSearch<'a> {
+    index: &'a MetaIndex,
+    ontology: Option<&'a Ontology>,
+}
+
+impl<'a> MetadataSearch<'a> {
+    /// Search over an index; pass an ontology to enable
+    /// [`RankMode::Expanded`].
+    pub fn new(index: &'a MetaIndex, ontology: Option<&'a Ontology>) -> MetadataSearch<'a> {
+        MetadataSearch { index, ontology }
+    }
+
+    /// Run a free-text query; hits are sorted by descending score, ties
+    /// broken by sample reference for determinism.
+    pub fn search(&self, query: &str, mode: RankMode) -> Vec<Hit> {
+        let tokens = tokenize(query);
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        match mode {
+            RankMode::Boolean => self.boolean(&tokens),
+            RankMode::TfIdf => self.tfidf(&tokens),
+            RankMode::Expanded => {
+                // Each expanded term is a *phrase group*: a sample matches
+                // the group only when it carries every token of the term.
+                // This keeps "cancer cell line" from leaking the common
+                // token "cell" into the match set.
+                let mut groups: Vec<Vec<String>> = Vec::new();
+                for t in &tokens {
+                    match self.ontology {
+                        Some(o) => {
+                            for term in o.expand_term(t) {
+                                let g = tokenize(&term);
+                                if !g.is_empty() {
+                                    groups.push(g);
+                                }
+                            }
+                        }
+                        None => groups.push(vec![t.clone()]),
+                    }
+                }
+                groups.sort();
+                groups.dedup();
+                self.grouped(&groups)
+            }
+        }
+    }
+
+    fn boolean(&self, tokens: &[String]) -> Vec<Hit> {
+        let mut sets: Vec<&std::collections::BTreeSet<SampleRef>> = Vec::new();
+        for t in tokens {
+            match self.index.postings(t) {
+                Some(s) => sets.push(s),
+                None => return Vec::new(),
+            }
+        }
+        sets.sort_by_key(|s| s.len());
+        let (first, rest) = sets.split_first().expect("non-empty token list");
+        first
+            .iter()
+            .filter(|sref| rest.iter().all(|s| s.contains(sref)))
+            .map(|sref| Hit { sample: sref.clone(), score: 1.0 })
+            .collect()
+    }
+
+    /// Score samples by phrase groups: a group contributes its rarest
+    /// token's IDF when the sample carries *all* tokens of the group.
+    fn grouped(&self, groups: &[Vec<String>]) -> Vec<Hit> {
+        let n_docs = self.index.documents().max(1) as f64;
+        let mut scores: HashMap<SampleRef, f64> = HashMap::new();
+        for group in groups {
+            let mut postings: Vec<&std::collections::BTreeSet<SampleRef>> = Vec::new();
+            let mut rarest_df = usize::MAX;
+            let mut complete = true;
+            for t in group {
+                match self.index.postings(t) {
+                    Some(p) => {
+                        rarest_df = rarest_df.min(p.len());
+                        postings.push(p);
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete || postings.is_empty() {
+                continue;
+            }
+            let idf = (n_docs / rarest_df.max(1) as f64).ln() + 1.0;
+            postings.sort_by_key(|p| p.len());
+            let (first, rest) = postings.split_first().expect("non-empty");
+            for sref in first.iter() {
+                if rest.iter().all(|p| p.contains(sref)) {
+                    let norm = 1.0 / (1.0 + (self.index.doc_len(sref) as f64).sqrt());
+                    *scores.entry(sref.clone()).or_insert(0.0) += idf * norm;
+                }
+            }
+        }
+        let mut hits: Vec<Hit> =
+            scores.into_iter().map(|(sample, score)| Hit { sample, score }).collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.sample.cmp(&b.sample)));
+        hits
+    }
+
+    fn tfidf(&self, tokens: &[String]) -> Vec<Hit> {
+        let n_docs = self.index.documents().max(1) as f64;
+        let mut scores: HashMap<SampleRef, f64> = HashMap::new();
+        for t in tokens {
+            let Some(postings) = self.index.postings(t) else { continue };
+            let idf = (n_docs / postings.len() as f64).ln() + 1.0;
+            for sref in postings {
+                // Metadata documents are near-sets (attribute values are
+                // deduplicated), so tf ≈ 1; normalise by document length
+                // to favour focused samples.
+                let norm = 1.0 / (1.0 + (self.index.doc_len(sref) as f64).sqrt());
+                *scores.entry(sref.clone()).or_insert(0.0) += idf * norm;
+            }
+        }
+        let mut hits: Vec<Hit> =
+            scores.into_iter().map(|(sample, score)| Hit { sample, score }).collect();
+        hits.sort_by(|a, b| {
+            b.score.total_cmp(&a.score).then_with(|| a.sample.cmp(&b.sample))
+        });
+        hits
+    }
+}
+
+/// Precision / recall / F1 of a result list against a relevant set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// |retrieved ∩ relevant| / |retrieved|.
+    pub precision: f64,
+    /// |retrieved ∩ relevant| / |relevant|.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Evaluate hits against ground truth (the §4.5 "classical measures").
+pub fn evaluate(hits: &[Hit], relevant: &[SampleRef]) -> Evaluation {
+    if hits.is_empty() || relevant.is_empty() {
+        return Evaluation {
+            precision: 0.0,
+            recall: if relevant.is_empty() { 1.0 } else { 0.0 },
+            f1: 0.0,
+        };
+    }
+    let tp = hits.iter().filter(|h| relevant.contains(&h.sample)).count() as f64;
+    let precision = tp / hits.len() as f64;
+    let recall = tp / relevant.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Evaluation { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::{Dataset, Metadata, Sample, Schema};
+    use nggc_ontology::mini_umls;
+
+    fn corpus() -> MetaIndex {
+        let mut ds = Dataset::new("REPO", Schema::empty());
+        let samples = [
+            ("hela_ctcf", vec![("cell", "HeLa-S3"), ("antibody", "CTCF"), ("assay", "ChipSeq")]),
+            ("k562_pol2", vec![("cell", "K562"), ("antibody", "POLR2A"), ("assay", "ChipSeq")]),
+            ("gm_ctcf", vec![("cell", "GM12878"), ("antibody", "CTCF"), ("assay", "ChipSeq")]),
+            ("imr_rna", vec![("cell", "IMR90"), ("assay", "RnaSeq")]),
+            (
+                "cancer_note",
+                vec![("description", "matched cancer tissue biopsy"), ("assay", "RnaSeq")],
+            ),
+        ];
+        for (name, pairs) in samples {
+            ds.add_sample(Sample::new(name, "REPO").with_metadata(Metadata::from_pairs(pairs)))
+                .unwrap();
+        }
+        let mut idx = MetaIndex::new();
+        idx.add_dataset(&ds);
+        idx
+    }
+
+    fn sref(name: &str) -> SampleRef {
+        SampleRef { dataset: "REPO".into(), sample: name.into() }
+    }
+
+    #[test]
+    fn boolean_conjunctive() {
+        let idx = corpus();
+        let s = MetadataSearch::new(&idx, None);
+        let hits = s.search("ctcf chipseq", RankMode::Boolean);
+        assert_eq!(hits.len(), 2);
+        let hits = s.search("ctcf rnaseq", RankMode::Boolean);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn tfidf_ranks_rarer_terms_higher() {
+        let idx = corpus();
+        let s = MetadataSearch::new(&idx, None);
+        let hits = s.search("k562 chipseq", RankMode::TfIdf);
+        assert_eq!(hits[0].sample, sref("k562_pol2"), "sample matching the rare token wins");
+        assert!(hits.len() >= 3, "disjunctive scoring keeps chipseq-only hits");
+    }
+
+    #[test]
+    fn ontology_expansion_finds_cancer_cell_lines() {
+        let idx = corpus();
+        let onto = mini_umls();
+        let s = MetadataSearch::new(&idx, Some(&onto));
+        let plain = s.search("cancer", RankMode::TfIdf);
+        assert_eq!(plain.len(), 1, "only the literal mention");
+        let expanded = s.search("cancer", RankMode::Expanded);
+        let names: Vec<&str> = expanded.iter().map(|h| h.sample.sample.as_str()).collect();
+        assert!(names.contains(&"hela_ctcf"), "HeLa is-a cancer cell line: {names:?}");
+        assert!(names.contains(&"k562_pol2"));
+        assert!(names.contains(&"cancer_note"));
+        assert!(!names.contains(&"imr_rna"), "IMR90 is not a cancer line");
+    }
+
+    #[test]
+    fn evaluation_measures() {
+        let hits =
+            vec![Hit { sample: sref("a"), score: 1.0 }, Hit { sample: sref("b"), score: 0.5 }];
+        let eval = evaluate(&hits, &[sref("a"), sref("c")]);
+        assert!((eval.precision - 0.5).abs() < 1e-12);
+        assert!((eval.recall - 0.5).abs() < 1e-12);
+        assert!((eval.f1 - 0.5).abs() < 1e-12);
+        let empty = evaluate(&[], &[sref("a")]);
+        assert_eq!(empty.recall, 0.0);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let idx = corpus();
+        let s = MetadataSearch::new(&idx, None);
+        assert!(s.search("  ", RankMode::TfIdf).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Synthetic genome annotations: genes and promoters.
+//!
+//! The §2 experiment uses the UCSC annotation with **131,780 promoters**;
+//! this generator lays out genes along the genome and derives promoter
+//! regions as `[TSS - 2000, TSS + 500)`, the convention of genome
+//! browsers. The resulting dataset carries an `annType` attribute so the
+//! paper's `SELECT(annType == 'promoter')` runs verbatim.
+
+use crate::genome::Genome;
+use nggc_gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annotation generator configuration.
+#[derive(Debug, Clone)]
+pub struct AnnotationConfig {
+    /// Number of genes (the §2 experiment's promoter count: 131,780).
+    pub genes: usize,
+    /// Upstream promoter extent from the TSS.
+    pub promoter_upstream: u64,
+    /// Downstream promoter extent from the TSS.
+    pub promoter_downstream: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnotationConfig {
+    fn default() -> Self {
+        AnnotationConfig { genes: 1000, promoter_upstream: 2000, promoter_downstream: 500, seed: 7 }
+    }
+}
+
+/// The annotation schema: `annType` (gene/promoter/enhancer) + `name`.
+pub fn annotation_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("annType", ValueType::Str),
+        Attribute::new("name", ValueType::Str),
+    ])
+    .expect("annotation schema attributes are valid")
+}
+
+/// A generated gene with its derived promoter.
+#[derive(Debug, Clone)]
+pub struct Gene {
+    /// Gene symbol (synthetic).
+    pub name: String,
+    /// Chromosome.
+    pub chrom: nggc_gdm::Chrom,
+    /// Gene body.
+    pub body: (u64, u64),
+    /// Promoter region.
+    pub promoter: (u64, u64),
+    /// Strand.
+    pub strand: Strand,
+}
+
+/// Generate genes spread genome-proportionally; returns the gene list for
+/// ground-truth use by the case studies.
+pub fn generate_genes(genome: &Genome, config: &AnnotationConfig) -> Vec<Gene> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut genes = Vec::with_capacity(config.genes);
+    for i in 0..config.genes {
+        // Even spacing with jitter keeps genes collision-light and spread
+        // like real gene deserts/clusters are not — adequate for
+        // cardinality-shaped experiments.
+        let slot = genome.total_len() / config.genes.max(1) as u64;
+        let base = slot * i as u64 + rng.gen_range(0..slot.max(1)) / 2;
+        let (chrom, offset) = genome.locate(base.min(genome.total_len() - 1));
+        let chrom_len = genome.len_of(&chrom).expect("chrom exists");
+        let strand = if rng.gen_bool(0.5) { Strand::Pos } else { Strand::Neg };
+        let body_len = rng.gen_range(2_000..50_000u64).min(chrom_len / 2).max(1000);
+        let start = offset.min(chrom_len.saturating_sub(body_len + 1));
+        let end = start + body_len;
+        let tss = if strand == Strand::Neg { end } else { start };
+        let prom_left = tss.saturating_sub(match strand {
+            Strand::Neg => config.promoter_downstream,
+            _ => config.promoter_upstream,
+        });
+        let prom_right = (tss
+            + match strand {
+                Strand::Neg => config.promoter_upstream,
+                _ => config.promoter_downstream,
+            })
+        .min(chrom_len);
+        genes.push(Gene {
+            name: format!("GENE{i:05}"),
+            chrom,
+            body: (start, end),
+            promoter: (prom_left, prom_right),
+            strand,
+        });
+    }
+    genes
+}
+
+/// Build the ANNOTATIONS dataset (one sample holding genes + promoters),
+/// mirroring the single UCSC reference sample of the paper's example.
+pub fn generate_annotations(genome: &Genome, config: &AnnotationConfig) -> (Dataset, Vec<Gene>) {
+    let genes = generate_genes(genome, config);
+    let mut regions = Vec::with_capacity(genes.len() * 2);
+    for g in &genes {
+        regions.push(
+            GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand).with_values(vec![
+                Value::Str("gene".into()),
+                Value::Str(g.name.clone()),
+            ]),
+        );
+        regions.push(
+            GRegion::new(g.chrom.as_str(), g.promoter.0, g.promoter.1, g.strand).with_values(
+                vec![Value::Str("promoter".into()), Value::Str(g.name.clone())],
+            ),
+        );
+    }
+    let mut ds = Dataset::new("ANNOTATIONS", annotation_schema());
+    let sample = Sample::new("ucsc_synthetic", "ANNOTATIONS")
+        .with_regions(regions)
+        .with_metadata(Metadata::from_pairs([
+            ("source", "synthetic-ucsc"),
+            ("assembly", "synth-hg"),
+        ]));
+    ds.add_sample_unchecked(sample);
+    (ds, genes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promoter_flanks_tss_by_strand() {
+        let genome = Genome::toy(1, 10_000_000);
+        let config = AnnotationConfig { genes: 50, ..Default::default() };
+        let genes = generate_genes(&genome, &config);
+        for g in &genes {
+            match g.strand {
+                Strand::Pos | Strand::Unstranded => {
+                    assert_eq!(g.promoter.0, g.body.0.saturating_sub(2000));
+                    assert_eq!(g.promoter.1, g.body.0 + 500);
+                }
+                Strand::Neg => {
+                    assert_eq!(g.promoter.0, g.body.1.saturating_sub(500));
+                    assert_eq!(g.promoter.1, (g.body.1 + 2000).min(10_000_000));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_has_two_regions_per_gene() {
+        let genome = Genome::human(0.001);
+        let (ds, genes) = generate_annotations(&genome, &AnnotationConfig {
+            genes: 100,
+            ..Default::default()
+        });
+        assert_eq!(ds.region_count(), 200);
+        assert_eq!(genes.len(), 100);
+        ds.validate().unwrap();
+        let promoters = ds.samples[0]
+            .regions
+            .iter()
+            .filter(|r| r.values[0] == Value::Str("promoter".into()))
+            .count();
+        assert_eq!(promoters, 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let genome = Genome::toy(2, 1_000_000);
+        let c = AnnotationConfig { genes: 10, ..Default::default() };
+        let a = generate_genes(&genome, &c);
+        let b = generate_genes(&genome, &c);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[3].body, b[3].body);
+    }
+}

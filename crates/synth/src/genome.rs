@@ -1,0 +1,125 @@
+//! A synthetic reference genome.
+//!
+//! The paper's experiments run against human data (hg19-era assemblies).
+//! We model a configurable genome as named chromosomes with lengths whose
+//! proportions follow the human assembly, scaled by a factor so that
+//! experiments run anywhere from laptop-smoke-test to full-cardinality
+//! size (DESIGN.md substitution table).
+
+use nggc_gdm::Chrom;
+
+/// Relative chromosome lengths of the human assembly (Mbp, hg19 rounded).
+const HUMAN_CHROM_MBP: [(&str, u64); 24] = [
+    ("chr1", 249),
+    ("chr2", 243),
+    ("chr3", 198),
+    ("chr4", 191),
+    ("chr5", 181),
+    ("chr6", 171),
+    ("chr7", 159),
+    ("chr8", 146),
+    ("chr9", 141),
+    ("chr10", 136),
+    ("chr11", 135),
+    ("chr12", 134),
+    ("chr13", 115),
+    ("chr14", 107),
+    ("chr15", 103),
+    ("chr16", 90),
+    ("chr17", 81),
+    ("chr18", 78),
+    ("chr19", 59),
+    ("chr20", 63),
+    ("chr21", 48),
+    ("chr22", 51),
+    ("chrX", 155),
+    ("chrY", 59),
+];
+
+/// A synthetic genome: chromosome names and lengths.
+#[derive(Debug, Clone)]
+pub struct Genome {
+    chroms: Vec<(Chrom, u64)>,
+    total: u64,
+}
+
+impl Genome {
+    /// Human-proportioned genome scaled by `scale` (1.0 = full 3.1 Gbp).
+    pub fn human(scale: f64) -> Genome {
+        assert!(scale > 0.0, "scale must be positive");
+        let chroms: Vec<(Chrom, u64)> = HUMAN_CHROM_MBP
+            .iter()
+            .map(|&(name, mbp)| {
+                (Chrom::new(name), ((mbp * 1_000_000) as f64 * scale).max(1000.0) as u64)
+            })
+            .collect();
+        let total = chroms.iter().map(|(_, l)| l).sum();
+        Genome { chroms, total }
+    }
+
+    /// A toy genome with `n` chromosomes of equal `len` (tests).
+    pub fn toy(n: usize, len: u64) -> Genome {
+        assert!(n > 0 && len > 0);
+        let chroms: Vec<(Chrom, u64)> =
+            (1..=n).map(|i| (Chrom::new(&format!("chr{i}")), len)).collect();
+        Genome { total: len * n as u64, chroms }
+    }
+
+    /// Chromosomes with lengths.
+    pub fn chromosomes(&self) -> &[(Chrom, u64)] {
+        &self.chroms
+    }
+
+    /// Total genome length in bp.
+    pub fn total_len(&self) -> u64 {
+        self.total
+    }
+
+    /// Length of one chromosome.
+    pub fn len_of(&self, chrom: &Chrom) -> Option<u64> {
+        self.chroms.iter().find(|(c, _)| c == chrom).map(|(_, l)| *l)
+    }
+
+    /// Map a uniform position in `[0, total_len)` to `(chrom, offset)` —
+    /// genome-proportional chromosome sampling.
+    pub fn locate(&self, pos: u64) -> (Chrom, u64) {
+        debug_assert!(pos < self.total);
+        let mut acc = 0;
+        for (c, l) in &self.chroms {
+            if pos < acc + l {
+                return (c.clone(), pos - acc);
+            }
+            acc += l;
+        }
+        let (c, l) = self.chroms.last().expect("non-empty genome");
+        (c.clone(), l - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_scaling() {
+        let g = Genome::human(0.001);
+        assert_eq!(g.chromosomes().len(), 24);
+        assert_eq!(g.len_of(&Chrom::new("chr1")), Some(249_000));
+        assert!(g.total_len() > 3_000_000 / 1000 * 900);
+    }
+
+    #[test]
+    fn locate_covers_boundaries() {
+        let g = Genome::toy(3, 100);
+        assert_eq!(g.locate(0), (Chrom::new("chr1"), 0));
+        assert_eq!(g.locate(99), (Chrom::new("chr1"), 99));
+        assert_eq!(g.locate(100), (Chrom::new("chr2"), 0));
+        assert_eq!(g.locate(299), (Chrom::new("chr3"), 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        Genome::human(0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # `nggc-synth` — synthetic genomic workloads
+//!
+//! The paper evaluates on ENCODE/TCGA/UCSC data that cannot be shipped in
+//! a reproduction; per DESIGN.md's substitution table, this crate
+//! generates datasets with matched *statistical shape* — cardinalities,
+//! region-length and position distributions, metadata vocabularies — so
+//! every experiment exercises the same operator code paths at the same
+//! (scaled) sizes:
+//!
+//! * [`genome`] — human-proportioned synthetic assemblies at any scale;
+//! * [`encode`] — ENCODE-shaped ChIP-seq peak datasets (§2 experiment);
+//! * [`annotations`] — genes and promoters (UCSC-style references);
+//! * [`casestudy`] — the two §3 open problems with planted ground truth.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod annotations;
+pub mod casestudy;
+pub mod encode;
+pub mod genome;
+
+pub use annotations::{generate_annotations, generate_genes, AnnotationConfig, Gene};
+pub use casestudy::{
+    generate_ctcf_study, generate_replication_study, CtcfStudy, CtcfStudyConfig,
+    ReplicationStudy, ReplicationStudyConfig,
+};
+pub use encode::{encode_schema, generate_encode, EncodeConfig};
+pub use genome::Genome;

@@ -1,0 +1,327 @@
+//! `nggc` — command-line interface to the genomic data-management stack.
+//!
+//! The §4.3 vision provides "integrated access to curated data ...
+//! through user-friendly search services"; this CLI is the local
+//! single-node version: manage a repository of GDM datasets, import
+//! external formats, run GMQL queries, search metadata, and export
+//! results for genome browsers.
+//!
+//! ```text
+//! nggc [--repo PATH] <command> [args]
+//!
+//! commands:
+//!   init                          initialise the repository
+//!   import FILE [DATASET]         import a BED/narrowPeak/GTF/GFF3/VCF/bedGraph/WIG file
+//!   import-dir DIR                import every recognised file in a directory
+//!   list                          list datasets with statistics
+//!   info DATASET                  schema + statistics of one dataset
+//!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
+//!         [--save] [--workers N] [--explain] [--head K]
+//!   search KEYWORDS [--ontology]  search sample metadata
+//!   export DATASET FILE.bed       export a dataset's regions as BED
+//! ```
+
+use nggc::formats::{write_bed, BedOptions, FileFormat};
+use nggc::gdm::{Dataset, Sample};
+use nggc::gmql::{ExecOptions, GmqlError, LogicalPlan};
+use nggc::ontology::mini_umls;
+use nggc::repository::Repository;
+use nggc::search::{MetadataSearch, RankMode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    let mut repo_path = PathBuf::from("nggc-repo");
+    if let Some(pos) = args.iter().position(|a| a == "--repo") {
+        if pos + 1 >= args.len() {
+            return Err("--repo requires a path".into());
+        }
+        repo_path = PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let Some(command) = args.first().cloned() else {
+        return Err(usage());
+    };
+    let rest = args[1..].to_vec();
+    match command.as_str() {
+        "init" => cmd_init(&repo_path),
+        "import" => cmd_import(&repo_path, &rest),
+        "import-dir" => cmd_import_dir(&repo_path, &rest),
+        "list" => cmd_list(&repo_path),
+        "info" => cmd_info(&repo_path, &rest),
+        "query" => cmd_query(&repo_path, &rest),
+        "search" => cmd_search(&repo_path, &rest),
+        "export" => cmd_export(&repo_path, &rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|query|search|export|help> [args]\n\
+     run `nggc help` for details"
+        .to_owned()
+}
+
+fn open(repo_path: &Path) -> Result<Repository, String> {
+    Repository::open(repo_path).map_err(|e| e.to_string())
+}
+
+fn cmd_init(repo_path: &Path) -> Result<(), String> {
+    let repo = open(repo_path)?;
+    println!("repository initialised at {}", repo.root().display());
+    Ok(())
+}
+
+fn cmd_import(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let Some(file) = args.first() else {
+        return Err("import requires a file path".into());
+    };
+    let path = Path::new(file);
+    let format = FileFormat::from_path(path).map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let regions = format.parse(&text).map_err(|e| e.to_string())?;
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "imported".to_owned());
+    let dataset_name = args.get(1).cloned().unwrap_or_else(|| stem.to_uppercase());
+
+    let mut repo = open(repo_path)?;
+    // Append to an existing dataset when schemas agree; create otherwise.
+    let mut dataset = match repo.load(&dataset_name) {
+        Ok(existing) if existing.schema == format.schema() => existing,
+        _ => Dataset::new(dataset_name.clone(), format.schema()),
+    };
+    let mut sample = Sample::new(stem, &dataset_name).with_regions(regions);
+    sample.metadata.insert("imported_from", path.display().to_string());
+    sample.metadata.insert("format", format!("{format:?}"));
+    let n = sample.region_count();
+    dataset.add_sample(sample).map_err(|e| e.to_string())?;
+    repo.save(&dataset).map_err(|e| e.to_string())?;
+    println!(
+        "imported {n} regions into dataset {dataset_name} ({} samples total)",
+        dataset.sample_count()
+    );
+    Ok(())
+}
+
+fn cmd_import_dir(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let Some(dir) = args.first() else {
+        return Err("import-dir requires a directory".into());
+    };
+    let report =
+        nggc::formats::load_directory(Path::new(dir)).map_err(|e| e.to_string())?;
+    let mut repo = open(repo_path)?;
+    for ds in &report.datasets {
+        repo.save(ds).map_err(|e| e.to_string())?;
+        println!("imported {} — {}", ds.name, ds.stats());
+    }
+    for p in &report.skipped {
+        println!("skipped {} (unrecognised extension)", p.display());
+    }
+    for (p, e) in &report.failed {
+        eprintln!("failed {}: {e}", p.display());
+    }
+    if report.datasets.is_empty() {
+        return Err("no recognised genomic files found".into());
+    }
+    Ok(())
+}
+
+fn cmd_list(repo_path: &Path) -> Result<(), String> {
+    let repo = open(repo_path)?;
+    let entries = repo.list();
+    if entries.is_empty() {
+        println!("(empty repository)");
+        return Ok(());
+    }
+    for e in entries {
+        println!("{}  {}  :: {}", e.name, e.stats, e.schema);
+    }
+    Ok(())
+}
+
+fn cmd_info(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("info requires a dataset name".into());
+    };
+    let repo = open(repo_path)?;
+    let ds = repo.load(name).map_err(|e| e.to_string())?;
+    println!("dataset {}", ds.name);
+    println!("schema  {}", ds.schema);
+    println!("stats   {}", ds.stats());
+    for s in &ds.samples {
+        println!("  sample {} — {} regions, {} metadata pairs", s.name, s.region_count(), s.metadata.len());
+        for (k, v) in s.metadata.iter() {
+            println!("    {k}\t{v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let mut text = None;
+    let mut save = false;
+    let mut explain = false;
+    let mut analyze = false;
+    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut head = 5usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-e" => {
+                i += 1;
+                text = Some(
+                    args.get(i).cloned().ok_or_else(|| "-e requires query text".to_owned())?,
+                );
+            }
+            "--save" => save = true,
+            "--explain" => explain = true,
+            "--analyze" => analyze = true,
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| "--workers requires a number".to_owned())?;
+            }
+            "--head" => {
+                i += 1;
+                head = args
+                    .get(i)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| "--head requires a number".to_owned())?;
+            }
+            file => {
+                text = Some(
+                    std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?,
+                );
+            }
+        }
+        i += 1;
+    }
+    let Some(query) = text else {
+        return Err("query requires a file or -e TEXT".into());
+    };
+
+    let mut repo = open(repo_path)?;
+    let ctx = nggc::engine::ExecContext::with_workers(workers);
+    let opts = ExecOptions::default();
+
+    if explain {
+        let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
+        let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
+            .map_err(|e| e.to_string())?;
+        let (optimized, report) = nggc::gmql::optimize(&plan);
+        println!("-- logical plan --\n{}", plan.explain());
+        println!("-- optimized ({report:?}) --\n{}", optimized.explain());
+        return Ok(());
+    }
+
+    let t0 = std::time::Instant::now();
+    let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
+    let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
+        .map_err(|e| e.to_string())?;
+    let (outputs, metrics) = nggc::gmql::execute_with_metrics(
+        &plan,
+        &|name: &str| -> Result<Dataset, GmqlError> {
+            repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
+        },
+        &ctx,
+        &opts,
+    )
+    .map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    if analyze {
+        println!("-- execution metrics --");
+        for m in &metrics {
+            println!("  {m}");
+        }
+    }
+
+    let mut names: Vec<&String> = outputs.keys().collect();
+    names.sort();
+    for name in names {
+        let ds = &outputs[name];
+        println!("== {name} :: {} ==", ds.schema);
+        println!("{}", ds.stats());
+        for s in ds.samples.iter().take(head) {
+            println!("  sample {} ({} regions)", s.name, s.region_count());
+            for r in s.regions.iter().take(head) {
+                println!("    {r}");
+            }
+            if s.region_count() > head {
+                println!("    … {} more", s.region_count() - head);
+            }
+        }
+        if ds.sample_count() > head {
+            println!("  … {} more samples", ds.sample_count() - head);
+        }
+    }
+    println!("({elapsed:.2?})");
+
+    if save {
+        for ds in outputs.values() {
+            repo.save(ds).map_err(|e| e.to_string())?;
+            println!("saved {} to repository", ds.name);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_search(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let ontology_mode = args.iter().any(|a| a == "--ontology");
+    let keywords: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if keywords.is_empty() {
+        return Err("search requires keywords".into());
+    }
+    let query = keywords.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+    let repo = open(repo_path)?;
+    let index = repo.meta_index().map_err(|e| e.to_string())?;
+    let onto = mini_umls();
+    let search = MetadataSearch::new(&index, Some(&onto));
+    let mode = if ontology_mode { RankMode::Expanded } else { RankMode::TfIdf };
+    let hits = search.search(&query, mode);
+    if hits.is_empty() {
+        println!("no samples match {query:?}");
+        return Ok(());
+    }
+    for hit in hits.iter().take(20) {
+        println!("{:.3}  {}/{}", hit.score, hit.sample.dataset, hit.sample.sample);
+    }
+    Ok(())
+}
+
+fn cmd_export(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let (Some(name), Some(out)) = (args.first(), args.get(1)) else {
+        return Err("export requires DATASET and OUTPUT.bed".into());
+    };
+    let repo = open(repo_path)?;
+    let ds = repo.load(name).map_err(|e| e.to_string())?;
+    // BED export for genome browsers (§4.3: "visualize results on genome
+    // browsers"): coordinates only; attribute values go to the name
+    // column rendering.
+    let mut text = String::new();
+    for s in &ds.samples {
+        text.push_str(&format!("track name=\"{}\" description=\"nggc export\"\n", s.name));
+        text.push_str(&write_bed(&s.regions, &BedOptions::bed3()));
+    }
+    std::fs::write(out, text).map_err(|e| format!("{out}: {e}"))?;
+    println!("exported {} regions to {out}", ds.region_count());
+    Ok(())
+}

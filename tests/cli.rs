@@ -1,0 +1,168 @@
+//! End-to-end tests of the `nggc` command-line interface.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn nggc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nggc"))
+}
+
+fn tmp_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nggc_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run(repo: &PathBuf, args: &[&str]) -> (bool, String, String) {
+    let out = nggc()
+        .arg("--repo")
+        .arg(repo)
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_cli_workflow() {
+    let repo = tmp_repo("flow");
+
+    // init
+    let (ok, stdout, _) = run(&repo, &["init"]);
+    assert!(ok);
+    assert!(stdout.contains("repository initialised"));
+
+    // import a BED file
+    let bed = repo.join("peaks.bed");
+    std::fs::create_dir_all(&repo).unwrap();
+    std::fs::write(
+        &bed,
+        "chr1\t100\t200\tp1\t5\t+\nchr1\t400\t500\tp2\t9\t-\nchr2\t0\t50\tp3\t2\t+\n",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = run(&repo, &["import", bed.to_str().unwrap(), "PEAKS"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("imported 3 regions"), "{stdout}");
+
+    // list + info
+    let (ok, stdout, _) = run(&repo, &["list"]);
+    assert!(ok);
+    assert!(stdout.contains("PEAKS"));
+    let (ok, stdout, _) = run(&repo, &["info", "PEAKS"]);
+    assert!(ok);
+    assert!(stdout.contains("3 regions"));
+    assert!(stdout.contains("imported_from"));
+
+    // query with --save
+    let (ok, stdout, stderr) = run(
+        &repo,
+        &[
+            "query",
+            "-e",
+            "X = SELECT(region: left >= 100) PEAKS; MATERIALIZE X INTO FILTERED;",
+            "--save",
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("FILTERED"), "{stdout}");
+    assert!(stdout.contains("2 regions"), "{stdout}");
+    let (ok, stdout, _) = run(&repo, &["list"]);
+    assert!(ok);
+    assert!(stdout.contains("FILTERED"), "--save persisted the output: {stdout}");
+
+    // explain
+    let (ok, stdout, _) = run(
+        &repo,
+        &["query", "-e", "X = SELECT(a == 1) PEAKS; Y = SELECT(b == 2) X; MATERIALIZE Y;", "--explain"],
+    );
+    assert!(ok);
+    assert!(stdout.contains("optimized"));
+    assert!(stdout.contains("selects_fused: 1"), "{stdout}");
+
+    // analyze: per-node metrics
+    let (ok, stdout, _) = run(
+        &repo,
+        &["query", "-e", "X = SELECT(region: left >= 100) PEAKS; MATERIALIZE X;", "--analyze"],
+    );
+    assert!(ok);
+    assert!(stdout.contains("execution metrics"), "{stdout}");
+    assert!(stdout.contains("SOURCE"), "{stdout}");
+    assert!(stdout.contains("SELECT"), "{stdout}");
+
+    // search (metadata carries the import markers)
+    let (ok, stdout, _) = run(&repo, &["search", "bed"]);
+    assert!(ok);
+    assert!(stdout.contains("PEAKS/peaks"), "{stdout}");
+
+    // export
+    let out_bed = repo.join("export.bed");
+    let (ok, stdout, _) = run(&repo, &["export", "FILTERED", out_bed.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("exported 2 regions"));
+    let text = std::fs::read_to_string(&out_bed).unwrap();
+    assert!(text.contains("track name="));
+    assert!(text.contains("chr1\t100\t200"));
+
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_errors_are_reported() {
+    let repo = tmp_repo("err");
+    let (ok, _, stderr) = run(&repo, &["info", "NOPE"]);
+    assert!(!ok);
+    assert!(stderr.contains("not found"), "{stderr}");
+
+    let (ok, _, stderr) = run(&repo, &["query", "-e", "X = SELEKT() D;"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+
+    let (ok, _, stderr) = run(&repo, &["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = run(&repo, &["import", "missing.xyz"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown format"), "{stderr}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_import_dir_groups_by_format() {
+    let repo = tmp_repo("dir");
+    let data = repo.join("incoming");
+    std::fs::create_dir_all(&data).unwrap();
+    std::fs::write(data.join("a.bed"), "chr1\t0\t10\tx\t1\t+\n").unwrap();
+    std::fs::write(data.join("a.bed.meta"), "cell\tHeLa\n").unwrap();
+    std::fs::write(data.join("v.vcf"), "chr1\t5\t.\tA\tT\t9\tPASS\t.\n").unwrap();
+    std::fs::write(data.join("junk.xyz"), "???").unwrap();
+    let (ok, stdout, stderr) = run(&repo, &["import-dir", data.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("INCOMING_BED"), "{stdout}");
+    assert!(stdout.contains("INCOMING_VCF"), "{stdout}");
+    assert!(stdout.contains("skipped"), "{stdout}");
+    let (ok, stdout, _) = run(&repo, &["info", "INCOMING_BED"]);
+    assert!(ok);
+    assert!(stdout.contains("HeLa"), "sidecar metadata imported: {stdout}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_import_appends_to_existing_dataset() {
+    let repo = tmp_repo("append");
+    std::fs::create_dir_all(&repo).unwrap();
+    let a = repo.join("rep1.bed");
+    let b = repo.join("rep2.bed");
+    std::fs::write(&a, "chr1\t0\t10\tx\t1\t+\n").unwrap();
+    std::fs::write(&b, "chr1\t20\t30\ty\t1\t-\n").unwrap();
+    let (ok, _, e1) = run(&repo, &["import", a.to_str().unwrap(), "REPS"]);
+    assert!(ok, "{e1}");
+    let (ok, stdout, e2) = run(&repo, &["import", b.to_str().unwrap(), "REPS"]);
+    assert!(ok, "{e2}");
+    assert!(stdout.contains("2 samples total"), "{stdout}");
+    std::fs::remove_dir_all(&repo).ok();
+}

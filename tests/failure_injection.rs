@@ -1,0 +1,151 @@
+//! Failure injection: corrupted files, truncated payloads, failing
+//! providers — the system must degrade with errors, never panics or
+//! silent corruption.
+
+use nggc::federation::decode_staged;
+use nggc::formats::native;
+use nggc::gdm::{Attribute, Dataset, GRegion, Sample, Schema, Strand, ValueType};
+use nggc::gmql::{run_with_provider, ExecOptions, GmqlError};
+use nggc::repository::Repository;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nggc_fail_{tag}_{}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn corrupt_native_schema_is_an_error() {
+    let dir = tmp("schema");
+    let ds_dir = dir.join("D");
+    fs::create_dir_all(ds_dir.join("files")).unwrap();
+    fs::write(ds_dir.join("schema.gdm"), "p_value\tnot_a_type\n").unwrap();
+    assert!(native::read_dataset(&ds_dir).is_err());
+
+    fs::write(ds_dir.join("schema.gdm"), "no_tab_here\n").unwrap();
+    assert!(native::read_dataset(&ds_dir).is_err());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_native_region_rows_are_errors_with_line_numbers() {
+    let dir = tmp("rows");
+    let ds_dir = dir.join("D");
+    fs::create_dir_all(ds_dir.join("files")).unwrap();
+    fs::write(ds_dir.join("schema.gdm"), "score\tfloat\n").unwrap();
+    // Wrong arity on line 2.
+    fs::write(ds_dir.join("files/s.gdm"), "chr1\t0\t10\t+\t1.5\nchr1\t20\t30\t+\n").unwrap();
+    let err = native::read_dataset(&ds_dir).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+
+    // Garbage coordinates.
+    fs::write(ds_dir.join("files/s.gdm"), "chr1\tzero\t10\t+\t1.5\n").unwrap();
+    assert!(native::read_dataset(&ds_dir).is_err());
+
+    // Bad strand.
+    fs::write(ds_dir.join("files/s.gdm"), "chr1\t0\t10\tx\t1.5\n").unwrap();
+    assert!(native::read_dataset(&ds_dir).is_err());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_schema_file_is_an_io_error() {
+    let dir = tmp("noschema");
+    let ds_dir = dir.join("D");
+    fs::create_dir_all(ds_dir.join("files")).unwrap();
+    assert!(native::read_dataset(&ds_dir).is_err());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_repository_catalog_fails_open() {
+    let dir = tmp("catalog");
+    fs::write(dir.join("catalog.json"), "{ not json").unwrap();
+    assert!(Repository::open(&dir).is_err());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repository_survives_deleted_dataset_directory() {
+    let dir = tmp("ghost");
+    let mut repo = Repository::open(&dir).unwrap();
+    let schema = Schema::new(vec![Attribute::new("x", ValueType::Int)]).unwrap();
+    let mut ds = Dataset::new("D", schema);
+    ds.add_sample(Sample::new("s", "D").with_regions(vec![
+        GRegion::new("chr1", 0, 5, Strand::Pos).with_values(vec![1i64.into()]),
+    ]))
+    .unwrap();
+    repo.save(&ds).unwrap();
+    // Someone deletes the files behind the catalog's back.
+    fs::remove_dir_all(dir.join("datasets").join("D")).unwrap();
+    assert!(repo.load("D").is_err(), "load reports the loss instead of panicking");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_federation_payload_rejected() {
+    // A valid frame followed by garbage truncations.
+    let ds = Dataset::new("X", Schema::empty());
+    let body = serde_json::to_vec(&ds).unwrap();
+    let mut payload = Vec::new();
+    payload.extend(1u64.to_le_bytes()); // name length
+    payload.extend(b"X");
+    payload.extend((body.len() as u64).to_le_bytes());
+    payload.extend(&body);
+    assert_eq!(decode_staged(&payload).unwrap().len(), 1);
+
+    // Truncate mid-body.
+    assert!(decode_staged(&payload[..payload.len() - 3]).is_err());
+    // Truncate mid-header.
+    assert!(decode_staged(&payload[..4]).is_err());
+    // Corrupt the JSON body.
+    let mut corrupt = payload.clone();
+    let n = corrupt.len();
+    corrupt[n - 2] = b'!';
+    assert!(decode_staged(&corrupt).is_err());
+}
+
+#[test]
+fn failing_provider_aborts_query_cleanly() {
+    let schema_of = |name: &str| -> Option<Schema> {
+        (name == "D").then(Schema::empty)
+    };
+    let provider = |_: &str| -> Result<Dataset, GmqlError> {
+        Err(GmqlError::runtime("disk on fire"))
+    };
+    let ctx = nggc::engine::ExecContext::with_workers(2);
+    let err = run_with_provider(
+        "X = SELECT(a == 1) D; MATERIALIZE X;",
+        &schema_of,
+        &provider,
+        &ctx,
+        &ExecOptions::default(),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("disk on fire"));
+}
+
+#[test]
+fn query_text_abuse_is_rejected_not_panicking() {
+    let mut engine = nggc::gmql::GmqlEngine::with_workers(1);
+    engine.register(Dataset::new("D", Schema::empty()));
+    for bad in [
+        "",
+        ";;;",
+        "X = ;",
+        "X = SELECT( D;",
+        "X = SELECT() D extra;",
+        "X = JOIN(DLE()) D D;",
+        "X = COVER(ANY) D;",
+        "MATERIALIZE GHOST;",
+        "X = MAP(n AS NOSUCHAGG) D D;",
+        "X = SELECT(region: 1 +) D;",
+        "X = PROJECT(zzz) D;",
+        "♥ = SELECT() D;",
+    ] {
+        assert!(engine.run(bad).is_err(), "{bad:?} must be rejected");
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration: federated execution equivalence (§4.4) and search
+//! quality over a planted-relevance corpus (§4.5).
+
+use nggc::federation::{Federation, FederationNode, TransferLog};
+use nggc::gdm::{Dataset, Metadata, Sample, Schema};
+use nggc::gmql::GmqlEngine;
+use nggc::ontology::mini_umls;
+use nggc::repository::MetaIndex;
+use nggc::search::{evaluate, MetadataSearch, RankMode};
+use nggc::synth::{generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome};
+
+fn world() -> (Dataset, Dataset) {
+    let genome = Genome::human(0.001);
+    let encode = generate_encode(
+        &genome,
+        &EncodeConfig { samples: 6, mean_peaks_per_sample: 300.0, seed: 3, ..Default::default() },
+    );
+    let (annotations, _) =
+        generate_annotations(&genome, &AnnotationConfig { genes: 80, seed: 9, ..Default::default() });
+    (encode, annotations)
+}
+
+const QUERY: &str = "
+    PROMS = SELECT(region: annType == 'promoter') ANNOTATIONS;
+    PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+    R     = MAP(n AS COUNT) PROMS PEAKS;
+    MATERIALIZE R;
+";
+
+#[test]
+fn federated_execution_equals_local() {
+    let (encode, annotations) = world();
+
+    let mut local = GmqlEngine::with_workers(2);
+    local.register(encode.clone());
+    local.register(annotations.clone());
+    let expected = local.run(QUERY).unwrap();
+
+    let mut federation = Federation::new();
+    let mut node = FederationNode::new("remote", 2);
+    node.own(encode);
+    node.own(annotations);
+    federation.add_node(node);
+
+    let (remote, log) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
+    assert_eq!(remote["R"].sample_count(), expected["R"].sample_count());
+    assert_eq!(remote["R"].region_count(), expected["R"].region_count());
+    for (a, b) in remote["R"].samples.iter().zip(&expected["R"].samples) {
+        assert_eq!(a.regions, b.regions, "federated results must be bit-identical");
+        assert_eq!(a.metadata, b.metadata);
+    }
+    assert!(log.requests >= 3, "execute + >=1 chunk + release");
+}
+
+#[test]
+fn federation_estimates_are_in_the_right_ballpark() {
+    let (encode, annotations) = world();
+    let mut federation = Federation::new();
+    let mut node = FederationNode::new("remote", 2);
+    node.own(encode);
+    node.own(annotations);
+    federation.add_node(node);
+
+    let mut log = TransferLog::default();
+    let estimates = federation.compile_remote("remote", QUERY, &mut log).unwrap();
+    let (actual, _) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
+    let est = &estimates[0];
+    let got = actual["R"].region_count();
+    // Heuristic estimates: demand the right order of magnitude, not
+    // precision.
+    assert!(est.regions > 0);
+    assert!(
+        est.regions as f64 / got as f64 > 0.05 && (est.regions as f64 / got as f64) < 20.0,
+        "estimate {} vs actual {got} regions",
+        est.regions
+    );
+}
+
+fn relevance_corpus() -> (MetaIndex, Vec<nggc::repository::SampleRef>) {
+    // Planted relevance: samples from cancer cell lines are relevant to
+    // the query "cancer".
+    let mut ds = Dataset::new("CORPUS", Schema::empty());
+    let mut relevant = Vec::new();
+    let entries: &[(&str, &str, bool)] = &[
+        ("s_hela_1", "HeLa-S3", true),
+        ("s_hela_2", "HeLa-S3", true),
+        ("s_k562", "K562", true),
+        ("s_hepg2", "HepG2", true),
+        ("s_a549", "A549", true),
+        ("s_mcf7", "MCF-7", true),
+        ("s_gm", "GM12878", false),
+        ("s_imr", "IMR90", false),
+        ("s_h1", "H1-hESC", false),
+    ];
+    for (name, cell, rel) in entries {
+        ds.add_sample(
+            Sample::new(*name, "CORPUS").with_metadata(Metadata::from_pairs([
+                ("cell", *cell),
+                ("assay", "ChipSeq"),
+            ])),
+        )
+        .unwrap();
+        if *rel {
+            relevant.push(nggc::repository::SampleRef {
+                dataset: "CORPUS".into(),
+                sample: (*name).into(),
+            });
+        }
+    }
+    let mut idx = MetaIndex::new();
+    idx.add_dataset(&ds);
+    (idx, relevant)
+}
+
+#[test]
+fn ontology_expansion_dominates_plain_search() {
+    let (idx, relevant) = relevance_corpus();
+    let onto = mini_umls();
+    let search = MetadataSearch::new(&idx, Some(&onto));
+
+    let plain = search.search("cancer", RankMode::TfIdf);
+    let expanded = search.search("cancer", RankMode::Expanded);
+    let e_plain = evaluate(&plain, &relevant);
+    let e_expanded = evaluate(&expanded, &relevant);
+
+    assert_eq!(e_plain.recall, 0.0, "no sample mentions 'cancer' literally");
+    assert!(
+        e_expanded.recall >= 0.99,
+        "expansion should reach all cancer lines, got {}",
+        e_expanded.recall
+    );
+    assert!(
+        e_expanded.precision >= 0.99,
+        "no non-cancer line should match, got {}",
+        e_expanded.precision
+    );
+}
+
+#[test]
+fn boolean_search_is_high_precision_low_recall() {
+    let (idx, relevant) = relevance_corpus();
+    let search = MetadataSearch::new(&idx, None);
+    let hits = search.search("hela chipseq", RankMode::Boolean);
+    let eval = evaluate(&hits, &relevant);
+    assert_eq!(hits.len(), 2, "only the two HeLa samples");
+    assert!((eval.precision - 1.0).abs() < 1e-12);
+    assert!(eval.recall < 0.5, "misses the other cancer lines");
+}

@@ -1,0 +1,132 @@
+//! Experiment E2: the paper's Figure 2 GDM instance, reproduced exactly.
+//!
+//! Figure 2 shows the PEAKS dataset for ChIP-seq data: two samples whose
+//! regions fall within two chromosomes, variable schema = `p_value`,
+//! sample 1 stranded with karyotype "cancer", sample 2 unstranded from a
+//! "female" donor; 5 + 4 regions and 4 + 3 metadata attributes.
+
+use nggc::formats::native;
+use nggc::gdm::*;
+
+fn figure2_dataset() -> Dataset {
+    let schema = Schema::new(vec![Attribute::new("p_value", ValueType::Float)]).unwrap();
+    let mut peaks = Dataset::new("PEAKS", schema);
+    peaks
+        .add_sample(
+            Sample::new("sample_1", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 2940, 3400, Strand::Pos).with_values(vec![0.0001.into()]),
+                    GRegion::new("chr1", 6120, 7030, Strand::Neg)
+                        .with_values(vec![0.00005.into()]),
+                    GRegion::new("chr1", 9140, 10400, Strand::Pos)
+                        .with_values(vec![0.0003.into()]),
+                    GRegion::new("chr2", 120, 680, Strand::Pos).with_values(vec![0.00002.into()]),
+                    GRegion::new("chr2", 830, 1070, Strand::Neg).with_values(vec![0.0007.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([
+                    ("antibody_target", "CTCF"),
+                    ("karyotype", "cancer"),
+                    ("organism", "Homo sapiens"),
+                    ("dataType", "ChipSeq"),
+                ])),
+        )
+        .unwrap();
+    peaks
+        .add_sample(
+            Sample::new("sample_2", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 886, 1456, Strand::Unstranded)
+                        .with_values(vec![0.0004.into()]),
+                    GRegion::new("chr1", 1860, 2430, Strand::Unstranded)
+                        .with_values(vec![0.0001.into()]),
+                    GRegion::new("chr2", 400, 960, Strand::Unstranded)
+                        .with_values(vec![0.0005.into()]),
+                    GRegion::new("chr2", 1800, 2400, Strand::Unstranded)
+                        .with_values(vec![0.00006.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([
+                    ("antibody_target", "CTCF"),
+                    ("sex", "female"),
+                    ("dataType", "ChipSeq"),
+                ])),
+        )
+        .unwrap();
+    peaks
+}
+
+#[test]
+fn figure2_cardinalities_match_the_paper() {
+    let ds = figure2_dataset();
+    ds.validate().unwrap();
+    assert_eq!(ds.sample_count(), 2);
+    // "sample 1 has 5 regions and 4 metadata attributes, sample 2 has 4
+    // regions and 3 metadata attributes".
+    assert_eq!(ds.samples[0].region_count(), 5);
+    assert_eq!(ds.samples[0].metadata.len(), 4);
+    assert_eq!(ds.samples[1].region_count(), 4);
+    assert_eq!(ds.samples[1].metadata.len(), 3);
+    // "regions of the first sample are stranded ... the second are not".
+    assert!(ds.samples[0].regions.iter().all(|r| r.strand != Strand::Unstranded));
+    assert!(ds.samples[1].regions.iter().all(|r| r.strand == Strand::Unstranded));
+    // "sample 1 has karyotype 'cancer' and sample 2 was taken from a
+    // 'female'".
+    assert!(ds.samples[0].metadata.has("karyotype", "cancer"));
+    assert!(ds.samples[1].metadata.has("sex", "female"));
+    // Regions fall within two chromosomes.
+    assert_eq!(ds.samples[0].chromosomes().len(), 2);
+    assert_eq!(ds.samples[1].chromosomes().len(), 2);
+}
+
+#[test]
+fn figure2_roundtrips_through_native_format() {
+    let ds = figure2_dataset();
+    let dir = std::env::temp_dir().join(format!("nggc_fig2_{}", std::process::id()));
+    let dsdir = dir.join("PEAKS");
+    native::write_dataset(&ds, &dsdir).unwrap();
+    let back = native::read_dataset(&dsdir).unwrap();
+    assert_eq!(back.schema, ds.schema);
+    assert_eq!(back.sample_count(), 2);
+    for (orig, reloaded) in
+        [("sample_1", 0), ("sample_2", 1)].map(|(n, i)| (&ds.samples[i], back.sample_by_name(n)))
+    {
+        let reloaded = reloaded.unwrap();
+        assert_eq!(reloaded.regions, orig.regions);
+        assert_eq!(reloaded.metadata, orig.metadata);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure2_sample_id_connects_regions_and_metadata() {
+    let ds = figure2_dataset();
+    // The sample ID provides the many-to-many connection (paper §2):
+    // both views of a sample are reachable through the same id.
+    let s1 = ds.samples[0].id;
+    let fetched = ds.sample(s1).unwrap();
+    assert_eq!(fetched.region_count(), 5);
+    assert!(fetched.metadata.has("karyotype", "cancer"));
+    assert_ne!(ds.samples[0].id, ds.samples[1].id);
+}
+
+#[test]
+fn schema_merging_makes_heterogeneous_data_interoperable() {
+    // "schema merging ... allows merging datasets with different schemas"
+    // — merge the Figure-2 peaks with a mutation dataset.
+    let peaks = figure2_dataset();
+    let mut_schema = Schema::new(vec![
+        Attribute::new("ref", ValueType::Str),
+        Attribute::new("alt", ValueType::Str),
+    ])
+    .unwrap();
+    let merged = peaks.schema.merge(&mut_schema);
+    let names: Vec<&str> =
+        merged.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    assert_eq!(names, vec!["p_value", "ref", "alt"]);
+    // A peaks row re-shapes with nulls in the mutation columns.
+    let row = Schema::reshape_row(
+        &peaks.samples[0].regions[0].values,
+        &merged.left_map,
+        merged.schema.len(),
+    );
+    assert_eq!(row, vec![Value::Float(0.0001), Value::Null, Value::Null]);
+}

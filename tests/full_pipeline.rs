@@ -1,0 +1,181 @@
+//! Cross-crate integration: synthetic data → repository → GMQL →
+//! genome space → network/clustering — the full Figure-4 path.
+
+use nggc::analysis::{kmeans, GenomeSpace, Network};
+use nggc::gmql::{ExecOptions, GmqlEngine};
+use nggc::repository::Repository;
+use nggc::synth::{
+    generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome,
+};
+
+fn small_world() -> (Genome, nggc::gdm::Dataset, nggc::gdm::Dataset) {
+    let genome = Genome::human(0.001);
+    let encode = generate_encode(
+        &genome,
+        &EncodeConfig { samples: 8, mean_peaks_per_sample: 400.0, seed: 11, ..Default::default() },
+    );
+    let (annotations, _) = generate_annotations(
+        &genome,
+        &AnnotationConfig { genes: 120, seed: 5, ..Default::default() },
+    );
+    (genome, encode, annotations)
+}
+
+const MAP_QUERY: &str = "
+    PROMS = SELECT(region: annType == 'promoter') ANNOTATIONS;
+    PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+    R     = MAP(peak_count AS COUNT) PROMS PEAKS;
+    MATERIALIZE R;
+";
+
+#[test]
+fn map_query_to_genome_space_to_network() {
+    let (_, encode, annotations) = small_world();
+    let chip_samples =
+        encode.samples.iter().filter(|s| s.metadata.has("dataType", "ChipSeq")).count();
+    let mut engine = GmqlEngine::with_workers(4);
+    engine.register(encode);
+    engine.register(annotations);
+    let out = engine.run(MAP_QUERY).unwrap();
+    let result = &out["R"];
+    assert_eq!(result.sample_count(), chip_samples, "one output sample per experiment");
+    assert_eq!(result.samples[0].region_count(), 120, "all promoters kept");
+    result.validate().unwrap();
+
+    // Figure 4: MAP result → genome space → gene network.
+    let space = GenomeSpace::from_map_result(result, "peak_count", Some("name")).unwrap();
+    assert_eq!(space.n_regions(), 120);
+    assert_eq!(space.n_experiments(), chip_samples);
+    let total: f64 = space.values.iter().flatten().sum();
+    assert!(total > 0.0, "some peaks must fall in promoters (hotspot clustering)");
+
+    let network = Network::from_genome_space(&space, 0.7);
+    assert_eq!(network.n_nodes(), 120);
+    let (_, components) = network.components();
+    assert!(components >= 1);
+
+    // Cluster the promoters by peak profile.
+    let clustering = kmeans(&space, 4, 50, 7);
+    assert_eq!(clustering.assignment.len(), 120);
+    let distinct: std::collections::BTreeSet<_> = clustering.assignment.iter().collect();
+    assert!(distinct.len() > 1, "profiles must not be degenerate");
+}
+
+#[test]
+fn repository_backed_query_agrees_with_in_memory() {
+    let (_, encode, annotations) = small_world();
+    let dir = std::env::temp_dir().join(format!("nggc_repo_it_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut repo = Repository::open(&dir).unwrap();
+    repo.save(&encode).unwrap();
+    repo.save(&annotations).unwrap();
+
+    // Compile against the catalog (no region loads), execute against the
+    // on-disk provider.
+    let ctx = nggc::engine::ExecContext::with_workers(4);
+    let opts = ExecOptions::default();
+    let out = nggc::gmql::run_with_provider(
+        MAP_QUERY,
+        &|name| repo.schema_of(name),
+        &|name: &str| {
+            repo.load(name).map_err(|e| nggc::gmql::GmqlError::runtime(e.to_string()))
+        },
+        &ctx,
+        &opts,
+    )
+    .unwrap();
+
+    let mut engine = GmqlEngine::with_workers(4);
+    engine.register(encode);
+    engine.register(annotations);
+    let reference = engine.run(MAP_QUERY).unwrap();
+
+    assert_eq!(out["R"].sample_count(), reference["R"].sample_count());
+    assert_eq!(out["R"].region_count(), reference["R"].region_count());
+    // Same counts region by region (order is deterministic).
+    for (a, b) in out["R"].samples.iter().zip(&reference["R"].samples) {
+        let ac: Vec<_> = a.regions.iter().map(|r| r.values.last().cloned()).collect();
+        let bc: Vec<_> = b.regions.iter().map(|r| r.values.last().cloned()).collect();
+        assert_eq!(ac, bc);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cover_pipeline_over_replicas() {
+    let (_, encode, _) = small_world();
+    let mut engine = GmqlEngine::with_workers(4);
+    engine.register(encode);
+    let out = engine
+        .run(
+            "PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+             CONS  = COVER(2, ANY; aggregate: n AS COUNT, max_sig AS MAX(signal_value)) PEAKS;
+             MATERIALIZE CONS;",
+        )
+        .unwrap();
+    let cons = &out["CONS"];
+    assert_eq!(cons.sample_count(), 1, "COVER flattens to one sample");
+    assert!(cons.region_count() > 0, "hotspots recur across samples");
+    cons.validate().unwrap();
+    // accindex >= 2 everywhere by construction.
+    let acc_pos = cons.schema.position("accindex").unwrap();
+    assert!(cons.samples[0]
+        .regions
+        .iter()
+        .all(|r| r.values[acc_pos].as_i64().unwrap() >= 2));
+}
+
+#[test]
+fn serial_and_parallel_execution_agree() {
+    let (_, encode, annotations) = small_world();
+    let mut serial = GmqlEngine::with_workers(1);
+    serial.register(encode.clone());
+    serial.register(annotations.clone());
+    let mut parallel = GmqlEngine::with_workers(8);
+    parallel.register(encode);
+    parallel.register(annotations);
+
+    let s = serial.run(MAP_QUERY).unwrap();
+    let p = parallel.run(MAP_QUERY).unwrap();
+    assert_eq!(s["R"].sample_count(), p["R"].sample_count());
+    for (a, b) in s["R"].samples.iter().zip(&p["R"].samples) {
+        assert_eq!(a.regions, b.regions, "parallelism must not change results");
+    }
+}
+
+#[test]
+fn union_of_heterogeneous_formats() {
+    // BED-style peaks and VCF-style mutations unify under schema merging.
+    use nggc::formats::{parse_peaks, parse_vcf, vcf_schema, PeakKind};
+    use nggc::gdm::{Dataset, Sample};
+
+    let peaks_regions = parse_peaks(
+        "chr1\t100\t200\tp1\t10\t+\t5.0\t3.0\t2.0\t50\nchr2\t0\t50\tp2\t9\t-\t4.0\t2.0\t1.0\t20\n",
+        PeakKind::Narrow,
+    )
+    .unwrap();
+    let mut peaks = Dataset::new("PEAKS", PeakKind::Narrow.schema());
+    peaks
+        .add_sample(Sample::new("chip", "PEAKS").with_regions(peaks_regions))
+        .unwrap();
+
+    let vcf_regions =
+        parse_vcf("chr1\t150\trs1\tA\tT\t99\tPASS\tDP=10\n").unwrap();
+    let mut muts = Dataset::new("MUTS", vcf_schema());
+    muts.add_sample(Sample::new("tumor", "MUTS").with_regions(vcf_regions)).unwrap();
+
+    let mut engine = GmqlEngine::with_workers(2);
+    engine.register(peaks);
+    engine.register(muts);
+    let out = engine.run("U = UNION() PEAKS MUTS; MATERIALIZE U;").unwrap();
+    let u = &out["U"];
+    assert_eq!(u.sample_count(), 2);
+    // Merged schema: narrowPeak attrs + VCF attrs (id renamed if clashing).
+    assert!(u.schema.get("p_value").is_some());
+    assert!(u.schema.get("ref").is_some());
+    u.validate().unwrap();
+    // The VCF sample has nulls in the peak columns.
+    let vcf_sample = u.sample_by_name("right_tumor").unwrap();
+    let p_pos = u.schema.position("p_value").unwrap();
+    assert!(vcf_sample.regions[0].values[p_pos].is_null());
+}

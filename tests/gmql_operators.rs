@@ -1,0 +1,279 @@
+//! Operator conformance: every GMQL operator exercised through query
+//! text with exact expected outputs (a black-box specification of the
+//! algebra's semantics).
+
+use nggc::gdm::*;
+use nggc::gmql::GmqlEngine;
+
+/// A small, fully hand-checked world:
+///
+/// GENES (annType/name schema): one sample, 3 genes on chr1.
+/// PEAKS (score schema): two samples, HeLa (3 peaks) and K562 (2 peaks).
+fn engine() -> GmqlEngine {
+    let mut engine = GmqlEngine::with_workers(2);
+
+    let genes_schema = Schema::new(vec![
+        Attribute::new("annType", ValueType::Str),
+        Attribute::new("name", ValueType::Str),
+    ])
+    .unwrap();
+    let mut genes = Dataset::new("GENES", genes_schema);
+    genes
+        .add_sample(
+            Sample::new("ref", "GENES")
+                .with_regions(vec![
+                    GRegion::new("chr1", 100, 200, Strand::Pos)
+                        .with_values(vec!["gene".into(), "A".into()]),
+                    GRegion::new("chr1", 400, 500, Strand::Neg)
+                        .with_values(vec!["gene".into(), "B".into()]),
+                    GRegion::new("chr1", 800, 900, Strand::Pos)
+                        .with_values(vec!["gene".into(), "C".into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("source", "ucsc")])),
+        )
+        .unwrap();
+    engine.register(genes);
+
+    let peaks_schema = Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap();
+    let mut peaks = Dataset::new("PEAKS", peaks_schema);
+    peaks
+        .add_sample(
+            Sample::new("hela", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 120, 140, Strand::Unstranded).with_values(vec![5.0.into()]),
+                    GRegion::new("chr1", 150, 260, Strand::Unstranded).with_values(vec![7.0.into()]),
+                    GRegion::new("chr1", 600, 650, Strand::Unstranded).with_values(vec![1.0.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "HeLa"), ("age", "30")])),
+        )
+        .unwrap();
+    peaks
+        .add_sample(
+            Sample::new("k562", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 410, 450, Strand::Unstranded).with_values(vec![9.0.into()]),
+                    GRegion::new("chr1", 860, 880, Strand::Unstranded).with_values(vec![3.0.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "K562"), ("age", "20")])),
+        )
+        .unwrap();
+    engine.register(peaks);
+    engine
+}
+
+fn run1(q: &str) -> Dataset {
+    let engine = engine();
+    let out = engine.run(q).unwrap();
+    assert_eq!(out.len(), 1);
+    out.into_values().next().unwrap()
+}
+
+#[test]
+fn select_meta_and_region_combined() {
+    let d = run1("X = SELECT(cell == 'HeLa'; region: score >= 6) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 1);
+    assert_eq!(d.samples[0].region_count(), 1);
+    assert_eq!(d.samples[0].regions[0].left, 150);
+}
+
+#[test]
+fn project_computed_midpoint() {
+    let d = run1("X = PROJECT(score, mid AS left + (right - left) / 2) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.schema.len(), 2);
+    let r0 = &d.samples[0].regions[0];
+    assert_eq!(r0.values[1], Value::Float(130.0));
+}
+
+#[test]
+fn extend_lifts_aggregates_to_metadata() {
+    let d = run1(
+        "X = EXTEND(n AS COUNT, total AS SUM(score), best AS MAX(score)) PEAKS; MATERIALIZE X;",
+    );
+    let hela = d.sample_by_name("hela").unwrap();
+    assert_eq!(hela.metadata.first("n"), Some("3"));
+    assert_eq!(hela.metadata.first("total"), Some("13"));
+    assert_eq!(hela.metadata.first("best"), Some("7"));
+    let k562 = d.sample_by_name("k562").unwrap();
+    assert_eq!(k562.metadata.first("total"), Some("12"));
+}
+
+#[test]
+fn merge_flattens_samples() {
+    let d = run1("X = MERGE() PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 1);
+    assert_eq!(d.samples[0].region_count(), 5);
+    assert!(d.samples[0].metadata.has("cell", "HeLa"));
+    assert!(d.samples[0].metadata.has("cell", "K562"));
+}
+
+#[test]
+fn group_by_cell_keeps_two_groups() {
+    let d = run1("X = GROUP(cell) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 2);
+}
+
+#[test]
+fn order_top1_by_age_desc() {
+    let d = run1("X = ORDER(age DESC; top: 1) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 1);
+    assert_eq!(d.samples[0].name, "hela");
+    assert_eq!(d.samples[0].metadata.first("order"), Some("1"));
+}
+
+#[test]
+fn order_region_top_by_score() {
+    let d = run1("X = ORDER(region: score DESC; region_top: 1) PEAKS; MATERIALIZE X;");
+    let hela = d.sample_by_name("hela").unwrap();
+    assert_eq!(hela.region_count(), 1);
+    assert_eq!(hela.regions[0].values[0], Value::Float(7.0));
+}
+
+#[test]
+fn union_concatenates_with_merged_schema() {
+    let d = run1("X = UNION() GENES PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 3);
+    assert_eq!(d.schema.len(), 3, "annType + name + score");
+    d.validate().unwrap();
+}
+
+#[test]
+fn difference_removes_peak_overlapping_genes() {
+    let d = run1("X = DIFFERENCE() PEAKS GENES; MATERIALIZE X;");
+    // HeLa: peaks at 120 and 150 overlap gene A [100,200); 600 survives.
+    let hela = d.sample_by_name("hela").unwrap();
+    assert_eq!(hela.region_count(), 1);
+    assert_eq!(hela.regions[0].left, 600);
+    // K562: 410 overlaps gene B; 860 overlaps gene C; nothing survives.
+    let k562 = d.sample_by_name("k562").unwrap();
+    assert_eq!(k562.region_count(), 0);
+}
+
+#[test]
+fn join_left_within_distance() {
+    let d = run1("X = JOIN(DLE(50); output: LEFT) GENES PEAKS; MATERIALIZE X;");
+    // Pairs within 50bp per (genes, peaks-sample):
+    // hela: A-120(ov), A-150(ov), B? 400-500 vs 600-650: d=100 no.
+    // k562: B-410(ov), C-860(ov).
+    assert_eq!(d.sample_count(), 2);
+    let hela = d.samples.iter().find(|s| s.name.contains("hela")).unwrap();
+    assert_eq!(hela.region_count(), 2);
+    let k562 = d.samples.iter().find(|s| s.name.contains("k562")).unwrap();
+    assert_eq!(k562.region_count(), 2);
+    // Output regions use the LEFT (gene) coordinates.
+    assert!(hela.regions.iter().all(|r| r.len() == 100));
+}
+
+#[test]
+fn join_min_distance_single_nearest() {
+    let d = run1("X = JOIN(MD(1); output: RIGHT) GENES PEAKS; MATERIALIZE X;");
+    let hela = d.samples.iter().find(|s| s.name.contains("hela")).unwrap();
+    // Gene A → nearest hela peak overlaps (120); gene B → 600 peak (d=100);
+    // gene C → 600 peak (d=150). MD(1) emits one pair per gene.
+    assert_eq!(hela.region_count(), 3);
+}
+
+#[test]
+fn map_counts_per_pair() {
+    let d = run1("X = MAP(n AS COUNT) GENES PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 2);
+    let hela = d.samples.iter().find(|s| s.name.contains("hela")).unwrap();
+    let counts: Vec<i64> =
+        hela.regions.iter().map(|r| r.values.last().unwrap().as_i64().unwrap()).collect();
+    assert_eq!(counts, vec![2, 0, 0]);
+    let k562 = d.samples.iter().find(|s| s.name.contains("k562")).unwrap();
+    let counts: Vec<i64> =
+        k562.regions.iter().map(|r| r.values.last().unwrap().as_i64().unwrap()).collect();
+    assert_eq!(counts, vec![0, 1, 1]);
+}
+
+#[test]
+fn cover_and_variants() {
+    // Peaks across both samples: [120,140) [150,260) [410,450) [600,650) [860,880).
+    // No overlaps between samples, so COVER(2,ANY) is empty but
+    // COVER(1,ANY) merges nothing and returns all five.
+    let d = run1("X = COVER(2, ANY) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.samples[0].region_count(), 0);
+    let d = run1("X = COVER(1, ANY) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.samples[0].region_count(), 5);
+    let d = run1("X = HISTOGRAM(1, ANY) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.samples[0].region_count(), 5);
+    let acc_pos = d.schema.position("accindex").unwrap();
+    assert!(d.samples[0].regions.iter().all(|r| r.values[acc_pos] == Value::Int(1)));
+}
+
+#[test]
+fn cover_groupby_cell() {
+    let d = run1("X = COVER(1, ANY; groupby: cell) PEAKS; MATERIALIZE X;");
+    assert_eq!(d.sample_count(), 2);
+    let hela = d.samples.iter().find(|s| s.metadata.has("cell", "HeLa")).unwrap();
+    assert_eq!(hela.region_count(), 3);
+}
+
+#[test]
+fn multiple_materialize_outputs() {
+    let engine = engine();
+    let out = engine
+        .run(
+            "A = SELECT(cell == 'HeLa') PEAKS;
+             B = SELECT(cell == 'K562') PEAKS;
+             MATERIALIZE A INTO hela_out;
+             MATERIALIZE B INTO k562_out;",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out["hela_out"].sample_count(), 1);
+    assert_eq!(out["k562_out"].sample_count(), 1);
+}
+
+#[test]
+fn pipeline_depth_and_reuse() {
+    // One variable consumed by two operators (DAG, not tree).
+    let engine = engine();
+    let out = engine
+        .run(
+            "P  = SELECT(region: score > 2) PEAKS;
+             M  = MAP(n AS COUNT) GENES P;
+             J  = JOIN(DLE(0); output: LEFT) GENES P;
+             MATERIALIZE M;
+             MATERIALIZE J;",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out["M"].region_count() > 0);
+    assert!(out["J"].region_count() > 0);
+}
+
+#[test]
+fn empty_intermediate_propagates() {
+    let engine = engine();
+    let out = engine
+        .run(
+            "E = SELECT(cell == 'NOPE') PEAKS;
+             M = MAP(n AS COUNT) GENES E;
+             MATERIALIZE M;",
+        )
+        .unwrap();
+    assert_eq!(out["M"].sample_count(), 0, "no experiment samples, no pairs");
+}
+
+#[test]
+fn flat_extends_and_summit_peaks() {
+    // Overlapping synthetic sample: build a dedicated engine.
+    let mut engine = GmqlEngine::with_workers(2);
+    let schema = Schema::empty();
+    let mut ds = Dataset::new("R", schema);
+    for (name, l, r) in [("a", 0u64, 80u64), ("b", 50u64, 100u64), ("c", 40u64, 90u64)] {
+        ds.add_sample(
+            Sample::new(name, "R")
+                .with_regions(vec![GRegion::new("chr1", l, r, Strand::Unstranded)]),
+        )
+        .unwrap();
+    }
+    engine.register(ds);
+    let flat = engine.run("X = FLAT(3, ANY) R; MATERIALIZE X;").unwrap();
+    let r = &flat["X"].samples[0].regions[0];
+    assert_eq!((r.left, r.right), (0, 100), "hull of all contributors");
+    let summit = engine.run("X = SUMMIT(1, ANY) R; MATERIALIZE X;").unwrap();
+    let s = &summit["X"].samples[0].regions[0];
+    assert_eq!((s.left, s.right), (50, 80), "acc-3 core");
+}

@@ -1,0 +1,445 @@
+//! Property-based tests over the core invariants (DESIGN.md §7).
+
+use nggc::engine::{
+    coverage_segments, gap_pairs_naive, gap_pairs_sort_merge, k_nearest, overlap_pairs_binned,
+    overlap_pairs_naive, overlap_pairs_sort_merge, Binner, NcList, WorkerPool,
+};
+use nggc::gdm::*;
+use nggc::gmql::{parse, GmqlEngine, MetaPredicate, Statement};
+use proptest::prelude::*;
+
+/// Random sorted region list on one chromosome.
+fn regions_strategy(max_len: usize) -> impl Strategy<Value = Vec<GRegion>> {
+    prop::collection::vec((0u64..5_000, 0u64..400), 0..max_len).prop_map(|pairs| {
+        let mut rs: Vec<GRegion> = pairs
+            .into_iter()
+            .map(|(l, w)| GRegion::new("chr1", l, l + w, Strand::Unstranded))
+            .collect();
+        rs.sort_by(|a, b| a.cmp_coords(b));
+        rs
+    })
+}
+
+fn collect(f: impl FnOnce(&mut dyn FnMut(usize, usize))) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    f(&mut |i, j| out.push((i, j)));
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binned and sort-merge joins agree with the exhaustive reference,
+    /// for any bin width.
+    #[test]
+    fn join_strategies_agree(
+        left in regions_strategy(60),
+        right in regions_strategy(60),
+        width in 1u64..2_000,
+    ) {
+        let naive = collect(|e| overlap_pairs_naive(&left, &right, e));
+        let merge = collect(|e| overlap_pairs_sort_merge(&left, &right, e));
+        let binned = collect(|e| overlap_pairs_binned(&left, &right, Binner::new(width), e));
+        prop_assert_eq!(&naive, &merge);
+        prop_assert_eq!(&naive, &binned);
+        // Fourth strategy: probe an NCList over `right` with every left.
+        let index = NcList::build(&right);
+        let mut via_index = Vec::new();
+        for (i, a) in left.iter().enumerate() {
+            index.overlaps(a.left, a.right, |j| via_index.push((i, j)));
+        }
+        via_index.sort_unstable();
+        via_index.dedup();
+        prop_assert_eq!(&naive, &via_index);
+    }
+
+    /// Binned join emits each pair exactly once (anchor-bin dedup) —
+    /// checked by counting raw emissions.
+    #[test]
+    fn binned_join_no_duplicates(
+        left in regions_strategy(40),
+        right in regions_strategy(40),
+        width in 1u64..500,
+    ) {
+        let mut raw = Vec::new();
+        overlap_pairs_binned(&left, &right, Binner::new(width), |i, j| raw.push((i, j)));
+        let mut dedup = raw.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(raw.len(), dedup.len(), "anchor rule must deduplicate");
+    }
+
+    /// Gap join agrees with its exhaustive reference.
+    #[test]
+    fn gap_join_agrees(
+        left in regions_strategy(40),
+        right in regions_strategy(40),
+        gap in 0u64..1_000,
+    ) {
+        let naive = collect(|e| gap_pairs_naive(&left, &right, gap, e));
+        let merge = collect(|e| gap_pairs_sort_merge(&left, &right, gap, e));
+        prop_assert_eq!(naive, merge);
+    }
+
+    /// Coverage conservation: Σ segment(len × acc) = Σ interval lengths,
+    /// segments are disjoint, in order, with positive accumulation.
+    #[test]
+    fn coverage_conserves_mass(intervals in prop::collection::vec((0u64..3_000, 1u64..300), 0..50)) {
+        let ivals: Vec<(u64, u64)> = intervals.iter().map(|&(l, w)| (l, l + w)).collect();
+        let segs = coverage_segments(&ivals);
+        let seg_mass: u64 = segs.iter().map(|s| (s.right - s.left) * s.acc as u64).sum();
+        let input_mass: u64 = ivals.iter().map(|&(l, r)| r - l).sum();
+        prop_assert_eq!(seg_mass, input_mass);
+        for w in segs.windows(2) {
+            prop_assert!(w[0].right <= w[1].left, "segments disjoint and ordered");
+        }
+        prop_assert!(segs.iter().all(|s| s.acc > 0 && s.left < s.right));
+    }
+
+    /// k-nearest matches a brute-force search on distances.
+    #[test]
+    fn k_nearest_matches_bruteforce(
+        anchors in regions_strategy(12),
+        others in regions_strategy(30),
+        k in 1usize..5,
+    ) {
+        let got = k_nearest(&anchors, &others, k);
+        for (a, picked) in anchors.iter().zip(&got) {
+            let mut dists: Vec<(i64, usize)> = others
+                .iter()
+                .enumerate()
+                .map(|(j, o)| (a.distance(o).unwrap().max(0), j))
+                .collect();
+            dists.sort_unstable();
+            let expect: Vec<usize> =
+                dists.iter().take(k).map(|&(_, j)| j).collect();
+            // Compare distance multisets (ties may pick different ids of
+            // equal distance — but our tie-break is by index, so compare
+            // exactly).
+            prop_assert_eq!(picked, &expect);
+        }
+    }
+
+    /// Schema merge keeps every left attribute at its position and maps
+    /// every right attribute somewhere type-correct; reshaped rows place
+    /// values where the maps say.
+    #[test]
+    fn schema_merge_sound(
+        left_names in prop::collection::btree_set("[a-e]{1,3}", 0..5),
+        right_names in prop::collection::btree_set("[c-h]{1,3}", 0..5),
+    ) {
+        let mk = |names: &std::collections::BTreeSet<String>, ty| {
+            Schema::new(names.iter().map(|n| Attribute::new(n.clone(), ty)).collect()).unwrap()
+        };
+        let a = mk(&left_names, ValueType::Int);
+        let b = mk(&right_names, ValueType::Int);
+        let m = a.merge(&b);
+        for (i, attr) in a.attributes().iter().enumerate() {
+            prop_assert_eq!(m.left_map[i], i, "left attributes keep positions");
+            prop_assert_eq!(&m.schema.attributes()[i].name, &attr.name);
+        }
+        for (j, attr) in b.attributes().iter().enumerate() {
+            let tgt = &m.schema.attributes()[m.right_map[j]];
+            prop_assert_eq!(tgt.ty, attr.ty);
+        }
+        // Same-type common attributes unify: merged arity = |A ∪ B|.
+        let union_count = left_names.union(&right_names).count();
+        prop_assert_eq!(m.schema.len(), union_count);
+    }
+
+    /// Values survive a render→parse roundtrip.
+    #[test]
+    fn value_roundtrip(i in any::<i64>(), f in -1e12f64..1e12, s in "[a-zA-Z0-9_]{1,12}") {
+        let vi = Value::Int(i);
+        prop_assert_eq!(Value::parse_as(&vi.render(), ValueType::Int).unwrap(), vi);
+        let vf = Value::Float(f);
+        prop_assert_eq!(Value::parse_as(&vf.render(), ValueType::Float).unwrap(), vf);
+        let vs = Value::Str(s.clone());
+        prop_assert_eq!(Value::parse_as(&vs.render(), ValueType::Str).unwrap(), vs);
+    }
+
+    /// The worker pool computes exactly what a serial map computes.
+    #[test]
+    fn pool_matches_serial(xs in prop::collection::vec(any::<i32>(), 0..300), workers in 1usize..6) {
+        let pool = WorkerPool::new(workers);
+        let parallel = pool.parallel_map(xs.clone(), |x| x as i64 * 3 - 1);
+        let serial: Vec<i64> = xs.into_iter().map(|x| x as i64 * 3 - 1).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata predicates: Display output re-parses to an equivalent predicate.
+// ---------------------------------------------------------------------------
+
+fn meta_pred_strategy() -> impl Strategy<Value = MetaPredicate> {
+    let leaf = ("[a-z]{1,4}", "[a-z0-9]{1,4}").prop_map(|(a, v)| MetaPredicate::eq(a, v));
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MetaPredicate::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MetaPredicate::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|p| MetaPredicate::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn region_expr_strategy() -> impl Strategy<Value = nggc::gmql::RegionExpr> {
+    use nggc::gmql::{BinOp, CmpOp, RegionExpr};
+    let leaf = prop_oneof![
+        prop_oneof![Just("left"), Just("right"), Just("len"), Just("score")]
+            .prop_map(RegionExpr::attr),
+        (-50i64..50).prop_map(|n| RegionExpr::Lit(Value::Int(n))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        let op = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Cmp(CmpOp::Lt)),
+            Just(BinOp::Cmp(CmpOp::Eq)),
+            Just(BinOp::Cmp(CmpOp::Ge)),
+        ];
+        (inner.clone(), op, inner)
+            .prop_map(|(a, o, b)| RegionExpr::Binary(Box::new(a), o, Box::new(b)))
+    })
+}
+
+fn meta_strategy() -> impl Strategy<Value = Metadata> {
+    prop::collection::vec(("[a-z]{1,4}", "[a-z0-9]{1,4}"), 0..6).prop_map(|pairs| {
+        Metadata::from_pairs(pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print(pred) re-parses (inside a SELECT) into a predicate with
+    /// identical truth value on arbitrary metadata.
+    #[test]
+    fn meta_predicate_print_parse_equivalence(
+        pred in meta_pred_strategy(),
+        meta in meta_strategy(),
+    ) {
+        let text = format!("X = SELECT({pred}) D;");
+        let stmts = parse(&text).unwrap();
+        let Statement::Assign { call, .. } = &stmts[0] else { panic!("assign expected") };
+        let nggc::gmql::Operator::Select { meta: reparsed, .. } = &call.op else {
+            panic!("select expected")
+        };
+        prop_assert_eq!(pred.eval(&meta), reparsed.eval(&meta));
+    }
+
+    /// print(region expr) re-parses into an expression with identical
+    /// evaluation on arbitrary regions.
+    #[test]
+    fn region_expr_print_parse_equivalence(
+        expr in region_expr_strategy(),
+        left in 0u64..1000,
+        width in 1u64..100,
+        score in -100i64..100,
+    ) {
+        let text = format!("X = SELECT(region: {expr}) D;");
+        let Ok(stmts) = parse(&text) else {
+            // Some printed forms (e.g. bare attribute as a predicate) are
+            // valid expressions but the outer grammar is identical, so a
+            // parse failure would be a real bug.
+            return Err(TestCaseError::fail(format!("unparseable: {text}")));
+        };
+        let Statement::Assign { call, .. } = &stmts[0] else { panic!("assign") };
+        let nggc::gmql::Operator::Select { region: Some(reparsed), .. } = &call.op else {
+            panic!("select with region predicate")
+        };
+        let schema =
+            Schema::new(vec![Attribute::new("score", ValueType::Int)]).unwrap();
+        let region = GRegion::new("chr1", left, left + width, Strand::Pos)
+            .with_values(vec![Value::Int(score)]);
+        let a = expr.eval(&region, &schema);
+        let b = reparsed.eval(&region, &schema);
+        // NaN-safe comparison through total order.
+        prop_assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Equal, "{} vs {}", a, b);
+    }
+
+    /// SELECT with a region predicate keeps exactly the regions the
+    /// predicate admits (engine vs direct evaluation).
+    #[test]
+    fn select_region_predicate_exact(
+        lefts in prop::collection::vec(0u64..1000, 1..30),
+        threshold in 0u64..1000,
+    ) {
+        let mut ds = Dataset::new("D", Schema::empty());
+        let regions: Vec<GRegion> = lefts
+            .iter()
+            .map(|&l| GRegion::new("chr1", l, l + 10, Strand::Unstranded))
+            .collect();
+        ds.add_sample(Sample::new("s", "D").with_regions(regions.clone())).unwrap();
+        let mut engine = GmqlEngine::with_workers(2);
+        engine.register(ds);
+        let out = engine
+            .run(&format!("X = SELECT(region: left < {threshold}) D; MATERIALIZE X;"))
+            .unwrap();
+        let expected = regions.iter().filter(|r| r.left < threshold).count();
+        prop_assert_eq!(out["X"].region_count(), expected);
+    }
+
+    /// MAP COUNT equals the brute-force overlap count for every
+    /// reference region.
+    #[test]
+    fn map_count_matches_bruteforce(
+        refs in regions_strategy(20),
+        exps in regions_strategy(40),
+    ) {
+        let mut rd = Dataset::new("R", Schema::empty());
+        rd.add_sample(Sample::new("r", "R").with_regions(refs.clone())).unwrap();
+        let mut ed = Dataset::new("E", Schema::empty());
+        ed.add_sample(Sample::new("e", "E").with_regions(exps.clone())).unwrap();
+        let mut engine = GmqlEngine::with_workers(2);
+        engine.register(rd);
+        engine.register(ed);
+        let out = engine.run("M = MAP(n AS COUNT) R E; MATERIALIZE M;").unwrap();
+        let m = &out["M"];
+        prop_assert_eq!(m.sample_count(), 1);
+        for region in &m.samples[0].regions {
+            let expected = exps
+                .iter()
+                .filter(|e| {
+                    interval_overlap(region.left, region.right, e.left, e.right)
+                })
+                .count() as i64;
+            prop_assert_eq!(region.values[0].as_i64().unwrap(), expected,
+                "region {}..{}", region.left, region.right);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator-level properties through the full engine.
+// ---------------------------------------------------------------------------
+
+/// Build a dataset of `n_samples` samples from interval lists.
+fn dataset_from(samples: &[Vec<(u64, u64)>]) -> Dataset {
+    let mut ds = Dataset::new("P", Schema::empty());
+    for (i, ivals) in samples.iter().enumerate() {
+        let regions = ivals
+            .iter()
+            .map(|&(l, w)| GRegion::new("chr1", l, l + w, Strand::Unstranded))
+            .collect();
+        ds.add_sample(Sample::new(format!("s{i}"), "P").with_regions(regions)).unwrap();
+    }
+    ds
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..2_000, 1u64..200), 0..15),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// COVER-family conservation laws: HISTOGRAM(1,ANY) mass equals the
+    /// sweep-line coverage; COVER merges HISTOGRAM segments (same bp,
+    /// fewer or equal regions); SUMMIT regions are a subset of
+    /// HISTOGRAM's; FLAT(1,ANY) spans at least COVER(1,ANY).
+    #[test]
+    fn cover_family_conservation(samples in samples_strategy()) {
+        let ds = dataset_from(&samples);
+        let mut engine = GmqlEngine::with_workers(2);
+        engine.register(ds);
+        let run = |q: &str| {
+            engine.run(q).unwrap().remove("X").unwrap()
+        };
+        let hist = run("X = HISTOGRAM(1, ANY) P; MATERIALIZE X;");
+        let cov = run("X = COVER(1, ANY) P; MATERIALIZE X;");
+        let flat = run("X = FLAT(1, ANY) P; MATERIALIZE X;");
+        let summit = run("X = SUMMIT(1, ANY) P; MATERIALIZE X;");
+
+        let bp = |d: &Dataset| -> u64 {
+            d.samples.iter().flat_map(|s| &s.regions).map(|r| r.len()).sum()
+        };
+        // Coverage ground truth from the kernel.
+        let ivals: Vec<(u64, u64)> = samples
+            .iter()
+            .flatten()
+            .map(|&(l, w)| (l, l + w))
+            .collect();
+        let truth_bp: u64 = coverage_segments(&ivals)
+            .iter()
+            .map(|s| s.right - s.left)
+            .sum();
+        prop_assert_eq!(bp(&hist), truth_bp, "histogram covers exactly the covered bases");
+        prop_assert_eq!(bp(&cov), truth_bp, "cover at min=1 covers the same bases");
+        prop_assert!(cov.region_count() <= hist.region_count(), "cover merges");
+        prop_assert!(bp(&flat) >= bp(&cov), "flat extends to contributing hulls");
+        prop_assert!(summit.region_count() <= hist.region_count());
+        // Every summit region coincides with some histogram segment.
+        let hist_regions: Vec<(u64, u64)> = hist.samples[0]
+            .regions
+            .iter()
+            .map(|r| (r.left, r.right))
+            .collect();
+        for r in &summit.samples[0].regions {
+            prop_assert!(hist_regions.contains(&(r.left, r.right)), "summit ⊆ histogram");
+        }
+    }
+
+    /// DIFFERENCE through the engine equals a manual overlap filter.
+    #[test]
+    fn difference_matches_manual_filter(
+        pos in prop::collection::vec((0u64..2_000, 1u64..200), 0..15),
+        neg in prop::collection::vec((0u64..2_000, 1u64..200), 0..15),
+    ) {
+        let a = dataset_from(std::slice::from_ref(&pos));
+        let mut b = dataset_from(std::slice::from_ref(&neg));
+        b.name = "N".into();
+        for s in &mut b.samples {
+            // Rename to avoid clash in the engine registry.
+            s.name = format!("n_{}", s.name);
+        }
+        let mut engine = GmqlEngine::with_workers(2);
+        engine.register(a);
+        engine.register(b);
+        let out = engine.run("X = DIFFERENCE() P N; MATERIALIZE X;").unwrap();
+        let kept: Vec<(u64, u64)> = out["X"].samples[0]
+            .regions
+            .iter()
+            .map(|r| (r.left, r.right))
+            .collect();
+        let mut expected: Vec<(u64, u64)> = pos
+            .iter()
+            .map(|&(l, w)| (l, l + w))
+            .filter(|&(l, r)| {
+                !neg.iter().any(|&(nl, nw)| interval_overlap(l, r, nl, nl + nw))
+            })
+            .collect();
+        expected.sort_unstable();
+        let mut kept_sorted = kept;
+        kept_sorted.sort_unstable();
+        prop_assert_eq!(kept_sorted, expected);
+    }
+
+    /// UNION preserves total cardinalities under schema merging.
+    #[test]
+    fn union_preserves_cardinalities(
+        a in samples_strategy(),
+        b in samples_strategy(),
+    ) {
+        let da = dataset_from(&a);
+        let mut db = dataset_from(&b);
+        db.name = "Q".into();
+        let (sa, ra) = (da.sample_count(), da.region_count());
+        let (sb, rb) = (db.sample_count(), db.region_count());
+        let mut engine = GmqlEngine::with_workers(2);
+        engine.register(da);
+        engine.register(db);
+        let out = engine.run("X = UNION() P Q; MATERIALIZE X;").unwrap();
+        prop_assert_eq!(out["X"].sample_count(), sa + sb);
+        prop_assert_eq!(out["X"].region_count(), ra + rb);
+        out["X"].validate().unwrap();
+    }
+}

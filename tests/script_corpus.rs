@@ -1,0 +1,125 @@
+//! Script corpus: every `.gmql` file in `tests/gmql_scripts/` runs
+//! against the fixture world and must produce the output cardinalities
+//! recorded in its `.expect` sidecar (`name<TAB>samples<TAB>regions`
+//! lines, sorted by output name).
+//!
+//! Each script also runs twice — optimized and unoptimized, serial and
+//! parallel — and all four configurations must agree, making the corpus
+//! a cheap metamorphic test bed: add a script, record its expectation,
+//! and every engine configuration is covered.
+
+use nggc::gdm::*;
+use nggc::gmql::{ExecOptions, GmqlEngine};
+use std::path::Path;
+
+/// The same hand-checked world as `tests/gmql_operators.rs`.
+fn fixture(workers: usize, opts: ExecOptions) -> GmqlEngine {
+    let mut engine = GmqlEngine::with_workers(workers).with_options(opts);
+
+    let genes_schema = Schema::new(vec![
+        Attribute::new("annType", ValueType::Str),
+        Attribute::new("name", ValueType::Str),
+    ])
+    .unwrap();
+    let mut genes = Dataset::new("GENES", genes_schema);
+    genes
+        .add_sample(
+            Sample::new("ref", "GENES")
+                .with_regions(vec![
+                    GRegion::new("chr1", 100, 200, Strand::Pos)
+                        .with_values(vec!["gene".into(), "A".into()]),
+                    GRegion::new("chr1", 400, 500, Strand::Neg)
+                        .with_values(vec!["gene".into(), "B".into()]),
+                    GRegion::new("chr1", 800, 900, Strand::Pos)
+                        .with_values(vec!["gene".into(), "C".into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("source", "ucsc")])),
+        )
+        .unwrap();
+    engine.register(genes);
+
+    let peaks_schema = Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap();
+    let mut peaks = Dataset::new("PEAKS", peaks_schema);
+    peaks
+        .add_sample(
+            Sample::new("hela", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 120, 140, Strand::Unstranded).with_values(vec![5.0.into()]),
+                    GRegion::new("chr1", 150, 260, Strand::Unstranded).with_values(vec![7.0.into()]),
+                    GRegion::new("chr1", 600, 650, Strand::Unstranded).with_values(vec![1.0.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "HeLa"), ("age", "30")])),
+        )
+        .unwrap();
+    peaks
+        .add_sample(
+            Sample::new("k562", "PEAKS")
+                .with_regions(vec![
+                    GRegion::new("chr1", 410, 450, Strand::Unstranded).with_values(vec![9.0.into()]),
+                    GRegion::new("chr1", 860, 880, Strand::Unstranded).with_values(vec![3.0.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "K562"), ("age", "20")])),
+        )
+        .unwrap();
+    engine.register(peaks);
+    engine
+}
+
+fn summarize(out: &std::collections::HashMap<String, Dataset>) -> String {
+    let mut lines: Vec<String> = out
+        .iter()
+        .map(|(name, ds)| format!("{name}\t{}\t{}", ds.sample_count(), ds.region_count()))
+        .collect();
+    lines.sort();
+    lines.join("\n")
+}
+
+#[test]
+fn corpus_matches_expectations_in_all_configurations() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/gmql_scripts");
+    let mut scripts: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().map(|x| x == "gmql").unwrap_or(false))
+        .collect();
+    scripts.sort();
+    assert!(scripts.len() >= 5, "corpus present");
+
+    let configurations = [
+        (1, ExecOptions { meta_first: true, optimize: true }),
+        (4, ExecOptions { meta_first: true, optimize: true }),
+        (4, ExecOptions { meta_first: false, optimize: false }),
+        (2, ExecOptions { meta_first: true, optimize: false }),
+    ];
+
+    for script in scripts {
+        let name = script.file_stem().unwrap().to_string_lossy().into_owned();
+        let query = std::fs::read_to_string(&script).unwrap();
+        let expect_path = script.with_extension("expect");
+        let expected = std::fs::read_to_string(&expect_path)
+            .unwrap_or_else(|_| panic!("missing {}", expect_path.display()))
+            .trim()
+            .to_owned();
+
+        let mut summaries = Vec::new();
+        for (workers, opts) in configurations {
+            let engine = fixture(workers, opts);
+            let out = engine
+                .run(&query)
+                .unwrap_or_else(|e| panic!("script {name} failed ({workers} workers): {e}"));
+            summaries.push(summarize(&out));
+        }
+        for s in &summaries {
+            assert_eq!(
+                s, &summaries[0],
+                "script {name}: all configurations must agree"
+            );
+        }
+        assert_eq!(
+            summaries[0], expected,
+            "script {name}: cardinalities changed (update {} if intentional)",
+            expect_path.display()
+        );
+    }
+}
