@@ -61,7 +61,8 @@ pub fn render_tracks(window: &Window, datasets: &[&Dataset]) -> String {
                     Strand::Unstranded => {}
                 }
             }
-            lanes.push((format!("{}/{}", ds.name, s.name), String::from_utf8(lane).expect("ascii")));
+            lanes
+                .push((format!("{}/{}", ds.name, s.name), String::from_utf8(lane).expect("ascii")));
         }
     }
     let label_width = lanes.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(8);
@@ -76,11 +77,7 @@ pub fn render_tracks(window: &Window, datasets: &[&Dataset]) -> String {
     for i in (0..window.width).step_by(step) {
         ruler[i] = b'|';
     }
-    out.push_str(&format!(
-        "{:>label_width$} {}\n",
-        "",
-        String::from_utf8(ruler).expect("ascii")
-    ));
+    out.push_str(&format!("{:>label_width$} {}\n", "", String::from_utf8(ruler).expect("ascii")));
     for (label, lane) in lanes {
         out.push_str(&format!("{label:>label_width$} {lane}\n"));
     }

@@ -99,11 +99,7 @@ pub fn kmeans(space: &GenomeSpace, k: usize, max_iter: usize, seed: u64) -> Clus
             }
         }
     }
-    let inertia = rows
-        .iter()
-        .zip(&assignment)
-        .map(|(r, &a)| sq_dist(r, &centroids[a]))
-        .sum();
+    let inertia = rows.iter().zip(&assignment).map(|(r, &a)| sq_dist(r, &centroids[a])).sum();
     Clustering { assignment, centroids, inertia, iterations }
 }
 
@@ -199,12 +195,7 @@ mod tests {
 
     #[test]
     fn silhouette_rewards_good_clusterings() {
-        let gs = space(vec![
-            vec![0.0, 0.0],
-            vec![0.2, 0.1],
-            vec![10.0, 10.0],
-            vec![10.2, 9.8],
-        ]);
+        let gs = space(vec![vec![0.0, 0.0], vec![0.2, 0.1], vec![10.0, 10.0], vec![10.2, 9.8]]);
         let good = silhouette(&gs, &[0, 0, 1, 1]);
         let bad = silhouette(&gs, &[0, 1, 0, 1]);
         assert!(good > 0.8, "tight well-separated clusters: {good}");

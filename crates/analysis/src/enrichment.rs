@@ -67,8 +67,7 @@ pub fn binomial_sf(k: u64, n: u64, p: f64) -> f64 {
     }
     let mut total = 0.0f64;
     for i in k..=n {
-        let ln_term =
-            ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln();
+        let ln_term = ln_choose(n, i) + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln();
         total += ln_term.exp();
     }
     total.min(1.0)

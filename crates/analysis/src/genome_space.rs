@@ -116,9 +116,10 @@ impl GenomeSpace {
         let mut columns: Vec<Vec<f64>> = Vec::with_capacity(dataset.samples.len());
         for s in &dataset.samples {
             if s.regions.len() != regions.len()
-                || s.regions.iter().zip(&regions).any(|(r, k)| {
-                    r.chrom != k.chrom || r.left != k.left || r.right != k.right
-                })
+                || s.regions
+                    .iter()
+                    .zip(&regions)
+                    .any(|(r, k)| r.chrom != k.chrom || r.left != k.left || r.right != k.right)
             {
                 return Err(GenomeSpaceError::RaggedSamples { sample: s.name.clone() });
             }
@@ -131,9 +132,8 @@ impl GenomeSpace {
             );
         }
         // Transpose columns into row-major values.
-        let values: Vec<Vec<f64>> = (0..regions.len())
-            .map(|r| columns.iter().map(|c| c[r]).collect())
-            .collect();
+        let values: Vec<Vec<f64>> =
+            (0..regions.len()).map(|r| columns.iter().map(|c| c[r]).collect()).collect();
         Ok(GenomeSpace { regions, experiments, values })
     }
 
@@ -190,10 +190,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, &c)| {
                     GRegion::new("chr1", i as u64 * 100, i as u64 * 100 + 50, Strand::Unstranded)
-                        .with_values(vec![
-                            Value::Str(format!("R{}", i + 1)),
-                            Value::Int(c),
-                        ])
+                        .with_values(vec![Value::Str(format!("R{}", i + 1)), Value::Int(c)])
                 })
                 .collect();
             ds.add_sample(Sample::new(exp, "R").with_regions(regions)).unwrap();

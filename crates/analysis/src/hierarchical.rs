@@ -155,13 +155,7 @@ mod tests {
 
     #[test]
     fn two_obvious_clusters_cut_correctly() {
-        let gs = space(vec![
-            vec![0.0],
-            vec![0.5],
-            vec![1.0],
-            vec![100.0],
-            vec![100.5],
-        ]);
+        let gs = space(vec![vec![0.0], vec![0.5], vec![1.0], vec![100.0], vec![100.5]]);
         for linkage in [Linkage::Single, Linkage::Complete] {
             let tree = hierarchical(&gs, linkage);
             assert_eq!(tree.merges.len(), 4);

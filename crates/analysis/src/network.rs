@@ -82,8 +82,7 @@ impl Network {
 
     /// The `k` highest-degree nodes (hubs), ties by index.
     pub fn hubs(&self, k: usize) -> Vec<(String, usize)> {
-        let mut idx: Vec<(usize, usize)> =
-            self.degrees().into_iter().enumerate().collect();
+        let mut idx: Vec<(usize, usize)> = self.degrees().into_iter().enumerate().collect();
         idx.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         idx.truncate(k);
         idx.into_iter().map(|(i, d)| (self.nodes[i].clone(), d)).collect()
@@ -187,11 +186,7 @@ mod tests {
 
     #[test]
     fn hubs_ranked_by_degree() {
-        let gs = space(vec![
-            vec![1.0, 2.0, 3.0],
-            vec![1.0, 2.0, 3.0],
-            vec![1.0, 2.0, 3.1],
-        ]);
+        let gs = space(vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.1]]);
         let net = Network::from_genome_space(&gs, 0.99);
         let hubs = net.hubs(1);
         assert_eq!(hubs.len(), 1);

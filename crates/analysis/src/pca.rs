@@ -60,22 +60,22 @@ pub fn pca(space: &GenomeSpace, k: usize, iterations: usize) -> Pca {
     // Triangle-indexed accumulation is clearest here.
     #[allow(clippy::needless_range_loop)]
     let cov = {
-    let mut cov = vec![vec![0.0; d]; d];
-    for row in &centred {
-        for i in 0..d {
-            for j in i..d {
-                cov[i][j] += row[i] * row[j];
+        let mut cov = vec![vec![0.0; d]; d];
+        for row in &centred {
+            for i in 0..d {
+                for j in i..d {
+                    cov[i][j] += row[i] * row[j];
+                }
             }
         }
-    }
-    let denom = (n.max(2) - 1) as f64;
-    for i in 0..d {
-        for j in i..d {
-            cov[i][j] /= denom;
-            cov[j][i] = cov[i][j];
+        let denom = (n.max(2) - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= denom;
+                cov[j][i] = cov[i][j];
+            }
         }
-    }
-    cov
+        cov
     };
 
     // Power iteration with deflation.
@@ -85,8 +85,7 @@ pub fn pca(space: &GenomeSpace, k: usize, iterations: usize) -> Pca {
     for comp_idx in 0..k {
         // Deterministic start, varying per component to escape
         // orthogonal-start stalls.
-        let mut v: Vec<f64> =
-            (0..d).map(|i| 1.0 + ((i + comp_idx) % 3) as f64 * 0.25).collect();
+        let mut v: Vec<f64> = (0..d).map(|i| 1.0 + ((i + comp_idx) % 3) as f64 * 0.25).collect();
         normalize(&mut v);
         let mut eigenvalue = 0.0;
         for _ in 0..iterations {
@@ -101,8 +100,7 @@ pub fn pca(space: &GenomeSpace, k: usize, iterations: usize) -> Pca {
             for x in &mut next {
                 *x /= eigenvalue;
             }
-            let delta: f64 =
-                next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
             v = next;
             if delta < 1e-12 {
                 break;
@@ -120,12 +118,7 @@ pub fn pca(space: &GenomeSpace, k: usize, iterations: usize) -> Pca {
 
     let scores: Vec<Vec<f64>> = centred
         .iter()
-        .map(|row| {
-            components
-                .iter()
-                .map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum())
-                .collect()
-        })
+        .map(|row| components.iter().map(|c| row.iter().zip(c).map(|(a, b)| a * b).sum()).collect())
         .collect();
 
     Pca { components, explained_variance: explained, means, scores }
@@ -210,12 +203,7 @@ mod tests {
 
     #[test]
     fn scores_separate_groups() {
-        let gs = space(vec![
-            vec![0.0, 0.0],
-            vec![0.1, 0.1],
-            vec![10.0, 10.0],
-            vec![10.1, 9.9],
-        ]);
+        let gs = space(vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![10.0, 10.0], vec![10.1, 9.9]]);
         let p = pca(&gs, 1, 100);
         let s: Vec<f64> = p.scores.iter().map(|r| r[0]).collect();
         // The two groups land on opposite sides of the first component.

@@ -13,8 +13,8 @@ use std::hint::black_box;
 
 fn engine(meta_first: bool) -> GmqlEngine {
     let w = map_workload(0.002, 5);
-    let mut engine = GmqlEngine::with_workers(2)
-        .with_options(ExecOptions { meta_first, optimize: true });
+    let mut engine =
+        GmqlEngine::with_workers(2).with_options(ExecOptions { meta_first, optimize: true });
     engine.register(w.encode);
     engine.register(w.annotations);
     engine
@@ -65,13 +65,9 @@ fn bench_meta_first(c: &mut Criterion) {
     let mut group = c.benchmark_group("select_meta_first");
     group.sample_size(10);
     let on = engine(true);
-    group.bench_function("meta_first_on", |b| {
-        b.iter(|| black_box(on.run(QUERY).expect("runs")))
-    });
+    group.bench_function("meta_first_on", |b| b.iter(|| black_box(on.run(QUERY).expect("runs"))));
     let off = engine(false);
-    group.bench_function("meta_first_off", |b| {
-        b.iter(|| black_box(off.run(QUERY).expect("runs")))
-    });
+    group.bench_function("meta_first_off", |b| b.iter(|| black_box(off.run(QUERY).expect("runs"))));
     group.finish();
 }
 
@@ -89,12 +85,10 @@ fn bench_optimizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer");
     group.sample_size(10);
     let on = engine(true); // optimize: true by default
-    group.bench_function("optimize_on", |b| {
-        b.iter(|| black_box(on.run(QUERY).expect("runs")))
-    });
+    group.bench_function("optimize_on", |b| b.iter(|| black_box(on.run(QUERY).expect("runs"))));
     let w = map_workload(0.002, 5);
-    let mut off_engine = GmqlEngine::with_workers(2)
-        .with_options(ExecOptions { meta_first: true, optimize: false });
+    let mut off_engine =
+        GmqlEngine::with_workers(2).with_options(ExecOptions { meta_first: true, optimize: false });
     off_engine.register(w.encode);
     off_engine.register(w.annotations);
     group.bench_function("optimize_off", |b| {

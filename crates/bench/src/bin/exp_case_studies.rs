@@ -55,12 +55,8 @@ fn e4() {
     }
     let planted: BTreeSet<String> = study.disregulated.iter().cloned().collect();
     let tp = candidates.intersection(&planted).count();
-    let enrich = region_enrichment(
-        muts,
-        study.mutations.region_count() as u64,
-        bp,
-        genome.total_len(),
-    );
+    let enrich =
+        region_enrichment(muts, study.mutations.region_count() as u64, bp, genome.total_len());
 
     println!("== E4: §3 problem 1 — mutations / breaks / dis-regulation ==\n");
     let mut t = Table::new(&["metric", "value"]);
@@ -116,8 +112,7 @@ fn e5() {
             }
         }
     }
-    let planted: BTreeSet<String> =
-        study.true_pairs.iter().map(|(_, g)| g.clone()).collect();
+    let planted: BTreeSet<String> = study.true_pairs.iter().map(|(_, g)| g.clone()).collect();
     let tp = candidate_genes.intersection(&planted).count();
 
     println!("== E5: §3 problem 2 / Figure 3 — CTCF loops & enhancers ==\n");
@@ -127,10 +122,7 @@ fn e5() {
     t.row(&["candidate genes extracted".into(), candidate_genes.len().to_string()]);
     t.row(&["recovered (true positives)".into(), tp.to_string()]);
     t.row(&["recall".into(), format!("{:.3}", tp as f64 / planted.len().max(1) as f64)]);
-    t.row(&[
-        "precision".into(),
-        format!("{:.3}", tp as f64 / candidate_genes.len().max(1) as f64),
-    ]);
+    t.row(&["precision".into(), format!("{:.3}", tp as f64 / candidate_genes.len().max(1) as f64)]);
     println!("{}", t.render());
 }
 

@@ -23,8 +23,7 @@ const QUERY: &str = "
 ";
 
 fn main() {
-    let samples: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let samples: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let genome = Genome::human(0.004);
     println!("== E7: ship-query vs ship-data over a 3-node federation ==\n");
 
@@ -64,13 +63,11 @@ fn main() {
 
         // Compile first: correctness + estimates, tiny transfer.
         let mut clog = TransferLog::default();
-        let estimates =
-            federation.compile_remote("polimi", QUERY, &mut clog).expect("compiles");
+        let estimates = federation.compile_remote("polimi", QUERY, &mut clog).expect("compiles");
         assert!(!estimates.is_empty());
 
         let t0 = Instant::now();
-        let (q_out, q_log) =
-            federation.ship_query("polimi", QUERY, 64 * 1024).expect("ship-query");
+        let (q_out, q_log) = federation.ship_query("polimi", QUERY, 64 * 1024).expect("ship-query");
         let q_time = t0.elapsed();
 
         let t0 = Instant::now();

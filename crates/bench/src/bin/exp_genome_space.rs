@@ -36,9 +36,13 @@ fn main() {
         )
         .expect("query runs");
 
-    let space = GenomeSpace::from_map_result(&out["GS"], "n", Some("name"))
-        .expect("genome space builds");
-    println!("== E3 / Figure 4: genome space ({} genes × {} experiments) ==\n", space.n_regions(), space.n_experiments());
+    let space =
+        GenomeSpace::from_map_result(&out["GS"], "n", Some("name")).expect("genome space builds");
+    println!(
+        "== E3 / Figure 4: genome space ({} genes × {} experiments) ==\n",
+        space.n_regions(),
+        space.n_experiments()
+    );
     println!("{}", space.to_tsv());
 
     // Second transformation: the gene network.
@@ -47,11 +51,7 @@ fn main() {
     println!("== gene network (|pearson| >= {threshold}) ==");
     let mut table = Table::new(&["gene_a", "gene_b", "weight"]);
     for (a, b, w) in &network.edges {
-        table.row(&[
-            network.nodes[*a].clone(),
-            network.nodes[*b].clone(),
-            format!("{w:.3}"),
-        ]);
+        table.row(&[network.nodes[*a].clone(), network.nodes[*b].clone(), format!("{w:.3}")]);
     }
     println!("{}", table.render());
     let (_, components) = network.components();

@@ -17,10 +17,7 @@ use nggc_core::GmqlEngine;
 use std::time::Instant;
 
 fn main() {
-    let max_scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02);
+    let max_scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let scales: Vec<f64> = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
         .into_iter()
         .filter(|&s| s <= max_scale + 1e-12)
@@ -87,8 +84,6 @@ fn main() {
         );
     }
     println!("{}", table.render());
-    println!(
-        "shape check: output samples = input samples; output regions = samples × promoters ✓"
-    );
+    println!("shape check: output samples = input samples; output regions = samples × promoters ✓");
     println!("(the paper's 2,423 × 131,780 = {} regions ≈ 29 GB)", 2_423usize * 131_780);
 }

@@ -39,13 +39,13 @@ fn corpus() -> (MetaIndex, Vec<(String, Vec<SampleRef>)>) {
     for (i, (cell, is_cancer, is_blood)) in cells.iter().enumerate() {
         for rep in 0..3 {
             let name = format!("s{i}_{rep}");
-            ds.add_sample(
-                Sample::new(name.clone(), "CORPUS").with_metadata(Metadata::from_pairs([
+            ds.add_sample(Sample::new(name.clone(), "CORPUS").with_metadata(Metadata::from_pairs(
+                [
                     ("cell", *cell),
                     ("antibody", if rep == 0 { "CTCF" } else { "H3K27ac" }),
                     ("assay", "ChipSeq"),
-                ])),
-            )
+                ],
+            )))
             .expect("sample ok");
             let sref = SampleRef { dataset: "CORPUS".into(), sample: name };
             if *is_cancer {
@@ -129,7 +129,12 @@ fn run_e9() {
     for host in hosts.iter_mut().take(5) {
         let mut ds = generate_encode(
             &genome,
-            &EncodeConfig { samples: 4, mean_peaks_per_sample: 60.0, seed: 999, ..Default::default() },
+            &EncodeConfig {
+                samples: 4,
+                mean_peaks_per_sample: 60.0,
+                seed: 999,
+                ..Default::default()
+            },
         );
         ds.name = "DS_UPDATED".into();
         host.publish(ds);

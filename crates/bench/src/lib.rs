@@ -8,9 +8,7 @@
 #![warn(missing_docs)]
 
 use nggc_gdm::Dataset;
-use nggc_synth::{
-    generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome,
-};
+use nggc_synth::{generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome};
 
 /// The §2 experiment's reference cardinalities (the paper's only
 /// quantified result).

@@ -5,11 +5,7 @@ use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) -> String {
     let out = Command::new(bin).args(args).output().expect("binary runs");
-    assert!(
-        out.status.success(),
-        "{bin} failed:\n{}",
-        String::from_utf8_lossy(&out.stderr)
-    );
+    assert!(out.status.success(), "{bin} failed:\n{}", String::from_utf8_lossy(&out.stderr));
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 

@@ -117,7 +117,9 @@ impl Aggregate {
     /// type)`; position is `None` for COUNT.
     pub fn resolve(&self, schema: &Schema) -> Result<(Option<usize>, ValueType), GmqlError> {
         match (&self.attr, self.func.needs_attr()) {
-            (None, true) => Err(GmqlError::semantic(format!("{} requires an attribute", self.func))),
+            (None, true) => {
+                Err(GmqlError::semantic(format!("{} requires an attribute", self.func)))
+            }
             (Some(a), false) => {
                 Err(GmqlError::semantic(format!("{} takes no attribute, got {a:?}", self.func)))
             }
@@ -176,8 +178,8 @@ impl Aggregate {
                     Value::Null
                 } else {
                     let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-                    let var =
-                        nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / nums.len() as f64;
+                    let var = nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                        / nums.len() as f64;
                     Value::Float(var.sqrt())
                 }
             }

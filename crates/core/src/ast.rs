@@ -293,10 +293,7 @@ mod tests {
             Operator::Select { meta: MetaPredicate::True, region: None, semijoin: None }.arity(),
             1
         );
-        assert_eq!(
-            Operator::Map { aggs: vec![], joinby: vec![] }.arity(),
-            2
-        );
+        assert_eq!(Operator::Map { aggs: vec![], joinby: vec![] }.arity(), 2);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::plan::{LogicalPlan, PlanOp};
 use nggc_engine::ExecContext;
 use nggc_gdm::Dataset;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Execution strategy knobs (the E10 ablation toggles these).
 #[derive(Debug, Clone, Copy)]
@@ -43,31 +44,53 @@ where
     }
 }
 
-/// Per-node execution metrics (EXPLAIN ANALYZE).
+/// Per-node execution metrics (EXPLAIN ANALYZE and `--profile`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeMetrics {
     /// The node's variable label.
     pub label: String,
     /// Operator (or `SOURCE`) name.
     pub operator: String,
+    /// Input samples, summed over all inputs (0 for sources).
+    pub samples_in: usize,
+    /// Input regions, summed over all inputs (0 for sources).
+    pub regions_in: usize,
     /// Output samples.
     pub samples_out: usize,
     /// Output regions.
     pub regions_out: usize,
-    /// Wall time in microseconds.
-    pub micros: u128,
+    /// Approximate serialized size of the output.
+    pub bytes_out: usize,
+    /// Wall time spent in this node.
+    pub wall: Duration,
+}
+
+/// Display width of the label column; longer labels are truncated.
+const LABEL_WIDTH: usize = 18;
+
+/// Truncate to `width` characters, ending in `…` when cut.
+fn truncate_label(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_owned()
+    } else {
+        let mut out: String = s.chars().take(width.saturating_sub(1)).collect();
+        out.push('…');
+        out
+    }
 }
 
 impl std::fmt::Display for NodeMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<18} {:<10} {:>8} samples {:>12} regions {:>10.3} ms",
-            self.label,
-            self.operator,
+            "{:<LABEL_WIDTH$} {:<10} {:>8}→{:<8} samples {:>10}→{:<10} regions {:>10.3} ms",
+            truncate_label(&self.label, LABEL_WIDTH),
+            truncate_label(&self.operator, 10),
+            self.samples_in,
             self.samples_out,
+            self.regions_in,
             self.regions_out,
-            self.micros as f64 / 1000.0
+            self.wall.as_secs_f64() * 1000.0
         )
     }
 }
@@ -93,8 +116,19 @@ pub fn execute_with_metrics(
     ctx: &ExecContext,
     opts: &ExecOptions,
 ) -> Result<(HashMap<String, Dataset>, Vec<NodeMetrics>), GmqlError> {
+    let mut plan_span = nggc_obs::span("exec.plan");
+    plan_span.field("nodes", plan.nodes.len()).field("outputs", plan.outputs.len());
     let plan = if opts.optimize {
-        crate::optimizer::optimize(plan).0
+        let (optimized, report) = crate::optimizer::optimize(plan);
+        // Optimizer decisions travel on the plan span and the registry.
+        plan_span
+            .field("selects_fused", report.selects_fused)
+            .field("nodes_deduplicated", report.nodes_deduplicated);
+        let reg = nggc_obs::global();
+        reg.counter("nggc_exec_optimizer_selects_fused_total").add(report.selects_fused as u64);
+        reg.counter("nggc_exec_optimizer_nodes_deduplicated_total")
+            .add(report.nodes_deduplicated as u64);
+        optimized
     } else {
         plan.clone()
     };
@@ -113,6 +147,20 @@ pub fn execute_with_metrics(
     let mut slots: Vec<Option<Dataset>> = (0..plan.nodes.len()).map(|_| None).collect();
     let mut metrics = Vec::with_capacity(plan.nodes.len());
     for (id, node) in plan.nodes.iter().enumerate() {
+        let operator = match &node.op {
+            PlanOp::Source(_) => "SOURCE".to_owned(),
+            PlanOp::Apply(op) => op.name().to_owned(),
+        };
+        let (samples_in, regions_in) = node.inputs.iter().fold((0, 0), |(s, r), &i| {
+            let d = slots[i].as_ref().expect("topological order");
+            (s + d.sample_count(), r + d.region_count())
+        });
+        let mut node_span = nggc_obs::span("exec.node");
+        node_span
+            .field("label", &node.label)
+            .field("op", &operator)
+            .field("samples_in", samples_in)
+            .field("regions_in", regions_in);
         let t0 = std::time::Instant::now();
         let result = match &node.op {
             PlanOp::Source(name) => provider.load(name)?,
@@ -127,15 +175,30 @@ pub fn execute_with_metrics(
                 d
             }
         };
+        let wall = t0.elapsed();
+        let bytes_out = result.encoded_size();
+        node_span
+            .field("samples_out", result.sample_count())
+            .field("regions_out", result.region_count())
+            .field("bytes_est", bytes_out);
+        drop(node_span);
+        let reg = nggc_obs::global();
+        if reg.is_enabled() {
+            reg.counter_with("nggc_exec_nodes_total", &[("op", &operator)]).inc();
+            reg.counter_with("nggc_exec_regions_out_total", &[("op", &operator)])
+                .add(result.region_count() as u64);
+            reg.histogram_with("nggc_exec_node_wall_ns", &[("op", &operator)])
+                .record_duration(wall);
+        }
         metrics.push(NodeMetrics {
             label: node.label.clone(),
-            operator: match &node.op {
-                PlanOp::Source(_) => "SOURCE".to_owned(),
-                PlanOp::Apply(op) => op.name().to_owned(),
-            },
+            operator,
+            samples_in,
+            regions_in,
             samples_out: result.sample_count(),
             regions_out: result.region_count(),
-            micros: t0.elapsed().as_micros(),
+            bytes_out,
+            wall,
         });
         // Decrement inputs; free exhausted intermediates.
         for &i in &node.inputs {
@@ -171,16 +234,14 @@ fn apply(
             let ext = inputs.get(1).copied();
             ops::select::select(ctx, opts, meta, region.as_ref(), semijoin.as_ref(), unary(), ext)
         }
-        Operator::Project { attrs, new_attrs, meta_attrs } => {
-            ops::project::project(
-                ctx,
-                attrs.as_deref(),
-                new_attrs,
-                meta_attrs.as_deref(),
-                unary(),
-                out_schema,
-            )
-        }
+        Operator::Project { attrs, new_attrs, meta_attrs } => ops::project::project(
+            ctx,
+            attrs.as_deref(),
+            new_attrs,
+            meta_attrs.as_deref(),
+            unary(),
+            out_schema,
+        ),
         Operator::Extend { assignments } => ops::extend::extend(ctx, assignments, unary()),
         Operator::Merge { groupby } => ops::merge::merge(ctx, groupby, unary()),
         Operator::Group { by, region_aggs } => {
@@ -199,8 +260,8 @@ fn apply(
         Operator::Map { aggs, joinby } => {
             ops::map::map(ctx, aggs, joinby, inputs[0], inputs[1], out_schema)
         }
-        Operator::Cover { variant, min_acc, max_acc, groupby, aggs } => ops::cover::cover(
-            ctx, *variant, *min_acc, *max_acc, groupby, aggs, unary(), out_schema,
-        ),
+        Operator::Cover { variant, min_acc, max_acc, groupby, aggs } => {
+            ops::cover::cover(ctx, *variant, *min_acc, *max_acc, groupby, aggs, unary(), out_schema)
+        }
     }
 }

@@ -10,8 +10,8 @@ use crate::aggregates::Aggregate;
 use crate::ast::{AccBound, CoverVariant};
 use crate::error::GmqlError;
 use crate::ops::merge::partition_by_meta;
-use nggc_gdm::{Chrom, Dataset, GRegion, Metadata, Provenance, Sample, Schema, Strand, Value};
 use nggc_engine::{coverage_segments, merge_cover, CovSeg, ExecContext};
+use nggc_gdm::{Chrom, Dataset, GRegion, Metadata, Provenance, Sample, Schema, Strand, Value};
 
 /// Execute COVER/FLAT/SUMMIT/HISTOGRAM.
 #[allow(clippy::too_many_arguments)]
@@ -73,9 +73,7 @@ pub fn cover(
                         // Contributing regions: those overlapping the output.
                         let contributing: Vec<&GRegion> = slice
                             .iter()
-                            .filter(|x| {
-                                nggc_gdm::interval_overlap(x.left, x.right, l, r)
-                            })
+                            .filter(|x| nggc_gdm::interval_overlap(x.left, x.right, l, r))
                             .collect();
                         for (agg, pos) in &resolved {
                             let value = match pos {
@@ -191,17 +189,20 @@ mod tests {
         for (name, l, r, sig) in
             [("r1", 0u64, 80u64, 1.0), ("r2", 50u64, 100u64, 2.0), ("r3", 40u64, 90u64, 3.0)]
         {
-            ds.add_sample(
-                Sample::new(name, "R").with_regions(vec![
-                    GRegion::new("chr1", l, r, Strand::Unstranded).with_values(vec![sig.into()]),
-                ]),
-            )
+            ds.add_sample(Sample::new(name, "R").with_regions(vec![
+                GRegion::new("chr1", l, r, Strand::Unstranded).with_values(vec![sig.into()]),
+            ]))
             .unwrap();
         }
         ds
     }
 
-    fn run(variant: CoverVariant, min: AccBound, max: AccBound, aggs: Vec<(String, Aggregate)>) -> Dataset {
+    fn run(
+        variant: CoverVariant,
+        min: AccBound,
+        max: AccBound,
+        aggs: Vec<(String, Aggregate)>,
+    ) -> Dataset {
         let ds = replicas();
         let op = Operator::Cover {
             variant,
@@ -320,17 +321,9 @@ mod tests {
         };
         let schema = infer_schema(&op, &[&ds.schema]).unwrap();
         let ctx = ExecContext::with_workers(1);
-        let out = cover(
-            &ctx,
-            CoverVariant::Cover,
-            AccBound::Any,
-            AccBound::Any,
-            &[],
-            &[],
-            &ds,
-            &schema,
-        )
-        .unwrap();
+        let out =
+            cover(&ctx, CoverVariant::Cover, AccBound::Any, AccBound::Any, &[], &[], &ds, &schema)
+                .unwrap();
         assert_eq!(out.sample_count(), 0);
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_gdm::{Dataset, GRegion, Provenance, Sample};
 use nggc_engine::{overlap_pairs_sort_merge, ExecContext};
+use nggc_gdm::{Dataset, GRegion, Provenance, Sample};
 
 /// Execute DIFFERENCE.
 pub fn difference(
@@ -31,8 +31,8 @@ pub fn difference(
         let mut neg_regions: Vec<GRegion> =
             negatives.iter().flat_map(|s| s.regions.iter().cloned()).collect();
         neg_regions.sort_by(|a, b| a.cmp_coords(b));
-        let neg_sample = Sample::derived("neg", Provenance::source("tmp", "neg"))
-            .with_regions(neg_regions);
+        let neg_sample =
+            Sample::derived("neg", Provenance::source("tmp", "neg")).with_regions(neg_regions);
 
         // Per-chromosome removal using the sort-merge kernel.
         let kept: Vec<GRegion> = ls
@@ -44,9 +44,8 @@ pub fn difference(
                 let mut removed = vec![false; mine.len()];
                 if exact {
                     for (i, r) in mine.iter().enumerate() {
-                        removed[i] = theirs
-                            .iter()
-                            .any(|n| n.cmp_coords(r) == std::cmp::Ordering::Equal);
+                        removed[i] =
+                            theirs.iter().any(|n| n.cmp_coords(r) == std::cmp::Ordering::Equal);
                     }
                 } else {
                     overlap_pairs_sort_merge(mine, theirs, |i, j| {
@@ -57,15 +56,18 @@ pub fn difference(
                 }
                 mine.iter()
                     .zip(removed)
-                    .filter(|&(_r, gone)| !gone).map(|(r, _gone)| r.clone())
+                    .filter(|&(_r, gone)| !gone)
+                    .map(|(r, _gone)| r.clone())
                     .collect::<Vec<_>>()
             })
             .collect();
 
         let mut provs = vec![ls.provenance.clone()];
         provs.extend(negatives.iter().map(|s| s.provenance.clone()));
-        let mut out =
-            Sample::derived(ls.name.clone(), Provenance::derived("DIFFERENCE", detail.clone(), provs));
+        let mut out = Sample::derived(
+            ls.name.clone(),
+            Provenance::derived("DIFFERENCE", detail.clone(), provs),
+        );
         out.metadata = ls.metadata.clone();
         out.regions = kept;
         out
@@ -83,7 +85,12 @@ mod tests {
     use super::*;
     use nggc_gdm::{Metadata, Schema, Strand};
 
-    fn mk(name: &str, ds: &str, regions: Vec<(u64, u64, Strand)>, meta: Vec<(&str, &str)>) -> Sample {
+    fn mk(
+        name: &str,
+        ds: &str,
+        regions: Vec<(u64, u64, Strand)>,
+        meta: Vec<(&str, &str)>,
+    ) -> Sample {
         Sample::new(name, ds)
             .with_regions(
                 regions.into_iter().map(|(l, r, s)| GRegion::new("chr1", l, r, s)).collect(),

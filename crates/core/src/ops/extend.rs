@@ -7,8 +7,8 @@
 
 use crate::aggregates::Aggregate;
 use crate::error::GmqlError;
-use nggc_gdm::{Dataset, Provenance, Sample, Value};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Provenance, Sample, Value};
 
 /// Execute EXTEND.
 pub fn extend(
@@ -19,13 +19,12 @@ pub fn extend(
     // Resolve aggregate attribute positions once against the schema.
     let resolved: Vec<(String, Aggregate, Option<usize>)> = assignments
         .iter()
-        .map(|(name, agg)| agg.resolve(&input.schema).map(|(pos, _)| (name.clone(), agg.clone(), pos)))
+        .map(|(name, agg)| {
+            agg.resolve(&input.schema).map(|(pos, _)| (name.clone(), agg.clone(), pos))
+        })
         .collect::<Result<_, _>>()?;
-    let detail = assignments
-        .iter()
-        .map(|(n, a)| format!("{n} AS {a}"))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let detail =
+        assignments.iter().map(|(n, a)| format!("{n} AS {a}")).collect::<Vec<_>>().join(", ");
 
     let samples = ctx.map_samples(&input.samples, |s| {
         let mut out = Sample::derived(

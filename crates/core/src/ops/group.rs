@@ -8,8 +8,8 @@
 use crate::aggregates::Aggregate;
 use crate::error::GmqlError;
 use crate::ops::merge::partition_by_meta;
-use nggc_gdm::{Dataset, GRegion, Metadata, Provenance, Sample, Schema, Value};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, GRegion, Metadata, Provenance, Sample, Schema, Value};
 
 /// Execute GROUP. `out_schema` = input schema + aggregate attributes.
 pub fn group(
@@ -32,11 +32,8 @@ pub fn group(
             detail.clone(),
             members.iter().map(|s| s.provenance.clone()).collect(),
         );
-        let name = if key.is_empty() {
-            "group".to_owned()
-        } else {
-            format!("group_{}", key.join("_"))
-        };
+        let name =
+            if key.is_empty() { "group".to_owned() } else { format!("group_{}", key.join("_")) };
         let mut metadata = Metadata::new();
         for s in &members {
             metadata.merge_from(&s.metadata, "");
@@ -99,7 +96,7 @@ mod tests {
         ds.add_sample(
             Sample::new("rep1", "D")
                 .with_regions(vec![
-                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![Value::Float(2.0)]),
+                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![Value::Float(2.0)])
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
         )
@@ -117,7 +114,8 @@ mod tests {
     }
 
     fn out_schema(ds: &Dataset, aggs: &[(String, Aggregate)]) -> Schema {
-        let op = crate::ast::Operator::Group { by: vec!["cell".into()], region_aggs: aggs.to_vec() };
+        let op =
+            crate::ast::Operator::Group { by: vec!["cell".into()], region_aggs: aggs.to_vec() };
         crate::plan::infer_schema(&op, &[&ds.schema]).unwrap()
     }
 

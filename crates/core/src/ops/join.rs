@@ -12,8 +12,8 @@
 use crate::ast::{GenometricClause, JoinOutput};
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Strand};
 use nggc_engine::{gap_pairs_sort_merge, k_nearest, ExecContext};
+use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Strand};
 
 /// Execute JOIN. `out_schema` = prefixed concatenation of both schemas.
 pub fn join(
@@ -79,10 +79,11 @@ pub fn join(
         }
         let mut sample = Sample::derived(
             format!("{}__{}", ls.name, rs.name),
-            Provenance::derived("JOIN", detail.clone(), vec![
-                ls.provenance.clone(),
-                rs.provenance.clone(),
-            ]),
+            Provenance::derived(
+                "JOIN",
+                detail.clone(),
+                vec![ls.provenance.clone(), rs.provenance.clone()],
+            ),
         );
         sample.metadata.merge_from(&ls.metadata, "left");
         sample.metadata.merge_from(&rs.metadata, "right");
@@ -173,8 +174,7 @@ mod tests {
     fn run(clauses: Vec<GenometricClause>, output: JoinOutput) -> Dataset {
         let l = genes();
         let r = peaks();
-        let op =
-            Operator::Join { clauses: clauses.clone(), output, joinby: vec![] };
+        let op = Operator::Join { clauses: clauses.clone(), output, joinby: vec![] };
         let schema = infer_schema(&op, &[&l.schema, &r.schema]).unwrap();
         let ctx = ExecContext::with_workers(2);
         join(&ctx, &clauses, output, &[], &l, &r, &schema).unwrap()
@@ -230,8 +230,10 @@ mod tests {
 
     #[test]
     fn dge_excludes_overlap() {
-        let out =
-            run(vec![GenometricClause::DistGreaterEq(1), GenometricClause::DistLessEq(500)], JoinOutput::Left);
+        let out = run(
+            vec![GenometricClause::DistGreaterEq(1), GenometricClause::DistLessEq(500)],
+            JoinOutput::Left,
+        );
         let s = &out.samples[0];
         assert_eq!(s.region_count(), 2, "overlapping pair excluded by DGE(1)");
     }

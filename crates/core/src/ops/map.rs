@@ -11,8 +11,8 @@
 use crate::aggregates::Aggregate;
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Value};
 use nggc_engine::{overlap_pairs_sort_merge, ExecContext};
+use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Value};
 
 /// Execute MAP. `out_schema` = reference schema + aggregate attributes.
 pub fn map(
@@ -27,8 +27,7 @@ pub fn map(
         .iter()
         .map(|(_, agg)| agg.resolve(&exps.schema).map(|(pos, _)| (agg.clone(), pos)))
         .collect::<Result<_, _>>()?;
-    let detail =
-        aggs.iter().map(|(n, a)| format!("{n} AS {a}")).collect::<Vec<_>>().join(", ");
+    let detail = aggs.iter().map(|(n, a)| format!("{n} AS {a}")).collect::<Vec<_>>().join(", ");
 
     let results = ctx.map_sample_pairs(&refs.samples, &exps.samples, |r, e| {
         if !joinby_matches(&r.metadata, &e.metadata, joinby) {
@@ -66,10 +65,11 @@ pub fn map(
 
         let mut sample = Sample::derived(
             format!("{}__{}", r.name, e.name),
-            Provenance::derived("MAP", detail.clone(), vec![
-                r.provenance.clone(),
-                e.provenance.clone(),
-            ]),
+            Provenance::derived(
+                "MAP",
+                detail.clone(),
+                vec![r.provenance.clone(), e.provenance.clone()],
+            ),
         );
         sample.metadata = r.metadata.clone();
         sample.metadata.merge_from(&e.metadata, "exp");
@@ -111,7 +111,8 @@ mod tests {
                 .with_regions(vec![
                     GRegion::new("chr1", 10, 20, Strand::Unstranded).with_values(vec![0.1.into()]),
                     GRegion::new("chr1", 50, 60, Strand::Unstranded).with_values(vec![0.2.into()]),
-                    GRegion::new("chr1", 250, 260, Strand::Unstranded).with_values(vec![0.3.into()]),
+                    GRegion::new("chr1", 250, 260, Strand::Unstranded)
+                        .with_values(vec![0.3.into()]),
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
         )
@@ -119,7 +120,7 @@ mod tests {
         ds.add_sample(
             Sample::new("e2", "PEAKS")
                 .with_regions(vec![
-                    GRegion::new("chr2", 10, 20, Strand::Unstranded).with_values(vec![0.4.into()]),
+                    GRegion::new("chr2", 10, 20, Strand::Unstranded).with_values(vec![0.4.into()])
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "K562")])),
         )

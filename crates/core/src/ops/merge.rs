@@ -7,21 +7,14 @@
 
 use crate::error::GmqlError;
 use crate::ops::group_key;
-use nggc_gdm::{Dataset, Metadata, Provenance, Sample};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Metadata, Provenance, Sample};
 
 /// Execute MERGE.
-pub fn merge(
-    ctx: &ExecContext,
-    groupby: &[String],
-    input: &Dataset,
-) -> Result<Dataset, GmqlError> {
+pub fn merge(ctx: &ExecContext, groupby: &[String], input: &Dataset) -> Result<Dataset, GmqlError> {
     let groups = partition_by_meta(input, groupby);
-    let detail = if groupby.is_empty() {
-        String::new()
-    } else {
-        format!("groupby: {}", groupby.join(","))
-    };
+    let detail =
+        if groupby.is_empty() { String::new() } else { format!("groupby: {}", groupby.join(",")) };
 
     let samples = ctx.pool().parallel_map(groups, |(key, members)| {
         let provenance = Provenance::derived(
@@ -29,11 +22,8 @@ pub fn merge(
             detail.clone(),
             members.iter().map(|s| s.provenance.clone()).collect(),
         );
-        let name = if key.is_empty() {
-            "merged".to_owned()
-        } else {
-            format!("merged_{}", key.join("_"))
-        };
+        let name =
+            if key.is_empty() { "merged".to_owned() } else { format!("merged_{}", key.join("_")) };
         let mut out = Sample::derived(name, provenance);
         let mut metadata = Metadata::new();
         let mut regions: Vec<nggc_gdm::GRegion> = Vec::new();
@@ -84,11 +74,9 @@ mod tests {
 
     fn dataset() -> Dataset {
         let mut ds = Dataset::new("D", Schema::empty());
-        for (name, cell, chrom, l) in [
-            ("s1", "HeLa", "chr2", 10),
-            ("s2", "K562", "chr1", 5),
-            ("s3", "HeLa", "chr1", 0),
-        ] {
+        for (name, cell, chrom, l) in
+            [("s1", "HeLa", "chr2", 10), ("s2", "K562", "chr1", 5), ("s3", "HeLa", "chr1", 0)]
+        {
             ds.add_sample(
                 Sample::new(name, "D")
                     .with_regions(vec![GRegion::new(chrom, l, l + 10, Strand::Unstranded)])

@@ -8,8 +8,8 @@
 
 use crate::ast::SortDir;
 use crate::error::GmqlError;
-use nggc_gdm::{Dataset, Provenance, Sample, Value};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Provenance, Sample, Value};
 use std::cmp::Ordering;
 
 /// Execute ORDER.
@@ -23,16 +23,15 @@ pub fn order(
     input: &Dataset,
 ) -> Result<Dataset, GmqlError> {
     // Validate region keys up front.
-    let resolved_region_keys: Vec<(usize, SortDir)> = region_keys
-        .iter()
-        .map(|(name, dir)| {
-            input
-                .schema
-                .position(name)
-                .map(|p| (p, *dir))
-                .ok_or_else(|| GmqlError::semantic(format!("unknown region attribute {name:?}")))
-        })
-        .collect::<Result<_, _>>()?;
+    let resolved_region_keys: Vec<(usize, SortDir)> =
+        region_keys
+            .iter()
+            .map(|(name, dir)| {
+                input.schema.position(name).map(|p| (p, *dir)).ok_or_else(|| {
+                    GmqlError::semantic(format!("unknown region attribute {name:?}"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
     let detail = format!(
         "meta: [{}] top: {:?}; region: [{}] top: {:?}",
         meta_keys.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(","),
@@ -155,8 +154,8 @@ mod tests {
     #[test]
     fn top_k_truncates_samples() {
         let ctx = ExecContext::with_workers(1);
-        let out = order(&ctx, &[("age".into(), SortDir::Desc)], Some(1), &[], None, &dataset())
-            .unwrap();
+        let out =
+            order(&ctx, &[("age".into(), SortDir::Desc)], Some(1), &[], None, &dataset()).unwrap();
         assert_eq!(out.sample_count(), 1);
         assert_eq!(out.samples[0].name, "a");
     }
@@ -164,21 +163,13 @@ mod tests {
     #[test]
     fn region_top_k_by_score_keeps_genome_order() {
         let ctx = ExecContext::with_workers(2);
-        let out = order(
-            &ctx,
-            &[],
-            None,
-            &[("score".into(), SortDir::Desc)],
-            Some(2),
-            &dataset(),
-        )
-        .unwrap();
+        let out = order(&ctx, &[], None, &[("score".into(), SortDir::Desc)], Some(2), &dataset())
+            .unwrap();
         let c = out.sample_by_name("c").unwrap();
         assert_eq!(c.region_count(), 2, "top 2 of 3");
         // Kept the score-7 and score-3 regions, but in genome order.
         assert!(c.is_sorted());
-        let scores: Vec<f64> =
-            c.regions.iter().map(|r| r.values[0].as_f64().unwrap()).collect();
+        let scores: Vec<f64> = c.regions.iter().map(|r| r.values[0].as_f64().unwrap()).collect();
         assert_eq!(scores, vec![3.0, 7.0]);
     }
 

@@ -6,8 +6,8 @@
 
 use crate::error::GmqlError;
 use crate::predicates::RegionExpr;
-use nggc_gdm::{Dataset, Provenance, Sample, Schema};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Provenance, Sample, Schema};
 
 /// Execute PROJECT. `out_schema` is the inferred output schema;
 /// `meta_attrs`, when given, lists the metadata attributes to keep.
@@ -34,7 +34,10 @@ pub fn project(
         if new_attrs.is_empty() {
             String::new()
         } else {
-            format!("; +{}", new_attrs.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(","))
+            format!(
+                "; +{}",
+                new_attrs.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(",")
+            )
         }
     );
 

@@ -11,8 +11,8 @@ use crate::error::GmqlError;
 use crate::exec::ExecOptions;
 use crate::ops::joinby_matches;
 use crate::predicates::{MetaPredicate, RegionExpr};
-use nggc_gdm::{Dataset, Provenance, Sample};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Provenance, Sample};
 
 /// Execute SELECT. `ext` is the external dataset of the metadata
 /// semijoin, when one is declared.
@@ -117,7 +117,7 @@ mod tests {
         ds.add_sample(
             Sample::new("normal1", "D")
                 .with_regions(vec![
-                    GRegion::new("chr2", 5, 9, Strand::Neg).with_values(vec![Value::Float(0.002)]),
+                    GRegion::new("chr2", 5, 9, Strand::Neg).with_values(vec![Value::Float(0.002)])
                 ])
                 .with_metadata(Metadata::from_pairs([("karyotype", "normal")])),
         )
@@ -147,9 +147,16 @@ mod tests {
     fn region_predicate_filters_regions() {
         let ctx = ExecContext::with_workers(2);
         let pred = RegionExpr::attr("p_value").cmp(CmpOp::Lt, RegionExpr::num(0.01));
-        let out =
-            select(&ctx, &ExecOptions::default(), &MetaPredicate::True, Some(&pred), None, &dataset(), None)
-                .unwrap();
+        let out = select(
+            &ctx,
+            &ExecOptions::default(),
+            &MetaPredicate::True,
+            Some(&pred),
+            None,
+            &dataset(),
+            None,
+        )
+        .unwrap();
         assert_eq!(out.sample_count(), 2, "both samples kept");
         assert_eq!(out.samples[0].region_count(), 1, "high-p region dropped");
         assert_eq!(out.samples[1].region_count(), 1);

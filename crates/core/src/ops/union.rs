@@ -6,8 +6,8 @@
 //! nulls for absent columns.
 
 use crate::error::GmqlError;
-use nggc_gdm::{Dataset, Provenance, Sample, Schema};
 use nggc_engine::ExecContext;
+use nggc_gdm::{Dataset, Provenance, Sample, Schema};
 
 /// Execute UNION. `out_schema` is the merged schema inferred at plan time.
 pub fn union(
@@ -80,10 +80,7 @@ mod tests {
         assert_eq!(out.schema.len(), 2);
         // Left sample gains a null `fold` column.
         assert_eq!(out.samples[0].regions[0].values, vec![Value::Float(0.1), Value::Null]);
-        assert_eq!(
-            out.samples[1].regions[0].values,
-            vec![Value::Float(0.2), Value::Float(2.5)]
-        );
+        assert_eq!(out.samples[1].regions[0].values, vec![Value::Float(0.2), Value::Float(2.5)]);
         out.validate().unwrap();
     }
 

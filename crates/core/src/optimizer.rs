@@ -152,9 +152,7 @@ mod tests {
     use nggc_gdm::{Attribute, Schema, ValueType};
 
     fn catalog(name: &str) -> Option<Schema> {
-        (name == "D").then(|| {
-            Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap()
-        })
+        (name == "D").then(|| Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap())
     }
 
     fn compile(q: &str) -> LogicalPlan {

@@ -769,8 +769,8 @@ mod tests {
 
     #[test]
     fn select_with_region_section() {
-        let stmts = parse("X = SELECT(cell == 'HeLa'; region: p_value < 0.01 AND left > 1000) D;")
-            .unwrap();
+        let stmts =
+            parse("X = SELECT(cell == 'HeLa'; region: p_value < 0.01 AND left > 1000) D;").unwrap();
         match &stmts[0] {
             Statement::Assign { call, .. } => match &call.op {
                 Operator::Select { meta, region, .. } => {
@@ -837,7 +837,8 @@ mod tests {
 
     #[test]
     fn cover_bounds() {
-        let stmts = parse("X = COVER(2, ANY) D; Y = HISTOGRAM(ALL, ALL; groupby: cell) D;").unwrap();
+        let stmts =
+            parse("X = COVER(2, ANY) D; Y = HISTOGRAM(ALL, ALL; groupby: cell) D;").unwrap();
         match &stmts[0] {
             Statement::Assign { call, .. } => match &call.op {
                 Operator::Cover { variant, min_acc, max_acc, .. } => {
@@ -971,8 +972,7 @@ mod tests {
 
     #[test]
     fn meta_predicate_parens_and_not() {
-        let stmts =
-            parse("X = SELECT(NOT (a == 1) AND (b == 2 OR c == 3)) D;").unwrap();
+        let stmts = parse("X = SELECT(NOT (a == 1) AND (b == 2 OR c == 3)) D;").unwrap();
         match &stmts[0] {
             Statement::Assign { call, .. } => match &call.op {
                 Operator::Select { meta, .. } => {

@@ -62,8 +62,8 @@ impl LogicalPlan {
         let mut env: HashMap<String, NodeId> = HashMap::new();
 
         let resolve = |plan: &mut LogicalPlan,
-                           env: &mut HashMap<String, NodeId>,
-                           name: &str|
+                       env: &mut HashMap<String, NodeId>,
+                       name: &str|
          -> Result<NodeId, GmqlError> {
             if let Some(&id) = env.get(name) {
                 return Ok(id);
@@ -254,9 +254,9 @@ mod tests {
                 ])
                 .unwrap(),
             ),
-            "ANNOTATIONS" => Some(
-                Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap(),
-            ),
+            "ANNOTATIONS" => {
+                Some(Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap())
+            }
             _ => None,
         }
     }

@@ -197,10 +197,9 @@ impl RegionExpr {
             RegionExpr::Attr(name) => match name.to_ascii_lowercase().as_str() {
                 "chr" | "strand" => Ok(Some(ValueType::Str)),
                 "left" | "right" | "len" => Ok(Some(ValueType::Int)),
-                _ => schema
-                    .get(name)
-                    .map(|a| Some(a.ty))
-                    .ok_or_else(|| GmqlError::semantic(format!("unknown region attribute {name:?}"))),
+                _ => schema.get(name).map(|a| Some(a.ty)).ok_or_else(|| {
+                    GmqlError::semantic(format!("unknown region attribute {name:?}"))
+                }),
             },
             RegionExpr::Lit(v) => Ok(v.value_type()),
             RegionExpr::Not(e) => {
@@ -369,8 +368,7 @@ mod tests {
 
     #[test]
     fn meta_boolean_combinators() {
-        let p = MetaPredicate::eq("dataType", "ChipSeq")
-            .and(MetaPredicate::eq("antibody", "CTCF"));
+        let p = MetaPredicate::eq("dataType", "ChipSeq").and(MetaPredicate::eq("antibody", "CTCF"));
         assert!(p.eval(&meta()));
         let q = MetaPredicate::Not(Box::new(MetaPredicate::eq("dataType", "DnaseSeq")));
         assert!(q.eval(&meta()));
@@ -423,7 +421,8 @@ mod tests {
         );
         assert_eq!(e.eval(&r, &s), Value::Int(150));
         assert_eq!(e.check(&s).unwrap(), Some(ValueType::Int));
-        let d = RegionExpr::Binary(Box::new(e), BinOp::Div, Box::new(RegionExpr::Lit(Value::Int(2))));
+        let d =
+            RegionExpr::Binary(Box::new(e), BinOp::Div, Box::new(RegionExpr::Lit(Value::Int(2))));
         assert_eq!(d.eval(&r, &s), Value::Float(75.0));
         assert_eq!(d.check(&s).unwrap(), Some(ValueType::Float));
     }

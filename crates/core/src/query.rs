@@ -79,9 +79,7 @@ impl GmqlEngine {
     /// Compile query text into a logical plan (no execution).
     pub fn compile(&self, query: &str) -> Result<LogicalPlan, GmqlError> {
         let statements = parse(query)?;
-        LogicalPlan::compile(&statements, &|name| {
-            self.datasets.get(name).map(|d| d.schema.clone())
-        })
+        LogicalPlan::compile(&statements, &|name| self.datasets.get(name).map(|d| d.schema.clone()))
     }
 
     /// Explain: compiled plan, optimized plan, and optimizer report.
@@ -233,8 +231,7 @@ mod tests {
     fn engine() -> GmqlEngine {
         let mut engine = GmqlEngine::with_workers(2);
 
-        let annot_schema =
-            Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap();
+        let annot_schema = Schema::new(vec![Attribute::new("annType", ValueType::Str)]).unwrap();
         let mut annotations = Dataset::new("ANNOTATIONS", annot_schema);
         annotations
             .add_sample(Sample::new("ucsc", "ANNOTATIONS").with_regions(vec![
@@ -343,8 +340,7 @@ mod tests {
                  B = SELECT(region: p_value < 0.01) A;
                  MATERIALIZE B;";
         let opt = engine.run(q).unwrap();
-        let engine2 =
-            engine.with_options(ExecOptions { meta_first: false, optimize: false });
+        let engine2 = engine.with_options(ExecOptions { meta_first: false, optimize: false });
         let raw = engine2.run(q).unwrap();
         assert_eq!(opt["B"].sample_count(), raw["B"].sample_count());
         assert_eq!(opt["B"].region_count(), raw["B"].region_count());
@@ -361,14 +357,12 @@ mod tests {
         )
         .unwrap();
         engine.register(ext);
-        let out = engine
-            .run("X = SELECT(semijoin: dataType IN EXT) ENCODE; MATERIALIZE X;")
-            .unwrap();
+        let out =
+            engine.run("X = SELECT(semijoin: dataType IN EXT) ENCODE; MATERIALIZE X;").unwrap();
         assert_eq!(out["X"].sample_count(), 2, "the two ChipSeq samples");
         // Negated form keeps the complement.
-        let out = engine
-            .run("X = SELECT(semijoin: dataType NOT IN EXT) ENCODE; MATERIALIZE X;")
-            .unwrap();
+        let out =
+            engine.run("X = SELECT(semijoin: dataType NOT IN EXT) ENCODE; MATERIALIZE X;").unwrap();
         assert_eq!(out["X"].sample_count(), 1, "only the DnaseSeq sample");
         // Combined with a metadata predicate.
         let out = engine
@@ -383,17 +377,14 @@ mod tests {
     #[test]
     fn semijoin_unknown_external_fails_compile() {
         let engine = engine();
-        assert!(engine
-            .run("X = SELECT(semijoin: cell IN NOPE) ENCODE; MATERIALIZE X;")
-            .is_err());
+        assert!(engine.run("X = SELECT(semijoin: cell IN NOPE) ENCODE; MATERIALIZE X;").is_err());
     }
 
     #[test]
     fn project_meta_section_drops_metadata() {
         let engine = engine();
-        let out = engine
-            .run("X = PROJECT(p_value; meta: dataType) ENCODE; MATERIALIZE X;")
-            .unwrap();
+        let out =
+            engine.run("X = PROJECT(p_value; meta: dataType) ENCODE; MATERIALIZE X;").unwrap();
         let s = &out["X"].samples[0];
         assert!(s.metadata.contains_attribute("dataType"));
         assert_eq!(s.metadata.len(), 1, "all other metadata dropped");

@@ -13,7 +13,11 @@ use std::collections::HashMap;
 
 /// Emit every overlapping pair `(i, j)` by exhaustive comparison.
 /// `O(n·m)`; reference implementation for tests and the ablation bench.
-pub fn overlap_pairs_naive(left: &[GRegion], right: &[GRegion], mut emit: impl FnMut(usize, usize)) {
+pub fn overlap_pairs_naive(
+    left: &[GRegion],
+    right: &[GRegion],
+    mut emit: impl FnMut(usize, usize),
+) {
     for (i, a) in left.iter().enumerate() {
         for (j, b) in right.iter().enumerate() {
             if interval_overlap(a.left, a.right, b.left, b.right) {
@@ -279,9 +283,7 @@ mod tests {
         GRegion::new("chr1", l, rr, Strand::Unstranded)
     }
 
-    fn collect_pairs(
-        f: impl FnOnce(&mut dyn FnMut(usize, usize)),
-    ) -> Vec<(usize, usize)> {
+    fn collect_pairs(f: impl FnOnce(&mut dyn FnMut(usize, usize))) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         f(&mut |i, j| out.push((i, j)));
         out.sort_unstable();

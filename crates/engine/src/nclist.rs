@@ -42,10 +42,7 @@ impl NcList {
         // contents; a stack of open containers assigns nesting.
         let mut order: Vec<usize> = (0..regions.len()).collect();
         order.sort_by(|&a, &b| {
-            regions[a]
-                .left
-                .cmp(&regions[b].left)
-                .then(regions[b].right.cmp(&regions[a].right))
+            regions[a].left.cmp(&regions[b].left).then(regions[b].right.cmp(&regions[a].right))
         });
         let mut top: Vec<Entry> = Vec::new();
         // Stack of (entry, path) — we store entries and fold them into
@@ -188,12 +185,13 @@ mod tests {
                 .collect(),
         );
         let idx = NcList::build(&regions);
-        let queries: Vec<GRegion> =
-            (0..100).map(|_| {
+        let queries: Vec<GRegion> = (0..100)
+            .map(|_| {
                 let l = next() % 10_000;
                 let w = next() % 800;
                 r(l, l + w)
-            }).collect();
+            })
+            .collect();
         for q in &queries {
             let got = idx.overlaps_vec(q.left, q.right);
             let mut expect = Vec::new();

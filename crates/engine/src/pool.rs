@@ -17,12 +17,90 @@ use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool-local event counters, mirrored into the global `nggc-obs`
+/// registry (`nggc_pool_*`). Kept per-pool so tests and
+/// [`WorkerPool::stats`] see this pool's activity in isolation.
+struct PoolCounters {
+    /// Jobs executed, by anyone (workers and helping callers).
+    jobs: AtomicU64,
+    /// Successful steals from a sibling worker's deque.
+    sibling_steals: AtomicU64,
+    /// Times a worker parked on the condvar.
+    parks: AtomicU64,
+    /// Times a parked worker woke (notify or timeout).
+    wakes: AtomicU64,
+    /// Per-worker busy nanoseconds (helping callers not included).
+    busy_ns: Vec<AtomicU64>,
+    /// Pool creation time, the denominator of utilization.
+    started: Instant,
+    /// Global-registry handles, resolved once at pool construction.
+    g_jobs: nggc_obs::Counter,
+    g_sibling_steals: nggc_obs::Counter,
+    g_parks: nggc_obs::Counter,
+    g_wakes: nggc_obs::Counter,
+    g_busy_ns: nggc_obs::Counter,
+    g_job_wall: nggc_obs::Histogram,
+}
+
+impl PoolCounters {
+    fn new(workers: usize) -> PoolCounters {
+        let reg = nggc_obs::global();
+        PoolCounters {
+            jobs: AtomicU64::new(0),
+            sibling_steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+            g_jobs: reg.counter("nggc_pool_jobs_total"),
+            g_sibling_steals: reg.counter("nggc_pool_sibling_steals_total"),
+            g_parks: reg.counter("nggc_pool_parks_total"),
+            g_wakes: reg.counter("nggc_pool_wakes_total"),
+            g_busy_ns: reg.counter("nggc_pool_busy_ns_total"),
+            g_job_wall: reg.histogram("nggc_pool_job_wall_ns"),
+        }
+    }
+}
+
+/// Point-in-time view of a pool's activity (see [`WorkerPool::stats`]).
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Jobs executed since the pool started (including helping callers).
+    pub jobs_executed: u64,
+    /// Successful steals from sibling deques.
+    pub sibling_steals: u64,
+    /// Times a worker parked waiting for work.
+    pub parks: u64,
+    /// Times a parked worker woke up.
+    pub wakes: u64,
+    /// Busy wall time per worker thread.
+    pub busy: Vec<Duration>,
+    /// Wall time since the pool was created.
+    pub elapsed: Duration,
+}
+
+impl PoolStats {
+    /// Fraction of worker-thread time spent running jobs, in `[0, 1]`:
+    /// `sum(busy) / (workers × elapsed)`.
+    pub fn utilization(&self) -> f64 {
+        let total: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
+        let budget = self.workers as f64 * self.elapsed.as_secs_f64();
+        if budget <= 0.0 {
+            0.0
+        } else {
+            (total / budget).min(1.0)
+        }
+    }
+}
 
 struct Shared {
     injector: Injector<Job>,
@@ -30,6 +108,7 @@ struct Shared {
     shutdown: AtomicBool,
     sleep_lock: Mutex<()>,
     wake: Condvar,
+    counters: PoolCounters,
 }
 
 impl Shared {
@@ -46,13 +125,36 @@ impl Shared {
         for s in &self.stealers {
             loop {
                 match s.steal() {
-                    crossbeam_deque::Steal::Success(j) => return Some(j),
+                    crossbeam_deque::Steal::Success(j) => {
+                        self.counters.sibling_steals.fetch_add(1, Ordering::Relaxed);
+                        self.counters.g_sibling_steals.inc();
+                        return Some(j);
+                    }
                     crossbeam_deque::Steal::Retry => continue,
                     crossbeam_deque::Steal::Empty => break,
                 }
             }
         }
         None
+    }
+
+    /// Run a job, attributing its wall time to `worker` (if any) and
+    /// counting it in the pool-local and global metrics.
+    fn run_job(&self, job: Job, worker: Option<usize>) {
+        let c = &self.counters;
+        // Count before running: `parallel_map` callers receive a job's
+        // result from inside the job itself, so anyone who has observed
+        // all results must also observe the full job count.
+        c.jobs.fetch_add(1, Ordering::Relaxed);
+        c.g_jobs.inc();
+        let t0 = Instant::now();
+        job();
+        let wall = t0.elapsed();
+        if let Some(i) = worker {
+            c.busy_ns[i].fetch_add(wall.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+            c.g_busy_ns.add(wall.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        c.g_job_wall.record_duration(wall);
     }
 }
 
@@ -88,6 +190,7 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
+            counters: PoolCounters::new(workers),
         });
         let handles = local_queues
             .into_iter()
@@ -96,7 +199,7 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nggc-worker-{i}"))
-                    .spawn(move || worker_loop(local, shared))
+                    .spawn(move || worker_loop(i, local, shared))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -114,11 +217,42 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Snapshot of this pool's activity counters (jobs executed, steal
+    /// and park/wake counts, per-worker busy time). The same numbers are
+    /// mirrored into the global `nggc-obs` registry as `nggc_pool_*`.
+    pub fn stats(&self) -> PoolStats {
+        let c = &self.shared.counters;
+        PoolStats {
+            workers: self.workers,
+            jobs_executed: c.jobs.load(Ordering::Relaxed),
+            sibling_steals: c.sibling_steals.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            wakes: c.wakes.load(Ordering::Relaxed),
+            busy: c
+                .busy_ns
+                .iter()
+                .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
+                .collect(),
+            elapsed: c.started.elapsed(),
+        }
+    }
+
     /// Apply `f` to every item in parallel, returning results in input
     /// order. Blocks until all items complete; the calling thread executes
-    /// queued jobs while waiting. Panics in `f` are collected and re-raised
-    /// on the caller after all items finished (so borrowed data is never
-    /// left referenced by queued jobs).
+    /// queued jobs while waiting.
+    ///
+    /// # Panic propagation
+    ///
+    /// A panic inside `f` never poisons the pool. Each queued job wraps
+    /// `f` in [`catch_unwind`], so the worker thread that ran the
+    /// panicking item survives and keeps draining the queue; the payload
+    /// travels back over the result channel like a normal result. The
+    /// caller waits until **all** items have reported (so borrowed data
+    /// is never left referenced by queued jobs), then re-raises the
+    /// first panic in input order via [`resume_unwind`]. Subsequent
+    /// `parallel_map` calls on the same pool run normally — see the
+    /// `panic_propagates_after_completion` and
+    /// `pool_survives_repeated_panics` tests.
     pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -166,7 +300,7 @@ impl WorkerPool {
                 Err(TryRecvError::Empty) => {
                     // Help: run someone's job instead of spinning.
                     if let Some(job) = self.shared.steal_any() {
-                        job();
+                        self.shared.run_job(job, None);
                     } else if let Ok((i, r)) = rx.recv_timeout(Duration::from_micros(100)) {
                         results[i] = Some(r);
                         received += 1;
@@ -213,11 +347,11 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(local: Worker<Job>, shared: Arc<Shared>) {
+fn worker_loop(index: usize, local: Worker<Job>, shared: Arc<Shared>) {
     loop {
         // Drain local work first (LIFO keeps caches warm).
         if let Some(job) = local.pop() {
-            job();
+            shared.run_job(job, Some(index));
             continue;
         }
         // Refill from the injector in batches, then steal from siblings.
@@ -229,11 +363,11 @@ fn worker_loop(local: Worker<Job>, shared: Arc<Shared>) {
             }
         };
         if let Some(job) = stolen {
-            job();
+            shared.run_job(job, Some(index));
             continue;
         }
         if let Some(job) = shared.steal_any() {
-            job();
+            shared.run_job(job, Some(index));
             continue;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -245,7 +379,11 @@ fn worker_loop(local: Worker<Job>, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) || !shared.injector.is_empty() {
             continue;
         }
+        shared.counters.parks.fetch_add(1, Ordering::Relaxed);
+        shared.counters.g_parks.inc();
         shared.wake.wait_for(&mut guard, Duration::from_millis(10));
+        shared.counters.wakes.fetch_add(1, Ordering::Relaxed);
+        shared.counters.g_wakes.inc();
     }
 }
 
@@ -311,6 +449,44 @@ mod tests {
         // The pool must still be usable afterwards.
         let out = pool.parallel_map(vec![1, 2], |i: i32| i);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_survives_repeated_panics() {
+        // A panicking job must not poison the pool: workers survive via
+        // catch_unwind, locks are never held across user code, and every
+        // later parallel_map completes normally.
+        let pool = WorkerPool::new(4);
+        for round in 0..5 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_map((0..32).collect(), |i: usize| {
+                    if i % 7 == round {
+                        panic!("round {round}");
+                    }
+                    i
+                })
+            }));
+            assert!(result.is_err(), "round {round} should panic");
+            let ok = pool.parallel_map((0..32).collect(), |i: usize| i * 2);
+            assert_eq!(ok.len(), 32, "pool unusable after panic round {round}");
+        }
+    }
+
+    #[test]
+    fn stats_count_jobs_and_busy_time() {
+        let pool = WorkerPool::new(4);
+        pool.parallel_map((0..256).collect::<Vec<usize>>(), |i| {
+            // Enough work to register non-zero busy time.
+            (0..500).fold(i, |a, b| a.wrapping_add(b))
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_executed, 256);
+        assert_eq!(stats.busy.len(), 4);
+        let util = stats.utilization();
+        assert!((0.0..=1.0).contains(&util), "utilization {util} out of range");
+        // Inline fast path (n == 1) bypasses the queue entirely.
+        pool.parallel_map(vec![1], |i: i32| i);
+        assert_eq!(pool.stats().jobs_executed, 256);
     }
 
     #[test]

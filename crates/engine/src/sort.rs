@@ -116,8 +116,7 @@ mod tests {
     fn stability_preserved() {
         let pool = WorkerPool::new(4);
         // (key, original index): equal keys must keep index order.
-        let mut xs: Vec<(u32, usize)> =
-            (0..50_000).map(|i| ((i % 7) as u32, i)).collect();
+        let mut xs: Vec<(u32, usize)> = (0..50_000).map(|i| ((i % 7) as u32, i)).collect();
         parallel_sort_by(&pool, &mut xs, |a, b| a.0.cmp(&b.0));
         for w in xs.windows(2) {
             assert!(w[0].0 <= w[1].0);

@@ -88,26 +88,41 @@ impl Federation {
         self.nodes.iter().map(|n| n.id.as_str()).collect()
     }
 
-    /// One request/response exchange with a node, recorded in `log`.
+    /// One request/response exchange with a node, recorded in `log` and
+    /// in the `nggc_fed_*` metrics (per-node request counts, latency
+    /// histogram, failure counts).
     pub fn call(
         &self,
         node_id: &str,
         request: Request,
         log: &mut TransferLog,
     ) -> Result<Response, FederationError> {
-        let node = self
-            .nodes
-            .iter()
-            .find(|n| n.id == node_id)
-            .ok_or_else(|| FederationError::UnknownNode(node_id.to_owned()))?;
+        let reg = nggc_obs::global();
+        let kind = request.kind();
+        reg.counter_with("nggc_fed_requests_total", &[("node", node_id), ("kind", kind)]).inc();
+        let fail = |reason: &str| {
+            reg.counter_with("nggc_fed_failures_total", &[("node", node_id), ("reason", reason)])
+                .inc();
+        };
+        let node = self.nodes.iter().find(|n| n.id == node_id).ok_or_else(|| {
+            fail("unknown_node");
+            FederationError::UnknownNode(node_id.to_owned())
+        })?;
+        let t0 = std::time::Instant::now();
         let (reply_tx, reply_rx) = unbounded();
-        node.tx
-            .send((request.clone(), reply_tx))
-            .map_err(|_| FederationError::NodeDown(node_id.to_owned()))?;
-        let response =
-            reply_rx.recv().map_err(|_| FederationError::NodeDown(node_id.to_owned()))?;
+        node.tx.send((request.clone(), reply_tx)).map_err(|_| {
+            fail("node_down");
+            FederationError::NodeDown(node_id.to_owned())
+        })?;
+        let response = reply_rx.recv().map_err(|_| {
+            fail("node_down");
+            FederationError::NodeDown(node_id.to_owned())
+        })?;
+        reg.histogram_with("nggc_fed_request_ns", &[("node", node_id)])
+            .record_duration(t0.elapsed());
         log.record(&request, &response);
         if let Response::Error(e) = &response {
+            fail("remote_error");
             return Err(FederationError::Remote(e.clone()));
         }
         Ok(response)
@@ -184,20 +199,13 @@ impl Federation {
         let mut log = TransferLog::default();
         let data = serde_json::to_vec(upload)
             .map_err(|e| FederationError::Protocol(format!("serialising upload: {e}")))?;
-        self.call(
-            node_id,
-            Request::Upload { name: upload.name.clone(), data },
-            &mut log,
-        )?;
+        self.call(node_id, Request::Upload { name: upload.name.clone(), data }, &mut log)?;
         // Run the query; always attempt the drop, even on failure, so the
         // privacy guarantee holds.
         let result = self.ship_query(node_id, query, chunk_bytes);
         let mut drop_log = TransferLog::default();
-        let dropped = self.call(
-            node_id,
-            Request::DropUpload { name: upload.name.clone() },
-            &mut drop_log,
-        );
+        let dropped =
+            self.call(node_id, Request::DropUpload { name: upload.name.clone() }, &mut drop_log);
         let (outputs, qlog) = result?;
         dropped?;
         log.requests += qlog.requests + drop_log.requests;
@@ -224,10 +232,9 @@ impl Federation {
                 &mut log,
             )? {
                 Response::WholeDataset { data } => {
-                    let ds: Dataset =
-                        serde_json::from_slice(&data).map_err(|e| {
-                            FederationError::Protocol(format!("bad dataset payload: {e}"))
-                        })?;
+                    let ds: Dataset = serde_json::from_slice(&data).map_err(|e| {
+                        FederationError::Protocol(format!("bad dataset payload: {e}"))
+                    })?;
                     engine.register(ds);
                 }
                 other => return Err(FederationError::Protocol(format!("{other:?}"))),
@@ -311,14 +318,11 @@ impl Federation {
             if owner == &host {
                 continue;
             }
-            let data = match self.call(
-                owner,
-                Request::FetchDataset { name: src.clone() },
-                &mut log,
-            )? {
-                Response::WholeDataset { data } => data,
-                other => return Err(FederationError::Protocol(format!("{other:?}"))),
-            };
+            let data =
+                match self.call(owner, Request::FetchDataset { name: src.clone() }, &mut log)? {
+                    Response::WholeDataset { data } => data,
+                    other => return Err(FederationError::Protocol(format!("{other:?}"))),
+                };
             self.call(&host, Request::Upload { name: src.clone(), data }, &mut log)?;
             shipped.push((src.clone(), owner.clone()));
         }
@@ -370,17 +374,19 @@ mod tests {
         for i in 0..n_samples {
             let regions = (0..regions_per_sample)
                 .map(|j| {
-                    GRegion::new("chr1", (j * 1000) as u64, (j * 1000 + 200) as u64, Strand::Unstranded)
-                        .with_values(vec![0.001.into()])
+                    GRegion::new(
+                        "chr1",
+                        (j * 1000) as u64,
+                        (j * 1000 + 200) as u64,
+                        Strand::Unstranded,
+                    )
+                    .with_values(vec![0.001.into()])
                 })
                 .collect();
             ds.add_sample(
-                Sample::new(format!("s{i}"), "PEAKS")
-                    .with_regions(regions)
-                    .with_metadata(Metadata::from_pairs([(
-                        "cell",
-                        if i % 2 == 0 { "HeLa" } else { "K562" },
-                    )])),
+                Sample::new(format!("s{i}"), "PEAKS").with_regions(regions).with_metadata(
+                    Metadata::from_pairs([("cell", if i % 2 == 0 { "HeLa" } else { "K562" })]),
+                ),
             )
             .unwrap();
         }
@@ -395,8 +401,7 @@ mod tests {
         fed
     }
 
-    const QUERY: &str =
-        "X = SELECT(cell == 'HeLa'; region: left < 5000) PEAKS; MATERIALIZE X;";
+    const QUERY: &str = "X = SELECT(cell == 'HeLa'; region: left < 5000) PEAKS; MATERIALIZE X;";
 
     #[test]
     fn discovery_lists_remote_datasets() {
@@ -516,11 +521,9 @@ mod tests {
         // A private user sample: one region overlapping the node's peaks.
         let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
         let mut mine = Dataset::new("MY_REGIONS", schema);
-        mine.add_sample(
-            Sample::new("user", "MY_REGIONS").with_regions(vec![
-                GRegion::new("chr1", 0, 2_000, Strand::Unstranded).with_values(vec![0.5.into()]),
-            ]),
-        )
+        mine.add_sample(Sample::new("user", "MY_REGIONS").with_regions(vec![
+            GRegion::new("chr1", 0, 2_000, Strand::Unstranded).with_values(vec![0.5.into()]),
+        ]))
         .unwrap();
 
         let (out, log) = fed
@@ -550,7 +553,12 @@ mod tests {
         let fed = federation();
         let shadow = Dataset::new("PEAKS", Schema::empty());
         assert!(matches!(
-            fed.ship_query_with_upload("polimi", &shadow, "R = SELECT() PEAKS; MATERIALIZE R;", 8192),
+            fed.ship_query_with_upload(
+                "polimi",
+                &shadow,
+                "R = SELECT() PEAKS; MATERIALIZE R;",
+                8192
+            ),
             Err(FederationError::Remote(_))
         ));
     }
@@ -565,7 +573,10 @@ mod tests {
         // First Execute fills the single staging slot.
         let r1 = fed.call(
             "tiny",
-            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            Request::Execute {
+                query: "X = SELECT() PEAKS; MATERIALIZE X;".into(),
+                chunk_bytes: 4096,
+            },
             &mut log,
         );
         let ticket = match r1.unwrap() {
@@ -575,14 +586,20 @@ mod tests {
         // Second Execute is refused until the ticket is released.
         let r2 = fed.call(
             "tiny",
-            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            Request::Execute {
+                query: "X = SELECT() PEAKS; MATERIALIZE X;".into(),
+                chunk_bytes: 4096,
+            },
             &mut log,
         );
         assert!(matches!(r2, Err(FederationError::Remote(msg)) if msg.contains("staging full")));
         fed.call("tiny", Request::Release { ticket }, &mut log).unwrap();
         let r3 = fed.call(
             "tiny",
-            Request::Execute { query: "X = SELECT() PEAKS; MATERIALIZE X;".into(), chunk_bytes: 4096 },
+            Request::Execute {
+                query: "X = SELECT() PEAKS; MATERIALIZE X;".into(),
+                chunk_bytes: 4096,
+            },
             &mut log,
         );
         assert!(matches!(r3, Ok(Response::Accepted { .. })));

@@ -15,6 +15,4 @@ pub mod protocol;
 
 pub use federation::{DistributedPlan, Federation, FederationError};
 pub use node::{decode_staged, FederationNode};
-pub use protocol::{
-    DatasetSummary, Request, Response, SizeEstimate, TransferLog,
-};
+pub use protocol::{DatasetSummary, Request, Response, SizeEstimate, TransferLog};

@@ -182,9 +182,7 @@ impl FederationNode {
             }
             Request::Upload { name, data } => {
                 if self.datasets.iter().any(|(n, _)| n == name) {
-                    return Response::Error(format!(
-                        "{name:?} collides with a repository dataset"
-                    ));
+                    return Response::Error(format!("{name:?} collides with a repository dataset"));
                 }
                 match serde_json::from_slice::<Dataset>(data) {
                     Ok(mut ds) => {
@@ -246,8 +244,8 @@ pub fn decode_staged(payload: &[u8]) -> Result<Vec<(String, Dataset)>, String> {
         if pos + body_len > payload.len() {
             return Err("truncated body".to_owned());
         }
-        let dataset: Dataset = serde_json::from_slice(&payload[pos..pos + body_len])
-            .map_err(|e| e.to_string())?;
+        let dataset: Dataset =
+            serde_json::from_slice(&payload[pos..pos + body_len]).map_err(|e| e.to_string())?;
         pos += body_len;
         out.push((name, dataset));
     }
@@ -266,10 +264,13 @@ mod tests {
         for i in 0..3 {
             ds.add_sample(
                 Sample::new(format!("s{i}"), "PEAKS")
-                    .with_regions(vec![
-                        GRegion::new("chr1", i * 100, i * 100 + 50, Strand::Unstranded)
-                            .with_values(vec![0.01.into()]),
-                    ])
+                    .with_regions(vec![GRegion::new(
+                        "chr1",
+                        i * 100,
+                        i * 100 + 50,
+                        Strand::Unstranded,
+                    )
+                    .with_values(vec![0.01.into()])])
                     .with_metadata(Metadata::from_pairs([(
                         "cell",
                         if i == 0 { "HeLa" } else { "K562" },

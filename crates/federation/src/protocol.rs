@@ -147,6 +147,21 @@ impl Request {
     pub fn wire_size(&self) -> usize {
         serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
     }
+
+    /// Variant name, used as the `kind` label of federation metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::ListDatasets => "ListDatasets",
+            Request::DatasetInfo { .. } => "DatasetInfo",
+            Request::Compile { .. } => "Compile",
+            Request::Execute { .. } => "Execute",
+            Request::FetchChunk { .. } => "FetchChunk",
+            Request::FetchDataset { .. } => "FetchDataset",
+            Request::Release { .. } => "Release",
+            Request::Upload { .. } => "Upload",
+            Request::DropUpload { .. } => "DropUpload",
+        }
+    }
 }
 
 impl Response {

@@ -107,7 +107,9 @@ pub fn parse_bed(text: &str, opts: &BedOptions) -> Result<Vec<GRegion>, FormatEr
         }
         if opts.standard_columns >= 5 {
             values.push(match fields.get(4) {
-                Some(v) => Value::parse_as(v, ValueType::Float).map_err(nggc_gdm::GdmError::from)?,
+                Some(v) => {
+                    Value::parse_as(v, ValueType::Float).map_err(nggc_gdm::GdmError::from)?
+                }
                 None => Value::Null,
             });
         }

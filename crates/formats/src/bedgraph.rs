@@ -24,7 +24,10 @@ pub fn parse_bedgraph(text: &str) -> Result<Vec<GRegion>, FormatError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 4 {
-            return Err(FormatError::malformed(lineno, format!("expected 4 fields, found {}", fields.len())));
+            return Err(FormatError::malformed(
+                lineno,
+                format!("expected 4 fields, found {}", fields.len()),
+            ));
         }
         let start: u64 = fields[1]
             .parse()

@@ -40,10 +40,8 @@ impl FileFormat {
     /// Detect from a file extension (`.bed`, `.narrowPeak`, `.broadPeak`,
     /// `.gtf`, `.vcf`, `.bedgraph`/`.bdg`).
     pub fn from_path(path: &Path) -> Result<FileFormat, FormatError> {
-        let ext = path
-            .extension()
-            .map(|e| e.to_string_lossy().to_ascii_lowercase())
-            .unwrap_or_default();
+        let ext =
+            path.extension().map(|e| e.to_string_lossy().to_ascii_lowercase()).unwrap_or_default();
         match ext.as_str() {
             "bed" => Ok(FileFormat::Bed),
             "narrowpeak" => Ok(FileFormat::NarrowPeak),

@@ -85,11 +85,8 @@ fn parse_gff3_attributes(blob: &str) -> Vec<(String, String)> {
         .filter_map(|part| {
             let part = part.trim();
             let (k, v) = part.split_once('=')?;
-            let v = v
-                .replace("%3B", ";")
-                .replace("%3D", "=")
-                .replace("%26", "&")
-                .replace("%2C", ",");
+            let v =
+                v.replace("%3B", ";").replace("%3D", "=").replace("%26", "&").replace("%2C", ",");
             Some((k.to_owned(), v))
         })
         .collect()

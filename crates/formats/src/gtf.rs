@@ -36,7 +36,10 @@ pub fn parse_gtf(text: &str) -> Result<Vec<GRegion>, FormatError> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() < 9 {
-            return Err(FormatError::malformed(lineno, format!("expected 9 fields, found {}", fields.len())));
+            return Err(FormatError::malformed(
+                lineno,
+                format!("expected 9 fields, found {}", fields.len()),
+            ));
         }
         let start: u64 = fields[3]
             .parse()
@@ -45,7 +48,10 @@ pub fn parse_gtf(text: &str) -> Result<Vec<GRegion>, FormatError> {
             .parse()
             .map_err(|_| FormatError::malformed(lineno, format!("bad end {:?}", fields[4])))?;
         if start == 0 {
-            return Err(FormatError::malformed(lineno, "GTF coordinates are 1-based; start 0 is invalid"));
+            return Err(FormatError::malformed(
+                lineno,
+                "GTF coordinates are 1-based; start 0 is invalid",
+            ));
         }
         if end < start {
             return Err(FormatError::malformed(lineno, format!("end {end} < start {start}")));

@@ -31,6 +31,8 @@ pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
     type Pending = (FileFormat, Vec<(PathBuf, String)>);
     let mut by_format: BTreeMap<&'static str, Pending> = BTreeMap::new();
     let mut report = LoadReport::default();
+    let mut span = nggc_obs::span("loader.load_directory");
+    span.field("dir", dir.display());
 
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
@@ -59,17 +61,28 @@ pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
         .file_name()
         .map(|n| n.to_string_lossy().to_uppercase())
         .unwrap_or_else(|| "IMPORT".to_owned());
+    let reg = nggc_obs::global();
     for (label, (format, files)) in by_format {
         let mut dataset = Dataset::new(format!("{dir_name}_{label}"), format.schema());
+        // Per-format parse metrics: file/row/error counts and parse wall
+        // time, labelled by the format name.
+        let c_files = reg.counter_with("nggc_loader_files_total", &[("format", label)]);
+        let c_rows = reg.counter_with("nggc_loader_rows_total", &[("format", label)]);
+        let c_errors = reg.counter_with("nggc_loader_parse_errors_total", &[("format", label)]);
+        let h_parse = reg.histogram_with("nggc_loader_parse_ns", &[("format", label)]);
         for (path, text) in files {
-            match format.parse(&text) {
+            let t0 = std::time::Instant::now();
+            let parsed = format.parse(&text);
+            h_parse.record_duration(t0.elapsed());
+            c_files.inc();
+            match parsed {
                 Ok(regions) => {
+                    c_rows.add(regions.len() as u64);
                     let stem = path
                         .file_stem()
                         .map(|s| s.to_string_lossy().into_owned())
                         .unwrap_or_else(|| "sample".to_owned());
-                    let mut sample =
-                        Sample::new(stem, &dataset.name).with_regions(regions);
+                    let mut sample = Sample::new(stem, &dataset.name).with_regions(regions);
                     let sidecar = path.with_extension(format!(
                         "{}.meta",
                         path.extension().map(|e| e.to_string_lossy()).unwrap_or_default()
@@ -83,13 +96,19 @@ pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
                     sample.metadata.insert("format", label.to_owned());
                     dataset.add_sample_unchecked(sample);
                 }
-                Err(e) => report.failed.push((path, e.to_string())),
+                Err(e) => {
+                    c_errors.inc();
+                    report.failed.push((path, e.to_string()));
+                }
             }
         }
         if dataset.sample_count() > 0 {
             report.datasets.push(dataset);
         }
     }
+    span.field("datasets", report.datasets.len())
+        .field("skipped", report.skipped.len())
+        .field("failed", report.failed.len());
     Ok(report)
 }
 
@@ -158,6 +177,30 @@ mod tests {
         assert_eq!(report.datasets[0].sample_count(), 1);
         assert_eq!(report.failed.len(), 1);
         assert!(report.failed[0].1.contains("bad start"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_metrics_recorded() {
+        let reg = nggc_obs::global();
+        let files0 = reg.counter_with("nggc_loader_files_total", &[("format", "BED")]).get();
+        let rows0 = reg.counter_with("nggc_loader_rows_total", &[("format", "BED")]).get();
+        let errs0 = reg.counter_with("nggc_loader_parse_errors_total", &[("format", "BED")]).get();
+        let dir = setup("metrics");
+        fs::write(dir.join("good.bed"), "chr1\t0\t10\nchr1\t20\t30\n").unwrap();
+        fs::write(dir.join("bad.bed"), "chr1\tnope\t10\n").unwrap();
+        load_directory(&dir).unwrap();
+        // Deltas are >= because other tests may load BED files in parallel.
+        assert!(
+            reg.counter_with("nggc_loader_files_total", &[("format", "BED")]).get() >= files0 + 2
+        );
+        assert!(
+            reg.counter_with("nggc_loader_rows_total", &[("format", "BED")]).get() >= rows0 + 2
+        );
+        assert!(
+            reg.counter_with("nggc_loader_parse_errors_total", &[("format", "BED")]).get() > errs0
+        );
+        assert!(reg.histogram_with("nggc_loader_parse_ns", &[("format", "BED")]).count() >= 2);
         fs::remove_dir_all(&dir).ok();
     }
 

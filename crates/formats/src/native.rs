@@ -150,10 +150,8 @@ pub fn read_dataset(dir: &Path) -> Result<Dataset, FormatError> {
         .collect();
     entries.sort();
     for region_path in entries {
-        let stem = region_path
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default();
+        let stem =
+            region_path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
         let regions = parse_regions(&fs::read_to_string(&region_path)?, &dataset.schema)?;
         let meta_path = files.join(format!("{stem}.gdm.meta"));
         let metadata = if meta_path.exists() {
@@ -188,10 +186,8 @@ pub fn read_dataset_streaming(
         .collect();
     entries.sort();
     for region_path in entries {
-        let stem = region_path
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default();
+        let stem =
+            region_path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
         let regions = parse_regions(&fs::read_to_string(&region_path)?, &schema)?;
         let meta_path = files.join(format!("{stem}.gdm.meta"));
         let metadata = if meta_path.exists() {
@@ -226,9 +222,8 @@ mod tests {
         .unwrap();
         ds.add_sample(
             Sample::new("s2", "PEAKS")
-                .with_regions(vec![
-                    GRegion::new("chr1", 886, 1456, Strand::Unstranded).with_values(vec![0.0004.into()]),
-                ])
+                .with_regions(vec![GRegion::new("chr1", 886, 1456, Strand::Unstranded)
+                    .with_values(vec![0.0004.into()])])
                 .with_metadata(Metadata::from_pairs([("sex", "female")])),
         )
         .unwrap();

@@ -34,7 +34,10 @@ pub fn parse_vcf(text: &str) -> Result<Vec<GRegion>, FormatError> {
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() < 8 {
-            return Err(FormatError::malformed(lineno, format!("expected 8 fields, found {}", fields.len())));
+            return Err(FormatError::malformed(
+                lineno,
+                format!("expected 8 fields, found {}", fields.len()),
+            ));
         }
         let pos: u64 = fields[1]
             .parse()
@@ -65,7 +68,8 @@ pub fn parse_vcf(text: &str) -> Result<Vec<GRegion>, FormatError> {
 /// Serialise regions (under [`vcf_schema`]) back to VCF body lines with a
 /// minimal header.
 pub fn write_vcf(regions: &[GRegion]) -> String {
-    let mut out = String::from("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n");
+    let mut out =
+        String::from("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n");
     for r in regions {
         let v = |i: usize| r.values.get(i).map(Value::render).unwrap_or_else(|| ".".into());
         out.push_str(&format!(

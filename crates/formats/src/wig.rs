@@ -60,8 +60,13 @@ pub fn parse_wig(text: &str) -> Result<Vec<GRegion>, FormatError> {
                 let signal = Value::parse_as(line, ValueType::Float)
                     .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;
                 out.push(
-                    GRegion::new(chrom.as_str(), *next_start, *next_start + *span, Strand::Unstranded)
-                        .with_values(vec![signal]),
+                    GRegion::new(
+                        chrom.as_str(),
+                        *next_start,
+                        *next_start + *span,
+                        Strand::Unstranded,
+                    )
+                    .with_values(vec![signal]),
                 );
                 *next_start += *step;
             }
@@ -74,9 +79,8 @@ pub fn parse_wig(text: &str) -> Result<Vec<GRegion>, FormatError> {
                 if pos == 0 {
                     return Err(FormatError::malformed(lineno, "WIG positions are 1-based"));
                 }
-                let value = parts
-                    .next()
-                    .ok_or_else(|| FormatError::malformed(lineno, "expected value"))?;
+                let value =
+                    parts.next().ok_or_else(|| FormatError::malformed(lineno, "expected value"))?;
                 let signal = Value::parse_as(value, ValueType::Float)
                     .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;
                 out.push(
@@ -105,14 +109,16 @@ fn parse_decl(
         match k {
             "chrom" => chrom = Some(v.to_owned()),
             "start" => {
-                start = Some(v.parse().map_err(|_| {
-                    FormatError::malformed(lineno, format!("bad start {v:?}"))
-                })?)
+                start = Some(
+                    v.parse()
+                        .map_err(|_| FormatError::malformed(lineno, format!("bad start {v:?}")))?,
+                )
             }
             "step" => {
-                step = Some(v.parse().map_err(|_| {
-                    FormatError::malformed(lineno, format!("bad step {v:?}"))
-                })?)
+                step = Some(
+                    v.parse()
+                        .map_err(|_| FormatError::malformed(lineno, format!("bad step {v:?}")))?,
+                )
             }
             "span" => {
                 span = v
@@ -124,8 +130,7 @@ fn parse_decl(
             }
         }
     }
-    let chrom =
-        chrom.ok_or_else(|| FormatError::malformed(lineno, "declaration missing chrom"))?;
+    let chrom = chrom.ok_or_else(|| FormatError::malformed(lineno, "declaration missing chrom"))?;
     if span == 0 {
         return Err(FormatError::malformed(lineno, "span must be positive"));
     }

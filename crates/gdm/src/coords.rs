@@ -168,10 +168,7 @@ impl fmt::Display for Strand {
 
 /// An order key placing regions in genome order: by chromosome, then left
 /// end, then right end, then strand (`+` < `-` < `*`).
-pub fn genome_order(
-    a: (&Chrom, u64, u64, Strand),
-    b: (&Chrom, u64, u64, Strand),
-) -> Ordering {
+pub fn genome_order(a: (&Chrom, u64, u64, Strand), b: (&Chrom, u64, u64, Strand)) -> Ordering {
     fn strand_rank(s: Strand) -> u8 {
         match s {
             Strand::Pos => 0,

@@ -63,7 +63,9 @@ impl Dataset {
                     GdmError::TypeMismatch { attribute, expected, got } => {
                         GdmError::SampleSchemaMismatch {
                             sample: s.name.clone(),
-                            reason: format!("attribute {attribute}: expected {expected}, got {got}"),
+                            reason: format!(
+                                "attribute {attribute}: expected {expected}, got {got}"
+                            ),
                         }
                     }
                     other => other,
@@ -155,9 +157,10 @@ mod tests {
         let mut ds = Dataset::new("PEAKS", peaks_schema());
         let good = Sample::new("s1", "PEAKS").with_regions(vec![peak("chr1", 0, 10, 0.01)]);
         ds.add_sample(good).unwrap();
-        let bad = Sample::new("s2", "PEAKS").with_regions(vec![
-            GRegion::new("chr1", 0, 5, Strand::Pos).with_values(vec![Value::Str("x".into())]),
-        ]);
+        let bad =
+            Sample::new("s2", "PEAKS")
+                .with_regions(vec![GRegion::new("chr1", 0, 5, Strand::Pos)
+                    .with_values(vec![Value::Str("x".into())])]);
         assert!(ds.add_sample(bad).is_err());
         assert_eq!(ds.sample_count(), 1);
     }

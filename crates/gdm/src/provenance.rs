@@ -49,11 +49,7 @@ impl Provenance {
         detail: impl Into<String>,
         inputs: Vec<Arc<Provenance>>,
     ) -> Arc<Provenance> {
-        Arc::new(Provenance::Derived {
-            operator: operator.into(),
-            detail: detail.into(),
-            inputs,
-        })
+        Arc::new(Provenance::Derived { operator: operator.into(), detail: detail.into(), inputs })
     }
 
     /// All source `(dataset, sample)` pairs reachable from this lineage,

@@ -72,7 +72,8 @@ impl GRegion {
     /// half-open intervals intersect. Zero-length regions overlap when they
     /// fall strictly inside the other (BED convention).
     pub fn overlaps(&self, other: &GRegion) -> bool {
-        self.chrom == other.chrom && interval_overlap(self.left, self.right, other.left, other.right)
+        self.chrom == other.chrom
+            && interval_overlap(self.left, self.right, other.left, other.right)
     }
 
     /// Overlap that additionally requires strand compatibility, the default

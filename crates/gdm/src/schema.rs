@@ -116,9 +116,7 @@ impl Schema {
         let mut out = Schema::default();
         let mut positions = Vec::with_capacity(names.len());
         for &n in names {
-            let i = self
-                .position(n)
-                .ok_or_else(|| GdmError::UnknownAttribute(n.to_owned()))?;
+            let i = self.position(n).ok_or_else(|| GdmError::UnknownAttribute(n.to_owned()))?;
             positions.push(i);
             out.push(self.attrs[i].clone())?;
         }
@@ -160,9 +158,7 @@ impl Schema {
                         n += 1;
                     };
                     right_map.push(merged.attrs.len());
-                    merged
-                        .push(Attribute::new(renamed, a.ty))
-                        .expect("renamed attribute is fresh");
+                    merged.push(Attribute::new(renamed, a.ty)).expect("renamed attribute is fresh");
                 }
                 None => {
                     right_map.push(merged.attrs.len());

@@ -313,7 +313,10 @@ mod tests {
         let v = Value::parse_as("3.25", ValueType::Float).unwrap();
         assert_eq!(v.render(), "3.25");
         assert_eq!(Value::Null.render(), ".");
-        assert_eq!(Value::parse_as(&Value::Int(-7).render(), ValueType::Int).unwrap(), Value::Int(-7));
+        assert_eq!(
+            Value::parse_as(&Value::Int(-7).render(), ValueType::Int).unwrap(),
+            Value::Int(-7)
+        );
     }
 
     #[test]

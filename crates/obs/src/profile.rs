@@ -1,0 +1,214 @@
+//! Profiler rendering: turn collected [`SpanRecord`]s into a
+//! hierarchical tree (for `nggc query --profile`) and a top-k operator
+//! table ranked by self time.
+
+use crate::trace::SpanRecord;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Render spans as an indented tree. Roots are spans whose parent is
+/// absent from the set; children print in start order. Each line shows
+/// wall time, the span name, and its fields.
+pub fn render_span_tree(records: &[SpanRecord]) -> String {
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+    for r in records {
+        match r.parent {
+            Some(p) if ids.contains(&p) => children.entry(p).or_default().push(r),
+            _ => roots.push(r),
+        }
+    }
+    let by_start = |a: &&SpanRecord, b: &&SpanRecord| a.start.cmp(&b.start);
+    roots.sort_by(by_start);
+    for v in children.values_mut() {
+        v.sort_by(by_start);
+    }
+
+    let mut out = String::new();
+    fn walk(
+        r: &SpanRecord,
+        children: &HashMap<u64, Vec<&SpanRecord>>,
+        depth: usize,
+        out: &mut String,
+    ) {
+        out.push_str(&format!(
+            "{:>11} {:indent$}{}",
+            format_duration(r.wall),
+            "",
+            r.name,
+            indent = depth * 2
+        ));
+        for (k, v) in &r.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&r.id) {
+            for kid in kids {
+                walk(kid, children, depth + 1, out);
+            }
+        }
+    }
+    for r in &roots {
+        walk(r, &children, 0, &mut out);
+    }
+    out
+}
+
+/// One row of the operator table: spans aggregated by name (or by a
+/// chosen field such as `op`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRow {
+    /// Aggregation key.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Total wall time.
+    pub total: Duration,
+    /// Wall time minus the wall time of direct children (per span).
+    pub self_time: Duration,
+}
+
+/// Aggregate spans by `group_field` when present (falling back to span
+/// name) and return rows sorted by descending self time, truncated to
+/// `k`. Self time is wall time minus direct children's wall time,
+/// clamped at zero.
+pub fn top_k_operators(records: &[SpanRecord], group_field: Option<&str>, k: usize) -> Vec<OpRow> {
+    // Direct-children wall sums, for self-time.
+    let mut child_wall: HashMap<u64, Duration> = HashMap::new();
+    for r in records {
+        if let Some(p) = r.parent {
+            *child_wall.entry(p).or_default() += r.wall;
+        }
+    }
+    let mut rows: HashMap<String, OpRow> = HashMap::new();
+    for r in records {
+        let key = group_field.and_then(|f| r.field(f)).unwrap_or(&r.name).to_owned();
+        let self_time = r.wall.saturating_sub(child_wall.get(&r.id).copied().unwrap_or_default());
+        let row = rows.entry(key.clone()).or_insert(OpRow {
+            name: key,
+            count: 0,
+            total: Duration::ZERO,
+            self_time: Duration::ZERO,
+        });
+        row.count += 1;
+        row.total += r.wall;
+        row.self_time += self_time;
+    }
+    let mut rows: Vec<OpRow> = rows.into_values().collect();
+    rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then_with(|| a.name.cmp(&b.name)));
+    rows.truncate(k);
+    rows
+}
+
+/// Render the top-k operator table as aligned text.
+pub fn render_top_k(records: &[SpanRecord], group_field: Option<&str>, k: usize) -> String {
+    let rows = top_k_operators(records, group_field, k);
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(8).max(8);
+    let mut out =
+        format!("{:<name_w$} {:>7} {:>11} {:>11}\n", "operator", "count", "total", "self");
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<name_w$} {:>7} {:>11} {:>11}\n",
+            r.name,
+            r.count,
+            format_duration(r.total),
+            format_duration(r.self_time),
+        ));
+    }
+    out
+}
+
+/// Fixed-width human duration (µs below 1 ms, ms below 1 s, else s).
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, start_us: u64, wall_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            start: Duration::from_micros(start_us),
+            wall: Duration::from_micros(wall_us),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_indents_children_under_parents() {
+        let records = vec![
+            rec(2, Some(1), "child_a", 5, 40),
+            rec(3, Some(1), "child_b", 50, 30),
+            rec(1, None, "root", 0, 100),
+        ];
+        let text = render_span_tree(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("root"));
+        assert!(lines[1].contains("  child_a"), "{text}");
+        assert!(lines[2].contains("  child_b"), "{text}");
+        // Children sorted by start time.
+        assert!(lines[1].contains("child_a") && lines[2].contains("child_b"));
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let records = vec![rec(7, Some(99), "orphan", 0, 10)];
+        let text = render_span_tree(&records);
+        assert!(text.contains("orphan"));
+        assert!(!text.contains("  orphan"), "orphan must not be indented: {text}");
+    }
+
+    #[test]
+    fn top_k_ranks_by_self_time() {
+        let records = vec![
+            rec(1, None, "outer", 0, 100),
+            rec(2, Some(1), "inner", 10, 80),
+            rec(3, Some(2), "leaf", 20, 10),
+        ];
+        let rows = top_k_operators(&records, None, 10);
+        // outer self = 100-80 = 20, inner self = 80-10 = 70, leaf = 10.
+        assert_eq!(rows[0].name, "inner");
+        assert_eq!(rows[0].self_time, Duration::from_micros(70));
+        assert_eq!(rows[1].name, "outer");
+        assert_eq!(rows[2].name, "leaf");
+        let top1 = top_k_operators(&records, None, 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn top_k_groups_by_field() {
+        let mut a = rec(1, None, "exec.node", 0, 50);
+        a.fields.push(("op".into(), "Select".into()));
+        let mut b = rec(2, None, "exec.node", 60, 30);
+        b.fields.push(("op".into(), "Select".into()));
+        let mut c = rec(3, None, "exec.node", 100, 20);
+        c.fields.push(("op".into(), "Join".into()));
+        let rows = top_k_operators(&[a, b, c], Some("op"), 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "Select");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total, Duration::from_micros(80));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

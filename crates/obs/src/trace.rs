@@ -1,0 +1,318 @@
+//! Structured tracing: spans with parent ids, wall time, and
+//! `key=value` fields, delivered to pluggable subscribers.
+//!
+//! A span is opened with [`span`] and closed when its [`SpanGuard`]
+//! drops; the finished [`SpanRecord`] is then handed to every
+//! registered [`Subscriber`]. Parenting is tracked per thread: the span
+//! most recently opened (and not yet closed) on the current thread is
+//! the parent of the next one. Children therefore close before their
+//! parents, so collectors see leaves first.
+//!
+//! When no subscriber is registered, [`span`] returns an inert guard
+//! whose open and drop cost one relaxed atomic load each.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// A finished span, as delivered to subscribers.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, never reused).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `exec.node` or `loader.parse`).
+    pub name: String,
+    /// Start time relative to the process trace epoch.
+    pub start: Duration,
+    /// Wall-clock time between open and close.
+    pub wall: Duration,
+    /// `key=value` fields attached while the span was open.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Look up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Receives finished spans.
+pub trait Subscriber: Send + Sync {
+    /// Called once per span, at close time.
+    fn on_span(&self, span: &SpanRecord);
+}
+
+struct SubscriberSet {
+    // `active` mirrors `subs.is_empty()` so `span()` can skip the lock.
+    active: AtomicBool,
+    subs: RwLock<Vec<Arc<dyn Subscriber>>>,
+}
+
+fn subscribers() -> &'static SubscriberSet {
+    static SUBS: OnceLock<SubscriberSet> = OnceLock::new();
+    SUBS.get_or_init(|| SubscriberSet {
+        active: AtomicBool::new(false),
+        subs: RwLock::new(Vec::new()),
+    })
+}
+
+/// Register a subscriber; it receives every span closed from now on.
+pub fn add_subscriber(sub: Arc<dyn Subscriber>) {
+    let set = subscribers();
+    set.subs.write().unwrap().push(sub);
+    set.active.store(true, Ordering::Release);
+}
+
+/// Remove all subscribers (tests and the end of a `--profile` run).
+pub fn clear_subscribers() {
+    let set = subscribers();
+    set.subs.write().unwrap().clear();
+    set.active.store(false, Ordering::Release);
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Stack of currently-open span ids on this thread.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Open a span. Fields may be attached on the returned guard; the span
+/// is reported when the guard drops.
+pub fn span(name: &str) -> SpanGuard {
+    if !subscribers().active.load(Ordering::Acquire) {
+        return SpanGuard { inner: None };
+    }
+    let id = next_id();
+    let parent = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    let now = Instant::now();
+    SpanGuard {
+        inner: Some(OpenSpan {
+            id,
+            parent,
+            name: name.to_owned(),
+            start: now.duration_since(epoch()),
+            opened: now,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Duration,
+    opened: Instant,
+    fields: Vec<(String, String)>,
+}
+
+/// RAII handle for an open span.
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Attach a `key=value` field (no-op on an inert guard).
+    pub fn field(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        if let Some(open) = &mut self.inner {
+            open.fields.push((key.to_owned(), value.to_string()));
+        }
+        self
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Usually the top of the stack; be robust to out-of-order
+            // drops across scopes.
+            if let Some(pos) = s.iter().rposition(|&id| id == open.id) {
+                s.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start: open.start,
+            wall: open.opened.elapsed(),
+            fields: open.fields,
+        };
+        for sub in subscribers().subs.read().unwrap().iter() {
+            sub.on_span(&record);
+        }
+    }
+}
+
+/// Collects spans in memory; feeds the profiler and tests.
+#[derive(Default)]
+pub struct MemorySubscriber {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemorySubscriber {
+    /// New empty collector.
+    pub fn new() -> MemorySubscriber {
+        MemorySubscriber::default()
+    }
+
+    /// Snapshot of every span collected so far (close order: leaves
+    /// before their parents).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Number of spans collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        self.records.lock().unwrap().push(span.clone());
+    }
+}
+
+/// Pretty-prints each span to stderr as it closes.
+#[derive(Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn on_span(&self, span: &SpanRecord) {
+        let mut line = format!(
+            "[trace] {:>10.3?} {} (#{}{})",
+            span.wall,
+            span.name,
+            span.id,
+            match span.parent {
+                Some(p) => format!(" <- #{p}"),
+                None => String::new(),
+            }
+        );
+        for (k, v) in &span.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Subscribers are process-global, so every test in this module runs
+    // under one lock to avoid cross-talk.
+    fn with_collector(f: impl FnOnce(&Arc<MemorySubscriber>)) {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        clear_subscribers();
+        let collector = Arc::new(MemorySubscriber::new());
+        add_subscriber(collector.clone() as Arc<dyn Subscriber>);
+        f(&collector);
+        clear_subscribers();
+    }
+
+    #[test]
+    fn spans_record_name_fields_and_wall_time() {
+        with_collector(|collector| {
+            {
+                let mut s = span("unit.work");
+                s.field("rows", 42).field("kind", "test");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let records = collector.records();
+            assert_eq!(records.len(), 1);
+            let r = &records[0];
+            assert_eq!(r.name, "unit.work");
+            assert_eq!(r.field("rows"), Some("42"));
+            assert_eq!(r.field("kind"), Some("test"));
+            assert!(r.wall >= Duration::from_millis(2));
+            assert!(r.parent.is_none());
+        });
+    }
+
+    #[test]
+    fn nested_spans_set_parent_ids() {
+        with_collector(|collector| {
+            {
+                let _outer = span("outer");
+                {
+                    let _mid = span("mid");
+                    let _leaf = span("leaf");
+                }
+                let _sibling = span("sibling");
+            }
+            let records = collector.records();
+            assert_eq!(records.len(), 4);
+            let by_name = |n: &str| records.iter().find(|r| r.name == n).unwrap();
+            let outer = by_name("outer");
+            let mid = by_name("mid");
+            let leaf = by_name("leaf");
+            let sibling = by_name("sibling");
+            assert_eq!(mid.parent, Some(outer.id));
+            assert_eq!(leaf.parent, Some(mid.id));
+            assert_eq!(sibling.parent, Some(outer.id));
+            // Close order: leaves before parents.
+            let pos = |n: &str| records.iter().position(|r| r.name == n).unwrap();
+            assert!(pos("leaf") < pos("mid"));
+            assert!(pos("mid") < pos("outer"));
+        });
+    }
+
+    #[test]
+    fn no_subscriber_means_inert_guards() {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock();
+        clear_subscribers();
+        let s = span("ignored");
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn threads_have_independent_parent_stacks() {
+        with_collector(|collector| {
+            let _outer = span("main_outer");
+            std::thread::spawn(|| {
+                let _t = span("thread_root");
+            })
+            .join()
+            .unwrap();
+            drop(_outer);
+            let records = collector.records();
+            let troot = records.iter().find(|r| r.name == "thread_root").unwrap();
+            // A span on another thread is not parented to this thread's.
+            assert!(troot.parent.is_none());
+        });
+    }
+}

@@ -140,12 +140,8 @@ pub fn parse_obo(text: &str) -> Result<Ontology, OboError> {
         if remaining.len() == before {
             // No progress: some parent is missing (or a cycle exists).
             let t = remaining[0];
-            let parent = t
-                .parents
-                .iter()
-                .find(|p| !placed.contains_key(*p))
-                .cloned()
-                .unwrap_or_default();
+            let parent =
+                t.parents.iter().find(|p| !placed.contains_key(*p)).cloned().unwrap_or_default();
             return Err(OboError::UnknownParent { term: t.id.clone(), parent });
         }
     }
@@ -226,10 +222,7 @@ is_obsolete: true
 
     #[test]
     fn errors_detected() {
-        assert!(matches!(
-            parse_obo("[Term]\nname: no id here\n"),
-            Err(OboError::MissingId { .. })
-        ));
+        assert!(matches!(parse_obo("[Term]\nname: no id here\n"), Err(OboError::MissingId { .. })));
         assert!(matches!(
             parse_obo("[Term]\nid: X\nname: x\nis_a: GHOST\n"),
             Err(OboError::UnknownParent { .. })

@@ -13,8 +13,14 @@ use nggc_formats::native;
 use nggc_gdm::{Dataset, DatasetStats, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Datasets kept in the in-memory read cache (FIFO eviction).
+const CACHE_CAPACITY: usize = 8;
 
 /// One catalog entry.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -27,11 +33,46 @@ pub struct CatalogEntry {
     pub stats: DatasetStats,
 }
 
-/// An on-disk dataset repository.
+/// An on-disk dataset repository with a small in-memory read cache.
+///
+/// [`Repository::load`] keeps the last [`CACHE_CAPACITY`] loaded
+/// datasets in memory (FIFO eviction); `save`/`delete` invalidate the
+/// cached copy. Cache traffic and load/save latency are reported to the
+/// global `nggc-obs` registry (`nggc_repo_*`).
 #[derive(Debug)]
 pub struct Repository {
     root: PathBuf,
     catalog: BTreeMap<String, CatalogEntry>,
+    cache: Mutex<DatasetCache>,
+}
+
+#[derive(Debug, Default)]
+struct DatasetCache {
+    entries: BTreeMap<String, Dataset>,
+    order: VecDeque<String>,
+}
+
+impl DatasetCache {
+    fn get(&self, name: &str) -> Option<Dataset> {
+        self.entries.get(name).cloned()
+    }
+
+    fn insert(&mut self, name: String, dataset: Dataset) {
+        if self.entries.insert(name.clone(), dataset).is_none() {
+            self.order.push_back(name);
+            while self.entries.len() > CACHE_CAPACITY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn invalidate(&mut self, name: &str) {
+        if self.entries.remove(name).is_some() {
+            self.order.retain(|n| n != name);
+        }
+    }
 }
 
 impl Repository {
@@ -46,7 +87,7 @@ impl Repository {
         } else {
             BTreeMap::new()
         };
-        Ok(Repository { root, catalog })
+        Ok(Repository { root, catalog, cache: Mutex::new(DatasetCache::default()) })
     }
 
     /// The repository root directory.
@@ -54,16 +95,21 @@ impl Repository {
         &self.root
     }
 
-    /// Save (or replace) a dataset; updates the catalog.
+    /// Save (or replace) a dataset; updates the catalog and invalidates
+    /// any cached copy.
     pub fn save(&mut self, dataset: &Dataset) -> Result<(), RepoError> {
+        let mut span = nggc_obs::span("repo.save");
+        span.field("dataset", &dataset.name);
+        let t0 = Instant::now();
         dataset.validate().map_err(RepoError::Model)?;
         let dir = self.dataset_dir(&dataset.name);
         if dir.exists() {
             fs::remove_dir_all(&dir)?;
         }
         native::write_dataset(dataset, &dir)?;
-        // Any persisted metadata index is now stale.
+        // Any persisted metadata index is now stale, as is the cache.
         fs::remove_file(self.root.join("meta_index.json")).ok();
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).invalidate(&dataset.name);
         self.catalog.insert(
             dataset.name.clone(),
             CatalogEntry {
@@ -72,15 +118,36 @@ impl Repository {
                 stats: dataset.stats(),
             },
         );
-        self.flush_catalog()
+        let out = self.flush_catalog();
+        let reg = nggc_obs::global();
+        reg.counter("nggc_repo_saves_total").inc();
+        reg.histogram("nggc_repo_save_ns").record_duration(t0.elapsed());
+        out
     }
 
-    /// Load a dataset by name.
+    /// Load a dataset by name, from the in-memory cache when possible.
     pub fn load(&self, name: &str) -> Result<Dataset, RepoError> {
         if !self.catalog.contains_key(name) {
             return Err(RepoError::NotFound(name.to_owned()));
         }
-        Ok(native::read_dataset(&self.dataset_dir(name))?)
+        let reg = nggc_obs::global();
+        if let Some(cached) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(name) {
+            reg.counter("nggc_repo_cache_hits_total").inc();
+            return Ok(cached);
+        }
+        reg.counter("nggc_repo_cache_misses_total").inc();
+        let mut span = nggc_obs::span("repo.load");
+        span.field("dataset", name);
+        let t0 = Instant::now();
+        let dataset = native::read_dataset(&self.dataset_dir(name))?;
+        reg.counter("nggc_repo_loads_total").inc();
+        reg.histogram("nggc_repo_load_ns").record_duration(t0.elapsed());
+        span.field("samples", dataset.sample_count()).field("regions", dataset.region_count());
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(name.to_owned(), dataset.clone());
+        Ok(dataset)
     }
 
     /// Delete a dataset.
@@ -88,6 +155,7 @@ impl Repository {
         if self.catalog.remove(name).is_none() {
             return Err(RepoError::NotFound(name.to_owned()));
         }
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).invalidate(name);
         let dir = self.dataset_dir(name);
         if dir.exists() {
             fs::remove_dir_all(dir)?;
@@ -174,7 +242,7 @@ mod tests {
         ds.add_sample(
             Sample::new("s1", name)
                 .with_regions(vec![
-                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![0.5.into()]),
+                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![0.5.into()])
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
         )
@@ -236,6 +304,35 @@ mod tests {
         fs::write(root.join("meta_index.json"), "garbage").unwrap();
         let idx3 = repo.meta_index().unwrap();
         assert_eq!(idx3.documents(), 1);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cache_hits_and_invalidation() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("C")).unwrap();
+        let reg = nggc_obs::global();
+        let hits0 = reg.counter("nggc_repo_cache_hits_total").get();
+        let first = repo.load("C").unwrap();
+        let second = repo.load("C").unwrap();
+        assert_eq!(first.sample_count(), second.sample_count());
+        assert_eq!(first.region_count(), second.region_count());
+        assert!(
+            reg.counter("nggc_repo_cache_hits_total").get() > hits0,
+            "second load should hit the cache"
+        );
+        // Saving a new version must invalidate the cached copy.
+        let mut v2 = dataset("C");
+        v2.add_sample(Sample::new("s2", "C").with_regions(vec![
+            GRegion::new("chr3", 1, 4, Strand::Pos).with_values(vec![0.9.into()]),
+        ]))
+        .unwrap();
+        repo.save(&v2).unwrap();
+        assert_eq!(repo.load("C").unwrap().sample_count(), 2);
+        // Deleting drops both catalog entry and cache.
+        repo.delete("C").unwrap();
+        assert!(matches!(repo.load("C"), Err(RepoError::NotFound(_))));
         fs::remove_dir_all(&root).ok();
     }
 

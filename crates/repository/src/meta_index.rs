@@ -132,10 +132,8 @@ mod tests {
             ("s2", vec![("cell", "K562"), ("antibody", "CTCF"), ("treatment", "IFNg stimulation")]),
             ("s3", vec![("cell", "HeLa-S3"), ("antibody", "POLR2A")]),
         ] {
-            ds.add_sample(
-                Sample::new(name, "ENCODE").with_metadata(Metadata::from_pairs(pairs)),
-            )
-            .unwrap();
+            ds.add_sample(Sample::new(name, "ENCODE").with_metadata(Metadata::from_pairs(pairs)))
+                .unwrap();
         }
         ds
     }

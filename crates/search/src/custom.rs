@@ -59,10 +59,7 @@ impl std::error::Error for TemplateError {}
 
 impl CustomQuery {
     /// Substitute parameters into the template.
-    pub fn instantiate(
-        &self,
-        values: &BTreeMap<String, String>,
-    ) -> Result<String, TemplateError> {
+    pub fn instantiate(&self, values: &BTreeMap<String, String>) -> Result<String, TemplateError> {
         for key in values.keys() {
             if !self.params.iter().any(|p| &p.name == key) {
                 return Err(TemplateError::UnknownParam(key.clone()));

@@ -103,9 +103,7 @@ impl Host for SimulatedHost {
                     let mut pairs: Vec<(String, String)> = ds
                         .samples
                         .iter()
-                        .flat_map(|s| {
-                            s.metadata.iter().map(|(k, v)| (k.to_owned(), v.to_owned()))
-                        })
+                        .flat_map(|s| s.metadata.iter().map(|(k, v)| (k.to_owned(), v.to_owned())))
                         .collect();
                     pairs.sort();
                     pairs.dedup();
@@ -229,8 +227,7 @@ impl SearchService {
                 .metadata
                 .iter()
                 .filter(|(k, v)| {
-                    let hay: Vec<String> =
-                        tokenize(k).into_iter().chain(tokenize(v)).collect();
+                    let hay: Vec<String> = tokenize(k).into_iter().chain(tokenize(v)).collect();
                     tokens.iter().any(|t| hay.contains(t))
                 })
                 .cloned()

@@ -159,9 +159,7 @@ impl<'a> MetadataSearch<'a> {
         }
         let mut hits: Vec<Hit> =
             scores.into_iter().map(|(sample, score)| Hit { sample, score }).collect();
-        hits.sort_by(|a, b| {
-            b.score.total_cmp(&a.score).then_with(|| a.sample.cmp(&b.sample))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.sample.cmp(&b.sample)));
         hits
     }
 }

@@ -69,10 +69,8 @@ pub fn compute_features(
             Feature::Attribute(name) => {
                 let pos = dataset.schema.position(name);
                 for (row, r) in rows.iter_mut().zip(&candidates.regions) {
-                    let v = pos
-                        .and_then(|p| r.values.get(p))
-                        .and_then(|v| v.as_f64())
-                        .unwrap_or(0.0);
+                    let v =
+                        pos.and_then(|p| r.values.get(p)).and_then(|v| v.as_f64()).unwrap_or(0.0);
                     row.push(v);
                 }
             }
@@ -80,12 +78,7 @@ pub fn compute_features(
                 let reference = references.iter().find(|s| &s.name == ref_name);
                 for (row, r) in rows.iter_mut().zip(&candidates.regions) {
                     let count = reference
-                        .map(|s| {
-                            s.chrom_slice(&r.chrom)
-                                .iter()
-                                .filter(|x| x.overlaps(r))
-                                .count()
-                        })
+                        .map(|s| s.chrom_slice(&r.chrom).iter().filter(|x| x.overlaps(r)).count())
                         .unwrap_or(0);
                     row.push(count as f64);
                 }
@@ -134,11 +127,7 @@ pub fn rank_regions<'a>(
     target: &[f64],
     k: usize,
 ) -> Vec<RankedRegion<'a>> {
-    assert_eq!(
-        target.len(),
-        matrix.means.len(),
-        "target vector must match the feature spec arity"
-    );
+    assert_eq!(target.len(), matrix.means.len(), "target vector must match the feature spec arity");
     let mut ranked: Vec<RankedRegion<'a>> = matrix
         .rows
         .iter()
@@ -207,9 +196,8 @@ mod tests {
     #[test]
     fn ranking_prefers_similar_regions() {
         let ds = dataset();
-        let spec = FeatureSpec {
-            features: vec![Feature::Length, Feature::Attribute("signal".into())],
-        };
+        let spec =
+            FeatureSpec { features: vec![Feature::Length, Feature::Attribute("signal".into())] };
         let m = compute_features(&ds.samples[0], &spec, &ds, &[], &|_| None);
         // Target: short, strong-signal region → index 2 is the best match.
         let ranked = rank_regions(&ds.samples[0], &m, &[100.0, 9.0], 2);

@@ -100,24 +100,18 @@ pub fn generate_annotations(genome: &Genome, config: &AnnotationConfig) -> (Data
     let mut regions = Vec::with_capacity(genes.len() * 2);
     for g in &genes {
         regions.push(
-            GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand).with_values(vec![
-                Value::Str("gene".into()),
-                Value::Str(g.name.clone()),
-            ]),
+            GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand)
+                .with_values(vec![Value::Str("gene".into()), Value::Str(g.name.clone())]),
         );
         regions.push(
-            GRegion::new(g.chrom.as_str(), g.promoter.0, g.promoter.1, g.strand).with_values(
-                vec![Value::Str("promoter".into()), Value::Str(g.name.clone())],
-            ),
+            GRegion::new(g.chrom.as_str(), g.promoter.0, g.promoter.1, g.strand)
+                .with_values(vec![Value::Str("promoter".into()), Value::Str(g.name.clone())]),
         );
     }
     let mut ds = Dataset::new("ANNOTATIONS", annotation_schema());
-    let sample = Sample::new("ucsc_synthetic", "ANNOTATIONS")
-        .with_regions(regions)
-        .with_metadata(Metadata::from_pairs([
-            ("source", "synthetic-ucsc"),
-            ("assembly", "synth-hg"),
-        ]));
+    let sample = Sample::new("ucsc_synthetic", "ANNOTATIONS").with_regions(regions).with_metadata(
+        Metadata::from_pairs([("source", "synthetic-ucsc"), ("assembly", "synth-hg")]),
+    );
     ds.add_sample_unchecked(sample);
     (ds, genes)
 }
@@ -148,10 +142,8 @@ mod tests {
     #[test]
     fn dataset_has_two_regions_per_gene() {
         let genome = Genome::human(0.001);
-        let (ds, genes) = generate_annotations(&genome, &AnnotationConfig {
-            genes: 100,
-            ..Default::default()
-        });
+        let (ds, genes) =
+            generate_annotations(&genome, &AnnotationConfig { genes: 100, ..Default::default() });
         assert_eq!(ds.region_count(), 200);
         assert_eq!(genes.len(), 100);
         ds.validate().unwrap();

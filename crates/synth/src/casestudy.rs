@@ -117,10 +117,8 @@ pub fn generate_replication_study(
                 base * rng.gen_range(0.9..1.1)
             };
             regions.push(
-                GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand).with_values(vec![
-                    Value::Str(g.name.clone()),
-                    Value::Float(value),
-                ]),
+                GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand)
+                    .with_values(vec![Value::Str(g.name.clone()), Value::Float(value)]),
             );
         }
         expression.add_sample_unchecked(
@@ -215,14 +213,10 @@ pub fn generate_replication_study(
         while pos < *chrom_len {
             let end = (pos + domain).min(*chrom_len);
             // Late timing where a fragile site falls in the domain.
-            let fragile_here = fragile_sites
-                .iter()
-                .any(|(c, l, _)| c == chrom && *l >= pos && *l < end);
-            let timing = if fragile_here {
-                rng.gen_range(0.75..1.0f64)
-            } else {
-                rng.gen_range(0.0..0.6f64)
-            };
+            let fragile_here =
+                fragile_sites.iter().any(|(c, l, _)| c == chrom && *l >= pos && *l < end);
+            let timing =
+                if fragile_here { rng.gen_range(0.75..1.0f64) } else { rng.gen_range(0.0..0.6f64) };
             rep_regions.push(
                 GRegion::new(chrom.as_str(), pos, end, Strand::Unstranded)
                     .with_values(vec![Value::Float(timing)]),
@@ -380,9 +374,10 @@ pub fn generate_ctcf_study(genome: &Genome, config: &CtcfStudyConfig) -> CtcfStu
     ] {
         let regions = mk_regions(spans, &mut rng);
         marks.add_sample_unchecked(
-            Sample::new(name, "MARKS")
-                .with_regions(regions)
-                .with_metadata(Metadata::from_pairs([("antibody", antibody), ("assay", "ChipSeq")])),
+            Sample::new(name, "MARKS").with_regions(regions).with_metadata(Metadata::from_pairs([
+                ("antibody", antibody),
+                ("assay", "ChipSeq"),
+            ])),
         );
     }
 
@@ -391,14 +386,13 @@ pub fn generate_ctcf_study(genome: &Genome, config: &CtcfStudyConfig) -> CtcfStu
     let mut annotations = Dataset::new("ANNOTATIONS", annot_schema);
     let mut annot_regions = Vec::new();
     for g in &genes {
-        annot_regions.push(GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand).with_values(
-            vec![Value::Str("gene".into()), Value::Str(g.name.clone())],
-        ));
         annot_regions.push(
-            GRegion::new(g.chrom.as_str(), g.promoter.0, g.promoter.1, g.strand).with_values(vec![
-                Value::Str("promoter".into()),
-                Value::Str(g.name.clone()),
-            ]),
+            GRegion::new(g.chrom.as_str(), g.body.0, g.body.1, g.strand)
+                .with_values(vec![Value::Str("gene".into()), Value::Str(g.name.clone())]),
+        );
+        annot_regions.push(
+            GRegion::new(g.chrom.as_str(), g.promoter.0, g.promoter.1, g.strand)
+                .with_values(vec![Value::Str("promoter".into()), Value::Str(g.name.clone())]),
         );
     }
     annotations.add_sample_unchecked(
@@ -436,10 +430,10 @@ mod tests {
     #[test]
     fn replication_study_shape() {
         let genome = Genome::human(0.001);
-        let study = generate_replication_study(&genome, &ReplicationStudyConfig {
-            genes: 100,
-            ..Default::default()
-        });
+        let study = generate_replication_study(
+            &genome,
+            &ReplicationStudyConfig { genes: 100, ..Default::default() },
+        );
         assert_eq!(study.expression.sample_count(), 2);
         assert_eq!(study.disregulated.len(), 10);
         assert!(!study.fragile_sites.is_empty());

@@ -13,18 +13,19 @@
 //!   `treatment`), drawn from realistic vocabularies.
 
 use crate::genome::Genome;
-use nggc_gdm::{
-    Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType,
-};
+use nggc_gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
 
 /// Cell lines observed across ENCODE (abridged vocabulary).
-pub const CELLS: [&str; 8] = ["HeLa-S3", "K562", "GM12878", "HepG2", "A549", "MCF-7", "H1-hESC", "IMR90"];
+pub const CELLS: [&str; 8] =
+    ["HeLa-S3", "K562", "GM12878", "HepG2", "A549", "MCF-7", "H1-hESC", "IMR90"];
 /// ChIP antibodies / targets (abridged vocabulary).
-pub const ANTIBODIES: [&str; 10] =
-    ["CTCF", "POLR2A", "H3K27ac", "H3K4me1", "H3K4me3", "H3K36me3", "H3K9me3", "H3K27me3", "EZH2", "MYC"];
+pub const ANTIBODIES: [&str; 10] = [
+    "CTCF", "POLR2A", "H3K27ac", "H3K4me1", "H3K4me3", "H3K36me3", "H3K9me3", "H3K27me3", "EZH2",
+    "MYC",
+];
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -128,11 +129,8 @@ mod tests {
 
     fn small() -> (Genome, Dataset) {
         let genome = Genome::human(0.001);
-        let config = EncodeConfig {
-            samples: 10,
-            mean_peaks_per_sample: 200.0,
-            ..Default::default()
-        };
+        let config =
+            EncodeConfig { samples: 10, mean_peaks_per_sample: 200.0, ..Default::default() };
         let ds = generate_encode(&genome, &config);
         (genome, ds)
     }
@@ -161,11 +159,7 @@ mod tests {
     #[test]
     fn chipseq_fraction_respected() {
         let (_, ds) = small();
-        let chip = ds
-            .samples
-            .iter()
-            .filter(|s| s.metadata.has("dataType", "ChipSeq"))
-            .count();
+        let chip = ds.samples.iter().filter(|s| s.metadata.has("dataType", "ChipSeq")).count();
         assert_eq!(chip, 8, "85% of 10 rounds to 8 (deterministic split)");
     }
 

@@ -23,8 +23,8 @@ pub mod genome;
 
 pub use annotations::{generate_annotations, generate_genes, AnnotationConfig, Gene};
 pub use casestudy::{
-    generate_ctcf_study, generate_replication_study, CtcfStudy, CtcfStudyConfig,
-    ReplicationStudy, ReplicationStudyConfig,
+    generate_ctcf_study, generate_replication_study, CtcfStudy, CtcfStudyConfig, ReplicationStudy,
+    ReplicationStudyConfig,
 };
 pub use encode::{encode_schema, generate_encode, EncodeConfig};
 pub use genome::Genome;

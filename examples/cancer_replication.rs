@@ -57,9 +57,10 @@ fn main() {
     let result = &out["RESULT"];
 
     // Candidate genes = distinct left.gene values with >= 1 break overlap.
-    let gene_pos = result.schema.position("left.left.gene").or(result
+    let gene_pos = result
         .schema
-        .position("left.gene"))
+        .position("left.left.gene")
+        .or(result.schema.position("left.gene"))
         .expect("gene attribute present");
     let mut candidates: BTreeSet<String> = BTreeSet::new();
     let mut mutations_on_candidates = 0u64;
@@ -75,8 +76,7 @@ fn main() {
             // its mutations and length once.
             let key = (r.chrom.as_str().to_owned(), r.left, r.right);
             if seen_coords.insert(key) {
-                mutations_on_candidates +=
-                    r.values[count_pos].as_i64().unwrap_or(0).max(0) as u64;
+                mutations_on_candidates += r.values[count_pos].as_i64().unwrap_or(0).max(0) as u64;
                 candidate_bp += r.len();
             }
         }
@@ -86,11 +86,7 @@ fn main() {
     let recovered: BTreeSet<_> = candidates.intersection(&planted).collect();
     println!("== recovery of the planted signal ==");
     println!("candidate genes (dis-regulated ∩ broken): {}", candidates.len());
-    println!(
-        "planted dis-regulated recovered: {}/{}",
-        recovered.len(),
-        planted.len()
-    );
+    println!("planted dis-regulated recovered: {}/{}", recovered.len(), planted.len());
     let false_hits = candidates.len() - recovered.len();
     println!("false candidates: {false_hits}");
 

@@ -76,17 +76,14 @@ fn main() {
     let mut candidate_pairs: BTreeSet<(String, String)> = BTreeSet::new();
     for s in &pairs.samples {
         for r in &s.regions {
-            if let (Some(lp), Some(g)) =
-                (r.values[loop_pos].as_str(), r.values[gene_pos].as_str())
+            if let (Some(lp), Some(g)) = (r.values[loop_pos].as_str(), r.values[gene_pos].as_str())
             {
                 candidate_pairs.insert((lp.to_owned(), g.to_owned()));
             }
         }
     }
-    let candidate_genes: BTreeSet<&str> =
-        candidate_pairs.iter().map(|(_, g)| g.as_str()).collect();
-    let planted_genes: BTreeSet<&str> =
-        study.true_pairs.iter().map(|(_, g)| g.as_str()).collect();
+    let candidate_genes: BTreeSet<&str> = candidate_pairs.iter().map(|(_, g)| g.as_str()).collect();
+    let planted_genes: BTreeSet<&str> = study.true_pairs.iter().map(|(_, g)| g.as_str()).collect();
 
     let tp = candidate_genes.intersection(&planted_genes).count();
     let precision = tp as f64 / candidate_genes.len().max(1) as f64;

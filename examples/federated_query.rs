@@ -81,9 +81,8 @@ fn main() {
     let (q_out, q_log) = federation.ship_query("polimi", query, 64 * 1024).unwrap();
     let q_time = t0.elapsed();
     let t0 = std::time::Instant::now();
-    let (d_out, d_log) = federation
-        .ship_data("polimi", &["ANNOTATIONS", "ENCODE"], query, 2)
-        .unwrap();
+    let (d_out, d_log) =
+        federation.ship_data("polimi", &["ANNOTATIONS", "ENCODE"], query, 2).unwrap();
     let d_time = t0.elapsed();
 
     println!("\n== ship-query vs ship-data ==");

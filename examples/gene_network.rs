@@ -38,11 +38,7 @@ fn main() {
         )
         .expect("query runs");
     let space = GenomeSpace::from_map_result(&out["GS"], "n", Some("name")).expect("space builds");
-    println!(
-        "genome space: {} genes × {} experiments",
-        space.n_regions(),
-        space.n_experiments()
-    );
+    println!("genome space: {} genes × {} experiments", space.n_regions(), space.n_experiments());
 
     // 2. The gene network.
     let network = Network::from_genome_space(&space, 0.75);
@@ -59,10 +55,7 @@ fn main() {
     // 3. Clustering with quality score.
     let clustering = kmeans(&space, 4, 60, 17);
     let quality = silhouette(&space, &clustering.assignment);
-    println!(
-        "k-means (k=4): inertia {:.1}, silhouette {:.3}",
-        clustering.inertia, quality
-    );
+    println!("k-means (k=4): inertia {:.1}, silhouette {:.3}", clustering.inertia, quality);
 
     // 4. Latent structure.
     let p = pca(&space, 2, 200);
@@ -92,10 +85,7 @@ fn main() {
         gene_bp,
         genome.total_len(),
     );
-    println!(
-        "peaks-in-genes enrichment: {:.2}x (p = {:.2e})",
-        enr.fold, enr.p_value
-    );
+    println!("peaks-in-genes enrichment: {:.2}x (p = {:.2e})", enr.fold, enr.p_value);
 
     // 6. Browse the hottest gene in the terminal.
     let (hot_idx, _) = space
@@ -106,25 +96,17 @@ fn main() {
         .expect("non-empty");
     let hot = &space.regions[hot_idx];
     let pad = (hot.right - hot.left) / 2;
-    let window = Window::new(
-        hot.chrom.as_str(),
-        hot.left.saturating_sub(pad),
-        hot.right + pad,
-        96,
-    );
+    let window = Window::new(hot.chrom.as_str(), hot.left.saturating_sub(pad), hot.right + pad, 96);
     println!("\nhottest gene {} in its window:", hot);
     // Show the annotation track + the three busiest experiments.
-    let mut busiest: Vec<(usize, f64)> = (0..space.n_experiments())
-        .map(|c| (c, space.values.iter().map(|r| r[c]).sum()))
-        .collect();
+    let mut busiest: Vec<(usize, f64)> =
+        (0..space.n_experiments()).map(|c| (c, space.values.iter().map(|r| r[c]).sum())).collect();
     busiest.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut tracks: Vec<&nggc::gdm::Dataset> = vec![&annotations];
     let top_names: Vec<String> = busiest
         .iter()
         .take(3)
-        .filter_map(|(c, _)| {
-            space.experiments[*c].split("__").nth(1).map(str::to_owned)
-        })
+        .filter_map(|(c, _)| space.experiments[*c].split("__").nth(1).map(str::to_owned))
         .collect();
     let shown: nggc::gdm::Dataset = {
         let mut ds = nggc::gdm::Dataset::new("TOP_EXPS", encode.schema.clone());

@@ -17,10 +17,7 @@ fn main() {
     // ---- research centers publish their data ------------------------------
     let genome = Genome::human(0.001);
     let mut hosts: Vec<SimulatedHost> = Vec::new();
-    for (h, center) in ["polimi.example", "broad.example", "sanger.example"]
-        .iter()
-        .enumerate()
-    {
+    for (h, center) in ["polimi.example", "broad.example", "sanger.example"].iter().enumerate() {
         let mut host = SimulatedHost::new(*center);
         for d in 0..4 {
             let config = EncodeConfig {
@@ -50,10 +47,7 @@ fn main() {
         stats.bytes_fetched / 1024
     );
     let stats2 = service.crawl(&host_refs);
-    println!(
-        "re-crawl (nothing changed): {} entries re-indexed",
-        stats2.entries_indexed
-    );
+    println!("re-crawl (nothing changed): {} entries re-indexed", stats2.entries_indexed);
 
     // ---- keyword search with snippets ---------------------------------------
     println!("\n== search: 'CTCF ChipSeq' ==");

@@ -13,8 +13,7 @@ use nggc::gmql::GmqlEngine;
 
 fn main() {
     // ---- Figure 2: the PEAKS dataset ------------------------------------
-    let peaks_schema =
-        Schema::new(vec![Attribute::new("p_value", ValueType::Float)]).unwrap();
+    let peaks_schema = Schema::new(vec![Attribute::new("p_value", ValueType::Float)]).unwrap();
     let mut peaks = Dataset::new("PEAKS", peaks_schema);
 
     // Sample 1: five stranded regions, karyotype "cancer".
@@ -23,10 +22,8 @@ fn main() {
             Sample::new("sample_1", "PEAKS")
                 .with_regions(vec![
                     GRegion::new("chr1", 2940, 3400, Strand::Pos).with_values(vec![0.0001.into()]),
-                    GRegion::new("chr1", 6120, 7030, Strand::Neg)
-                        .with_values(vec![0.00005.into()]),
-                    GRegion::new("chr1", 9140, 10400, Strand::Pos)
-                        .with_values(vec![0.0003.into()]),
+                    GRegion::new("chr1", 6120, 7030, Strand::Neg).with_values(vec![0.00005.into()]),
+                    GRegion::new("chr1", 9140, 10400, Strand::Pos).with_values(vec![0.0003.into()]),
                     GRegion::new("chr2", 120, 680, Strand::Pos).with_values(vec![0.00002.into()]),
                     GRegion::new("chr2", 830, 1070, Strand::Neg).with_values(vec![0.0007.into()]),
                 ])

@@ -16,10 +16,15 @@
 //!   list                          list datasets with statistics
 //!   info DATASET                  schema + statistics of one dataset
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
-//!         [--save] [--workers N] [--explain] [--head K]
+//!         [--save] [--workers N] [--explain] [--head K] [--profile]
+//!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
+//!         [-e TEXT]               optionally run a query first so the registry is warm
 //!   search KEYWORDS [--ontology]  search sample metadata
 //!   export DATASET FILE.bed       export a dataset's regions as BED
 //! ```
+//!
+//! `--profile` renders the span tree and top-k operator table described
+//! in `docs/observability.md`.
 
 use nggc::formats::{write_bed, BedOptions, FileFormat};
 use nggc::gdm::{Dataset, Sample};
@@ -42,6 +47,10 @@ fn main() -> ExitCode {
 }
 
 fn run(mut args: Vec<String>) -> Result<(), String> {
+    // Opt out of metrics collection entirely (docs/observability.md).
+    if matches!(std::env::var("NGGC_METRICS").as_deref(), Ok("off" | "0" | "false")) {
+        nggc::obs::global().set_enabled(false);
+    }
     let mut repo_path = PathBuf::from("nggc-repo");
     if let Some(pos) = args.iter().position(|a| a == "--repo") {
         if pos + 1 >= args.len() {
@@ -61,6 +70,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "list" => cmd_list(&repo_path),
         "info" => cmd_info(&repo_path, &rest),
         "query" => cmd_query(&repo_path, &rest),
+        "stats" => cmd_stats(&repo_path, &rest),
         "search" => cmd_search(&repo_path, &rest),
         "export" => cmd_export(&repo_path, &rest),
         "help" | "--help" | "-h" => {
@@ -72,7 +82,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|query|search|export|help> [args]\n\
+    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|query|stats|search|export|help> [args]\n\
      run `nggc help` for details"
         .to_owned()
 }
@@ -124,8 +134,7 @@ fn cmd_import_dir(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let Some(dir) = args.first() else {
         return Err("import-dir requires a directory".into());
     };
-    let report =
-        nggc::formats::load_directory(Path::new(dir)).map_err(|e| e.to_string())?;
+    let report = nggc::formats::load_directory(Path::new(dir)).map_err(|e| e.to_string())?;
     let mut repo = open(repo_path)?;
     for ds in &report.datasets {
         repo.save(ds).map_err(|e| e.to_string())?;
@@ -166,7 +175,12 @@ fn cmd_info(repo_path: &Path, args: &[String]) -> Result<(), String> {
     println!("schema  {}", ds.schema);
     println!("stats   {}", ds.stats());
     for s in &ds.samples {
-        println!("  sample {} — {} regions, {} metadata pairs", s.name, s.region_count(), s.metadata.len());
+        println!(
+            "  sample {} — {} regions, {} metadata pairs",
+            s.name,
+            s.region_count(),
+            s.metadata.len()
+        );
         for (k, v) in s.metadata.iter() {
             println!("    {k}\t{v}");
         }
@@ -179,6 +193,7 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let mut save = false;
     let mut explain = false;
     let mut analyze = false;
+    let mut profile = false;
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
     let mut head = 5usize;
     let mut i = 0;
@@ -186,13 +201,13 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "-e" => {
                 i += 1;
-                text = Some(
-                    args.get(i).cloned().ok_or_else(|| "-e requires query text".to_owned())?,
-                );
+                text =
+                    Some(args.get(i).cloned().ok_or_else(|| "-e requires query text".to_owned())?);
             }
             "--save" => save = true,
             "--explain" => explain = true,
             "--analyze" => analyze = true,
+            "--profile" => profile = true,
             "--workers" => {
                 i += 1;
                 workers = args
@@ -208,9 +223,7 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| "--head requires a number".to_owned())?;
             }
             file => {
-                text = Some(
-                    std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?,
-                );
+                text = Some(std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?);
             }
         }
         i += 1;
@@ -233,6 +246,15 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // --profile: collect every span emitted during execution.
+    let collector = if profile {
+        let c = std::sync::Arc::new(nggc::obs::MemorySubscriber::default());
+        nggc::obs::add_subscriber(c.clone());
+        Some(c)
+    } else {
+        None
+    };
+
     let t0 = std::time::Instant::now();
     let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
     let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
@@ -252,6 +274,14 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
         for m in &metrics {
             println!("  {m}");
         }
+    }
+    if let Some(collector) = collector {
+        nggc::obs::clear_subscribers();
+        let records = collector.records();
+        println!("-- profile: span tree --");
+        print!("{}", nggc::obs::render_span_tree(&records));
+        println!("-- profile: top operators by self time --");
+        print!("{}", nggc::obs::render_top_k(&records, Some("op"), 10));
     }
 
     let mut names: Vec<&String> = outputs.keys().collect();
@@ -280,6 +310,55 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
             repo.save(ds).map_err(|e| e.to_string())?;
             println!("saved {} to repository", ds.name);
         }
+    }
+    Ok(())
+}
+
+/// `nggc stats [--json] [-e QUERY]` — dump the global metrics registry.
+///
+/// Each CLI invocation is its own process, so the registry only holds
+/// what this invocation did; `-e QUERY` runs a query first (against the
+/// repository, discarding outputs) so the dump reflects real engine
+/// activity.
+fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut query = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "-e" => {
+                i += 1;
+                query =
+                    Some(args.get(i).cloned().ok_or_else(|| "-e requires query text".to_owned())?);
+            }
+            other => return Err(format!("stats: unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+    if let Some(query) = query {
+        let repo = open(repo_path)?;
+        let ctx = nggc::engine::ExecContext::with_workers(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        );
+        let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
+        let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
+            .map_err(|e| e.to_string())?;
+        nggc::gmql::execute(
+            &plan,
+            &|name: &str| -> Result<Dataset, GmqlError> {
+                repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
+            },
+            &ctx,
+            &ExecOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let reg = nggc::obs::global();
+    if json {
+        println!("{}", reg.render_json());
+    } else {
+        print!("{}", reg.render_prometheus());
     }
     Ok(())
 }

@@ -22,6 +22,7 @@
 //! | [`federation`] | `nggc-federation` | §4.4 federated processing |
 //! | [`analysis`] | `nggc-analysis` | §4.1 genome spaces & networks |
 //! | [`synth`] | `nggc-synth` | synthetic workloads (substitutions) |
+//! | [`obs`] | `nggc-obs` | metrics, tracing, profiling (docs/observability.md) |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@ pub use nggc_engine as engine;
 pub use nggc_federation as federation;
 pub use nggc_formats as formats;
 pub use nggc_gdm as gdm;
+pub use nggc_obs as obs;
 pub use nggc_ontology as ontology;
 pub use nggc_repository as repository;
 pub use nggc_search as search;

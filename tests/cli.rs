@@ -14,12 +14,7 @@ fn tmp_repo(tag: &str) -> PathBuf {
 }
 
 fn run(repo: &PathBuf, args: &[&str]) -> (bool, String, String) {
-    let out = nggc()
-        .arg("--repo")
-        .arg(repo)
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = nggc().arg("--repo").arg(repo).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -77,7 +72,12 @@ fn full_cli_workflow() {
     // explain
     let (ok, stdout, _) = run(
         &repo,
-        &["query", "-e", "X = SELECT(a == 1) PEAKS; Y = SELECT(b == 2) X; MATERIALIZE Y;", "--explain"],
+        &[
+            "query",
+            "-e",
+            "X = SELECT(a == 1) PEAKS; Y = SELECT(b == 2) X; MATERIALIZE Y;",
+            "--explain",
+        ],
     );
     assert!(ok);
     assert!(stdout.contains("optimized"));
@@ -107,6 +107,73 @@ fn full_cli_workflow() {
     assert!(text.contains("track name="));
     assert!(text.contains("chr1\t100\t200"));
 
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_profile_emits_one_span_per_plan_node() {
+    let repo = tmp_repo("profile");
+    std::fs::create_dir_all(&repo).unwrap();
+    let bed = repo.join("peaks.bed");
+    std::fs::write(&bed, "chr1\t100\t200\tp1\t5\t+\nchr1\t400\t500\tp2\t9\t-\n").unwrap();
+    let (ok, _, stderr) = run(&repo, &["import", bed.to_str().unwrap(), "PEAKS"]);
+    assert!(ok, "{stderr}");
+
+    // Plan: SOURCE(PEAKS) -> SELECT -> MERGE = 3 nodes.
+    let (ok, stdout, stderr) = run(
+        &repo,
+        &[
+            "query",
+            "-e",
+            "X = SELECT(region: left >= 100) PEAKS; Y = MERGE() X; MATERIALIZE Y;",
+            "--profile",
+        ],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("-- profile: span tree --"), "{stdout}");
+    assert!(stdout.contains("exec.plan"), "{stdout}");
+    let node_spans = stdout.matches("exec.node").count();
+    assert_eq!(node_spans, 3, "one exec.node span per plan node:\n{stdout}");
+    for op in ["SOURCE", "SELECT", "MERGE"] {
+        assert!(stdout.contains(&format!("op={op}")), "missing {op} span:\n{stdout}");
+    }
+    // Cardinality and size fields ride on each node span.
+    assert!(stdout.contains("samples_in="), "{stdout}");
+    assert!(stdout.contains("regions_out="), "{stdout}");
+    assert!(stdout.contains("bytes_est="), "{stdout}");
+    // Optimizer decisions ride on the plan span.
+    assert!(stdout.contains("selects_fused="), "{stdout}");
+    // Top-k operator table.
+    assert!(stdout.contains("-- profile: top operators by self time --"), "{stdout}");
+    assert!(stdout.contains("operator"), "{stdout}");
+    assert!(stdout.contains("self"), "{stdout}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_stats_dumps_registry() {
+    let repo = tmp_repo("stats");
+    std::fs::create_dir_all(&repo).unwrap();
+    let bed = repo.join("peaks.bed");
+    std::fs::write(&bed, "chr1\t100\t200\tp1\t5\t+\n").unwrap();
+    let (ok, _, stderr) = run(&repo, &["import", bed.to_str().unwrap(), "PEAKS"]);
+    assert!(ok, "{stderr}");
+
+    // Warm the registry with a query, then dump Prometheus text.
+    let q = "X = SELECT(region: left >= 100) PEAKS; MATERIALIZE X;";
+    let (ok, stdout, stderr) = run(&repo, &["stats", "-e", q]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("# TYPE nggc_exec_nodes_total counter"), "{stdout}");
+    assert!(stdout.contains("nggc_exec_nodes_total{op=\"SOURCE\"} 1"), "{stdout}");
+    assert!(stdout.contains("nggc_repo_cache_misses_total"), "{stdout}");
+    assert!(stdout.contains("nggc_exec_node_wall_ns_count"), "{stdout}");
+
+    // JSON export of the same registry.
+    let (ok, stdout, stderr) = run(&repo, &["stats", "--json", "-e", q]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.trim().starts_with('['), "{stdout}");
+    assert!(stdout.contains("\"name\":\"nggc_exec_nodes_total\""), "{stdout}");
+    assert!(stdout.contains("\"type\":\"histogram\""), "{stdout}");
     std::fs::remove_dir_all(&repo).ok();
 }
 

@@ -32,9 +32,7 @@ fn every_builtin_template_parses() {
         let params: BTreeMap<String, String> = template
             .params
             .iter()
-            .map(|p| {
-                (p.name.clone(), p.default.clone().unwrap_or_else(|| "CTCF".to_owned()))
-            })
+            .map(|p| (p.name.clone(), p.default.clone().unwrap_or_else(|| "CTCF".to_owned())))
             .collect();
         let text = template.instantiate(&params).unwrap();
         nggc::gmql::parse(&text)
@@ -79,15 +77,14 @@ fn distal_peaks_excludes_overlaps() {
              MATERIALIZE REFS;",
         )
         .unwrap();
-    let prom_regions: Vec<nggc::gdm::GRegion> =
-        proms["REFS"].samples[0].regions.clone();
+    let prom_regions: Vec<nggc::gdm::GRegion> = proms["REFS"].samples[0].regions.clone();
     let mut emitted = 0;
     for s in &near.samples {
         for r in &s.regions {
             emitted += 1;
-            let qualifies = prom_regions.iter().any(|p| {
-                p.distance(r).map(|d| (1..=5000).contains(&d)).unwrap_or(false)
-            });
+            let qualifies = prom_regions
+                .iter()
+                .any(|p| p.distance(r).map(|d| (1..=5000).contains(&d)).unwrap_or(false));
             assert!(
                 qualifies,
                 "peak {}:{}-{} has no promoter at distance 1..=5000",

@@ -110,12 +110,9 @@ fn truncated_federation_payload_rejected() {
 
 #[test]
 fn failing_provider_aborts_query_cleanly() {
-    let schema_of = |name: &str| -> Option<Schema> {
-        (name == "D").then(Schema::empty)
-    };
-    let provider = |_: &str| -> Result<Dataset, GmqlError> {
-        Err(GmqlError::runtime("disk on fire"))
-    };
+    let schema_of = |name: &str| -> Option<Schema> { (name == "D").then(Schema::empty) };
+    let provider =
+        |_: &str| -> Result<Dataset, GmqlError> { Err(GmqlError::runtime("disk on fire")) };
     let ctx = nggc::engine::ExecContext::with_workers(2);
     let err = run_with_provider(
         "X = SELECT(a == 1) D; MATERIALIZE X;",

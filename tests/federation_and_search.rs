@@ -15,8 +15,10 @@ fn world() -> (Dataset, Dataset) {
         &genome,
         &EncodeConfig { samples: 6, mean_peaks_per_sample: 300.0, seed: 3, ..Default::default() },
     );
-    let (annotations, _) =
-        generate_annotations(&genome, &AnnotationConfig { genes: 80, seed: 9, ..Default::default() });
+    let (annotations, _) = generate_annotations(
+        &genome,
+        &AnnotationConfig { genes: 80, seed: 9, ..Default::default() },
+    );
     (encode, annotations)
 }
 
@@ -94,10 +96,8 @@ fn relevance_corpus() -> (MetaIndex, Vec<nggc::repository::SampleRef>) {
     ];
     for (name, cell, rel) in entries {
         ds.add_sample(
-            Sample::new(*name, "CORPUS").with_metadata(Metadata::from_pairs([
-                ("cell", *cell),
-                ("assay", "ChipSeq"),
-            ])),
+            Sample::new(*name, "CORPUS")
+                .with_metadata(Metadata::from_pairs([("cell", *cell), ("assay", "ChipSeq")])),
         )
         .unwrap();
         if *rel {

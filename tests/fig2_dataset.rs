@@ -16,10 +16,8 @@ fn figure2_dataset() -> Dataset {
             Sample::new("sample_1", "PEAKS")
                 .with_regions(vec![
                     GRegion::new("chr1", 2940, 3400, Strand::Pos).with_values(vec![0.0001.into()]),
-                    GRegion::new("chr1", 6120, 7030, Strand::Neg)
-                        .with_values(vec![0.00005.into()]),
-                    GRegion::new("chr1", 9140, 10400, Strand::Pos)
-                        .with_values(vec![0.0003.into()]),
+                    GRegion::new("chr1", 6120, 7030, Strand::Neg).with_values(vec![0.00005.into()]),
+                    GRegion::new("chr1", 9140, 10400, Strand::Pos).with_values(vec![0.0003.into()]),
                     GRegion::new("chr2", 120, 680, Strand::Pos).with_values(vec![0.00002.into()]),
                     GRegion::new("chr2", 830, 1070, Strand::Neg).with_values(vec![0.0007.into()]),
                 ])
@@ -119,8 +117,7 @@ fn schema_merging_makes_heterogeneous_data_interoperable() {
     ])
     .unwrap();
     let merged = peaks.schema.merge(&mut_schema);
-    let names: Vec<&str> =
-        merged.schema.attributes().iter().map(|a| a.name.as_str()).collect();
+    let names: Vec<&str> = merged.schema.attributes().iter().map(|a| a.name.as_str()).collect();
     assert_eq!(names, vec!["p_value", "ref", "alt"]);
     // A peaks row re-shapes with nulls in the mutation columns.
     let row = Schema::reshape_row(

@@ -4,9 +4,7 @@
 use nggc::analysis::{kmeans, GenomeSpace, Network};
 use nggc::gmql::{ExecOptions, GmqlEngine};
 use nggc::repository::Repository;
-use nggc::synth::{
-    generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome,
-};
+use nggc::synth::{generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome};
 
 fn small_world() -> (Genome, nggc::gdm::Dataset, nggc::gdm::Dataset) {
     let genome = Genome::human(0.001);
@@ -77,9 +75,7 @@ fn repository_backed_query_agrees_with_in_memory() {
     let out = nggc::gmql::run_with_provider(
         MAP_QUERY,
         &|name| repo.schema_of(name),
-        &|name: &str| {
-            repo.load(name).map_err(|e| nggc::gmql::GmqlError::runtime(e.to_string()))
-        },
+        &|name: &str| repo.load(name).map_err(|e| nggc::gmql::GmqlError::runtime(e.to_string())),
         &ctx,
         &opts,
     )
@@ -119,10 +115,7 @@ fn cover_pipeline_over_replicas() {
     cons.validate().unwrap();
     // accindex >= 2 everywhere by construction.
     let acc_pos = cons.schema.position("accindex").unwrap();
-    assert!(cons.samples[0]
-        .regions
-        .iter()
-        .all(|r| r.values[acc_pos].as_i64().unwrap() >= 2));
+    assert!(cons.samples[0].regions.iter().all(|r| r.values[acc_pos].as_i64().unwrap() >= 2));
 }
 
 #[test]
@@ -155,12 +148,9 @@ fn union_of_heterogeneous_formats() {
     )
     .unwrap();
     let mut peaks = Dataset::new("PEAKS", PeakKind::Narrow.schema());
-    peaks
-        .add_sample(Sample::new("chip", "PEAKS").with_regions(peaks_regions))
-        .unwrap();
+    peaks.add_sample(Sample::new("chip", "PEAKS").with_regions(peaks_regions)).unwrap();
 
-    let vcf_regions =
-        parse_vcf("chr1\t150\trs1\tA\tT\t99\tPASS\tDP=10\n").unwrap();
+    let vcf_regions = parse_vcf("chr1\t150\trs1\tA\tT\t99\tPASS\tDP=10\n").unwrap();
     let mut muts = Dataset::new("MUTS", vcf_schema());
     muts.add_sample(Sample::new("tumor", "MUTS").with_regions(vcf_regions)).unwrap();
 

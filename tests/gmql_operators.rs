@@ -40,9 +40,12 @@ fn engine() -> GmqlEngine {
         .add_sample(
             Sample::new("hela", "PEAKS")
                 .with_regions(vec![
-                    GRegion::new("chr1", 120, 140, Strand::Unstranded).with_values(vec![5.0.into()]),
-                    GRegion::new("chr1", 150, 260, Strand::Unstranded).with_values(vec![7.0.into()]),
-                    GRegion::new("chr1", 600, 650, Strand::Unstranded).with_values(vec![1.0.into()]),
+                    GRegion::new("chr1", 120, 140, Strand::Unstranded)
+                        .with_values(vec![5.0.into()]),
+                    GRegion::new("chr1", 150, 260, Strand::Unstranded)
+                        .with_values(vec![7.0.into()]),
+                    GRegion::new("chr1", 600, 650, Strand::Unstranded)
+                        .with_values(vec![1.0.into()]),
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "HeLa"), ("age", "30")])),
         )
@@ -51,8 +54,10 @@ fn engine() -> GmqlEngine {
         .add_sample(
             Sample::new("k562", "PEAKS")
                 .with_regions(vec![
-                    GRegion::new("chr1", 410, 450, Strand::Unstranded).with_values(vec![9.0.into()]),
-                    GRegion::new("chr1", 860, 880, Strand::Unstranded).with_values(vec![3.0.into()]),
+                    GRegion::new("chr1", 410, 450, Strand::Unstranded)
+                        .with_values(vec![9.0.into()]),
+                    GRegion::new("chr1", 860, 880, Strand::Unstranded)
+                        .with_values(vec![3.0.into()]),
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "K562"), ("age", "20")])),
         )
@@ -263,10 +268,12 @@ fn flat_extends_and_summit_peaks() {
     let schema = Schema::empty();
     let mut ds = Dataset::new("R", schema);
     for (name, l, r) in [("a", 0u64, 80u64), ("b", 50u64, 100u64), ("c", 40u64, 90u64)] {
-        ds.add_sample(
-            Sample::new(name, "R")
-                .with_regions(vec![GRegion::new("chr1", l, r, Strand::Unstranded)]),
-        )
+        ds.add_sample(Sample::new(name, "R").with_regions(vec![GRegion::new(
+            "chr1",
+            l,
+            r,
+            Strand::Unstranded,
+        )]))
         .unwrap();
     }
     engine.register(ds);

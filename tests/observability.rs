@@ -1,0 +1,94 @@
+//! Cross-crate observability tests: the metrics registry hammered from
+//! the work-stealing pool, and span parentage through the in-memory
+//! subscriber (see docs/observability.md).
+
+use nggc::engine::WorkerPool;
+use nggc::obs::{self, MemorySubscriber};
+use std::sync::{Arc, Mutex};
+
+// Subscribers and the registry's enabled flag are process-global, so
+// every test in this binary runs under one lock to avoid cross-talk
+// (e.g. the disabled-registry test racing the hammer test).
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    // A failed sibling test must not cascade into poison errors here.
+    GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn counter_hammered_from_parallel_map() {
+    let _guard = global_lock();
+    let reg = obs::global();
+    let counter = reg.counter("test_hammer_total");
+    let hist = reg.histogram("test_hammer_values");
+    let before = counter.get();
+
+    let pool = WorkerPool::new(4);
+    pool.parallel_map((0..10_000u64).collect(), |i| {
+        counter.inc();
+        hist.record(i % 1024);
+    });
+
+    assert_eq!(counter.get() - before, 10_000, "no increments lost under contention");
+    assert!(hist.count() >= 10_000);
+    // Pool activity reached both the pool-local stats and the registry.
+    let stats = pool.stats();
+    assert_eq!(stats.jobs_executed, 10_000);
+    assert!(reg.counter("nggc_pool_jobs_total").get() >= 10_000);
+}
+
+#[test]
+fn memory_subscriber_records_nested_parentage() {
+    let _guard = global_lock();
+    obs::clear_subscribers();
+    let collector = Arc::new(MemorySubscriber::new());
+    obs::add_subscriber(collector.clone());
+
+    {
+        let mut outer = obs::span("it.outer");
+        outer.field("k", "v");
+        {
+            let mut inner = obs::span("it.inner");
+            inner.field("depth", 1);
+            let _leaf = obs::span("it.leaf");
+        }
+    }
+    obs::clear_subscribers();
+
+    let records = collector.records();
+    assert_eq!(records.len(), 3);
+    // Close order: leaves before parents.
+    let leaf = &records[0];
+    let inner = &records[1];
+    let outer = &records[2];
+    assert_eq!(leaf.name, "it.leaf");
+    assert_eq!(inner.name, "it.inner");
+    assert_eq!(outer.name, "it.outer");
+    assert_eq!(leaf.parent, Some(inner.id));
+    assert_eq!(inner.parent, Some(outer.id));
+    assert_eq!(outer.parent, None);
+    assert_eq!(outer.field("k"), Some("v"));
+    assert_eq!(inner.field("depth"), Some("1"));
+
+    // The profiler renders the same hierarchy.
+    let tree = obs::render_span_tree(&records);
+    assert!(tree.contains("it.outer k=v"), "{tree}");
+    assert!(tree.contains("  it.inner"), "{tree}");
+    assert!(tree.contains("    it.leaf"), "{tree}");
+}
+
+#[test]
+fn disabled_registry_skips_engine_metrics() {
+    let _guard = global_lock();
+    let reg = obs::global();
+    let jobs = reg.counter("nggc_pool_jobs_total");
+    reg.set_enabled(false);
+    let before = jobs.get();
+    let pool = WorkerPool::new(2);
+    pool.parallel_map((0..64).collect::<Vec<u64>>(), |i| i * 2);
+    assert_eq!(jobs.get(), before, "disabled registry must ignore pool traffic");
+    // Pool-local stats still work — they are not registry-gated.
+    assert_eq!(pool.stats().jobs_executed, 64);
+    reg.set_enabled(true);
+}

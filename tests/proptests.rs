@@ -209,9 +209,8 @@ fn region_expr_strategy() -> impl Strategy<Value = nggc::gmql::RegionExpr> {
 }
 
 fn meta_strategy() -> impl Strategy<Value = Metadata> {
-    prop::collection::vec(("[a-z]{1,4}", "[a-z0-9]{1,4}"), 0..6).prop_map(|pairs| {
-        Metadata::from_pairs(pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())))
-    })
+    prop::collection::vec(("[a-z]{1,4}", "[a-z0-9]{1,4}"), 0..6)
+        .prop_map(|pairs| Metadata::from_pairs(pairs.iter().map(|(a, b)| (a.as_str(), b.as_str()))))
 }
 
 proptest! {
@@ -333,10 +332,7 @@ fn dataset_from(samples: &[Vec<(u64, u64)>]) -> Dataset {
 }
 
 fn samples_strategy() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u64..2_000, 1u64..200), 0..15),
-        1..5,
-    )
+    prop::collection::vec(prop::collection::vec((0u64..2_000, 1u64..200), 0..15), 1..5)
 }
 
 proptest! {

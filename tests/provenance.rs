@@ -29,10 +29,12 @@ fn world() -> GmqlEngine {
 
     let mut genes = Dataset::new("GENES", Schema::empty());
     genes
-        .add_sample(
-            Sample::new("ann", "GENES")
-                .with_regions(vec![GRegion::new("chr1", 50, 250, Strand::Unstranded)]),
-        )
+        .add_sample(Sample::new("ann", "GENES").with_regions(vec![GRegion::new(
+            "chr1",
+            50,
+            250,
+            Strand::Unstranded,
+        )]))
         .unwrap();
     engine.register(genes);
     engine
@@ -101,9 +103,7 @@ fn difference_lineage_records_negatives() {
 #[test]
 fn provenance_serializes_with_datasets() {
     let engine = world();
-    let out = engine
-        .run("H = SELECT(cell == 'HeLa') PEAKS; MATERIALIZE H;")
-        .unwrap();
+    let out = engine.run("H = SELECT(cell == 'HeLa') PEAKS; MATERIALIZE H;").unwrap();
     let json = serde_json::to_string(&out["H"]).unwrap();
     let back: Dataset = serde_json::from_str(&json).unwrap();
     assert_eq!(back.samples[0].provenance.operator_chain(), vec!["SELECT".to_string()]);

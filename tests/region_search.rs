@@ -12,7 +12,12 @@ fn search_finds_promoter_like_peaks() {
     let genome = Genome::human(0.001);
     let encode = generate_encode(
         &genome,
-        &EncodeConfig { samples: 1, mean_peaks_per_sample: 2_000.0, seed: 77, ..Default::default() },
+        &EncodeConfig {
+            samples: 1,
+            mean_peaks_per_sample: 2_000.0,
+            seed: 77,
+            ..Default::default()
+        },
     );
     let (annotations, _) = generate_annotations(
         &genome,
@@ -29,13 +34,7 @@ fn search_finds_promoter_like_peaks() {
             Feature::OverlapCount("ucsc_synthetic".into()),
         ],
     };
-    let matrix = compute_features(
-        candidates,
-        &spec,
-        &encode,
-        &[promoters],
-        &|c| genome.len_of(c),
-    );
+    let matrix = compute_features(candidates, &spec, &encode, &[promoters], &|c| genome.len_of(c));
     assert_eq!(matrix.rows.len(), candidates.region_count());
 
     // Target: a 300bp, high-signal peak sitting on an annotation.
@@ -46,9 +45,7 @@ fn search_finds_promoter_like_peaks() {
     let overlap_rate = |regions: &[&nggc::gdm::GRegion]| -> f64 {
         let hits = regions
             .iter()
-            .filter(|r| {
-                promoters.chrom_slice(&r.chrom).iter().any(|p| p.overlaps(r))
-            })
+            .filter(|r| promoters.chrom_slice(&r.chrom).iter().any(|p| p.overlaps(r)))
             .count();
         hits as f64 / regions.len().max(1) as f64
     };

@@ -44,9 +44,12 @@ fn fixture(workers: usize, opts: ExecOptions) -> GmqlEngine {
         .add_sample(
             Sample::new("hela", "PEAKS")
                 .with_regions(vec![
-                    GRegion::new("chr1", 120, 140, Strand::Unstranded).with_values(vec![5.0.into()]),
-                    GRegion::new("chr1", 150, 260, Strand::Unstranded).with_values(vec![7.0.into()]),
-                    GRegion::new("chr1", 600, 650, Strand::Unstranded).with_values(vec![1.0.into()]),
+                    GRegion::new("chr1", 120, 140, Strand::Unstranded)
+                        .with_values(vec![5.0.into()]),
+                    GRegion::new("chr1", 150, 260, Strand::Unstranded)
+                        .with_values(vec![7.0.into()]),
+                    GRegion::new("chr1", 600, 650, Strand::Unstranded)
+                        .with_values(vec![1.0.into()]),
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "HeLa"), ("age", "30")])),
         )
@@ -55,8 +58,10 @@ fn fixture(workers: usize, opts: ExecOptions) -> GmqlEngine {
         .add_sample(
             Sample::new("k562", "PEAKS")
                 .with_regions(vec![
-                    GRegion::new("chr1", 410, 450, Strand::Unstranded).with_values(vec![9.0.into()]),
-                    GRegion::new("chr1", 860, 880, Strand::Unstranded).with_values(vec![3.0.into()]),
+                    GRegion::new("chr1", 410, 450, Strand::Unstranded)
+                        .with_values(vec![9.0.into()]),
+                    GRegion::new("chr1", 860, 880, Strand::Unstranded)
+                        .with_values(vec![3.0.into()]),
                 ])
                 .with_metadata(Metadata::from_pairs([("cell", "K562"), ("age", "20")])),
         )
@@ -111,13 +116,11 @@ fn corpus_matches_expectations_in_all_configurations() {
             summaries.push(summarize(&out));
         }
         for s in &summaries {
-            assert_eq!(
-                s, &summaries[0],
-                "script {name}: all configurations must agree"
-            );
+            assert_eq!(s, &summaries[0], "script {name}: all configurations must agree");
         }
         assert_eq!(
-            summaries[0], expected,
+            summaries[0],
+            expected,
             "script {name}: cardinalities changed (update {} if intentional)",
             expect_path.display()
         );

@@ -1,0 +1,327 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group / bench_function / bench_with_input surface the
+//! workspace benches use, measuring mean wall-clock time per iteration.
+//! Two modes:
+//!
+//! - **bench mode** (`--bench` present, as passed by `cargo bench`):
+//!   each benchmark runs `sample_size` timed iterations after one
+//!   warm-up call;
+//! - **test mode** (no `--bench`, as when `cargo test` executes a
+//!   `harness = false` bench target): each benchmark runs once, so the
+//!   target doubles as a smoke test.
+//!
+//! Extra flag over real criterion: `--metrics-json <path>` writes a
+//! JSON report of every benchmark's timing **plus a snapshot of the
+//! `nggc-obs` global metrics registry**, so BENCH_*.json files carry
+//! engine counters (pool utilization, steal counts, loader and
+//! repository counters) next to the numbers they explain.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations and record the
+    /// mean wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call (also the only call in test mode).
+        std::hint::black_box(f());
+        if self.iterations == 0 {
+            self.mean = Duration::ZERO;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.mean = start.elapsed() / self.iterations as u32;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    group: String,
+    name: String,
+    mean: Duration,
+    iterations: u64,
+}
+
+/// Benchmark driver; one per bench binary.
+pub struct Criterion {
+    default_sample_size: usize,
+    bench_mode: bool,
+    metrics_json: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            bench_mode: false,
+            metrics_json: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from the process arguments (`--bench`, `--metrics-json`).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => c.bench_mode = true,
+                "--metrics-json" => c.metrics_json = args.next(),
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Accepted for API compatibility; returns self unchanged.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Top-level `bench_function` (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let mut group = self.benchmark_group("");
+        group.bench_function_id(id.into(), f);
+        group.finish();
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        id: BenchmarkId,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let iterations = if self.bench_mode { sample_size as u64 } else { 0 };
+        let mut bencher = Bencher { iterations, mean: Duration::ZERO };
+        f(&mut bencher);
+        let full = if group.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{group}/{}", id.id)
+        };
+        let shown = if self.bench_mode {
+            format!("{:?}", bencher.mean)
+        } else {
+            "(test mode: 1 iteration)".to_owned()
+        };
+        println!("bench {full:<40} {shown}");
+        self.results.push(BenchResult {
+            group: group.to_owned(),
+            name: id.id,
+            mean: bencher.mean,
+            iterations: iterations.max(1),
+        });
+    }
+
+    /// Print the report and, with `--metrics-json`, write timings plus
+    /// the global `nggc-obs` registry snapshot to the given path.
+    pub fn final_summary(&self) {
+        if let Some(path) = &self.metrics_json {
+            let json = self.render_json();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            } else {
+                eprintln!("criterion: wrote metrics report to {path}");
+            }
+        }
+    }
+
+    fn render_json(&self) -> String {
+        let mut out = String::from("{\"benchmarks\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"group\":{:?},\"name\":{:?},\"mean_ns\":{},\"iterations\":{}}}",
+                r.group,
+                r.name,
+                r.mean.as_nanos(),
+                r.iterations
+            ));
+        }
+        out.push_str("],\"metrics\":");
+        out.push_str(&nggc_obs::global().render_json());
+        out.push('}');
+        out
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark in bench mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.bench_function_id(id.into(), f);
+        self
+    }
+
+    fn bench_function_id<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let name = self.name.clone();
+        self.criterion.run_one(&name, id, sample_size, f);
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function_id(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Close the group (report output already happened per-bench).
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // Test mode: warm-up call only.
+        assert_eq!(calls, 1);
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "one");
+    }
+
+    #[test]
+    fn bench_mode_times_sample_size_iterations() {
+        let mut c = Criterion { bench_mode: true, ..Criterion::default() };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+                b.iter(|| calls += n)
+            });
+            g.finish();
+        }
+        // 1 warm-up + 5 timed.
+        assert_eq!(calls, 3 * 6);
+        assert_eq!(c.results[0].name, "param/3");
+        assert_eq!(c.results[0].iterations, 5);
+    }
+
+    #[test]
+    fn json_report_includes_benchmarks_and_metrics() {
+        let mut c = Criterion::default();
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+        let json = c.render_json();
+        assert!(json.contains("\"benchmarks\":["), "{json}");
+        assert!(json.contains("\"name\":\"solo\""), "{json}");
+        assert!(json.contains("\"metrics\":["), "{json}");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(100).id, "100");
+    }
+}

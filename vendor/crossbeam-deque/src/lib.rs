@@ -1,0 +1,181 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! Provides `Worker`/`Stealer`/`Injector` with the crossbeam API shape,
+//! implemented over `Mutex<VecDeque>` instead of lock-free buffers. The
+//! semantics match (LIFO worker pop, FIFO steals, batch refill); only the
+//! performance characteristics differ, which is acceptable for an
+//! offline build — the work-stealing *structure* (and the observability
+//! counters layered on it) stay intact.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A worker-owned deque (LIFO pop from the back, steals from the front).
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Create a LIFO worker queue.
+    pub fn new_lifo() -> Worker<T> {
+        Worker { q: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// Create a FIFO worker queue. (Same backing store; `pop` takes from
+    /// the front instead — we only distinguish at pop time, so this
+    /// constructor simply mirrors `new_lifo` for the LIFO-only workspace.)
+    pub fn new_fifo() -> Worker<T> {
+        Worker::new_lifo()
+    }
+
+    /// Push a task onto the local end.
+    pub fn push(&self, task: T) {
+        lock(&self.q).push_back(task);
+    }
+
+    /// Pop from the local (LIFO) end.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.q).pop_back()
+    }
+
+    /// True when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    /// Create a stealer handle viewing this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+/// A handle that steals from the front of a [`Worker`] queue.
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer { q: Arc::clone(&self.q) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal one task from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+}
+
+/// A global FIFO injector queue.
+pub struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector { q: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.q).push_back(task);
+    }
+
+    /// Steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.q).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch of tasks, moving roughly half the queue into `dest`
+    /// and returning one task directly.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.q);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Move up to half of the remainder (capped like crossbeam's batch
+        // limit) into the destination worker.
+        let take = (q.len() / 2).min(16);
+        if take > 0 {
+            let mut dq = lock(&dest.q);
+            for _ in 0..take {
+                match q.pop_front() {
+                    Some(t) => dq.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True when the queue holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.q).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.q).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn injector_batch_refills_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert!(!w.is_empty());
+    }
+}

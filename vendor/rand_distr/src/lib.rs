@@ -1,0 +1,123 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides `Distribution`, `Normal`, and `LogNormal` (the distributions
+//! the synthetic workload generators draw from), using the Box-Muller
+//! transform over the in-tree `rand` stand-in.
+
+use rand::{Rng, RngCore};
+
+/// Error constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A scale/shape parameter was not finite and positive.
+    BadParameter,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that generate samples of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller; reject u1 == 0 so ln() stays finite.
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with `mean` and `std_dev`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error::BadParameter);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create a log-normal distribution from the underlying normal's
+    /// `mu` and `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        if !sigma.is_finite() || sigma < 0.0 || !mu.is_finite() {
+            return Err(Error::BadParameter);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_positive_and_median() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = LogNormal::new(3.0, 0.9).unwrap();
+        let mut xs: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        xs.sort_by(f64::total_cmp);
+        let median = xs[5_000];
+        // Median of lognormal is exp(mu).
+        assert!((median.ln() - 3.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde streams through a `Serializer`/`Deserializer` visitor
+//! pair; this stand-in materialises a [`Content`] tree instead — every
+//! `Serialize` renders to a `Content`, every `Deserialize` reads from
+//! one, and `serde_json` (also vendored) converts `Content` to and from
+//! JSON text. The derive macros (`serde_derive`, re-exported here under
+//! the usual names) generate externally-tagged representations matching
+//! serde's defaults, so files written by this stand-in look like files
+//! written by real serde for the shapes this workspace uses.
+//!
+//! Supported derive attributes: `#[serde(transparent)]`,
+//! `#[serde(skip)]`, `#[serde(default)]`, and the
+//! `#[serde(try_from = "T", into = "T")]` container proxies.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The materialised data-model value every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null / unit / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer beyond `i64` range (or any unsigned source).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map / struct. Keys are arbitrary `Content` (JSON requires string
+    /// keys; non-string-keyed maps round-trip as sequences of pairs).
+    Map(Vec<(Content, Content)>),
+}
+
+/// A `Content::Null` with a `'static` address, for missing-field lookups.
+pub static NULL: Content = Content::Null;
+
+impl Content {
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) => "integer",
+            Content::U64(_) => "unsigned integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError { msg: msg.to_string() }
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Content) -> DeError {
+        DeError { msg: format!("expected {what}, found {}", found.kind()) }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into the [`Content`] data model.
+pub trait Serialize {
+    /// Produce the content tree for this value.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild `Self` from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the content tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field by name in a content map, yielding `Null` for
+/// missing fields (so `Option` fields deserialize to `None`). Used by
+/// derive-generated code.
+pub fn field<'a>(map: &'a [(Content, Content)], name: &str) -> &'a Content {
+    map.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::custom("unsigned value out of i64 range"))?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    ref other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(concat!("value out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) => u64::try_from(v)
+                        .map_err(|_| DeError::custom("negative value for unsigned field"))?,
+                    Content::F64(v) if v.fract() == 0.0 && v >= 0.0 => v as u64,
+                    ref other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(concat!("value out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::U64(v),
+            // Out-of-range u128 round-trips through a string.
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::U64(v) => Ok(*v as u128),
+            Content::I64(v) if *v >= 0 => Ok(*v as u128),
+            Content::Str(s) => s.parse().map_err(|_| DeError::custom("bad u128 string")),
+            other => Err(DeError::expected("u128", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            // JSON cannot carry NaN/inf; they are written as null.
+            Content::Null => Ok(f64::NAN),
+            ref other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::expected("char", c))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", c))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+// --- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(|v| v.into_iter().collect())
+    }
+}
+
+/// Shared map encoding: string-keyed maps become `Content::Map`,
+/// anything else becomes a sequence of `[key, value]` pairs.
+fn map_to_content<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)> + Clone,
+) -> Content {
+    let all_str = entries.clone().all(|(k, _)| matches!(k.to_content(), Content::Str(_)));
+    if all_str {
+        Content::Map(entries.map(|(k, v)| (k.to_content(), v.to_content())).collect())
+    } else {
+        Content::Seq(
+            entries.map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()])).collect(),
+        )
+    }
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(
+    c: &Content,
+) -> Result<Vec<(K, V)>, DeError> {
+    match c {
+        Content::Map(m) => {
+            m.iter().map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?))).collect()
+        }
+        Content::Seq(s) => s
+            .iter()
+            .map(|pair| {
+                let p = pair.as_seq().filter(|p| p.len() == 2).ok_or_else(|| {
+                    DeError::custom("expected [key, value] pair in map sequence")
+                })?;
+                Ok((K::from_content(&p[0])?, V::from_content(&p[1])?))
+            })
+            .collect(),
+        other => Err(DeError::expected("map", other)),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        map_from_content::<K, V>(c).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        map_from_content::<K, V>(c).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                let s = c.as_seq().filter(|s| s.len() == LEN).ok_or_else(|| {
+                    DeError::custom(format!("expected sequence of length {LEN}"))
+                })?;
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impl! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// --- pointers --------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(Arc::from).ok_or_else(|| DeError::expected("string", c))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Rc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str().map(std::path::PathBuf::from).ok_or_else(|| DeError::expected("path", c))
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}

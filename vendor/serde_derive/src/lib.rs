@@ -1,0 +1,575 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` over the
+//! raw `proc_macro` token stream — no `syn`/`quote` (the container has no
+//! network access to fetch them). Parses the item shape (struct with
+//! named / tuple / unit fields, enums with unit / tuple / struct
+//! variants) plus the `#[serde(...)]` attributes the workspace uses
+//! (`transparent`, `skip`, `default`, `try_from = "T"`, `into = "T"`),
+//! then emits impls of the vendored serde's `Serialize`/`Deserialize`
+//! Content-tree traits as source text.
+//!
+//! Generic type parameters are intentionally unsupported (no in-tree
+//! serialized type is generic); deriving on one produces a compile error
+//! pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String, // named field name, or tuple index as a string
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, attrs: ContainerAttrs, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive the vendored serde `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive the vendored serde `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("compile_error parses")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut container = ContainerAttrs::default();
+    // Leading attributes (doc comments arrive as #[doc = "..."]).
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr_into(&g.stream(), &mut container, &mut FieldAttrs::default());
+            i += 2;
+        } else {
+            return Err("malformed attribute".into());
+        }
+    }
+    // Visibility: `pub` optionally followed by `(...)`.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}` — \
+             add a manual impl or drop the generics"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(&g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(&g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, attrs: container, shape })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(&body)? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `[serde(...)]` attribute bodies into container/field attrs; other
+/// attributes (docs, derives) are ignored.
+fn parse_serde_attr_into(
+    stream: &TokenStream,
+    container: &mut ContainerAttrs,
+    field: &mut FieldAttrs,
+) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let [TokenTree::Ident(tag), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if tag.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let TokenTree::Ident(key) = &args[j] else {
+            j += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let value = match (args.get(j + 1), args.get(j + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                if eq.as_char() == '=' =>
+            {
+                j += 3;
+                let text = lit.to_string();
+                Some(text.trim_matches('"').to_owned())
+            }
+            _ => {
+                j += 1;
+                None
+            }
+        };
+        match key.as_str() {
+            "transparent" => container.transparent = true,
+            "try_from" => container.try_from = value.clone(),
+            "into" => container.into = value.clone(),
+            "skip" | "skip_serializing" | "skip_deserializing" => field.skip = true,
+            "default" => field.default = true,
+            _ => {}
+        }
+        // Skip a separating comma if present.
+        if matches!(args.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Split a token stream at top-level commas. Angle brackets in types
+/// (`BTreeMap<String, MetaEntry>`) are not token groups, so `<`/`>`
+/// nesting is tracked by hand; `->` (whose `>` is not a closer) is
+/// recognised via the preceding joint `-`.
+fn split_commas(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream.clone() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                let after_dash = matches!(
+                    cur.last(),
+                    Some(TokenTree::Punct(prev)) if prev.as_char() == '-'
+                );
+                if !after_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes from a field/variant token list, collecting
+/// serde field attrs; returns the index of the first non-attribute token.
+fn take_attrs(tokens: &[TokenTree], field: &mut FieldAttrs) -> usize {
+    let mut i = 0;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr_into(&g.stream(), &mut ContainerAttrs::default(), field);
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_commas(stream) {
+        let mut attrs = FieldAttrs::default();
+        let mut i = take_attrs(&part, &mut attrs);
+        if matches!(part.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(part.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = part.get(i) else {
+            return Err(format!("expected field name, found {:?}", part.get(i)));
+        };
+        fields.push(Field { name: name.to_string(), attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    Ok(split_commas(stream)
+        .into_iter()
+        .enumerate()
+        .map(|(idx, part)| {
+            let mut attrs = FieldAttrs::default();
+            take_attrs(&part, &mut attrs);
+            Field { name: idx.to_string(), attrs }
+        })
+        .collect())
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_commas(stream) {
+        let mut fattrs = FieldAttrs::default();
+        let mut i = take_attrs(&part, &mut fattrs);
+        let Some(TokenTree::Ident(name)) = part.get(i) else {
+            return Err(format!("expected variant name, found {:?}", part.get(i)));
+        };
+        i += 1;
+        let shape = match part.get(i) {
+            None => Shape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(&g.stream())?)
+            }
+            // `Variant = 3` discriminants: unit variant.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => Shape::Unit,
+            other => return Err(format!("unexpected variant body: {other:?}")),
+        };
+        variants.push(Variant { name: name.to_string(), shape });
+    }
+    Ok(variants)
+}
+
+// --- codegen ---------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, shape } => {
+            if let Some(proxy) = &attrs.into {
+                return format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn to_content(&self) -> ::serde::Content {{\n\
+                         let proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                         ::serde::Serialize::to_content(&proxy)\n\
+                       }}\n\
+                     }}"
+                );
+            }
+            let body = match shape {
+                Shape::Unit => "::serde::Content::Null".to_owned(),
+                Shape::Tuple(fields) if fields.len() == 1 || attrs.transparent => {
+                    let f = &fields[0];
+                    format!("::serde::Serialize::to_content(&self.{})", f.name)
+                }
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = fields.iter().find(|f| !f.attrs.skip).expect("transparent field");
+                    format!("::serde::Serialize::to_content(&self.{})", f.name)
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("::serde::Serialize::to_content(&self.{})", f.name))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => gen_named_to_map(fields, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_owned()),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\
+                               ::serde::Content::Str(\"{vn}\".to_owned()), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(\"{n}\".to_owned()), \
+                                     ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![(\
+                               ::serde::Content::Str(\"{vn}\".to_owned()), \
+                               ::serde::Content::Map(vec![{entries}]))]),\n",
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{\n\
+                     match self {{\n{arms}\n}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_to_map(fields: &[Field], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.attrs.skip)
+        .map(|f| {
+            format!(
+                "(::serde::Content::Str(\"{n}\".to_owned()), \
+                 ::serde::Serialize::to_content(&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, attrs, shape } => {
+            if let Some(proxy) = &attrs.try_from {
+                return format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                       fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let proxy: {proxy} = ::serde::Deserialize::from_content(c)?;\n\
+                         ::std::convert::TryFrom::try_from(proxy)\n\
+                           .map_err(|e| ::serde::DeError::custom(format!(\"{{e}}\")))\n\
+                       }}\n\
+                     }}"
+                );
+            }
+            let body = match shape {
+                Shape::Unit => format!("match c {{ ::serde::Content::Null => Ok({name}), other => Err(::serde::DeError::expected(\"null\", other)) }}"),
+                Shape::Tuple(fields) if fields.len() == 1 || attrs.transparent => format!(
+                    "Ok({name}(::serde::Deserialize::from_content(c)?))"
+                ),
+                Shape::Named(fields) if attrs.transparent => {
+                    let f = fields.iter().find(|f| !f.attrs.skip).expect("transparent field");
+                    let mut init = format!("{}: ::serde::Deserialize::from_content(c)?", f.name);
+                    for skipped in fields.iter().filter(|g| g.attrs.skip) {
+                        init.push_str(&format!(", {}: ::std::default::Default::default()", skipped.name));
+                    }
+                    format!("Ok({name} {{ {init} }})")
+                }
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let s = c.as_seq().filter(|s| s.len() == {n}).ok_or_else(|| \
+                           ::serde::DeError::custom(\"expected sequence of length {n} for {name}\"))?;\n\
+                           Ok({name}({items})) }}",
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            if f.attrs.skip {
+                                format!("{}: ::std::default::Default::default()", f.name)
+                            } else if f.attrs.default {
+                                format!(
+                                    "{n}: match ::serde::field(m, \"{n}\") {{\n\
+                                       ::serde::Content::Null => ::std::default::Default::default(),\n\
+                                       other => ::serde::Deserialize::from_content(other)?,\n\
+                                     }}",
+                                    n = f.name
+                                )
+                            } else {
+                                format!(
+                                    "{n}: ::serde::Deserialize::from_content(::serde::field(m, \"{n}\"))\
+                                       .map_err(|e| ::serde::DeError::custom(format!(\"{name}.{n}: {{e}}\")))?",
+                                    n = f.name
+                                )
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "{{ let m = c.as_map().ok_or_else(|| \
+                           ::serde::DeError::expected(\"map for struct {name}\", c))?;\n\
+                           Ok({name} {{ {inits} }}) }}",
+                        inits = inits.join(",\n")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                               ::serde::Deserialize::from_content(value)\
+                                 .map_err(|e| ::serde::DeError::custom(format!(\"{name}::{vn}: {{e}}\")))?)),\n"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let s = value.as_seq().filter(|s| s.len() == {n}).ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected {n}-tuple for {name}::{vn}\"))?;\n\
+                               return Ok({name}::{vn}({items}));\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.attrs.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{n}: ::serde::Deserialize::from_content(::serde::field(m, \"{n}\"))\
+                                           .map_err(|e| ::serde::DeError::custom(format!(\"{name}::{vn}.{n}: {{e}}\")))?",
+                                        n = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let m = value.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"map for {name}::{vn}\", value))?;\n\
+                               return Ok({name}::{vn} {{ {inits} }});\n\
+                             }}\n",
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     if let Some(tag) = c.as_str() {{\n\
+                       match tag {{\n{unit_arms}\
+                         _ => return Err(::serde::DeError::custom(format!(\"unknown {name} variant {{tag:?}}\"))),\n\
+                       }}\n\
+                     }}\n\
+                     let m = c.as_map().filter(|m| m.len() == 1).ok_or_else(|| \
+                       ::serde::DeError::expected(\"externally tagged {name} variant\", c))?;\n\
+                     let (tag_c, value) = &m[0];\n\
+                     let tag = tag_c.as_str().ok_or_else(|| \
+                       ::serde::DeError::expected(\"string variant tag\", tag_c))?;\n\
+                     #[allow(unused_variables)]\n\
+                     match tag {{\n{tagged_arms}\
+                       _ => {{}}\n\
+                     }}\n\
+                     Err(::serde::DeError::custom(format!(\"unknown {name} variant {{tag:?}}\")))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
