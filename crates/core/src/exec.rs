@@ -12,6 +12,7 @@ use crate::plan::{LogicalPlan, PlanOp};
 use nggc_engine::ExecContext;
 use nggc_gdm::Dataset;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Execution strategy knobs (the E10 ablation toggles these).
@@ -33,6 +34,14 @@ impl Default for ExecOptions {
 pub trait DatasetProvider {
     /// Load a dataset; called once per distinct source in the plan.
     fn load(&self, name: &str) -> Result<Dataset, GmqlError>;
+
+    /// Load a dataset behind a shared pointer. Providers backed by a
+    /// shared cache (e.g. `nggc-repository`) override this so a source
+    /// node costs a reference-count bump instead of a deep copy; the
+    /// default wraps [`DatasetProvider::load`].
+    fn load_shared(&self, name: &str) -> Result<Arc<Dataset>, GmqlError> {
+        self.load(name).map(Arc::new)
+    }
 }
 
 impl<F> DatasetProvider for F
@@ -144,7 +153,10 @@ pub fn execute_with_metrics(
         refcount[*id] += 1;
     }
 
-    let mut slots: Vec<Option<Dataset>> = (0..plan.nodes.len()).map(|_| None).collect();
+    // Slots hold shared pointers: a source served from a warm repository
+    // cache is never deep-copied unless an output must be renamed while
+    // other references are still alive.
+    let mut slots: Vec<Option<Arc<Dataset>>> = (0..plan.nodes.len()).map(|_| None).collect();
     let mut metrics = Vec::with_capacity(plan.nodes.len());
     for (id, node) in plan.nodes.iter().enumerate() {
         let operator = match &node.op {
@@ -163,16 +175,16 @@ pub fn execute_with_metrics(
             .field("regions_in", regions_in);
         let t0 = std::time::Instant::now();
         let result = match &node.op {
-            PlanOp::Source(name) => provider.load(name)?,
+            PlanOp::Source(name) => provider.load_shared(name)?,
             PlanOp::Apply(op) => {
                 let inputs: Vec<&Dataset> = node
                     .inputs
                     .iter()
-                    .map(|&i| slots[i].as_ref().expect("topological order"))
+                    .map(|&i| slots[i].as_deref().expect("topological order"))
                     .collect();
                 let mut d = apply(op, &inputs, ctx, opts, &node.schema)?;
                 d.name = node.label.clone();
-                d
+                Arc::new(d)
             }
         };
         let wall = t0.elapsed();
@@ -212,7 +224,15 @@ pub fn execute_with_metrics(
 
     let mut out = HashMap::new();
     for (name, id) in &plan.outputs {
-        let mut d = slots[*id].clone().expect("outputs are retained");
+        // Drop the slot once its last output consumer is served, so the
+        // rename below can reuse the allocation instead of copying.
+        refcount[*id] -= 1;
+        let arc = if refcount[*id] == 0 {
+            slots[*id].take().expect("outputs are retained")
+        } else {
+            slots[*id].clone().expect("outputs are retained")
+        };
+        let mut d = Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone());
         d.name = name.clone();
         debug_assert!(d.validate().is_ok(), "operator produced an invalid dataset");
         out.insert(name.clone(), d);

@@ -19,6 +19,13 @@ pub enum FormatError {
     Model(GdmError),
     /// The file extension or content matches no known format.
     UnknownFormat(String),
+    /// A corrupt binary container (native v2).
+    Corrupt {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
 }
 
 impl FormatError {
@@ -35,6 +42,9 @@ impl fmt::Display for FormatError {
             FormatError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
             FormatError::Model(e) => write!(f, "model error: {e}"),
             FormatError::UnknownFormat(what) => write!(f, "unknown format: {what}"),
+            FormatError::Corrupt { offset, reason } => {
+                write!(f, "corrupt container at byte {offset}: {reason}")
+            }
         }
     }
 }

@@ -14,7 +14,8 @@
 //! | GFF3 annotations | [`gff3`] | GTF columns + `id, name, parent` hierarchy |
 //! | bedGraph signals | [`bedgraph`] | single `signal: float` |
 //! | WIG signals | [`wig`] | fixed/variable step → `signal: float` regions |
-//! | GDM native | [`native`] | schema file + per-sample region/`.meta` files |
+//! | GDM native v1 | [`native`] | schema file + per-sample region/`.meta` text files |
+//! | GDM native v2 | [`native_v2`] | binary columnar container with per-chromosome index |
 //!
 //! [`detect::FileFormat`] dispatches by extension, so mixed directories
 //! load uniformly.
@@ -29,6 +30,7 @@ pub mod gff3;
 pub mod gtf;
 pub mod loader;
 pub mod native;
+pub mod native_v2;
 pub mod peak;
 pub mod vcf;
 pub mod wig;
@@ -41,6 +43,10 @@ pub use gff3::{gff3_schema, parse_gff3, write_gff3};
 pub use gtf::{gtf_schema, parse_gtf, write_gtf};
 pub use loader::{load_directory, LoadReport};
 pub use native::{read_dataset, read_dataset_streaming, write_dataset};
+pub use native_v2::{
+    detect_version, read_dataset_auto, read_dataset_v2, read_dataset_v2_chrom,
+    read_dataset_v2_streaming, write_dataset_v2, StorageVersion,
+};
 pub use peak::{parse_peaks, write_peaks, PeakKind};
 pub use vcf::{parse_vcf, vcf_schema, write_vcf};
 pub use wig::{parse_wig, wig_schema};

@@ -1,0 +1,939 @@
+//! GDM native on-disk format, version 2: binary columnar storage.
+//!
+//! Version 1 ([`crate::native`]) keeps a dataset as text TSV files that
+//! must be re-tokenised and re-parsed on every cold read. Version 2
+//! stores the same logical content — schema, per-sample regions and
+//! metadata — in a single binary container designed around how region
+//! data is actually shaped: sorted coordinates compress well as deltas,
+//! strands fit in two bits, and a column of one declared type decodes
+//! without per-cell dispatch.
+//!
+//! ```text
+//! <dataset>/
+//!   data.gdm2             # the whole dataset, one container file
+//! ```
+//!
+//! ## Container layout
+//!
+//! All integers are LEB128 varints unless stated otherwise; `str` means
+//! varint byte length followed by UTF-8 bytes.
+//!
+//! ```text
+//! magic           8 bytes  "NGGCGDM2"
+//! version         1 byte   (2)
+//! dataset name    str
+//! schema          varint n_attrs, then per attribute: str name, u8 type tag
+//! sample count    varint
+//! per sample:
+//!   name          str
+//!   metadata      varint n_pairs, then per pair: str key, str value
+//!   chrom index   varint n_chroms, then per chromosome:
+//!                   str name, varint n_regions, varint block_bytes
+//!   chrom blocks  back-to-back, in index order
+//! ```
+//!
+//! The chromosome index doubles as an offset table: `block_bytes` lets a
+//! reader *skip* any chromosome without decoding it, which is what
+//! [`read_dataset_v2_chrom`] uses for chromosome-granular reads.
+//!
+//! ## Chromosome block encoding
+//!
+//! Regions of one chromosome are stored column-major:
+//!
+//! 1. **lefts** — zigzag varint deltas from the previous left (first
+//!    delta from 0). Sorted input makes these small positive numbers;
+//!    zigzag keeps unsorted input safe.
+//! 2. **lengths** — varint `right - left` per region (never negative by
+//!    the [`GRegion`] invariant).
+//! 3. **strands** — 2 bits per region (`0=+`, `1=-`, `2=*`), packed
+//!    four per byte.
+//! 4. **value columns**, one per schema attribute, each a null bitmap
+//!    (1 bit per region) followed by the non-null payloads in row
+//!    order: `int` as zigzag varint, `float` as 8 raw little-endian
+//!    bytes (NaN-exact), `bool` packed 8 per byte, `string` as `str`.
+//!
+//! Type tags: `0=int`, `1=float`, `2=string`, `3=bool`.
+
+use crate::error::FormatError;
+use crate::native;
+use nggc_gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType};
+use std::fs;
+use std::path::Path;
+
+/// Magic bytes opening every v2 container.
+pub const MAGIC: &[u8; 8] = b"NGGCGDM2";
+
+/// Version byte following the magic.
+pub const VERSION: u8 = 2;
+
+/// Container file name inside a dataset directory.
+pub const CONTAINER_FILE: &str = "data.gdm2";
+
+/// Which on-disk layout a dataset directory uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageVersion {
+    /// Text TSV side-by-side files (`schema.gdm` + `files/*.gdm`).
+    V1,
+    /// Binary columnar container (`data.gdm2`).
+    V2,
+}
+
+impl StorageVersion {
+    /// Short name for logs and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageVersion::V1 => "v1",
+            StorageVersion::V2 => "v2",
+        }
+    }
+}
+
+/// Detect the storage version of a dataset directory by magic bytes:
+/// a `data.gdm2` file starting with [`MAGIC`] means v2, a `schema.gdm`
+/// file means v1, anything else is unrecognised.
+pub fn detect_version(dir: &Path) -> Option<StorageVersion> {
+    let container = dir.join(CONTAINER_FILE);
+    if let Ok(mut f) = fs::File::open(&container) {
+        use std::io::Read;
+        let mut head = [0u8; 8];
+        if f.read_exact(&mut head).is_ok() && &head == MAGIC {
+            return Some(StorageVersion::V2);
+        }
+    }
+    if dir.join("schema.gdm").exists() {
+        return Some(StorageVersion::V1);
+    }
+    None
+}
+
+/// Read a dataset in whichever version the directory holds (v2 binary
+/// preferred, v1 text fallback).
+pub fn read_dataset_auto(dir: &Path) -> Result<Dataset, FormatError> {
+    match detect_version(dir) {
+        Some(StorageVersion::V2) => read_dataset_v2(dir),
+        Some(StorageVersion::V1) => native::read_dataset(dir),
+        None => Err(FormatError::UnknownFormat(format!(
+            "{}: neither a v2 container nor a v1 native dataset",
+            dir.display()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Byte cursor with offset-carrying decode errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> FormatError {
+        FormatError::Corrupt { offset: self.pos, reason: reason.into() }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.corrupt(format!("need {n} bytes past end of container")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, FormatError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(self.corrupt("varint longer than 64 bits"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn len_prefixed(&mut self, what: &str) -> Result<usize, FormatError> {
+        let n = self.varint()?;
+        usize::try_from(n)
+            .ok()
+            .filter(|&n| n <= self.buf.len())
+            .ok_or_else(|| self.corrupt(format!("{what} length {n} exceeds container size")))
+    }
+
+    fn string(&mut self) -> Result<String, FormatError> {
+        let n = self.len_prefixed("string")?;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("invalid UTF-8 string"))
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), FormatError> {
+        self.bytes(n).map(|_| ())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn type_tag(ty: ValueType) -> u8 {
+    match ty {
+        ValueType::Int => 0,
+        ValueType::Float => 1,
+        ValueType::Str => 2,
+        ValueType::Bool => 3,
+    }
+}
+
+fn type_from_tag(tag: u8, cur: &Cursor<'_>) -> Result<ValueType, FormatError> {
+    match tag {
+        0 => Ok(ValueType::Int),
+        1 => Ok(ValueType::Float),
+        2 => Ok(ValueType::Str),
+        3 => Ok(ValueType::Bool),
+        other => Err(cur.corrupt(format!("unknown value type tag {other}"))),
+    }
+}
+
+fn strand_bits(s: Strand) -> u8 {
+    match s {
+        Strand::Pos => 0,
+        Strand::Neg => 1,
+        Strand::Unstranded => 2,
+    }
+}
+
+fn strand_from_bits(bits: u8, cur: &Cursor<'_>) -> Result<Strand, FormatError> {
+    match bits {
+        0 => Ok(Strand::Pos),
+        1 => Ok(Strand::Neg),
+        2 => Ok(Strand::Unstranded),
+        other => Err(cur.corrupt(format!("invalid strand bits {other}"))),
+    }
+}
+
+/// Encode one chromosome's regions (all sharing a chromosome) into a
+/// column-major block.
+fn encode_chrom_block(
+    regions: &[&GRegion],
+    schema: &Schema,
+    out: &mut Vec<u8>,
+) -> Result<(), FormatError> {
+    // Column 1: lefts as zigzag deltas.
+    let mut prev: i64 = 0;
+    for r in regions {
+        let left = i64::try_from(r.left)
+            .map_err(|_| FormatError::Corrupt { offset: 0, reason: "left exceeds i64".into() })?;
+        put_varint(out, zigzag(left - prev));
+        prev = left;
+    }
+    // Column 2: lengths.
+    for r in regions {
+        put_varint(out, r.right - r.left);
+    }
+    // Column 3: strands, 2 bits each.
+    let mut byte = 0u8;
+    for (i, r) in regions.iter().enumerate() {
+        byte |= strand_bits(r.strand) << ((i % 4) * 2);
+        if i % 4 == 3 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !regions.is_empty() && !regions.len().is_multiple_of(4) {
+        out.push(byte);
+    }
+    // Value columns: null bitmap + typed payload.
+    for (col, attr) in schema.attributes().iter().enumerate() {
+        let mut bitmap = vec![0u8; regions.len().div_ceil(8)];
+        for (i, r) in regions.iter().enumerate() {
+            let v = r.values.get(col).unwrap_or(&Value::Null);
+            if v.is_null() {
+                bitmap[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out.extend_from_slice(&bitmap);
+        match attr.ty {
+            ValueType::Int => {
+                for r in regions {
+                    match r.values.get(col).unwrap_or(&Value::Null) {
+                        Value::Int(v) => put_varint(out, zigzag(*v)),
+                        Value::Null => {}
+                        other => return Err(column_type_error(&attr.name, other)),
+                    }
+                }
+            }
+            ValueType::Float => {
+                for r in regions {
+                    match r.values.get(col).unwrap_or(&Value::Null) {
+                        Value::Float(v) => out.extend_from_slice(&v.to_bits().to_le_bytes()),
+                        Value::Null => {}
+                        other => return Err(column_type_error(&attr.name, other)),
+                    }
+                }
+            }
+            ValueType::Bool => {
+                let mut bits = Vec::new();
+                for r in regions {
+                    match r.values.get(col).unwrap_or(&Value::Null) {
+                        Value::Bool(v) => bits.push(*v),
+                        Value::Null => {}
+                        other => return Err(column_type_error(&attr.name, other)),
+                    }
+                }
+                let mut byte = 0u8;
+                for (i, b) in bits.iter().enumerate() {
+                    if *b {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if !bits.is_empty() && bits.len() % 8 != 0 {
+                    out.push(byte);
+                }
+            }
+            ValueType::Str => {
+                for r in regions {
+                    match r.values.get(col).unwrap_or(&Value::Null) {
+                        Value::Str(s) => put_str(out, s),
+                        Value::Null => {}
+                        other => return Err(column_type_error(&attr.name, other)),
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn column_type_error(attr: &str, value: &Value) -> FormatError {
+    FormatError::Corrupt {
+        offset: 0,
+        reason: format!("column {attr:?} cannot encode a {value:?} value"),
+    }
+}
+
+/// Serialise a whole dataset into v2 container bytes.
+pub fn encode_dataset_v2(dataset: &Dataset) -> Result<Vec<u8>, FormatError> {
+    let mut out = Vec::with_capacity(64 * 1024);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_str(&mut out, &dataset.name);
+    // Schema block.
+    put_varint(&mut out, dataset.schema.len() as u64);
+    for a in dataset.schema.attributes() {
+        put_str(&mut out, &a.name);
+        out.push(type_tag(a.ty));
+    }
+    put_varint(&mut out, dataset.samples.len() as u64);
+    for sample in &dataset.samples {
+        put_str(&mut out, &sample.name);
+        // Metadata pairs.
+        let pairs: Vec<(&str, &str)> = sample.metadata.iter().collect();
+        put_varint(&mut out, pairs.len() as u64);
+        for (k, v) in pairs {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        // Group regions per chromosome, preserving first-appearance order
+        // (identical to region order for sorted samples).
+        let mut chrom_order: Vec<&str> = Vec::new();
+        let mut groups: Vec<Vec<&GRegion>> = Vec::new();
+        for r in &sample.regions {
+            match chrom_order.iter().position(|c| *c == r.chrom.as_str()) {
+                Some(i) => groups[i].push(r),
+                None => {
+                    chrom_order.push(r.chrom.as_str());
+                    groups.push(vec![r]);
+                }
+            }
+        }
+        // Encode blocks first so the index can carry byte lengths.
+        let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(groups.len());
+        for group in &groups {
+            let mut block = Vec::new();
+            encode_chrom_block(group, &dataset.schema, &mut block)?;
+            blocks.push(block);
+        }
+        put_varint(&mut out, chrom_order.len() as u64);
+        for ((chrom, group), block) in chrom_order.iter().zip(&groups).zip(&blocks) {
+            put_str(&mut out, chrom);
+            put_varint(&mut out, group.len() as u64);
+            put_varint(&mut out, block.len() as u64);
+        }
+        for block in &blocks {
+            out.extend_from_slice(block);
+        }
+    }
+    Ok(out)
+}
+
+/// Write a dataset to `dir` as a v2 binary container, creating
+/// directories. Returns the container size in bytes.
+pub fn write_dataset_v2(dataset: &Dataset, dir: &Path) -> Result<u64, FormatError> {
+    let bytes = encode_dataset_v2(dataset)?;
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(CONTAINER_FILE), &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn decode_chrom_block(
+    cur: &mut Cursor<'_>,
+    chrom: &str,
+    n: usize,
+    schema: &Schema,
+    out: &mut Vec<GRegion>,
+) -> Result<(), FormatError> {
+    let base = out.len();
+    // Coordinates.
+    let mut prev: i64 = 0;
+    let mut lefts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let delta = unzigzag(cur.varint()?);
+        prev =
+            prev.checked_add(delta).ok_or_else(|| cur.corrupt("left coordinate overflows i64"))?;
+        if prev < 0 {
+            return Err(cur.corrupt("negative left coordinate"));
+        }
+        lefts.push(prev as u64);
+    }
+    for &left in &lefts {
+        let len = cur.varint()?;
+        let right =
+            left.checked_add(len).ok_or_else(|| cur.corrupt("right coordinate overflows u64"))?;
+        out.push(GRegion::new(chrom, left, right, Strand::Unstranded));
+    }
+    // Strands.
+    let strand_bytes = cur.bytes(n.div_ceil(4))?.to_vec();
+    for i in 0..n {
+        let bits = (strand_bytes[i / 4] >> ((i % 4) * 2)) & 0b11;
+        out[base + i].strand = strand_from_bits(bits, cur)?;
+    }
+    if !schema.is_empty() {
+        for r in &mut out[base..] {
+            r.values = Vec::with_capacity(schema.len());
+        }
+    }
+    // Value columns.
+    for attr in schema.attributes() {
+        let bitmap = cur.bytes(n.div_ceil(8))?.to_vec();
+        let is_null = |i: usize| bitmap[i / 8] & (1 << (i % 8)) != 0;
+        match attr.ty {
+            ValueType::Int => {
+                for i in 0..n {
+                    let v =
+                        if is_null(i) { Value::Null } else { Value::Int(unzigzag(cur.varint()?)) };
+                    out[base + i].values.push(v);
+                }
+            }
+            ValueType::Float => {
+                for i in 0..n {
+                    let v = if is_null(i) {
+                        Value::Null
+                    } else {
+                        let raw = cur.bytes(8)?;
+                        let bits = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+                        Value::Float(f64::from_bits(bits))
+                    };
+                    out[base + i].values.push(v);
+                }
+            }
+            ValueType::Bool => {
+                let non_null = (0..n).filter(|&i| !is_null(i)).count();
+                let packed = cur.bytes(non_null.div_ceil(8))?.to_vec();
+                let mut k = 0usize;
+                for i in 0..n {
+                    let v = if is_null(i) {
+                        Value::Null
+                    } else {
+                        let b = packed[k / 8] & (1 << (k % 8)) != 0;
+                        k += 1;
+                        Value::Bool(b)
+                    };
+                    out[base + i].values.push(v);
+                }
+            }
+            ValueType::Str => {
+                for i in 0..n {
+                    let v = if is_null(i) { Value::Null } else { Value::Str(cur.string()?) };
+                    out[base + i].values.push(v);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Container header: dataset name and schema, leaving the cursor at the
+/// sample count.
+fn decode_header(cur: &mut Cursor<'_>) -> Result<(String, Schema), FormatError> {
+    let magic = cur.bytes(8)?;
+    if magic != MAGIC {
+        return Err(cur.corrupt("bad magic: not a v2 container"));
+    }
+    let version = cur.u8()?;
+    if version != VERSION {
+        return Err(cur.corrupt(format!("unsupported container version {version}")));
+    }
+    let name = cur.string()?;
+    let n_attrs = cur.len_prefixed("schema")?;
+    let mut attrs = Vec::with_capacity(n_attrs);
+    for _ in 0..n_attrs {
+        let attr_name = cur.string()?;
+        let tag = cur.u8()?;
+        attrs.push(Attribute::new(attr_name, type_from_tag(tag, cur)?));
+    }
+    let schema = Schema::new(attrs).map_err(|e| cur.corrupt(format!("invalid schema: {e}")))?;
+    Ok((name, schema))
+}
+
+/// One chromosome's entry in a sample's block index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromIndexEntry {
+    /// Chromosome name.
+    pub chrom: String,
+    /// Regions in the block.
+    pub regions: u64,
+    /// Encoded block size in bytes.
+    pub bytes: u64,
+}
+
+/// Per-sample index of a v2 container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleIndexEntry {
+    /// Sample name.
+    pub name: String,
+    /// Chromosome blocks, in stored order.
+    pub chroms: Vec<ChromIndexEntry>,
+}
+
+/// The container-level index of a v2 dataset: everything except the
+/// region blocks themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V2Index {
+    /// Dataset name as stored in the container.
+    pub name: String,
+    /// Region schema.
+    pub schema: Schema,
+    /// One entry per sample.
+    pub samples: Vec<SampleIndexEntry>,
+}
+
+impl V2Index {
+    /// Total regions across all samples and chromosomes.
+    pub fn region_count(&self) -> u64 {
+        self.samples.iter().flat_map(|s| s.chroms.iter()).map(|c| c.regions).sum()
+    }
+}
+
+fn decode_sample_index(
+    cur: &mut Cursor<'_>,
+) -> Result<(String, Metadata, Vec<ChromIndexEntry>), FormatError> {
+    let sample_name = cur.string()?;
+    let n_pairs = cur.len_prefixed("metadata")?;
+    let mut metadata = Metadata::new();
+    for _ in 0..n_pairs {
+        let k = cur.string()?;
+        let v = cur.string()?;
+        metadata.insert(&k, v);
+    }
+    let n_chroms = cur.len_prefixed("chrom index")?;
+    let mut chroms = Vec::with_capacity(n_chroms);
+    for _ in 0..n_chroms {
+        let chrom = cur.string()?;
+        let regions = cur.varint()?;
+        let bytes = cur.varint()?;
+        chroms.push(ChromIndexEntry { chrom, regions, bytes });
+    }
+    Ok((sample_name, metadata, chroms))
+}
+
+/// Read only the index of a v2 container (schema, sample names,
+/// metadata sizes, per-chromosome region counts and byte extents) —
+/// no region block is decoded.
+pub fn read_index(dir: &Path) -> Result<V2Index, FormatError> {
+    let buf = fs::read(dir.join(CONTAINER_FILE))?;
+    let mut cur = Cursor::new(&buf);
+    let (name, schema) = decode_header(&mut cur)?;
+    let n_samples = cur.len_prefixed("sample count")?;
+    let mut samples = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let (sample_name, _meta, chroms) = decode_sample_index(&mut cur)?;
+        let block_bytes: u64 = chroms.iter().map(|c| c.bytes).sum();
+        let skip =
+            usize::try_from(block_bytes).map_err(|_| cur.corrupt("block extent exceeds usize"))?;
+        cur.skip(skip)?;
+        samples.push(SampleIndexEntry { name: sample_name, chroms });
+    }
+    Ok(V2Index { name, schema, samples })
+}
+
+/// Decode a full v2 container from bytes.
+pub fn decode_dataset_v2(buf: &[u8]) -> Result<Dataset, FormatError> {
+    let mut cur = Cursor::new(buf);
+    let (name, schema) = decode_header(&mut cur)?;
+    let mut dataset = Dataset::new(name.clone(), schema);
+    let n_samples = cur.len_prefixed("sample count")?;
+    for _ in 0..n_samples {
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let mut regions = Vec::new();
+        for entry in &chroms {
+            let n = usize::try_from(entry.regions)
+                .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+            decode_chrom_block(&mut cur, &entry.chrom, n, &dataset.schema, &mut regions)?;
+        }
+        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
+        dataset.add_sample(sample)?;
+    }
+    Ok(dataset)
+}
+
+/// Read a whole dataset from a v2 container directory.
+pub fn read_dataset_v2(dir: &Path) -> Result<Dataset, FormatError> {
+    let buf = fs::read(dir.join(CONTAINER_FILE))?;
+    decode_dataset_v2(&buf)
+}
+
+/// Read a dataset restricted to one chromosome: only that chromosome's
+/// blocks are decoded, every other block is skipped via the offset
+/// index. Samples without the chromosome are kept with empty regions so
+/// metadata stays addressable.
+pub fn read_dataset_v2_chrom(dir: &Path, chrom: &str) -> Result<Dataset, FormatError> {
+    let buf = fs::read(dir.join(CONTAINER_FILE))?;
+    let mut cur = Cursor::new(&buf);
+    let (name, schema) = decode_header(&mut cur)?;
+    let mut dataset = Dataset::new(name.clone(), schema);
+    let n_samples = cur.len_prefixed("sample count")?;
+    for _ in 0..n_samples {
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let mut regions = Vec::new();
+        for entry in &chroms {
+            if entry.chrom == chrom {
+                let n = usize::try_from(entry.regions)
+                    .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+                let before = cur.pos;
+                decode_chrom_block(&mut cur, &entry.chrom, n, &dataset.schema, &mut regions)?;
+                let consumed = (cur.pos - before) as u64;
+                if consumed != entry.bytes {
+                    return Err(cur.corrupt(format!(
+                        "chrom block for {chrom:?} decoded {consumed} bytes, index says {}",
+                        entry.bytes
+                    )));
+                }
+            } else {
+                let skip = usize::try_from(entry.bytes)
+                    .map_err(|_| cur.corrupt("block extent exceeds usize"))?;
+                cur.skip(skip)?;
+            }
+        }
+        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
+        dataset.add_sample(sample)?;
+    }
+    Ok(dataset)
+}
+
+/// Stream a v2 dataset sample by sample, mirroring
+/// [`crate::native::read_dataset_streaming`]. The callback may return
+/// `false` to stop early; remaining samples are not decoded.
+pub fn read_dataset_v2_streaming(
+    dir: &Path,
+    mut visit: impl FnMut(Sample) -> bool,
+) -> Result<Schema, FormatError> {
+    let buf = fs::read(dir.join(CONTAINER_FILE))?;
+    let mut cur = Cursor::new(&buf);
+    let (name, schema) = decode_header(&mut cur)?;
+    let n_samples = cur.len_prefixed("sample count")?;
+    for _ in 0..n_samples {
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let mut regions = Vec::new();
+        for entry in &chroms {
+            let n = usize::try_from(entry.regions)
+                .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+            decode_chrom_block(&mut cur, &entry.chrom, n, &schema, &mut regions)?;
+        }
+        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
+        if !visit(sample) {
+            break;
+        }
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nggc_gdm::Attribute;
+
+    fn wide_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("score", ValueType::Float),
+            Attribute::new("name", ValueType::Str),
+            Attribute::new("count", ValueType::Int),
+            Attribute::new("flagged", ValueType::Bool),
+        ])
+        .unwrap()
+    }
+
+    fn wide_dataset() -> Dataset {
+        let mut ds = Dataset::new("WIDE", wide_schema());
+        ds.add_sample(
+            Sample::new("s1", "WIDE")
+                .with_regions(vec![
+                    GRegion::new("chr1", 100, 200, Strand::Pos).with_values(vec![
+                        Value::Float(0.5),
+                        Value::Str("peak_a".into()),
+                        Value::Int(-3),
+                        Value::Bool(true),
+                    ]),
+                    GRegion::new("chr1", 150, 150, Strand::Neg).with_values(vec![
+                        Value::Null,
+                        Value::Null,
+                        Value::Int(7),
+                        Value::Bool(false),
+                    ]),
+                    GRegion::new("chr2", 0, 50, Strand::Unstranded).with_values(vec![
+                        Value::Float(f64::NAN),
+                        Value::Str("".into()),
+                        Value::Null,
+                        Value::Null,
+                    ]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "K562"), ("assay", "ChIP-seq")])),
+        )
+        .unwrap();
+        ds.add_sample(
+            Sample::new("s2", "WIDE").with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+        )
+        .unwrap();
+        ds
+    }
+
+    fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.sample_count(), b.sample_count());
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(sa.metadata, sb.metadata);
+            assert_eq!(sa.regions.len(), sb.regions.len());
+            for (ra, rb) in sa.regions.iter().zip(&sb.regions) {
+                assert_eq!(
+                    (ra.chrom.as_str(), ra.left, ra.right, ra.strand),
+                    (rb.chrom.as_str(), rb.left, rb.right, rb.strand)
+                );
+                assert_eq!(ra.values.len(), rb.values.len());
+                for (va, vb) in ra.values.iter().zip(&rb.values) {
+                    match (va, vb) {
+                        (Value::Float(x), Value::Float(y)) => {
+                            assert_eq!(x.to_bits(), y.to_bits(), "float bits must round-trip")
+                        }
+                        _ => assert_eq!(va, vb),
+                    }
+                }
+            }
+        }
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nggc_v2_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn memory_roundtrip_all_types_nulls_nan_zero_length() {
+        let ds = wide_dataset();
+        let bytes = encode_dataset_v2(&ds).unwrap();
+        assert_eq!(&bytes[..8], MAGIC);
+        let back = decode_dataset_v2(&bytes).unwrap();
+        assert_datasets_equal(&ds, &back);
+    }
+
+    #[test]
+    fn disk_roundtrip_and_detection() {
+        let ds = wide_dataset();
+        let dir = tmp("disk");
+        let dsdir = dir.join("WIDE");
+        let written = write_dataset_v2(&ds, &dsdir).unwrap();
+        assert!(written > 0);
+        assert_eq!(detect_version(&dsdir), Some(StorageVersion::V2));
+        let back = read_dataset_v2(&dsdir).unwrap();
+        assert_datasets_equal(&ds, &back);
+        // Auto reader picks v2.
+        let auto = read_dataset_auto(&dsdir).unwrap();
+        assert_datasets_equal(&ds, &auto);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_directories_detected_and_auto_read() {
+        let ds = wide_dataset();
+        let dir = tmp("v1auto");
+        let dsdir = dir.join("WIDE");
+        native::write_dataset(&ds, &dsdir).unwrap();
+        assert_eq!(detect_version(&dsdir), Some(StorageVersion::V1));
+        let back = read_dataset_auto(&dsdir).unwrap();
+        assert_eq!(back.sample_count(), ds.sample_count());
+        assert_eq!(detect_version(&dir), None, "parent dir is no dataset");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chromosome_granular_read() {
+        let ds = wide_dataset();
+        let dir = tmp("chrom");
+        let dsdir = dir.join("WIDE");
+        write_dataset_v2(&ds, &dsdir).unwrap();
+        let chr2 = read_dataset_v2_chrom(&dsdir, "chr2").unwrap();
+        assert_eq!(chr2.sample_count(), 2, "samples survive even without the chromosome");
+        assert_eq!(chr2.samples[0].region_count(), 1);
+        assert_eq!(chr2.samples[0].regions[0].chrom.as_str(), "chr2");
+        assert_eq!(chr2.samples[1].region_count(), 0);
+        assert!(chr2.samples[1].metadata.has("cell", "HeLa"));
+        let none = read_dataset_v2_chrom(&dsdir, "chr9").unwrap();
+        assert_eq!(none.region_count(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_reads_without_decoding_blocks() {
+        let ds = wide_dataset();
+        let dir = tmp("index");
+        let dsdir = dir.join("WIDE");
+        write_dataset_v2(&ds, &dsdir).unwrap();
+        let index = read_index(&dsdir).unwrap();
+        assert_eq!(index.name, "WIDE");
+        assert_eq!(index.schema, ds.schema);
+        assert_eq!(index.samples.len(), 2);
+        assert_eq!(index.samples[0].chroms.len(), 2);
+        assert_eq!(index.samples[0].chroms[0].chrom, "chr1");
+        assert_eq!(index.samples[0].chroms[0].regions, 2);
+        assert_eq!(index.region_count(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_visits_and_stops_early() {
+        let ds = wide_dataset();
+        let dir = tmp("stream");
+        let dsdir = dir.join("WIDE");
+        write_dataset_v2(&ds, &dsdir).unwrap();
+        let mut seen = Vec::new();
+        let schema = read_dataset_v2_streaming(&dsdir, |s| {
+            seen.push((s.name.clone(), s.region_count()));
+            true
+        })
+        .unwrap();
+        assert_eq!(schema, ds.schema);
+        assert_eq!(seen, vec![("s1".into(), 3), ("s2".into(), 0)]);
+        let mut count = 0;
+        read_dataset_v2_streaming(&dsdir, |_| {
+            count += 1;
+            false
+        })
+        .unwrap();
+        assert_eq!(count, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_containers_rejected() {
+        let ds = wide_dataset();
+        let mut bytes = encode_dataset_v2(&ds).unwrap();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_dataset_v2(&bad), Err(FormatError::Corrupt { .. })));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(decode_dataset_v2(&bad), Err(FormatError::Corrupt { .. })));
+        // Truncation anywhere must error, never panic.
+        bytes.truncate(bytes.len() / 2);
+        assert!(decode_dataset_v2(&bytes).is_err());
+        assert!(decode_dataset_v2(&[]).is_err());
+    }
+
+    #[test]
+    fn varint_zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, 300, -300, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, zigzag(v));
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(unzigzag(cur.varint().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text_for_numeric_data() {
+        // A numeric-heavy sample: the shape ENCODE peak files have.
+        let schema = Schema::new(vec![
+            Attribute::new("signal", ValueType::Float),
+            Attribute::new("p_value", ValueType::Float),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new("NUM", schema);
+        let regions: Vec<GRegion> = (0..2000)
+            .map(|i| {
+                GRegion::new("chr1", i * 137, i * 137 + 400, Strand::Pos)
+                    .with_values(vec![Value::Float(i as f64 * 0.25), Value::Float(1e-9)])
+            })
+            .collect();
+        ds.add_sample(Sample::new("s", "NUM").with_regions(regions)).unwrap();
+        let v2 = encode_dataset_v2(&ds).unwrap().len();
+        let v1 = native::render_regions(&ds.samples[0].regions).len();
+        assert!(v2 < v1, "v2 container ({v2} B) should undercut v1 text regions alone ({v1} B)");
+    }
+}

@@ -5,7 +5,9 @@
 //! core of VCF 4.x: `CHROM POS ID REF ALT QUAL FILTER INFO` (genotype
 //! columns are ignored). A variant at 1-based `POS` with reference allele
 //! `REF` maps to the half-open region `[POS-1, POS-1+len(REF))` — so SNVs
-//! are 1 bp regions and pure insertions are zero-length points.
+//! are 1 bp regions and pure insertions are zero-length points. Symbolic
+//! alleles (`<DEL>`, `<DUP>`, …) carry their true extent in the INFO
+//! `END=` key (1-based inclusive), which maps to `[POS-1, END)`.
 
 use crate::error::FormatError;
 use nggc_gdm::{Attribute, GRegion, Schema, Strand, Value, ValueType};
@@ -46,10 +48,27 @@ pub fn parse_vcf(text: &str) -> Result<Vec<GRegion>, FormatError> {
             return Err(FormatError::malformed(lineno, "VCF POS is 1-based; 0 is invalid"));
         }
         let reference = fields[3];
-        // Symbolic alleles (<DEL>, <INS>) have no literal length; treat as 1 bp.
+        // Symbolic alleles (<DEL>, <INS>) have no literal length; their
+        // extent, if any, is in INFO's END key. Without END, 1 bp.
         let ref_len = if reference.starts_with('<') { 1 } else { reference.len() as u64 };
         let left = pos - 1;
-        let right = left + ref_len;
+        let right = match info_end(fields[7]) {
+            Some(Ok(end)) => {
+                // END is the 1-based inclusive last base, i.e. the
+                // half-open right bound in 0-based coordinates.
+                if end < left {
+                    return Err(FormatError::malformed(
+                        lineno,
+                        format!("INFO END={end} precedes POS {pos}"),
+                    ));
+                }
+                end
+            }
+            Some(Err(bad)) => {
+                return Err(FormatError::malformed(lineno, format!("bad INFO END {bad:?}")));
+            }
+            None => left + ref_len,
+        };
         let qual = Value::parse_as(fields[5], ValueType::Float)
             .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;
         let values = vec![
@@ -63,6 +82,15 @@ pub fn parse_vcf(text: &str) -> Result<Vec<GRegion>, FormatError> {
         out.push(GRegion::new(fields[0], left, right, Strand::Unstranded).with_values(values));
     }
     Ok(out)
+}
+
+/// Extract the `END=` key from a semicolon-separated INFO column.
+/// Returns `None` when absent, `Some(Err(raw))` when unparseable.
+fn info_end(info: &str) -> Option<Result<u64, String>> {
+    info.split(';').find_map(|kv| {
+        let end = kv.strip_prefix("END=")?;
+        Some(end.parse::<u64>().map_err(|_| end.to_owned()))
+    })
 }
 
 /// Serialise regions (under [`vcf_schema`]) back to VCF body lines with a
@@ -112,10 +140,47 @@ mod tests {
     }
 
     #[test]
-    fn symbolic_allele_is_point() {
+    fn symbolic_allele_without_end_is_point() {
         let text = "chr1\t500\t.\t<DEL>\tN\t.\tPASS\tSVLEN=-100\n";
         let rs = parse_vcf(text).unwrap();
         assert_eq!(rs[0].len(), 1);
+    }
+
+    #[test]
+    fn symbolic_allele_spans_info_end() {
+        // A 100 bp deletion: POS 500, END 599 (1-based inclusive)
+        // → 0-based half-open [499, 599).
+        let text = "chr1\t500\tsv1\t<DEL>\tN\t.\tPASS\tSVTYPE=DEL;END=599;SVLEN=-100\n";
+        let rs = parse_vcf(text).unwrap();
+        assert_eq!((rs[0].left, rs[0].right), (499, 599));
+        assert_eq!(rs[0].len(), 100);
+
+        // <DUP> gets the same treatment.
+        let text = "chr2\t1000\t.\t<DUP>\tN\t.\tPASS\tEND=1499\n";
+        let rs = parse_vcf(text).unwrap();
+        assert_eq!((rs[0].left, rs[0].right), (999, 1499));
+    }
+
+    #[test]
+    fn info_end_applies_to_literal_alleles_too() {
+        let text = "chr1\t100\t.\tA\t<DEL>\t.\tPASS\tEND=150\n";
+        let rs = parse_vcf(text).unwrap();
+        assert_eq!((rs[0].left, rs[0].right), (99, 150));
+    }
+
+    #[test]
+    fn rejects_end_before_pos_and_garbage_end() {
+        assert!(parse_vcf("chr1\t500\t.\t<DEL>\tN\t.\tPASS\tEND=10\n").is_err());
+        assert!(parse_vcf("chr1\t500\t.\t<DEL>\tN\t.\tPASS\tEND=soon\n").is_err());
+    }
+
+    #[test]
+    fn end_equal_to_left_makes_zero_length_region() {
+        // END=POS-1 encodes a zero-length breakpoint (e.g. pure insertion).
+        let text = "chr1\t500\t.\t<INS>\tN\t.\tPASS\tEND=499\n";
+        let rs = parse_vcf(text).unwrap();
+        assert_eq!((rs[0].left, rs[0].right), (499, 499));
+        assert_eq!(rs[0].len(), 0);
     }
 
     #[test]

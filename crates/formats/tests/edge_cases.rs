@@ -1,0 +1,150 @@
+//! Edge cases at the format boundary: zero-length regions, unsorted
+//! inputs, overlapping WIG spans, and null tokens — each checked
+//! through the v2 binary container where storage is involved.
+
+use nggc_formats::native_v2::{decode_dataset_v2, encode_dataset_v2};
+use nggc_formats::{parse_bed, parse_vcf, parse_wig, vcf_schema, BedOptions};
+use nggc_gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType};
+
+/// Encode → decode through the v2 container.
+fn v2_roundtrip(d: &Dataset) -> Dataset {
+    decode_dataset_v2(&encode_dataset_v2(d).expect("encode")).expect("decode")
+}
+
+/// Structural equality ignoring process-local sample IDs.
+fn assert_dataset_eq(a: &Dataset, b: &Dataset) {
+    assert_eq!(a.name, b.name);
+    assert_eq!(a.schema, b.schema);
+    assert_eq!(a.sample_count(), b.sample_count());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.regions, y.regions);
+        let pairs = |s: &Sample| -> Vec<(String, String)> {
+            s.metadata.iter().map(|(k, v)| (k.to_owned(), v.to_owned())).collect()
+        };
+        assert_eq!(pairs(x), pairs(y));
+    }
+}
+
+#[test]
+fn zero_length_regions_survive_v2() {
+    // Zero-length regions model insertion points / breakpoints; GDM's
+    // half-open invariant is left <= right, so left == right is legal.
+    let schema = Schema::new(vec![Attribute::new("x", ValueType::Int)]).unwrap();
+    let mut d = Dataset::new("ZERO", schema);
+    d.add_sample(
+        Sample::new("s", "ZERO")
+            .with_regions(vec![
+                GRegion::new("chr1", 100, 100, Strand::Pos).with_values(vec![1i64.into()]),
+                GRegion::new("chr1", 100, 200, Strand::Neg).with_values(vec![2i64.into()]),
+                GRegion::new("chr2", 0, 0, Strand::Unstranded).with_values(vec![3i64.into()]),
+            ])
+            .with_metadata(Metadata::from_pairs([("kind", "breakpoints")])),
+    )
+    .unwrap();
+    d.validate().unwrap();
+
+    let back = v2_roundtrip(&d);
+    assert_dataset_eq(&d, &back);
+    assert_eq!(back.samples[0].regions[0].len(), 0, "zero length preserved");
+    assert_eq!(back.samples[0].regions[2].len(), 0, "zero at origin preserved");
+}
+
+#[test]
+fn unsorted_input_files_are_resorted_on_ingest() {
+    // A BED file whose lines are in neither chromosome nor coordinate
+    // order: the parser preserves file order, `with_regions` restores
+    // the genome-order invariant.
+    let text = "chr2\t500\t600\nchr1\t300\t400\nchr1\t100\t200\nchr10\t0\t50\nchr1\t100\t150\n";
+    let regions = parse_bed(text, &BedOptions::bed3()).unwrap();
+    assert_eq!(regions[0].chrom.as_str(), "chr2", "parser keeps file order");
+
+    let sample = Sample::new("messy", "D").with_regions(regions);
+    assert!(sample.is_sorted(), "with_regions restores genome order");
+    let coords: Vec<(&str, u64)> =
+        sample.regions.iter().map(|r| (r.chrom.as_str(), r.left)).collect();
+    assert_eq!(
+        coords,
+        vec![("chr1", 100), ("chr1", 100), ("chr1", 300), ("chr2", 500), ("chr10", 0)],
+        "chr10 sorts after chr2 (genome order, not lexicographic)"
+    );
+
+    // And the invariant survives binary storage.
+    let mut d = Dataset::new("MESSY", Schema::empty());
+    let stripped = sample.regions.iter().map(|r| r.clone().with_values(vec![])).collect();
+    d.add_sample(Sample::new("messy", "MESSY").with_regions(stripped)).unwrap();
+    let back = v2_roundtrip(&d);
+    assert_dataset_eq(&d, &back);
+    assert!(back.samples[0].is_sorted());
+}
+
+#[test]
+fn wig_span_larger_than_step_yields_overlapping_regions() {
+    // span=25 over step=10: each value covers 25 bp, so consecutive
+    // regions overlap by 15 bp. The parser must not clip or reject them.
+    let text = "fixedStep chrom=chr1 start=1 step=10 span=25\n1.0\n2.0\n3.0\n";
+    let rs = parse_wig(text).unwrap();
+    assert_eq!(rs.len(), 3);
+    assert_eq!((rs[0].left, rs[0].right), (0, 25));
+    assert_eq!((rs[1].left, rs[1].right), (10, 35));
+    assert_eq!((rs[2].left, rs[2].right), (20, 45));
+    assert!(rs[1].left < rs[0].right, "consecutive intervals overlap");
+
+    // Overlapping intervals are valid GDM regions and survive v2.
+    let mut d = Dataset::new("WIG", nggc_formats::wig_schema());
+    d.add_sample(Sample::new("track", "WIG").with_regions(rs)).unwrap();
+    d.validate().unwrap();
+    let back = v2_roundtrip(&d);
+    assert_dataset_eq(&d, &back);
+}
+
+#[test]
+fn null_tokens_roundtrip_through_v2() {
+    // VCF uses `.` for missing ID/QUAL; those become Value::Null and
+    // must come back as nulls (not the string "." or 0.0) from storage.
+    let text = "chr1\t100\t.\tA\tT\t.\tPASS\tDP=10\nchr1\t200\trs7\tC\tG\t50\t.\t.\n";
+    let regions = parse_vcf(text).unwrap();
+    assert_eq!(regions[0].values[0], Value::Null, "missing ID is null");
+    assert_eq!(regions[0].values[3], Value::Null, "missing QUAL is null");
+
+    let mut d = Dataset::new("VARS", vcf_schema());
+    d.add_sample(Sample::new("tumor", "VARS").with_regions(regions)).unwrap();
+    let back = v2_roundtrip(&d);
+    assert_dataset_eq(&d, &back);
+    assert_eq!(back.samples[0].regions[0].values[0], Value::Null);
+    assert_eq!(back.samples[0].regions[0].values[3], Value::Null);
+
+    // Mixed null / empty-string / present values in every typed column:
+    // Null and "" are distinct and both survive.
+    let schema = Schema::new(vec![
+        Attribute::new("i", ValueType::Int),
+        Attribute::new("f", ValueType::Float),
+        Attribute::new("s", ValueType::Str),
+        Attribute::new("b", ValueType::Bool),
+    ])
+    .unwrap();
+    let mut d = Dataset::new("NULLS", schema);
+    d.add_sample(Sample::new("s", "NULLS").with_regions(vec![
+        GRegion::new("chr1", 0, 1, Strand::Pos).with_values(vec![
+            Value::Null,
+            Value::Null,
+            Value::Str(String::new()),
+            Value::Null,
+        ]),
+        GRegion::new("chr1", 1, 2, Strand::Neg).with_values(vec![
+            Value::Int(-7),
+            Value::Float(f64::NAN),
+            Value::Null,
+            Value::Bool(true),
+        ]),
+    ]))
+    .unwrap();
+    let back = v2_roundtrip(&d);
+    let r0 = &back.samples[0].regions[0];
+    let r1 = &back.samples[0].regions[1];
+    assert_eq!(r0.values, vec![Value::Null, Value::Null, Value::Str(String::new()), Value::Null]);
+    assert_eq!(r1.values[0], Value::Int(-7));
+    assert!(matches!(r1.values[1], Value::Float(x) if x.is_nan()), "NaN survives bit-exactly");
+    assert_eq!(r1.values[2], Value::Null);
+    assert_eq!(r1.values[3], Value::Bool(true));
+}

@@ -10,16 +10,17 @@
 
 use crate::error::RepoError;
 use nggc_formats::native;
+use nggc_formats::native_v2::{self, StorageVersion};
 use nggc_gdm::{Dataset, DatasetStats, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Datasets kept in the in-memory read cache (FIFO eviction).
+/// Datasets kept in the in-memory read cache (LRU eviction).
 const CACHE_CAPACITY: usize = 8;
 
 /// One catalog entry.
@@ -35,9 +36,17 @@ pub struct CatalogEntry {
 
 /// An on-disk dataset repository with a small in-memory read cache.
 ///
-/// [`Repository::load`] keeps the last [`CACHE_CAPACITY`] loaded
-/// datasets in memory (FIFO eviction); `save`/`delete` invalidate the
-/// cached copy. Cache traffic and load/save latency are reported to the
+/// Datasets persist in the GDM-native layout: new saves write the v2
+/// binary columnar container ([`nggc_formats::native_v2`]); loads
+/// transparently read either v2 containers or legacy v1 text
+/// directories, detected by magic bytes. [`Repository::migrate`]
+/// rewrites a v1 dataset as v2 in place.
+///
+/// [`Repository::load`] keeps the last [`CACHE_CAPACITY`] used datasets
+/// in memory behind [`Arc`]s (LRU eviction), so a cache hit is a
+/// reference-count bump rather than a deep copy; `save` populates the
+/// cache with the just-saved dataset and `delete` invalidates it. Cache
+/// traffic, load/save latency, and load/save bytes are reported to the
 /// global `nggc-obs` registry (`nggc_repo_*`).
 #[derive(Debug)]
 pub struct Repository {
@@ -48,22 +57,33 @@ pub struct Repository {
 
 #[derive(Debug, Default)]
 struct DatasetCache {
-    entries: BTreeMap<String, Dataset>,
+    entries: BTreeMap<String, Arc<Dataset>>,
+    // LRU order: front = least recently used, back = most recent.
     order: VecDeque<String>,
 }
 
 impl DatasetCache {
-    fn get(&self, name: &str) -> Option<Dataset> {
-        self.entries.get(name).cloned()
+    fn get(&mut self, name: &str) -> Option<Arc<Dataset>> {
+        let hit = self.entries.get(name).cloned();
+        if hit.is_some() {
+            self.touch(name);
+        }
+        hit
     }
 
-    fn insert(&mut self, name: String, dataset: Dataset) {
-        if self.entries.insert(name.clone(), dataset).is_none() {
-            self.order.push_back(name);
-            while self.entries.len() > CACHE_CAPACITY {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.entries.remove(&evicted);
-                }
+    fn touch(&mut self, name: &str) {
+        if let Some(pos) = self.order.iter().position(|n| n == name) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(name.to_owned());
+    }
+
+    fn insert(&mut self, name: String, dataset: Arc<Dataset>) {
+        self.entries.insert(name.clone(), dataset);
+        self.touch(&name);
+        while self.entries.len() > CACHE_CAPACITY {
+            if let Some(evicted) = self.order.pop_front() {
+                self.entries.remove(&evicted);
             }
         }
     }
@@ -73,6 +93,36 @@ impl DatasetCache {
             self.order.retain(|n| n != name);
         }
     }
+}
+
+/// Total bytes of all files under `dir` (recursive).
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut total = 0;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+/// Outcome of [`Repository::migrate`] for one dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Dataset name.
+    pub name: String,
+    /// Storage version found on disk before migrating.
+    pub from: StorageVersion,
+    /// On-disk bytes before migration.
+    pub bytes_before: u64,
+    /// On-disk bytes after migration (v2 container size).
+    pub bytes_after: u64,
 }
 
 impl Repository {
@@ -95,21 +145,43 @@ impl Repository {
         &self.root
     }
 
-    /// Save (or replace) a dataset; updates the catalog and invalidates
-    /// any cached copy.
+    /// Save (or replace) a dataset in the default (v2 binary) format;
+    /// updates the catalog and populates the cache with the saved copy,
+    /// so a save-then-load round trip hits memory.
     pub fn save(&mut self, dataset: &Dataset) -> Result<(), RepoError> {
+        self.save_with_version(dataset, StorageVersion::V2)
+    }
+
+    /// [`Repository::save`] with an explicit storage version (v1 text is
+    /// kept writable for migration tests and benchmarks).
+    pub fn save_with_version(
+        &mut self,
+        dataset: &Dataset,
+        version: StorageVersion,
+    ) -> Result<(), RepoError> {
         let mut span = nggc_obs::span("repo.save");
-        span.field("dataset", &dataset.name);
+        span.field("dataset", &dataset.name).field("format", version.name());
         let t0 = Instant::now();
         dataset.validate().map_err(RepoError::Model)?;
         let dir = self.dataset_dir(&dataset.name);
         if dir.exists() {
             fs::remove_dir_all(&dir)?;
         }
-        native::write_dataset(dataset, &dir)?;
-        // Any persisted metadata index is now stale, as is the cache.
+        let bytes = match version {
+            StorageVersion::V2 => native_v2::write_dataset_v2(dataset, &dir)?,
+            StorageVersion::V1 => {
+                native::write_dataset(dataset, &dir)?;
+                dir_bytes(&dir)
+            }
+        };
+        span.field("bytes", bytes);
+        // Any persisted metadata index is now stale; the cache gets the
+        // fresh copy instead of going cold.
         fs::remove_file(self.root.join("meta_index.json")).ok();
-        self.cache.lock().unwrap_or_else(|p| p.into_inner()).invalidate(&dataset.name);
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(dataset.name.clone(), Arc::new(dataset.clone()));
         self.catalog.insert(
             dataset.name.clone(),
             CatalogEntry {
@@ -121,12 +193,16 @@ impl Repository {
         let out = self.flush_catalog();
         let reg = nggc_obs::global();
         reg.counter("nggc_repo_saves_total").inc();
+        reg.counter_with("nggc_repo_save_bytes_total", &[("format", version.name())]).add(bytes);
         reg.histogram("nggc_repo_save_ns").record_duration(t0.elapsed());
         out
     }
 
     /// Load a dataset by name, from the in-memory cache when possible.
-    pub fn load(&self, name: &str) -> Result<Dataset, RepoError> {
+    /// A cache hit is an `Arc` clone — no region data is copied. Cold
+    /// loads read whichever storage version the dataset directory holds
+    /// (v2 binary container or v1 text, detected by magic bytes).
+    pub fn load(&self, name: &str) -> Result<Arc<Dataset>, RepoError> {
         if !self.catalog.contains_key(name) {
             return Err(RepoError::NotFound(name.to_owned()));
         }
@@ -139,15 +215,54 @@ impl Repository {
         let mut span = nggc_obs::span("repo.load");
         span.field("dataset", name);
         let t0 = Instant::now();
-        let dataset = native::read_dataset(&self.dataset_dir(name))?;
+        let dir = self.dataset_dir(name);
+        let version = native_v2::detect_version(&dir).unwrap_or(StorageVersion::V1);
+        let dataset = Arc::new(native_v2::read_dataset_auto(&dir)?);
         reg.counter("nggc_repo_loads_total").inc();
+        reg.counter_with("nggc_repo_load_bytes_total", &[("format", version.name())])
+            .add(dir_bytes(&dir));
         reg.histogram("nggc_repo_load_ns").record_duration(t0.elapsed());
-        span.field("samples", dataset.sample_count()).field("regions", dataset.region_count());
+        span.field("samples", dataset.sample_count())
+            .field("regions", dataset.region_count())
+            .field("format", version.name());
         self.cache
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(name.to_owned(), dataset.clone());
         Ok(dataset)
+    }
+
+    /// The storage version a dataset currently uses on disk, or `None`
+    /// when the dataset is unknown or its directory is unreadable.
+    pub fn storage_version(&self, name: &str) -> Option<StorageVersion> {
+        if !self.catalog.contains_key(name) {
+            return None;
+        }
+        native_v2::detect_version(&self.dataset_dir(name))
+    }
+
+    /// Rewrite one dataset in the v2 binary format (idempotent: already-
+    /// v2 datasets are recompacted). Returns what was found and the
+    /// before/after on-disk sizes.
+    pub fn migrate(&mut self, name: &str) -> Result<MigrationReport, RepoError> {
+        if !self.catalog.contains_key(name) {
+            return Err(RepoError::NotFound(name.to_owned()));
+        }
+        let dir = self.dataset_dir(name);
+        let from = native_v2::detect_version(&dir).unwrap_or(StorageVersion::V1);
+        let bytes_before = dir_bytes(&dir);
+        let dataset = self.load(name)?;
+        self.save(&dataset)?;
+        let bytes_after = dir_bytes(&self.dataset_dir(name));
+        nggc_obs::global().counter("nggc_repo_migrations_total").inc();
+        Ok(MigrationReport { name: name.to_owned(), from, bytes_before, bytes_after })
+    }
+
+    /// Migrate every dataset in the repository to v2; returns one report
+    /// per dataset in name order.
+    pub fn migrate_all(&mut self) -> Result<Vec<MigrationReport>, RepoError> {
+        let names: Vec<String> = self.catalog.keys().cloned().collect();
+        names.into_iter().map(|n| self.migrate(&n)).collect()
     }
 
     /// Delete a dataset.
@@ -334,6 +449,110 @@ mod tests {
         repo.delete("C").unwrap();
         assert!(matches!(repo.load("C"), Err(RepoError::NotFound(_))));
         fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn save_writes_v2_container_by_default() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("BIN")).unwrap();
+        assert_eq!(repo.storage_version("BIN"), Some(StorageVersion::V2));
+        assert!(root.join("datasets/BIN/data.gdm2").exists());
+        assert!(!root.join("datasets/BIN/schema.gdm").exists());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn v1_datasets_load_transparently_and_migrate() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save_with_version(&dataset("OLD"), StorageVersion::V1).unwrap();
+        assert_eq!(repo.storage_version("OLD"), Some(StorageVersion::V1));
+        assert!(root.join("datasets/OLD/schema.gdm").exists());
+
+        // Reopen so the cache is cold: the load must go through the v1
+        // text reader.
+        let mut repo = Repository::open(&root).unwrap();
+        let ds = repo.load("OLD").unwrap();
+        assert_eq!(ds.sample_count(), 1);
+        assert!(ds.samples[0].metadata.has("cell", "HeLa"));
+
+        let report = repo.migrate("OLD").unwrap();
+        assert_eq!(report.from, StorageVersion::V1);
+        assert!(report.bytes_before > 0 && report.bytes_after > 0);
+        assert_eq!(repo.storage_version("OLD"), Some(StorageVersion::V2));
+        // Reload from disk (fresh repo, cold cache) — same content.
+        let repo = Repository::open(&root).unwrap();
+        let back = repo.load("OLD").unwrap();
+        assert_eq!(back.sample_count(), 1);
+        assert_eq!(back.samples[0].regions, ds.samples[0].regions);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn migrate_all_reports_every_dataset() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save_with_version(&dataset("A"), StorageVersion::V1).unwrap();
+        repo.save(&dataset("B")).unwrap();
+        let reports = repo.migrate_all().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].from, StorageVersion::V1);
+        assert_eq!(reports[1].from, StorageVersion::V2);
+        assert!(repo
+            .list()
+            .iter()
+            .all(|e| repo.storage_version(&e.name) == Some(StorageVersion::V2)));
+        assert!(matches!(repo.migrate("MISSING"), Err(RepoError::NotFound(_))));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn save_populates_cache_so_next_load_hits() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        let reg = nggc_obs::global();
+        let misses0 = reg.counter("nggc_repo_cache_misses_total").get();
+        let hits0 = reg.counter("nggc_repo_cache_hits_total").get();
+        repo.save(&dataset("WARM")).unwrap();
+        let ds = repo.load("WARM").unwrap();
+        assert_eq!(ds.sample_count(), 1);
+        assert_eq!(
+            reg.counter("nggc_repo_cache_misses_total").get(),
+            misses0,
+            "save-then-load must not miss"
+        );
+        assert!(reg.counter("nggc_repo_cache_hits_total").get() > hits0);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn cache_hit_shares_the_same_allocation() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("SHARED")).unwrap();
+        let a = repo.load("SHARED").unwrap();
+        let b = repo.load("SHARED").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache hits must be pointer bumps, not deep copies");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let mut cache = DatasetCache::default();
+        let mk = |n: &str| Arc::new(dataset(n));
+        for i in 0..CACHE_CAPACITY {
+            cache.insert(format!("D{i}"), mk(&format!("D{i}")));
+        }
+        // Touch the oldest entry, then overflow: the second-oldest must
+        // be the one evicted.
+        assert!(cache.get("D0").is_some());
+        cache.insert("EXTRA".into(), mk("EXTRA"));
+        assert!(cache.get("D0").is_some(), "recently used survives");
+        assert!(cache.get("D1").is_none(), "least recently used is evicted");
+        assert!(cache.get("EXTRA").is_some());
+        assert_eq!(cache.entries.len(), CACHE_CAPACITY);
+        assert_eq!(cache.order.len(), CACHE_CAPACITY);
     }
 
     #[test]

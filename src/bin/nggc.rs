@@ -15,6 +15,7 @@
 //!   import-dir DIR                import every recognised file in a directory
 //!   list                          list datasets with statistics
 //!   info DATASET                  schema + statistics of one dataset
+//!   migrate [DATASET | --all]     rewrite datasets in the binary v2 storage format
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
 //!         [--save] [--workers N] [--explain] [--head K] [--profile]
 //!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
@@ -28,7 +29,7 @@
 
 use nggc::formats::{write_bed, BedOptions, FileFormat};
 use nggc::gdm::{Dataset, Sample};
-use nggc::gmql::{ExecOptions, GmqlError, LogicalPlan};
+use nggc::gmql::{ExecOptions, LogicalPlan};
 use nggc::ontology::mini_umls;
 use nggc::repository::Repository;
 use nggc::search::{MetadataSearch, RankMode};
@@ -69,6 +70,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         "import-dir" => cmd_import_dir(&repo_path, &rest),
         "list" => cmd_list(&repo_path),
         "info" => cmd_info(&repo_path, &rest),
+        "migrate" => cmd_migrate(&repo_path, &rest),
         "query" => cmd_query(&repo_path, &rest),
         "stats" => cmd_stats(&repo_path, &rest),
         "search" => cmd_search(&repo_path, &rest),
@@ -82,7 +84,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|query|stats|search|export|help> [args]\n\
+    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|migrate|query|stats|search|export|help> [args]\n\
      run `nggc help` for details"
         .to_owned()
 }
@@ -113,8 +115,9 @@ fn cmd_import(repo_path: &Path, args: &[String]) -> Result<(), String> {
 
     let mut repo = open(repo_path)?;
     // Append to an existing dataset when schemas agree; create otherwise.
+    // `load` returns a shared cache handle, so take an owned copy to edit.
     let mut dataset = match repo.load(&dataset_name) {
-        Ok(existing) if existing.schema == format.schema() => existing,
+        Ok(existing) if existing.schema == format.schema() => (*existing).clone(),
         _ => Dataset::new(dataset_name.clone(), format.schema()),
     };
     let mut sample = Sample::new(stem, &dataset_name).with_regions(regions);
@@ -160,7 +163,39 @@ fn cmd_list(repo_path: &Path) -> Result<(), String> {
         return Ok(());
     }
     for e in entries {
-        println!("{}  {}  :: {}", e.name, e.stats, e.schema);
+        let version =
+            repo.storage_version(&e.name).map(|v| v.name()).unwrap_or("missing").to_owned();
+        println!("{}  [{}]  {}  :: {}", e.name, version, e.stats, e.schema);
+    }
+    Ok(())
+}
+
+/// `nggc migrate [DATASET | --all]` — rewrite datasets in the binary v2
+/// container format. With no argument (or `--all`) every dataset is
+/// migrated; already-v2 datasets are recompacted in place.
+fn cmd_migrate(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let mut repo = open(repo_path)?;
+    let reports = match args.first().map(|s| s.as_str()) {
+        None | Some("--all") => repo.migrate_all().map_err(|e| e.to_string())?,
+        Some(name) => vec![repo.migrate(name).map_err(|e| e.to_string())?],
+    };
+    if reports.is_empty() {
+        println!("(empty repository — nothing to migrate)");
+        return Ok(());
+    }
+    for r in &reports {
+        let pct = if r.bytes_before > 0 {
+            100.0 * (1.0 - r.bytes_after as f64 / r.bytes_before as f64)
+        } else {
+            0.0
+        };
+        println!(
+            "{}  {} -> v2  {} B -> {} B  ({pct:+.1}% saved)",
+            r.name,
+            r.from.name(),
+            r.bytes_before,
+            r.bytes_after
+        );
     }
     Ok(())
 }
@@ -259,15 +294,9 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
     let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
         .map_err(|e| e.to_string())?;
-    let (outputs, metrics) = nggc::gmql::execute_with_metrics(
-        &plan,
-        &|name: &str| -> Result<Dataset, GmqlError> {
-            repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
-        },
-        &ctx,
-        &opts,
-    )
-    .map_err(|e| e.to_string())?;
+    let (outputs, metrics) =
+        nggc::gmql::execute_with_metrics(&plan, &nggc::RepoProvider::new(&repo), &ctx, &opts)
+            .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     if analyze {
         println!("-- execution metrics --");
@@ -344,15 +373,8 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
         let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
         let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
             .map_err(|e| e.to_string())?;
-        nggc::gmql::execute(
-            &plan,
-            &|name: &str| -> Result<Dataset, GmqlError> {
-                repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
-            },
-            &ctx,
-            &ExecOptions::default(),
-        )
-        .map_err(|e| e.to_string())?;
+        nggc::gmql::execute(&plan, &nggc::RepoProvider::new(&repo), &ctx, &ExecOptions::default())
+            .map_err(|e| e.to_string())?;
     }
     let reg = nggc::obs::global();
     if json {

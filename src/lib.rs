@@ -48,6 +48,8 @@
 //! assert_eq!(out["R"].sample_count(), 1);
 //! ```
 
+use std::sync::Arc;
+
 pub use nggc_analysis as analysis;
 pub use nggc_core as gmql;
 pub use nggc_engine as engine;
@@ -59,3 +61,30 @@ pub use nggc_ontology as ontology;
 pub use nggc_repository as repository;
 pub use nggc_search as search;
 pub use nggc_synth as synth;
+
+/// GMQL source provider backed by a [`repository::Repository`].
+///
+/// `Repository::load` hands out `Arc<Dataset>` from its LRU cache;
+/// this adapter forwards that shared pointer through
+/// [`gmql::DatasetProvider::load_shared`], so a query over a warm
+/// repository never deep-copies its source datasets.
+pub struct RepoProvider<'a> {
+    repo: &'a repository::Repository,
+}
+
+impl<'a> RepoProvider<'a> {
+    /// Wrap a repository for use as a query source provider.
+    pub fn new(repo: &'a repository::Repository) -> Self {
+        RepoProvider { repo }
+    }
+}
+
+impl gmql::DatasetProvider for RepoProvider<'_> {
+    fn load(&self, name: &str) -> Result<gdm::Dataset, gmql::GmqlError> {
+        self.load_shared(name).map(|d| (*d).clone())
+    }
+
+    fn load_shared(&self, name: &str) -> Result<Arc<gdm::Dataset>, gmql::GmqlError> {
+        self.repo.load(name).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
+    }
+}

@@ -79,9 +79,13 @@ fn repository_survives_deleted_dataset_directory() {
     ]))
     .unwrap();
     repo.save(&ds).unwrap();
-    // Someone deletes the files behind the catalog's back.
+    // Someone deletes the files behind the catalog's back. The warm
+    // in-process cache (populated by save) still serves the dataset…
     fs::remove_dir_all(dir.join("datasets").join("D")).unwrap();
-    assert!(repo.load("D").is_err(), "load reports the loss instead of panicking");
+    assert!(repo.load("D").is_ok(), "warm cache outlives the on-disk copy");
+    // …but a fresh open has a cold cache and reports the loss.
+    let cold = Repository::open(&dir).unwrap();
+    assert!(cold.load("D").is_err(), "load reports the loss instead of panicking");
     fs::remove_dir_all(&dir).ok();
 }
 

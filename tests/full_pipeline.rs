@@ -75,7 +75,7 @@ fn repository_backed_query_agrees_with_in_memory() {
     let out = nggc::gmql::run_with_provider(
         MAP_QUERY,
         &|name| repo.schema_of(name),
-        &|name: &str| repo.load(name).map_err(|e| nggc::gmql::GmqlError::runtime(e.to_string())),
+        &nggc::RepoProvider::new(&repo),
         &ctx,
         &opts,
     )
