@@ -14,12 +14,14 @@
 //!   first a full data transmission and then to evaluate server-side
 //!   imperative programs".
 
-use crate::node::{decode_staged, FederationNode};
+use crate::node::{decode_staged, NodeService};
+use crate::policy::{Breaker, BreakerState, CallPolicy, NodeHealth, NodeStatus};
 use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate, TransferLog};
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
 use nggc_core::GmqlEngine;
 use nggc_gdm::Dataset;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 
 type Envelope = (Request, Sender<Response>);
@@ -31,8 +33,19 @@ struct NodeHandle {
 }
 
 /// A federation of nodes plus a coordinating client.
+///
+/// Every exchange goes through [`Federation::call`], which enforces the
+/// [`CallPolicy`]: a per-request deadline, bounded retries with
+/// deterministic backoff for idempotent request kinds, and a per-node
+/// circuit breaker with half-open probing. Degraded-mode entry points
+/// ([`discover_degraded`](Federation::discover_degraded),
+/// [`execute_distributed_degraded`](Federation::execute_distributed_degraded))
+/// keep going when a minority of nodes is down and report per-node
+/// [`NodeHealth`] instead of failing the whole federation.
 pub struct Federation {
     nodes: Vec<NodeHandle>,
+    policy: CallPolicy,
+    breakers: Mutex<HashMap<String, Breaker>>,
 }
 
 /// Error type of federation calls.
@@ -46,6 +59,11 @@ pub enum FederationError {
     NodeDown(String),
     /// Unexpected response variant.
     Protocol(String),
+    /// The node failed to answer within the policy deadline.
+    Timeout(String),
+    /// The node's circuit breaker is open; the call was rejected locally
+    /// without touching the node.
+    CircuitOpen(String),
 }
 
 impl std::fmt::Display for FederationError {
@@ -55,28 +73,65 @@ impl std::fmt::Display for FederationError {
             FederationError::Remote(e) => write!(f, "remote error: {e}"),
             FederationError::NodeDown(n) => write!(f, "node {n:?} is down"),
             FederationError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            FederationError::Timeout(n) => write!(f, "node {n:?} timed out"),
+            FederationError::CircuitOpen(n) => write!(f, "node {n:?} circuit breaker is open"),
         }
     }
 }
 
 impl std::error::Error for FederationError {}
 
+impl FederationError {
+    /// Transport-level failures count against the node's breaker and are
+    /// retryable (for idempotent requests); application/protocol errors
+    /// are deterministic and propagate immediately.
+    fn is_transport(&self) -> bool {
+        matches!(self, FederationError::Timeout(_) | FederationError::NodeDown(_))
+    }
+}
+
 impl Federation {
-    /// Empty federation.
+    /// Empty federation with the default [`CallPolicy`].
     pub fn new() -> Federation {
-        Federation { nodes: Vec::new() }
+        Federation::with_policy(CallPolicy::default())
     }
 
-    /// Add a node; it starts serving requests on its own thread.
-    pub fn add_node(&mut self, mut node: FederationNode) {
-        let id = node.id.clone();
+    /// Empty federation with an explicit fault-tolerance policy.
+    pub fn with_policy(policy: CallPolicy) -> Federation {
+        Federation { nodes: Vec::new(), policy, breakers: Mutex::new(HashMap::new()) }
+    }
+
+    /// Replace the fault-tolerance policy.
+    pub fn set_policy(&mut self, policy: CallPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active fault-tolerance policy.
+    pub fn policy(&self) -> &CallPolicy {
+        &self.policy
+    }
+
+    /// Add a node; it starts serving requests on its own thread. Accepts
+    /// any [`NodeService`] — a real [`FederationNode`](crate::FederationNode)
+    /// or a fault-injecting [`ChaosNode`](crate::ChaosNode).
+    pub fn add_node(&mut self, mut node: impl NodeService + 'static) {
+        let id = node.id().to_owned();
         let (tx, rx) = unbounded::<Envelope>();
         let join = std::thread::Builder::new()
             .name(format!("nggc-fed-{id}"))
             .spawn(move || {
+                // Withheld replies (`serve` returned `None`) keep their
+                // sender alive until shutdown: the caller must observe
+                // silence — a lost response whose deadline fires — not a
+                // visibly closed connection.
+                let mut withheld = Vec::new();
                 while let Ok((req, reply)) = rx.recv() {
-                    let resp = node.handle(&req);
-                    let _ = reply.send(resp);
+                    match node.serve(&req) {
+                        Some(resp) => {
+                            let _ = reply.send(resp);
+                        }
+                        None => withheld.push(reply),
+                    }
                 }
             })
             .expect("failed to spawn node thread");
@@ -88,9 +143,60 @@ impl Federation {
         self.nodes.iter().map(|n| n.id.as_str()).collect()
     }
 
-    /// One request/response exchange with a node, recorded in `log` and
-    /// in the `nggc_fed_*` metrics (per-node request counts, latency
-    /// histogram, failure counts).
+    /// Current breaker state for a node (`Closed` if never called). An
+    /// open breaker reads as `Open` until the next admitted call probes
+    /// it, even after the cooldown has elapsed.
+    pub fn breaker_state(&self, node_id: &str) -> BreakerState {
+        let mut breakers = self.breakers.lock().unwrap();
+        breakers.entry(node_id.to_owned()).or_default().state()
+    }
+
+    /// Check breaker admission for a call, exporting the state gauge.
+    fn breaker_admit(&self, node_id: &str) -> bool {
+        let mut breakers = self.breakers.lock().unwrap();
+        let b = breakers.entry(node_id.to_owned()).or_default();
+        let admitted = b.admit(&self.policy);
+        let state = b.state();
+        drop(breakers);
+        Self::export_breaker_state(node_id, state);
+        admitted
+    }
+
+    fn breaker_success(&self, node_id: &str) {
+        let mut breakers = self.breakers.lock().unwrap();
+        let b = breakers.entry(node_id.to_owned()).or_default();
+        b.on_success();
+        let state = b.state();
+        drop(breakers);
+        Self::export_breaker_state(node_id, state);
+    }
+
+    fn breaker_failure(&self, node_id: &str) {
+        let mut breakers = self.breakers.lock().unwrap();
+        let b = breakers.entry(node_id.to_owned()).or_default();
+        let opened = b.on_transport_failure(&self.policy);
+        let state = b.state();
+        drop(breakers);
+        if opened {
+            nggc_obs::global()
+                .counter_with("nggc_fed_breaker_opens_total", &[("node", node_id)])
+                .inc();
+        }
+        Self::export_breaker_state(node_id, state);
+    }
+
+    fn export_breaker_state(node_id: &str, state: BreakerState) {
+        nggc_obs::global()
+            .gauge_with("nggc_fed_breaker_state", &[("node", node_id)])
+            .set(state.as_gauge());
+    }
+
+    /// One request/response exchange with a node under the federation's
+    /// [`CallPolicy`]: deadline via `recv_timeout`, bounded retries with
+    /// deterministic backoff for idempotent request kinds, per-node
+    /// circuit breaker. Recorded in `log` and in the `nggc_fed_*`
+    /// metrics (request/byte/failure counters, latency histogram,
+    /// retry/timeout counters, breaker gauges).
     pub fn call(
         &self,
         node_id: &str,
@@ -99,7 +205,6 @@ impl Federation {
     ) -> Result<Response, FederationError> {
         let reg = nggc_obs::global();
         let kind = request.kind();
-        reg.counter_with("nggc_fed_requests_total", &[("node", node_id), ("kind", kind)]).inc();
         let fail = |reason: &str| {
             reg.counter_with("nggc_fed_failures_total", &[("node", node_id), ("reason", reason)])
                 .inc();
@@ -108,27 +213,79 @@ impl Federation {
             fail("unknown_node");
             FederationError::UnknownNode(node_id.to_owned())
         })?;
-        let t0 = std::time::Instant::now();
-        let (reply_tx, reply_rx) = unbounded();
-        node.tx.send((request.clone(), reply_tx)).map_err(|_| {
-            fail("node_down");
-            FederationError::NodeDown(node_id.to_owned())
-        })?;
-        let response = reply_rx.recv().map_err(|_| {
-            fail("node_down");
-            FederationError::NodeDown(node_id.to_owned())
-        })?;
-        reg.histogram_with("nggc_fed_request_ns", &[("node", node_id)])
-            .record_duration(t0.elapsed());
-        log.record(&request, &response);
-        if let Response::Error(e) = &response {
-            fail("remote_error");
-            return Err(FederationError::Remote(e.clone()));
+        if !self.breaker_admit(node_id) {
+            fail("circuit_open");
+            return Err(FederationError::CircuitOpen(node_id.to_owned()));
         }
-        Ok(response)
+        let retry_budget = if request.is_idempotent() { self.policy.max_retries } else { 0 };
+        let mut attempt = 0usize;
+        loop {
+            reg.counter_with("nggc_fed_requests_total", &[("node", node_id), ("kind", kind)]).inc();
+            let t0 = std::time::Instant::now();
+            let (reply_tx, reply_rx) = unbounded();
+            let outcome: Result<Response, FederationError> =
+                if node.tx.send((request.clone(), reply_tx)).is_err() {
+                    Err(FederationError::NodeDown(node_id.to_owned()))
+                } else {
+                    match reply_rx.recv_timeout(self.policy.deadline) {
+                        Ok(resp) => Ok(resp),
+                        Err(RecvTimeoutError::Timeout) => {
+                            reg.counter_with("nggc_fed_timeouts_total", &[("node", node_id)]).inc();
+                            Err(FederationError::Timeout(node_id.to_owned()))
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            Err(FederationError::NodeDown(node_id.to_owned()))
+                        }
+                    }
+                };
+            match outcome {
+                Ok(response) => {
+                    reg.histogram_with("nggc_fed_request_ns", &[("node", node_id)])
+                        .record_duration(t0.elapsed());
+                    log.record(&request, &response);
+                    reg.counter_with("nggc_fed_bytes_sent_total", &[("node", node_id)])
+                        .add(request.wire_size() as u64);
+                    reg.counter_with("nggc_fed_bytes_received_total", &[("node", node_id)])
+                        .add(response.wire_size() as u64);
+                    // The transport worked even if the answer is an
+                    // application error — the breaker only tracks
+                    // transport health.
+                    self.breaker_success(node_id);
+                    if let Response::Error(e) = &response {
+                        fail("remote_error");
+                        return Err(FederationError::Remote(e.clone()));
+                    }
+                    return Ok(response);
+                }
+                Err(err) => {
+                    debug_assert!(err.is_transport());
+                    fail(if matches!(err, FederationError::Timeout(_)) {
+                        "timeout"
+                    } else {
+                        "node_down"
+                    });
+                    self.breaker_failure(node_id);
+                    // The request bytes crossed the wire even though no
+                    // response came back; keep the accounting truthful.
+                    log.requests += 1;
+                    log.bytes_sent += request.wire_size();
+                    reg.counter_with("nggc_fed_bytes_sent_total", &[("node", node_id)])
+                        .add(request.wire_size() as u64);
+                    if attempt >= retry_budget || !self.breaker_admit(node_id) {
+                        return Err(err);
+                    }
+                    reg.counter_with("nggc_fed_retries_total", &[("node", node_id)]).inc();
+                    std::thread::sleep(self.policy.backoff(node_id, attempt));
+                    attempt += 1;
+                }
+            }
+        }
     }
 
-    /// Discover every node's datasets (metadata-only, cheap).
+    /// Discover every node's datasets (metadata-only, cheap). Strict:
+    /// the first unreachable node fails the whole discovery — use
+    /// [`discover_degraded`](Federation::discover_degraded) to keep
+    /// going with a partial inventory.
     pub fn discover(
         &self,
         log: &mut TransferLog,
@@ -141,6 +298,60 @@ impl Federation {
             }
         }
         Ok(out)
+    }
+
+    /// Degraded-mode discovery: query every node, tolerate individual
+    /// failures, and return whatever inventory was reachable together
+    /// with a per-node [`NodeHealth`] report. The inventory covers
+    /// exactly the nodes whose health status is not
+    /// [`NodeStatus::Unavailable`].
+    pub fn discover_degraded(
+        &self,
+        log: &mut TransferLog,
+    ) -> (Vec<(String, Vec<DatasetSummary>)>, Vec<NodeHealth>) {
+        let reg = nggc_obs::global();
+        let mut inventory = Vec::new();
+        let mut health = Vec::new();
+        for id in self.node_ids().into_iter().map(str::to_owned).collect::<Vec<_>>() {
+            let retries_before = reg.counter_with("nggc_fed_retries_total", &[("node", &id)]).get();
+            let outcome = self.call(&id, Request::ListDatasets, log);
+            let retries = reg
+                .counter_with("nggc_fed_retries_total", &[("node", &id)])
+                .get()
+                .saturating_sub(retries_before);
+            let report = |status, error| NodeHealth {
+                node: id.clone(),
+                status,
+                breaker: self.breaker_state(&id),
+                retries,
+                error,
+            };
+            match outcome {
+                Ok(Response::Datasets(ds)) => {
+                    let status =
+                        if retries > 0 { NodeStatus::Degraded } else { NodeStatus::Healthy };
+                    health.push(report(status, None));
+                    inventory.push((id, ds));
+                }
+                Ok(other) => health.push(report(
+                    NodeStatus::Unavailable,
+                    Some(format!("protocol violation: {other:?}")),
+                )),
+                Err(e) => health.push(report(NodeStatus::Unavailable, Some(e.to_string()))),
+            }
+        }
+        (inventory, health)
+    }
+
+    /// Number of results currently staged on a node, via a `Status`
+    /// exchange — lets clients verify that a failed conversation left no
+    /// tickets behind.
+    pub fn staged_results(&self, node_id: &str) -> Result<usize, FederationError> {
+        let mut log = TransferLog::default();
+        match self.call(node_id, Request::Status, &mut log)? {
+            Response::Status { staged_results, .. } => Ok(staged_results),
+            other => Err(FederationError::Protocol(format!("{other:?}"))),
+        }
     }
 
     /// Compile remotely: correctness + schemas + size estimates, without
@@ -165,24 +376,46 @@ impl Federation {
         chunk_bytes: usize,
     ) -> Result<(HashMap<String, Dataset>, TransferLog), FederationError> {
         let mut log = TransferLog::default();
+        let outputs = self.ship_query_into(node_id, query, chunk_bytes, &mut log)?;
+        Ok((outputs, log))
+    }
+
+    /// Ship-query core, accumulating into a caller-owned log so transfer
+    /// accounting survives failures. The staged ticket is **always**
+    /// released, success or not — a failed chunk fetch must not leak
+    /// staging resources on the remote node.
+    fn ship_query_into(
+        &self,
+        node_id: &str,
+        query: &str,
+        chunk_bytes: usize,
+        log: &mut TransferLog,
+    ) -> Result<HashMap<String, Dataset>, FederationError> {
         let (ticket, chunks) = match self.call(
             node_id,
             Request::Execute { query: query.to_owned(), chunk_bytes },
-            &mut log,
+            log,
         )? {
             Response::Accepted { ticket, chunks, .. } => (ticket, chunks),
             other => return Err(FederationError::Protocol(format!("{other:?}"))),
         };
-        let mut payload = Vec::new();
-        for i in 0..chunks {
-            match self.call(node_id, Request::FetchChunk { ticket, chunk: i }, &mut log)? {
-                Response::Chunk { data, .. } => payload.extend(data),
-                other => return Err(FederationError::Protocol(format!("{other:?}"))),
-            }
-        }
-        self.call(node_id, Request::Release { ticket }, &mut log)?;
+        let fetched: Result<Vec<u8>, FederationError> =
+            (0..chunks).try_fold(Vec::new(), |mut payload, i| {
+                match self.call(node_id, Request::FetchChunk { ticket, chunk: i }, log)? {
+                    Response::Chunk { data, .. } => {
+                        payload.extend(data);
+                        Ok(payload)
+                    }
+                    other => Err(FederationError::Protocol(format!("{other:?}"))),
+                }
+            });
+        // Release before propagating any fetch error; the node-side
+        // ticket TTL remains the backstop if even the release is lost.
+        let released = self.call(node_id, Request::Release { ticket }, log);
+        let payload = fetched?;
+        released?;
         let decoded = decode_staged(&payload).map_err(FederationError::Protocol)?;
-        Ok((decoded.into_iter().collect(), log))
+        Ok(decoded.into_iter().collect())
     }
 
     /// **Ship-query with user samples** (§4.3): upload a private local
@@ -200,17 +433,14 @@ impl Federation {
         let data = serde_json::to_vec(upload)
             .map_err(|e| FederationError::Protocol(format!("serialising upload: {e}")))?;
         self.call(node_id, Request::Upload { name: upload.name.clone(), data }, &mut log)?;
-        // Run the query; always attempt the drop, even on failure, so the
-        // privacy guarantee holds.
-        let result = self.ship_query(node_id, query, chunk_bytes);
-        let mut drop_log = TransferLog::default();
+        // Run the query straight into the shared log so the transfer
+        // accounting of a *failed* query is still merged; always attempt
+        // the drop, even on failure, so the privacy guarantee holds.
+        let result = self.ship_query_into(node_id, query, chunk_bytes, &mut log);
         let dropped =
-            self.call(node_id, Request::DropUpload { name: upload.name.clone() }, &mut drop_log);
-        let (outputs, qlog) = result?;
+            self.call(node_id, Request::DropUpload { name: upload.name.clone() }, &mut log);
+        let outputs = result?;
         dropped?;
-        log.requests += qlog.requests + drop_log.requests;
-        log.bytes_sent += qlog.bytes_sent + drop_log.bytes_sent;
-        log.bytes_received += qlog.bytes_received + drop_log.bytes_received;
         Ok((outputs, log))
     }
 
@@ -254,6 +484,37 @@ pub struct DistributedPlan {
     pub shipped: Vec<(String, String)>,
 }
 
+/// Outcome of a degraded-mode distributed execution: the results, how
+/// they were computed, what it cost, and which nodes (if any) were
+/// unreachable while computing them.
+#[derive(Debug)]
+pub struct DegradedOutcome {
+    /// Materialized outputs.
+    pub outputs: HashMap<String, Dataset>,
+    /// Placement decisions.
+    pub plan: DistributedPlan,
+    /// Combined transfer accounting, including failed exchanges.
+    pub log: TransferLog,
+    /// Per-node reachability observed during discovery.
+    pub health: Vec<NodeHealth>,
+}
+
+impl DegradedOutcome {
+    /// True when every federation node answered discovery first try.
+    pub fn fully_healthy(&self) -> bool {
+        self.health.iter().all(|h| h.status == NodeStatus::Healthy)
+    }
+
+    /// Nodes that could not be reached during the operation.
+    pub fn unavailable_nodes(&self) -> Vec<&str> {
+        self.health
+            .iter()
+            .filter(|h| h.status == NodeStatus::Unavailable)
+            .map(|h| h.node.as_str())
+            .collect()
+    }
+}
+
 impl Federation {
     /// Execute a query whose source datasets may live on **different
     /// nodes** (§4.4 federated processing proper). Strategy: pick the
@@ -268,9 +529,30 @@ impl Federation {
         query: &str,
         chunk_bytes: usize,
     ) -> Result<(HashMap<String, Dataset>, DistributedPlan, TransferLog), FederationError> {
+        let outcome = self.execute_distributed_degraded(query, chunk_bytes)?;
+        Ok((outcome.outputs, outcome.plan, outcome.log))
+    }
+
+    /// Degraded-mode federated execution: tolerate unreachable nodes as
+    /// long as every dataset the query references is owned by a node
+    /// that answered discovery. The returned [`DegradedOutcome`] carries
+    /// the per-node [`NodeHealth`] report so callers can tell a
+    /// full-strength answer from one computed while part of the
+    /// federation was down.
+    pub fn execute_distributed_degraded(
+        &self,
+        query: &str,
+        chunk_bytes: usize,
+    ) -> Result<DegradedOutcome, FederationError> {
         let mut log = TransferLog::default();
-        // 1. Discover ownership and sizes.
-        let inventory = self.discover(&mut log)?;
+        // 1. Discover ownership and sizes from every reachable node.
+        let (inventory, health) = self.discover_degraded(&mut log);
+        if inventory.is_empty() {
+            return Err(FederationError::Remote(format!(
+                "no reachable nodes ({} unreachable)",
+                health.len()
+            )));
+        }
         let mut location: HashMap<String, (String, usize)> = HashMap::new();
         for (node, datasets) in &inventory {
             for d in datasets {
@@ -298,25 +580,43 @@ impl Federation {
                 defined.insert(var.clone());
             }
         }
-        // 3. Validate availability and pick the host.
+        // 3. Validate availability and pick the host. An unowned source
+        // may simply live on an unreachable node — say so.
         let mut per_node_bytes: HashMap<&str, usize> = HashMap::new();
         for src in &sources {
-            let (node, bytes) = location
-                .get(src)
-                .ok_or_else(|| FederationError::Remote(format!("no node owns {src:?}")))?;
+            let (node, bytes) = location.get(src).ok_or_else(|| {
+                let down = health
+                    .iter()
+                    .filter(|h| h.status == NodeStatus::Unavailable)
+                    .map(|h| h.node.as_str())
+                    .collect::<Vec<_>>();
+                if down.is_empty() {
+                    FederationError::Remote(format!("no node owns {src:?}"))
+                } else {
+                    FederationError::Remote(format!(
+                        "no reachable node owns {src:?} (unreachable: {down:?})"
+                    ))
+                }
+            })?;
             *per_node_bytes.entry(node.as_str()).or_insert(0) += bytes;
         }
+        // Deterministic placement: most referenced bytes first, node id
+        // (lexicographic, ascending) as the tie-break — never the
+        // iteration order of a HashMap or the length of a node name.
         let host = per_node_bytes
             .iter()
-            .max_by_key(|(node, bytes)| (**bytes, std::cmp::Reverse(node.len())))
-            .map(|(node, _)| (*node).to_owned())
+            .map(|(node, bytes)| (*bytes, *node))
+            .max_by_key(|&(bytes, node)| (bytes, std::cmp::Reverse(node)))
+            .map(|(_, node)| node.to_owned())
             .ok_or_else(|| FederationError::Remote("query references no datasets".into()))?;
-        // 4. Ship foreign datasets to the host as temporary uploads.
+        // 4. Ship foreign datasets to the host as temporary uploads. On
+        // failure, best-effort drop whatever was already uploaded so a
+        // half-shipped query doesn't strand private data on the host.
         let mut shipped = Vec::new();
-        for src in &sources {
+        let ship_result: Result<(), FederationError> = sources.iter().try_for_each(|src| {
             let (owner, _) = &location[src];
             if owner == &host {
-                continue;
+                return Ok(());
             }
             let data =
                 match self.call(owner, Request::FetchDataset { name: src.clone() }, &mut log)? {
@@ -325,21 +625,17 @@ impl Federation {
                 };
             self.call(&host, Request::Upload { name: src.clone(), data }, &mut log)?;
             shipped.push((src.clone(), owner.clone()));
-        }
-        // 5. Execute on the host and always drop the uploads.
-        let result = self.ship_query(&host, query, chunk_bytes);
+            Ok(())
+        });
+        // 5. Execute on the host (only if shipping succeeded) and always
+        // drop the uploads.
+        let result =
+            ship_result.and_then(|()| self.ship_query_into(&host, query, chunk_bytes, &mut log));
         for (name, _) in &shipped {
-            let mut drop_log = TransferLog::default();
-            let _ = self.call(&host, Request::DropUpload { name: name.clone() }, &mut drop_log);
-            log.requests += drop_log.requests;
-            log.bytes_sent += drop_log.bytes_sent;
-            log.bytes_received += drop_log.bytes_received;
+            let _ = self.call(&host, Request::DropUpload { name: name.clone() }, &mut log);
         }
-        let (outputs, qlog) = result?;
-        log.requests += qlog.requests;
-        log.bytes_sent += qlog.bytes_sent;
-        log.bytes_received += qlog.bytes_received;
-        Ok((outputs, DistributedPlan { host, shipped }, log))
+        let outputs = result?;
+        Ok(DegradedOutcome { outputs, plan: DistributedPlan { host, shipped }, log, health })
     }
 }
 
@@ -366,6 +662,7 @@ impl Drop for Federation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FederationNode;
     use nggc_gdm::{Attribute, GRegion, Metadata, Sample, Schema, Strand, ValueType};
 
     fn peaks(n_samples: usize, regions_per_sample: usize) -> Dataset {
@@ -603,6 +900,70 @@ mod tests {
             &mut log,
         );
         assert!(matches!(r3, Ok(Response::Accepted { .. })));
+    }
+
+    #[test]
+    fn equal_sized_nodes_host_tie_breaks_lexicographically() {
+        // Two nodes with byte-identical datasets (same-length names, same
+        // regions): placement must not depend on insertion order, HashMap
+        // iteration order, or node-name length.
+        let equal_ds = |name: &str| {
+            let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+            let mut ds = Dataset::new(name, schema);
+            ds.add_sample(Sample::new("s", name).with_regions(vec![
+                GRegion::new("chr1", 0, 100, Strand::Unstranded).with_values(vec![0.5.into()]),
+            ]))
+            .unwrap();
+            ds
+        };
+        const Q: &str = "R = MAP(n AS COUNT) AAA BBB; MATERIALIZE R;";
+        for order in [["zeta", "alpha"], ["alpha", "zeta"]] {
+            let mut fed = Federation::new();
+            let mut first = FederationNode::new(order[0], 1);
+            first.own(equal_ds(if order[0] == "zeta" { "AAA" } else { "BBB" }));
+            fed.add_node(first);
+            let mut second = FederationNode::new(order[1], 1);
+            second.own(equal_ds(if order[1] == "zeta" { "AAA" } else { "BBB" }));
+            fed.add_node(second);
+            let (_, plan, _) = fed.execute_distributed(Q, 4096).unwrap();
+            assert_eq!(
+                plan.host, "alpha",
+                "tie on bytes must resolve to the lexicographically first node (order {order:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_outcome_reports_full_health_when_all_nodes_up() {
+        let mut fed = Federation::new();
+        let mut n1 = FederationNode::new("polimi", 2);
+        n1.own(peaks(4, 20));
+        fed.add_node(n1);
+        let outcome = fed.execute_distributed_degraded(QUERY, 4096).unwrap();
+        assert!(outcome.fully_healthy());
+        assert!(outcome.unavailable_nodes().is_empty());
+        assert_eq!(outcome.health.len(), 1);
+        assert_eq!(outcome.health[0].breaker, crate::BreakerState::Closed);
+        assert_eq!(outcome.outputs["X"].sample_count(), 2);
+        // No staged tickets left behind.
+        assert_eq!(fed.staged_results("polimi").unwrap(), 0);
+    }
+
+    #[test]
+    fn status_roundtrip_reports_staging() {
+        let fed = federation();
+        assert_eq!(fed.staged_results("polimi").unwrap(), 0);
+        let mut log = TransferLog::default();
+        let ticket = match fed
+            .call("polimi", Request::Execute { query: QUERY.into(), chunk_bytes: 4096 }, &mut log)
+            .unwrap()
+        {
+            Response::Accepted { ticket, .. } => ticket,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(fed.staged_results("polimi").unwrap(), 1);
+        fed.call("polimi", Request::Release { ticket }, &mut log).unwrap();
+        assert_eq!(fed.staged_results("polimi").unwrap(), 0);
     }
 
     #[test]

@@ -12,6 +12,19 @@ use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate};
 use nggc_core::GmqlEngine;
 use nggc_gdm::Dataset;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Anything that can serve federation protocol requests on a node
+/// thread. [`FederationNode`] is the real implementation;
+/// [`ChaosNode`](crate::ChaosNode) wraps one to inject faults.
+pub trait NodeService: Send {
+    /// Node identifier.
+    fn id(&self) -> &str;
+
+    /// Serve one request. `None` models a lost response: the caller gets
+    /// no reply and its deadline fires.
+    fn serve(&mut self, request: &Request) -> Option<Response>;
+}
 
 /// One federated node.
 pub struct FederationNode {
@@ -26,10 +39,14 @@ pub struct FederationNode {
     /// Maximum concurrently staged results ("control of staging
     /// resources", §4.4).
     max_staged: usize,
+    /// Backstop against clients that vanish mid-conversation: staged
+    /// results older than this are reaped on the next request.
+    ticket_ttl: Duration,
 }
 
 struct StagedResult {
     chunks: Vec<Vec<u8>>,
+    created: Instant,
 }
 
 impl FederationNode {
@@ -44,6 +61,7 @@ impl FederationNode {
             next_ticket: 1,
             uploads: Vec::new(),
             max_staged: 8,
+            ticket_ttl: Duration::from_secs(600),
         }
     }
 
@@ -51,6 +69,30 @@ impl FederationNode {
     pub fn with_staging_capacity(mut self, max_staged: usize) -> FederationNode {
         self.max_staged = max_staged.max(1);
         self
+    }
+
+    /// Override the staged-ticket time-to-live (default 10 minutes).
+    pub fn with_ticket_ttl(mut self, ttl: Duration) -> FederationNode {
+        self.ticket_ttl = ttl;
+        self
+    }
+
+    /// Reap staged results whose ticket outlived
+    /// [`ticket_ttl`](Self::with_ticket_ttl) — the backstop for clients
+    /// that timed out (or crashed) between `Execute` and `Release`.
+    fn expire_stale_tickets(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let ttl = self.ticket_ttl;
+        let before = self.staged.len();
+        self.staged.retain(|_, s| s.created.elapsed() < ttl);
+        let expired = before - self.staged.len();
+        if expired > 0 {
+            nggc_obs::global()
+                .counter_with("nggc_fed_tickets_expired_total", &[("node", &self.id)])
+                .add(expired as u64);
+        }
     }
 
     /// Make the node own a dataset.
@@ -66,6 +108,7 @@ impl FederationNode {
 
     /// Handle one protocol request.
     pub fn handle(&mut self, request: &Request) -> Response {
+        self.expire_stale_tickets();
         match request {
             Request::ListDatasets => Response::Datasets(
                 self.datasets
@@ -150,6 +193,7 @@ impl FederationNode {
                     ticket,
                     StagedResult {
                         chunks: if chunks.is_empty() { vec![Vec::new()] } else { chunks },
+                        created: Instant::now(),
                     },
                 );
                 Response::Accepted { ticket, outputs, chunks: n_chunks, total_bytes }
@@ -205,6 +249,9 @@ impl FederationNode {
                     Response::Error(format!("no upload named {name:?}"))
                 }
             }
+            Request::Status => {
+                Response::Status { staged_results: self.staged.len(), uploads: self.uploads.len() }
+            }
         }
     }
 
@@ -216,6 +263,16 @@ impl FederationNode {
     /// Number of currently staged results (staging-resource control).
     pub fn staged_results(&self) -> usize {
         self.staged.len()
+    }
+}
+
+impl NodeService for FederationNode {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn serve(&mut self, request: &Request) -> Option<Response> {
+        Some(self.handle(request))
     }
 }
 
@@ -352,6 +409,28 @@ mod tests {
         assert!(matches!(n.handle(&Request::Release { ticket }), Response::Ok));
         assert_eq!(n.staged_results(), 0);
         assert!(matches!(n.handle(&Request::Release { ticket }), Response::Error(_)));
+    }
+
+    #[test]
+    fn stale_tickets_expire_as_backstop() {
+        let mut n = node().with_ticket_ttl(Duration::from_millis(20));
+        let ticket = match n.handle(&Request::Execute {
+            query: "X = SELECT() PEAKS; MATERIALIZE X;".into(),
+            chunk_bytes: 1024,
+        }) {
+            Response::Accepted { ticket, .. } => ticket,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(n.staged_results(), 1);
+        std::thread::sleep(Duration::from_millis(40));
+        // Any subsequent request sweeps the stale ticket first.
+        match n.handle(&Request::Status) {
+            Response::Status { staged_results, .. } => assert_eq!(staged_results, 0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.staged_results(), 0);
+        // The reaped ticket is gone for good.
+        assert!(matches!(n.handle(&Request::FetchChunk { ticket, chunk: 0 }), Response::Error(_)));
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Fault-tolerance policy for federation calls.
+//!
+//! Remote peers in the §4.4 federation can stall, crash mid-conversation,
+//! or answer garbage. [`CallPolicy`] bounds what one request/response
+//! exchange may cost: a per-request **deadline**, bounded **retries** with
+//! exponential backoff and deterministic jitter (idempotent request kinds
+//! only), and a per-node **circuit breaker** that fails fast once a node
+//! keeps missing its deadlines and probes it again after a cooldown
+//! (half-open). [`NodeHealth`] is how degraded operations report which
+//! peers they could and could not reach.
+
+use std::time::{Duration, Instant};
+
+/// Bounds on one federation request/response exchange.
+///
+/// The policy lives on the [`Federation`](crate::Federation) and applies
+/// to every `call` — and therefore to `discover`, `ship_query`,
+/// `ship_data`, and `execute_distributed`, which are all built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// Maximum wall time to wait for a single response.
+    pub deadline: Duration,
+    /// Retries after the first attempt. Only idempotent request kinds
+    /// (see [`Request::is_idempotent`](crate::Request::is_idempotent))
+    /// are retried; a lost `Execute` or `Upload` is never replayed.
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter. Two federations with
+    /// the same seed sleep the same amounts — failure runs reproduce.
+    pub jitter_seed: u64,
+    /// Consecutive transport failures (timeout / node down) that open a
+    /// node's circuit breaker. Remote application errors do not count.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before letting one
+    /// half-open probe through.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for CallPolicy {
+    fn default() -> CallPolicy {
+        CallPolicy {
+            deadline: Duration::from_secs(30),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            jitter_seed: 0x5eed_f00d,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl CallPolicy {
+    /// Backoff before retry number `attempt` (0-based) against `node`:
+    /// exponential growth capped at [`backoff_cap`](Self::backoff_cap),
+    /// with deterministic jitter in `[50%, 100%]` of the nominal value so
+    /// concurrent retriers de-synchronise without a shared clock or RNG.
+    pub fn backoff(&self, node: &str, attempt: usize) -> Duration {
+        let nominal =
+            self.backoff_base.saturating_mul(1u32 << attempt.min(16) as u32).min(self.backoff_cap);
+        let nanos = nominal.as_nanos().min(u128::from(u64::MAX)) as u64;
+        if nanos < 2 {
+            return nominal;
+        }
+        // FNV-mix the (seed, node, attempt) identity, then xorshift.
+        let mut h = self.jitter_seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in node.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        h = (h ^ attempt as u64).wrapping_mul(0x1000_0000_01b3);
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        let half = nanos / 2;
+        Duration::from_nanos(half + h % (nanos - half + 1))
+    }
+}
+
+/// Circuit breaker state of one node, as seen by the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected locally without touching the node.
+    Open,
+    /// Cooldown elapsed; one probe call is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding used by `nggc_fed_breaker_state`:
+    /// 0 closed, 1 half-open, 2 open.
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Per-node breaker bookkeeping (coordinator side).
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker { state: BreakerState::Closed, consecutive_failures: 0, opened_at: None }
+    }
+}
+
+impl Breaker {
+    /// Current state (transitions Open → HalfOpen when the cooldown has
+    /// elapsed, so callers observe the probe-eligible state).
+    pub(crate) fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a call proceed right now? Open breakers transition to
+    /// half-open once the cooldown has elapsed and admit one probe.
+    pub(crate) fn admit(&mut self, policy: &CallPolicy) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let cooled =
+                    self.opened_at.map(|t| t.elapsed() >= policy.breaker_cooldown).unwrap_or(true);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                }
+                cooled
+            }
+        }
+    }
+
+    /// The node answered (even with an application error): the transport
+    /// is healthy, so close the breaker and reset the failure streak.
+    pub(crate) fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// A transport failure (timeout or node down). Returns `true` when
+    /// this failure opened the breaker.
+    pub(crate) fn on_transport_failure(&mut self, policy: &CallPolicy) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let should_open = self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= policy.breaker_threshold;
+        if should_open && self.state != BreakerState::Open {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(Instant::now());
+            return true;
+        }
+        if should_open {
+            // Already open; restart the cooldown.
+            self.opened_at = Some(Instant::now());
+        }
+        false
+    }
+}
+
+/// How reachable one node was during a degraded-mode operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Answered on the first attempt.
+    Healthy,
+    /// Answered, but only after one or more retries.
+    Degraded,
+    /// Did not answer within the retry budget (or its breaker is open).
+    Unavailable,
+}
+
+/// Per-node health report attached to degraded-mode results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Node identifier.
+    pub node: String,
+    /// Reachability during the reported operation.
+    pub status: NodeStatus,
+    /// Breaker state after the operation.
+    pub breaker: BreakerState,
+    /// Retries spent reaching the node during the operation.
+    pub retries: u64,
+    /// The terminal error, for unavailable nodes.
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = CallPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            jitter_seed: 7,
+            ..CallPolicy::default()
+        };
+        for attempt in 0..12 {
+            let a = policy.backoff("node-a", attempt);
+            let b = policy.backoff("node-a", attempt);
+            assert_eq!(a, b, "same identity, same jitter");
+            let nominal = policy
+                .backoff_base
+                .saturating_mul(1 << attempt.min(16) as u32)
+                .min(policy.backoff_cap);
+            assert!(a <= nominal, "attempt {attempt}: {a:?} > {nominal:?}");
+            assert!(a >= nominal / 2, "attempt {attempt}: {a:?} < half of {nominal:?}");
+        }
+        // Different nodes jitter differently (with overwhelming likelihood).
+        assert_ne!(policy.backoff("node-a", 3), policy.backoff("node-b", 3));
+    }
+
+    #[test]
+    fn breaker_state_machine() {
+        let policy = CallPolicy {
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(20),
+            ..CallPolicy::default()
+        };
+        let mut b = Breaker::default();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(&policy));
+        assert!(!b.on_transport_failure(&policy));
+        assert!(!b.on_transport_failure(&policy));
+        assert!(b.admit(&policy), "still closed below threshold");
+        assert!(b.on_transport_failure(&policy), "third failure opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(&policy), "open rejects before cooldown");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit(&policy), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A failed probe re-opens immediately…
+        b.on_transport_failure(&policy);
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit(&policy));
+        // …and a successful probe closes and resets the streak.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(&policy));
+    }
+}

@@ -69,6 +69,10 @@ pub enum Request {
         /// The temporary name.
         name: String,
     },
+    /// Ask the node how many results it holds staged and how many user
+    /// uploads are live — the observability hook degraded-mode clients
+    /// use to verify no tickets leaked after a failed conversation.
+    Status,
 }
 
 /// Summary of one remote dataset.
@@ -136,6 +140,13 @@ pub enum Response {
         /// Serialized dataset.
         data: Vec<u8>,
     },
+    /// Answer to Status.
+    Status {
+        /// Results currently staged for chunked retrieval.
+        staged_results: usize,
+        /// Live (not yet dropped) user uploads.
+        uploads: usize,
+    },
     /// Acknowledgement (Release).
     Ok,
     /// An error.
@@ -160,7 +171,28 @@ impl Request {
             Request::Release { .. } => "Release",
             Request::Upload { .. } => "Upload",
             Request::DropUpload { .. } => "DropUpload",
+            Request::Status => "Status",
         }
+    }
+
+    /// Whether replaying the request after a lost response is safe.
+    ///
+    /// Read-only exchanges (listings, compilation, chunk and dataset
+    /// fetches) can repeat without changing node state, so the retry
+    /// machinery in [`Federation::call`](crate::Federation::call) may
+    /// replay them. `Execute` stages a fresh ticket per send, `Upload`
+    /// re-registers, and `Release`/`DropUpload` fail on the second
+    /// delivery — none of those are retried automatically.
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::ListDatasets
+                | Request::DatasetInfo { .. }
+                | Request::Compile { .. }
+                | Request::FetchChunk { .. }
+                | Request::FetchDataset { .. }
+                | Request::Status
+        )
     }
 }
 

@@ -20,6 +20,8 @@
 //!         [--save] [--workers N] [--explain] [--head K] [--profile]
 //!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
 //!         [-e TEXT]               optionally run a query first so the registry is warm
+//!         [--fed-selftest]        exercise a faulty 3-node federation first so the
+//!                                 retry/timeout/breaker metrics carry real values
 //!   search KEYWORDS [--ontology]  search sample metadata
 //!   export DATASET FILE.bed       export a dataset's regions as BED
 //! ```
@@ -343,19 +345,25 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `nggc stats [--json] [-e QUERY]` — dump the global metrics registry.
+/// `nggc stats [--json] [-e QUERY] [--fed-selftest]` — dump the global
+/// metrics registry.
 ///
 /// Each CLI invocation is its own process, so the registry only holds
 /// what this invocation did; `-e QUERY` runs a query first (against the
 /// repository, discarding outputs) so the dump reflects real engine
-/// activity.
+/// activity. `--fed-selftest` runs an in-process three-node federation
+/// with one flaky and one hung peer so the fault-tolerance metrics
+/// (`nggc_fed_retries_total`, `nggc_fed_timeouts_total`, breaker
+/// gauges) show up in the dump with real values.
 fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut query = None;
+    let mut fed_selftest = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--fed-selftest" => fed_selftest = true,
             "-e" => {
                 i += 1;
                 query =
@@ -364,6 +372,9 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
             other => return Err(format!("stats: unexpected argument {other:?}")),
         }
         i += 1;
+    }
+    if fed_selftest {
+        run_fed_selftest()?;
     }
     if let Some(query) = query {
         let repo = open(repo_path)?;
@@ -381,6 +392,88 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
         println!("{}", reg.render_json());
     } else {
         print!("{}", reg.render_prometheus());
+    }
+    Ok(())
+}
+
+/// Exercise the federation fault-tolerance machinery against synthetic
+/// in-process peers: "alpha" is healthy and owns the bulk of the data,
+/// "flaky" drops its first response (recovers on retry), and "hung"
+/// never answers within the deadline. The degraded execution must still
+/// complete, and every retry/timeout/breaker transition lands in the
+/// global registry for the dump that follows.
+fn run_fed_selftest() -> Result<(), String> {
+    use nggc::federation::{CallPolicy, ChaosConfig, ChaosNode, Federation, FederationNode};
+    use nggc::gdm::{Attribute, GRegion, Metadata, Schema, Strand, ValueType};
+    use std::time::Duration;
+
+    fn dataset(name: &str, samples: usize, regions_per_sample: usize) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new(name, schema);
+        for i in 0..samples {
+            let regions = (0..regions_per_sample)
+                .map(|j| {
+                    GRegion::new(
+                        "chr1",
+                        (j * 500) as u64,
+                        (j * 500 + 100) as u64,
+                        Strand::Unstranded,
+                    )
+                    .with_values(vec![0.01.into()])
+                })
+                .collect();
+            ds.add_sample(
+                Sample::new(format!("s{i}"), name)
+                    .with_regions(regions)
+                    .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+            )
+            .unwrap();
+        }
+        ds
+    }
+
+    let policy = CallPolicy {
+        deadline: Duration::from_millis(30),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+        jitter_seed: 1,
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(200),
+    };
+    let mut fed = Federation::with_policy(policy);
+
+    let mut alpha = FederationNode::new("alpha", 2);
+    alpha.own(dataset("BULK", 4, 40));
+    fed.add_node(alpha);
+
+    let mut flaky = FederationNode::new("flaky", 2);
+    flaky.own(dataset("SMALL", 1, 4));
+    fed.add_node(ChaosNode::new(flaky, ChaosConfig::flaky(1)));
+
+    let mut hung = FederationNode::new("hung", 2);
+    hung.own(dataset("ELSEWHERE", 1, 4));
+    fed.add_node(ChaosNode::new(hung, ChaosConfig::hung(Duration::from_millis(120))));
+
+    let query = "R = MAP(n AS COUNT) SMALL BULK;\nMATERIALIZE R;";
+    let outcome = fed.execute_distributed_degraded(query, 32 * 1024).map_err(|e| e.to_string())?;
+    println!("fed-selftest: host={} shipped={:?}", outcome.plan.host, outcome.plan.shipped);
+    for h in &outcome.health {
+        println!(
+            "fed-selftest: node={} status={:?} breaker={:?} retries={}{}",
+            h.node,
+            h.status,
+            h.breaker,
+            h.retries,
+            h.error.as_deref().map(|e| format!(" error={e:?}")).unwrap_or_default()
+        );
+    }
+    for (name, ds) in &outcome.outputs {
+        println!(
+            "fed-selftest: output {name}: {} samples, {} regions",
+            ds.sample_count(),
+            ds.region_count()
+        );
     }
     Ok(())
 }

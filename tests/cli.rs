@@ -178,6 +178,27 @@ fn cli_stats_dumps_registry() {
 }
 
 #[test]
+fn cli_stats_fed_selftest_surfaces_fault_metrics() {
+    let repo = tmp_repo("fedself");
+    std::fs::create_dir_all(&repo).unwrap();
+
+    // The selftest needs no repository content: it spins an in-process
+    // three-node federation (one flaky, one hung peer) and the ensuing
+    // retries, timeouts, and breaker transitions land in the registry
+    // dumped right after.
+    let (ok, stdout, stderr) = run(&repo, &["stats", "--fed-selftest"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fed-selftest: host=alpha"), "{stdout}");
+    assert!(stdout.contains("node=flaky status=Degraded"), "{stdout}");
+    assert!(stdout.contains("node=hung status=Unavailable"), "{stdout}");
+    assert!(stdout.contains("nggc_fed_retries_total{node=\"flaky\"}"), "{stdout}");
+    assert!(stdout.contains("nggc_fed_timeouts_total{node=\"hung\"}"), "{stdout}");
+    assert!(stdout.contains("nggc_fed_breaker_state{node=\"hung\"} 2"), "{stdout}");
+    assert!(stdout.contains("nggc_fed_breaker_opens_total{node=\"hung\"} 1"), "{stdout}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
 fn cli_errors_are_reported() {
     let repo = tmp_repo("err");
     let (ok, _, stderr) = run(&repo, &["info", "NOPE"]);

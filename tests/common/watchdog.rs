@@ -1,0 +1,39 @@
+//! Per-test hang guard for the federation suites.
+//!
+//! A reintroduced blocking `recv()` (or any other wedge) must fail CI,
+//! not hang it: the workflow has `timeout-minutes`, and this watchdog is
+//! the per-test layer — it runs the test body on a worker thread and
+//! aborts the whole test process with a diagnostic if the body exceeds
+//! its budget.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Run `f`, aborting the test process if it takes longer than `secs`.
+pub fn with_watchdog<T: Send + 'static>(
+    label: &'static str,
+    secs: u64,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name(format!("watchdog-{label}"))
+        .spawn(move || {
+            let out = f();
+            let _ = done_tx.send(());
+            out
+        })
+        .expect("spawn watchdog worker");
+    match done_rx.recv_timeout(Duration::from_secs(secs)) {
+        // Finished (the sender is dropped on panic too): join and
+        // propagate the worker's result or panic.
+        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => match worker.join() {
+            Ok(out) => out,
+            Err(panic) => std::panic::resume_unwind(panic),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            eprintln!("watchdog: test {label:?} exceeded its {secs}s budget — aborting process");
+            std::process::abort();
+        }
+    }
+}

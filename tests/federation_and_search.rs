@@ -1,6 +1,9 @@
 //! Integration: federated execution equivalence (§4.4) and search
 //! quality over a planted-relevance corpus (§4.5).
 
+#[path = "common/watchdog.rs"]
+mod watchdog;
+
 use nggc::federation::{Federation, FederationNode, TransferLog};
 use nggc::gdm::{Dataset, Metadata, Sample, Schema};
 use nggc::gmql::GmqlEngine;
@@ -8,6 +11,7 @@ use nggc::ontology::mini_umls;
 use nggc::repository::MetaIndex;
 use nggc::search::{evaluate, MetadataSearch, RankMode};
 use nggc::synth::{generate_annotations, generate_encode, AnnotationConfig, EncodeConfig, Genome};
+use watchdog::with_watchdog;
 
 fn world() -> (Dataset, Dataset) {
     let genome = Genome::human(0.001);
@@ -31,51 +35,55 @@ const QUERY: &str = "
 
 #[test]
 fn federated_execution_equals_local() {
-    let (encode, annotations) = world();
+    with_watchdog("federated_execution_equals_local", 300, || {
+        let (encode, annotations) = world();
 
-    let mut local = GmqlEngine::with_workers(2);
-    local.register(encode.clone());
-    local.register(annotations.clone());
-    let expected = local.run(QUERY).unwrap();
+        let mut local = GmqlEngine::with_workers(2);
+        local.register(encode.clone());
+        local.register(annotations.clone());
+        let expected = local.run(QUERY).unwrap();
 
-    let mut federation = Federation::new();
-    let mut node = FederationNode::new("remote", 2);
-    node.own(encode);
-    node.own(annotations);
-    federation.add_node(node);
+        let mut federation = Federation::new();
+        let mut node = FederationNode::new("remote", 2);
+        node.own(encode);
+        node.own(annotations);
+        federation.add_node(node);
 
-    let (remote, log) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
-    assert_eq!(remote["R"].sample_count(), expected["R"].sample_count());
-    assert_eq!(remote["R"].region_count(), expected["R"].region_count());
-    for (a, b) in remote["R"].samples.iter().zip(&expected["R"].samples) {
-        assert_eq!(a.regions, b.regions, "federated results must be bit-identical");
-        assert_eq!(a.metadata, b.metadata);
-    }
-    assert!(log.requests >= 3, "execute + >=1 chunk + release");
+        let (remote, log) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
+        assert_eq!(remote["R"].sample_count(), expected["R"].sample_count());
+        assert_eq!(remote["R"].region_count(), expected["R"].region_count());
+        for (a, b) in remote["R"].samples.iter().zip(&expected["R"].samples) {
+            assert_eq!(a.regions, b.regions, "federated results must be bit-identical");
+            assert_eq!(a.metadata, b.metadata);
+        }
+        assert!(log.requests >= 3, "execute + >=1 chunk + release");
+    });
 }
 
 #[test]
 fn federation_estimates_are_in_the_right_ballpark() {
-    let (encode, annotations) = world();
-    let mut federation = Federation::new();
-    let mut node = FederationNode::new("remote", 2);
-    node.own(encode);
-    node.own(annotations);
-    federation.add_node(node);
+    with_watchdog("federation_estimates_ballpark", 300, || {
+        let (encode, annotations) = world();
+        let mut federation = Federation::new();
+        let mut node = FederationNode::new("remote", 2);
+        node.own(encode);
+        node.own(annotations);
+        federation.add_node(node);
 
-    let mut log = TransferLog::default();
-    let estimates = federation.compile_remote("remote", QUERY, &mut log).unwrap();
-    let (actual, _) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
-    let est = &estimates[0];
-    let got = actual["R"].region_count();
-    // Heuristic estimates: demand the right order of magnitude, not
-    // precision.
-    assert!(est.regions > 0);
-    assert!(
-        est.regions as f64 / got as f64 > 0.05 && (est.regions as f64 / got as f64) < 20.0,
-        "estimate {} vs actual {got} regions",
-        est.regions
-    );
+        let mut log = TransferLog::default();
+        let estimates = federation.compile_remote("remote", QUERY, &mut log).unwrap();
+        let (actual, _) = federation.ship_query("remote", QUERY, 32 * 1024).unwrap();
+        let est = &estimates[0];
+        let got = actual["R"].region_count();
+        // Heuristic estimates: demand the right order of magnitude, not
+        // precision.
+        assert!(est.regions > 0);
+        assert!(
+            est.regions as f64 / got as f64 > 0.05 && (est.regions as f64 / got as f64) < 20.0,
+            "estimate {} vs actual {got} regions",
+            est.regions
+        );
+    });
 }
 
 fn relevance_corpus() -> (MetaIndex, Vec<nggc::repository::SampleRef>) {
