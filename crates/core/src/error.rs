@@ -21,6 +21,39 @@ pub enum GmqlError {
     Runtime(String),
     /// An underlying data-model violation.
     Model(GdmError),
+    /// The query was cancelled cooperatively (Ctrl-C, cancel token).
+    /// Reports partial progress: where execution stopped and what it had
+    /// consumed by then.
+    Cancelled {
+        /// Label of the plan node that was executing (or about to).
+        node: String,
+        /// Wall time elapsed when the cancellation took effect.
+        elapsed_ms: u64,
+        /// Peak governed memory charged, in bytes.
+        mem_peak: u64,
+    },
+    /// The query's wall-clock deadline elapsed mid-execution.
+    DeadlineExceeded {
+        /// Label of the plan node that was executing (or about to).
+        node: String,
+        /// Wall time elapsed when the deadline was observed.
+        elapsed_ms: u64,
+        /// The configured deadline.
+        limit_ms: u64,
+        /// Peak governed memory charged, in bytes.
+        mem_peak: u64,
+    },
+    /// Materialising an intermediate would exceed the memory budget.
+    MemoryExhausted {
+        /// Label of the plan node whose output was rejected.
+        node: String,
+        /// Bytes the rejected materialisation asked for.
+        requested: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+        /// Bytes already charged when the request was rejected.
+        charged: u64,
+    },
 }
 
 impl GmqlError {
@@ -38,6 +71,19 @@ impl GmqlError {
     pub fn runtime(message: impl Into<String>) -> GmqlError {
         GmqlError::Runtime(message.into())
     }
+
+    /// Is this one of the resource-governor errors
+    /// ([`Cancelled`](GmqlError::Cancelled),
+    /// [`DeadlineExceeded`](GmqlError::DeadlineExceeded),
+    /// [`MemoryExhausted`](GmqlError::MemoryExhausted))?
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            GmqlError::Cancelled { .. }
+                | GmqlError::DeadlineExceeded { .. }
+                | GmqlError::MemoryExhausted { .. }
+        )
+    }
 }
 
 impl fmt::Display for GmqlError {
@@ -49,6 +95,21 @@ impl fmt::Display for GmqlError {
             GmqlError::Semantic(m) => write!(f, "semantic error: {m}"),
             GmqlError::Runtime(m) => write!(f, "runtime error: {m}"),
             GmqlError::Model(e) => write!(f, "model error: {e}"),
+            GmqlError::Cancelled { node, elapsed_ms, mem_peak } => write!(
+                f,
+                "query cancelled at node {node:?} after {elapsed_ms} ms \
+                 (peak governed memory {mem_peak} B)"
+            ),
+            GmqlError::DeadlineExceeded { node, elapsed_ms, limit_ms, mem_peak } => write!(
+                f,
+                "query deadline of {limit_ms} ms exceeded at node {node:?} \
+                 ({elapsed_ms} ms elapsed, peak governed memory {mem_peak} B)"
+            ),
+            GmqlError::MemoryExhausted { node, requested, budget, charged } => write!(
+                f,
+                "memory budget of {budget} B exhausted at node {node:?}: \
+                 requested {requested} B with {charged} B already charged"
+            ),
         }
     }
 }

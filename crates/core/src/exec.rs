@@ -7,6 +7,7 @@
 
 use crate::ast::Operator;
 use crate::error::GmqlError;
+use crate::governor::QueryGovernor;
 use crate::ops;
 use crate::plan::{LogicalPlan, PlanOp};
 use nggc_engine::ExecContext;
@@ -125,6 +126,34 @@ pub fn execute_with_metrics(
     ctx: &ExecContext,
     opts: &ExecOptions,
 ) -> Result<(HashMap<String, Dataset>, Vec<NodeMetrics>), GmqlError> {
+    execute_governed(plan, provider, ctx, opts, None)
+}
+
+/// [`execute_with_metrics`] under a [`QueryGovernor`]: the governor is
+/// checked at **every plan-node boundary** (before a node runs and again
+/// after its operator returns, so a kernel that truncated its output on
+/// a mid-loop trip is reported as the typed error, never as a success),
+/// every materialised intermediate is charged against the memory budget
+/// and released when its last consumer has run, and the governor's
+/// interruption state is threaded into the [`ExecContext`] so operator
+/// hot loops and the per-chromosome fan-out observe it too.
+pub fn execute_governed(
+    plan: &LogicalPlan,
+    provider: &dyn DatasetProvider,
+    ctx: &ExecContext,
+    opts: &ExecOptions,
+    governor: Option<&QueryGovernor>,
+) -> Result<(HashMap<String, Dataset>, Vec<NodeMetrics>), GmqlError> {
+    // Thread the interrupt into the operators' context so kernels poll
+    // the same state the boundary checks use.
+    let governed_ctx;
+    let ctx = match governor {
+        Some(g) => {
+            governed_ctx = ctx.clone().with_interrupt(Arc::clone(g.state()));
+            &governed_ctx
+        }
+        None => ctx,
+    };
     let mut plan_span = nggc_obs::span("exec.plan");
     plan_span.field("nodes", plan.nodes.len()).field("outputs", plan.outputs.len());
     let plan = if opts.optimize {
@@ -157,8 +186,14 @@ pub fn execute_with_metrics(
     // cache is never deep-copied unless an output must be renamed while
     // other references are still alive.
     let mut slots: Vec<Option<Arc<Dataset>>> = (0..plan.nodes.len()).map(|_| None).collect();
+    // Bytes charged to the governor per live slot, for release on free.
+    let mut slot_bytes = vec![0u64; plan.nodes.len()];
     let mut metrics = Vec::with_capacity(plan.nodes.len());
     for (id, node) in plan.nodes.iter().enumerate() {
+        if let Some(g) = governor {
+            // Boundary checkpoint before the node runs.
+            g.check(&node.label)?;
+        }
         let operator = match &node.op {
             PlanOp::Source(_) => "SOURCE".to_owned(),
             PlanOp::Apply(op) => op.name().to_owned(),
@@ -188,7 +223,21 @@ pub fn execute_with_metrics(
             }
         };
         let wall = t0.elapsed();
+        if let Some(g) = governor {
+            // Boundary checkpoint after the operator, *before* sizing the
+            // result: a kernel that observed the trip mid-loop returned
+            // truncated data, which must surface as the typed error —
+            // never as a result, and without paying to measure it.
+            g.check(&node.label)?;
+        }
         let bytes_out = result.encoded_size();
+        if let Some(g) = governor {
+            // Charge the materialised intermediate before it becomes
+            // visible to consumers; rejection aborts the query with the
+            // node's accounting attached.
+            g.charge(&node.label, bytes_out as u64)?;
+            slot_bytes[id] = bytes_out as u64;
+        }
         node_span
             .field("samples_out", result.sample_count())
             .field("regions_out", result.region_count())
@@ -212,14 +261,22 @@ pub fn execute_with_metrics(
             bytes_out,
             wall,
         });
-        // Decrement inputs; free exhausted intermediates.
+        // Decrement inputs; free exhausted intermediates (and give their
+        // bytes back to the budget).
         for &i in &node.inputs {
             refcount[i] -= 1;
             if refcount[i] == 0 {
                 slots[i] = None;
+                if let Some(g) = governor {
+                    g.release(slot_bytes[i]);
+                    slot_bytes[i] = 0;
+                }
             }
         }
         slots[id] = Some(result);
+    }
+    if let Some(g) = governor {
+        g.export_peak();
     }
 
     let mut out = HashMap::new();

@@ -27,6 +27,7 @@ pub mod aggregates;
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod governor;
 pub mod lexer;
 pub mod ops;
 pub mod optimizer;
@@ -41,9 +42,16 @@ pub use ast::{
     Statement,
 };
 pub use error::GmqlError;
-pub use exec::{execute, execute_with_metrics, DatasetProvider, ExecOptions, NodeMetrics};
+pub use exec::{
+    execute, execute_governed, execute_with_metrics, DatasetProvider, ExecOptions, NodeMetrics,
+};
+pub use governor::{
+    parse_bytes, parse_duration, GovernorLimits, QueryGovernor, ENV_MAX_MEMORY, ENV_TIMEOUT,
+};
 pub use optimizer::{optimize, OptimizerReport};
 pub use parser::parse;
 pub use plan::{infer_schema, LogicalNode, LogicalPlan, NodeId, PlanOp};
 pub use predicates::{BinOp, CmpOp, MetaPredicate, RegionExpr};
-pub use query::{run_with_provider, EstimatedOutput, GmqlEngine, QueryEstimate};
+pub use query::{
+    run_with_provider, run_with_provider_governed, EstimatedOutput, GmqlEngine, QueryEstimate,
+};

@@ -10,7 +10,7 @@ use crate::aggregates::Aggregate;
 use crate::ast::{AccBound, CoverVariant};
 use crate::error::GmqlError;
 use crate::ops::merge::partition_by_meta;
-use nggc_engine::{coverage_segments, merge_cover, CovSeg, ExecContext};
+use nggc_engine::{coverage_segments, merge_cover, CovSeg, ExecContext, CHECKPOINT_STRIDE};
 use nggc_gdm::{Chrom, Dataset, GRegion, Metadata, Provenance, Sample, Schema, Strand, Value};
 
 /// Execute COVER/FLAT/SUMMIT/HISTOGRAM.
@@ -46,6 +46,11 @@ pub fn cover(
 
         let chroms: Vec<Chrom> = pool_sample.chromosomes();
         let per_chrom: Vec<Vec<GRegion>> = ctx.pool().parallel_map(chroms, |c| {
+            // Job-boundary checkpoint: skip queued chromosome kernels
+            // once the governor has tripped.
+            if ctx.interrupted() {
+                return Vec::new();
+            }
             let slice = pool_sample.chrom_slice(&c);
             let intervals: Vec<(u64, u64)> = slice.iter().map(|r| (r.left, r.right)).collect();
             let segs = coverage_segments(&intervals);
@@ -65,31 +70,36 @@ pub fn cover(
                     })
                     .collect(),
             };
-            shapes
-                .into_iter()
-                .map(|(l, r, acc)| {
-                    let mut values = vec![Value::Int(acc as i64)];
-                    if !resolved.is_empty() {
-                        // Contributing regions: those overlapping the output.
-                        let contributing: Vec<&GRegion> = slice
-                            .iter()
-                            .filter(|x| nggc_gdm::interval_overlap(x.left, x.right, l, r))
-                            .collect();
-                        for (agg, pos) in &resolved {
-                            let value = match pos {
-                                Some(p) => {
-                                    let vals: Vec<&Value> =
-                                        contributing.iter().map(|x| &x.values[*p]).collect();
-                                    agg.compute(&vals, contributing.len())
-                                }
-                                None => agg.compute(&[], contributing.len()),
-                            };
-                            values.push(value);
-                        }
+            let mut regions = Vec::with_capacity(shapes.len());
+            for (idx, (l, r, acc)) in shapes.into_iter().enumerate() {
+                // The aggregate pass scans contributing regions per
+                // shape; poll on a stride so wide covers abort mid-loop.
+                if idx & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                    break;
+                }
+                let mut values = vec![Value::Int(acc as i64)];
+                if !resolved.is_empty() {
+                    // Contributing regions: those overlapping the output.
+                    let contributing: Vec<&GRegion> = slice
+                        .iter()
+                        .filter(|x| nggc_gdm::interval_overlap(x.left, x.right, l, r))
+                        .collect();
+                    for (agg, pos) in &resolved {
+                        let value = match pos {
+                            Some(p) => {
+                                let vals: Vec<&Value> =
+                                    contributing.iter().map(|x| &x.values[*p]).collect();
+                                agg.compute(&vals, contributing.len())
+                            }
+                            None => agg.compute(&[], contributing.len()),
+                        };
+                        values.push(value);
                     }
-                    GRegion::new(c.as_str(), l, r, Strand::Unstranded).with_values(values)
-                })
-                .collect()
+                }
+                regions
+                    .push(GRegion::new(c.as_str(), l, r, Strand::Unstranded).with_values(values));
+            }
+            regions
         });
 
         let provenance = Provenance::derived(

@@ -8,8 +8,9 @@
 
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_engine::{overlap_pairs_sort_merge, ExecContext};
+use nggc_engine::{overlap_pairs_sort_merge_interruptible, ExecContext, CHECKPOINT_STRIDE};
 use nggc_gdm::{Dataset, GRegion, Provenance, Sample};
+use std::cell::Cell;
 
 /// Execute DIFFERENCE.
 pub fn difference(
@@ -39,16 +40,39 @@ pub fn difference(
             .chromosomes()
             .into_iter()
             .flat_map(|c| {
+                // Chromosome-boundary checkpoint: a tripped governor
+                // stops the removal scan; the executor raises the typed
+                // error when the operator returns.
+                if ctx.interrupted() {
+                    return Vec::new();
+                }
                 let mine = ls.chrom_slice(&c);
                 let theirs = neg_sample.chrom_slice(&c);
                 let mut removed = vec![false; mine.len()];
                 if exact {
                     for (i, r) in mine.iter().enumerate() {
+                        // The exact path scans the whole negative set per
+                        // region (O(n·m)); poll on a stride.
+                        if i & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                            break;
+                        }
                         removed[i] =
                             theirs.iter().any(|n| n.cmp_coords(r) == std::cmp::Ordering::Equal);
                     }
                 } else {
-                    overlap_pairs_sort_merge(mine, theirs, |i, j| {
+                    let tripped = Cell::new(false);
+                    let tick = Cell::new(0usize);
+                    let stop = || tripped.get() || ctx.interrupted();
+                    overlap_pairs_sort_merge_interruptible(mine, theirs, stop, |i, j| {
+                        if tripped.get() {
+                            return;
+                        }
+                        let t = tick.get();
+                        tick.set(t.wrapping_add(1));
+                        if t & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                            tripped.set(true);
+                            return;
+                        }
                         if mine[i].strand.compatible(theirs[j].strand) {
                             removed[i] = true;
                         }

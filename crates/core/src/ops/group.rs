@@ -8,7 +8,7 @@
 use crate::aggregates::Aggregate;
 use crate::error::GmqlError;
 use crate::ops::merge::partition_by_meta;
-use nggc_engine::ExecContext;
+use nggc_engine::{ExecContext, CHECKPOINT_STRIDE};
 use nggc_gdm::{Dataset, GRegion, Metadata, Provenance, Sample, Schema, Value};
 
 /// Execute GROUP. `out_schema` = input schema + aggregate attributes.
@@ -49,7 +49,15 @@ pub fn group(
         nggc_engine::parallel_sort_by(ctx.pool(), &mut pooled, |a, b| a.cmp_coords(b));
         let mut regions: Vec<GRegion> = Vec::with_capacity(pooled.len());
         let mut i = 0;
+        let mut tick = 0usize;
         while i < pooled.len() {
+            // Stride checkpoint over the duplicate-fold loop: stop
+            // folding once the governor trips (the executor raises the
+            // typed error at the node boundary).
+            if tick & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                break;
+            }
+            tick = tick.wrapping_add(1);
             let mut j = i + 1;
             while j < pooled.len() && pooled[j].cmp_coords(&pooled[i]) == std::cmp::Ordering::Equal
             {

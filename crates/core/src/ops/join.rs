@@ -12,8 +12,11 @@
 use crate::ast::{GenometricClause, JoinOutput};
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_engine::{gap_pairs_sort_merge, k_nearest, ExecContext};
+use nggc_engine::{
+    gap_pairs_sort_merge_interruptible, k_nearest_interruptible, ExecContext, CHECKPOINT_STRIDE,
+};
 use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Strand};
+use std::cell::Cell;
 
 /// Execute JOIN. `out_schema` = prefixed concatenation of both schemas.
 pub fn join(
@@ -48,7 +51,23 @@ pub fn join(
         }
         let regions: Vec<GRegion> = ctx.map_common_chroms(ls, rs, |_c, lsl, rsl| {
             let mut out = Vec::new();
+            // Cooperative checkpoint: the candidate kernels can run for
+            // seconds on wide inputs (the exhaustive path is O(n·m)), so
+            // poll the governor every CHECKPOINT_STRIDE pairs and stop
+            // producing once it trips. The executor turns the truncated
+            // result into the typed error at the node boundary.
+            let tripped = Cell::new(false);
+            let tick = Cell::new(0usize);
             let mut handle = |i: usize, j: usize| {
+                if tripped.get() {
+                    return;
+                }
+                let t = tick.get();
+                tick.set(t.wrapping_add(1));
+                if t & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                    tripped.set(true);
+                    return;
+                }
                 let (a, b) = (&lsl[i], &rsl[j]);
                 if !clauses_hold(a, b, clauses) {
                     return;
@@ -57,24 +76,36 @@ pub fn join(
                     out.push(region);
                 }
             };
+            // The interruptible kernels poll the same trip state, so a
+            // governor firing mid-kernel also stops the pair
+            // *enumeration*, not just the emit callback.
+            let stop = || tripped.get() || ctx.interrupted();
             if let Some(k) = md_k {
-                for (i, nearest) in k_nearest(lsl, rsl, k).into_iter().enumerate() {
+                for (i, nearest) in
+                    k_nearest_interruptible(lsl, rsl, k, stop).into_iter().enumerate()
+                {
                     for j in nearest {
                         handle(i, j);
                     }
                 }
             } else if let Some(d) = dle {
-                gap_pairs_sort_merge(lsl, rsl, d.max(0) as u64, &mut handle);
+                gap_pairs_sort_merge_interruptible(lsl, rsl, d.max(0) as u64, stop, &mut handle);
             } else {
-                for i in 0..lsl.len() {
+                'exhaustive: for i in 0..lsl.len() {
                     for j in 0..rsl.len() {
                         handle(i, j);
+                        if tripped.get() {
+                            break 'exhaustive;
+                        }
                     }
                 }
             }
             out
         });
-        if regions.is_empty() {
+        // A tripped governor means `regions` is truncated garbage the
+        // executor will discard — skip the (potentially huge) sort and
+        // metadata merge and let the node boundary raise the error.
+        if ctx.interrupted() || regions.is_empty() {
             return None;
         }
         let mut sample = Sample::derived(

@@ -11,8 +11,9 @@
 use crate::aggregates::Aggregate;
 use crate::error::GmqlError;
 use crate::ops::joinby_matches;
-use nggc_engine::{overlap_pairs_sort_merge, ExecContext};
+use nggc_engine::{overlap_pairs_sort_merge_interruptible, ExecContext, CHECKPOINT_STRIDE};
 use nggc_gdm::{Dataset, GRegion, Provenance, Sample, Schema, Value};
+use std::cell::Cell;
 
 /// Execute MAP. `out_schema` = reference schema + aggregate attributes.
 pub fn map(
@@ -37,30 +38,47 @@ pub fn map(
         // of intersecting experiment regions.
         let regions: Vec<GRegion> = ctx.map_common_chroms(r, e, |_c, ref_slice, exp_slice| {
             let mut hits: Vec<Vec<usize>> = vec![Vec::new(); ref_slice.len()];
-            overlap_pairs_sort_merge(ref_slice, exp_slice, |i, j| {
+            // Cooperative checkpoint: dense overlaps make the pair
+            // enumeration quadratic, so poll on a stride and stop
+            // collecting once the governor trips; the executor raises
+            // the typed error at the node boundary.
+            let tripped = Cell::new(false);
+            let tick = Cell::new(0usize);
+            let stop = || tripped.get() || ctx.interrupted();
+            overlap_pairs_sort_merge_interruptible(ref_slice, exp_slice, stop, |i, j| {
+                if tripped.get() {
+                    return;
+                }
+                let t = tick.get();
+                tick.set(t.wrapping_add(1));
+                if t & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                    tripped.set(true);
+                    return;
+                }
                 if ref_slice[i].strand.compatible(exp_slice[j].strand) {
                     hits[i].push(j);
                 }
             });
-            ref_slice
-                .iter()
-                .zip(hits)
-                .map(|(rr, matched)| {
-                    let mut out = rr.clone();
-                    for (agg, pos) in &resolved {
-                        let value = match pos {
-                            Some(p) => {
-                                let vals: Vec<&Value> =
-                                    matched.iter().map(|&j| &exp_slice[j].values[*p]).collect();
-                                agg.compute(&vals, matched.len())
-                            }
-                            None => agg.compute(&[], matched.len()),
-                        };
-                        out.values.push(value);
-                    }
-                    out
-                })
-                .collect()
+            let mut out_regions = Vec::with_capacity(ref_slice.len());
+            for (idx, (rr, matched)) in ref_slice.iter().zip(hits).enumerate() {
+                if idx & (CHECKPOINT_STRIDE - 1) == 0 && ctx.interrupted() {
+                    break;
+                }
+                let mut out = rr.clone();
+                for (agg, pos) in &resolved {
+                    let value = match pos {
+                        Some(p) => {
+                            let vals: Vec<&Value> =
+                                matched.iter().map(|&j| &exp_slice[j].values[*p]).collect();
+                            agg.compute(&vals, matched.len())
+                        }
+                        None => agg.compute(&[], matched.len()),
+                    };
+                    out.values.push(value);
+                }
+                out_regions.push(out);
+            }
+            out_regions
         });
 
         let mut sample = Sample::derived(

@@ -23,7 +23,7 @@ use nggc_gdm::Value;
 /// Parse a full GMQL query into statements.
 pub fn parse(text: &str) -> Result<Vec<Statement>, GmqlError> {
     let tokens = lex(text)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     let mut out = Vec::new();
     while !p.at_end() {
         out.push(p.statement()?);
@@ -34,9 +34,18 @@ pub fn parse(text: &str) -> Result<Vec<Statement>, GmqlError> {
     Ok(out)
 }
 
+/// Maximum nesting depth of predicate/expression recursion. Deep enough
+/// for any sane query; shallow enough that a pathological input (e.g.
+/// ten thousand open parens) errors out long before the recursive
+/// descent can overflow the thread's stack and abort the process.
+const MAX_EXPR_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current predicate/expression recursion depth (see
+    /// [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -62,6 +71,19 @@ impl Parser {
     fn err(&self, msg: impl Into<String>) -> GmqlError {
         let (l, c) = self.here();
         GmqlError::syntax(l, c, msg)
+    }
+
+    /// Recursion-depth guard for the expression grammar. Every nesting
+    /// level (parens, NOT, unary minus) passes through a `*_unary`
+    /// production, so checking here bounds the whole descent; without it
+    /// a deeply nested input overflows the stack and aborts the process
+    /// instead of returning a [`GmqlError::Syntax`].
+    fn enter_expr(&mut self) -> Result<(), GmqlError> {
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(self.err(format!("expression nesting deeper than {MAX_EXPR_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Tok, GmqlError> {
@@ -569,6 +591,13 @@ impl Parser {
     }
 
     fn meta_unary(&mut self) -> Result<MetaPredicate, GmqlError> {
+        self.enter_expr()?;
+        let result = self.meta_unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn meta_unary_inner(&mut self) -> Result<MetaPredicate, GmqlError> {
         if self.eat_kw("NOT") {
             return Ok(MetaPredicate::Not(Box::new(self.meta_unary()?)));
         }
@@ -688,6 +717,13 @@ impl Parser {
     }
 
     fn region_unary(&mut self) -> Result<RegionExpr, GmqlError> {
+        self.enter_expr()?;
+        let result = self.region_unary_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn region_unary_inner(&mut self) -> Result<RegionExpr, GmqlError> {
         if self.eat_kw("NOT") {
             return Ok(RegionExpr::Not(Box::new(self.region_unary()?)));
         }
@@ -968,6 +1004,41 @@ mod tests {
             stmts[0],
             Statement::Materialize { var: "X".into(), into: Some("results".into()) }
         );
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Without the depth guard these inputs abort the process with a
+        // stack overflow; with it they must return a positioned Syntax
+        // error. 50k levels is far beyond any thread's stack budget.
+        let depth = 50_000;
+        let meta = format!("X = SELECT({}a == 1{}) D;", "(".repeat(depth), ")".repeat(depth));
+        match parse(&meta).unwrap_err() {
+            GmqlError::Syntax { line, column, message } => {
+                assert_eq!(line, 1);
+                assert!(column > 0);
+                assert!(message.contains("nesting"), "unexpected message: {message}");
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+        let region =
+            format!("X = SELECT(region: {}s > 1{}) D;", "(".repeat(depth), ")".repeat(depth));
+        assert!(matches!(parse(&region).unwrap_err(), GmqlError::Syntax { .. }));
+        let nots = format!("X = SELECT({}a == 1) D;", "NOT ".repeat(depth));
+        assert!(matches!(parse(&nots).unwrap_err(), GmqlError::Syntax { .. }));
+        let minus = format!("X = SELECT(region: {}1 > 0) D;", "-".repeat(depth));
+        assert!(matches!(parse(&minus).unwrap_err(), GmqlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        // The guard must not reject realistic queries: 40 paren levels.
+        let depth = 40;
+        let q = format!("X = SELECT({}a == 1{}) D;", "(".repeat(depth), ")".repeat(depth));
+        parse(&q).unwrap();
+        // Depth resets between expressions: many sibling groups are fine.
+        let siblings = (0..200).map(|i| format!("(a == {i})")).collect::<Vec<_>>().join(" OR ");
+        parse(&format!("X = SELECT({siblings}) D;")).unwrap();
     }
 
     #[test]

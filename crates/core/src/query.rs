@@ -110,6 +110,26 @@ impl GmqlEngine {
         crate::exec::execute_with_metrics(&plan, &provider, &self.ctx, &self.opts)
     }
 
+    /// [`run_analyze`](Self::run_analyze) under a resource governor:
+    /// deadline, memory budget, and cancellation are enforced at every
+    /// plan-node boundary and inside operator hot loops. The engine (and
+    /// its registered datasets) survives a tripped query — the next call
+    /// runs normally.
+    pub fn run_governed(
+        &self,
+        query: &str,
+        governor: &crate::governor::QueryGovernor,
+    ) -> Result<(HashMap<String, Dataset>, Vec<crate::exec::NodeMetrics>), GmqlError> {
+        let plan = self.compile(query)?;
+        let provider = |name: &str| -> Result<Dataset, GmqlError> {
+            self.datasets
+                .get(name)
+                .cloned()
+                .ok_or_else(|| GmqlError::semantic(format!("unknown dataset {name:?}")))
+        };
+        crate::exec::execute_governed(&plan, &provider, &self.ctx, &self.opts, Some(governor))
+    }
+
     /// Estimate the output size of a query without running it, from
     /// source statistics (used by the federation protocol, §4.4). The
     /// estimate multiplies source cardinalities through per-operator
@@ -221,6 +241,22 @@ pub fn run_with_provider(
     let statements = parse(query)?;
     let plan = LogicalPlan::compile(&statements, schema_of)?;
     execute(&plan, provider, ctx, opts)
+}
+
+/// [`run_with_provider`] under a [`QueryGovernor`](crate::governor::QueryGovernor),
+/// additionally returning per-node metrics (the partial-progress /
+/// profiling path of `nggc query --timeout/--max-memory`).
+pub fn run_with_provider_governed(
+    query: &str,
+    schema_of: &dyn Fn(&str) -> Option<Schema>,
+    provider: &dyn crate::exec::DatasetProvider,
+    ctx: &ExecContext,
+    opts: &ExecOptions,
+    governor: &crate::governor::QueryGovernor,
+) -> Result<(HashMap<String, Dataset>, Vec<crate::exec::NodeMetrics>), GmqlError> {
+    let statements = parse(query)?;
+    let plan = LogicalPlan::compile(&statements, schema_of)?;
+    crate::exec::execute_governed(&plan, provider, ctx, opts, Some(governor))
 }
 
 #[cfg(test)]

@@ -1,0 +1,297 @@
+//! Cooperative interruption: cancellation, deadlines, memory budgets.
+//!
+//! The engine has no supervisor process to kill a runaway kernel, so
+//! every bound is **cooperative**: [`InterruptState`] holds the limits
+//! and the code doing the work polls it at checkpoints. The state is
+//! deliberately error-agnostic — it reports *what* tripped via
+//! [`Interrupt`], and higher layers (the query governor in `nggc-core`)
+//! translate that into their own typed errors with plan-node context.
+//!
+//! Polling is cheap by construction: a relaxed atomic load for the
+//! cancel flag, a saturating `Instant` comparison for the deadline, and
+//! no locks anywhere, so hot loops can afford a check every few thousand
+//! iterations.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why an interruptible computation was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Someone called [`CancelToken::cancel`] (e.g. Ctrl-C).
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded,
+    /// A charge would have pushed accounted memory past the budget.
+    MemoryExhausted {
+        /// Bytes the rejected charge asked for.
+        requested: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+        /// Bytes already charged when the request was rejected.
+        charged: u64,
+    },
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled"),
+            Interrupt::DeadlineExceeded => write!(f, "deadline exceeded"),
+            Interrupt::MemoryExhausted { requested, budget, charged } => write!(
+                f,
+                "memory budget exhausted (requested {requested} B, budget {budget} B, \
+                 already charged {charged} B)"
+            ),
+        }
+    }
+}
+
+/// Shared interruption state for one governed computation.
+///
+/// Create one per query, wrap it in an [`Arc`], and hand clones to
+/// everything that should honor the same limits. All methods are safe to
+/// call concurrently from any thread.
+#[derive(Debug)]
+pub struct InterruptState {
+    cancelled: AtomicBool,
+    started: Instant,
+    deadline: Option<Instant>,
+    limit: Option<Duration>,
+    budget: Option<u64>,
+    charged: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl InterruptState {
+    /// Unbounded state: never trips unless [`cancelled`](Self::cancel).
+    pub fn new() -> InterruptState {
+        InterruptState {
+            cancelled: AtomicBool::new(false),
+            started: Instant::now(),
+            deadline: None,
+            limit: None,
+            budget: None,
+            charged: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Add a wall-clock deadline, measured from now.
+    pub fn with_deadline(mut self, limit: Duration) -> InterruptState {
+        self.deadline = Some(self.started + limit);
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Add a memory budget in bytes (see [`charge`](Self::charge)).
+    pub fn with_budget(mut self, bytes: u64) -> InterruptState {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next poll.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Cheap checkpoint: `Some` if the computation should stop now
+    /// (cancelled or past deadline). Does **not** consider memory — that
+    /// trips at [`charge`](Self::charge) time.
+    pub fn poll(&self) -> Option<Interrupt> {
+        if self.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// [`poll`](Self::poll) as a `Result`, for `?`-style checkpoints.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        match self.poll() {
+            Some(i) => Err(i),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge `bytes` against the budget. On success the charge sticks
+    /// (release it with [`release`](Self::release) when the allocation
+    /// is freed); on rejection nothing is charged and the computation
+    /// should abort with the returned [`Interrupt::MemoryExhausted`].
+    pub fn charge(&self, bytes: u64) -> Result<(), Interrupt> {
+        let prev = self.charged.fetch_add(bytes, Ordering::AcqRel);
+        let now = prev.saturating_add(bytes);
+        if let Some(budget) = self.budget {
+            if now > budget {
+                // Roll back so the accounting stays truthful for the
+                // partial-progress report.
+                self.charged.fetch_sub(bytes, Ordering::AcqRel);
+                return Err(Interrupt::MemoryExhausted { requested: bytes, budget, charged: prev });
+            }
+        }
+        self.peak.fetch_max(now, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Release a previously successful charge of `bytes` (saturating —
+    /// over-release clamps to zero rather than wrapping).
+    pub fn release(&self, bytes: u64) {
+        let mut cur = self.charged.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.charged.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Bytes currently charged.
+    pub fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// The configured memory budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The configured deadline duration, if any.
+    pub fn limit(&self) -> Option<Duration> {
+        self.limit
+    }
+
+    /// Wall time since the state was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Time left before the deadline (`None` when no deadline is set;
+    /// `Some(ZERO)` once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for InterruptState {
+    fn default() -> InterruptState {
+        InterruptState::new()
+    }
+}
+
+/// Cloneable handle that can *only* request cancellation — safe to hand
+/// to signal handlers, watcher threads, and timers.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    state: Arc<InterruptState>,
+}
+
+impl CancelToken {
+    /// Token cancelling `state`.
+    pub fn new(state: Arc<InterruptState>) -> CancelToken {
+        CancelToken { state }
+    }
+
+    /// Request cancellation of the associated computation.
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// Has cancellation already been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.state.is_cancelled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_trips() {
+        let st = InterruptState::new();
+        assert_eq!(st.poll(), None);
+        st.charge(u64::MAX / 2).unwrap();
+        assert_eq!(st.poll(), None);
+        assert_eq!(st.peak(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn cancel_trips_poll() {
+        let st = Arc::new(InterruptState::new());
+        let token = CancelToken::new(Arc::clone(&st));
+        assert_eq!(st.poll(), None);
+        token.cancel();
+        assert_eq!(st.poll(), Some(Interrupt::Cancelled));
+        assert!(token.is_cancelled());
+        assert!(st.check().is_err());
+    }
+
+    #[test]
+    fn deadline_trips_after_elapsing() {
+        let st = InterruptState::new().with_deadline(Duration::from_millis(20));
+        assert_eq!(st.poll(), None);
+        assert!(st.remaining().unwrap() <= Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(st.poll(), Some(Interrupt::DeadlineExceeded));
+        assert_eq!(st.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_wins_over_deadline() {
+        let st = InterruptState::new().with_deadline(Duration::ZERO);
+        st.cancel();
+        assert_eq!(st.poll(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn budget_accounting_charges_and_releases() {
+        let st = InterruptState::new().with_budget(100);
+        st.charge(60).unwrap();
+        assert_eq!(st.charged(), 60);
+        let err = st.charge(50).unwrap_err();
+        assert_eq!(err, Interrupt::MemoryExhausted { requested: 50, budget: 100, charged: 60 });
+        // Rejected charge rolled back.
+        assert_eq!(st.charged(), 60);
+        st.release(30);
+        assert_eq!(st.charged(), 30);
+        st.charge(50).unwrap();
+        assert_eq!(st.charged(), 80);
+        assert_eq!(st.peak(), 80, "peak tracks the high-water mark of accepted charges");
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let st = InterruptState::new().with_budget(10);
+        st.charge(5).unwrap();
+        st.release(500);
+        assert_eq!(st.charged(), 0);
+    }
+
+    #[test]
+    fn poll_is_cheap_when_unbounded() {
+        let st = InterruptState::new();
+        let t0 = Instant::now();
+        for _ in 0..1_000_000 {
+            assert!(st.poll().is_none());
+        }
+        // Generous bound — only guards against accidental syscalls/locks.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -8,6 +8,7 @@
 //! isolation (DESIGN.md experiment E10 ablates the join strategies here).
 
 use crate::binning::Binner;
+use crate::par::CHECKPOINT_STRIDE;
 use nggc_gdm::{interval_overlap, GRegion};
 use std::collections::HashMap;
 
@@ -33,12 +34,30 @@ pub fn overlap_pairs_naive(
 pub fn overlap_pairs_sort_merge(
     left: &[GRegion],
     right: &[GRegion],
+    emit: impl FnMut(usize, usize),
+) {
+    overlap_pairs_sort_merge_interruptible(left, right, || false, emit);
+}
+
+/// [`overlap_pairs_sort_merge`] with a cooperative stop predicate,
+/// polled once per left region and every [`CHECKPOINT_STRIDE`] candidate
+/// pairs. When `stop` returns `true` the sweep abandons the remaining
+/// pairs and returns — the hook that lets a query governor abort a
+/// multi-second join mid-kernel instead of at the next node boundary.
+pub fn overlap_pairs_sort_merge_interruptible(
+    left: &[GRegion],
+    right: &[GRegion],
+    mut stop: impl FnMut() -> bool,
     mut emit: impl FnMut(usize, usize),
 ) {
     debug_assert!(is_sorted(left) && is_sorted(right), "kernels require sorted input");
     let mut active: Vec<usize> = Vec::new();
     let mut j = 0;
+    let mut tick = 0usize;
     for (i, a) in left.iter().enumerate() {
+        if stop() {
+            return;
+        }
         // Admit right regions that start at or before a's end (`<=` keeps
         // zero-length candidates; the exact check below filters).
         while j < right.len() && right[j].left <= a.right {
@@ -49,6 +68,10 @@ pub fn overlap_pairs_sort_merge(
         // left regions start no earlier, so dropping is final.
         active.retain(|&k| right[k].right >= a.left);
         for &k in &active {
+            tick = tick.wrapping_add(1);
+            if tick & (CHECKPOINT_STRIDE - 1) == 0 && stop() {
+                return;
+            }
             if interval_overlap(a.left, a.right, right[k].left, right[k].right) {
                 emit(i, k);
             }
@@ -110,12 +133,29 @@ pub fn gap_pairs_sort_merge(
     left: &[GRegion],
     right: &[GRegion],
     gap: u64,
+    emit: impl FnMut(usize, usize),
+) {
+    gap_pairs_sort_merge_interruptible(left, right, gap, || false, emit);
+}
+
+/// [`gap_pairs_sort_merge`] with a cooperative stop predicate, polled
+/// once per left region and every [`CHECKPOINT_STRIDE`] candidate pairs;
+/// `stop() == true` abandons the remaining pairs.
+pub fn gap_pairs_sort_merge_interruptible(
+    left: &[GRegion],
+    right: &[GRegion],
+    gap: u64,
+    mut stop: impl FnMut() -> bool,
     mut emit: impl FnMut(usize, usize),
 ) {
     debug_assert!(is_sorted(left) && is_sorted(right), "kernels require sorted input");
     let mut active: Vec<usize> = Vec::new();
     let mut j = 0;
+    let mut tick = 0usize;
     for (i, a) in left.iter().enumerate() {
+        if stop() {
+            return;
+        }
         let admit_to = a.right.saturating_add(gap);
         while j < right.len() && right[j].left <= admit_to {
             active.push(j);
@@ -124,6 +164,10 @@ pub fn gap_pairs_sort_merge(
         let keep_from = a.left.saturating_sub(gap);
         active.retain(|&k| right[k].right >= keep_from);
         for &k in &active {
+            tick = tick.wrapping_add(1);
+            if tick & (CHECKPOINT_STRIDE - 1) == 0 && stop() {
+                return;
+            }
             if let Some(d) = a.distance(&right[k]) {
                 if d <= gap as i64 {
                     emit(i, k);
@@ -207,6 +251,20 @@ pub fn merge_cover(segments: &[CovSeg], min_acc: usize, max_acc: usize) -> Vec<(
 /// are broken toward the earlier region. Overlapping regions have
 /// distance ≤ 0 and therefore always rank closest.
 pub fn k_nearest(anchors: &[GRegion], others: &[GRegion], k: usize) -> Vec<Vec<usize>> {
+    k_nearest_interruptible(anchors, others, k, || false)
+}
+
+/// [`k_nearest`] with a cooperative stop predicate, polled once per
+/// anchor. When `stop` fires the remaining anchors get empty neighbour
+/// lists, so the result keeps its one-entry-per-anchor shape and callers
+/// can still zip it — a governed executor turns the truncation into a
+/// typed error at the node boundary.
+pub fn k_nearest_interruptible(
+    anchors: &[GRegion],
+    others: &[GRegion],
+    k: usize,
+    mut stop: impl FnMut() -> bool,
+) -> Vec<Vec<usize>> {
     debug_assert!(is_sorted(others), "k_nearest requires sorted `others`");
     if k == 0 || others.is_empty() {
         return vec![Vec::new(); anchors.len()];
@@ -220,9 +278,12 @@ pub fn k_nearest(anchors: &[GRegion], others: &[GRegion], k: usize) -> Vec<Vec<u
         prefix_max_right.push(m);
     }
 
-    anchors
-        .iter()
-        .map(|a| {
+    let mut out: Vec<Vec<usize>> = Vec::with_capacity(anchors.len());
+    for a in anchors {
+        if stop() {
+            break;
+        }
+        {
             // Candidate pool: (distance, index), kept as a max-heap of size k.
             let mut heap: std::collections::BinaryHeap<(i64, usize)> =
                 std::collections::BinaryHeap::new();
@@ -265,9 +326,12 @@ pub fn k_nearest(anchors: &[GRegion], others: &[GRegion], k: usize) -> Vec<Vec<u
             }
             let mut picked: Vec<(i64, usize)> = heap.into_vec();
             picked.sort_unstable();
-            picked.into_iter().map(|(_, idx)| idx).collect()
-        })
-        .collect()
+            out.push(picked.into_iter().map(|(_, idx)| idx).collect());
+        }
+    }
+    // Keep the one-entry-per-anchor contract even when stopped early.
+    out.resize_with(anchors.len(), Vec::new);
+    out
 }
 
 fn is_sorted(rs: &[GRegion]) -> bool {
@@ -362,6 +426,54 @@ mod tests {
         assert_eq!(merge_cover(&segs, 2, usize::MAX), vec![(5, 10, 2)]);
         // acc == 1: two flanks, NOT merged across the acc-2 middle.
         assert_eq!(merge_cover(&segs, 1, 1), vec![(0, 5, 1), (10, 15, 1)]);
+    }
+
+    #[test]
+    fn interruptible_kernels_stop_early_and_match_when_not_stopped() {
+        let left: Vec<GRegion> = (0..100).map(|i| r(i * 10, i * 10 + 15)).collect();
+        let right = left.clone();
+        // stop = never: identical output to the plain kernels.
+        let plain = collect_pairs(|e| overlap_pairs_sort_merge(&left, &right, e));
+        let interruptible =
+            collect_pairs(|e| overlap_pairs_sort_merge_interruptible(&left, &right, || false, e));
+        assert_eq!(plain, interruptible);
+        // stop = immediately: no pairs at all.
+        let mut n = 0;
+        overlap_pairs_sort_merge_interruptible(&left, &right, || true, |_, _| n += 1);
+        assert_eq!(n, 0);
+        let mut n = 0;
+        gap_pairs_sort_merge_interruptible(&left, &right, 50, || true, |_, _| n += 1);
+        assert_eq!(n, 0);
+        // stop after a few polls: strictly fewer pairs than the full run.
+        let full = collect_pairs(|e| gap_pairs_sort_merge(&left, &right, 50, e));
+        let mut polls = 0;
+        let mut partial = 0;
+        gap_pairs_sort_merge_interruptible(
+            &left,
+            &right,
+            50,
+            || {
+                polls += 1;
+                polls > 3
+            },
+            |_, _| partial += 1,
+        );
+        assert!(partial < full.len(), "{partial} pairs should be cut short of {}", full.len());
+    }
+
+    #[test]
+    fn k_nearest_interruptible_keeps_shape() {
+        let anchors: Vec<GRegion> = (0..10).map(|i| r(i * 100, i * 100 + 10)).collect();
+        let others = anchors.clone();
+        let full = k_nearest_interruptible(&anchors, &others, 2, || false);
+        assert_eq!(full, k_nearest(&anchors, &others, 2));
+        let mut polls = 0;
+        let stopped = k_nearest_interruptible(&anchors, &others, 2, || {
+            polls += 1;
+            polls > 3
+        });
+        assert_eq!(stopped.len(), anchors.len(), "one entry per anchor even when stopped");
+        assert!(stopped[0] == full[0] && stopped.last().unwrap().is_empty());
     }
 
     #[test]

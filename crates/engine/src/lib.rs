@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod binning;
+pub mod interrupt;
 pub mod interval;
 pub mod nclist;
 pub mod par;
@@ -27,11 +28,13 @@ pub mod pool;
 pub mod sort;
 
 pub use binning::Binner;
+pub use interrupt::{CancelToken, Interrupt, InterruptState};
 pub use interval::{
-    coverage_segments, gap_pairs_naive, gap_pairs_sort_merge, k_nearest, merge_cover,
-    overlap_pairs_binned, overlap_pairs_naive, overlap_pairs_sort_merge, CovSeg,
+    coverage_segments, gap_pairs_naive, gap_pairs_sort_merge, gap_pairs_sort_merge_interruptible,
+    k_nearest, k_nearest_interruptible, merge_cover, overlap_pairs_binned, overlap_pairs_naive,
+    overlap_pairs_sort_merge, overlap_pairs_sort_merge_interruptible, CovSeg,
 };
 pub use nclist::NcList;
-pub use par::{union_chroms, ExecContext};
+pub use par::{union_chroms, ExecContext, CHECKPOINT_STRIDE};
 pub use pool::WorkerPool;
 pub use sort::parallel_sort_by;

@@ -8,21 +8,27 @@
 //! configuration every operator receives.
 
 use crate::binning::Binner;
+use crate::interrupt::{Interrupt, InterruptState};
 use crate::pool::WorkerPool;
 use nggc_gdm::{Chrom, GRegion, Sample};
 use std::sync::Arc;
+
+/// How many hot-loop iterations an operator kernel may run between
+/// interrupt polls. A power of two so the check compiles to a mask.
+pub const CHECKPOINT_STRIDE: usize = 1024;
 
 /// Execution context shared by all operators of a query.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
     pool: Arc<WorkerPool>,
     binner: Binner,
+    interrupt: Option<Arc<InterruptState>>,
 }
 
 impl ExecContext {
     /// Context over an existing pool with the default bin width.
     pub fn new(pool: Arc<WorkerPool>) -> ExecContext {
-        ExecContext { pool, binner: Binner::default() }
+        ExecContext { pool, binner: Binner::default(), interrupt: None }
     }
 
     /// Context with `workers` threads and the default bin width.
@@ -39,6 +45,42 @@ impl ExecContext {
     pub fn with_bin_width(mut self, width: u64) -> ExecContext {
         self.binner = Binner::new(width);
         self
+    }
+
+    /// Attach cooperative interruption state. Operator kernels poll it
+    /// at [`CHECKPOINT_STRIDE`] granularity via
+    /// [`interrupted`](Self::interrupted)/[`checkpoint`](Self::checkpoint),
+    /// and the per-chromosome fan-out skips kernels wholesale once the
+    /// state has tripped.
+    pub fn with_interrupt(mut self, state: Arc<InterruptState>) -> ExecContext {
+        self.interrupt = Some(state);
+        self
+    }
+
+    /// The attached interruption state, if any.
+    pub fn interrupt_state(&self) -> Option<&Arc<InterruptState>> {
+        self.interrupt.as_ref()
+    }
+
+    /// Cheap hot-loop check: should the current kernel stop early?
+    /// Kernels that observe `true` truncate their output and return;
+    /// the caller (operator / executor) raises the authoritative typed
+    /// error by consulting [`checkpoint`](Self::checkpoint).
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        match &self.interrupt {
+            Some(st) => st.poll().is_some(),
+            None => false,
+        }
+    }
+
+    /// Checkpoint as a `Result`, for `?`-style use between stages.
+    #[inline]
+    pub fn checkpoint(&self) -> Result<(), Interrupt> {
+        match &self.interrupt {
+            Some(st) => st.check(),
+            None => Ok(()),
+        }
     }
 
     /// The worker pool.
@@ -90,6 +132,13 @@ impl ExecContext {
     {
         let chroms = union_chroms(a, b);
         let per_chrom = self.pool.parallel_map(chroms, |c| {
+            // Checkpoint at the job boundary: once the interrupt trips,
+            // queued chromosome kernels become no-ops instead of running
+            // to completion, so cancellation latency is bounded by one
+            // kernel, not the whole fan-out.
+            if self.interrupted() {
+                return (c, Vec::new());
+            }
             let out = f(&c, a.chrom_slice(&c), b.chrom_slice(&c));
             (c, out)
         });
@@ -153,5 +202,32 @@ mod tests {
     #[test]
     fn serial_context_has_one_worker() {
         assert_eq!(ExecContext::serial().workers(), 1);
+    }
+
+    #[test]
+    fn context_without_interrupt_never_trips() {
+        let ctx = ExecContext::with_workers(2);
+        assert!(!ctx.interrupted());
+        assert!(ctx.checkpoint().is_ok());
+        assert!(ctx.interrupt_state().is_none());
+    }
+
+    #[test]
+    fn tripped_interrupt_skips_chrom_kernels() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let st = Arc::new(InterruptState::new());
+        st.cancel();
+        let ctx = ExecContext::with_workers(2).with_interrupt(Arc::clone(&st));
+        assert!(ctx.interrupted());
+        assert_eq!(ctx.checkpoint(), Err(Interrupt::Cancelled));
+        let ran = AtomicUsize::new(0);
+        let a = sample("a", vec![("chr1", 0, 5), ("chr2", 0, 5)]);
+        let b = sample("b", vec![("chr1", 3, 9)]);
+        let out: Vec<u64> = ctx.map_common_chroms(&a, &b, |_, _, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            vec![1]
+        });
+        assert!(out.is_empty(), "tripped context must skip kernels");
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 }

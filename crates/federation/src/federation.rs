@@ -18,7 +18,7 @@ use crate::node::{decode_staged, NodeService};
 use crate::policy::{Breaker, BreakerState, CallPolicy, NodeHealth, NodeStatus};
 use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate, TransferLog};
 use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
-use nggc_core::GmqlEngine;
+use nggc_core::{GmqlEngine, QueryGovernor};
 use nggc_gdm::Dataset;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -64,6 +64,10 @@ pub enum FederationError {
     /// The node's circuit breaker is open; the call was rejected locally
     /// without touching the node.
     CircuitOpen(String),
+    /// The local query governor tripped (cancellation, deadline, or
+    /// memory budget) while the federated conversation was in flight;
+    /// the message is the governor's typed error rendered as text.
+    Interrupted(String),
 }
 
 impl std::fmt::Display for FederationError {
@@ -75,6 +79,7 @@ impl std::fmt::Display for FederationError {
             FederationError::Protocol(e) => write!(f, "protocol violation: {e}"),
             FederationError::Timeout(n) => write!(f, "node {n:?} timed out"),
             FederationError::CircuitOpen(n) => write!(f, "node {n:?} circuit breaker is open"),
+            FederationError::Interrupted(e) => write!(f, "query interrupted: {e}"),
         }
     }
 }
@@ -203,6 +208,21 @@ impl Federation {
         request: Request,
         log: &mut TransferLog,
     ) -> Result<Response, FederationError> {
+        self.call_with_policy(node_id, request, log, &self.policy)
+    }
+
+    /// [`Federation::call`] under an explicit policy — the governed
+    /// entry points clamp the federation policy to a query's remaining
+    /// wall time and route their calls through here. Breaker bookkeeping
+    /// (threshold, cooldown) always follows the federation's own policy;
+    /// only the per-call spend (deadline, retries, backoff) varies.
+    fn call_with_policy(
+        &self,
+        node_id: &str,
+        request: Request,
+        log: &mut TransferLog,
+        policy: &CallPolicy,
+    ) -> Result<Response, FederationError> {
         let reg = nggc_obs::global();
         let kind = request.kind();
         let fail = |reason: &str| {
@@ -217,7 +237,7 @@ impl Federation {
             fail("circuit_open");
             return Err(FederationError::CircuitOpen(node_id.to_owned()));
         }
-        let retry_budget = if request.is_idempotent() { self.policy.max_retries } else { 0 };
+        let retry_budget = if request.is_idempotent() { policy.max_retries } else { 0 };
         let mut attempt = 0usize;
         loop {
             reg.counter_with("nggc_fed_requests_total", &[("node", node_id), ("kind", kind)]).inc();
@@ -227,7 +247,7 @@ impl Federation {
                 if node.tx.send((request.clone(), reply_tx)).is_err() {
                     Err(FederationError::NodeDown(node_id.to_owned()))
                 } else {
-                    match reply_rx.recv_timeout(self.policy.deadline) {
+                    match reply_rx.recv_timeout(policy.deadline) {
                         Ok(resp) => Ok(resp),
                         Err(RecvTimeoutError::Timeout) => {
                             reg.counter_with("nggc_fed_timeouts_total", &[("node", node_id)]).inc();
@@ -275,7 +295,7 @@ impl Federation {
                         return Err(err);
                     }
                     reg.counter_with("nggc_fed_retries_total", &[("node", node_id)]).inc();
-                    std::thread::sleep(self.policy.backoff(node_id, attempt));
+                    std::thread::sleep(policy.backoff(node_id, attempt));
                     attempt += 1;
                 }
             }
@@ -416,6 +436,78 @@ impl Federation {
         released?;
         let decoded = decode_staged(&payload).map_err(FederationError::Protocol)?;
         Ok(decoded.into_iter().collect())
+    }
+
+    /// **Ship-query under a query governor**: every exchange's deadline
+    /// (and retry/backoff spend) is clamped to the governor's remaining
+    /// wall time via [`CallPolicy::clamped_to`], and cancellation is
+    /// polled before every round trip — so a local `--timeout` or Ctrl-C
+    /// bounds the whole federated conversation, not just local
+    /// execution. An interrupted conversation still releases its staged
+    /// ticket: the release runs under the federation's *unclamped*
+    /// policy (cleanup is exempt from the query deadline, bounded by the
+    /// base per-call deadline instead), so no staging resources leak on
+    /// the remote node.
+    pub fn ship_query_governed(
+        &self,
+        node_id: &str,
+        query: &str,
+        chunk_bytes: usize,
+        governor: &QueryGovernor,
+    ) -> Result<(HashMap<String, Dataset>, TransferLog), FederationError> {
+        let mut log = TransferLog::default();
+        let label = format!("SHIP-QUERY {node_id}");
+        let check = |g: &QueryGovernor| -> Result<(), FederationError> {
+            g.check(&label).map_err(|e| FederationError::Interrupted(e.to_string()))
+        };
+        let clamped = |g: &QueryGovernor| match g.remaining() {
+            Some(rem) => self.policy.clamped_to(rem),
+            None => self.policy.clone(),
+        };
+        check(governor)?;
+        let (ticket, chunks) = match self.call_with_policy(
+            node_id,
+            Request::Execute { query: query.to_owned(), chunk_bytes },
+            &mut log,
+            &clamped(governor),
+        )? {
+            Response::Accepted { ticket, chunks, .. } => (ticket, chunks),
+            other => return Err(FederationError::Protocol(format!("{other:?}"))),
+        };
+        let mut payload = Vec::new();
+        let mut failure: Option<FederationError> = None;
+        for i in 0..chunks {
+            if let Err(e) = check(governor) {
+                failure = Some(e);
+                break;
+            }
+            match self.call_with_policy(
+                node_id,
+                Request::FetchChunk { ticket, chunk: i },
+                &mut log,
+                &clamped(governor),
+            ) {
+                Ok(Response::Chunk { data, .. }) => payload.extend(data),
+                Ok(other) => {
+                    failure = Some(FederationError::Protocol(format!("{other:?}")));
+                    break;
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let released = self.call(node_id, Request::Release { ticket }, &mut log);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        released?;
+        // A deadline can fire after the last chunk arrived; surface it
+        // rather than returning data the caller no longer wants.
+        check(governor)?;
+        let decoded = decode_staged(&payload).map_err(FederationError::Protocol)?;
+        Ok((decoded.into_iter().collect(), log))
     }
 
     /// **Ship-query with user samples** (§4.3): upload a private local

@@ -77,6 +77,35 @@ impl CallPolicy {
         let half = nanos / 2;
         Duration::from_nanos(half + h % (nanos - half + 1))
     }
+
+    /// A copy of this policy whose per-call spend fits inside
+    /// `remaining` wall time — used to make federated calls inherit a
+    /// query governor's deadline. The per-request deadline and the
+    /// backoff bounds shrink to at most `remaining`, and retries that
+    /// could not possibly start before the budget runs out are dropped
+    /// (each attempt needs a deadline wait, each retry a backoff sleep).
+    /// With `remaining` = zero the result admits a single attempt that
+    /// times out immediately, so callers still get a typed timeout
+    /// rather than a hang.
+    pub fn clamped_to(&self, remaining: Duration) -> CallPolicy {
+        let deadline = self.deadline.min(remaining);
+        let backoff_cap = self.backoff_cap.min(remaining);
+        let backoff_base = self.backoff_base.min(backoff_cap);
+        // Worst-case wall time of attempt k (0-based): k+1 deadline
+        // waits plus k capped backoffs. Keep retries whose attempt can
+        // begin within the budget.
+        let mut max_retries = 0;
+        for k in 1..=self.max_retries {
+            let waits = deadline.saturating_mul(k as u32);
+            let sleeps = backoff_cap.saturating_mul(k as u32);
+            if waits.saturating_add(sleeps) < remaining {
+                max_retries = k;
+            } else {
+                break;
+            }
+        }
+        CallPolicy { deadline, max_retries, backoff_base, backoff_cap, ..self.clone() }
+    }
 }
 
 /// Circuit breaker state of one node, as seen by the coordinator.
@@ -217,6 +246,40 @@ mod tests {
         }
         // Different nodes jitter differently (with overwhelming likelihood).
         assert_ne!(policy.backoff("node-a", 3), policy.backoff("node-b", 3));
+    }
+
+    #[test]
+    fn clamped_policy_fits_inside_remaining_time() {
+        let policy = CallPolicy {
+            deadline: Duration::from_secs(30),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            ..CallPolicy::default()
+        };
+        // Plenty of time: nothing changes.
+        let roomy = policy.clamped_to(Duration::from_secs(600));
+        assert_eq!(roomy, policy);
+        // 100 ms left: deadline and backoffs shrink, retries vanish
+        // (a second attempt could not start before the budget ends).
+        let tight = policy.clamped_to(Duration::from_millis(100));
+        assert_eq!(tight.deadline, Duration::from_millis(100));
+        assert!(tight.backoff_cap <= Duration::from_millis(100));
+        assert_eq!(tight.max_retries, 0);
+        // Zero budget: still one immediate-timeout attempt, no hang.
+        let zero = policy.clamped_to(Duration::ZERO);
+        assert_eq!(zero.deadline, Duration::ZERO);
+        assert_eq!(zero.max_retries, 0);
+        // Intermediate budget keeps only the retries that fit.
+        let some = CallPolicy {
+            deadline: Duration::from_millis(10),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(1),
+            ..CallPolicy::default()
+        }
+        .clamped_to(Duration::from_millis(20));
+        assert_eq!(some.max_retries, 1, "one retry fits in 20 ms, two do not");
     }
 
     #[test]

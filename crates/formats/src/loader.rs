@@ -14,13 +14,19 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Result of a directory load.
+///
+/// A malformed file never aborts the import: it lands in `failed` and
+/// the remaining files still load. Every input file ends up in exactly
+/// one of `loaded`, `skipped`, or `failed`.
 #[derive(Debug, Default)]
 pub struct LoadReport {
     /// One dataset per encountered format, named `<DIR>_<FORMAT>`.
     pub datasets: Vec<Dataset>,
+    /// Files parsed successfully, with the number of regions each contributed.
+    pub loaded: Vec<(PathBuf, usize)>,
     /// Files skipped because their extension is not recognised.
     pub skipped: Vec<PathBuf>,
-    /// Files that failed to parse, with the error text.
+    /// Files that failed to read or parse, with the error text.
     pub failed: Vec<(PathBuf, String)>,
 }
 
@@ -78,6 +84,7 @@ pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
             match parsed {
                 Ok(regions) => {
                     c_rows.add(regions.len() as u64);
+                    report.loaded.push((path.clone(), regions.len()));
                     let stem = path
                         .file_stem()
                         .map(|s| s.to_string_lossy().into_owned())
@@ -107,6 +114,7 @@ pub fn load_directory(dir: &Path) -> Result<LoadReport, FormatError> {
         }
     }
     span.field("datasets", report.datasets.len())
+        .field("loaded", report.loaded.len())
         .field("skipped", report.skipped.len())
         .field("failed", report.failed.len());
     Ok(report)
@@ -146,6 +154,7 @@ mod tests {
         fs::write(dir.join("notes.txt"), "not genomic").unwrap();
         let report = load_directory(&dir).unwrap();
         assert_eq!(report.datasets.len(), 2, "BED and VCF datasets");
+        assert_eq!(report.loaded.len(), 3);
         assert_eq!(report.skipped.len(), 1);
         assert!(report.failed.is_empty());
         let bed = report.datasets.iter().find(|d| d.name.ends_with("_BED")).unwrap();
@@ -175,8 +184,27 @@ mod tests {
         let report = load_directory(&dir).unwrap();
         assert_eq!(report.datasets.len(), 1);
         assert_eq!(report.datasets[0].sample_count(), 1);
+        assert_eq!(report.loaded.len(), 1);
+        assert!(report.loaded[0].0.ends_with("good.bed"));
+        assert_eq!(report.loaded[0].1, 1, "region count recorded");
         assert_eq!(report.failed.len(), 1);
         assert!(report.failed[0].1.contains("bad start"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_file_lands_in_exactly_one_section() {
+        let dir = setup("partition");
+        fs::write(dir.join("a.bed"), "chr1\t0\t10\n").unwrap();
+        fs::write(dir.join("b.bed"), "garbage\there\n").unwrap();
+        fs::write(dir.join("c.gtf"), "chr1\tsrc\tgene\t1\t100\t.\t+\t.\tgene_id \"g\";\n").unwrap();
+        fs::write(dir.join("d.vcf"), "chr1\tbroken\n").unwrap();
+        fs::write(dir.join("readme.txt"), "hello").unwrap();
+        let report = load_directory(&dir).unwrap();
+        assert_eq!(report.loaded.len(), 2, "a.bed and c.gtf");
+        assert_eq!(report.failed.len(), 2, "b.bed and d.vcf");
+        assert_eq!(report.skipped.len(), 1, "readme.txt");
+        assert_eq!(report.loaded.len() + report.failed.len() + report.skipped.len(), 5);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -433,6 +433,12 @@ fn decode_chrom_block(
     out: &mut Vec<GRegion>,
 ) -> Result<(), FormatError> {
     let base = out.len();
+    // Each region contributes at least one byte (its left-delta varint),
+    // so a count beyond the remaining bytes is corrupt — reject it before
+    // sizing any allocation from it.
+    if n > cur.buf.len().saturating_sub(cur.pos) {
+        return Err(cur.corrupt(format!("region count {n} exceeds remaining container bytes")));
+    }
     // Coordinates.
     let mut prev: i64 = 0;
     let mut lefts = Vec::with_capacity(n);
@@ -607,7 +613,10 @@ pub fn read_index(dir: &Path) -> Result<V2Index, FormatError> {
     let mut samples = Vec::with_capacity(n_samples);
     for _ in 0..n_samples {
         let (sample_name, _meta, chroms) = decode_sample_index(&mut cur)?;
-        let block_bytes: u64 = chroms.iter().map(|c| c.bytes).sum();
+        let block_bytes = chroms
+            .iter()
+            .try_fold(0u64, |acc, c| acc.checked_add(c.bytes))
+            .ok_or_else(|| cur.corrupt("block extents overflow u64"))?;
         let skip =
             usize::try_from(block_bytes).map_err(|_| cur.corrupt("block extent exceeds usize"))?;
         cur.skip(skip)?;

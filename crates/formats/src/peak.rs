@@ -66,6 +66,9 @@ pub fn parse_peaks(text: &str, kind: PeakKind) -> Result<Vec<GRegion>, FormatErr
         let end: u64 = fields[2]
             .parse()
             .map_err(|_| FormatError::malformed(lineno, format!("bad end {:?}", fields[2])))?;
+        if end < start {
+            return Err(FormatError::malformed(lineno, format!("end {end} < start {start}")));
+        }
         let strand = Strand::parse(fields[5])
             .ok_or_else(|| FormatError::malformed(lineno, format!("bad strand {:?}", fields[5])))?;
 

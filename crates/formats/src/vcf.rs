@@ -67,7 +67,9 @@ pub fn parse_vcf(text: &str) -> Result<Vec<GRegion>, FormatError> {
             Some(Err(bad)) => {
                 return Err(FormatError::malformed(lineno, format!("bad INFO END {bad:?}")));
             }
-            None => left + ref_len,
+            None => left.checked_add(ref_len).ok_or_else(|| {
+                FormatError::malformed(lineno, "coordinate overflow (POS + REF length)")
+            })?,
         };
         let qual = Value::parse_as(fields[5], ValueType::Float)
             .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;

@@ -59,16 +59,19 @@ pub fn parse_wig(text: &str) -> Result<Vec<GRegion>, FormatError> {
             Some(Mode::Fixed { chrom, next_start, step, span }) => {
                 let signal = Value::parse_as(line, ValueType::Float)
                     .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;
+                // Declarations near u64::MAX would wrap the coordinate
+                // arithmetic; reject instead of panicking under
+                // overflow-checks.
+                let right = next_start.checked_add(*span).ok_or_else(|| {
+                    FormatError::malformed(lineno, "coordinate overflow (start + span)")
+                })?;
                 out.push(
-                    GRegion::new(
-                        chrom.as_str(),
-                        *next_start,
-                        *next_start + *span,
-                        Strand::Unstranded,
-                    )
-                    .with_values(vec![signal]),
+                    GRegion::new(chrom.as_str(), *next_start, right, Strand::Unstranded)
+                        .with_values(vec![signal]),
                 );
-                *next_start += *step;
+                *next_start = next_start.checked_add(*step).ok_or_else(|| {
+                    FormatError::malformed(lineno, "coordinate overflow (start + step)")
+                })?;
             }
             Some(Mode::Variable { chrom, span }) => {
                 let mut parts = line.split_whitespace();
@@ -83,8 +86,11 @@ pub fn parse_wig(text: &str) -> Result<Vec<GRegion>, FormatError> {
                     parts.next().ok_or_else(|| FormatError::malformed(lineno, "expected value"))?;
                 let signal = Value::parse_as(value, ValueType::Float)
                     .map_err(|e| FormatError::malformed(lineno, e.to_string()))?;
+                let right = (pos - 1).checked_add(*span).ok_or_else(|| {
+                    FormatError::malformed(lineno, "coordinate overflow (position + span)")
+                })?;
                 out.push(
-                    GRegion::new(chrom.as_str(), pos - 1, pos - 1 + *span, Strand::Unstranded)
+                    GRegion::new(chrom.as_str(), pos - 1, right, Strand::Unstranded)
                         .with_values(vec![signal]),
                 );
             }

@@ -232,6 +232,23 @@ impl Repository {
         Ok(dataset)
     }
 
+    /// [`Repository::load`] with a memory budget: the catalog's size
+    /// estimate ([`DatasetStats::bytes`], recorded at save time) is
+    /// checked **before** any region data is read, so an oversized
+    /// dataset is refused without allocating. `budget` is the number of
+    /// bytes the caller can still afford — typically a query governor's
+    /// remaining allowance. The check runs even on cache hits so that a
+    /// bounded query behaves the same warm or cold.
+    pub fn load_bounded(&self, name: &str, budget: u64) -> Result<Arc<Dataset>, RepoError> {
+        let entry = self.catalog.get(name).ok_or_else(|| RepoError::NotFound(name.to_owned()))?;
+        let estimated = entry.stats.bytes as u64;
+        if estimated > budget {
+            nggc_obs::global().counter("nggc_repo_load_rejections_total").inc();
+            return Err(RepoError::Budget { name: name.to_owned(), estimated, budget });
+        }
+        self.load(name)
+    }
+
     /// The storage version a dataset currently uses on disk, or `None`
     /// when the dataset is unknown or its directory is unreadable.
     pub fn storage_version(&self, name: &str) -> Option<StorageVersion> {
@@ -553,6 +570,31 @@ mod tests {
         assert!(cache.get("EXTRA").is_some());
         assert_eq!(cache.entries.len(), CACHE_CAPACITY);
         assert_eq!(cache.order.len(), CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn bounded_load_rejects_before_reading() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("BIG")).unwrap();
+        let estimated = repo.entry("BIG").unwrap().stats.bytes as u64;
+        assert!(estimated > 0);
+        // A budget below the estimate refuses without touching regions.
+        let err = repo.load_bounded("BIG", estimated - 1).unwrap_err();
+        match err {
+            RepoError::Budget { name, estimated: e, budget } => {
+                assert_eq!(name, "BIG");
+                assert_eq!(e, estimated);
+                assert_eq!(budget, estimated - 1);
+            }
+            other => panic!("expected Budget error, got {other:?}"),
+        }
+        // An adequate budget loads normally.
+        let ds = repo.load_bounded("BIG", estimated).unwrap();
+        assert_eq!(ds.sample_count(), 1);
+        // Unknown datasets still surface NotFound, not Budget.
+        assert!(matches!(repo.load_bounded("NOPE", u64::MAX), Err(RepoError::NotFound(_))));
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -17,6 +17,16 @@ pub enum RepoError {
     Model(GdmError),
     /// No dataset with the given name.
     NotFound(String),
+    /// A bounded load was refused because the catalog's size estimate
+    /// exceeds the caller's remaining memory budget.
+    Budget {
+        /// Dataset name.
+        name: String,
+        /// Catalog estimate of the dataset's in-memory encoded size.
+        estimated: u64,
+        /// Bytes the caller could still afford.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for RepoError {
@@ -27,6 +37,11 @@ impl fmt::Display for RepoError {
             RepoError::Format(e) => write!(f, "format error: {e}"),
             RepoError::Model(e) => write!(f, "model error: {e}"),
             RepoError::NotFound(n) => write!(f, "dataset {n:?} not found"),
+            RepoError::Budget { name, estimated, budget } => write!(
+                f,
+                "loading dataset {name:?} (estimated {estimated} B) would exceed the \
+                 remaining memory budget of {budget} B"
+            ),
         }
     }
 }
@@ -39,6 +54,7 @@ impl std::error::Error for RepoError {
             RepoError::Format(e) => Some(e),
             RepoError::Model(e) => Some(e),
             RepoError::NotFound(_) => None,
+            RepoError::Budget { .. } => None,
         }
     }
 }

@@ -18,6 +18,7 @@
 //!   migrate [DATASET | --all]     rewrite datasets in the binary v2 storage format
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
 //!         [--save] [--workers N] [--explain] [--head K] [--profile]
+//!         [--timeout DUR] [--max-memory BYTES]
 //!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
 //!         [-e TEXT]               optionally run a query first so the registry is warm
 //!         [--fed-selftest]        exercise a faulty 3-node federation first so the
@@ -28,28 +29,133 @@
 //!
 //! `--profile` renders the span tree and top-k operator table described
 //! in `docs/observability.md`.
+//!
+//! `query` runs under a resource governor (`docs/robustness.md`):
+//! `--timeout`/`--max-memory` (or the `NGGC_QUERY_TIMEOUT` /
+//! `NGGC_QUERY_MAX_MEMORY` environment variables) bound wall time and
+//! governed memory, and Ctrl-C cancels the running query cooperatively.
+//! A tripped query prints its partial progress and exits with a
+//! distinctive code: 124 for a missed deadline (the `timeout(1)`
+//! convention), 130 for cancellation (128 + SIGINT), 3 for a rejected
+//! memory charge.
 
 use nggc::formats::{write_bed, BedOptions, FileFormat};
 use nggc::gdm::{Dataset, Sample};
-use nggc::gmql::{ExecOptions, LogicalPlan};
+use nggc::gmql::{ExecOptions, GmqlError, GovernorLimits, LogicalPlan, QueryGovernor};
 use nggc::ontology::mini_umls;
 use nggc::repository::Repository;
 use nggc::search::{MetadataSearch, RankMode};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Exit code when the query deadline fires — the `timeout(1)` convention.
+const EXIT_DEADLINE: u8 = 124;
+/// Exit code when the query is cancelled (128 + SIGINT).
+const EXIT_CANCELLED: u8 = 130;
+/// Exit code when the memory budget rejects a charge.
+const EXIT_MEMORY: u8 = 3;
+
+/// A CLI failure: the message plus the process exit code it maps to.
+/// Plain `String` errors convert to the generic failure code 1; the
+/// governor's typed errors carry their distinctive codes.
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError { message, code: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError { message: message.to_owned(), code: 1 }
+    }
+}
+
+impl From<GmqlError> for CliError {
+    fn from(e: GmqlError) -> CliError {
+        let code = match &e {
+            GmqlError::DeadlineExceeded { .. } => EXIT_DEADLINE,
+            GmqlError::Cancelled { .. } => EXIT_CANCELLED,
+            GmqlError::MemoryExhausted { .. } => EXIT_MEMORY,
+            _ => 1,
+        };
+        CliError { message: e.to_string(), code }
+    }
+}
+
+/// Cooperative Ctrl-C handling without any signal-handling dependency:
+/// a raw `signal(2)` registration whose handler only flips an atomic
+/// (the one async-signal-safe thing worth doing), and a watcher thread
+/// that polls the flag and cancels the governed query. A second Ctrl-C
+/// aborts the process immediately — the escape hatch when cooperative
+/// cancellation is not fast enough for the user.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+    static SEEN: AtomicUsize = AtomicUsize::new(0);
+
+    const SIGINT: i32 = 2;
+
+    // std already links libc; declare the one symbol we need instead of
+    // pulling in a crate.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if SEEN.fetch_add(1, Ordering::Relaxed) >= 1 {
+            // Second Ctrl-C: the user insists; abort(3) is
+            // async-signal-safe.
+            std::process::abort();
+        }
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    /// Install the handler and start a watcher thread that cancels
+    /// `token` once Ctrl-C arrives. The thread is detached; it dies
+    /// with the process.
+    pub fn watch(token: nggc::engine::CancelToken) {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        std::thread::Builder::new()
+            .name("nggc-sigint-watcher".into())
+            .spawn(move || loop {
+                if PENDING.load(Ordering::SeqCst) {
+                    token.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            })
+            .ok();
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    /// No signal wiring off Unix; Ctrl-C falls back to process death.
+    pub fn watch(_token: nggc::engine::CancelToken) {}
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(mut args: Vec<String>) -> Result<(), String> {
+fn run(mut args: Vec<String>) -> Result<(), CliError> {
     // Opt out of metrics collection entirely (docs/observability.md).
     if matches!(std::env::var("NGGC_METRICS").as_deref(), Ok("off" | "0" | "false")) {
         nggc::obs::global().set_enabled(false);
@@ -63,25 +169,25 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         args.remove(pos);
     }
     let Some(command) = args.first().cloned() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let rest = args[1..].to_vec();
     match command.as_str() {
-        "init" => cmd_init(&repo_path),
-        "import" => cmd_import(&repo_path, &rest),
-        "import-dir" => cmd_import_dir(&repo_path, &rest),
-        "list" => cmd_list(&repo_path),
-        "info" => cmd_info(&repo_path, &rest),
-        "migrate" => cmd_migrate(&repo_path, &rest),
+        "init" => cmd_init(&repo_path).map_err(CliError::from),
+        "import" => cmd_import(&repo_path, &rest).map_err(CliError::from),
+        "import-dir" => cmd_import_dir(&repo_path, &rest).map_err(CliError::from),
+        "list" => cmd_list(&repo_path).map_err(CliError::from),
+        "info" => cmd_info(&repo_path, &rest).map_err(CliError::from),
+        "migrate" => cmd_migrate(&repo_path, &rest).map_err(CliError::from),
         "query" => cmd_query(&repo_path, &rest),
-        "stats" => cmd_stats(&repo_path, &rest),
-        "search" => cmd_search(&repo_path, &rest),
-        "export" => cmd_export(&repo_path, &rest),
+        "stats" => cmd_stats(&repo_path, &rest).map_err(CliError::from),
+        "search" => cmd_search(&repo_path, &rest).map_err(CliError::from),
+        "export" => cmd_export(&repo_path, &rest).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(format!("unknown command {other:?}\n{}", usage()).into()),
     }
 }
 
@@ -144,6 +250,9 @@ fn cmd_import_dir(repo_path: &Path, args: &[String]) -> Result<(), String> {
     for ds in &report.datasets {
         repo.save(ds).map_err(|e| e.to_string())?;
         println!("imported {} — {}", ds.name, ds.stats());
+    }
+    for (p, n) in &report.loaded {
+        println!("loaded {} ({n} regions)", p.display());
     }
     for p in &report.skipped {
         println!("skipped {} (unrecognised extension)", p.display());
@@ -225,7 +334,7 @@ fn cmd_info(repo_path: &Path, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
+fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let mut text = None;
     let mut save = false;
     let mut explain = false;
@@ -233,6 +342,8 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let mut profile = false;
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
     let mut head = 5usize;
+    // Environment defaults, overridable by the flags below.
+    let mut limits = GovernorLimits::from_env()?;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -258,6 +369,18 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
                     .get(i)
                     .and_then(|w| w.parse().ok())
                     .ok_or_else(|| "--head requires a number".to_owned())?;
+            }
+            "--timeout" => {
+                i += 1;
+                let raw = args.get(i).ok_or_else(|| "--timeout requires a duration".to_owned())?;
+                limits.timeout =
+                    Some(nggc::gmql::parse_duration(raw).map_err(|e| format!("--timeout: {e}"))?);
+            }
+            "--max-memory" => {
+                i += 1;
+                let raw = args.get(i).ok_or_else(|| "--max-memory requires a size".to_owned())?;
+                limits.max_memory =
+                    Some(nggc::gmql::parse_bytes(raw).map_err(|e| format!("--max-memory: {e}"))?);
             }
             file => {
                 text = Some(std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?);
@@ -292,13 +415,46 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), String> {
         None
     };
 
+    // The governor bounds the whole run: wall clock from here (parse
+    // and compile spend the deadline too), memory from the first
+    // materialised intermediate. Ctrl-C cancels through the same token.
+    let governor = QueryGovernor::new(limits);
+    sigint::watch(governor.cancel_token());
+
     let t0 = std::time::Instant::now();
     let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
     let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
         .map_err(|e| e.to_string())?;
-    let (outputs, metrics) =
-        nggc::gmql::execute_with_metrics(&plan, &nggc::RepoProvider::new(&repo), &ctx, &opts)
-            .map_err(|e| e.to_string())?;
+    let (outputs, metrics) = match nggc::gmql::execute_governed(
+        &plan,
+        &nggc::RepoProvider::governed(&repo, &governor),
+        &ctx,
+        &opts,
+        Some(&governor),
+    ) {
+        Ok(out) => out,
+        Err(e) if e.is_resource_limit() => {
+            // Graceful trip: report partial progress, then exit with the
+            // error's distinctive code.
+            eprintln!("-- query interrupted: partial progress --");
+            eprintln!("  elapsed              {:.2?}", t0.elapsed());
+            eprintln!("  governed memory      {} B charged", governor.charged());
+            eprintln!("  governed memory peak {} B", governor.mem_peak());
+            let reg = nggc::obs::global();
+            for counter in [
+                "nggc_query_cancelled_total",
+                "nggc_query_deadline_exceeded_total",
+                "nggc_query_mem_rejections_total",
+            ] {
+                let v = reg.counter(counter).get();
+                if v > 0 {
+                    eprintln!("  {counter} {v}");
+                }
+            }
+            return Err(e.into());
+        }
+        Err(e) => return Err(e.to_string().into()),
+    };
     let elapsed = t0.elapsed();
     if analyze {
         println!("-- execution metrics --");

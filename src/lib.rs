@@ -68,14 +68,28 @@ pub use nggc_synth as synth;
 /// this adapter forwards that shared pointer through
 /// [`gmql::DatasetProvider::load_shared`], so a query over a warm
 /// repository never deep-copies its source datasets.
+///
+/// With [`RepoProvider::governed`] the adapter also enforces a
+/// [`gmql::QueryGovernor`]: every load first passes a cancel/deadline
+/// checkpoint, and when the governor carries a memory budget the
+/// repository's catalog estimate is checked **before** any region data
+/// is read ([`repository::Repository::load_bounded`]), so an oversized
+/// source dataset is refused without allocating.
 pub struct RepoProvider<'a> {
     repo: &'a repository::Repository,
+    governor: Option<gmql::QueryGovernor>,
 }
 
 impl<'a> RepoProvider<'a> {
     /// Wrap a repository for use as a query source provider.
     pub fn new(repo: &'a repository::Repository) -> Self {
-        RepoProvider { repo }
+        RepoProvider { repo, governor: None }
+    }
+
+    /// Wrap a repository so loads honor `governor`'s cancellation,
+    /// deadline, and memory budget.
+    pub fn governed(repo: &'a repository::Repository, governor: &gmql::QueryGovernor) -> Self {
+        RepoProvider { repo, governor: Some(governor.clone()) }
     }
 }
 
@@ -85,6 +99,19 @@ impl gmql::DatasetProvider for RepoProvider<'_> {
     }
 
     fn load_shared(&self, name: &str) -> Result<Arc<gdm::Dataset>, gmql::GmqlError> {
+        let node = || format!("LOAD {name}");
+        if let Some(g) = &self.governor {
+            g.check(&node())?;
+            if let Some(budget) = g.remaining_memory() {
+                return match self.repo.load_bounded(name, budget) {
+                    Ok(d) => Ok(d),
+                    Err(repository::RepoError::Budget { estimated, .. }) => {
+                        Err(g.refuse_allocation(&node(), estimated))
+                    }
+                    Err(e) => Err(gmql::GmqlError::runtime(e.to_string())),
+                };
+            }
+        }
         self.repo.load(name).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
     }
 }

@@ -254,3 +254,129 @@ fn cli_import_appends_to_existing_dataset() {
     assert!(stdout.contains("2 samples total"), "{stdout}");
     std::fs::remove_dir_all(&repo).ok();
 }
+
+// ---------------------------------------------------------------------
+// Resource-governor exit codes: 124 = deadline (timeout(1) convention),
+// 3 = memory budget, 130 = SIGINT (128 + 2). The partial-progress dump
+// lands on stderr in every case.
+// ---------------------------------------------------------------------
+
+/// Import a dataset big enough that a DLE self-join takes seconds.
+fn import_big(repo: &PathBuf) {
+    std::fs::create_dir_all(repo).unwrap();
+    let mut text = String::new();
+    for i in 0..5000u64 {
+        let left = (i * 137) % 1_000_000;
+        text.push_str(&format!("chr1\t{}\t{}\n", left, left + 500));
+    }
+    let bed = repo.join("big.bed");
+    std::fs::write(&bed, text).unwrap();
+    let (ok, _, stderr) = run(repo, &["import", bed.to_str().unwrap(), "BIG"]);
+    assert!(ok, "{stderr}");
+}
+
+const PATHOLOGICAL: &str = "J = JOIN(DLE(1000000)) BIG BIG; MATERIALIZE J;";
+
+#[test]
+fn cli_timeout_exits_124_with_partial_metrics() {
+    let repo = tmp_repo("timeout");
+    import_big(&repo);
+    let out = nggc()
+        .arg("--repo")
+        .arg(&repo)
+        .args(["query", "-e", PATHOLOGICAL, "--timeout", "300ms"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(124), "DeadlineExceeded exit code:\n{stderr}");
+    assert!(stderr.contains("partial progress"), "{stderr}");
+    assert!(stderr.contains("deadline"), "typed error on stderr: {stderr}");
+    assert!(stderr.contains("\"J\""), "the plan node is named: {stderr}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_memory_budget_exits_3() {
+    let repo = tmp_repo("membudget");
+    import_big(&repo);
+    // Generous time, tiny memory: the join output trips the budget.
+    let out = nggc()
+        .arg("--repo")
+        .arg(&repo)
+        .args(["query", "-e", "X = SELECT() BIG; MATERIALIZE X;", "--max-memory", "4KiB"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(3), "MemoryExhausted exit code:\n{stderr}");
+    assert!(stderr.contains("memory"), "{stderr}");
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+#[test]
+fn cli_env_defaults_apply_and_flags_override() {
+    let repo = tmp_repo("envgov");
+    import_big(&repo);
+    // Env default alone trips the query…
+    let out = nggc()
+        .arg("--repo")
+        .arg(&repo)
+        .env("NGGC_QUERY_TIMEOUT", "300ms")
+        .args(["query", "-e", PATHOLOGICAL])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(124));
+    // …and a malformed env value is a hard error, not silently ignored.
+    let out = nggc()
+        .arg("--repo")
+        .arg(&repo)
+        .env("NGGC_QUERY_TIMEOUT", "soon")
+        .args(["query", "-e", "X = SELECT() BIG; MATERIALIZE X;"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NGGC_QUERY_TIMEOUT"));
+    std::fs::remove_dir_all(&repo).ok();
+}
+
+/// Ctrl-C during `nggc query` exits gracefully: code 130, partial
+/// metrics on stderr, no killed-process signal status.
+#[cfg(unix)]
+#[test]
+fn cli_sigint_exits_130_with_partial_metrics() {
+    use std::time::{Duration, Instant};
+    let repo = tmp_repo("sigint");
+    import_big(&repo);
+    let mut child = nggc()
+        .arg("--repo")
+        .arg(&repo)
+        .args(["query", "-e", PATHOLOGICAL])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // Let the query get into the join, then deliver SIGINT.
+    std::thread::sleep(Duration::from_millis(600));
+    let kill =
+        Command::new("kill").args(["-INT", &child.id().to_string()]).status().expect("kill runs");
+    assert!(kill.success());
+    // Graceful exit must come promptly; a regression here would run the
+    // full multi-second join (or forever), so poll with a budget.
+    let t0 = Instant::now();
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        if t0.elapsed() > Duration::from_secs(60) {
+            child.kill().ok();
+            panic!("SIGINT did not interrupt the query");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let out = child.wait_with_output().expect("collect output");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(status.code(), Some(130), "graceful exit, not a signal kill:\n{stderr}");
+    assert!(stderr.contains("partial progress"), "{stderr}");
+    assert!(stderr.contains("cancelled"), "{stderr}");
+    assert!(stderr.contains("nggc_query_cancelled_total"), "{stderr}");
+    std::fs::remove_dir_all(&repo).ok();
+}

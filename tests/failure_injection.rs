@@ -445,3 +445,138 @@ fn query_text_abuse_is_rejected_not_panicking() {
         assert!(engine.run(bad).is_err(), "{bad:?} must be rejected");
     }
 }
+
+// ---------------------------------------------------------------------
+// Governor chaos: deadline mid-JOIN, budget rejection of an oversized
+// intermediate, and cancellation during a federated conversation.
+// Typed errors with partial progress, bounded wall time, no leaked
+// staging tickets (ISSUE 4 satellite).
+// ---------------------------------------------------------------------
+
+use nggc::gmql::{run_with_provider_governed, GovernorLimits, QueryGovernor};
+
+/// Dense single-chromosome dataset: every region is within DLE(1e6) of
+/// every other, so a self-JOIN enumerates ~n² candidate pairs.
+fn dense_dataset(regions: usize) -> Dataset {
+    let mut ds = Dataset::new("D", Schema::empty());
+    let rs = (0..regions)
+        .map(|i| {
+            let left = ((i as u64) * 137) % 1_000_000;
+            GRegion::new("chr1", left, left + 400, Strand::Unstranded)
+        })
+        .collect();
+    ds.add_sample(Sample::new("s", "D").with_regions(rs)).unwrap();
+    ds
+}
+
+fn dense_schema(name: &str) -> Option<Schema> {
+    (name == "D").then(Schema::empty)
+}
+
+#[test]
+fn governor_deadline_trips_mid_join_with_partial_progress() {
+    with_watchdog("governor_deadline_join", 120, || {
+        let ds = dense_dataset(3000);
+        let provider = move |_: &str| -> Result<Dataset, GmqlError> { Ok(ds.clone()) };
+        let governor = QueryGovernor::new(GovernorLimits {
+            timeout: Some(Duration::from_millis(150)),
+            max_memory: None,
+        });
+        let ctx = nggc::engine::ExecContext::with_workers(2);
+        let t0 = Instant::now();
+        let err = run_with_provider_governed(
+            "J = JOIN(DLE(1000000)) D D; MATERIALIZE J;",
+            &dense_schema,
+            &provider,
+            &ctx,
+            &ExecOptions::default(),
+            &governor,
+        )
+        .unwrap_err();
+        // Un-governed, this join enumerates ~9M pairs (tens of seconds in
+        // a debug build); the cooperative checkpoints must stop it within
+        // a small multiple of the deadline.
+        assert!(t0.elapsed() < Duration::from_secs(30), "kernel checkpoints bound the overrun");
+        match err {
+            GmqlError::DeadlineExceeded { ref node, elapsed_ms, limit_ms, .. } => {
+                assert_eq!(node, "J", "the join node is named in the report");
+                assert_eq!(limit_ms, 150);
+                assert!(elapsed_ms >= 150, "elapsed covers at least the limit");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn governor_budget_rejects_oversized_intermediate() {
+    with_watchdog("governor_budget_join", 120, || {
+        let ds = dense_dataset(400);
+        let provider = move |_: &str| -> Result<Dataset, GmqlError> { Ok(ds.clone()) };
+        let budget = 256 * 1024;
+        let governor =
+            QueryGovernor::new(GovernorLimits { timeout: None, max_memory: Some(budget) });
+        let ctx = nggc::engine::ExecContext::with_workers(2);
+        let err = run_with_provider_governed(
+            "J = JOIN(DLE(1000000)) D D; MATERIALIZE J;",
+            &dense_schema,
+            &provider,
+            &ctx,
+            &ExecOptions::default(),
+            &governor,
+        )
+        .unwrap_err();
+        match err {
+            GmqlError::MemoryExhausted { ref node, requested, budget: b, charged } => {
+                assert_eq!(node, "J", "the oversized intermediate is the join output");
+                assert_eq!(b, budget);
+                assert!(requested > budget, "join output exceeds the whole budget: {requested}");
+                assert!(charged <= budget, "accepted charges never exceed the budget");
+            }
+            other => panic!("expected MemoryExhausted, got {other:?}"),
+        }
+        // The trip was counted and the peak gauge exported.
+        let reg = nggc::obs::global();
+        assert!(reg.counter("nggc_query_mem_rejections_total").get() >= 1);
+    });
+}
+
+#[test]
+fn cancel_during_federated_query_releases_staged_ticket() {
+    with_watchdog("governor_fed_cancel", 120, || {
+        let mut fed = Federation::with_policy(fast_policy());
+        let mut node = FederationNode::new("gov-cancel", 1);
+        node.own(fed_dataset("GOVC", 3, 40));
+        // Every chunk fetch stalls 25 ms (within the per-call deadline),
+        // stretching the streaming phase so the cancel lands mid-stream.
+        fed.add_node(ChaosNode::new(
+            node,
+            ChaosConfig {
+                delay_rate: 1.0,
+                delay: Duration::from_millis(25),
+                only_kinds: vec!["FetchChunk".to_owned()],
+                ..ChaosConfig::default()
+            },
+        ));
+        let governor = QueryGovernor::unbounded();
+        // Ctrl-C equivalent: an external cancel shortly after the
+        // conversation starts — Execute has staged a ticket by then.
+        let token = governor.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            token.cancel();
+        });
+        let err = fed
+            .ship_query_governed("gov-cancel", "X = SELECT() GOVC; MATERIALIZE X;", 512, &governor)
+            .unwrap_err();
+        canceller.join().unwrap();
+        match err {
+            FederationError::Interrupted(ref msg) => {
+                assert!(msg.contains("cancelled"), "{msg}");
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // The interrupted conversation still released its staged ticket.
+        assert_eq!(fed.staged_results("gov-cancel").unwrap(), 0);
+    });
+}

@@ -1,0 +1,163 @@
+//! Acceptance test for the query resource governor (ISSUE 4): a
+//! deliberately pathological cartesian-heavy JOIN under
+//! `--timeout 500ms --max-memory 64MiB`-equivalent limits terminates
+//! promptly with a typed error naming the plan node and the resources
+//! spent — and the **same process** then serves the next query from the
+//! warm repository cache, proving a runaway query no longer takes the
+//! engine (or its caches) down with it.
+
+#[path = "common/watchdog.rs"]
+mod watchdog;
+
+use nggc::gdm::{Dataset, GRegion, Sample, Schema, Strand};
+use nggc::gmql::{
+    run_with_provider_governed, ExecOptions, GmqlError, GovernorLimits, QueryGovernor,
+};
+use nggc::repository::Repository;
+use nggc::RepoProvider;
+use std::time::{Duration, Instant};
+use watchdog::with_watchdog;
+
+/// 5000 dense regions on one chromosome: a DLE(1e6) self-join
+/// enumerates ~25M candidate pairs — many seconds of kernel time and
+/// hundreds of MB of output if left unbounded.
+fn big_dataset() -> Dataset {
+    let mut ds = Dataset::new("BIG", Schema::empty());
+    let regions = (0..5000u64)
+        .map(|i| {
+            let left = (i * 137) % 1_000_000;
+            GRegion::new("chr1", left, left + 500, Strand::Unstranded)
+        })
+        .collect();
+    ds.add_sample(Sample::new("s", "BIG").with_regions(regions)).unwrap();
+    ds
+}
+
+#[test]
+fn pathological_join_trips_governor_then_process_serves_from_warm_cache() {
+    with_watchdog("governor_acceptance", 180, || {
+        let dir = std::env::temp_dir().join(format!("nggc_gov_accept_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut repo = Repository::open(&dir).unwrap();
+        repo.save(&big_dataset()).unwrap();
+
+        let limits = GovernorLimits {
+            timeout: Some(Duration::from_millis(500)),
+            max_memory: Some(64 * 1024 * 1024),
+        };
+        let schema_of = |name: &str| repo.schema_of(name);
+        let ctx = nggc::engine::ExecContext::with_workers(2);
+
+        // Query 1: the pathological join. Typed resource-limit error,
+        // naming the plan node, with the spend in the report.
+        let governor = QueryGovernor::new(limits);
+        let t0 = Instant::now();
+        let err = run_with_provider_governed(
+            "J = JOIN(DLE(1000000)) BIG BIG; MATERIALIZE J;",
+            &schema_of,
+            &RepoProvider::governed(&repo, &governor),
+            &ctx,
+            &ExecOptions::default(),
+            &governor,
+        )
+        .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(60),
+            "prompt termination, not a 25M-pair run: {elapsed:?}"
+        );
+        match err {
+            GmqlError::DeadlineExceeded { ref node, elapsed_ms, limit_ms, .. } => {
+                assert_eq!(node, "J");
+                assert_eq!(limit_ms, 500);
+                assert!(elapsed_ms >= 500);
+            }
+            GmqlError::MemoryExhausted { ref node, requested, budget, .. } => {
+                assert_eq!(node, "J");
+                assert!(requested > budget);
+            }
+            ref other => panic!("expected a resource-limit error, got {other:?}"),
+        }
+        assert!(err.is_resource_limit());
+        assert!(governor.mem_peak() > 0, "partial progress includes governed memory spend");
+
+        // Query 2, same process, same limits: a sane query over the same
+        // source succeeds — served from the repository cache warmed by
+        // the failed run.
+        let reg = nggc::obs::global();
+        let hits_before = reg.counter("nggc_repo_cache_hits_total").get();
+        let governor2 = QueryGovernor::new(limits);
+        let (outputs, _metrics) = run_with_provider_governed(
+            "X = SELECT(region: left < 1000) BIG; MATERIALIZE X;",
+            &schema_of,
+            &RepoProvider::governed(&repo, &governor2),
+            &ctx,
+            &ExecOptions::default(),
+            &governor2,
+        )
+        .unwrap();
+        assert!(outputs["X"].region_count() > 0);
+        assert!(
+            reg.counter("nggc_repo_cache_hits_total").get() > hits_before,
+            "second query hit the cache the failed query warmed"
+        );
+
+        // The trip metrics recorded the incident.
+        let tripped = reg.counter("nggc_query_deadline_exceeded_total").get()
+            + reg.counter("nggc_query_mem_rejections_total").get();
+        assert!(tripped >= 1, "the governor trip was counted");
+
+        std::fs::remove_dir_all(&dir).ok();
+    });
+}
+
+#[test]
+fn cancelled_query_reports_partial_progress_and_engine_survives() {
+    with_watchdog("governor_cancel_survives", 180, || {
+        let ds = big_dataset();
+        let provider = move |_: &str| -> Result<Dataset, GmqlError> { Ok(ds.clone()) };
+        let schema_of = |name: &str| (name == "BIG").then(Schema::empty);
+        let ctx = nggc::engine::ExecContext::with_workers(2);
+
+        // Ctrl-C equivalent: cancel from another thread mid-join.
+        let governor = QueryGovernor::unbounded();
+        let token = governor.cancel_token();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            token.cancel();
+        });
+        let err = run_with_provider_governed(
+            "J = JOIN(DLE(1000000)) BIG BIG; MATERIALIZE J;",
+            &schema_of,
+            &provider,
+            &ctx,
+            &ExecOptions::default(),
+            &governor,
+        )
+        .unwrap_err();
+        canceller.join().unwrap();
+        match err {
+            GmqlError::Cancelled { ref node, elapsed_ms, .. } => {
+                assert!(!node.is_empty(), "the interrupted node is named");
+                assert!(elapsed_ms >= 150, "elapsed time is reported");
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+
+        // The same ExecContext still executes follow-up work: the cancel
+        // poisoned the governor, not the engine.
+        let ds2 = big_dataset();
+        let provider2 = move |_: &str| -> Result<Dataset, GmqlError> { Ok(ds2.clone()) };
+        let governor2 = QueryGovernor::unbounded();
+        let (outputs, _) = run_with_provider_governed(
+            "X = SELECT(region: left < 1000) BIG; MATERIALIZE X;",
+            &schema_of,
+            &provider2,
+            &ctx,
+            &ExecOptions::default(),
+            &governor2,
+        )
+        .unwrap();
+        assert!(outputs["X"].region_count() > 0);
+    });
+}

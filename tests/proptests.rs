@@ -439,3 +439,173 @@ proptest! {
         out["X"].validate().unwrap();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: format parsers must return Err on broken input —
+// never panic, whatever the bytes (robustness satellite, ISSUE 4).
+// ---------------------------------------------------------------------------
+
+use nggc::formats::native_v2::{decode_dataset_v2, encode_dataset_v2};
+use nggc::formats::FileFormat;
+
+const ALL_FORMATS: [FileFormat; 8] = [
+    FileFormat::Bed,
+    FileFormat::NarrowPeak,
+    FileFormat::BroadPeak,
+    FileFormat::Gtf,
+    FileFormat::Gff3,
+    FileFormat::Vcf,
+    FileFormat::BedGraph,
+    FileFormat::Wig,
+];
+
+/// A valid multi-line document per format, used as truncation stock.
+fn valid_doc(format: FileFormat) -> String {
+    match format {
+        FileFormat::Bed => "chr1\t0\t100\tpeak_a\t3.5\t+\nchr2\t50\t60\tpeak_b\t1.0\t-\n".into(),
+        FileFormat::NarrowPeak => {
+            "chr1\t0\t100\tp\t500\t+\t3.1\t2.2\t1.1\t50\nchr1\t200\t300\tq\t100\t-\t1.0\t0.5\t0.2\t25\n".into()
+        }
+        FileFormat::BroadPeak => {
+            "chr1\t0\t100\tp\t500\t+\t3.1\t2.2\t1.1\nchr1\t200\t300\tq\t100\t-\t1.0\t0.5\t0.2\n".into()
+        }
+        FileFormat::Gtf => {
+            "chr1\thavana\tgene\t100\t200\t0.5\t+\t.\tgene_id \"g1\"; transcript_id \"t1\";\n".into()
+        }
+        FileFormat::Gff3 => {
+            "chr1\thavana\tgene\t100\t200\t0.5\t+\t.\tID=g1;Name=G1\n".into()
+        }
+        FileFormat::Vcf => {
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\nchr1\t7\trs1\tA\tC\t50\tPASS\tEND=9\n".into()
+        }
+        FileFormat::BedGraph => "chr1 0 100 0.5\nchr1 100 200 1.5\n".into(),
+        FileFormat::Wig => {
+            "fixedStep chrom=chr1 start=1 step=10 span=5\n0.5\n1.5\nvariableStep chrom=chr2 span=3\n7 2.5\n".into()
+        }
+    }
+}
+
+/// Inputs that must be rejected: coordinate overflow and nonsense rows.
+/// Each entry applies to every text format (a row with u64::MAX-adjacent
+/// coordinates is garbage for all of them even where columns differ).
+fn overflow_corpus() -> Vec<String> {
+    let max = u64::MAX;
+    vec![
+        // end < start with coordinates at the representable edge.
+        format!("chr1\t{max}\t0\tx\t1\t+\t1\t1\t1\t0\n"),
+        // numeric fields that exceed u64.
+        "chr1\t99999999999999999999\t5\tx\t1\t+\t1\t1\t1\t0\n".into(),
+        // WIG declaration placing the window beyond u64::MAX.
+        format!("fixedStep chrom=chr1 start={max} step=2 span=100\n1.0\n2.0\n"),
+        format!("variableStep chrom=chr1 span={max}\n{max} 1.0\n"),
+        // VCF row whose POS + REF length wraps.
+        format!("chr1\t{max}\trs\tACGT\tA\t50\tPASS\t.\n"),
+    ]
+}
+
+#[test]
+fn overflow_corpus_rejected_by_every_parser() {
+    for format in ALL_FORMATS {
+        for bad in overflow_corpus() {
+            let result = format.parse(&bad);
+            assert!(result.is_err(), "{format:?} accepted overflow input {bad:?}: {result:?}");
+        }
+    }
+}
+
+#[test]
+fn binary_garbage_rejected_by_every_parser() {
+    // Non-empty rows of control bytes and shell noise: parseable by
+    // nothing, but must fail as a typed error.
+    let garbage: &[&str] = &[
+        "\u{0}\u{1}\u{2}\u{3}\u{4}\n",
+        "\u{fffd}\u{fffd}\u{fffd}\n",
+        "%PDF-1.4 obj << stream\n",
+        "\u{7f}ELF\u{2}\u{1}\u{1}\n",
+    ];
+    for format in ALL_FORMATS {
+        for g in garbage {
+            assert!(format.parse(g).is_err(), "{format:?} accepted {g:?}");
+        }
+    }
+    // The binary container rejects the same noise (and text) outright.
+    assert!(decode_dataset_v2(b"\x00\x01\x02\x03").is_err());
+    assert!(decode_dataset_v2(b"chr1\t0\t10\n").is_err());
+    assert!(decode_dataset_v2(b"").is_err());
+}
+
+/// Reference container bytes for truncation/corruption properties.
+fn v2_container_bytes() -> Vec<u8> {
+    let mut ds = Dataset::new(
+        "CORPUS",
+        Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap(),
+    );
+    ds.add_sample(
+        Sample::new("s1", "CORPUS")
+            .with_regions(vec![
+                GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![Value::Float(0.5)]),
+                GRegion::new("chr2", 5, 25, Strand::Neg).with_values(vec![Value::Null]),
+            ])
+            .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+    )
+    .unwrap();
+    encode_dataset_v2(&ds).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic any text parser: lossy-decoded input
+    /// either parses (e.g. all-whitespace) or errors.
+    #[test]
+    fn text_parsers_never_panic_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        for format in ALL_FORMATS {
+            let _ = format.parse(&text); // must return, not panic
+        }
+    }
+
+    /// Truncating a valid document at any byte never panics; the result
+    /// is a clean parse or a typed error.
+    #[test]
+    fn text_parsers_never_panic_on_truncation(cut in 0usize..100) {
+        for format in ALL_FORMATS {
+            let doc = valid_doc(format);
+            let cut = cut.min(doc.len()); // documents are ASCII: any cut is a char boundary
+            let _ = format.parse(&doc[..cut]);
+        }
+    }
+
+    /// The binary container survives truncation at every prefix length:
+    /// always a typed error (or a clean decode for a lucky prefix),
+    /// never a panic or unbounded allocation.
+    #[test]
+    fn native_v2_never_panics_on_truncation(frac in 0.0f64..1.0) {
+        let bytes = v2_container_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(decode_dataset_v2(&bytes[..cut]).is_err(), "truncated container decoded");
+    }
+
+    /// Flipping bytes anywhere in a valid container never panics.
+    #[test]
+    fn native_v2_never_panics_on_corruption(
+        edits in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        let mut bytes = v2_container_bytes();
+        for (pos, val) in edits {
+            let len = bytes.len();
+            bytes[pos % len] = val;
+        }
+        let _ = decode_dataset_v2(&bytes); // must return, not panic
+    }
+
+    /// Pure binary noise never panics the container decoder.
+    #[test]
+    fn native_v2_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_dataset_v2(&bytes);
+    }
+}
