@@ -73,6 +73,48 @@ pub struct NodeMetrics {
     pub bytes_out: usize,
     /// Wall time spent in this node.
     pub wall: Duration,
+    /// Bytes charged against the governor's memory budget for this
+    /// node's output (0 when no governor tracks memory).
+    pub mem_charged: u64,
+    /// Bytes given back to the budget when this node's output was freed
+    /// after its last consumer ran (0 for retained outputs).
+    pub mem_released: u64,
+    /// Repository cache hits observed while this node ran (source
+    /// loads served from the warm cache).
+    pub cache_hits: u64,
+    /// Repository cache misses observed while this node ran (source
+    /// loads that went to disk).
+    pub cache_misses: u64,
+    /// Federation retries observed while this node ran (nonzero only
+    /// for providers that call out to remote nodes).
+    pub fed_retries: u64,
+    /// Federation timeouts observed while this node ran.
+    pub fed_timeouts: u64,
+}
+
+/// Point-in-time sum of the registry counters EXPLAIN ANALYZE
+/// attributes to plan nodes; per-node deltas are sound because the
+/// executor walks nodes sequentially.
+#[derive(Debug, Clone, Copy, Default)]
+struct StatProbe {
+    cache_hits: u64,
+    cache_misses: u64,
+    fed_retries: u64,
+    fed_timeouts: u64,
+}
+
+fn stat_probe(reg: &nggc_obs::Registry) -> StatProbe {
+    let mut p = StatProbe::default();
+    for (name, _, v) in reg.snapshot() {
+        match name.as_str() {
+            "nggc_repo_cache_hits_total" => p.cache_hits += v,
+            "nggc_repo_cache_misses_total" => p.cache_misses += v,
+            "nggc_fed_retries_total" => p.fed_retries += v,
+            "nggc_fed_timeouts_total" => p.fed_timeouts += v,
+            _ => {}
+        }
+    }
+    p
 }
 
 /// Display width of the label column; longer labels are truncated.
@@ -188,12 +230,16 @@ pub fn execute_governed(
     let mut slots: Vec<Option<Arc<Dataset>>> = (0..plan.nodes.len()).map(|_| None).collect();
     // Bytes charged to the governor per live slot, for release on free.
     let mut slot_bytes = vec![0u64; plan.nodes.len()];
-    let mut metrics = Vec::with_capacity(plan.nodes.len());
+    let mut metrics: Vec<NodeMetrics> = Vec::with_capacity(plan.nodes.len());
+    let reg = nggc_obs::global();
     for (id, node) in plan.nodes.iter().enumerate() {
         if let Some(g) = governor {
             // Boundary checkpoint before the node runs.
             g.check(&node.label)?;
         }
+        // Counter snapshot bracketing the node, so cache and federation
+        // activity lands on the plan node that caused it.
+        let probe0 = if reg.is_enabled() { Some(stat_probe(reg)) } else { None };
         let operator = match &node.op {
             PlanOp::Source(_) => "SOURCE".to_owned(),
             PlanOp::Apply(op) => op.name().to_owned(),
@@ -243,7 +289,6 @@ pub fn execute_governed(
             .field("regions_out", result.region_count())
             .field("bytes_est", bytes_out);
         drop(node_span);
-        let reg = nggc_obs::global();
         if reg.is_enabled() {
             reg.counter_with("nggc_exec_nodes_total", &[("op", &operator)]).inc();
             reg.counter_with("nggc_exec_regions_out_total", &[("op", &operator)])
@@ -251,6 +296,16 @@ pub fn execute_governed(
             reg.histogram_with("nggc_exec_node_wall_ns", &[("op", &operator)])
                 .record_duration(wall);
         }
+        let probe1 = probe0.map(|p0| {
+            let p1 = stat_probe(reg);
+            StatProbe {
+                cache_hits: p1.cache_hits - p0.cache_hits,
+                cache_misses: p1.cache_misses - p0.cache_misses,
+                fed_retries: p1.fed_retries - p0.fed_retries,
+                fed_timeouts: p1.fed_timeouts - p0.fed_timeouts,
+            }
+        });
+        let delta = probe1.unwrap_or_default();
         metrics.push(NodeMetrics {
             label: node.label.clone(),
             operator,
@@ -260,15 +315,24 @@ pub fn execute_governed(
             regions_out: result.region_count(),
             bytes_out,
             wall,
+            mem_charged: slot_bytes[id],
+            mem_released: 0,
+            cache_hits: delta.cache_hits,
+            cache_misses: delta.cache_misses,
+            fed_retries: delta.fed_retries,
+            fed_timeouts: delta.fed_timeouts,
         });
         // Decrement inputs; free exhausted intermediates (and give their
-        // bytes back to the budget).
+        // bytes back to the budget). The release is attributed to the
+        // metrics entry of the node that *produced* the freed slot —
+        // `metrics[i]` exists because inputs precede their consumers.
         for &i in &node.inputs {
             refcount[i] -= 1;
             if refcount[i] == 0 {
                 slots[i] = None;
                 if let Some(g) = governor {
                     g.release(slot_bytes[i]);
+                    metrics[i].mem_released += slot_bytes[i];
                     slot_bytes[i] = 0;
                 }
             }

@@ -148,6 +148,63 @@ impl LogicalPlan {
         }
         out
     }
+
+    /// Render the plan as a tree rooted at each output, in dependency
+    /// order (`nggc query --explain` / `--explain-analyze`).
+    ///
+    /// `annotate` supplies extra per-node text appended to the node's
+    /// line — EXPLAIN ANALYZE passes measured runtime stats, plain
+    /// EXPLAIN passes nothing. The plan is a DAG: a node shared by
+    /// several consumers (e.g. after optimizer deduplication) is
+    /// expanded once and referenced as `(shared, shown above)` on later
+    /// visits, so the rendering stays linear in plan size.
+    pub fn render_tree(&self, annotate: &dyn Fn(NodeId) -> String) -> String {
+        let mut out = String::new();
+        let mut seen = vec![false; self.nodes.len()];
+        for (name, id) in &self.outputs {
+            out.push_str(&format!("OUTPUT {name} = #{id}\n"));
+            self.render_node(*id, "", true, &mut seen, annotate, &mut out);
+        }
+        out
+    }
+
+    fn render_node(
+        &self,
+        id: NodeId,
+        prefix: &str,
+        last: bool,
+        seen: &mut [bool],
+        annotate: &dyn Fn(NodeId) -> String,
+        out: &mut String,
+    ) {
+        let node = &self.nodes[id];
+        let connector = if last { "└─ " } else { "├─ " };
+        let what = match &node.op {
+            PlanOp::Source(name) => format!("SOURCE {name}"),
+            PlanOp::Apply(op) => op.name().to_owned(),
+        };
+        if seen[id] {
+            out.push_str(&format!(
+                "{prefix}{connector}#{id} {what} [{}] (shared, shown above)\n",
+                node.label
+            ));
+            return;
+        }
+        seen[id] = true;
+        let mut line =
+            format!("{prefix}{connector}#{id} {what} [{}] :: {}", node.label, node.schema);
+        let ann = annotate(id);
+        if !ann.is_empty() {
+            line.push_str("  ");
+            line.push_str(&ann);
+        }
+        line.push('\n');
+        out.push_str(&line);
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        for (i, &input) in node.inputs.iter().enumerate() {
+            self.render_node(input, &child_prefix, i + 1 == node.inputs.len(), seen, annotate, out);
+        }
+    }
 }
 
 /// Infer the output schema of an operator given input schemas, validating
@@ -342,5 +399,33 @@ mod tests {
         let text = plan.explain();
         assert!(text.contains("SOURCE ENCODE"));
         assert!(text.contains("OUTPUT out"));
+    }
+
+    #[test]
+    fn render_tree_nests_inputs_under_consumers() {
+        let plan = compile(
+            "PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+             RESULT = MAP(n AS COUNT) PROMS ENCODE;
+             MATERIALIZE RESULT;",
+        )
+        .unwrap();
+        let text = plan.render_tree(&|_| String::new());
+        assert!(text.starts_with("OUTPUT RESULT = #3\n"), "{text}");
+        assert!(text.contains("└─ #3 MAP [RESULT]"), "{text}");
+        // MAP's two inputs branch under it, the SELECT chain nests deeper.
+        assert!(text.contains("   ├─ #1 SELECT [PROMS]"), "{text}");
+        assert!(text.contains("   │  └─ #0 SOURCE ANNOTATIONS [ANNOTATIONS]"), "{text}");
+        assert!(text.contains("   └─ #2 SOURCE ENCODE [ENCODE]"), "{text}");
+    }
+
+    #[test]
+    fn render_tree_marks_shared_nodes_and_annotates() {
+        // ENCODE feeds both sides of the union: one expansion, one
+        // shared reference.
+        let plan = compile("U = UNION() ENCODE ENCODE; MATERIALIZE U;").unwrap();
+        let text = plan.render_tree(&|id| format!("(node {id})"));
+        assert_eq!(text.matches("SOURCE ENCODE [ENCODE] ::").count(), 1, "{text}");
+        assert!(text.contains("(shared, shown above)"), "{text}");
+        assert!(text.contains("(node 1)"), "annotation missing: {text}");
     }
 }

@@ -16,7 +16,9 @@
 
 use crate::node::{decode_staged, NodeService};
 use crate::policy::{Breaker, BreakerState, CallPolicy, NodeHealth, NodeStatus};
-use crate::protocol::{DatasetSummary, Request, Response, SizeEstimate, TransferLog};
+use crate::protocol::{
+    DatasetSummary, Request, Response, SizeEstimate, TraceHeader, TransferLog, WireSpan,
+};
 use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
 use nggc_core::{GmqlEngine, QueryGovernor};
 use nggc_gdm::Dataset;
@@ -24,7 +26,10 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 
-type Envelope = (Request, Sender<Response>);
+// Channel message to a node thread: the request, the coordinator's
+// trace context (when a trace is being recorded), and the reply channel
+// — responses piggyback the spans the node captured while serving.
+type Envelope = (Request, Option<TraceHeader>, Sender<(Response, Vec<WireSpan>)>);
 
 struct NodeHandle {
     id: String,
@@ -130,10 +135,31 @@ impl Federation {
                 // silence — a lost response whose deadline fires — not a
                 // visibly closed connection.
                 let mut withheld = Vec::new();
-                while let Ok((req, reply)) = rx.recv() {
-                    match node.serve(&req) {
+                while let Ok((req, trace, reply)) = rx.recv() {
+                    // With a trace header present, serve under the
+                    // coordinator's context and capture this node's
+                    // spans locally (they must not reach the
+                    // coordinator's subscribers directly — that would
+                    // double-count once they are shipped back and
+                    // re-emitted). The `node.serve` envelope span
+                    // guarantees even metadata-only requests yield at
+                    // least one span for stitching.
+                    let (resp, spans) = match trace {
+                        Some(h) => {
+                            let ctx =
+                                nggc_obs::TraceContext::with_id(h.trace_id).child_of(h.parent_span);
+                            let (resp, recs) = nggc_obs::collect_local(ctx, || {
+                                let mut s = nggc_obs::span("node.serve");
+                                s.field("kind", req.kind());
+                                node.serve(&req)
+                            });
+                            (resp, recs.iter().map(WireSpan::from).collect())
+                        }
+                        None => (node.serve(&req), Vec::new()),
+                    };
+                    match resp {
                         Some(resp) => {
-                            let _ = reply.send(resp);
+                            let _ = reply.send((resp, spans));
                         }
                         None => withheld.push(reply),
                     }
@@ -237,14 +263,23 @@ impl Federation {
             fail("circuit_open");
             return Err(FederationError::CircuitOpen(node_id.to_owned()));
         }
+        // The coordinator-side anchor for this exchange. When a trace is
+        // being recorded, its id travels to the node as a TraceHeader so
+        // the node's spans come back parented under it — rendering one
+        // stitched tree across the process boundary.
+        let mut call_span = nggc_obs::span("fed.call");
+        call_span.field("node", node_id).field("kind", kind);
+        let trace = call_span
+            .id()
+            .map(|id| TraceHeader { trace_id: nggc_obs::current_trace_id(), parent_span: id });
         let retry_budget = if request.is_idempotent() { policy.max_retries } else { 0 };
         let mut attempt = 0usize;
         loop {
             reg.counter_with("nggc_fed_requests_total", &[("node", node_id), ("kind", kind)]).inc();
             let t0 = std::time::Instant::now();
             let (reply_tx, reply_rx) = unbounded();
-            let outcome: Result<Response, FederationError> =
-                if node.tx.send((request.clone(), reply_tx)).is_err() {
+            let outcome: Result<(Response, Vec<WireSpan>), FederationError> =
+                if node.tx.send((request.clone(), trace, reply_tx)).is_err() {
                     Err(FederationError::NodeDown(node_id.to_owned()))
                 } else {
                     match reply_rx.recv_timeout(policy.deadline) {
@@ -259,10 +294,26 @@ impl Federation {
                     }
                 };
             match outcome {
-                Ok(response) => {
+                Ok((response, spans)) => {
                     reg.histogram_with("nggc_fed_request_ns", &[("node", node_id)])
                         .record_duration(t0.elapsed());
                     log.record(&request, &response);
+                    // Stitch the node's spans into the coordinator's
+                    // trace, tagging each with its origin node. A node
+                    // that shipped nothing (e.g. one that answered after
+                    // its reply channel was abandoned) simply leaves a
+                    // childless fed.call span — degraded outcomes stay
+                    // renderable.
+                    if !spans.is_empty() {
+                        reg.counter_with("nggc_fed_spans_shipped_total", &[("node", node_id)])
+                            .add(spans.len() as u64);
+                        for ws in spans {
+                            let mut rec = ws.into_record();
+                            rec.fields.push(("node".to_owned(), node_id.to_owned()));
+                            nggc_obs::emit_record(&rec);
+                        }
+                    }
+                    call_span.field("attempts", attempt + 1);
                     reg.counter_with("nggc_fed_bytes_sent_total", &[("node", node_id)])
                         .add(request.wire_size() as u64);
                     reg.counter_with("nggc_fed_bytes_received_total", &[("node", node_id)])

@@ -203,6 +203,72 @@ impl Response {
     }
 }
 
+/// Trace context attached to a request so the node records its spans
+/// under the coordinator's trace (`nggc-obs` stays dependency-free, so
+/// the serde mirror lives here).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The coordinator's trace id.
+    pub trace_id: u64,
+    /// The coordinator-side span (`fed.call`) the node's spans are
+    /// parented under.
+    pub parent_span: u64,
+}
+
+/// A finished span serialized for shipping back to the coordinator,
+/// piggybacked on the response.
+///
+/// Durations travel as integer nanoseconds; span ids are process-global
+/// on both sides, and since the in-process harness shares one id
+/// counter they never collide at stitch time.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span id.
+    pub id: u64,
+    /// Parent span id (possibly a coordinator-side span).
+    pub parent: Option<u64>,
+    /// Trace the span belongs to.
+    pub trace_id: u64,
+    /// Span name.
+    pub name: String,
+    /// Start offset from the recording process's trace epoch, in ns.
+    pub start_ns: u64,
+    /// Wall time in ns.
+    pub wall_ns: u64,
+    /// `key=value` fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl From<&nggc_obs::SpanRecord> for WireSpan {
+    fn from(rec: &nggc_obs::SpanRecord) -> WireSpan {
+        WireSpan {
+            id: rec.id,
+            parent: rec.parent,
+            trace_id: rec.trace_id,
+            name: rec.name.clone(),
+            start_ns: rec.start.as_nanos() as u64,
+            wall_ns: rec.wall.as_nanos() as u64,
+            fields: rec.fields.clone(),
+        }
+    }
+}
+
+impl WireSpan {
+    /// Convert back into a [`nggc_obs::SpanRecord`] for re-injection on
+    /// the coordinator side.
+    pub fn into_record(self) -> nggc_obs::SpanRecord {
+        nggc_obs::SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            trace_id: self.trace_id,
+            name: self.name,
+            start: std::time::Duration::from_nanos(self.start_ns),
+            wall: std::time::Duration::from_nanos(self.wall_ns),
+            fields: self.fields,
+        }
+    }
+}
+
 /// Bidirectional transfer accounting for one conversation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransferLog {
@@ -239,6 +305,30 @@ mod tests {
         let json = serde_json::to_string(&req).unwrap();
         let back: Request = serde_json::from_str(&json).unwrap();
         assert_eq!(req, back);
+    }
+
+    #[test]
+    fn wire_span_roundtrips_through_record() {
+        let rec = nggc_obs::SpanRecord {
+            id: 9,
+            parent: Some(4),
+            trace_id: 77,
+            name: "exec.node".into(),
+            start: std::time::Duration::from_micros(12),
+            wall: std::time::Duration::from_micros(340),
+            fields: vec![("op".into(), "MAP".into())],
+        };
+        let wire = WireSpan::from(&rec);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WireSpan = serde_json::from_str(&json).unwrap();
+        let rec2 = back.into_record();
+        assert_eq!(rec2.id, rec.id);
+        assert_eq!(rec2.parent, rec.parent);
+        assert_eq!(rec2.trace_id, rec.trace_id);
+        assert_eq!(rec2.name, rec.name);
+        assert_eq!(rec2.start, rec.start);
+        assert_eq!(rec2.wall, rec.wall);
+        assert_eq!(rec2.fields, rec.fields);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod trace;
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use profile::{render_span_tree, render_top_k};
 pub use trace::{
-    add_subscriber, clear_subscribers, span, MemorySubscriber, SpanGuard, SpanRecord,
-    StderrSubscriber, Subscriber,
+    add_subscriber, clear_subscribers, collect_local, current_trace_id, emit_record, span,
+    MemorySubscriber, SpanGuard, SpanRecord, StderrSubscriber, Subscriber, TraceContext,
+    TraceScope, MEMORY_SUBSCRIBER_CAPACITY,
 };

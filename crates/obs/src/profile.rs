@@ -141,6 +141,7 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace_id: 0,
             name: name.to_owned(),
             start: Duration::from_micros(start_us),
             wall: Duration::from_micros(wall_us),

@@ -209,6 +209,8 @@ impl Repository {
         let reg = nggc_obs::global();
         if let Some(cached) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(name) {
             reg.counter("nggc_repo_cache_hits_total").inc();
+            let mut span = nggc_obs::span("repo.cache");
+            span.field("dataset", name).field("outcome", "hit");
             return Ok(cached);
         }
         reg.counter("nggc_repo_cache_misses_total").inc();

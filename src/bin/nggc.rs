@@ -17,18 +17,31 @@
 //!   info DATASET                  schema + statistics of one dataset
 //!   migrate [DATASET | --all]     rewrite datasets in the binary v2 storage format
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
-//!         [--save] [--workers N] [--explain] [--head K] [--profile]
-//!         [--timeout DUR] [--max-memory BYTES]
+//!         [--save] [--workers N] [--explain] [--explain-analyze [--json]]
+//!         [--head K] [--profile] [--timeout DUR] [--max-memory BYTES]
 //!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
 //!         [-e TEXT]               optionally run a query first so the registry is warm
 //!         [--fed-selftest]        exercise a faulty 3-node federation first so the
 //!                                 retry/timeout/breaker metrics carry real values
+//!         [--profile]             render the stitched cross-node span tree collected
+//!                                 while the selftest (or -e query) ran
 //!   search KEYWORDS [--ontology]  search sample metadata
 //!   export DATASET FILE.bed       export a dataset's regions as BED
 //! ```
 //!
 //! `--profile` renders the span tree and top-k operator table described
-//! in `docs/observability.md`.
+//! in `docs/observability.md`. `--explain` prints the optimized plan
+//! tree without executing; `--explain-analyze` executes and annotates
+//! each plan node with measured rows/bytes/wall time, governor memory
+//! charged/released, repository cache hits/misses, and federation
+//! retries/timeouts — `--json` switches to the machine-readable
+//! document the bench harness diffs across runs.
+//!
+//! The slow-query flight recorder (`docs/observability.md`) arms when
+//! `NGGC_SLOW_QUERY_MS` (threshold) or `NGGC_FLIGHT_RECORDER` (sink
+//! path; stderr when unset) is present in the environment: a query that
+//! overruns the threshold or trips the governor dumps one JSON line
+//! with its full span trace and per-node stats.
 //!
 //! `query` runs under a resource governor (`docs/robustness.md`):
 //! `--timeout`/`--max-memory` (or the `NGGC_QUERY_TIMEOUT` /
@@ -334,10 +347,203 @@ fn cmd_info(repo_path: &Path, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One span of a collected trace, as serialized in `--explain-analyze
+/// --json` documents and flight-recorder lines. Durations are integer
+/// microseconds so the output diffs cleanly.
+#[derive(serde::Serialize)]
+struct SpanJson {
+    id: u64,
+    parent: Option<u64>,
+    trace_id: u64,
+    name: String,
+    start_us: u64,
+    wall_us: u64,
+    fields: Vec<(String, String)>,
+}
+
+impl From<&nggc::obs::SpanRecord> for SpanJson {
+    fn from(r: &nggc::obs::SpanRecord) -> SpanJson {
+        SpanJson {
+            id: r.id,
+            parent: r.parent,
+            trace_id: r.trace_id,
+            name: r.name.clone(),
+            start_us: r.start.as_micros() as u64,
+            wall_us: r.wall.as_micros() as u64,
+            fields: r.fields.clone(),
+        }
+    }
+}
+
+/// Per-plan-node entry of the `--explain-analyze --json` document.
+#[derive(serde::Serialize)]
+struct NodeJson {
+    id: usize,
+    label: String,
+    operator: String,
+    inputs: Vec<usize>,
+    samples_in: usize,
+    regions_in: usize,
+    samples_out: usize,
+    regions_out: usize,
+    bytes_out: usize,
+    wall_us: u64,
+    mem_charged: u64,
+    mem_released: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    fed_retries: u64,
+    fed_timeouts: u64,
+}
+
+fn node_json(id: usize, inputs: Vec<usize>, m: &nggc::gmql::NodeMetrics) -> NodeJson {
+    NodeJson {
+        id,
+        label: m.label.clone(),
+        operator: m.operator.clone(),
+        inputs,
+        samples_in: m.samples_in,
+        regions_in: m.regions_in,
+        samples_out: m.samples_out,
+        regions_out: m.regions_out,
+        bytes_out: m.bytes_out,
+        wall_us: m.wall.as_micros() as u64,
+        mem_charged: m.mem_charged,
+        mem_released: m.mem_released,
+        cache_hits: m.cache_hits,
+        cache_misses: m.cache_misses,
+        fed_retries: m.fed_retries,
+        fed_timeouts: m.fed_timeouts,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct OutputJson {
+    name: String,
+    samples: usize,
+    regions: usize,
+}
+
+#[derive(serde::Serialize)]
+struct OptimizerJson {
+    selects_fused: usize,
+    nodes_deduplicated: usize,
+}
+
+#[derive(serde::Serialize)]
+struct GovernorJson {
+    charged_bytes: u64,
+    peak_bytes: u64,
+}
+
+/// The `--explain-analyze --json` document.
+#[derive(serde::Serialize)]
+struct AnalyzeJson {
+    query: String,
+    elapsed_us: u64,
+    optimizer: OptimizerJson,
+    outputs: Vec<OutputJson>,
+    nodes: Vec<NodeJson>,
+    governor: GovernorJson,
+}
+
+/// One flight-recorder line (`docs/observability.md`).
+#[derive(serde::Serialize)]
+struct FlightRecordJson {
+    kind: String,
+    outcome: String,
+    query: String,
+    elapsed_us: u64,
+    trace_id: u64,
+    governor_charged_bytes: u64,
+    governor_peak_bytes: u64,
+    dropped_spans: u64,
+    trace: Vec<SpanJson>,
+    nodes: Vec<NodeJson>,
+}
+
+/// The per-node runtime annotation `--explain-analyze` appends to each
+/// line of the rendered plan tree.
+fn analyze_annotation(m: &nggc::gmql::NodeMetrics) -> String {
+    let mut s = format!(
+        "(rows {}→{} samples, {}→{} regions, {} B, {:.3} ms, mem +{}/-{} B, cache {}h/{}m",
+        m.samples_in,
+        m.samples_out,
+        m.regions_in,
+        m.regions_out,
+        m.bytes_out,
+        m.wall.as_secs_f64() * 1000.0,
+        m.mem_charged,
+        m.mem_released,
+        m.cache_hits,
+        m.cache_misses,
+    );
+    if m.fed_retries > 0 || m.fed_timeouts > 0 {
+        s.push_str(&format!(", fed {}r/{}t", m.fed_retries, m.fed_timeouts));
+    }
+    s.push(')');
+    s
+}
+
+/// Slow-query flight recorder configuration, from the environment:
+/// `NGGC_SLOW_QUERY_MS` arms the elapsed-time trigger, and
+/// `NGGC_FLIGHT_RECORDER` names the sink file (appended as JSON lines;
+/// stderr when unset). Governor trips always trigger a dump once the
+/// recorder is armed by either variable. Malformed values are errors,
+/// same posture as [`GovernorLimits::from_env`].
+struct FlightRecorder {
+    threshold: Option<std::time::Duration>,
+    sink: Option<PathBuf>,
+}
+
+impl FlightRecorder {
+    fn from_env() -> Result<Option<FlightRecorder>, String> {
+        let threshold = match std::env::var("NGGC_SLOW_QUERY_MS") {
+            Ok(raw) => {
+                let ms: u64 = raw.trim().parse().map_err(|_| {
+                    format!("NGGC_SLOW_QUERY_MS: expected integer milliseconds, got {raw:?}")
+                })?;
+                Some(std::time::Duration::from_millis(ms))
+            }
+            Err(_) => None,
+        };
+        let sink = std::env::var("NGGC_FLIGHT_RECORDER").ok().map(PathBuf::from);
+        if threshold.is_none() && sink.is_none() {
+            return Ok(None);
+        }
+        Ok(Some(FlightRecorder { threshold, sink }))
+    }
+
+    fn should_record(&self, elapsed: std::time::Duration, tripped: bool) -> bool {
+        tripped || self.threshold.is_some_and(|t| elapsed > t)
+    }
+
+    fn record(&self, doc: &FlightRecordJson) {
+        let Ok(line) = serde_json::to_string(doc) else { return };
+        match &self.sink {
+            Some(path) => {
+                use std::io::Write;
+                let open = std::fs::OpenOptions::new().create(true).append(true).open(path);
+                match open.and_then(|mut f| writeln!(f, "{line}")) {
+                    Ok(()) => eprintln!(
+                        "flight recorder: {} query recorded to {}",
+                        doc.outcome,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("flight recorder: {}: {e}", path.display()),
+                }
+            }
+            None => eprintln!("{line}"),
+        }
+    }
+}
+
 fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let mut text = None;
     let mut save = false;
     let mut explain = false;
+    let mut explain_analyze = false;
+    let mut json = false;
     let mut analyze = false;
     let mut profile = false;
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
@@ -354,6 +560,8 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
             }
             "--save" => save = true,
             "--explain" => explain = true,
+            "--explain-analyze" => explain_analyze = true,
+            "--json" => json = true,
             "--analyze" => analyze = true,
             "--profile" => profile = true,
             "--workers" => {
@@ -391,28 +599,42 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let Some(query) = text else {
         return Err("query requires a file or -e TEXT".into());
     };
+    if json && !explain_analyze {
+        return Err("query: --json requires --explain-analyze".into());
+    }
 
     let mut repo = open(repo_path)?;
     let ctx = nggc::engine::ExecContext::with_workers(workers);
-    let opts = ExecOptions::default();
+    let mut opts = ExecOptions::default();
 
     if explain {
         let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
         let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
             .map_err(|e| e.to_string())?;
         let (optimized, report) = nggc::gmql::optimize(&plan);
-        println!("-- logical plan --\n{}", plan.explain());
-        println!("-- optimized ({report:?}) --\n{}", optimized.explain());
+        let none = |_| String::new();
+        println!("-- logical plan --\n{}", plan.render_tree(&none));
+        println!("-- optimized ({report:?}) --\n{}", optimized.render_tree(&none));
         return Ok(());
     }
 
-    // --profile: collect every span emitted during execution.
-    let collector = if profile {
+    let recorder = FlightRecorder::from_env()?;
+
+    // Collect every span emitted during execution — for `--profile`
+    // rendering, and for the flight recorder when it is armed. One
+    // bounded ring serves both; the whole run shares one trace id.
+    let collector = if profile || recorder.is_some() {
         let c = std::sync::Arc::new(nggc::obs::MemorySubscriber::default());
         nggc::obs::add_subscriber(c.clone());
         Some(c)
     } else {
         None
+    };
+    let (trace_id, _trace_scope) = if collector.is_some() {
+        let tc = nggc::obs::TraceContext::new();
+        (tc.trace_id, Some(tc.enter()))
+    } else {
+        (0, None)
     };
 
     // The governor bounds the whole run: wall clock from here (parse
@@ -423,8 +645,19 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
 
     let t0 = std::time::Instant::now();
     let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
-    let plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
+    let mut plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
         .map_err(|e| e.to_string())?;
+    // EXPLAIN ANALYZE annotates the *optimized* plan, so optimize here
+    // (instead of inside the executor) — `metrics[i]` then lines up
+    // with `plan.nodes[i]` exactly.
+    let opt_report = if explain_analyze {
+        let (optimized, report) = nggc::gmql::optimize(&plan);
+        opts.optimize = false;
+        plan = optimized;
+        Some(report)
+    } else {
+        None
+    };
     let (outputs, metrics) = match nggc::gmql::execute_governed(
         &plan,
         &nggc::RepoProvider::governed(&repo, &governor),
@@ -451,51 +684,149 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
                     eprintln!("  {counter} {v}");
                 }
             }
+            // A governor trip always triggers the flight recorder: the
+            // trace of the aborted run is exactly what post-hoc
+            // diagnosis needs.
+            if let Some(c) = &collector {
+                nggc::obs::clear_subscribers();
+                if let Some(rec) = &recorder {
+                    let outcome = match &e {
+                        GmqlError::DeadlineExceeded { .. } => "deadline",
+                        GmqlError::Cancelled { .. } => "cancelled",
+                        GmqlError::MemoryExhausted { .. } => "memory",
+                        _ => "tripped",
+                    };
+                    rec.record(&FlightRecordJson {
+                        kind: "nggc_flight_record".to_owned(),
+                        outcome: outcome.to_owned(),
+                        query: query.clone(),
+                        elapsed_us: t0.elapsed().as_micros() as u64,
+                        trace_id,
+                        governor_charged_bytes: governor.charged(),
+                        governor_peak_bytes: governor.mem_peak(),
+                        dropped_spans: c.dropped(),
+                        trace: c.records().iter().map(SpanJson::from).collect(),
+                        nodes: Vec::new(),
+                    });
+                }
+            }
             return Err(e.into());
         }
         Err(e) => return Err(e.to_string().into()),
     };
     let elapsed = t0.elapsed();
+    // Stop collecting before rendering; everything below is reporting.
+    if collector.is_some() {
+        nggc::obs::clear_subscribers();
+    }
+    if let (Some(rec), Some(c)) = (&recorder, &collector) {
+        if rec.should_record(elapsed, false) {
+            rec.record(&FlightRecordJson {
+                kind: "nggc_flight_record".to_owned(),
+                outcome: "slow".to_owned(),
+                query: query.clone(),
+                elapsed_us: elapsed.as_micros() as u64,
+                trace_id,
+                governor_charged_bytes: governor.charged(),
+                governor_peak_bytes: governor.mem_peak(),
+                dropped_spans: c.dropped(),
+                trace: c.records().iter().map(SpanJson::from).collect(),
+                nodes: metrics
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| node_json(i, plan.nodes[i].inputs.clone(), m))
+                    .collect(),
+            });
+        }
+    }
+    if explain_analyze {
+        let report = opt_report.unwrap_or_default();
+        if json {
+            let mut names: Vec<&String> = outputs.keys().collect();
+            names.sort();
+            let doc = AnalyzeJson {
+                query: query.clone(),
+                elapsed_us: elapsed.as_micros() as u64,
+                optimizer: OptimizerJson {
+                    selects_fused: report.selects_fused,
+                    nodes_deduplicated: report.nodes_deduplicated,
+                },
+                outputs: names
+                    .iter()
+                    .map(|n| OutputJson {
+                        name: (*n).clone(),
+                        samples: outputs[*n].sample_count(),
+                        regions: outputs[*n].region_count(),
+                    })
+                    .collect(),
+                nodes: metrics
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| node_json(i, plan.nodes[i].inputs.clone(), m))
+                    .collect(),
+                governor: GovernorJson {
+                    charged_bytes: governor.charged(),
+                    peak_bytes: governor.mem_peak(),
+                },
+            };
+            println!("{}", serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?);
+        } else {
+            println!("-- explain analyze ({report:?}) --");
+            print!("{}", plan.render_tree(&|id| analyze_annotation(&metrics[id])));
+            println!("-- total: {elapsed:.2?} --");
+        }
+    }
     if analyze {
         println!("-- execution metrics --");
         for m in &metrics {
             println!("  {m}");
         }
     }
-    if let Some(collector) = collector {
-        nggc::obs::clear_subscribers();
-        let records = collector.records();
-        println!("-- profile: span tree --");
-        print!("{}", nggc::obs::render_span_tree(&records));
-        println!("-- profile: top operators by self time --");
-        print!("{}", nggc::obs::render_top_k(&records, Some("op"), 10));
+    if profile {
+        if let Some(collector) = &collector {
+            let records = collector.records();
+            println!("-- profile: span tree --");
+            print!("{}", nggc::obs::render_span_tree(&records));
+            println!("-- profile: top operators by self time --");
+            print!("{}", nggc::obs::render_top_k(&records, Some("op"), 10));
+            if collector.dropped() > 0 {
+                println!("-- profile: {} spans dropped (ring full) --", collector.dropped());
+            }
+        }
     }
 
-    let mut names: Vec<&String> = outputs.keys().collect();
-    names.sort();
-    for name in names {
-        let ds = &outputs[name];
-        println!("== {name} :: {} ==", ds.schema);
-        println!("{}", ds.stats());
-        for s in ds.samples.iter().take(head) {
-            println!("  sample {} ({} regions)", s.name, s.region_count());
-            for r in s.regions.iter().take(head) {
-                println!("    {r}");
+    if !json {
+        let mut names: Vec<&String> = outputs.keys().collect();
+        names.sort();
+        for name in names {
+            let ds = &outputs[name];
+            println!("== {name} :: {} ==", ds.schema);
+            println!("{}", ds.stats());
+            for s in ds.samples.iter().take(head) {
+                println!("  sample {} ({} regions)", s.name, s.region_count());
+                for r in s.regions.iter().take(head) {
+                    println!("    {r}");
+                }
+                if s.region_count() > head {
+                    println!("    … {} more", s.region_count() - head);
+                }
             }
-            if s.region_count() > head {
-                println!("    … {} more", s.region_count() - head);
+            if ds.sample_count() > head {
+                println!("  … {} more samples", ds.sample_count() - head);
             }
         }
-        if ds.sample_count() > head {
-            println!("  … {} more samples", ds.sample_count() - head);
-        }
+        println!("({elapsed:.2?})");
     }
-    println!("({elapsed:.2?})");
 
     if save {
         for ds in outputs.values() {
             repo.save(ds).map_err(|e| e.to_string())?;
-            println!("saved {} to repository", ds.name);
+            // Keep stdout machine-readable under --json.
+            if json {
+                eprintln!("saved {} to repository", ds.name);
+            } else {
+                println!("saved {} to repository", ds.name);
+            }
         }
     }
     Ok(())
@@ -515,11 +846,13 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut query = None;
     let mut fed_selftest = false;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
             "--fed-selftest" => fed_selftest = true,
+            "--profile" => profile = true,
             "-e" => {
                 i += 1;
                 query =
@@ -529,6 +862,17 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
+    // Under --profile the self-test and any -e query run inside one
+    // trace; remote-node spans shipped back by the federation layer are
+    // stitched into the same tree (see docs/observability.md).
+    let collector = if profile {
+        let c = std::sync::Arc::new(nggc::obs::MemorySubscriber::default());
+        nggc::obs::add_subscriber(c.clone());
+        Some(c)
+    } else {
+        None
+    };
+    let _trace_scope = collector.as_ref().map(|_| nggc::obs::TraceContext::new().enter());
     if fed_selftest {
         run_fed_selftest()?;
     }
@@ -542,6 +886,15 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         nggc::gmql::execute(&plan, &nggc::RepoProvider::new(&repo), &ctx, &ExecOptions::default())
             .map_err(|e| e.to_string())?;
+    }
+    if let Some(collector) = &collector {
+        nggc::obs::clear_subscribers();
+        let records = collector.records();
+        if !records.is_empty() {
+            // stderr keeps `--json` stdout machine-readable.
+            eprintln!("-- profile: stitched span tree --");
+            eprint!("{}", nggc::obs::render_span_tree(&records));
+        }
     }
     let reg = nggc::obs::global();
     if json {

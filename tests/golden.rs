@@ -1,0 +1,195 @@
+//! Golden-file tests pinning the machine-readable JSON schemas of
+//! `nggc stats --json` and `nggc query --explain-analyze --json`.
+//!
+//! The documents are normalized before comparison — metric values and
+//! timings are zeroed, histogram bucket arrays emptied — so the goldens
+//! pin the *shape* consumers parse (key names, nesting, metric catalog)
+//! while staying byte-stable across machines and runs. To bless an
+//! intentional schema change, re-run with `UPDATE_GOLDEN=1` and review
+//! the golden diff like any other code change.
+
+use serde::Content;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn nggc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nggc"))
+}
+
+fn tmp_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nggc_golden_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run(repo: &PathBuf, args: &[&str]) -> String {
+    let out = nggc().arg("--repo").arg(repo).args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "`nggc {}` failed: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Zero every number under `c`. When a map key is in `volatile` its
+/// whole subtree is zeroed even if `zero_all` is false; a key named
+/// `buckets` (histogram fill is timing-shaped) is emptied outright.
+fn normalize(c: &mut Content, zero_all: bool, volatile: &[&str]) {
+    match c {
+        Content::Seq(items) => {
+            for item in items {
+                normalize(item, zero_all, volatile);
+            }
+        }
+        Content::Map(entries) => {
+            for (k, v) in entries {
+                let key = match k {
+                    Content::Str(s) => s.as_str(),
+                    _ => "",
+                };
+                if key == "buckets" {
+                    *v = Content::Seq(Vec::new());
+                    continue;
+                }
+                normalize(v, zero_all || volatile.contains(&key), volatile);
+            }
+        }
+        Content::I64(n) => {
+            if zero_all {
+                *n = 0;
+            }
+        }
+        Content::U64(n) => {
+            if zero_all {
+                *n = 0;
+            }
+        }
+        Content::F64(n) => {
+            if zero_all {
+                *n = 0.0;
+            }
+        }
+        Content::Null | Content::Bool(_) | Content::Str(_) => {}
+    }
+}
+
+fn check_golden(name: &str, raw_json: &str, zero_all: bool, volatile: &[&str]) {
+    let mut doc: Content = serde_json::from_str(raw_json).expect("output is valid JSON");
+    normalize(&mut doc, zero_all, volatile);
+    let normalized =
+        serde_json::to_string_pretty(&doc).expect("normalized document serializes") + "\n";
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &normalized).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1 to create it", path.display())
+    });
+    assert_eq!(
+        normalized, expected,
+        "normalized {} drifted from its golden; if the schema change is \
+         intentional, bless it with UPDATE_GOLDEN=1",
+        name
+    );
+}
+
+fn seed_repo(tag: &str) -> PathBuf {
+    let repo = tmp_repo(tag);
+    let dir = std::env::temp_dir().join(format!("nggc_golden_data_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let peaks = dir.join("peaks.bed");
+    std::fs::write(
+        &peaks,
+        "chr1\t100\t300\t0.0001\nchr1\t500\t800\t0.0002\nchr2\t100\t300\t0.00015\n",
+    )
+    .unwrap();
+    let proms = dir.join("promoters.bed");
+    std::fs::write(&proms, "chr1\t50\t350\nchr1\t400\t900\nchr2\t50\t350\n").unwrap();
+    run(&repo, &["init"]);
+    run(&repo, &["import", peaks.to_str().unwrap(), "PEAKS"]);
+    run(&repo, &["import", proms.to_str().unwrap(), "PROMS"]);
+    repo
+}
+
+const MAP_QUERY: &str = "R = MAP(peak_count AS COUNT) PROMS PEAKS; MATERIALIZE R;";
+
+#[test]
+fn stats_json_schema_is_stable() {
+    let repo = seed_repo("stats");
+    // Warm the registry with a fixed query so the full metric catalog
+    // (exec, pool, repository) registers; all values are then zeroed.
+    let out = run(&repo, &["stats", "--json", "-e", MAP_QUERY]);
+    check_golden("stats.json.golden", &out, true, &[]);
+}
+
+#[test]
+fn explain_analyze_row_counts_match_materialized_cardinalities() {
+    let repo = seed_repo("rows");
+    let out = run(&repo, &["query", "-e", MAP_QUERY, "--explain-analyze", "--json"]);
+    let doc: Content = serde_json::from_str(&out).expect("valid JSON");
+
+    // Walk the document with plain lookups (the vendored JSON layer has
+    // no Value type; Content::Map is a key/value pair list).
+    fn get<'a>(c: &'a Content, key: &str) -> &'a Content {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key}")),
+            other => panic!("expected map for {key}, got {other:?}"),
+        }
+    }
+    fn num(c: &Content) -> u64 {
+        match c {
+            Content::U64(n) => *n,
+            Content::I64(n) => *n as u64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+    fn seq(c: &Content) -> &[Content] {
+        match c {
+            Content::Seq(items) => items,
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    // The materialized output R…
+    let outputs = seq(get(&doc, "outputs"));
+    assert_eq!(outputs.len(), 1);
+    let r = &outputs[0];
+    assert_eq!(get(r, "name"), &Content::Str("R".to_owned()));
+
+    // …must agree exactly with the MAP node's measured output rows.
+    let nodes = seq(get(&doc, "nodes"));
+    let map_node = nodes
+        .iter()
+        .find(|n| get(n, "operator") == &Content::Str("MAP".to_owned()))
+        .expect("plan contains the MAP node");
+    assert_eq!(num(get(map_node, "samples_out")), num(get(r, "samples")));
+    assert_eq!(num(get(map_node, "regions_out")), num(get(r, "regions")));
+
+    // And with ground truth for this fixed workload: one output sample
+    // per PROMS sample, one output region per promoter region.
+    assert_eq!(num(get(r, "samples")), 1);
+    assert_eq!(num(get(r, "regions")), 3);
+
+    // The MAP node's inputs saw both sources' rows.
+    assert_eq!(num(get(map_node, "samples_in")), 2);
+    assert_eq!(num(get(map_node, "regions_in")), 6);
+}
+
+#[test]
+fn explain_analyze_json_schema_is_stable() {
+    let repo = seed_repo("analyze");
+    let out = run(&repo, &["query", "-e", MAP_QUERY, "--explain-analyze", "--json"]);
+    // Only timings are volatile: cardinalities, byte counts, and
+    // governor charges are deterministic for the fixed inputs and stay
+    // pinned verbatim in the golden.
+    check_golden("analyze.json.golden", &out, false, &["elapsed_us", "wall_us", "start_us"]);
+}

@@ -79,6 +79,68 @@ fn memory_subscriber_records_nested_parentage() {
 }
 
 #[test]
+fn concurrent_worker_spans_carry_trace_parentage() {
+    let _guard = global_lock();
+    obs::clear_subscribers();
+    let collector = Arc::new(MemorySubscriber::new());
+    obs::add_subscriber(collector.clone());
+
+    // A coordinator enters a trace, opens a root span, and hands the
+    // resulting context to pool workers; every worker-side span must
+    // land under the root with the root's trace id, with no record
+    // corruption under contention.
+    let tc = obs::TraceContext::new();
+    let root_id;
+    {
+        let _trace = tc.enter();
+        let root = obs::span("it.root");
+        root_id = root.id().expect("subscriber installed, span is live");
+        let ctx = obs::TraceContext::current();
+        let pool = WorkerPool::new(4);
+        pool.parallel_map((0..512u64).collect(), |i| {
+            let _scope = ctx.enter();
+            let mut s = obs::span("it.worker");
+            s.field("i", i);
+        });
+    }
+    obs::clear_subscribers();
+
+    let records = collector.records();
+    let workers: Vec<_> = records.iter().filter(|r| r.name == "it.worker").collect();
+    assert_eq!(workers.len(), 512, "one span per work item");
+    let root = records.iter().find(|r| r.name == "it.root").expect("root span recorded");
+    assert_eq!(root.id, root_id);
+    assert_eq!(root.parent, None);
+    for w in &workers {
+        assert_eq!(w.parent, Some(root_id), "worker span parented under the root");
+        assert_eq!(w.trace_id, tc.trace_id, "worker span joined the coordinator's trace");
+        assert!(w.field("i").is_some(), "fields survive concurrent recording");
+    }
+    // Ids are unique — concurrent allocation never reused one.
+    let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), records.len(), "span ids are unique across threads");
+}
+
+#[test]
+fn memory_subscriber_ring_drops_oldest_under_pool_load() {
+    let _guard = global_lock();
+    obs::clear_subscribers();
+    let collector = Arc::new(MemorySubscriber::with_capacity(64));
+    obs::add_subscriber(collector.clone());
+
+    let pool = WorkerPool::new(4);
+    pool.parallel_map((0..1_000u64).collect(), |_| {
+        let _s = obs::span("it.flood");
+    });
+    obs::clear_subscribers();
+
+    assert_eq!(collector.records().len(), 64, "ring holds exactly its capacity");
+    assert_eq!(collector.dropped(), 1_000 - 64, "every eviction is counted");
+}
+
+#[test]
 fn disabled_registry_skips_engine_metrics() {
     let _guard = global_lock();
     let reg = obs::global();

@@ -1,0 +1,193 @@
+//! Cross-node trace stitching: a federated query run under one
+//! [`TraceContext`] must yield a single span tree containing spans
+//! recorded on every answering node, stitched under the coordinator's
+//! `fed.call` spans with per-node attribution — including when a node
+//! never answers and its spans are lost (see docs/observability.md).
+
+use nggc::federation::{CallPolicy, ChaosConfig, ChaosNode, Federation, FederationNode};
+use nggc::gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, ValueType};
+use nggc::obs::{self, MemorySubscriber, SpanRecord};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[path = "common/watchdog.rs"]
+mod watchdog;
+use watchdog::with_watchdog;
+
+// Span subscribers are process-global; serialize the tests in this
+// binary so collectors never see each other's spans.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn dataset(name: &str, samples: usize, regions_per_sample: usize) -> Dataset {
+    let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+    let mut ds = Dataset::new(name, schema);
+    for i in 0..samples {
+        let regions = (0..regions_per_sample)
+            .map(|j| {
+                GRegion::new("chr1", (j * 500) as u64, (j * 500 + 100) as u64, Strand::Unstranded)
+                    .with_values(vec![0.01.into()])
+            })
+            .collect();
+        ds.add_sample(
+            Sample::new(format!("s{i}"), name)
+                .with_regions(regions)
+                .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+        )
+        .unwrap();
+    }
+    ds
+}
+
+fn policy() -> CallPolicy {
+    CallPolicy {
+        deadline: Duration::from_millis(200),
+        max_retries: 2,
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(5),
+        jitter_seed: 1,
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(200),
+    }
+}
+
+/// Run `f` with a fresh collector inside a fresh trace; return the
+/// captured records plus the trace id they should all carry.
+fn traced<T>(f: impl FnOnce() -> T) -> (T, Vec<SpanRecord>, u64) {
+    obs::clear_subscribers();
+    let collector = Arc::new(MemorySubscriber::default());
+    obs::add_subscriber(collector.clone());
+    let tc = obs::TraceContext::new();
+    let out = {
+        let _trace = tc.enter();
+        f()
+    };
+    obs::clear_subscribers();
+    (out, collector.records(), tc.trace_id)
+}
+
+#[test]
+fn federated_query_stitches_spans_from_all_three_nodes() {
+    let _guard = global_lock();
+    let ((), records, trace_id) = with_watchdog("stitch_healthy", 60, || {
+        traced(|| {
+            let mut fed = Federation::with_policy(policy());
+            let mut alpha = FederationNode::new("alpha", 2);
+            alpha.own(dataset("BULK", 4, 40));
+            fed.add_node(alpha);
+            let mut beta = FederationNode::new("beta", 2);
+            beta.own(dataset("SMALL", 1, 4));
+            fed.add_node(beta);
+            let mut gamma = FederationNode::new("gamma", 2);
+            gamma.own(dataset("ELSEWHERE", 1, 4));
+            fed.add_node(gamma);
+
+            let outcome = fed
+                .execute_distributed_degraded(
+                    "R = MAP(n AS COUNT) SMALL BULK;\nMATERIALIZE R;",
+                    32 * 1024,
+                )
+                .expect("healthy federation executes");
+            assert_eq!(outcome.outputs["R"].sample_count(), 4);
+        })
+    });
+
+    // One trace: every span — coordinator-side and shipped — carries
+    // the coordinator's trace id.
+    assert!(!records.is_empty());
+    for r in &records {
+        assert_eq!(r.trace_id, trace_id, "span {} left the trace", r.name);
+    }
+
+    // Spans from all three nodes are present (gamma answers discovery
+    // even though it owns no queried data).
+    for node in ["alpha", "beta", "gamma"] {
+        assert!(
+            records.iter().any(|r| r.name == "node.serve" && r.field("node") == Some(node)),
+            "no node.serve span shipped from {node}"
+        );
+    }
+
+    // Correct parent/child edges: every shipped node.serve span hangs
+    // off a coordinator fed.call span for the same node.
+    for serve in records.iter().filter(|r| r.name == "node.serve") {
+        let parent_id = serve.parent.expect("node.serve is stitched, not a root");
+        let parent = records
+            .iter()
+            .find(|r| r.id == parent_id)
+            .expect("parent of a shipped span is a recorded coordinator span");
+        assert_eq!(parent.name, "fed.call");
+        assert_eq!(parent.field("node"), serve.field("node"), "stitched under the wrong call");
+        assert_eq!(parent.trace_id, trace_id);
+    }
+
+    // The remote execution's operator spans arrive attributed to the
+    // executing node and parented inside its node.serve span.
+    let exec = records
+        .iter()
+        .find(|r| r.name == "exec.plan")
+        .expect("remote execution shipped its exec.plan span");
+    assert_eq!(exec.field("node"), Some("alpha"), "host node executes the plan");
+    let serve_ids: Vec<u64> = records
+        .iter()
+        .filter(|r| r.name == "node.serve" && r.field("node") == Some("alpha"))
+        .map(|r| r.id)
+        .collect();
+    assert!(
+        exec.parent.is_some_and(|p| serve_ids.contains(&p)),
+        "exec.plan nests inside alpha's node.serve span"
+    );
+
+    // Ids are unique after stitching — re-emission never collides with
+    // coordinator-side ids.
+    let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), records.len());
+}
+
+#[test]
+fn hung_node_contributes_no_spans_but_trace_survives_degraded() {
+    let _guard = global_lock();
+    let ((), records, trace_id) = with_watchdog("stitch_degraded", 60, || {
+        traced(|| {
+            let mut fed = Federation::with_policy(policy());
+            let mut alpha = FederationNode::new("alpha", 2);
+            alpha.own(dataset("BULK", 4, 40));
+            fed.add_node(alpha);
+            let mut hung = FederationNode::new("hung", 2);
+            hung.own(dataset("ELSEWHERE", 1, 4));
+            // Sleeps past the deadline on every request: replies (and the
+            // spans piggybacked on them) never reach the coordinator.
+            fed.add_node(ChaosNode::new(hung, ChaosConfig::hung(Duration::from_millis(500))));
+
+            let outcome = fed
+                .execute_distributed_degraded("R = SELECT() BULK;\nMATERIALIZE R;", 32 * 1024)
+                .expect("degraded execution still completes");
+            assert_eq!(outcome.outputs["R"].sample_count(), 4);
+        })
+    });
+
+    // The trace is intact and still single-trace…
+    assert!(!records.is_empty());
+    for r in &records {
+        assert_eq!(r.trace_id, trace_id);
+    }
+    // …the healthy node's spans arrived…
+    assert!(records.iter().any(|r| r.name == "node.serve" && r.field("node") == Some("alpha")));
+    // …and the hung node shipped nothing: its fed.call spans are
+    // recorded (the coordinator owns those) but childless.
+    assert!(
+        !records.iter().any(|r| r.field("node") == Some("hung") && r.name != "fed.call"),
+        "a span escaped a node that never answered"
+    );
+    for call in records.iter().filter(|r| r.name == "fed.call" && r.field("node") == Some("hung")) {
+        assert!(
+            !records.iter().any(|r| r.parent == Some(call.id)),
+            "hung node's call span must be childless"
+        );
+    }
+}
