@@ -13,7 +13,7 @@
 //! executing queued jobs, which makes nested `parallel_map` calls
 //! deadlock-free even on a single-worker pool.
 
-use crossbeam_channel::{bounded, Receiver, Sender, TryRecvError};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -23,6 +23,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long a helping caller blocks on the result channel before
+/// re-checking the queues for stealable work. Mirrors the worker
+/// condvar park interval: long enough that an idle tail burns no CPU
+/// (the old 100 µs poll pinned a core for the whole tail of a long
+/// job), short enough that late-injected nested work is picked up
+/// promptly.
+const HELP_RECHECK: Duration = Duration::from_millis(10);
 
 /// Pool-local event counters, mirrored into the global `nggc-obs`
 /// registry (`nggc_pool_*`). Kept per-pool so tests and
@@ -38,8 +46,13 @@ struct PoolCounters {
     wakes: AtomicU64,
     /// Per-worker busy nanoseconds (helping callers not included).
     busy_ns: Vec<AtomicU64>,
-    /// Pool creation time, the denominator of utilization.
+    /// Pool creation time, the denominator of lifetime utilization.
     started: Instant,
+    /// Last [`WorkerPool::stats`] snapshot: when it was taken and the
+    /// total busy nanoseconds at that point. Windowed utilization is
+    /// measured against this instead of pool age, so a pool that idled
+    /// since startup but is saturated *now* reads ~100%, not ~0%.
+    window: Mutex<WindowSnap>,
     /// Global-registry handles, resolved once at pool construction.
     g_jobs: nggc_obs::Counter,
     g_sibling_steals: nggc_obs::Counter,
@@ -49,16 +62,24 @@ struct PoolCounters {
     g_job_wall: nggc_obs::Histogram,
 }
 
+/// See [`PoolCounters::window`].
+struct WindowSnap {
+    at: Instant,
+    busy_ns: u64,
+}
+
 impl PoolCounters {
     fn new(workers: usize) -> PoolCounters {
         let reg = nggc_obs::global();
+        let now = Instant::now();
         PoolCounters {
             jobs: AtomicU64::new(0),
             sibling_steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
             busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            started: Instant::now(),
+            started: now,
+            window: Mutex::new(WindowSnap { at: now, busy_ns: 0 }),
             g_jobs: reg.counter("nggc_pool_jobs_total"),
             g_sibling_steals: reg.counter("nggc_pool_sibling_steals_total"),
             g_parks: reg.counter("nggc_pool_parks_total"),
@@ -86,18 +107,38 @@ pub struct PoolStats {
     pub busy: Vec<Duration>,
     /// Wall time since the pool was created.
     pub elapsed: Duration,
+    /// Busy wall time accumulated since the previous [`WorkerPool::stats`]
+    /// call (summed over workers).
+    pub busy_recent: Duration,
+    /// Wall time since the previous [`WorkerPool::stats`] call — the
+    /// denominator of [`PoolStats::utilization`]. Equals `elapsed` for
+    /// the first snapshot.
+    pub window: Duration,
 }
 
 impl PoolStats {
-    /// Fraction of worker-thread time spent running jobs, in `[0, 1]`:
-    /// `sum(busy) / (workers × elapsed)`.
+    /// Fraction of worker-thread time spent running jobs **since the
+    /// previous `stats()` snapshot**, in `[0, 1]`:
+    /// `busy_recent / (workers × window)`. A pool that sat idle since
+    /// startup but is saturated right now reads ~1.0 here, unlike
+    /// [`PoolStats::lifetime_utilization`] which averages over pool age.
     pub fn utilization(&self) -> f64 {
+        Self::ratio(self.busy_recent.as_secs_f64(), self.workers, self.window.as_secs_f64())
+    }
+
+    /// Fraction of worker-thread time spent running jobs since the pool
+    /// was created: `sum(busy) / (workers × elapsed)`.
+    pub fn lifetime_utilization(&self) -> f64 {
         let total: f64 = self.busy.iter().map(Duration::as_secs_f64).sum();
-        let budget = self.workers as f64 * self.elapsed.as_secs_f64();
+        Self::ratio(total, self.workers, self.elapsed.as_secs_f64())
+    }
+
+    fn ratio(busy: f64, workers: usize, wall: f64) -> f64 {
+        let budget = workers as f64 * wall;
         if budget <= 0.0 {
             0.0
         } else {
-            (total / budget).min(1.0)
+            (busy / budget).min(1.0)
         }
     }
 }
@@ -220,20 +261,35 @@ impl WorkerPool {
     /// Snapshot of this pool's activity counters (jobs executed, steal
     /// and park/wake counts, per-worker busy time). The same numbers are
     /// mirrored into the global `nggc-obs` registry as `nggc_pool_*`.
+    ///
+    /// Each call also closes a **utilization window**: `busy_recent` and
+    /// `window` measure activity since the previous `stats()` call (or
+    /// pool creation, for the first one), which is what
+    /// [`PoolStats::utilization`] reports.
     pub fn stats(&self) -> PoolStats {
         let c = &self.shared.counters;
+        let busy: Vec<Duration> =
+            c.busy_ns.iter().map(|b| Duration::from_nanos(b.load(Ordering::Relaxed))).collect();
+        let busy_total_ns: u64 =
+            busy.iter().map(|d| d.as_nanos().min(u64::MAX as u128) as u64).sum();
+        let now = Instant::now();
+        let (busy_recent, window) = {
+            let mut snap = c.window.lock();
+            let recent = Duration::from_nanos(busy_total_ns.saturating_sub(snap.busy_ns));
+            let window = now.duration_since(snap.at);
+            *snap = WindowSnap { at: now, busy_ns: busy_total_ns };
+            (recent, window)
+        };
         PoolStats {
             workers: self.workers,
             jobs_executed: c.jobs.load(Ordering::Relaxed),
             sibling_steals: c.sibling_steals.load(Ordering::Relaxed),
             parks: c.parks.load(Ordering::Relaxed),
             wakes: c.wakes.load(Ordering::Relaxed),
-            busy: c
-                .busy_ns
-                .iter()
-                .map(|b| Duration::from_nanos(b.load(Ordering::Relaxed)))
-                .collect(),
+            busy,
             elapsed: c.started.elapsed(),
+            busy_recent,
+            window,
         }
     }
 
@@ -298,12 +354,25 @@ impl WorkerPool {
                     received += 1;
                 }
                 Err(TryRecvError::Empty) => {
-                    // Help: run someone's job instead of spinning.
+                    // Help: run someone's job instead of spinning. With
+                    // nothing left to steal, block on the result channel
+                    // (bounded so late-injected nested work still gets
+                    // helped) rather than burning a core on the tail.
                     if let Some(job) = self.shared.steal_any() {
                         self.shared.run_job(job, None);
-                    } else if let Ok((i, r)) = rx.recv_timeout(Duration::from_micros(100)) {
-                        results[i] = Some(r);
-                        received += 1;
+                    } else {
+                        match rx.recv_timeout(HELP_RECHECK) {
+                            Ok((i, r)) => {
+                                results[i] = Some(r);
+                                received += 1;
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => {
+                                unreachable!(
+                                    "all senders kept alive by queued jobs until they send"
+                                )
+                            }
+                        }
                     }
                 }
                 Err(TryRecvError::Disconnected) => {
@@ -409,11 +478,22 @@ impl WorkerPool {
                     received += 1;
                 }
                 Err(TryRecvError::Empty) => {
+                    // Same help-then-block discipline as `parallel_map`.
                     if let Some(job) = self.shared.steal_any() {
                         self.shared.run_job(job, None);
-                    } else if let Ok((i, r)) = rx.recv_timeout(Duration::from_micros(100)) {
-                        results[i] = Some(r);
-                        received += 1;
+                    } else {
+                        match rx.recv_timeout(HELP_RECHECK) {
+                            Ok((i, r)) => {
+                                results[i] = Some(r);
+                                received += 1;
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => {
+                                unreachable!(
+                                    "all senders kept alive by queued jobs until they send"
+                                )
+                            }
+                        }
                     }
                 }
                 Err(TryRecvError::Disconnected) => {
@@ -592,9 +672,48 @@ mod tests {
         assert_eq!(stats.busy.len(), 4);
         let util = stats.utilization();
         assert!((0.0..=1.0).contains(&util), "utilization {util} out of range");
+        let lifetime = stats.lifetime_utilization();
+        assert!((0.0..=1.0).contains(&lifetime), "lifetime utilization {lifetime} out of range");
         // Inline fast path (n == 1) bypasses the queue entirely.
         pool.parallel_map(vec![1], |i: i32| i);
         assert_eq!(pool.stats().jobs_executed, 256);
+    }
+
+    #[test]
+    fn utilization_is_windowed_not_lifetime() {
+        let pool = WorkerPool::new(2);
+        // A long idle stretch after creation drags the lifetime average
+        // down...
+        std::thread::sleep(Duration::from_millis(120));
+        let idle = pool.stats(); // close the idle window
+        assert!(
+            idle.utilization() < 0.05,
+            "idle window should read ~0, got {}",
+            idle.utilization()
+        );
+        // ...then a burst of work: the *windowed* number must see it
+        // clearly even though the lifetime average stays diluted.
+        pool.parallel_map((0..64).collect::<Vec<u64>>(), |i| {
+            let t0 = Instant::now();
+            let mut acc = i;
+            while t0.elapsed() < Duration::from_millis(2) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        });
+        let busy = pool.stats();
+        assert!(busy.window < busy.elapsed, "window must reset at each snapshot");
+        assert!(
+            busy.utilization() > busy.lifetime_utilization(),
+            "recent burst: windowed {} should exceed lifetime {}",
+            busy.utilization(),
+            busy.lifetime_utilization()
+        );
+        assert!(
+            busy.utilization() > 0.2,
+            "a saturating burst should dominate its window, got {}",
+            busy.utilization()
+        );
     }
 
     #[test]

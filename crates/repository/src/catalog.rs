@@ -14,10 +14,11 @@ use nggc_formats::native_v2::{self, StorageVersion};
 use nggc_gdm::{Dataset, DatasetStats, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Datasets kept in the in-memory read cache (LRU eviction).
@@ -53,6 +54,49 @@ pub struct Repository {
     root: PathBuf,
     catalog: BTreeMap<String, CatalogEntry>,
     cache: Mutex<DatasetCache>,
+    /// Per-name single-flight table for cold loads: concurrent misses
+    /// for the same dataset wait on one leader's disk read instead of
+    /// each reading and decoding the full dataset (cold-load stampede).
+    inflight: Mutex<HashMap<String, Arc<LoadFlight>>>,
+}
+
+/// Rendezvous for one in-progress cold load. The leader fills
+/// `result` and flips `done`; followers wait on the condvar and share
+/// the leader's `Arc` without touching disk.
+#[derive(Debug, Default)]
+struct LoadFlight {
+    slot: Mutex<FlightSlot>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FlightSlot {
+    done: bool,
+    /// `Ok` carries the loaded dataset; `Err(())` tells followers the
+    /// leader failed (they retry and surface their own typed error).
+    result: Option<Result<Arc<Dataset>, ()>>,
+}
+
+/// Removes the in-flight entry and wakes followers even if the
+/// leader's disk read panics, so no waiter blocks forever.
+struct FlightGuard<'a> {
+    repo: &'a Repository,
+    name: &'a str,
+    flight: &'a Arc<LoadFlight>,
+    outcome: Option<Result<Arc<Dataset>, ()>>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.flight.slot.lock().unwrap_or_else(|p| p.into_inner());
+            slot.done = true;
+            // A panic before `outcome` was set counts as a failure.
+            slot.result = Some(self.outcome.take().unwrap_or(Err(())));
+        }
+        self.repo.inflight.lock().unwrap_or_else(|p| p.into_inner()).remove(self.name);
+        self.flight.cv.notify_all();
+    }
 }
 
 #[derive(Debug, Default)]
@@ -112,6 +156,31 @@ fn dir_bytes(dir: &Path) -> u64 {
     total
 }
 
+/// Outcome of a whole-repository migration sweep
+/// ([`Repository::migrate_all`]): per-dataset results, partitioned the
+/// way `load_directory`'s `LoadReport` partitions imports. One corrupt
+/// dataset no longer aborts the sweep — it lands in `failed` and the
+/// remaining datasets still migrate.
+#[derive(Debug, Default)]
+pub struct MigrationSweep {
+    /// Datasets rewritten as v2, in name order.
+    pub migrated: Vec<MigrationReport>,
+    /// Datasets whose migration failed: `(name, error)`, in name order.
+    pub failed: Vec<(String, RepoError)>,
+}
+
+impl MigrationSweep {
+    /// Did every dataset migrate?
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Total datasets visited by the sweep.
+    pub fn total(&self) -> usize {
+        self.migrated.len() + self.failed.len()
+    }
+}
+
 /// Outcome of [`Repository::migrate`] for one dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigrationReport {
@@ -137,7 +206,12 @@ impl Repository {
         } else {
             BTreeMap::new()
         };
-        Ok(Repository { root, catalog, cache: Mutex::new(DatasetCache::default()) })
+        Ok(Repository {
+            root,
+            catalog,
+            cache: Mutex::new(DatasetCache::default()),
+            inflight: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The repository root directory.
@@ -202,24 +276,81 @@ impl Repository {
     /// A cache hit is an `Arc` clone — no region data is copied. Cold
     /// loads read whichever storage version the dataset directory holds
     /// (v2 binary container or v1 text, detected by magic bytes).
+    ///
+    /// Concurrent cold loads of the same dataset are **single-flighted**:
+    /// one caller reads disk while the others wait for (and share) its
+    /// `Arc`. Coalesced waits are counted in
+    /// `nggc_repo_load_coalesced_total`; exactly one
+    /// `nggc_repo_loads_total` increment happens per actual disk read.
     pub fn load(&self, name: &str) -> Result<Arc<Dataset>, RepoError> {
         if !self.catalog.contains_key(name) {
             return Err(RepoError::NotFound(name.to_owned()));
         }
         let reg = nggc_obs::global();
-        if let Some(cached) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(name) {
-            reg.counter("nggc_repo_cache_hits_total").inc();
-            let mut span = nggc_obs::span("repo.cache");
-            span.field("dataset", name).field("outcome", "hit");
-            return Ok(cached);
+        loop {
+            if let Some(cached) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(name) {
+                reg.counter("nggc_repo_cache_hits_total").inc();
+                let mut span = nggc_obs::span("repo.cache");
+                span.field("dataset", name).field("outcome", "hit");
+                return Ok(cached);
+            }
+            // Join an in-progress load of the same name, or become the
+            // leader that performs it.
+            let (flight, leader) = {
+                let mut map = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+                match map.get(name) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(LoadFlight::default());
+                        map.insert(name.to_owned(), Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                return self.load_cold(name, &flight);
+            }
+            let shared = {
+                let mut slot = flight.slot.lock().unwrap_or_else(|p| p.into_inner());
+                while !slot.done {
+                    slot = flight.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+                }
+                slot.result.clone().expect("done flights carry a result")
+            };
+            match shared {
+                Ok(dataset) => {
+                    reg.counter("nggc_repo_load_coalesced_total").inc();
+                    let mut span = nggc_obs::span("repo.cache");
+                    span.field("dataset", name).field("outcome", "coalesced");
+                    return Ok(dataset);
+                }
+                // The leader failed; retry from scratch so this caller
+                // surfaces its own typed error (or succeeds if the
+                // failure was transient).
+                Err(()) => continue,
+            }
         }
+    }
+
+    /// The disk half of [`Repository::load`]: one actual read + decode,
+    /// cache insert, metrics, and single-flight completion. Only the
+    /// flight's leader runs this.
+    fn load_cold(&self, name: &str, flight: &Arc<LoadFlight>) -> Result<Arc<Dataset>, RepoError> {
+        let mut guard = FlightGuard { repo: self, name, flight, outcome: None };
+        let reg = nggc_obs::global();
         reg.counter("nggc_repo_cache_misses_total").inc();
         let mut span = nggc_obs::span("repo.load");
         span.field("dataset", name);
         let t0 = Instant::now();
         let dir = self.dataset_dir(name);
         let version = native_v2::detect_version(&dir).unwrap_or(StorageVersion::V1);
-        let dataset = Arc::new(native_v2::read_dataset_auto(&dir)?);
+        let dataset = match native_v2::read_dataset_auto(&dir) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                guard.outcome = Some(Err(()));
+                return Err(e.into());
+            }
+        };
         reg.counter("nggc_repo_loads_total").inc();
         reg.counter_with("nggc_repo_load_bytes_total", &[("format", version.name())])
             .add(dir_bytes(&dir));
@@ -231,6 +362,7 @@ impl Repository {
             .lock()
             .unwrap_or_else(|p| p.into_inner())
             .insert(name.to_owned(), dataset.clone());
+        guard.outcome = Some(Ok(dataset.clone()));
         Ok(dataset)
     }
 
@@ -277,11 +409,20 @@ impl Repository {
         Ok(MigrationReport { name: name.to_owned(), from, bytes_before, bytes_after })
     }
 
-    /// Migrate every dataset in the repository to v2; returns one report
-    /// per dataset in name order.
-    pub fn migrate_all(&mut self) -> Result<Vec<MigrationReport>, RepoError> {
+    /// Migrate every dataset in the repository to v2, visiting each one
+    /// even when some fail: a corrupt directory lands in
+    /// [`MigrationSweep::failed`] instead of aborting the sweep with the
+    /// remaining datasets unrecorded.
+    pub fn migrate_all(&mut self) -> MigrationSweep {
         let names: Vec<String> = self.catalog.keys().cloned().collect();
-        names.into_iter().map(|n| self.migrate(&n)).collect()
+        let mut sweep = MigrationSweep::default();
+        for name in names {
+            match self.migrate(&name) {
+                Ok(report) => sweep.migrated.push(report),
+                Err(e) => sweep.failed.push((name, e)),
+            }
+        }
+        sweep
     }
 
     /// Delete a dataset.
@@ -514,15 +655,126 @@ mod tests {
         let mut repo = Repository::open(&root).unwrap();
         repo.save_with_version(&dataset("A"), StorageVersion::V1).unwrap();
         repo.save(&dataset("B")).unwrap();
-        let reports = repo.migrate_all().unwrap();
-        assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].from, StorageVersion::V1);
-        assert_eq!(reports[1].from, StorageVersion::V2);
+        let sweep = repo.migrate_all();
+        assert!(sweep.is_clean());
+        assert_eq!(sweep.total(), 2);
+        assert_eq!(sweep.migrated[0].from, StorageVersion::V1);
+        assert_eq!(sweep.migrated[1].from, StorageVersion::V2);
         assert!(repo
             .list()
             .iter()
             .all(|e| repo.storage_version(&e.name) == Some(StorageVersion::V2)));
         assert!(matches!(repo.migrate("MISSING"), Err(RepoError::NotFound(_))));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn migrate_all_keeps_going_past_a_corrupt_dataset() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save_with_version(&dataset("A"), StorageVersion::V1).unwrap();
+        repo.save_with_version(&dataset("BAD"), StorageVersion::V1).unwrap();
+        repo.save_with_version(&dataset("C"), StorageVersion::V1).unwrap();
+        // Corrupt BAD's on-disk layout so its load fails mid-sweep, and
+        // reopen so the sweep cannot be rescued by the warm save cache.
+        fs::write(root.join("datasets/BAD/schema.gdm"), "not a schema\x00\x01").unwrap();
+        let mut repo = Repository::open(&root).unwrap();
+        let sweep = repo.migrate_all();
+        assert!(!sweep.is_clean());
+        assert_eq!(sweep.total(), 3);
+        let migrated: Vec<&str> = sweep.migrated.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(migrated, vec!["A", "C"], "the sweep must not stop at BAD");
+        assert_eq!(sweep.failed.len(), 1);
+        assert_eq!(sweep.failed[0].0, "BAD");
+        // The survivors really are v2 on disk now.
+        assert_eq!(repo.storage_version("A"), Some(StorageVersion::V2));
+        assert_eq!(repo.storage_version("C"), Some(StorageVersion::V2));
+        assert_eq!(repo.storage_version("BAD"), Some(StorageVersion::V1));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn concurrent_cold_loads_single_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("STAMPEDE")).unwrap();
+        }
+        // Fresh open: the cache is cold, so every thread below races
+        // through the miss path together.
+        let repo = Arc::new(Repository::open(&root).unwrap());
+        let reg = nggc_obs::global();
+        let loads0 = reg.counter("nggc_repo_loads_total").get();
+        let coalesced0 = reg.counter("nggc_repo_load_coalesced_total").get();
+        const N: usize = 16;
+        let barrier = Arc::new(Barrier::new(N));
+        let errors = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let repo = Arc::clone(&repo);
+                let barrier = Arc::clone(&barrier);
+                let errors = Arc::clone(&errors);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match repo.load("STAMPEDE") {
+                        Ok(ds) => ds,
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            panic!("load failed");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let datasets: Vec<Arc<Dataset>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(errors.load(Ordering::Relaxed), 0);
+        // Every thread shares one allocation: no duplicate decode.
+        assert!(
+            datasets.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])),
+            "stampeding loads must share the leader's Arc"
+        );
+        assert_eq!(
+            reg.counter("nggc_repo_loads_total").get() - loads0,
+            1,
+            "exactly one disk load for {N} concurrent cold misses"
+        );
+        let coalesced = reg.counter("nggc_repo_load_coalesced_total").get() - coalesced0;
+        let hits_after: u64 = N as u64 - 1;
+        assert!(
+            coalesced <= hits_after,
+            "coalesced ({coalesced}) cannot exceed the {hits_after} non-leader loads"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn failed_single_flight_load_does_not_wedge_followers() {
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("GONE")).unwrap();
+        }
+        let repo = Arc::new(Repository::open(&root).unwrap());
+        // Remove the data files (catalog entry survives) so every load
+        // takes the error path; followers must all observe an error
+        // rather than blocking on a flight that never completes.
+        fs::remove_dir_all(root.join("datasets/GONE")).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let repo = Arc::clone(&repo);
+                std::thread::spawn(move || repo.load("GONE").is_err())
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap(), "every load of the missing dataset errors");
+        }
+        assert!(
+            repo.inflight.lock().unwrap().is_empty(),
+            "failed flights must not leak in-flight entries"
+        );
         fs::remove_dir_all(&root).ok();
     }
 

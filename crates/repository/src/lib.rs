@@ -14,7 +14,7 @@ pub mod catalog;
 pub mod error;
 pub mod meta_index;
 
-pub use catalog::{CatalogEntry, MigrationReport, Repository};
+pub use catalog::{CatalogEntry, MigrationReport, MigrationSweep, Repository};
 pub use error::RepoError;
 pub use meta_index::{tokenize, MetaIndex, SampleRef};
 pub use nggc_formats::native_v2::StorageVersion;

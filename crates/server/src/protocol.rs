@@ -1,0 +1,256 @@
+//! The serve wire protocol: length-prefixed JSON frames.
+//!
+//! Each frame is a 4-byte big-endian length followed by that many bytes
+//! of JSON — the same framing discipline as the federation transport,
+//! kept deliberately simple so any language with a socket and a JSON
+//! parser can speak it. One request frame yields exactly one reply
+//! frame; requests on one connection are served in order.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame, to keep a garbled or hostile length
+/// prefix from provoking an unbounded allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// One client → server request.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum ClientRequest {
+    /// Run a GMQL query. Per-request limits are carved out of the
+    /// server-wide budgets; `None` inherits the server defaults.
+    Query {
+        /// GMQL source text.
+        text: String,
+        /// Wall-clock deadline for this query, in milliseconds.
+        timeout_ms: Option<u64>,
+        /// Memory budget for this query's governed intermediates, in
+        /// bytes. Reserved from the server-wide memory pool.
+        max_memory: Option<u64>,
+        /// Number of region rows to return per materialised output
+        /// (0 = summaries only).
+        head: usize,
+    },
+    /// Liveness probe; the reply reports current admission state, which
+    /// also makes server saturation observable to tests and clients.
+    Ping,
+    /// Server-level counters snapshot.
+    Stats,
+}
+
+/// One server → client reply.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum ServerReply {
+    /// A query completed.
+    Result {
+        /// Trace id assigned to this request (correlates with server
+        /// logs and flight-recorder dumps).
+        trace_id: u64,
+        /// Server-side execution wall time, microseconds.
+        elapsed_us: u64,
+        /// One summary per materialised output, in name order.
+        outputs: Vec<OutputSummary>,
+    },
+    /// A query failed; `kind` is machine-readable.
+    Error {
+        /// What went wrong.
+        kind: ServeErrorKind,
+        /// Human-readable detail.
+        message: String,
+        /// For capacity rejections: when it is worth trying again,
+        /// in milliseconds.
+        retry_after_ms: Option<u64>,
+    },
+    /// Reply to [`ClientRequest::Ping`].
+    Pong {
+        /// Queries currently executing.
+        inflight: u64,
+        /// Queries currently waiting in the admission queue.
+        queued: u64,
+    },
+    /// Reply to [`ClientRequest::Stats`].
+    Stats(ServeStats),
+}
+
+/// Machine-readable failure classes, mirroring the engine's typed
+/// errors plus the server-side capacity outcomes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// GMQL text failed to parse.
+    Parse,
+    /// The query compiled or executed with a non-resource error.
+    Runtime,
+    /// The query was cancelled (client or server shutdown).
+    Cancelled,
+    /// The per-query wall-clock deadline fired.
+    DeadlineExceeded,
+    /// The per-query memory budget rejected an allocation.
+    MemoryExhausted,
+    /// Admission control: in-flight cap and queue are both full.
+    /// `retry_after_ms` is set.
+    Rejected,
+    /// The server-wide memory pool could not cover the requested
+    /// budget. `retry_after_ms` is set.
+    PoolExhausted,
+    /// The server is draining and accepts no new queries.
+    ShuttingDown,
+    /// The request itself was malformed.
+    BadRequest,
+}
+
+/// Per-output result summary (region data stays server-side except for
+/// the requested `head` rows).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct OutputSummary {
+    /// Materialised variable name.
+    pub name: String,
+    /// Samples in the output dataset.
+    pub samples: usize,
+    /// Regions across all samples.
+    pub regions: usize,
+    /// Up to `head` rendered region rows
+    /// (`sample<TAB>chr<TAB>start<TAB>stop<TAB>strand<TAB>values`).
+    pub head: Vec<String>,
+}
+
+/// Server counters snapshot returned by [`ClientRequest::Stats`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ServeStats {
+    /// Queries currently executing.
+    pub inflight: u64,
+    /// Queries waiting in the admission queue.
+    pub queued: u64,
+    /// Query requests accepted since the server started.
+    pub requests: u64,
+    /// Query requests rejected by admission or the memory pool.
+    pub rejected: u64,
+    /// Bytes currently reserved from the server memory pool.
+    pub mem_reserved: u64,
+    /// Server memory pool capacity, bytes.
+    pub mem_capacity: u64,
+}
+
+/// Outcome of one timed read attempt (see [`read_frame_timed`]).
+pub enum FrameRead {
+    /// A whole frame arrived.
+    Frame(Vec<u8>),
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The read timed out before the first byte of a frame — the
+    /// connection is idle (mid-frame timeouts keep waiting instead, so
+    /// a slow writer never desyncs the stream).
+    Idle,
+}
+
+/// Serialize `value` as one frame onto `w`.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
+    let body = serde_json::to_vec(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if body.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Read one frame, treating a timeout before the first byte as
+/// [`FrameRead::Idle`]. Intended for sockets with a read timeout set:
+/// the serve loop polls for shutdown between idle reads.
+pub fn read_frame_timed(r: &mut impl Read) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(FrameRead::Eof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if timed_out(&e) => {
+                if got == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                // Mid-prefix: keep waiting so we never desync.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < body.len() {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if timed_out(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(body))
+}
+
+/// Blocking read of one frame; `None` on clean EOF. For clients, whose
+/// sockets have no read timeout.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    match read_frame_timed(r)? {
+        FrameRead::Frame(f) => Ok(Some(f)),
+        FrameRead::Eof => Ok(None),
+        FrameRead::Idle => unreachable!("no read timeout set on this stream"),
+    }
+}
+
+fn timed_out(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let req = ClientRequest::Query {
+            text: "MATERIALIZE R;".into(),
+            timeout_ms: Some(5_000),
+            max_memory: None,
+            head: 3,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        assert_eq!(buf.len(), 4 + u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize);
+        let mut cursor = io::Cursor::new(buf);
+        let body = read_frame(&mut cursor).unwrap().unwrap();
+        let back: ClientRequest = serde_json::from_slice(&body).unwrap();
+        assert_eq!(back, req);
+        // EOF after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        buf.extend_from_slice(b"garbage");
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"only a few bytes");
+        let err = read_frame(&mut io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,595 @@
+//! The serve loop: accept connections, admit queries, execute them on
+//! one shared engine, reply with typed results.
+//!
+//! One [`Server`] owns a shared [`Repository`] (so concurrent clients
+//! hit the same `Arc<Dataset>` cache and single-flight cold loads) and
+//! one [`ExecContext`] worker pool. Each connection gets a thread;
+//! each `Query` request passes the [`Admission`] gate, carves its
+//! governor budget out of the server [`MemoryPool`], and executes under
+//! its own [`QueryGovernor`] and trace id. Shutdown stops accepting,
+//! refuses new queries, drains in-flight ones, and cancels stragglers
+//! through their `CancelToken`s after a grace period.
+
+use crate::admission::{Admission, AdmitError, MemoryPool};
+use crate::protocol::{
+    read_frame_timed, write_frame, ClientRequest, FrameRead, OutputSummary, ServeErrorKind,
+    ServeStats, ServerReply,
+};
+use nggc_core::{
+    execute_governed, DatasetProvider, ExecOptions, GmqlError, GovernorLimits, LogicalPlan,
+    QueryGovernor,
+};
+use nggc_engine::{CancelToken, ExecContext};
+use nggc_gdm::Dataset;
+use nggc_repository::{RepoError, Repository};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How the serve loop paces its non-blocking accept poll.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Grace period after the drain timeout for cancelled queries to
+/// unwind cooperatively.
+const CANCEL_GRACE: Duration = Duration::from_secs(5);
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the shared execution pool.
+    pub workers: usize,
+    /// Queries allowed to execute concurrently.
+    pub max_inflight: u64,
+    /// Queries allowed to wait for a slot before rejection kicks in.
+    pub max_queue: u64,
+    /// Server-wide memory pool from which per-query governor budgets
+    /// are carved.
+    pub mem_pool_bytes: u64,
+    /// Deadline applied to queries that do not request their own.
+    pub default_timeout: Option<Duration>,
+    /// Back-off hint attached to capacity rejections.
+    pub retry_after: Duration,
+    /// How long shutdown waits for in-flight queries before cancelling
+    /// them.
+    pub drain_timeout: Duration,
+    /// Arm the flight recorder for requests slower than this.
+    pub slow_query: Option<Duration>,
+    /// Where flight records are appended (JSON lines).
+    pub flight_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_inflight: 8,
+            max_queue: 16,
+            mem_pool_bytes: 1 << 30,
+            default_timeout: None,
+            retry_after: Duration::from_millis(100),
+            drain_timeout: Duration::from_secs(10),
+            slow_query: None,
+            flight_path: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults with the flight recorder armed from the same
+    /// environment variables the CLI honours (`NGGC_SLOW_QUERY_MS`,
+    /// `NGGC_FLIGHT_RECORDER`).
+    pub fn from_env() -> Result<ServeConfig, String> {
+        let mut config = ServeConfig::default();
+        if let Ok(v) = std::env::var("NGGC_SLOW_QUERY_MS") {
+            let ms: u64 =
+                v.parse().map_err(|_| format!("NGGC_SLOW_QUERY_MS: not a number: {v:?}"))?;
+            config.slow_query = Some(Duration::from_millis(ms));
+        }
+        if let Ok(v) = std::env::var("NGGC_FLIGHT_RECORDER") {
+            config.flight_path = Some(PathBuf::from(v));
+        }
+        Ok(config)
+    }
+
+    /// The governor budget carved for a query that did not request one:
+    /// an even share of the pool across the in-flight cap, so a full
+    /// server of default queries exactly exhausts the pool.
+    pub fn default_query_budget(&self) -> u64 {
+        (self.mem_pool_bytes / self.max_inflight.max(1)).max(1)
+    }
+}
+
+/// Shared server state: one per [`Server`], referenced by every
+/// connection thread and by [`ServerHandle`]s.
+pub struct ServerShared {
+    repo: Repository,
+    ctx: ExecContext,
+    admission: Admission,
+    mem_pool: MemoryPool,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    /// Cancel tokens of currently executing queries, for
+    /// shutdown-after-drain-timeout cancellation.
+    active: Mutex<HashMap<u64, CancelToken>>,
+    next_request: AtomicU64,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    /// Span sink for the flight recorder (None when unarmed). Shared by
+    /// all requests; per-request dumps filter by trace id.
+    collector: Option<Arc<nggc_obs::MemorySubscriber>>,
+}
+
+/// Control handle for a running server: trigger shutdown, observe
+/// admission state. Cheap to clone.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: stop accepting connections, refuse new
+    /// queries, release queued waiters. In-flight queries keep running
+    /// until they finish or the drain timeout cancels them.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.admission.begin_shutdown();
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The admission gate (tests and maintenance tooling can pin
+    /// capacity through [`Admission::try_admit`]).
+    pub fn admission(&self) -> &Admission {
+        &self.shared.admission
+    }
+
+    /// The server memory pool.
+    pub fn memory_pool(&self) -> &MemoryPool {
+        &self.shared.mem_pool
+    }
+}
+
+/// A bound, not-yet-running query server. Call [`Server::run`] to
+/// serve; it returns after a [`ServerHandle::shutdown`] completes its
+/// drain.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and prepare shared state.
+    pub fn bind(addr: &str, repo: Repository, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let collector = if config.flight_path.is_some() || config.slow_query.is_some() {
+            let c = Arc::new(nggc_obs::MemorySubscriber::default());
+            nggc_obs::add_subscriber(c.clone());
+            Some(c)
+        } else {
+            None
+        };
+        let shared = Arc::new(ServerShared {
+            repo,
+            ctx: ExecContext::with_workers(config.workers),
+            admission: Admission::new(config.max_inflight, config.max_queue, config.retry_after),
+            mem_pool: MemoryPool::new(config.mem_pool_bytes),
+            config,
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            collector,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serve until shutdown, then drain and return. In-flight queries
+    /// get [`ServeConfig::drain_timeout`] to finish; stragglers are
+    /// cancelled through their governor tokens and given a further
+    /// grace period before the method returns anyway.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    nggc_obs::global().counter("nggc_serve_connections_total").inc();
+                    let shared = Arc::clone(&self.shared);
+                    let handle = std::thread::Builder::new()
+                        .name("nggc-serve-conn".into())
+                        .spawn(move || handle_connection(stream, shared))
+                        .expect("failed to spawn connection thread");
+                    conns.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: admission already refuses new work (the shutdown
+        // trigger flipped it); wait for in-flight queries, then cancel
+        // whatever is still running.
+        self.shared.admission.begin_shutdown();
+        if !self.shared.admission.await_drain(self.shared.config.drain_timeout) {
+            let active = self.shared.active.lock().unwrap_or_else(|p| p.into_inner());
+            for token in active.values() {
+                token.cancel();
+            }
+            drop(active);
+            self.shared.admission.await_drain(CANCEL_GRACE);
+        }
+        // Connection threads notice shutdown within one read poll.
+        for h in conns {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: a request/reply loop that exits on EOF, IO
+/// error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame_timed(&mut reader) {
+            Ok(FrameRead::Frame(f)) => f,
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match serde_json::from_slice::<ClientRequest>(&frame) {
+            Ok(ClientRequest::Query { text, timeout_ms, max_memory, head }) => {
+                // The admission permit and memory reservation live until
+                // this scope ends — i.e. until after the reply is
+                // written — so drain never completes while a client is
+                // still owed bytes.
+                let reply = run_query(&shared, &text, timeout_ms, max_memory, head);
+                if write_frame(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(ClientRequest::Ping) => ServerReply::Pong {
+                inflight: shared.admission.inflight(),
+                queued: shared.admission.queued(),
+            },
+            Ok(ClientRequest::Stats) => ServerReply::Stats(ServeStats {
+                inflight: shared.admission.inflight(),
+                queued: shared.admission.queued(),
+                requests: shared.requests.load(Ordering::Relaxed),
+                rejected: shared.rejected.load(Ordering::Relaxed),
+                mem_reserved: shared.mem_pool.reserved(),
+                mem_capacity: shared.mem_pool.capacity(),
+            }),
+            Err(e) => ServerReply::Error {
+                kind: ServeErrorKind::BadRequest,
+                message: format!("malformed request: {e}"),
+                retry_after_ms: None,
+            },
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// GMQL source provider for serve requests: shared-`Arc` loads from the
+/// server repository, pre-checked against the request's governor (same
+/// discipline as the CLI's `RepoProvider::governed`).
+struct ServeProvider<'a> {
+    repo: &'a Repository,
+    governor: &'a QueryGovernor,
+}
+
+impl DatasetProvider for ServeProvider<'_> {
+    fn load(&self, name: &str) -> Result<Dataset, GmqlError> {
+        self.load_shared(name).map(|d| (*d).clone())
+    }
+
+    fn load_shared(&self, name: &str) -> Result<Arc<Dataset>, GmqlError> {
+        let node = format!("LOAD {name}");
+        self.governor.check(&node)?;
+        if let Some(budget) = self.governor.remaining_memory() {
+            return match self.repo.load_bounded(name, budget) {
+                Ok(d) => Ok(d),
+                Err(RepoError::Budget { estimated, .. }) => {
+                    Err(self.governor.refuse_allocation(&node, estimated))
+                }
+                Err(e) => Err(GmqlError::runtime(e.to_string())),
+            };
+        }
+        self.repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
+    }
+}
+
+/// Admit, budget, execute, and summarise one query request.
+fn run_query(
+    shared: &ServerShared,
+    text: &str,
+    timeout_ms: Option<u64>,
+    max_memory: Option<u64>,
+    head: usize,
+) -> ServerReply {
+    let reg = nggc_obs::global();
+    reg.counter("nggc_serve_requests_total").inc();
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    let reject = |shared: &ServerShared, kind: ServeErrorKind, message: String| {
+        nggc_obs::global().counter("nggc_serve_rejected_total").inc();
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let retry = matches!(kind, ServeErrorKind::Rejected | ServeErrorKind::PoolExhausted)
+            .then(|| shared.admission.retry_after().as_millis() as u64);
+        ServerReply::Error { kind, message, retry_after_ms: retry }
+    };
+
+    // Gate 1: concurrency.
+    let _permit = match shared.admission.admit() {
+        Ok(p) => p,
+        Err(AdmitError::QueueFull) => {
+            return reject(
+                shared,
+                ServeErrorKind::Rejected,
+                "server at capacity: in-flight cap and queue are full".into(),
+            );
+        }
+        Err(AdmitError::ShuttingDown) => {
+            return reject(shared, ServeErrorKind::ShuttingDown, "server is draining".into());
+        }
+    };
+
+    // Gate 2: memory. Every query gets a budget carved from the server
+    // pool — its own request, or an even share of the pool.
+    let budget = max_memory.unwrap_or_else(|| shared.config.default_query_budget());
+    let _reservation = match shared.mem_pool.reserve(budget) {
+        Some(r) => r,
+        None => {
+            return reject(
+                shared,
+                ServeErrorKind::PoolExhausted,
+                format!(
+                    "memory pool exhausted: {budget} B requested, {} of {} B reserved",
+                    shared.mem_pool.reserved(),
+                    shared.mem_pool.capacity()
+                ),
+            );
+        }
+    };
+
+    // Every request is its own trace; spans below here carry its id.
+    let tc = nggc_obs::TraceContext::new();
+    let trace_id = tc.trace_id;
+    let _scope = tc.enter();
+    let mut span = nggc_obs::span("serve.request");
+    span.field("trace_id", trace_id).field("budget_bytes", budget);
+
+    let timeout = timeout_ms.map(Duration::from_millis).or(shared.config.default_timeout);
+    let governor = QueryGovernor::new(GovernorLimits { timeout, max_memory: Some(budget) });
+
+    // Register for shutdown cancellation while executing.
+    let request_id = shared.next_request.fetch_add(1, Ordering::Relaxed);
+    shared
+        .active
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(request_id, governor.cancel_token());
+    let _active_guard = ActiveGuard { shared, request_id };
+
+    let t0 = Instant::now();
+    let result = parse_and_execute(shared, text, &governor);
+    let elapsed = t0.elapsed();
+    reg.histogram("nggc_serve_request_ns").record_duration(elapsed);
+    governor.export_peak();
+
+    let (reply, outcome) = match result {
+        Ok(outputs) => {
+            let mut names: Vec<&String> = outputs.keys().collect();
+            names.sort();
+            let summaries = names.iter().map(|n| summarize(n, &outputs[*n], head)).collect();
+            let reply = ServerReply::Result {
+                trace_id,
+                elapsed_us: elapsed.as_micros() as u64,
+                outputs: summaries,
+            };
+            (reply, None)
+        }
+        Err((kind, message)) => {
+            let reply = ServerReply::Error { kind, message, retry_after_ms: None };
+            (reply, Some(kind))
+        }
+    };
+    span.field(
+        "outcome",
+        match outcome {
+            None => "ok",
+            Some(ServeErrorKind::DeadlineExceeded) => "deadline",
+            Some(ServeErrorKind::Cancelled) => "cancelled",
+            Some(ServeErrorKind::MemoryExhausted) => "memory",
+            Some(_) => "error",
+        },
+    );
+    drop(span);
+    maybe_record_flight(shared, text, trace_id, elapsed, outcome, &governor);
+    reply
+}
+
+/// Parse → compile → execute under the governor; errors are mapped to
+/// wire kinds.
+fn parse_and_execute(
+    shared: &ServerShared,
+    text: &str,
+    governor: &QueryGovernor,
+) -> Result<HashMap<String, Dataset>, (ServeErrorKind, String)> {
+    let statements = nggc_core::parse(text).map_err(|e| (ServeErrorKind::Parse, e.to_string()))?;
+    let plan = LogicalPlan::compile(&statements, &|name| shared.repo.schema_of(name))
+        .map_err(|e| (ServeErrorKind::Runtime, e.to_string()))?;
+    let provider = ServeProvider { repo: &shared.repo, governor };
+    let opts = ExecOptions::default();
+    match execute_governed(&plan, &provider, &shared.ctx, &opts, Some(governor)) {
+        Ok((outputs, _metrics)) => Ok(outputs),
+        Err(e) => {
+            let kind = match &e {
+                GmqlError::DeadlineExceeded { .. } => ServeErrorKind::DeadlineExceeded,
+                GmqlError::Cancelled { .. } => ServeErrorKind::Cancelled,
+                GmqlError::MemoryExhausted { .. } => ServeErrorKind::MemoryExhausted,
+                _ => ServeErrorKind::Runtime,
+            };
+            Err((kind, e.to_string()))
+        }
+    }
+}
+
+fn summarize(name: &str, ds: &Dataset, head: usize) -> OutputSummary {
+    let mut rows = Vec::new();
+    'outer: for s in &ds.samples {
+        for r in &s.regions {
+            if rows.len() >= head {
+                break 'outer;
+            }
+            rows.push(format!("{}\t{r}", s.name));
+        }
+    }
+    OutputSummary {
+        name: name.to_owned(),
+        samples: ds.sample_count(),
+        regions: ds.region_count(),
+        head: rows,
+    }
+}
+
+/// Removes this request's cancel token from the active table when the
+/// request ends, however it ends.
+struct ActiveGuard<'a> {
+    shared: &'a ServerShared,
+    request_id: u64,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.active.lock().unwrap_or_else(|p| p.into_inner()).remove(&self.request_id);
+    }
+}
+
+/// One JSON line in the serve flight-recorder dump.
+#[derive(Serialize)]
+struct ServeFlightRecord {
+    kind: String,
+    outcome: String,
+    query: String,
+    elapsed_us: u64,
+    trace_id: u64,
+    governor_charged_bytes: u64,
+    governor_peak_bytes: u64,
+    spans: Vec<FlightSpan>,
+}
+
+#[derive(Serialize)]
+struct FlightSpan {
+    name: String,
+    wall_us: u64,
+    fields: Vec<(String, String)>,
+}
+
+/// Dump this request's trace when the recorder is armed and the request
+/// was slow or tripped its governor.
+fn maybe_record_flight(
+    shared: &ServerShared,
+    query: &str,
+    trace_id: u64,
+    elapsed: Duration,
+    outcome: Option<ServeErrorKind>,
+    governor: &QueryGovernor,
+) {
+    let Some(path) = &shared.config.flight_path else {
+        return;
+    };
+    let tripped = matches!(
+        outcome,
+        Some(
+            ServeErrorKind::DeadlineExceeded
+                | ServeErrorKind::Cancelled
+                | ServeErrorKind::MemoryExhausted
+        )
+    );
+    let slow = shared.config.slow_query.is_some_and(|t| elapsed >= t);
+    if !tripped && !slow {
+        return;
+    }
+    let outcome_name = match outcome {
+        None => "slow",
+        Some(ServeErrorKind::DeadlineExceeded) => "deadline",
+        Some(ServeErrorKind::Cancelled) => "cancelled",
+        Some(ServeErrorKind::MemoryExhausted) => "memory",
+        Some(_) => "error",
+    };
+    // One subscriber serves every request; this request's spans are the
+    // ones stamped with its trace id.
+    let spans = shared
+        .collector
+        .as_ref()
+        .map(|c| {
+            c.records()
+                .into_iter()
+                .filter(|r| r.trace_id == trace_id)
+                .map(|r| FlightSpan {
+                    name: r.name,
+                    wall_us: r.wall.as_micros() as u64,
+                    fields: r.fields,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let record = ServeFlightRecord {
+        kind: "nggc_serve_flight_record".to_owned(),
+        outcome: outcome_name.to_owned(),
+        query: query.to_owned(),
+        elapsed_us: elapsed.as_micros() as u64,
+        trace_id,
+        governor_charged_bytes: governor.charged(),
+        governor_peak_bytes: governor.mem_peak(),
+        spans,
+    };
+    let Ok(line) = serde_json::to_string(&record) else {
+        return;
+    };
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+    nggc_obs::global().counter("nggc_serve_flight_records_total").inc();
+}

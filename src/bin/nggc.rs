@@ -27,6 +27,12 @@
 //!                                 while the selftest (or -e query) ran
 //!   search KEYWORDS [--ontology]  search sample metadata
 //!   export DATASET FILE.bed       export a dataset's regions as BED
+//!   serve [--addr HOST:PORT]      run the concurrent multi-client query service
+//!         [--workers N] [--max-inflight N] [--queue N] [--mem-pool SIZE]
+//!         [--timeout DUR] [--drain-timeout DUR]
+//!   client [--addr HOST:PORT]     talk to a running serve instance
+//!          (-e TEXT | FILE | --ping | --stats)
+//!          [--timeout DUR] [--max-memory SIZE] [--head K]
 //! ```
 //!
 //! `--profile` renders the span tree and top-k operator table described
@@ -149,12 +155,36 @@ mod sigint {
             })
             .ok();
     }
+
+    const SIGTERM: i32 = 15;
+
+    /// Serve-mode wiring: SIGINT **and** SIGTERM both trigger `on_stop`
+    /// once (graceful drain); a second signal aborts the process.
+    pub fn watch_shutdown(on_stop: impl FnOnce() + Send + 'static) {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+            signal(SIGTERM, on_sigint as *const () as usize);
+        }
+        std::thread::Builder::new()
+            .name("nggc-shutdown-watcher".into())
+            .spawn(move || loop {
+                if PENDING.load(Ordering::SeqCst) {
+                    on_stop();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            })
+            .ok();
+    }
 }
 
 #[cfg(not(unix))]
 mod sigint {
     /// No signal wiring off Unix; Ctrl-C falls back to process death.
     pub fn watch(_token: nggc::engine::CancelToken) {}
+
+    /// No graceful-drain signal off Unix either.
+    pub fn watch_shutdown(_on_stop: impl FnOnce() + Send + 'static) {}
 }
 
 fn main() -> ExitCode {
@@ -196,6 +226,8 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
         "stats" => cmd_stats(&repo_path, &rest).map_err(CliError::from),
         "search" => cmd_search(&repo_path, &rest).map_err(CliError::from),
         "export" => cmd_export(&repo_path, &rest).map_err(CliError::from),
+        "serve" => cmd_serve(&repo_path, &rest).map_err(CliError::from),
+        "client" => cmd_client(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -205,7 +237,7 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
 }
 
 fn usage() -> String {
-    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|migrate|query|stats|search|export|help> [args]\n\
+    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|migrate|query|stats|search|export|serve|client|help> [args]\n\
      run `nggc help` for details"
         .to_owned()
 }
@@ -299,11 +331,14 @@ fn cmd_list(repo_path: &Path) -> Result<(), String> {
 /// migrated; already-v2 datasets are recompacted in place.
 fn cmd_migrate(repo_path: &Path, args: &[String]) -> Result<(), String> {
     let mut repo = open(repo_path)?;
-    let reports = match args.first().map(|s| s.as_str()) {
-        None | Some("--all") => repo.migrate_all().map_err(|e| e.to_string())?,
-        Some(name) => vec![repo.migrate(name).map_err(|e| e.to_string())?],
+    let (reports, failed) = match args.first().map(|s| s.as_str()) {
+        None | Some("--all") => {
+            let sweep = repo.migrate_all();
+            (sweep.migrated, sweep.failed)
+        }
+        Some(name) => (vec![repo.migrate(name).map_err(|e| e.to_string())?], Vec::new()),
     };
-    if reports.is_empty() {
+    if reports.is_empty() && failed.is_empty() {
         println!("(empty repository — nothing to migrate)");
         return Ok(());
     }
@@ -320,6 +355,16 @@ fn cmd_migrate(repo_path: &Path, args: &[String]) -> Result<(), String> {
             r.bytes_before,
             r.bytes_after
         );
+    }
+    for (name, err) in &failed {
+        eprintln!("{name}  FAILED: {err}");
+    }
+    if !failed.is_empty() {
+        return Err(format!(
+            "{} of {} datasets failed to migrate (the rest completed)",
+            failed.len(),
+            reports.len() + failed.len()
+        ));
     }
     Ok(())
 }
@@ -1027,4 +1072,185 @@ fn cmd_export(repo_path: &Path, args: &[String]) -> Result<(), String> {
     std::fs::write(out, text).map_err(|e| format!("{out}: {e}"))?;
     println!("exported {} regions to {out}", ds.region_count());
     Ok(())
+}
+
+/// `nggc serve` — run the concurrent multi-client query service
+/// (docs/serving.md). Blocks until SIGINT/SIGTERM, then drains
+/// in-flight queries and exits 0.
+fn cmd_serve(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    use nggc::server::{ServeConfig, Server};
+
+    let mut addr = "127.0.0.1:7781".to_owned();
+    // Environment arms the flight recorder; flags override the rest.
+    let mut config = ServeConfig::from_env()?;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().ok_or("--addr requires HOST:PORT")?;
+            }
+            "--workers" => {
+                i += 1;
+                config.workers = args
+                    .get(i)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--workers requires a number")?;
+            }
+            "--max-inflight" => {
+                i += 1;
+                config.max_inflight = args
+                    .get(i)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("--max-inflight requires a number")?;
+            }
+            "--queue" => {
+                i += 1;
+                config.max_queue =
+                    args.get(i).and_then(|w| w.parse().ok()).ok_or("--queue requires a number")?;
+            }
+            "--mem-pool" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--mem-pool requires a size")?;
+                config.mem_pool_bytes =
+                    nggc::gmql::parse_bytes(raw).map_err(|e| format!("--mem-pool: {e}"))?;
+            }
+            "--timeout" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--timeout requires a duration")?;
+                config.default_timeout =
+                    Some(nggc::gmql::parse_duration(raw).map_err(|e| format!("--timeout: {e}"))?);
+            }
+            "--drain-timeout" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--drain-timeout requires a duration")?;
+                config.drain_timeout =
+                    nggc::gmql::parse_duration(raw).map_err(|e| format!("--drain-timeout: {e}"))?;
+            }
+            other => return Err(format!("serve: unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let repo = open(repo_path)?;
+    let datasets = repo.list().len();
+    let server = Server::bind(&addr, repo, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
+    sigint::watch_shutdown(move || handle.shutdown());
+    // Machine-parseable banner: tests and scripts read the bound
+    // address (which resolves `:0`) from this line.
+    println!("listening on {bound}");
+    println!("serving {datasets} datasets from {}", repo_path.display());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())?;
+    println!("drained; bye");
+    Ok(())
+}
+
+/// Exit code for retryable capacity rejections (EX_TEMPFAIL).
+const EXIT_RETRYABLE: u8 = 75;
+
+/// `nggc client` — one-shot client for a running `nggc serve`.
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    use nggc::server::{Client, ServeErrorKind, ServerReply};
+
+    let mut addr = "127.0.0.1:7781".to_owned();
+    let mut text: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_memory: Option<u64> = None;
+    let mut head = 5usize;
+    let mut ping = false;
+    let mut stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).cloned().ok_or("--addr requires HOST:PORT")?;
+            }
+            "-e" => {
+                i += 1;
+                text = Some(args.get(i).cloned().ok_or("-e requires query text")?);
+            }
+            "--timeout" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--timeout requires a duration")?;
+                let d = nggc::gmql::parse_duration(raw).map_err(|e| format!("--timeout: {e}"))?;
+                timeout_ms = Some(d.as_millis() as u64);
+            }
+            "--max-memory" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--max-memory requires a size")?;
+                max_memory =
+                    Some(nggc::gmql::parse_bytes(raw).map_err(|e| format!("--max-memory: {e}"))?);
+            }
+            "--head" => {
+                i += 1;
+                head =
+                    args.get(i).and_then(|w| w.parse().ok()).ok_or("--head requires a number")?;
+            }
+            "--ping" => ping = true,
+            "--stats" => stats = true,
+            file => {
+                text = Some(std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?);
+            }
+        }
+        i += 1;
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = if ping {
+        client.ping()
+    } else if stats {
+        client.stats()
+    } else {
+        let Some(query) = text else {
+            return Err("client requires -e TEXT, a query file, --ping, or --stats".into());
+        };
+        client.query(&query, timeout_ms, max_memory, head)
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
+    match reply {
+        ServerReply::Result { trace_id, elapsed_us, outputs } => {
+            for out in &outputs {
+                println!("== {} :: {} samples, {} regions ==", out.name, out.samples, out.regions);
+                for row in &out.head {
+                    println!("  {row}");
+                }
+            }
+            println!(
+                "({:.2?}, trace {trace_id:016x})",
+                std::time::Duration::from_micros(elapsed_us)
+            );
+            Ok(())
+        }
+        ServerReply::Error { kind, message, retry_after_ms } => {
+            let code = match kind {
+                ServeErrorKind::DeadlineExceeded => EXIT_DEADLINE,
+                ServeErrorKind::Cancelled => EXIT_CANCELLED,
+                ServeErrorKind::MemoryExhausted => EXIT_MEMORY,
+                ServeErrorKind::Rejected
+                | ServeErrorKind::PoolExhausted
+                | ServeErrorKind::ShuttingDown => EXIT_RETRYABLE,
+                _ => 1,
+            };
+            let mut message = format!("{kind:?}: {message}");
+            if let Some(ms) = retry_after_ms {
+                message.push_str(&format!(" (retry after {ms} ms)"));
+            }
+            Err(CliError { message, code })
+        }
+        ServerReply::Pong { inflight, queued } => {
+            println!("pong: {inflight} in flight, {queued} queued");
+            Ok(())
+        }
+        ServerReply::Stats(s) => {
+            println!("inflight      {}", s.inflight);
+            println!("queued        {}", s.queued);
+            println!("requests      {}", s.requests);
+            println!("rejected      {}", s.rejected);
+            println!("mem_reserved  {} / {} B", s.mem_reserved, s.mem_capacity);
+            Ok(())
+        }
+    }
 }

@@ -60,6 +60,7 @@ pub use nggc_obs as obs;
 pub use nggc_ontology as ontology;
 pub use nggc_repository as repository;
 pub use nggc_search as search;
+pub use nggc_server as server;
 pub use nggc_synth as synth;
 
 /// GMQL source provider backed by a [`repository::Repository`].

@@ -17,7 +17,11 @@ fn nggc() -> Command {
 }
 
 fn tmp_repo(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("nggc_golden_{tag}_{}", std::process::id()));
+    // Zero-pad the pid: `import` stamps each sample with an
+    // `imported_from` path, so the byte counts pinned by the analyze
+    // golden depend on the path *length*. A fixed-width pid keeps them
+    // deterministic across runs.
+    let dir = std::env::temp_dir().join(format!("nggc_golden_{tag}_{:08}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
     dir
 }
@@ -100,7 +104,9 @@ fn check_golden(name: &str, raw_json: &str, zero_all: bool, volatile: &[&str]) {
 
 fn seed_repo(tag: &str) -> PathBuf {
     let repo = tmp_repo(tag);
-    let dir = std::env::temp_dir().join(format!("nggc_golden_data_{tag}_{}", std::process::id()));
+    // Fixed-width pid, same reason as `tmp_repo`.
+    let dir =
+        std::env::temp_dir().join(format!("nggc_golden_data_{tag}_{:08}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let peaks = dir.join("peaks.bed");
     std::fs::write(

@@ -1,0 +1,331 @@
+//! Acceptance tests for `nggc serve` — the concurrent multi-client
+//! query service (docs/serving.md).
+//!
+//! Covers the ISSUE-7 acceptance criteria: ≥8 concurrent clients
+//! through admission, typed retry-after rejection above the in-flight
+//! cap, per-query governor budgets carved from the server-wide pool
+//! (one client trips its budget while the rest succeed), concurrent
+//! cold loads hitting disk exactly once, and SIGTERM draining the real
+//! binary to exit 0.
+
+#[path = "common/watchdog.rs"]
+mod watchdog;
+
+use nggc::gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, ValueType};
+use nggc::repository::Repository;
+use nggc::server::{Client, ServeConfig, ServeErrorKind, Server, ServerHandle, ServerReply};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+use watchdog::with_watchdog;
+
+/// Serve tests share the process-global metrics registry; serialize
+/// them so counter deltas stay attributable.
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nggc_serve_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn dataset(name: &str, regions: usize) -> Dataset {
+    let schema = Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap();
+    let mut ds = Dataset::new(name, schema);
+    let regions: Vec<GRegion> = (0..regions)
+        .map(|i| {
+            GRegion::new("chr1", (i * 100) as u64, (i * 100 + 50) as u64, Strand::Pos)
+                .with_values(vec![(i as f64).into()])
+        })
+        .collect();
+    ds.add_sample(
+        Sample::new("s1", name)
+            .with_regions(regions)
+            .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+    )
+    .unwrap();
+    ds
+}
+
+/// A repository on disk with one saved dataset, reopened cold.
+fn cold_repo(tag: &str, name: &str) -> (PathBuf, Repository) {
+    let root = tmp(tag);
+    {
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset(name, 64)).unwrap();
+    }
+    (root.clone(), Repository::open(&root).unwrap())
+}
+
+/// Start a server on an ephemeral port; returns its address, handle,
+/// and the `run()` thread (joined by the caller after shutdown).
+fn start(
+    repo: Repository,
+    config: ServeConfig,
+) -> (String, ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", repo, config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+#[test]
+fn eight_concurrent_clients_share_one_cold_load() {
+    let _guard = test_lock();
+    with_watchdog("eight_concurrent_clients", 60, || {
+        let (root, repo) = cold_repo("concurrent", "PEAKS");
+        let reg = nggc::obs::global();
+        let loads0 = reg.counter("nggc_repo_loads_total").get();
+        let (addr, handle, runner) = start(repo, ServeConfig::default());
+
+        const N: usize = 10;
+        let clients: Vec<_> = (0..N)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    client.query("R = SELECT() PEAKS; MATERIALIZE R;", None, None, 2).unwrap()
+                })
+            })
+            .collect();
+        for c in clients {
+            match c.join().unwrap() {
+                ServerReply::Result { outputs, trace_id, .. } => {
+                    assert!(trace_id != 0, "every request runs under a trace");
+                    assert_eq!(outputs.len(), 1);
+                    assert_eq!(outputs[0].samples, 1);
+                    assert_eq!(outputs[0].regions, 64);
+                    assert_eq!(outputs[0].head.len(), 2, "head rows as requested");
+                }
+                other => panic!("expected Result, got {other:?}"),
+            }
+        }
+        // All ten concurrent queries read PEAKS from disk exactly once:
+        // the single-flight leader loads, everyone else shares its Arc.
+        assert_eq!(
+            reg.counter("nggc_repo_loads_total").get() - loads0,
+            1,
+            "concurrent cold loads must hit disk exactly once"
+        );
+        assert!(reg.counter("nggc_serve_requests_total").get() >= N as u64);
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn admission_rejects_above_cap_with_retry_after() {
+    let _guard = test_lock();
+    with_watchdog("admission_rejects", 60, || {
+        let (root, repo) = cold_repo("admission", "ADM");
+        let config = ServeConfig {
+            max_inflight: 2,
+            max_queue: 0,
+            retry_after: Duration::from_millis(250),
+            ..ServeConfig::default()
+        };
+        let (addr, handle, runner) = start(repo, config);
+        let mut client = Client::connect(&addr).unwrap();
+
+        // Pin the whole in-flight capacity, as a saturated server would.
+        let held: Vec<_> = (0..2).map(|_| handle.admission().try_admit().unwrap()).collect();
+        match client.query("R = SELECT() ADM; MATERIALIZE R;", None, None, 0).unwrap() {
+            ServerReply::Error { kind, retry_after_ms, .. } => {
+                assert_eq!(kind, ServeErrorKind::Rejected);
+                assert_eq!(retry_after_ms, Some(250), "rejection carries the back-off hint");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Capacity returned: the same connection now succeeds.
+        drop(held);
+        match client.query("R = SELECT() ADM; MATERIALIZE R;", None, None, 0).unwrap() {
+            ServerReply::Result { .. } => {}
+            other => panic!("expected Result after capacity freed, got {other:?}"),
+        }
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn one_budget_trip_does_not_disturb_other_clients() {
+    let _guard = test_lock();
+    with_watchdog("budget_trip", 60, || {
+        let (root, repo) = cold_repo("budget", "BUD");
+        let (addr, handle, runner) = start(repo, ServeConfig::default());
+
+        // Eight concurrent clients: one with a 16-byte budget that no
+        // real dataset fits, seven unconstrained.
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    let budget = if i == 0 { Some(16) } else { None };
+                    client.query("R = SELECT() BUD; MATERIALIZE R;", None, budget, 0).unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<ServerReply> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        match &replies[0] {
+            ServerReply::Error { kind, .. } => {
+                assert_eq!(*kind, ServeErrorKind::MemoryExhausted, "16 B budget must trip");
+            }
+            other => panic!("expected MemoryExhausted for the starved client, got {other:?}"),
+        }
+        for reply in &replies[1..] {
+            assert!(
+                matches!(reply, ServerReply::Result { .. }),
+                "an unconstrained client was disturbed: {reply:?}"
+            );
+        }
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn budgets_carve_from_the_server_pool() {
+    let _guard = test_lock();
+    with_watchdog("pool_carve", 60, || {
+        let (root, repo) = cold_repo("pool", "POOL");
+        let config = ServeConfig { mem_pool_bytes: 1024, ..ServeConfig::default() };
+        let (addr, handle, runner) = start(repo, config);
+        let mut client = Client::connect(&addr).unwrap();
+
+        // A request whose budget exceeds the whole pool is refused as
+        // retryable before any execution.
+        match client.query("R = SELECT() POOL; MATERIALIZE R;", None, Some(4096), 0).unwrap() {
+            ServerReply::Error { kind, retry_after_ms, .. } => {
+                assert_eq!(kind, ServeErrorKind::PoolExhausted);
+                assert!(retry_after_ms.is_some());
+            }
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+        // Pin most of the pool; a fitting budget still passes the pool
+        // gate (and then trips its own tiny governor — proving the
+        // reservation, not the dataset, was the constraint above).
+        let reservation = handle.memory_pool().reserve(1000).unwrap();
+        match client.query("R = SELECT() POOL; MATERIALIZE R;", None, Some(24), 0).unwrap() {
+            ServerReply::Error { kind, .. } => assert_eq!(kind, ServeErrorKind::MemoryExhausted),
+            other => panic!("expected MemoryExhausted, got {other:?}"),
+        }
+        drop(reservation);
+        assert_eq!(handle.memory_pool().reserved(), 0, "reservations return on drop");
+
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn zero_deadline_trips_typed_deadline_error() {
+    let _guard = test_lock();
+    with_watchdog("deadline", 60, || {
+        let (root, repo) = cold_repo("deadline", "DL");
+        let (addr, handle, runner) = start(repo, ServeConfig::default());
+        let mut client = Client::connect(&addr).unwrap();
+        match client.query("R = SELECT() DL; MATERIALIZE R;", Some(0), None, 0).unwrap() {
+            ServerReply::Error { kind, .. } => assert_eq!(kind, ServeErrorKind::DeadlineExceeded),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn parse_errors_are_typed_not_fatal() {
+    let _guard = test_lock();
+    with_watchdog("parse_error", 60, || {
+        let (root, repo) = cold_repo("parse", "P");
+        let (addr, handle, runner) = start(repo, ServeConfig::default());
+        let mut client = Client::connect(&addr).unwrap();
+        match client.query("THIS IS NOT GMQL !!!", None, None, 0).unwrap() {
+            ServerReply::Error { kind, .. } => assert_eq!(kind, ServeErrorKind::Parse),
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        // The connection survives a bad query.
+        match client.query("R = SELECT() P; MATERIALIZE R;", None, None, 0).unwrap() {
+            ServerReply::Result { .. } => {}
+            other => panic!("expected Result, got {other:?}"),
+        }
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+#[test]
+fn shutdown_refuses_new_queries_and_run_returns() {
+    let _guard = test_lock();
+    with_watchdog("shutdown", 60, || {
+        let (root, repo) = cold_repo("shutdown", "SD");
+        let (addr, handle, runner) = start(repo, ServeConfig::default());
+        let mut client = Client::connect(&addr).unwrap();
+        match client.query("R = SELECT() SD; MATERIALIZE R;", None, None, 0).unwrap() {
+            ServerReply::Result { .. } => {}
+            other => panic!("expected Result, got {other:?}"),
+        }
+        handle.shutdown();
+        // run() drains and returns cleanly.
+        runner.join().unwrap().unwrap();
+        // The drained server no longer answers.
+        assert!(client.query("R = SELECT() SD; MATERIALIZE R;", None, None, 0).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
+
+/// SIGTERM against the real binary: banner parsed for the port, one
+/// query served, then a clean drain to exit 0 (the CI smoke contract).
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_the_real_binary_to_exit_zero() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let _guard = test_lock();
+    with_watchdog("sigterm", 120, || {
+        let root = tmp("sigterm_bin");
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("SIG", 16)).unwrap();
+        }
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nggc"))
+            .args(["--repo", root.to_str().unwrap(), "serve", "--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let stdout = child.stdout.take().unwrap();
+        let mut lines = BufReader::new(stdout).lines();
+        let banner = lines.next().unwrap().unwrap();
+        let addr = banner.strip_prefix("listening on ").unwrap_or_else(|| {
+            panic!("unexpected banner: {banner:?}");
+        });
+
+        let mut client = Client::connect(addr).unwrap();
+        match client.query("R = SELECT() SIG; MATERIALIZE R;", None, None, 1).unwrap() {
+            ServerReply::Result { outputs, .. } => assert_eq!(outputs[0].regions, 16),
+            other => panic!("expected Result, got {other:?}"),
+        }
+
+        let term = Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+        assert!(term.success(), "kill -TERM failed");
+        let status = child.wait().unwrap();
+        assert!(status.success(), "serve must drain and exit 0 on SIGTERM, got {status:?}");
+        std::fs::remove_dir_all(&root).ok();
+    });
+}
