@@ -1,0 +1,205 @@
+//! Canonical plan fingerprints for the query result cache.
+//!
+//! A fingerprint is a structural 64-bit hash of an **optimized**
+//! [`LogicalPlan`]: two queries that differ only in whitespace,
+//! comments, or intermediate variable names map to the same
+//! fingerprint, while any change to a predicate, clause, operator
+//! parameter, or input dataset identity changes it. Combined with the
+//! repository's per-dataset generation counters this keys the result
+//! cache (`docs/caching.md`).
+//!
+//! Stability: the hash is a hand-rolled FNV-1a over a canonical text
+//! encoding of the plan, so it is stable across processes and releases
+//! (unlike `std::collections::hash_map::DefaultHasher`, whose algorithm
+//! is unspecified). [`FINGERPRINT_VERSION`] is mixed in; bump it
+//! whenever the encoding changes so stale on-disk entries self-expire.
+
+use crate::plan::{LogicalPlan, PlanOp};
+
+/// Version tag mixed into every fingerprint. Bump on any change to the
+/// canonical encoding below.
+pub const FINGERPRINT_VERSION: u32 = 1;
+
+/// A canonical fingerprint of an optimized logical plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(pub u64);
+
+impl PlanFingerprint {
+    /// Fixed-width lowercase hex rendering (stable file/dir name).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl std::fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Compute the canonical fingerprint of a plan.
+///
+/// Call this on the *optimized* plan so logically-equal queries that
+/// the optimizer normalizes differently (fused SELECTs, deduplicated
+/// subtrees) still collide on purpose. The encoding covers, per node in
+/// topological order: the operator (including every predicate, clause,
+/// and parameter via its canonical `Debug` rendering — `Source` nodes
+/// contribute the dataset name, i.e. input identity) and the input node
+/// ids. Node *labels* (intermediate variable names) are deliberately
+/// excluded. The plan's outputs contribute both the node id and the
+/// output dataset name, because output names title the result the
+/// client receives.
+pub fn fingerprint(plan: &LogicalPlan) -> PlanFingerprint {
+    let mut h = Fnv::new();
+    h.write(&FINGERPRINT_VERSION.to_le_bytes());
+    h.write(&(plan.nodes.len() as u64).to_le_bytes());
+    for node in &plan.nodes {
+        match &node.op {
+            PlanOp::Source(name) => {
+                h.write(b"S:");
+                h.write(name.as_bytes());
+            }
+            PlanOp::Apply(op) => {
+                h.write(b"A:");
+                // `Operator` and everything it contains derive `Debug`
+                // with plain field syntax; the rendering is a canonical
+                // description of the operator's parameters and is
+                // independent of query-text spelling.
+                h.write(format!("{op:?}").as_bytes());
+            }
+        }
+        h.write(b"|in:");
+        for &input in &node.inputs {
+            h.write(&(input as u64).to_le_bytes());
+        }
+        h.write(b";");
+    }
+    h.write(b"|out:");
+    for (name, id) in &plan.outputs {
+        h.write(name.as_bytes());
+        h.write(b"=");
+        h.write(&(*id as u64).to_le_bytes());
+        h.write(b";");
+    }
+    PlanFingerprint(h.0)
+}
+
+/// Names of the source datasets a plan reads, deduplicated, in first-use
+/// order. The cache snapshots each source's repository generation under
+/// this list.
+pub fn source_datasets(plan: &LogicalPlan) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for node in &plan.nodes {
+        if let PlanOp::Source(name) = &node.op {
+            if !out.iter().any(|n| n == name) {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::parser::parse;
+    use nggc_gdm::{Attribute, Schema, ValueType};
+
+    fn catalog(name: &str) -> Option<Schema> {
+        match name {
+            "ENCODE" | "OTHER" => Some(
+                Schema::new(vec![
+                    Attribute::new("p_value", ValueType::Float),
+                    Attribute::new("name", ValueType::Str),
+                ])
+                .unwrap(),
+            ),
+            _ => None,
+        }
+    }
+
+    fn fp(query: &str) -> PlanFingerprint {
+        let plan = LogicalPlan::compile(&parse(query).unwrap(), &catalog).unwrap();
+        let (plan, _) = optimize(&plan);
+        fingerprint(&plan)
+    }
+
+    #[test]
+    fn whitespace_and_variable_names_do_not_matter() {
+        let a = fp("X = SELECT(region: p_value > 0.5) ENCODE; MATERIALIZE X INTO out;");
+        let b = fp("LONGNAME   =   SELECT(region: p_value > 0.5)   ENCODE ;\nMATERIALIZE LONGNAME INTO out;");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predicates_matter() {
+        let a = fp("X = SELECT(region: p_value > 0.5) ENCODE;");
+        let b = fp("X = SELECT(region: p_value > 0.6) ENCODE;");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn source_dataset_identity_matters() {
+        let a = fp("X = SELECT() ENCODE;");
+        let b = fp("X = SELECT() OTHER;");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_name_matters() {
+        // The output name titles the materialized result, so INTO
+        // renames produce distinct cache entries.
+        let a = fp("X = SELECT() ENCODE; MATERIALIZE X INTO a;");
+        let b = fp("X = SELECT() ENCODE; MATERIALIZE X INTO b;");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn optimizer_normalization_collides_on_purpose() {
+        // A chain of two SELECTs fuses into the same optimized plan as
+        // the single conjunctive SELECT, so both spellings share one
+        // cache entry.
+        let a = fp("X = SELECT(region: p_value > 0.5) ENCODE;\
+                    Y = SELECT(region: p_value < 0.9) X; MATERIALIZE Y INTO out;");
+        let b = fp(
+            "Y = SELECT(region: p_value > 0.5 AND p_value < 0.9) ENCODE; MATERIALIZE Y INTO out;",
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let a = fp("X = SELECT(region: p_value > 0.5) ENCODE;");
+        let b = fp("X = SELECT(region: p_value > 0.5) ENCODE;");
+        assert_eq!(a, b);
+        assert_eq!(a.to_hex().len(), 16);
+    }
+
+    #[test]
+    fn source_datasets_deduplicates_in_order() {
+        let plan = LogicalPlan::compile(
+            &parse("U = UNION() ENCODE OTHER; V = UNION() U ENCODE; MATERIALIZE V;").unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        assert_eq!(source_datasets(&plan), vec!["ENCODE".to_string(), "OTHER".to_string()]);
+    }
+}

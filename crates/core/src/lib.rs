@@ -27,6 +27,7 @@ pub mod aggregates;
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod governor;
 pub mod lexer;
 pub mod ops;
@@ -35,6 +36,7 @@ pub mod parser;
 pub mod plan;
 pub mod predicates;
 pub mod query;
+pub mod result_cache;
 
 pub use aggregates::{AggFunc, Aggregate};
 pub use ast::{
@@ -45,6 +47,7 @@ pub use error::GmqlError;
 pub use exec::{
     execute, execute_governed, execute_with_metrics, DatasetProvider, ExecOptions, NodeMetrics,
 };
+pub use fingerprint::{fingerprint, source_datasets, PlanFingerprint, FINGERPRINT_VERSION};
 pub use governor::{
     parse_bytes, parse_duration, GovernorLimits, QueryGovernor, ENV_MAX_MEMORY, ENV_TIMEOUT,
 };
@@ -55,3 +58,4 @@ pub use predicates::{BinOp, CmpOp, MetaPredicate, RegionExpr};
 pub use query::{
     run_with_provider, run_with_provider_governed, EstimatedOutput, GmqlEngine, QueryEstimate,
 };
+pub use result_cache::{CacheBudget, CacheOutcome, ResultCache, ResultCacheStats};

@@ -21,8 +21,14 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Datasets kept in the in-memory read cache (LRU eviction).
+/// Datasets kept in the in-memory read cache (count backstop for the
+/// byte-aware LRU eviction).
 const CACHE_CAPACITY: usize = 8;
+
+/// Encoded bytes the in-memory read cache may hold. The byte bound is
+/// the primary eviction criterion — a handful of huge datasets must not
+/// blow past any memory budget just because they fit the count cap.
+const CACHE_BYTE_CAPACITY: u64 = 256 << 20;
 
 /// One catalog entry.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -33,6 +39,11 @@ pub struct CatalogEntry {
     pub schema: Schema,
     /// Cardinality statistics at save time.
     pub stats: DatasetStats,
+    /// Monotonic per-dataset generation, bumped on every save (and thus
+    /// migrate). The query result cache keys entry validity on it.
+    /// Catalogs written before generations existed deserialize as 0.
+    #[serde(default)]
+    pub generation: u64,
 }
 
 /// An on-disk dataset repository with a small in-memory read cache.
@@ -58,6 +69,11 @@ pub struct Repository {
     /// for the same dataset wait on one leader's disk read instead of
     /// each reading and decoding the full dataset (cold-load stampede).
     inflight: Mutex<HashMap<String, Arc<LoadFlight>>>,
+    /// Next generation to assign on save. Monotonic across the whole
+    /// repository *and* across reopen/delete/recreate (persisted in
+    /// `generations.json`), so a deleted-then-recreated dataset never
+    /// reuses a generation a cached result might still reference.
+    next_generation: u64,
 }
 
 /// Rendezvous for one in-progress cold load. The leader fills
@@ -99,16 +115,36 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DatasetCache {
-    entries: BTreeMap<String, Arc<Dataset>>,
+    // Value: dataset plus the byte estimate it was charged at.
+    entries: BTreeMap<String, (Arc<Dataset>, u64)>,
     // LRU order: front = least recently used, back = most recent.
     order: VecDeque<String>,
+    bytes: u64,
+    max_entries: usize,
+    max_bytes: u64,
+}
+
+impl Default for DatasetCache {
+    fn default() -> DatasetCache {
+        DatasetCache::bounded(CACHE_CAPACITY, CACHE_BYTE_CAPACITY)
+    }
 }
 
 impl DatasetCache {
+    fn bounded(max_entries: usize, max_bytes: u64) -> DatasetCache {
+        DatasetCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            max_entries,
+            max_bytes,
+        }
+    }
+
     fn get(&mut self, name: &str) -> Option<Arc<Dataset>> {
-        let hit = self.entries.get(name).cloned();
+        let hit = self.entries.get(name).map(|(ds, _)| Arc::clone(ds));
         if hit.is_some() {
             self.touch(name);
         }
@@ -122,21 +158,43 @@ impl DatasetCache {
         self.order.push_back(name.to_owned());
     }
 
-    fn insert(&mut self, name: String, dataset: Arc<Dataset>) {
-        self.entries.insert(name.clone(), dataset);
+    /// Insert `dataset`, charged at `bytes` (the catalog's encoded-size
+    /// estimate), then evict LRU entries while either bound — bytes
+    /// first, entry count as a backstop — is exceeded. The newest entry
+    /// always stays resident, even when it alone exceeds `max_bytes`:
+    /// it is the one the caller is actively using, and evicting it
+    /// would only force an immediate reload.
+    fn insert(&mut self, name: String, dataset: Arc<Dataset>, bytes: u64) {
+        if let Some((_, old)) = self.entries.insert(name.clone(), (dataset, bytes)) {
+            self.bytes -= old;
+        }
+        self.bytes += bytes;
         self.touch(&name);
-        while self.entries.len() > CACHE_CAPACITY {
+        while self.entries.len() > 1
+            && (self.bytes > self.max_bytes || self.entries.len() > self.max_entries)
+        {
             if let Some(evicted) = self.order.pop_front() {
-                self.entries.remove(&evicted);
+                if let Some((_, b)) = self.entries.remove(&evicted) {
+                    self.bytes -= b;
+                }
+                nggc_obs::global().counter("nggc_repo_cache_evictions_total").inc();
             }
         }
     }
 
     fn invalidate(&mut self, name: &str) {
-        if self.entries.remove(name).is_some() {
+        if let Some((_, b)) = self.entries.remove(name) {
+            self.bytes -= b;
             self.order.retain(|n| n != name);
         }
     }
+}
+
+/// Persisted shape of `generations.json`: the next generation to hand
+/// out, flushed on every save so it survives reopen.
+#[derive(Debug, Serialize, Deserialize)]
+struct GenerationFile {
+    next: u64,
 }
 
 /// Total bytes of all files under `dir` (recursive).
@@ -200,17 +258,27 @@ impl Repository {
         let root = root.into();
         fs::create_dir_all(&root)?;
         let catalog_path = root.join("catalog.json");
-        let catalog = if catalog_path.exists() {
+        let catalog: BTreeMap<String, CatalogEntry> = if catalog_path.exists() {
             let text = fs::read_to_string(&catalog_path)?;
             serde_json::from_str(&text)?
         } else {
             BTreeMap::new()
         };
+        // The persisted high-water mark keeps generations monotonic
+        // across delete → reopen → recreate; a missing or unreadable
+        // file falls back to the catalog's own maximum.
+        let persisted_next = fs::read_to_string(root.join("generations.json"))
+            .ok()
+            .and_then(|text| serde_json::from_str::<GenerationFile>(&text).ok())
+            .map(|g| g.next)
+            .unwrap_or(0);
+        let catalog_next = catalog.values().map(|e| e.generation + 1).max().unwrap_or(1);
         Ok(Repository {
             root,
             catalog,
             cache: Mutex::new(DatasetCache::default()),
             inflight: Mutex::new(HashMap::new()),
+            next_generation: persisted_next.max(catalog_next).max(1),
         })
     }
 
@@ -252,16 +320,22 @@ impl Repository {
         // Any persisted metadata index is now stale; the cache gets the
         // fresh copy instead of going cold.
         fs::remove_file(self.root.join("meta_index.json")).ok();
-        self.cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(dataset.name.clone(), Arc::new(dataset.clone()));
+        let stats = dataset.stats();
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).insert(
+            dataset.name.clone(),
+            Arc::new(dataset.clone()),
+            stats.bytes as u64,
+        );
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.flush_generations()?;
         self.catalog.insert(
             dataset.name.clone(),
             CatalogEntry {
                 name: dataset.name.clone(),
                 schema: dataset.schema.clone(),
-                stats: dataset.stats(),
+                stats,
+                generation,
             },
         );
         let out = self.flush_catalog();
@@ -358,10 +432,15 @@ impl Repository {
         span.field("samples", dataset.sample_count())
             .field("regions", dataset.region_count())
             .field("format", version.name());
-        self.cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(name.to_owned(), dataset.clone());
+        // Charge the cache at the catalog's encoded-size estimate
+        // (recorded at save time) so eviction is byte-aware without an
+        // extra full walk of the regions just loaded.
+        let estimate = self.catalog.get(name).map(|e| e.stats.bytes as u64).unwrap_or(0);
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).insert(
+            name.to_owned(),
+            dataset.clone(),
+            estimate,
+        );
         guard.outcome = Some(Ok(dataset.clone()));
         Ok(dataset)
     }
@@ -459,6 +538,14 @@ impl Repository {
         self.catalog.contains_key(name)
     }
 
+    /// Current generation of a dataset, or `None` when it does not
+    /// exist. Every save (and thus migrate) bumps the generation;
+    /// deleting removes it; a recreated dataset gets a strictly higher
+    /// one. The query result cache validates entries against this.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.catalog.get(name).map(|e| e.generation)
+    }
+
     /// Build (or rebuild) the persistent metadata index over every
     /// dataset in the repository, writing it to `meta_index.json`. The
     /// index powers search without loading any region data afterwards.
@@ -492,6 +579,12 @@ impl Repository {
     fn flush_catalog(&self) -> Result<(), RepoError> {
         let text = serde_json::to_string_pretty(&self.catalog)?;
         fs::write(self.root.join("catalog.json"), text)?;
+        Ok(())
+    }
+
+    fn flush_generations(&self) -> Result<(), RepoError> {
+        let text = serde_json::to_string(&GenerationFile { next: self.next_generation })?;
+        fs::write(self.root.join("generations.json"), text)?;
         Ok(())
     }
 }
@@ -813,17 +906,89 @@ mod tests {
         let mut cache = DatasetCache::default();
         let mk = |n: &str| Arc::new(dataset(n));
         for i in 0..CACHE_CAPACITY {
-            cache.insert(format!("D{i}"), mk(&format!("D{i}")));
+            cache.insert(format!("D{i}"), mk(&format!("D{i}")), 100);
         }
         // Touch the oldest entry, then overflow: the second-oldest must
         // be the one evicted.
         assert!(cache.get("D0").is_some());
-        cache.insert("EXTRA".into(), mk("EXTRA"));
+        cache.insert("EXTRA".into(), mk("EXTRA"), 100);
         assert!(cache.get("D0").is_some(), "recently used survives");
         assert!(cache.get("D1").is_none(), "least recently used is evicted");
         assert!(cache.get("EXTRA").is_some());
         assert_eq!(cache.entries.len(), CACHE_CAPACITY);
         assert_eq!(cache.order.len(), CACHE_CAPACITY);
+        assert_eq!(cache.bytes, 100 * CACHE_CAPACITY as u64);
+    }
+
+    #[test]
+    fn eviction_is_byte_aware_with_count_backstop() {
+        // Byte budget for two small datasets; count cap far away. Three
+        // entries of 400 bytes each must not all stay resident.
+        let mut cache = DatasetCache::bounded(CACHE_CAPACITY, 1000);
+        let mk = |n: &str| Arc::new(dataset(n));
+        cache.insert("A".into(), mk("A"), 400);
+        cache.insert("B".into(), mk("B"), 400);
+        cache.insert("C".into(), mk("C"), 400);
+        assert!(cache.get("A").is_none(), "byte pressure evicts the LRU entry");
+        assert!(cache.get("B").is_some());
+        assert!(cache.get("C").is_some());
+        assert_eq!(cache.bytes, 800);
+        // Replacing an entry re-charges it instead of double counting.
+        cache.insert("C".into(), mk("C"), 500);
+        assert_eq!(cache.bytes, 900);
+        // A single dataset larger than the whole budget stays resident
+        // alone (evicting it would just force an immediate reload)…
+        cache.insert("HUGE".into(), mk("HUGE"), 5000);
+        assert!(cache.get("HUGE").is_some());
+        assert_eq!(cache.entries.len(), 1, "everything else is evicted");
+        assert_eq!(cache.bytes, 5000);
+        // …and is the first to go once anything newer arrives.
+        cache.insert("D".into(), mk("D"), 100);
+        assert!(cache.get("HUGE").is_none());
+        assert!(cache.get("D").is_some());
+        assert_eq!(cache.bytes, 100);
+    }
+
+    #[test]
+    fn generations_bump_on_save_and_vanish_on_delete() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        assert_eq!(repo.generation("G"), None);
+        repo.save(&dataset("G")).unwrap();
+        let g1 = repo.generation("G").unwrap();
+        assert!(g1 >= 1);
+        repo.save(&dataset("G")).unwrap();
+        let g2 = repo.generation("G").unwrap();
+        assert!(g2 > g1, "every save bumps the generation");
+        // Migrate goes through save and bumps too.
+        repo.migrate("G").unwrap();
+        assert!(repo.generation("G").unwrap() > g2);
+        repo.delete("G").unwrap();
+        assert_eq!(repo.generation("G"), None);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn generations_survive_reopen_and_never_reuse_after_recreate() {
+        let root = tmp();
+        let last = {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("R")).unwrap();
+            repo.save(&dataset("R")).unwrap();
+            let g = repo.generation("R").unwrap();
+            repo.delete("R").unwrap();
+            g
+        };
+        // Reopen after the delete: the catalog holds no generations at
+        // all, but the persisted high-water mark must still advance a
+        // recreated dataset past every generation ever handed out.
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("R")).unwrap();
+        assert!(
+            repo.generation("R").unwrap() > last,
+            "recreated dataset must not reuse generation {last}"
+        );
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -13,8 +13,10 @@
 pub mod catalog;
 pub mod error;
 pub mod meta_index;
+pub mod result_store;
 
 pub use catalog::{CatalogEntry, MigrationReport, MigrationSweep, Repository};
 pub use error::RepoError;
 pub use meta_index::{tokenize, MetaIndex, SampleRef};
 pub use nggc_formats::native_v2::StorageVersion;
+pub use result_store::ResultStore;

@@ -105,8 +105,18 @@ impl Admission {
         Ok(AdmissionPermit { admission: self })
     }
 
-    /// The back-off hint attached to rejections.
+    /// The back-off hint attached to rejections, scaled with current
+    /// load: the configured base when the queue is empty, growing
+    /// linearly with queue depth (capped at 16× base) so clients back
+    /// off proportionally under pressure instead of stampeding back in
+    /// lockstep after a fixed interval.
     pub fn retry_after(&self) -> Duration {
+        let queued = self.state.lock().unwrap_or_else(|p| p.into_inner()).queued;
+        self.retry_after * (1 + queued.min(15)) as u32
+    }
+
+    /// The configured base back-off hint, before load scaling.
+    pub fn retry_after_base(&self) -> Duration {
         self.retry_after
     }
 
@@ -118,6 +128,13 @@ impl Admission {
     /// Queries waiting for a slot.
     pub fn queued(&self) -> u64 {
         self.state.lock().unwrap_or_else(|p| p.into_inner()).queued
+    }
+
+    /// True once [`Admission::begin_shutdown`] has flipped the gate into
+    /// drain mode. Lets fast paths that bypass admission (result-cache
+    /// hits) still refuse new work during drain.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).shutting_down
     }
 
     /// Flip into drain mode: queued waiters are released with
@@ -181,11 +198,21 @@ impl MemoryPool {
     /// Carve `bytes` out of the pool, or `None` when the remaining
     /// capacity cannot cover it.
     pub fn reserve(&self, bytes: u64) -> Option<MemoryReservation<'_>> {
+        self.reserve_raw(bytes).then(|| MemoryReservation { pool: self, bytes })
+    }
+
+    /// Non-RAII [`MemoryPool::reserve`]: on success the caller owns
+    /// `bytes` and must return them with [`MemoryPool::release_raw`].
+    /// For holders whose lifetime is not a scope — e.g. the query
+    /// result cache, which releases when an entry is evicted.
+    pub fn reserve_raw(&self, bytes: u64) -> bool {
         let mut current = self.reserved.load(Ordering::Relaxed);
         loop {
-            let next = current.checked_add(bytes)?;
+            let Some(next) = current.checked_add(bytes) else {
+                return false;
+            };
             if next > self.capacity {
-                return None;
+                return false;
             }
             match self.reserved.compare_exchange_weak(
                 current,
@@ -195,11 +222,17 @@ impl MemoryPool {
             ) {
                 Ok(_) => {
                     nggc_obs::global().gauge("nggc_serve_mem_reserved").set(next as i64);
-                    return Some(MemoryReservation { pool: self, bytes });
+                    return true;
                 }
                 Err(seen) => current = seen,
             }
         }
+    }
+
+    /// Return `bytes` taken with [`MemoryPool::reserve_raw`].
+    pub fn release_raw(&self, bytes: u64) {
+        let left = self.reserved.fetch_sub(bytes, Ordering::AcqRel) - bytes;
+        nggc_obs::global().gauge("nggc_serve_mem_reserved").set(left as i64);
     }
 
     /// Total bytes the pool can hand out.
@@ -228,8 +261,7 @@ impl MemoryReservation<'_> {
 
 impl Drop for MemoryReservation<'_> {
     fn drop(&mut self) {
-        let left = self.pool.reserved.fetch_sub(self.bytes, Ordering::AcqRel) - self.bytes;
-        nggc_obs::global().gauge("nggc_serve_mem_reserved").set(left as i64);
+        self.pool.release_raw(self.bytes);
     }
 }
 
@@ -286,6 +318,42 @@ mod tests {
         assert!(!adm.await_drain(Duration::from_millis(10)));
         drop(held);
         assert!(adm.await_drain(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth() {
+        let base = Duration::from_millis(100);
+        let adm = Arc::new(Admission::new(1, 4, base));
+        // Empty queue: the hint is exactly the configured base.
+        assert_eq!(adm.retry_after(), base);
+        let held = adm.admit().unwrap();
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                std::thread::spawn(move || drop(adm.admit()))
+            })
+            .collect();
+        while adm.queued() < 3 {
+            std::thread::yield_now();
+        }
+        // Three queued: clients are told to back off 4× as long.
+        assert_eq!(adm.retry_after(), base * 4);
+        assert_eq!(adm.retry_after_base(), base);
+        drop(held);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(adm.retry_after(), base);
+    }
+
+    #[test]
+    fn raw_reservations_balance() {
+        let pool = MemoryPool::new(100);
+        assert!(pool.reserve_raw(60));
+        assert!(!pool.reserve_raw(50));
+        assert_eq!(pool.reserved(), 60);
+        pool.release_raw(60);
+        assert_eq!(pool.reserved(), 0);
     }
 
     #[test]

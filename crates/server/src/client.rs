@@ -47,7 +47,27 @@ impl Client {
         max_memory: Option<u64>,
         head: usize,
     ) -> io::Result<ServerReply> {
-        self.request(&ClientRequest::Query { text: text.to_owned(), timeout_ms, max_memory, head })
+        self.query_full(text, timeout_ms, max_memory, head, false)
+    }
+
+    /// [`Client::query`] with explicit control over the server result
+    /// cache: `no_cache` forces execution even when a cached result for
+    /// the same plan exists.
+    pub fn query_full(
+        &mut self,
+        text: &str,
+        timeout_ms: Option<u64>,
+        max_memory: Option<u64>,
+        head: usize,
+        no_cache: bool,
+    ) -> io::Result<ServerReply> {
+        self.request(&ClientRequest::Query {
+            text: text.to_owned(),
+            timeout_ms,
+            max_memory,
+            head,
+            no_cache,
+        })
     }
 
     /// Liveness probe.

@@ -29,6 +29,11 @@ pub enum ClientRequest {
         /// Number of region rows to return per materialised output
         /// (0 = summaries only).
         head: usize,
+        /// Bypass the server's query result cache: neither serve from
+        /// it nor populate it. Older clients omit the field (defaults
+        /// to `false`).
+        #[serde(default)]
+        no_cache: bool,
     },
     /// Liveness probe; the reply reports current admission state, which
     /// also makes server saturation observable to tests and clients.
@@ -49,6 +54,10 @@ pub enum ServerReply {
         elapsed_us: u64,
         /// One summary per materialised output, in name order.
         outputs: Vec<OutputSummary>,
+        /// Whether the result came from the server's query result
+        /// cache (hit or coalesced wait) rather than a fresh execution.
+        #[serde(default)]
+        cached: bool,
     },
     /// A query failed; `kind` is machine-readable.
     Error {
@@ -95,6 +104,9 @@ pub enum ServeErrorKind {
     ShuttingDown,
     /// The request itself was malformed.
     BadRequest,
+    /// The reply (even with head rows truncated) would exceed
+    /// [`MAX_FRAME_BYTES`]; retry with a smaller `head`.
+    ResponseTooLarge,
 }
 
 /// Per-output result summary (region data stays server-side except for
@@ -127,6 +139,31 @@ pub struct ServeStats {
     pub mem_reserved: u64,
     /// Server memory pool capacity, bytes.
     pub mem_capacity: u64,
+    /// Result-cache hits since the server started (0 when disabled).
+    #[serde(default)]
+    pub result_cache_hits: u64,
+    /// Result-cache misses (fresh executions) since start.
+    #[serde(default)]
+    pub result_cache_misses: u64,
+    /// Requests that waited on a concurrent identical execution and
+    /// shared its result.
+    #[serde(default)]
+    pub result_cache_coalesced: u64,
+    /// Entries evicted under byte/budget pressure.
+    #[serde(default)]
+    pub result_cache_evictions: u64,
+    /// Entries invalidated by a source-dataset generation change.
+    #[serde(default)]
+    pub result_cache_invalidations: u64,
+    /// Entries currently resident.
+    #[serde(default)]
+    pub result_cache_entries: u64,
+    /// Encoded bytes currently resident.
+    #[serde(default)]
+    pub result_cache_bytes: u64,
+    /// Configured result-cache capacity, bytes (0 = disabled).
+    #[serde(default)]
+    pub result_cache_capacity: u64,
 }
 
 /// Outcome of one timed read attempt (see [`read_frame_timed`]).
@@ -141,15 +178,44 @@ pub enum FrameRead {
     Idle,
 }
 
+/// Serialize `value` into a complete frame (length prefix + JSON body),
+/// or `Err(FrameTooLarge)` with the offending body size when it exceeds
+/// [`MAX_FRAME_BYTES`]. Encoding separately from writing lets the
+/// server turn an oversized reply into a typed in-band error instead of
+/// tearing down the connection mid-exchange.
+pub fn encode_frame<T: Serialize>(value: &T) -> Result<Vec<u8>, FrameTooLarge> {
+    let body = serde_json::to_vec(value)
+        .map_err(|e| FrameTooLarge { bytes: 0, serde_error: Some(e.to_string()) })?;
+    if body.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(FrameTooLarge { bytes: body.len() as u64, serde_error: None });
+    }
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Why [`encode_frame`] refused to produce a frame.
+#[derive(Debug)]
+pub struct FrameTooLarge {
+    /// Serialized body size that exceeded the cap (0 when the failure
+    /// was a serialization error rather than size).
+    pub bytes: u64,
+    /// Set when serialization itself failed.
+    pub serde_error: Option<String>,
+}
+
 /// Serialize `value` as one frame onto `w`.
 pub fn write_frame<T: Serialize>(w: &mut impl Write, value: &T) -> io::Result<()> {
-    let body = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    if body.len() as u64 > MAX_FRAME_BYTES as u64 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME_BYTES"));
-    }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(&body)?;
+    let frame = encode_frame(value).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            e.serde_error.unwrap_or_else(|| {
+                format!("frame of {} bytes exceeds cap {MAX_FRAME_BYTES}", e.bytes)
+            }),
+        )
+    })?;
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -224,6 +290,7 @@ mod tests {
             timeout_ms: Some(5_000),
             max_memory: None,
             head: 3,
+            no_cache: false,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req).unwrap();
@@ -234,6 +301,38 @@ mod tests {
         assert_eq!(back, req);
         // EOF after the frame.
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn pre_cache_requests_default_to_cached_queries() {
+        // A frame from a client built before `no_cache` existed must
+        // still parse (and opt into the cache).
+        let old =
+            r#"{"Query":{"text":"MATERIALIZE R;","timeout_ms":null,"max_memory":null,"head":0}}"#;
+        let back: ClientRequest = serde_json::from_str(old).unwrap();
+        assert!(matches!(back, ClientRequest::Query { no_cache: false, .. }));
+    }
+
+    #[test]
+    fn encode_frame_reports_oversize_instead_of_writing() {
+        let huge = ServerReply::Result {
+            trace_id: 1,
+            elapsed_us: 1,
+            outputs: vec![OutputSummary {
+                name: "R".into(),
+                samples: 1,
+                regions: 1,
+                head: vec!["x".repeat(MAX_FRAME_BYTES as usize + 16)],
+            }],
+            cached: false,
+        };
+        let err = encode_frame(&huge).unwrap_err();
+        assert!(err.serde_error.is_none());
+        assert!(err.bytes as u32 > MAX_FRAME_BYTES);
+        // write_frame surfaces the same condition as an io error.
+        let mut sink = Vec::new();
+        assert_eq!(write_frame(&mut sink, &huge).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "nothing is written for an oversized frame");
     }
 
     #[test]

@@ -12,12 +12,12 @@
 
 use crate::admission::{Admission, AdmitError, MemoryPool};
 use crate::protocol::{
-    read_frame_timed, write_frame, ClientRequest, FrameRead, OutputSummary, ServeErrorKind,
-    ServeStats, ServerReply,
+    encode_frame, read_frame_timed, write_frame, ClientRequest, FrameRead, OutputSummary,
+    ServeErrorKind, ServeStats, ServerReply, MAX_FRAME_BYTES,
 };
 use nggc_core::{
-    execute_governed, DatasetProvider, ExecOptions, GmqlError, GovernorLimits, LogicalPlan,
-    QueryGovernor,
+    execute_governed, CacheBudget, CacheOutcome, DatasetProvider, ExecOptions, GmqlError,
+    GovernorLimits, LogicalPlan, QueryGovernor, ResultCache,
 };
 use nggc_engine::{CancelToken, ExecContext};
 use nggc_gdm::Dataset;
@@ -66,6 +66,10 @@ pub struct ServeConfig {
     pub slow_query: Option<Duration>,
     /// Where flight records are appended (JSON lines).
     pub flight_path: Option<PathBuf>,
+    /// Byte budget of the query result cache (0 disables it). Cached
+    /// bytes are reserved lazily from the memory pool and yielded back
+    /// (by evicting entries) whenever queries need the headroom.
+    pub result_cache_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,7 @@ impl Default for ServeConfig {
             drain_timeout: Duration::from_secs(10),
             slow_query: None,
             flight_path: None,
+            result_cache_bytes: 128 << 20,
         }
     }
 }
@@ -115,7 +120,10 @@ pub struct ServerShared {
     repo: Repository,
     ctx: ExecContext,
     admission: Admission,
-    mem_pool: MemoryPool,
+    mem_pool: Arc<MemoryPool>,
+    /// Plan-keyed result cache shared by every connection; `None` when
+    /// disabled ([`ServeConfig::result_cache_bytes`] = 0).
+    result_cache: Option<ResultCache>,
     config: ServeConfig,
     shutdown: AtomicBool,
     /// Cancel tokens of currently executing queries, for
@@ -160,6 +168,27 @@ impl ServerHandle {
     pub fn memory_pool(&self) -> &MemoryPool {
         &self.shared.mem_pool
     }
+
+    /// The query result cache, when enabled.
+    pub fn result_cache(&self) -> Option<&ResultCache> {
+        self.shared.result_cache.as_ref()
+    }
+}
+
+/// [`CacheBudget`] adapter: cache bytes are carved from the server-wide
+/// memory pool with the raw (non-RAII) reservation API, so cached
+/// results and running queries compete for the same budget.
+struct PoolBudget {
+    pool: Arc<MemoryPool>,
+}
+
+impl CacheBudget for PoolBudget {
+    fn reserve(&self, bytes: u64) -> bool {
+        self.pool.reserve_raw(bytes)
+    }
+    fn release(&self, bytes: u64) {
+        self.pool.release_raw(bytes);
+    }
 }
 
 /// A bound, not-yet-running query server. Call [`Server::run`] to
@@ -181,11 +210,20 @@ impl Server {
         } else {
             None
         };
+        let mem_pool = Arc::new(MemoryPool::new(config.mem_pool_bytes));
+        let result_cache = (config.result_cache_bytes > 0).then(|| {
+            ResultCache::with_budget(
+                // The cache can never hold more than the pool anyway.
+                config.result_cache_bytes.min(config.mem_pool_bytes),
+                Arc::new(PoolBudget { pool: Arc::clone(&mem_pool) }),
+            )
+        });
         let shared = Arc::new(ServerShared {
             repo,
             ctx: ExecContext::with_workers(config.workers),
             admission: Admission::new(config.max_inflight, config.max_queue, config.retry_after),
-            mem_pool: MemoryPool::new(config.mem_pool_bytes),
+            mem_pool,
+            result_cache,
             config,
             shutdown: AtomicBool::new(false),
             active: Mutex::new(HashMap::new()),
@@ -275,13 +313,13 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             }
         };
         let reply = match serde_json::from_slice::<ClientRequest>(&frame) {
-            Ok(ClientRequest::Query { text, timeout_ms, max_memory, head }) => {
+            Ok(ClientRequest::Query { text, timeout_ms, max_memory, head, no_cache }) => {
                 // The admission permit and memory reservation live until
                 // this scope ends — i.e. until after the reply is
                 // written — so drain never completes while a client is
                 // still owed bytes.
-                let reply = run_query(&shared, &text, timeout_ms, max_memory, head);
-                if write_frame(&mut writer, &reply).is_err() {
+                let reply = run_query(&shared, &text, timeout_ms, max_memory, head, no_cache);
+                if send_reply(&mut writer, reply).is_err() {
                     return;
                 }
                 continue;
@@ -290,14 +328,26 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
                 inflight: shared.admission.inflight(),
                 queued: shared.admission.queued(),
             },
-            Ok(ClientRequest::Stats) => ServerReply::Stats(ServeStats {
-                inflight: shared.admission.inflight(),
-                queued: shared.admission.queued(),
-                requests: shared.requests.load(Ordering::Relaxed),
-                rejected: shared.rejected.load(Ordering::Relaxed),
-                mem_reserved: shared.mem_pool.reserved(),
-                mem_capacity: shared.mem_pool.capacity(),
-            }),
+            Ok(ClientRequest::Stats) => {
+                let cache = shared.result_cache.as_ref();
+                let cs = cache.map(|c| c.stats()).unwrap_or_default();
+                ServerReply::Stats(ServeStats {
+                    inflight: shared.admission.inflight(),
+                    queued: shared.admission.queued(),
+                    requests: shared.requests.load(Ordering::Relaxed),
+                    rejected: shared.rejected.load(Ordering::Relaxed),
+                    mem_reserved: shared.mem_pool.reserved(),
+                    mem_capacity: shared.mem_pool.capacity(),
+                    result_cache_hits: cs.hits,
+                    result_cache_misses: cs.misses,
+                    result_cache_coalesced: cs.coalesced,
+                    result_cache_evictions: cs.evictions,
+                    result_cache_invalidations: cs.invalidations,
+                    result_cache_entries: cs.entries,
+                    result_cache_bytes: cs.bytes,
+                    result_cache_capacity: cache.map(|c| c.capacity_bytes()).unwrap_or(0),
+                })
+            }
             Err(e) => ServerReply::Error {
                 kind: ServeErrorKind::BadRequest,
                 message: format!("malformed request: {e}"),
@@ -308,6 +358,45 @@ fn handle_connection(stream: TcpStream, shared: Arc<ServerShared>) {
             return;
         }
     }
+}
+
+/// Write one reply frame. An oversized reply — a `Result` whose head
+/// rows outgrow [`MAX_FRAME_BYTES`] — degrades into a typed in-band
+/// [`ServeErrorKind::ResponseTooLarge`] with the head rows truncated
+/// away, so the client keeps a live socket and a real diagnosis instead
+/// of a torn-down connection mid-exchange.
+fn send_reply(writer: &mut (impl io::Write + ?Sized), reply: ServerReply) -> io::Result<()> {
+    let frame = match encode_frame(&reply) {
+        Ok(f) => f,
+        Err(too_large) => {
+            nggc_obs::global().counter("nggc_serve_oversized_replies_total").inc();
+            let detail = match &reply {
+                ServerReply::Result { outputs, .. } => {
+                    let regions: usize = outputs.iter().map(|o| o.regions).sum();
+                    format!(
+                        "{} outputs totalling {} regions (head rows omitted)",
+                        outputs.len(),
+                        regions
+                    )
+                }
+                _ => "reply omitted".to_owned(),
+            };
+            let fallback = ServerReply::Error {
+                kind: ServeErrorKind::ResponseTooLarge,
+                message: format!(
+                    "reply of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap; {detail} — \
+                     retry with a smaller head",
+                    too_large.bytes
+                ),
+                retry_after_ms: None,
+            };
+            encode_frame(&fallback).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "fallback reply oversized")
+            })?
+        }
+    };
+    writer.write_all(&frame)?;
+    writer.flush()
 }
 
 /// GMQL source provider for serve requests: shared-`Arc` loads from the
@@ -339,48 +428,162 @@ impl DatasetProvider for ServeProvider<'_> {
     }
 }
 
-/// Admit, budget, execute, and summarise one query request.
+/// Admit, budget, execute (or answer from the result cache), and
+/// summarise one query request.
+///
+/// Parse → compile → optimize happen before the cache is consulted so
+/// the cache key is the canonical fingerprint of the *optimized* plan:
+/// two spellings of the same query collide on purpose. Hits and
+/// coalesced waits skip admission and the memory pool entirely — the
+/// whole point of the cache — but never during drain.
 fn run_query(
     shared: &ServerShared,
     text: &str,
     timeout_ms: Option<u64>,
     max_memory: Option<u64>,
     head: usize,
+    no_cache: bool,
 ) -> ServerReply {
     let reg = nggc_obs::global();
     reg.counter("nggc_serve_requests_total").inc();
     shared.requests.fetch_add(1, Ordering::Relaxed);
 
-    let reject = |shared: &ServerShared, kind: ServeErrorKind, message: String| {
-        nggc_obs::global().counter("nggc_serve_rejected_total").inc();
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
-        let retry = matches!(kind, ServeErrorKind::Rejected | ServeErrorKind::PoolExhausted)
-            .then(|| shared.admission.retry_after().as_millis() as u64);
-        ServerReply::Error { kind, message, retry_after_ms: retry }
+    // A draining server refuses new work before the cache gets a say.
+    if shared.admission.is_shutting_down() {
+        return reject(shared, ServeErrorKind::ShuttingDown, "server is draining".into());
+    }
+
+    let statements = match nggc_core::parse(text) {
+        Ok(s) => s,
+        Err(e) => {
+            return ServerReply::Error {
+                kind: ServeErrorKind::Parse,
+                message: e.to_string(),
+                retry_after_ms: None,
+            };
+        }
     };
+    let plan = match LogicalPlan::compile(&statements, &|name| shared.repo.schema_of(name)) {
+        Ok(p) => p,
+        Err(e) => {
+            return ServerReply::Error {
+                kind: ServeErrorKind::Runtime,
+                message: e.to_string(),
+                retry_after_ms: None,
+            };
+        }
+    };
+    // Optimize here (execution below runs with `optimize: false`) and
+    // mirror the counters exec.rs would have bumped, so `stats` output
+    // is identical whichever side ran the optimizer.
+    let (plan, report) = nggc_core::optimize(&plan);
+    reg.counter("nggc_exec_optimizer_selects_fused_total").add(report.selects_fused as u64);
+    reg.counter("nggc_exec_optimizer_nodes_deduplicated_total")
+        .add(report.nodes_deduplicated as u64);
+
+    let cache = if no_cache { None } else { shared.result_cache.as_ref() };
+    let Some(cache) = cache else {
+        return match execute_admitted(shared, text, &plan, timeout_ms, max_memory) {
+            Ok(done) => result_reply(&done.outputs, head, done.trace_id, done.elapsed, false),
+            Err(reply) => reply,
+        };
+    };
+
+    let key = nggc_core::fingerprint(&plan).0;
+    let sources = nggc_core::source_datasets(&plan);
+    let t0 = Instant::now();
+    // The leader's identity (trace id, wall time) escapes the closure so
+    // a Miss replies with the execution's own trace, not a synthetic one.
+    let mut leader: Option<(u64, Duration)> = None;
+    let computed =
+        cache.get_or_compute(key, &sources, &|name| shared.repo.generation(name), &mut || {
+            execute_admitted(shared, text, &plan, timeout_ms, max_memory).map(|done| {
+                leader = Some((done.trace_id, done.elapsed));
+                done.outputs
+            })
+        });
+    match computed {
+        Ok((outputs, outcome)) => {
+            let (trace_id, elapsed, cached) = match (outcome, leader) {
+                (CacheOutcome::Miss, Some((trace_id, elapsed))) => (trace_id, elapsed, false),
+                _ => {
+                    // Hit or coalesced: no execution ran on behalf of
+                    // this request. Give the reply its own trace id and
+                    // record the (cheap) lookup as the request time.
+                    let elapsed = t0.elapsed();
+                    let tc = nggc_obs::TraceContext::new();
+                    let trace_id = tc.trace_id;
+                    let _scope = tc.enter();
+                    let mut span = nggc_obs::span("serve.request");
+                    span.field("trace_id", trace_id).field("outcome", outcome.name());
+                    reg.histogram("nggc_serve_request_ns").record_duration(elapsed);
+                    (trace_id, elapsed, true)
+                }
+            };
+            result_reply(&outputs, head, trace_id, elapsed, cached)
+        }
+        Err(reply) => reply,
+    }
+}
+
+/// Typed reject: counts, stamps a load-scaled back-off hint on the
+/// kinds a client should retry, and builds the error reply.
+fn reject(shared: &ServerShared, kind: ServeErrorKind, message: String) -> ServerReply {
+    nggc_obs::global().counter("nggc_serve_rejected_total").inc();
+    shared.rejected.fetch_add(1, Ordering::Relaxed);
+    let retry = matches!(kind, ServeErrorKind::Rejected | ServeErrorKind::PoolExhausted)
+        .then(|| shared.admission.retry_after().as_millis() as u64);
+    ServerReply::Error { kind, message, retry_after_ms: retry }
+}
+
+/// A query that actually executed (cache miss or cache bypass).
+struct ExecutedQuery {
+    outputs: HashMap<String, Dataset>,
+    trace_id: u64,
+    elapsed: Duration,
+}
+
+/// The admitted execution path: concurrency gate → memory gate (with
+/// the result cache yielding bytes back to the pool under pressure) →
+/// governed execution of an already-optimized plan. Errors come back as
+/// ready-to-send replies.
+fn execute_admitted(
+    shared: &ServerShared,
+    text: &str,
+    plan: &LogicalPlan,
+    timeout_ms: Option<u64>,
+    max_memory: Option<u64>,
+) -> Result<ExecutedQuery, ServerReply> {
+    let reg = nggc_obs::global();
 
     // Gate 1: concurrency.
     let _permit = match shared.admission.admit() {
         Ok(p) => p,
         Err(AdmitError::QueueFull) => {
-            return reject(
+            return Err(reject(
                 shared,
                 ServeErrorKind::Rejected,
                 "server at capacity: in-flight cap and queue are full".into(),
-            );
+            ));
         }
         Err(AdmitError::ShuttingDown) => {
-            return reject(shared, ServeErrorKind::ShuttingDown, "server is draining".into());
+            return Err(reject(shared, ServeErrorKind::ShuttingDown, "server is draining".into()));
         }
     };
 
     // Gate 2: memory. Every query gets a budget carved from the server
-    // pool — its own request, or an even share of the pool.
+    // pool — its own request, or an even share of the pool. Queries
+    // outrank cached results: on pressure the cache is shrunk by the
+    // missing amount and the reservation retried once.
     let budget = max_memory.unwrap_or_else(|| shared.config.default_query_budget());
-    let _reservation = match shared.mem_pool.reserve(budget) {
+    let reservation = shared.mem_pool.reserve(budget).or_else(|| {
+        let cache = shared.result_cache.as_ref()?;
+        (cache.shrink(budget) > 0).then(|| shared.mem_pool.reserve(budget)).flatten()
+    });
+    let _reservation = match reservation {
         Some(r) => r,
         None => {
-            return reject(
+            return Err(reject(
                 shared,
                 ServeErrorKind::PoolExhausted,
                 format!(
@@ -388,11 +591,11 @@ fn run_query(
                     shared.mem_pool.reserved(),
                     shared.mem_pool.capacity()
                 ),
-            );
+            ));
         }
     };
 
-    // Every request is its own trace; spans below here carry its id.
+    // Every executed request is its own trace; spans below carry its id.
     let tc = nggc_obs::TraceContext::new();
     let trace_id = tc.trace_id;
     let _scope = tc.enter();
@@ -412,26 +615,25 @@ fn run_query(
     let _active_guard = ActiveGuard { shared, request_id };
 
     let t0 = Instant::now();
-    let result = parse_and_execute(shared, text, &governor);
+    let provider = ServeProvider { repo: &shared.repo, governor: &governor };
+    // The plan was optimized (and its counters mirrored) in run_query.
+    let opts = ExecOptions { optimize: false, ..ExecOptions::default() };
+    let result = execute_governed(plan, &provider, &shared.ctx, &opts, Some(&governor));
     let elapsed = t0.elapsed();
     reg.histogram("nggc_serve_request_ns").record_duration(elapsed);
     governor.export_peak();
 
-    let (reply, outcome) = match result {
-        Ok(outputs) => {
-            let mut names: Vec<&String> = outputs.keys().collect();
-            names.sort();
-            let summaries = names.iter().map(|n| summarize(n, &outputs[*n], head)).collect();
-            let reply = ServerReply::Result {
-                trace_id,
-                elapsed_us: elapsed.as_micros() as u64,
-                outputs: summaries,
+    let (result, outcome) = match result {
+        Ok((outputs, _metrics)) => (Ok(ExecutedQuery { outputs, trace_id, elapsed }), None),
+        Err(e) => {
+            let kind = match &e {
+                GmqlError::DeadlineExceeded { .. } => ServeErrorKind::DeadlineExceeded,
+                GmqlError::Cancelled { .. } => ServeErrorKind::Cancelled,
+                GmqlError::MemoryExhausted { .. } => ServeErrorKind::MemoryExhausted,
+                _ => ServeErrorKind::Runtime,
             };
-            (reply, None)
-        }
-        Err((kind, message)) => {
-            let reply = ServerReply::Error { kind, message, retry_after_ms: None };
-            (reply, Some(kind))
+            let reply = ServerReply::Error { kind, message: e.to_string(), retry_after_ms: None };
+            (Err(reply), Some(kind))
         }
     };
     span.field(
@@ -446,32 +648,25 @@ fn run_query(
     );
     drop(span);
     maybe_record_flight(shared, text, trace_id, elapsed, outcome, &governor);
-    reply
+    result
 }
 
-/// Parse → compile → execute under the governor; errors are mapped to
-/// wire kinds.
-fn parse_and_execute(
-    shared: &ServerShared,
-    text: &str,
-    governor: &QueryGovernor,
-) -> Result<HashMap<String, Dataset>, (ServeErrorKind, String)> {
-    let statements = nggc_core::parse(text).map_err(|e| (ServeErrorKind::Parse, e.to_string()))?;
-    let plan = LogicalPlan::compile(&statements, &|name| shared.repo.schema_of(name))
-        .map_err(|e| (ServeErrorKind::Runtime, e.to_string()))?;
-    let provider = ServeProvider { repo: &shared.repo, governor };
-    let opts = ExecOptions::default();
-    match execute_governed(&plan, &provider, &shared.ctx, &opts, Some(governor)) {
-        Ok((outputs, _metrics)) => Ok(outputs),
-        Err(e) => {
-            let kind = match &e {
-                GmqlError::DeadlineExceeded { .. } => ServeErrorKind::DeadlineExceeded,
-                GmqlError::Cancelled { .. } => ServeErrorKind::Cancelled,
-                GmqlError::MemoryExhausted { .. } => ServeErrorKind::MemoryExhausted,
-                _ => ServeErrorKind::Runtime,
-            };
-            Err((kind, e.to_string()))
-        }
+/// Build the `Result` reply: outputs sorted by name, head rows bounded
+/// by the request.
+fn result_reply(
+    outputs: &HashMap<String, Dataset>,
+    head: usize,
+    trace_id: u64,
+    elapsed: Duration,
+    cached: bool,
+) -> ServerReply {
+    let mut names: Vec<&String> = outputs.keys().collect();
+    names.sort();
+    ServerReply::Result {
+        trace_id,
+        elapsed_us: elapsed.as_micros() as u64,
+        outputs: names.iter().map(|n| summarize(n, &outputs[*n], head)).collect(),
+        cached,
     }
 }
 
@@ -592,4 +787,43 @@ fn maybe_record_flight(
         let _ = writeln!(f, "{line}");
     }
     nggc_obs::global().counter("nggc_serve_flight_records_total").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::read_frame;
+
+    #[test]
+    fn oversized_reply_degrades_to_typed_error_on_a_live_connection() {
+        // A Result whose head rows outgrow the frame cap must reach the
+        // client as a well-formed ResponseTooLarge error frame — not
+        // tear down the socket mid-exchange.
+        let huge = ServerReply::Result {
+            trace_id: 7,
+            elapsed_us: 1,
+            outputs: vec![crate::protocol::OutputSummary {
+                name: "R".into(),
+                samples: 3,
+                regions: 9,
+                head: vec!["x".repeat(MAX_FRAME_BYTES as usize + 1)],
+            }],
+            cached: false,
+        };
+        let mut wire = Vec::new();
+        send_reply(&mut wire, huge).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let body = read_frame(&mut cursor).unwrap().unwrap();
+        match serde_json::from_slice::<ServerReply>(&body).unwrap() {
+            ServerReply::Error { kind, message, retry_after_ms } => {
+                assert_eq!(kind, ServeErrorKind::ResponseTooLarge);
+                assert!(message.contains("smaller head"), "actionable hint: {message}");
+                assert!(message.contains("9 regions"), "summary survives: {message}");
+                assert_eq!(retry_after_ms, None);
+            }
+            other => panic!("expected ResponseTooLarge, got {other:?}"),
+        }
+        // Nothing left on the wire: exactly one frame was written.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
 }

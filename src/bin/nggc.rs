@@ -19,6 +19,7 @@
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
 //!         [--save] [--workers N] [--explain] [--explain-analyze [--json]]
 //!         [--head K] [--profile] [--timeout DUR] [--max-memory BYTES]
+//!         [--no-cache]            bypass the on-disk query result cache
 //!   stats [--json]                dump the metrics registry (Prometheus text or JSON)
 //!         [-e TEXT]               optionally run a query first so the registry is warm
 //!         [--fed-selftest]        exercise a faulty 3-node federation first so the
@@ -29,10 +30,10 @@
 //!   export DATASET FILE.bed       export a dataset's regions as BED
 //!   serve [--addr HOST:PORT]      run the concurrent multi-client query service
 //!         [--workers N] [--max-inflight N] [--queue N] [--mem-pool SIZE]
-//!         [--timeout DUR] [--drain-timeout DUR]
+//!         [--timeout DUR] [--drain-timeout DUR] [--result-cache SIZE]
 //!   client [--addr HOST:PORT]     talk to a running serve instance
 //!          (-e TEXT | FILE | --ping | --stats)
-//!          [--timeout DUR] [--max-memory SIZE] [--head K]
+//!          [--timeout DUR] [--max-memory SIZE] [--head K] [--no-cache]
 //! ```
 //!
 //! `--profile` renders the span tree and top-k operator table described
@@ -583,6 +584,15 @@ impl FlightRecorder {
     }
 }
 
+/// Byte budget of the on-disk CLI result cache (`<repo>/result_cache`).
+/// `NGGC_RESULT_CACHE_BYTES` overrides; `0` disables the cache.
+fn result_store_bytes() -> u64 {
+    std::env::var("NGGC_RESULT_CACHE_BYTES")
+        .ok()
+        .and_then(|raw| nggc::gmql::parse_bytes(&raw).ok())
+        .unwrap_or(512 << 20)
+}
+
 fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let mut text = None;
     let mut save = false;
@@ -591,6 +601,7 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut analyze = false;
     let mut profile = false;
+    let mut no_cache = false;
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
     let mut head = 5usize;
     // Environment defaults, overridable by the flags below.
@@ -609,6 +620,7 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
             "--json" => json = true,
             "--analyze" => analyze = true,
             "--profile" => profile = true,
+            "--no-cache" => no_cache = true,
             "--workers" => {
                 i += 1;
                 workers = args
@@ -692,10 +704,15 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     let statements = nggc::gmql::parse(&query).map_err(|e| e.to_string())?;
     let mut plan = LogicalPlan::compile(&statements, &|name| repo.schema_of(name))
         .map_err(|e| e.to_string())?;
+    // The result cache keys on the fingerprint of the *optimized* plan;
+    // modes that report per-node execution detail always run for real.
+    let use_cache =
+        !no_cache && !explain_analyze && !analyze && !profile && result_store_bytes() > 0;
     // EXPLAIN ANALYZE annotates the *optimized* plan, so optimize here
     // (instead of inside the executor) — `metrics[i]` then lines up
-    // with `plan.nodes[i]` exactly.
-    let opt_report = if explain_analyze {
+    // with `plan.nodes[i]` exactly. The cache needs the same
+    // pre-optimization for its canonical fingerprint.
+    let opt_report = if explain_analyze || use_cache {
         let (optimized, report) = nggc::gmql::optimize(&plan);
         opts.optimize = false;
         plan = optimized;
@@ -703,63 +720,100 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
     } else {
         None
     };
-    let (outputs, metrics) = match nggc::gmql::execute_governed(
-        &plan,
-        &nggc::RepoProvider::governed(&repo, &governor),
-        &ctx,
-        &opts,
-        Some(&governor),
-    ) {
-        Ok(out) => out,
-        Err(e) if e.is_resource_limit() => {
-            // Graceful trip: report partial progress, then exit with the
-            // error's distinctive code.
-            eprintln!("-- query interrupted: partial progress --");
-            eprintln!("  elapsed              {:.2?}", t0.elapsed());
-            eprintln!("  governed memory      {} B charged", governor.charged());
-            eprintln!("  governed memory peak {} B", governor.mem_peak());
-            let reg = nggc::obs::global();
-            for counter in [
-                "nggc_query_cancelled_total",
-                "nggc_query_deadline_exceeded_total",
-                "nggc_query_mem_rejections_total",
-            ] {
-                let v = reg.counter(counter).get();
-                if v > 0 {
-                    eprintln!("  {counter} {v}");
-                }
+
+    // One-shot CLI queries share results across processes through an
+    // on-disk store under the repository root, revalidated against the
+    // source datasets' generation counters (docs/caching.md).
+    type StorePlan = (nggc::repository::ResultStore, u64, Vec<(String, u64)>);
+    let mut store_after: Option<StorePlan> = None;
+    let mut cached_outputs = None;
+    if use_cache {
+        let store = nggc::repository::ResultStore::open(
+            repo_path.join("result_cache"),
+            result_store_bytes(),
+        );
+        let key = nggc::gmql::fingerprint(&plan).0;
+        cached_outputs = store.lookup(key, &|name| repo.generation(name));
+        if cached_outputs.is_none() {
+            // Snapshot generations BEFORE executing: a dataset saved
+            // mid-execution must invalidate this entry, not match it.
+            let gens: Option<Vec<(String, u64)>> = nggc::gmql::source_datasets(&plan)
+                .iter()
+                .map(|name| repo.generation(name).map(|g| (name.clone(), g)))
+                .collect();
+            if let Some(gens) = gens {
+                store_after = Some((store, key, gens));
             }
-            // A governor trip always triggers the flight recorder: the
-            // trace of the aborted run is exactly what post-hoc
-            // diagnosis needs.
-            if let Some(c) = &collector {
-                nggc::obs::clear_subscribers();
-                if let Some(rec) = &recorder {
-                    let outcome = match &e {
-                        GmqlError::DeadlineExceeded { .. } => "deadline",
-                        GmqlError::Cancelled { .. } => "cancelled",
-                        GmqlError::MemoryExhausted { .. } => "memory",
-                        _ => "tripped",
-                    };
-                    rec.record(&FlightRecordJson {
-                        kind: "nggc_flight_record".to_owned(),
-                        outcome: outcome.to_owned(),
-                        query: query.clone(),
-                        elapsed_us: t0.elapsed().as_micros() as u64,
-                        trace_id,
-                        governor_charged_bytes: governor.charged(),
-                        governor_peak_bytes: governor.mem_peak(),
-                        dropped_spans: c.dropped(),
-                        trace: c.records().iter().map(SpanJson::from).collect(),
-                        nodes: Vec::new(),
-                    });
-                }
-            }
-            return Err(e.into());
         }
-        Err(e) => return Err(e.to_string().into()),
+    }
+    let from_cache = cached_outputs.is_some();
+
+    let (outputs, metrics) = if let Some(outputs) = cached_outputs {
+        (outputs, Vec::new())
+    } else {
+        match nggc::gmql::execute_governed(
+            &plan,
+            &nggc::RepoProvider::governed(&repo, &governor),
+            &ctx,
+            &opts,
+            Some(&governor),
+        ) {
+            Ok(out) => out,
+            Err(e) if e.is_resource_limit() => {
+                // Graceful trip: report partial progress, then exit with the
+                // error's distinctive code.
+                eprintln!("-- query interrupted: partial progress --");
+                eprintln!("  elapsed              {:.2?}", t0.elapsed());
+                eprintln!("  governed memory      {} B charged", governor.charged());
+                eprintln!("  governed memory peak {} B", governor.mem_peak());
+                let reg = nggc::obs::global();
+                for counter in [
+                    "nggc_query_cancelled_total",
+                    "nggc_query_deadline_exceeded_total",
+                    "nggc_query_mem_rejections_total",
+                ] {
+                    let v = reg.counter(counter).get();
+                    if v > 0 {
+                        eprintln!("  {counter} {v}");
+                    }
+                }
+                // A governor trip always triggers the flight recorder: the
+                // trace of the aborted run is exactly what post-hoc
+                // diagnosis needs.
+                if let Some(c) = &collector {
+                    nggc::obs::clear_subscribers();
+                    if let Some(rec) = &recorder {
+                        let outcome = match &e {
+                            GmqlError::DeadlineExceeded { .. } => "deadline",
+                            GmqlError::Cancelled { .. } => "cancelled",
+                            GmqlError::MemoryExhausted { .. } => "memory",
+                            _ => "tripped",
+                        };
+                        rec.record(&FlightRecordJson {
+                            kind: "nggc_flight_record".to_owned(),
+                            outcome: outcome.to_owned(),
+                            query: query.clone(),
+                            elapsed_us: t0.elapsed().as_micros() as u64,
+                            trace_id,
+                            governor_charged_bytes: governor.charged(),
+                            governor_peak_bytes: governor.mem_peak(),
+                            dropped_spans: c.dropped(),
+                            trace: c.records().iter().map(SpanJson::from).collect(),
+                            nodes: Vec::new(),
+                        });
+                    }
+                }
+                return Err(e.into());
+            }
+            Err(e) => return Err(e.to_string().into()),
+        }
     };
     let elapsed = t0.elapsed();
+    // Persist the freshly computed result for the next invocation. Skipped
+    // when any source generation was unknown (pre-generation catalogs).
+    if let Some((store, key, gens)) = &store_after {
+        store.store(*key, gens, &outputs).map_err(|e| e.to_string())?;
+    }
     // Stop collecting before rendering; everything below is reporting.
     if collector.is_some() {
         nggc::obs::clear_subscribers();
@@ -860,7 +914,11 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
                 println!("  … {} more samples", ds.sample_count() - head);
             }
         }
-        println!("({elapsed:.2?})");
+        if from_cache {
+            println!("({elapsed:.2?}, cached)");
+        } else {
+            println!("({elapsed:.2?})");
+        }
     }
 
     if save {
@@ -1127,6 +1185,12 @@ fn cmd_serve(repo_path: &Path, args: &[String]) -> Result<(), String> {
                 config.drain_timeout =
                     nggc::gmql::parse_duration(raw).map_err(|e| format!("--drain-timeout: {e}"))?;
             }
+            "--result-cache" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--result-cache requires a size (0 disables)")?;
+                config.result_cache_bytes =
+                    nggc::gmql::parse_bytes(raw).map_err(|e| format!("--result-cache: {e}"))?;
+            }
             other => return Err(format!("serve: unknown flag {other:?}")),
         }
         i += 1;
@@ -1162,6 +1226,7 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     let mut head = 5usize;
     let mut ping = false;
     let mut stats = false;
+    let mut no_cache = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1192,6 +1257,7 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             }
             "--ping" => ping = true,
             "--stats" => stats = true,
+            "--no-cache" => no_cache = true,
             file => {
                 text = Some(std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?);
             }
@@ -1207,11 +1273,11 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
         let Some(query) = text else {
             return Err("client requires -e TEXT, a query file, --ping, or --stats".into());
         };
-        client.query(&query, timeout_ms, max_memory, head)
+        client.query_full(&query, timeout_ms, max_memory, head, no_cache)
     }
     .map_err(|e| format!("{addr}: {e}"))?;
     match reply {
-        ServerReply::Result { trace_id, elapsed_us, outputs } => {
+        ServerReply::Result { trace_id, elapsed_us, outputs, cached } => {
             for out in &outputs {
                 println!("== {} :: {} samples, {} regions ==", out.name, out.samples, out.regions);
                 for row in &out.head {
@@ -1219,8 +1285,9 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
                 }
             }
             println!(
-                "({:.2?}, trace {trace_id:016x})",
-                std::time::Duration::from_micros(elapsed_us)
+                "({:.2?}, trace {trace_id:016x}{})",
+                std::time::Duration::from_micros(elapsed_us),
+                if cached { ", cached" } else { "" }
             );
             Ok(())
         }
@@ -1250,6 +1317,16 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             println!("requests      {}", s.requests);
             println!("rejected      {}", s.rejected);
             println!("mem_reserved  {} / {} B", s.mem_reserved, s.mem_capacity);
+            println!("result_cache_hits          {}", s.result_cache_hits);
+            println!("result_cache_misses        {}", s.result_cache_misses);
+            println!("result_cache_coalesced     {}", s.result_cache_coalesced);
+            println!("result_cache_evictions     {}", s.result_cache_evictions);
+            println!("result_cache_invalidations {}", s.result_cache_invalidations);
+            println!("result_cache_entries       {}", s.result_cache_entries);
+            println!(
+                "result_cache_bytes         {} / {} B",
+                s.result_cache_bytes, s.result_cache_capacity
+            );
             Ok(())
         }
     }

@@ -163,14 +163,19 @@ fn one_budget_trip_does_not_disturb_other_clients() {
         let (addr, handle, runner) = start(repo, ServeConfig::default());
 
         // Eight concurrent clients: one with a 16-byte budget that no
-        // real dataset fits, seven unconstrained.
+        // real dataset fits, seven unconstrained. The starved client
+        // bypasses the result cache — a cache hit costs no execution
+        // memory, so riding a peer's result would (correctly) not trip
+        // its governor, and this test is about the trip's isolation.
         let clients: Vec<_> = (0..8)
             .map(|i| {
                 let addr = addr.clone();
                 std::thread::spawn(move || {
                     let mut client = Client::connect(&addr).unwrap();
                     let budget = if i == 0 { Some(16) } else { None };
-                    client.query("R = SELECT() BUD; MATERIALIZE R;", None, budget, 0).unwrap()
+                    client
+                        .query_full("R = SELECT() BUD; MATERIALIZE R;", None, budget, 0, i == 0)
+                        .unwrap()
                 })
             })
             .collect();

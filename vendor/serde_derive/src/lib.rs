@@ -529,6 +529,18 @@ fn gen_deserialize(item: &Item) -> String {
                             .map(|f| {
                                 if f.attrs.skip {
                                     format!("{}: ::std::default::Default::default()", f.name)
+                                } else if f.attrs.default {
+                                    // Same missing-field handling as the
+                                    // struct branch above: absent (Null)
+                                    // fields take their Default.
+                                    format!(
+                                        "{n}: match ::serde::field(m, \"{n}\") {{\n\
+                                           ::serde::Content::Null => ::std::default::Default::default(),\n\
+                                           other => ::serde::Deserialize::from_content(other)\
+                                             .map_err(|e| ::serde::DeError::custom(format!(\"{name}::{vn}.{n}: {{e}}\")))?,\n\
+                                         }}",
+                                        n = f.name
+                                    )
                                 } else {
                                     format!(
                                         "{n}: ::serde::Deserialize::from_content(::serde::field(m, \"{n}\"))\
