@@ -330,6 +330,37 @@ impl ResultCache {
         self.publish_bytes();
     }
 
+    /// Eagerly drop every entry whose recorded source generations no
+    /// longer match `gen_of` (the same validity condition `lookup`
+    /// checks lazily). Returns the number of entries removed. `nggc
+    /// fsck --repair` and maintenance sweeps use this to reclaim bytes
+    /// from entries that would never be looked up again.
+    pub fn sweep_stale(&self, gen_of: &dyn Fn(&str) -> Option<u64>) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let stale: Vec<u64> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.gens.iter().all(|(name, gen)| gen_of(name) == Some(*gen)))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut freed = 0;
+        for key in &stale {
+            freed += inner.remove(*key);
+            inner.invalidations += 1;
+        }
+        drop(inner);
+        if freed > 0 {
+            self.budget.release(freed);
+        }
+        if !stale.is_empty() {
+            nggc_obs::global()
+                .counter("nggc_result_cache_invalidations_total")
+                .add(stale.len() as u64);
+        }
+        self.publish_bytes();
+        stale.len() as u64
+    }
+
     /// Evict least-recently-used entries until at least `bytes` of
     /// budget have been returned (or the cache is empty). The serve pool
     /// calls this when a query's reservation fails: queries outrank
@@ -708,6 +739,27 @@ mod tests {
         assert!(cache.lookup(2, &gens_fixed(1)).is_some());
         assert!(cache.lookup(3, &gens_fixed(1)).is_none());
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn sweep_stale_evicts_mismatched_generations_eagerly() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(1, vec![("A".into(), 1)], Arc::new(outputs("R", 2)));
+        cache.insert(2, vec![("B".into(), 5)], Arc::new(outputs("R", 2)));
+        cache.insert(3, vec![("GONE".into(), 1)], Arc::new(outputs("R", 2)));
+        // A is current at gen 1; B moved on; GONE was deleted.
+        let gen_of = |name: &str| match name {
+            "A" => Some(1),
+            "B" => Some(6),
+            _ => None,
+        };
+        assert_eq!(cache.sweep_stale(&gen_of), 2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.invalidations, 2);
+        assert!(cache.lookup(1, &gen_of).is_some());
+        // A second sweep finds nothing.
+        assert_eq!(cache.sweep_stale(&gen_of), 0);
     }
 
     #[test]

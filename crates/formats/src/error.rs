@@ -26,6 +26,19 @@ pub enum FormatError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// A stored checksum did not match the bytes it covers (native v2
+    /// header revision 3). Distinct from [`FormatError::Corrupt`]: the
+    /// container structure parsed, but the payload bytes are not the
+    /// ones that were written.
+    ChecksumMismatch {
+        /// Which section failed verification (`"file"` for the
+        /// whole-container trailer, `"<sample>/<chrom>"` for a block).
+        section: String,
+        /// Checksum stored in the container.
+        expected: u32,
+        /// Checksum computed from the bytes on disk.
+        got: u32,
+    },
 }
 
 impl FormatError {
@@ -44,6 +57,13 @@ impl fmt::Display for FormatError {
             FormatError::UnknownFormat(what) => write!(f, "unknown format: {what}"),
             FormatError::Corrupt { offset, reason } => {
                 write!(f, "corrupt container at byte {offset}: {reason}")
+            }
+            FormatError::ChecksumMismatch { section, expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {section:?}: stored {expected:#010x}, \
+                     computed {got:#010x}"
+                )
             }
         }
     }

@@ -20,7 +20,7 @@
 //!
 //! ```text
 //! magic           8 bytes  "NGGCGDM2"
-//! version         1 byte   (2)
+//! version         1 byte   (2 or 3)
 //! dataset name    str
 //! schema          varint n_attrs, then per attribute: str name, u8 type tag
 //! sample count    varint
@@ -29,12 +29,27 @@
 //!   metadata      varint n_pairs, then per pair: str key, str value
 //!   chrom index   varint n_chroms, then per chromosome:
 //!                   str name, varint n_regions, varint block_bytes
+//!                   [v3] u32 LE CRC32C of the chromosome block
 //!   chrom blocks  back-to-back, in index order
+//! [v3] trailer    u32 LE CRC32C over every preceding byte of the file
 //! ```
 //!
 //! The chromosome index doubles as an offset table: `block_bytes` lets a
 //! reader *skip* any chromosome without decoding it, which is what
 //! [`read_dataset_v2_chrom`] uses for chromosome-granular reads.
+//!
+//! ## Header revision 3: checksums
+//!
+//! Revision 3 keeps the byte layout of revision 2 and adds integrity
+//! metadata: each chromosome index entry carries a CRC32C (Castagnoli)
+//! of its block, and the file ends with a CRC32C trailer covering every
+//! preceding byte. Verification is *lazy per section read*: a full
+//! decode checks the trailer up front, a chromosome-granular read
+//! checks only the blocks it actually decodes — a flipped bit in one
+//! chromosome fails that chromosome's read with
+//! [`FormatError::ChecksumMismatch`] while every other section of the
+//! same container stays readable. Writers emit revision 3; readers
+//! accept both, so containers from the previous release load unchanged.
 //!
 //! ## Chromosome block encoding
 //!
@@ -63,8 +78,14 @@ use std::path::Path;
 /// Magic bytes opening every v2 container.
 pub const MAGIC: &[u8; 8] = b"NGGCGDM2";
 
-/// Version byte following the magic.
-pub const VERSION: u8 = 2;
+/// Header revision written by this release: per-block CRC32C plus a
+/// whole-file trailer checksum.
+pub const VERSION: u8 = 3;
+
+/// Header revision of the previous release: no checksums. Still fully
+/// readable; [`encode_dataset_v2_legacy`] emits it for compatibility
+/// tests.
+pub const VERSION_LEGACY: u8 = 2;
 
 /// Container file name inside a dataset directory.
 pub const CONTAINER_FILE: &str = "data.gdm2";
@@ -117,6 +138,40 @@ pub fn read_dataset_auto(dir: &Path) -> Result<Dataset, FormatError> {
             dir.display()
         ))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli)
+// ---------------------------------------------------------------------------
+
+const fn crc32c_table() -> [u32; 256] {
+    // Reflected Castagnoli polynomial, the iSCSI/ext4 variant.
+    const POLY: u32 = 0x82f6_3b78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_table();
+
+/// CRC32C (Castagnoli) of `bytes` — the checksum revision-3 containers
+/// store per chromosome block and as the whole-file trailer.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
 }
 
 // ---------------------------------------------------------------------------
@@ -357,11 +412,27 @@ fn column_type_error(attr: &str, value: &Value) -> FormatError {
     }
 }
 
-/// Serialise a whole dataset into v2 container bytes.
+/// Serialise a whole dataset into container bytes at the current header
+/// revision ([`VERSION`]): per-block CRC32C entries plus a whole-file
+/// trailer checksum.
 pub fn encode_dataset_v2(dataset: &Dataset) -> Result<Vec<u8>, FormatError> {
+    encode_dataset_with_version(dataset, VERSION)
+}
+
+/// Serialise a dataset as the previous release wrote it (header
+/// revision 2, no checksums). Exists so compatibility tests can prove
+/// old containers still load; new code should use
+/// [`encode_dataset_v2`].
+pub fn encode_dataset_v2_legacy(dataset: &Dataset) -> Result<Vec<u8>, FormatError> {
+    encode_dataset_with_version(dataset, VERSION_LEGACY)
+}
+
+fn encode_dataset_with_version(dataset: &Dataset, version: u8) -> Result<Vec<u8>, FormatError> {
+    debug_assert!(version == VERSION_LEGACY || version == VERSION);
+    let checksums = version >= VERSION;
     let mut out = Vec::with_capacity(64 * 1024);
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(version);
     put_str(&mut out, &dataset.name);
     // Schema block.
     put_varint(&mut out, dataset.schema.len() as u64);
@@ -404,10 +475,17 @@ pub fn encode_dataset_v2(dataset: &Dataset) -> Result<Vec<u8>, FormatError> {
             put_str(&mut out, chrom);
             put_varint(&mut out, group.len() as u64);
             put_varint(&mut out, block.len() as u64);
+            if checksums {
+                out.extend_from_slice(&crc32c(block).to_le_bytes());
+            }
         }
         for block in &blocks {
             out.extend_from_slice(block);
         }
+    }
+    if checksums {
+        let trailer = crc32c(&out);
+        out.extend_from_slice(&trailer.to_le_bytes());
     }
     Ok(out)
 }
@@ -518,17 +596,21 @@ fn decode_chrom_block(
     Ok(())
 }
 
-/// Container header: dataset name and schema, leaving the cursor at the
-/// sample count.
-fn decode_header(cur: &mut Cursor<'_>) -> Result<(String, Schema), FormatError> {
+/// Magic and version byte; errors on unknown header revisions.
+fn decode_version(cur: &mut Cursor<'_>) -> Result<u8, FormatError> {
     let magic = cur.bytes(8)?;
     if magic != MAGIC {
         return Err(cur.corrupt("bad magic: not a v2 container"));
     }
     let version = cur.u8()?;
-    if version != VERSION {
+    if version != VERSION_LEGACY && version != VERSION {
         return Err(cur.corrupt(format!("unsupported container version {version}")));
     }
+    Ok(version)
+}
+
+/// Dataset name and schema, leaving the cursor at the sample count.
+fn decode_schema_block(cur: &mut Cursor<'_>) -> Result<(String, Schema), FormatError> {
     let name = cur.string()?;
     let n_attrs = cur.len_prefixed("schema")?;
     let mut attrs = Vec::with_capacity(n_attrs);
@@ -541,6 +623,58 @@ fn decode_header(cur: &mut Cursor<'_>) -> Result<(String, Schema), FormatError> 
     Ok((name, schema))
 }
 
+/// Container header: version, dataset name and schema, leaving the
+/// cursor at the sample count.
+fn decode_header(cur: &mut Cursor<'_>) -> Result<(String, Schema, u8), FormatError> {
+    let version = decode_version(cur)?;
+    let (name, schema) = decode_schema_block(cur)?;
+    Ok((name, schema, version))
+}
+
+/// Verify the whole-file CRC32C trailer of a revision-3 container.
+fn verify_trailer(buf: &[u8]) -> Result<(), FormatError> {
+    // 8 magic + 1 version + 4 trailer is the absolute minimum.
+    if buf.len() < 13 {
+        return Err(FormatError::Corrupt {
+            offset: buf.len(),
+            reason: "container too short to hold a checksum trailer".into(),
+        });
+    }
+    let body = &buf[..buf.len() - 4];
+    let expected = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+    let got = crc32c(body);
+    if got != expected {
+        return Err(FormatError::ChecksumMismatch { section: "file".into(), expected, got });
+    }
+    Ok(())
+}
+
+/// Verify the CRC32C a revision-3 index entry stores for the block that
+/// starts at the cursor, without consuming it. Revision-2 entries carry
+/// no checksum and pass trivially.
+fn verify_block(
+    cur: &Cursor<'_>,
+    sample: &str,
+    entry: &ChromIndexEntry,
+) -> Result<(), FormatError> {
+    let Some(expected) = entry.crc else { return Ok(()) };
+    let n = usize::try_from(entry.bytes).map_err(|_| cur.corrupt("block extent exceeds usize"))?;
+    let end = cur
+        .pos
+        .checked_add(n)
+        .filter(|&e| e <= cur.buf.len())
+        .ok_or_else(|| cur.corrupt(format!("block extent {n} exceeds remaining bytes")))?;
+    let got = crc32c(&cur.buf[cur.pos..end]);
+    if got != expected {
+        return Err(FormatError::ChecksumMismatch {
+            section: format!("{sample}/{}", entry.chrom),
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
 /// One chromosome's entry in a sample's block index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChromIndexEntry {
@@ -550,6 +684,9 @@ pub struct ChromIndexEntry {
     pub regions: u64,
     /// Encoded block size in bytes.
     pub bytes: u64,
+    /// CRC32C of the block (`None` for revision-2 containers, which
+    /// store no checksums).
+    pub crc: Option<u32>,
 }
 
 /// Per-sample index of a v2 container.
@@ -582,6 +719,7 @@ impl V2Index {
 
 fn decode_sample_index(
     cur: &mut Cursor<'_>,
+    version: u8,
 ) -> Result<(String, Metadata, Vec<ChromIndexEntry>), FormatError> {
     let sample_name = cur.string()?;
     let n_pairs = cur.len_prefixed("metadata")?;
@@ -597,7 +735,13 @@ fn decode_sample_index(
         let chrom = cur.string()?;
         let regions = cur.varint()?;
         let bytes = cur.varint()?;
-        chroms.push(ChromIndexEntry { chrom, regions, bytes });
+        let crc = if version >= VERSION {
+            let raw = cur.bytes(4)?;
+            Some(u32::from_le_bytes(raw.try_into().expect("4 bytes")))
+        } else {
+            None
+        };
+        chroms.push(ChromIndexEntry { chrom, regions, bytes, crc });
     }
     Ok((sample_name, metadata, chroms))
 }
@@ -608,11 +752,11 @@ fn decode_sample_index(
 pub fn read_index(dir: &Path) -> Result<V2Index, FormatError> {
     let buf = fs::read(dir.join(CONTAINER_FILE))?;
     let mut cur = Cursor::new(&buf);
-    let (name, schema) = decode_header(&mut cur)?;
+    let (name, schema, version) = decode_header(&mut cur)?;
     let n_samples = cur.len_prefixed("sample count")?;
     let mut samples = Vec::with_capacity(n_samples);
     for _ in 0..n_samples {
-        let (sample_name, _meta, chroms) = decode_sample_index(&mut cur)?;
+        let (sample_name, _meta, chroms) = decode_sample_index(&mut cur, version)?;
         let block_bytes = chroms
             .iter()
             .try_fold(0u64, |acc, c| acc.checked_add(c.bytes))
@@ -625,14 +769,21 @@ pub fn read_index(dir: &Path) -> Result<V2Index, FormatError> {
     Ok(V2Index { name, schema, samples })
 }
 
-/// Decode a full v2 container from bytes.
+/// Decode a full v2 container from bytes. For revision-3 containers
+/// the whole-file trailer is verified up front: any flipped bit in the
+/// buffer — header, index or block — surfaces as
+/// [`FormatError::ChecksumMismatch`] before a single region decodes.
 pub fn decode_dataset_v2(buf: &[u8]) -> Result<Dataset, FormatError> {
     let mut cur = Cursor::new(buf);
-    let (name, schema) = decode_header(&mut cur)?;
+    let version = decode_version(&mut cur)?;
+    if version >= VERSION {
+        verify_trailer(buf)?;
+    }
+    let (name, schema) = decode_schema_block(&mut cur)?;
     let mut dataset = Dataset::new(name.clone(), schema);
     let n_samples = cur.len_prefixed("sample count")?;
     for _ in 0..n_samples {
-        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
         let mut regions = Vec::new();
         for entry in &chroms {
             let n = usize::try_from(entry.regions)
@@ -658,16 +809,19 @@ pub fn read_dataset_v2(dir: &Path) -> Result<Dataset, FormatError> {
 pub fn read_dataset_v2_chrom(dir: &Path, chrom: &str) -> Result<Dataset, FormatError> {
     let buf = fs::read(dir.join(CONTAINER_FILE))?;
     let mut cur = Cursor::new(&buf);
-    let (name, schema) = decode_header(&mut cur)?;
+    let (name, schema, version) = decode_header(&mut cur)?;
     let mut dataset = Dataset::new(name.clone(), schema);
     let n_samples = cur.len_prefixed("sample count")?;
     for _ in 0..n_samples {
-        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
         let mut regions = Vec::new();
         for entry in &chroms {
             if entry.chrom == chrom {
                 let n = usize::try_from(entry.regions)
                     .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+                // Lazy verification: only the block actually decoded is
+                // checksummed; skipped blocks stay untouched.
+                verify_block(&cur, &sample_name, entry)?;
                 let before = cur.pos;
                 decode_chrom_block(&mut cur, &entry.chrom, n, &dataset.schema, &mut regions)?;
                 let consumed = (cur.pos - before) as u64;
@@ -698,14 +852,15 @@ pub fn read_dataset_v2_streaming(
 ) -> Result<Schema, FormatError> {
     let buf = fs::read(dir.join(CONTAINER_FILE))?;
     let mut cur = Cursor::new(&buf);
-    let (name, schema) = decode_header(&mut cur)?;
+    let (name, schema, version) = decode_header(&mut cur)?;
     let n_samples = cur.len_prefixed("sample count")?;
     for _ in 0..n_samples {
-        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur)?;
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
         let mut regions = Vec::new();
         for entry in &chroms {
             let n = usize::try_from(entry.regions)
                 .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+            verify_block(&cur, &sample_name, entry)?;
             decode_chrom_block(&mut cur, &entry.chrom, n, &schema, &mut regions)?;
         }
         let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
@@ -922,6 +1077,123 @@ mod tests {
             put_varint(&mut buf, zigzag(v));
             let mut cur = Cursor::new(&buf);
             assert_eq!(unzigzag(cur.varint().unwrap()), v);
+        }
+    }
+
+    #[test]
+    fn crc32c_known_vectors() {
+        // RFC 3720 appendix B.4 test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn legacy_v2_containers_still_load() {
+        let ds = wide_dataset();
+        let legacy = encode_dataset_v2_legacy(&ds).unwrap();
+        assert_eq!(legacy[8], VERSION_LEGACY);
+        let back = decode_dataset_v2(&legacy).unwrap();
+        assert_datasets_equal(&ds, &back);
+        // Disk paths (full, chrom-granular, index-only) accept it too.
+        let dir = tmp("legacy");
+        let dsdir = dir.join("WIDE");
+        fs::create_dir_all(&dsdir).unwrap();
+        fs::write(dsdir.join(CONTAINER_FILE), &legacy).unwrap();
+        assert_eq!(detect_version(&dsdir), Some(StorageVersion::V2));
+        assert_datasets_equal(&ds, &read_dataset_v2(&dsdir).unwrap());
+        assert_eq!(read_dataset_v2_chrom(&dsdir, "chr2").unwrap().region_count(), 1);
+        let index = read_index(&dsdir).unwrap();
+        assert!(index.samples[0].chroms.iter().all(|c| c.crc.is_none()));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn current_revision_carries_checksums() {
+        let ds = wide_dataset();
+        let bytes = encode_dataset_v2(&ds).unwrap();
+        assert_eq!(bytes[8], VERSION);
+        let dir = tmp("v3index");
+        let dsdir = dir.join("WIDE");
+        fs::create_dir_all(&dsdir).unwrap();
+        fs::write(dsdir.join(CONTAINER_FILE), &bytes).unwrap();
+        let index = read_index(&dsdir).unwrap();
+        assert!(index.samples[0].chroms.iter().all(|c| c.crc.is_some()));
+        // Trailer is the CRC of everything before it.
+        let body = &bytes[..bytes.len() - 4];
+        let trailer = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        assert_eq!(trailer, crc32c(body));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_fails_only_the_flipped_section() {
+        let ds = wide_dataset();
+        let bytes = encode_dataset_v2(&ds).unwrap();
+        let dir = tmp("flip");
+        let dsdir = dir.join("WIDE");
+        fs::create_dir_all(&dsdir).unwrap();
+        // Blocks sit back-to-back just before the 4-byte trailer; the
+        // chr2 block is the last one, so flip a bit inside its extent.
+        let index = {
+            fs::write(dsdir.join(CONTAINER_FILE), &bytes).unwrap();
+            read_index(&dsdir).unwrap()
+        };
+        let chr2_bytes = index.samples[0].chroms[1].bytes as usize;
+        assert_eq!(index.samples[0].chroms[1].chrom, "chr2");
+        let mut flipped = bytes.clone();
+        let pos = flipped.len() - 4 - chr2_bytes;
+        flipped[pos] ^= 0x10;
+        fs::write(dsdir.join(CONTAINER_FILE), &flipped).unwrap();
+        // The damaged section fails with a typed checksum error...
+        match read_dataset_v2_chrom(&dsdir, "chr2") {
+            Err(FormatError::ChecksumMismatch { section, expected, got }) => {
+                assert_eq!(section, "s1/chr2");
+                assert_ne!(expected, got);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // ...while every other section of the same container stays
+        // readable (lazy per-section verification).
+        let chr1 = read_dataset_v2_chrom(&dsdir, "chr1").unwrap();
+        assert_eq!(chr1.samples[0].region_count(), 2);
+        assert!(read_index(&dsdir).is_ok());
+        // A full read checks the whole-file trailer up front.
+        match read_dataset_v2(&dsdir) {
+            Err(FormatError::ChecksumMismatch { section, .. }) => assert_eq!(section, "file"),
+            other => panic!("expected trailer mismatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_by_full_decode() {
+        let ds = wide_dataset();
+        let bytes = encode_dataset_v2(&ds).unwrap();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= 1 << bit;
+                let res = decode_dataset_v2(&flipped);
+                if i == 8 && bit == 0 {
+                    // Residual risk documented in docs/storage.md: this
+                    // one flip downgrades the version byte 3 -> 2, and a
+                    // revision-2 reader checks no checksums. Structural
+                    // decoding still has to not panic.
+                    let _ = res;
+                    continue;
+                }
+                assert!(res.is_err(), "flip at byte {i} bit {bit} decoded silently");
+                // Past magic + version, the trailer guarantees the error
+                // is the typed checksum mismatch, not structural luck.
+                if i >= 9 {
+                    assert!(
+                        matches!(res, Err(FormatError::ChecksumMismatch { .. })),
+                        "flip at byte {i} bit {bit} gave {res:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 //! so that queries can be compiled (and their result sizes estimated,
 //! §4.4) without touching region files.
 
+use crate::durable;
 use crate::error::RepoError;
 use nggc_formats::native;
 use nggc_formats::native_v2::{self, StorageVersion};
@@ -16,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
@@ -74,6 +76,49 @@ pub struct Repository {
     /// `generations.json`), so a deleted-then-recreated dataset never
     /// reuses a generation a cached result might still reference.
     next_generation: u64,
+    /// What [`Repository::open`] found and cleaned up; surfaced by
+    /// `nggc stats` and `nggc serve` as a one-line health summary.
+    health: RepoHealth,
+}
+
+/// Repository state observed (and recovered) while opening.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepoHealth {
+    /// Catalogued datasets.
+    pub datasets_ok: usize,
+    /// Entries sitting in `quarantine/` (unreadable datasets set aside
+    /// by catalog recovery or `fsck --repair`).
+    pub quarantined: usize,
+    /// Orphaned temp/staging/trash entries swept while opening —
+    /// leftovers of writes a crash interrupted before publication.
+    pub swept: usize,
+    /// Whether the catalog was torn/corrupt and had to be rebuilt by
+    /// scanning the dataset directories.
+    pub catalog_rebuilt: bool,
+    /// Catalogued datasets whose directory vanished mid-replace and was
+    /// brought back from staging (new version) or trash (old version).
+    pub rescued: usize,
+}
+
+impl fmt::Display for RepoHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dataset{} ok, {} quarantined, {} orphan temp entr{} swept",
+            self.datasets_ok,
+            if self.datasets_ok == 1 { "" } else { "s" },
+            self.quarantined,
+            self.swept,
+            if self.swept == 1 { "y" } else { "ies" },
+        )?;
+        if self.rescued > 0 {
+            write!(f, ", {} rescued from an interrupted replace", self.rescued)?;
+        }
+        if self.catalog_rebuilt {
+            write!(f, ", catalog rebuilt from dataset scan")?;
+        }
+        Ok(())
+    }
 }
 
 /// Rendezvous for one in-progress cold load. The leader fills
@@ -193,8 +238,8 @@ impl DatasetCache {
 /// Persisted shape of `generations.json`: the next generation to hand
 /// out, flushed on every save so it survives reopen.
 #[derive(Debug, Serialize, Deserialize)]
-struct GenerationFile {
-    next: u64,
+pub(crate) struct GenerationFile {
+    pub(crate) next: u64,
 }
 
 /// Total bytes of all files under `dir` (recursive).
@@ -212,6 +257,185 @@ fn dir_bytes(dir: &Path) -> u64 {
         }
     }
     total
+}
+
+/// Remove every orphaned staging artefact under `root` — write-side
+/// temp files (`.tmp-*`), dataset staging dirs (`datasets/.stage-*`)
+/// and trashed trees (`.trash/*`). All of them are pre- or
+/// post-publication leftovers of the durable-write protocols, so
+/// removing them can never lose published data. Returns how many
+/// entries were swept.
+pub(crate) fn sweep_orphans(root: &Path) -> usize {
+    let mut swept = 0usize;
+    let mut sweep_matching = |dir: &Path, prefix: &str| {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            if !prefix.is_empty() && !name.to_string_lossy().starts_with(prefix) {
+                continue;
+            }
+            let path = entry.path();
+            let removed = if path.is_dir() {
+                fs::remove_dir_all(&path).is_ok()
+            } else {
+                fs::remove_file(&path).is_ok()
+            };
+            if removed {
+                swept += 1;
+            }
+        }
+    };
+    sweep_matching(root, ".tmp-");
+    sweep_matching(&root.join("datasets"), ".stage-");
+    sweep_matching(&root.join("result_cache"), ".tmp-");
+    sweep_matching(&root.join(".trash"), "");
+    swept
+}
+
+/// Try to resurrect the directory of a catalogued dataset that vanished
+/// mid-replace (a crash between trashing the old tree and renaming the
+/// staged one in). Preference order:
+///
+/// 1. a **fully readable staged tree** (`datasets/.stage-*-{name}`) —
+///    the post-mutation state, completely written before the old
+///    directory was touched;
+/// 2. the **trashed old tree** (`.trash/{name}-{pid}-{seq}`) — the
+///    pre-mutation state.
+///
+/// Either restores an exact version, never a blend. Must run *before*
+/// any orphan sweep, which would otherwise delete both copies. Returns
+/// where the data came from, or `None` if nothing needed (or could be)
+/// rescued.
+pub(crate) fn rescue_dataset(root: &Path, name: &str) -> Option<&'static str> {
+    let dir = root.join("datasets").join(name);
+    if dir.exists() {
+        return None;
+    }
+    let list = |parent: &Path| -> Vec<PathBuf> {
+        fs::read_dir(parent)
+            .map(|entries| {
+                entries.filter_map(|e| e.ok()).map(|e| e.path()).filter(|p| p.is_dir()).collect()
+            })
+            .unwrap_or_default()
+    };
+    let staged_suffix = format!("-{name}");
+    let mut staged: Vec<PathBuf> = list(&root.join("datasets"))
+        .into_iter()
+        .filter(|p| {
+            p.file_name().is_some_and(|n| {
+                let n = n.to_string_lossy();
+                n.starts_with(".stage-") && n.ends_with(&staged_suffix)
+            })
+        })
+        .collect();
+    staged.sort();
+    for cand in staged {
+        if native_v2::read_dataset_auto(&cand).is_ok() && fs::rename(&cand, &dir).is_ok() {
+            nggc_obs::global().counter("nggc_repo_rescued_total").inc();
+            return Some("staging");
+        }
+    }
+    let trash_prefix = format!("{name}-");
+    let mut trashed: Vec<PathBuf> = list(&root.join(".trash"))
+        .into_iter()
+        .filter(|p| {
+            p.file_name().is_some_and(|n| {
+                let n = n.to_string_lossy();
+                // `{name}-{pid}-{seq}` exactly, so dataset "a" never
+                // claims the trash of dataset "a-b".
+                n.strip_prefix(&trash_prefix).is_some_and(|rest| {
+                    let parts: Vec<&str> = rest.split('-').collect();
+                    parts.len() == 2
+                        && parts
+                            .iter()
+                            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+                })
+            })
+        })
+        .collect();
+    trashed.sort();
+    for cand in trashed {
+        if native_v2::read_dataset_auto(&cand).is_ok() && fs::rename(&cand, &dir).is_ok() {
+            nggc_obs::global().counter("nggc_repo_rescued_total").inc();
+            return Some("trash");
+        }
+    }
+    None
+}
+
+/// [`rescue_dataset`] for every catalogued name; returns how many
+/// datasets were brought back.
+pub(crate) fn rescue_datasets(root: &Path, catalog: &BTreeMap<String, CatalogEntry>) -> usize {
+    catalog.keys().filter(|name| rescue_dataset(root, name).is_some()).count()
+}
+
+/// Move an unreadable dataset directory into `quarantine/` under a
+/// unique name and drop a sibling `.reason.txt` explaining why.
+pub(crate) fn quarantine_dataset(
+    root: &Path,
+    dir: &Path,
+    reason: &str,
+) -> std::io::Result<PathBuf> {
+    let dest = durable::move_to_trash(dir, &root.join("quarantine"))?;
+    let mut reason_path = dest.clone().into_os_string();
+    reason_path.push(".reason.txt");
+    fs::write(PathBuf::from(reason_path), reason).ok();
+    nggc_obs::global().counter("nggc_repo_quarantined_total").inc();
+    Ok(dest)
+}
+
+/// Entries currently sitting in `quarantine/` (directories only; their
+/// sibling reason files don't count).
+pub(crate) fn quarantine_count(root: &Path) -> usize {
+    fs::read_dir(root.join("quarantine"))
+        .map(|entries| entries.filter_map(|e| e.ok()).filter(|e| e.path().is_dir()).count())
+        .unwrap_or(0)
+}
+
+/// Rebuild a catalog by scanning `datasets/`: every readable dataset is
+/// re-indexed with a **fresh** generation (starting at
+/// `first_generation`) so no result cached against the lost catalog can
+/// revalidate; unreadable directories are quarantined. Returns the
+/// catalog, how many datasets were quarantined, and the next free
+/// generation.
+pub(crate) fn rebuild_catalog(
+    root: &Path,
+    first_generation: u64,
+) -> (BTreeMap<String, CatalogEntry>, usize, u64) {
+    let mut catalog = BTreeMap::new();
+    let mut quarantined = 0usize;
+    let mut next = first_generation.max(1);
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("datasets"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .filter(|p| p.file_name().is_some_and(|n| !n.to_string_lossy().starts_with('.')))
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    for dir in dirs {
+        let name = dir.file_name().expect("filtered above").to_string_lossy().into_owned();
+        match native_v2::read_dataset_auto(&dir) {
+            Ok(ds) => {
+                let generation = next;
+                next += 1;
+                let stats = ds.stats();
+                catalog.insert(
+                    name.clone(),
+                    CatalogEntry { name, schema: ds.schema.clone(), stats, generation },
+                );
+            }
+            Err(e) => {
+                quarantine_dataset(root, &dir, &format!("unreadable during catalog rebuild: {e}"))
+                    .ok();
+                quarantined += 1;
+            }
+        }
+    }
+    (catalog, quarantined, next)
 }
 
 /// Outcome of a whole-repository migration sweep
@@ -254,16 +478,17 @@ pub struct MigrationReport {
 
 impl Repository {
     /// Open (or initialise) a repository at `root`.
+    ///
+    /// Opening is also the first line of crash recovery: orphaned
+    /// staging/trash leftovers are swept (they are never published
+    /// data), and a torn or corrupt `catalog.json` is rebuilt by
+    /// scanning the dataset directories — readable datasets are
+    /// re-indexed under fresh generations, unreadable ones are moved to
+    /// `quarantine/` with a reason file instead of failing the whole
+    /// repository. What happened is recorded in [`Repository::health`].
     pub fn open(root: impl Into<PathBuf>) -> Result<Repository, RepoError> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        let catalog_path = root.join("catalog.json");
-        let catalog: BTreeMap<String, CatalogEntry> = if catalog_path.exists() {
-            let text = fs::read_to_string(&catalog_path)?;
-            serde_json::from_str(&text)?
-        } else {
-            BTreeMap::new()
-        };
         // The persisted high-water mark keeps generations monotonic
         // across delete → reopen → recreate; a missing or unreadable
         // file falls back to the catalog's own maximum.
@@ -272,14 +497,61 @@ impl Repository {
             .and_then(|text| serde_json::from_str::<GenerationFile>(&text).ok())
             .map(|g| g.next)
             .unwrap_or(0);
+        let catalog_path = root.join("catalog.json");
+        let mut catalog_rebuilt = false;
+        let catalog: BTreeMap<String, CatalogEntry> = if catalog_path.exists() {
+            let parsed = fs::read_to_string(&catalog_path)
+                .ok()
+                .and_then(|text| serde_json::from_str(&text).ok());
+            match parsed {
+                Some(catalog) => catalog,
+                None => {
+                    // Torn catalog. Rebuild from the datasets themselves
+                    // with fresh generations, and drop the on-disk result
+                    // cache wholesale: without a trustworthy catalog its
+                    // generation stamps cannot be validated.
+                    catalog_rebuilt = true;
+                    let (rebuilt, _, _) = rebuild_catalog(&root, persisted_next);
+                    fs::remove_dir_all(root.join("result_cache")).ok();
+                    rebuilt
+                }
+            }
+        } else {
+            BTreeMap::new()
+        };
+        // A crash between trashing a dataset's old tree and renaming in
+        // its staged replacement leaves a catalogued name with no
+        // directory; bring back an exact version (staged = new, trashed
+        // = old) BEFORE the orphan sweep deletes both copies.
+        let rescued = rescue_datasets(&root, &catalog);
+        let swept = sweep_orphans(&root);
         let catalog_next = catalog.values().map(|e| e.generation + 1).max().unwrap_or(1);
-        Ok(Repository {
+        let health = RepoHealth {
+            datasets_ok: catalog.len(),
+            quarantined: quarantine_count(&root),
+            swept,
+            catalog_rebuilt,
+            rescued,
+        };
+        let repo = Repository {
             root,
             catalog,
             cache: Mutex::new(DatasetCache::default()),
             inflight: Mutex::new(HashMap::new()),
             next_generation: persisted_next.max(catalog_next).max(1),
-        })
+            health,
+        };
+        if catalog_rebuilt {
+            // Persist the recovered state so the next open is clean.
+            repo.flush_generations()?;
+            repo.flush_catalog()?;
+        }
+        Ok(repo)
+    }
+
+    /// What [`Repository::open`] found and cleaned up.
+    pub fn health(&self) -> &RepoHealth {
+        &self.health
     }
 
     /// The repository root directory.
@@ -305,15 +577,16 @@ impl Repository {
         span.field("dataset", &dataset.name).field("format", version.name());
         let t0 = Instant::now();
         dataset.validate().map_err(RepoError::Model)?;
+        // Encode into a staging directory first; the live dataset dir is
+        // untouched until the staged tree is complete and fsynced.
         let dir = self.dataset_dir(&dataset.name);
-        if dir.exists() {
-            fs::remove_dir_all(&dir)?;
-        }
+        let staging = self.staging_dir(&dataset.name);
+        fs::remove_dir_all(&staging).ok();
         let bytes = match version {
-            StorageVersion::V2 => native_v2::write_dataset_v2(dataset, &dir)?,
+            StorageVersion::V2 => native_v2::write_dataset_v2(dataset, &staging)?,
             StorageVersion::V1 => {
-                native::write_dataset(dataset, &dir)?;
-                dir_bytes(&dir)
+                native::write_dataset(dataset, &staging)?;
+                dir_bytes(&staging)
             }
         };
         span.field("bytes", bytes);
@@ -326,9 +599,16 @@ impl Repository {
             Arc::new(dataset.clone()),
             stats.bytes as u64,
         );
+        // Publish the new generation *before* swapping the data in: if
+        // we crash between the two, the catalog's bumped generation has
+        // already invalidated every result cached against the old data,
+        // and the dataset itself still reads as the old version. The
+        // reverse order could leave new data under the old generation —
+        // a stale cached result would then revalidate against it.
         let generation = self.next_generation;
         self.next_generation += 1;
         self.flush_generations()?;
+        durable::crashpoint("save.generations");
         self.catalog.insert(
             dataset.name.clone(),
             CatalogEntry {
@@ -338,12 +618,15 @@ impl Repository {
                 generation,
             },
         );
-        let out = self.flush_catalog();
+        self.flush_catalog()?;
+        durable::crashpoint("save.catalog");
+        durable::atomic_replace_dir(&staging, &dir, &self.root.join(".trash"))?;
+        durable::crashpoint("save.swapped");
         let reg = nggc_obs::global();
         reg.counter("nggc_repo_saves_total").inc();
         reg.counter_with("nggc_repo_save_bytes_total", &[("format", version.name())]).add(bytes);
         reg.histogram("nggc_repo_save_ns").record_duration(t0.elapsed());
-        out
+        Ok(())
     }
 
     /// Load a dataset by name, from the in-memory cache when possible.
@@ -505,17 +788,30 @@ impl Repository {
     }
 
     /// Delete a dataset.
+    ///
+    /// The catalog (and generation high-water mark) is persisted
+    /// *before* the dataset directory is touched: a crash between the
+    /// two leaves at worst an orphaned directory for `fsck` to deal
+    /// with, never a catalog entry whose generation could revalidate a
+    /// stale cached result against data that is gone. The directory
+    /// itself is renamed into `.trash` before removal so a crash can
+    /// never expose a half-deleted container as live data.
     pub fn delete(&mut self, name: &str) -> Result<(), RepoError> {
         if self.catalog.remove(name).is_none() {
             return Err(RepoError::NotFound(name.to_owned()));
         }
         self.cache.lock().unwrap_or_else(|p| p.into_inner()).invalidate(name);
+        fs::remove_file(self.root.join("meta_index.json")).ok();
+        self.flush_generations()?;
+        self.flush_catalog()?;
+        durable::crashpoint("delete.cataloged");
         let dir = self.dataset_dir(name);
         if dir.exists() {
-            fs::remove_dir_all(dir)?;
+            let trashed = durable::move_to_trash(&dir, &self.root.join(".trash"))?;
+            durable::crashpoint("delete.trashed");
+            fs::remove_dir_all(&trashed).ok();
         }
-        fs::remove_file(self.root.join("meta_index.json")).ok();
-        self.flush_catalog()
+        Ok(())
     }
 
     /// List catalog entries in name order.
@@ -556,7 +852,7 @@ impl Repository {
             index.add_dataset(&ds);
         }
         let text = serde_json::to_string(&index)?;
-        fs::write(self.root.join("meta_index.json"), text)?;
+        durable::atomic_write(&self.root.join("meta_index.json"), text.as_bytes())?;
         Ok(index)
     }
 
@@ -576,15 +872,22 @@ impl Repository {
         self.root.join("datasets").join(name)
     }
 
+    /// Sibling staging directory a save encodes into before the atomic
+    /// swap. Dot-prefixed so catalog rebuild scans skip it; pid-tagged
+    /// so concurrent processes never collide.
+    fn staging_dir(&self, name: &str) -> PathBuf {
+        self.root.join("datasets").join(format!(".stage-{}-{name}", std::process::id()))
+    }
+
     fn flush_catalog(&self) -> Result<(), RepoError> {
         let text = serde_json::to_string_pretty(&self.catalog)?;
-        fs::write(self.root.join("catalog.json"), text)?;
+        durable::atomic_write(&self.root.join("catalog.json"), text.as_bytes())?;
         Ok(())
     }
 
     fn flush_generations(&self) -> Result<(), RepoError> {
         let text = serde_json::to_string(&GenerationFile { next: self.next_generation })?;
-        fs::write(self.root.join("generations.json"), text)?;
+        durable::atomic_write(&self.root.join("generations.json"), text.as_bytes())?;
         Ok(())
     }
 }
@@ -616,6 +919,57 @@ mod tests {
         )
         .unwrap();
         ds
+    }
+
+    #[test]
+    fn open_rescues_dataset_stranded_mid_replace() {
+        // Simulate a crash between `replace.trashed` and
+        // `replace.renamed`: the catalogued directory is gone, the old
+        // tree sits in .trash and the staged new tree in datasets/.
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&dataset("DS")).unwrap();
+        }
+        let dir = root.join("datasets/DS");
+        let staged = root.join("datasets/.stage-1-DS");
+        fs::rename(&dir, &staged).unwrap();
+        let repo = Repository::open(&root).unwrap();
+        assert_eq!(repo.health().rescued, 1, "{:?}", repo.health());
+        assert!(repo.load("DS").is_ok(), "rescued dataset must be readable");
+        // A second open finds nothing left to rescue or sweep.
+        let again = Repository::open(&root).unwrap();
+        assert_eq!(again.health().rescued, 0);
+        assert_eq!(again.health().swept, 0);
+
+        // Same crash state but with an unreadable staged tree: recovery
+        // falls back to the trashed (old) copy.
+        let root2 = tmp2();
+        {
+            let mut repo = Repository::open(&root2).unwrap();
+            repo.save(&dataset("DS")).unwrap();
+        }
+        let dir = root2.join("datasets/DS");
+        let trash = root2.join(".trash");
+        fs::create_dir_all(&trash).unwrap();
+        fs::rename(&dir, trash.join("DS-1-0")).unwrap();
+        fs::create_dir_all(root2.join("datasets/.stage-1-DS")).unwrap();
+        fs::write(root2.join("datasets/.stage-1-DS/data.gdm2"), b"torn").unwrap();
+        let repo = Repository::open(&root2).unwrap();
+        assert_eq!(repo.health().rescued, 1, "{:?}", repo.health());
+        assert!(repo.load("DS").is_ok(), "trashed copy must be restored");
+        fs::remove_dir_all(&root).ok();
+        fs::remove_dir_all(&root2).ok();
+    }
+
+    fn tmp2() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nggc_repo2_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
     }
 
     #[test]

@@ -1,0 +1,568 @@
+//! Repository integrity checking and repair (`nggc fsck`).
+//!
+//! [`fsck`] walks a repository the way a filesystem checker walks a
+//! disk: catalog ↔ dataset-directory cross-checks, container
+//! magic/header validation (`--deep` adds a full checksum pass over
+//! every block), orphaned temp/staging/trash detection, and stale
+//! result-cache entries whose source generation is gone. Every finding
+//! is an [`FsckIssue`]; with `repair` enabled each issue is fixed in
+//! the least destructive way available:
+//!
+//! | issue | repair |
+//! |---|---|
+//! | torn catalog | rebuild from dataset scan, fresh generations |
+//! | catalog entry without directory | drop the entry |
+//! | directory without catalog entry | re-index under a fresh generation |
+//! | unreadable / checksum-failing dataset | quarantine with reason file |
+//! | orphan temp/staging/trash | remove |
+//! | stale result-cache entry | remove |
+//!
+//! Quarantining (into `quarantine/`, never deletion) keeps damaged
+//! bytes around for manual forensics. Re-indexing always assigns a
+//! fresh generation so no result cached before the damage can
+//! revalidate against recovered data.
+
+use crate::catalog::{self, CatalogEntry};
+use crate::durable;
+use crate::error::RepoError;
+use crate::result_store::ResultStore;
+use nggc_formats::native_v2::{self, StorageVersion};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What [`fsck`] should do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsckOptions {
+    /// Fully decode every dataset, verifying all checksums, instead of
+    /// only validating magic bytes, headers and block indexes.
+    pub deep: bool,
+    /// Fix what can be fixed (re-index, quarantine, sweep) instead of
+    /// only reporting.
+    pub repair: bool,
+}
+
+/// Category of one [`FsckIssue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueKind {
+    /// `catalog.json` (or `generations.json`) exists but does not parse.
+    TornCatalog,
+    /// A catalog entry whose dataset directory is missing.
+    MissingDataset,
+    /// A dataset directory the catalog does not know about.
+    OrphanDataset,
+    /// A dataset that fails header validation or (deep mode) a
+    /// checksum/decode pass.
+    UnreadableDataset,
+    /// A leftover staging/temp/trash entry from an interrupted write.
+    OrphanTemp,
+    /// A result-cache entry whose source generations are gone.
+    StaleResult,
+}
+
+impl IssueKind {
+    /// Short name for report lines and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            IssueKind::TornCatalog => "torn-catalog",
+            IssueKind::MissingDataset => "missing-dataset",
+            IssueKind::OrphanDataset => "orphan-dataset",
+            IssueKind::UnreadableDataset => "unreadable-dataset",
+            IssueKind::OrphanTemp => "orphan-temp",
+            IssueKind::StaleResult => "stale-result",
+        }
+    }
+}
+
+/// One finding of a [`fsck`] run.
+#[derive(Debug)]
+pub struct FsckIssue {
+    /// What category of damage this is.
+    pub kind: IssueKind,
+    /// What is damaged (dataset name, file, or path).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub detail: String,
+    /// Whether this run fixed it (always `false` without `repair`).
+    pub repaired: bool,
+}
+
+/// Outcome of a [`fsck`] run.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Datasets that passed every check this run performed.
+    pub datasets_ok: usize,
+    /// Entries currently in `quarantine/` (including ones moved there
+    /// by this run).
+    pub quarantined: usize,
+    /// Everything found wrong, in discovery order.
+    pub issues: Vec<FsckIssue>,
+    /// Whether the run was a deep (full checksum) pass.
+    pub deep: bool,
+}
+
+impl FsckReport {
+    /// No issues at all?
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Issues this run did not (or could not) fix.
+    pub fn unrepaired(&self) -> usize {
+        self.issues.iter().filter(|i| !i.repaired).count()
+    }
+}
+
+/// Dataset directories under `root/datasets` (non-dot entries only), in
+/// name order.
+fn dataset_dirs(root: &Path) -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(root.join("datasets"))
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .filter(|p| p.file_name().is_some_and(|n| !n.to_string_lossy().starts_with('.')))
+                .collect()
+        })
+        .unwrap_or_default();
+    dirs.sort();
+    dirs
+}
+
+/// Orphaned staging/temp/trash leftovers, without removing anything.
+fn orphan_temp_entries(root: &Path) -> Vec<PathBuf> {
+    let mut orphans = Vec::new();
+    let mut collect = |dir: &Path, prefix: &str| {
+        let Ok(entries) = fs::read_dir(dir) else { return };
+        for entry in entries.filter_map(|e| e.ok()) {
+            if prefix.is_empty() || entry.file_name().to_string_lossy().starts_with(prefix) {
+                orphans.push(entry.path());
+            }
+        }
+    };
+    collect(root, ".tmp-");
+    collect(&root.join("datasets"), ".stage-");
+    collect(&root.join("result_cache"), ".tmp-");
+    collect(&root.join(".trash"), "");
+    orphans.sort();
+    orphans
+}
+
+/// Validate one dataset directory. Shallow mode parses magic, header
+/// and block index (no region decode); deep mode fully decodes the
+/// dataset, which for revision-3 containers verifies the whole-file
+/// trailer and every block checksum.
+fn check_dataset(dir: &Path, deep: bool) -> Result<(), String> {
+    match native_v2::detect_version(dir) {
+        None => Err("neither a v2 container nor a v1 native dataset".into()),
+        Some(StorageVersion::V2) if !deep => {
+            native_v2::read_index(dir).map(|_| ()).map_err(|e| e.to_string())
+        }
+        Some(_) => native_v2::read_dataset_auto(dir).map(|_| ()).map_err(|e| e.to_string()),
+    }
+}
+
+/// Walk the repository at `root`, verifying catalog, datasets, staging
+/// areas and the on-disk result cache; optionally repair. See the
+/// module docs for the issue → repair table.
+pub fn fsck(root: &Path, opts: FsckOptions) -> Result<FsckReport, RepoError> {
+    let reg = nggc_obs::global();
+    reg.counter("nggc_repo_fsck_runs_total").inc();
+    let mut report = FsckReport { deep: opts.deep, ..FsckReport::default() };
+    let issue = |report: &mut FsckReport, kind: IssueKind, subject: &str, detail: String| {
+        report.issues.push(FsckIssue { kind, subject: subject.to_owned(), detail, repaired: false })
+    };
+
+    // -- generations high-water mark ------------------------------------
+    let gen_path = root.join("generations.json");
+    let mut next_generation: u64 = 1;
+    let mut generations_torn = false;
+    if gen_path.exists() {
+        match fs::read_to_string(&gen_path)
+            .ok()
+            .and_then(|t| serde_json::from_str::<catalog::GenerationFile>(&t).ok())
+        {
+            Some(g) => next_generation = g.next.max(1),
+            None => {
+                generations_torn = true;
+                issue(
+                    &mut report,
+                    IssueKind::TornCatalog,
+                    "generations.json",
+                    "exists but does not parse".into(),
+                );
+            }
+        }
+    }
+
+    // -- catalog ---------------------------------------------------------
+    let catalog_path = root.join("catalog.json");
+    let mut catalog: Option<BTreeMap<String, CatalogEntry>> = if catalog_path.exists() {
+        fs::read_to_string(&catalog_path).ok().and_then(|t| serde_json::from_str(&t).ok())
+    } else {
+        Some(BTreeMap::new())
+    };
+    let mut catalog_dirty = false;
+    if catalog.is_none() {
+        issue(
+            &mut report,
+            IssueKind::TornCatalog,
+            "catalog.json",
+            "exists but does not parse".into(),
+        );
+        if opts.repair {
+            // Rebuild with fresh generations; the result cache cannot be
+            // validated against a lost catalog, so drop it wholesale.
+            let (rebuilt, _, next) = catalog::rebuild_catalog(root, next_generation);
+            next_generation = next;
+            fs::remove_dir_all(root.join("result_cache")).ok();
+            catalog = Some(rebuilt);
+            catalog_dirty = true;
+            report.issues.last_mut().expect("just pushed").repaired = true;
+        }
+    }
+    // Keep generation assignment above anything the catalog recorded.
+    if let Some(cat) = &catalog {
+        let cat_next = cat.values().map(|e| e.generation + 1).max().unwrap_or(1);
+        next_generation = next_generation.max(cat_next);
+    }
+
+    // -- datasets --------------------------------------------------------
+    let dirs = dataset_dirs(root);
+    if let Some(cat) = &mut catalog {
+        // Catalog entries whose directory vanished.
+        let missing: Vec<String> = cat
+            .keys()
+            .filter(|name| !dirs.iter().any(|d| d.file_name().is_some_and(|n| n == name.as_str())))
+            .cloned()
+            .collect();
+        for name in missing {
+            issue(
+                &mut report,
+                IssueKind::MissingDataset,
+                &name,
+                "catalogued but no dataset directory on disk".into(),
+            );
+            if opts.repair {
+                // A replace interrupted between trash and rename leaves
+                // both versions on disk; bring one back (staged = new,
+                // trashed = old) before falling back to dropping the
+                // entry.
+                if catalog::rescue_dataset(root, &name).is_some() {
+                    report.datasets_ok += 1;
+                } else {
+                    cat.remove(&name);
+                    catalog_dirty = true;
+                }
+                report.issues.last_mut().expect("just pushed").repaired = true;
+            }
+        }
+        // Directories: readability, then catalog membership.
+        for dir in &dirs {
+            let name = dir.file_name().expect("dataset dirs have names").to_string_lossy();
+            match check_dataset(dir, opts.deep) {
+                Ok(()) => {
+                    if cat.contains_key(name.as_ref()) {
+                        report.datasets_ok += 1;
+                    } else {
+                        issue(
+                            &mut report,
+                            IssueKind::OrphanDataset,
+                            &name,
+                            "dataset directory not in the catalog".into(),
+                        );
+                        if opts.repair {
+                            match native_v2::read_dataset_auto(dir) {
+                                Ok(ds) => {
+                                    let generation = next_generation;
+                                    next_generation += 1;
+                                    cat.insert(
+                                        name.to_string(),
+                                        CatalogEntry {
+                                            name: name.to_string(),
+                                            schema: ds.schema.clone(),
+                                            stats: ds.stats(),
+                                            generation,
+                                        },
+                                    );
+                                    catalog_dirty = true;
+                                    report.issues.last_mut().expect("just pushed").repaired = true;
+                                }
+                                Err(e) => {
+                                    // Readable shallowly but not fully:
+                                    // treat like any unreadable dataset.
+                                    if catalog::quarantine_dataset(
+                                        root,
+                                        dir,
+                                        &format!("re-index during fsck failed: {e}"),
+                                    )
+                                    .is_ok()
+                                    {
+                                        report.issues.last_mut().expect("just pushed").repaired =
+                                            true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(reason) => {
+                    issue(&mut report, IssueKind::UnreadableDataset, &name, reason.clone());
+                    if opts.repair && catalog::quarantine_dataset(root, dir, &reason).is_ok() {
+                        if cat.remove(name.as_ref()).is_some() {
+                            catalog_dirty = true;
+                        }
+                        report.issues.last_mut().expect("just pushed").repaired = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // -- orphaned temp/staging/trash -------------------------------------
+    for orphan in orphan_temp_entries(root) {
+        issue(
+            &mut report,
+            IssueKind::OrphanTemp,
+            &orphan.display().to_string(),
+            "leftover from an interrupted write".into(),
+        );
+        if opts.repair {
+            let removed = if orphan.is_dir() {
+                fs::remove_dir_all(&orphan).is_ok()
+            } else {
+                fs::remove_file(&orphan).is_ok()
+            };
+            if removed {
+                report.issues.last_mut().expect("just pushed").repaired = true;
+            }
+        }
+    }
+
+    // -- result cache -----------------------------------------------------
+    if let Some(cat) = &catalog {
+        if root.join("result_cache").exists() {
+            let store = ResultStore::open(root.join("result_cache"), u64::MAX);
+            let gen_of = |name: &str| cat.get(name).map(|e| e.generation);
+            for path in store.stale_entries(&gen_of) {
+                issue(
+                    &mut report,
+                    IssueKind::StaleResult,
+                    &path.display().to_string(),
+                    "cached result whose source generation is gone".into(),
+                );
+            }
+            if opts.repair {
+                let swept = store.sweep_stale(&gen_of);
+                let mut marked = 0;
+                for i in report.issues.iter_mut().rev() {
+                    if i.kind == IssueKind::StaleResult && marked < swept {
+                        i.repaired = true;
+                        marked += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // -- persist repairs ---------------------------------------------------
+    if opts.repair && (catalog_dirty || generations_torn) {
+        if let Some(cat) = &catalog {
+            let text = serde_json::to_string_pretty(cat)?;
+            durable::atomic_write(&catalog_path, text.as_bytes())?;
+            durable::atomic_write(
+                &gen_path,
+                serde_json::to_string(&catalog::GenerationFile { next: next_generation })?
+                    .as_bytes(),
+            )?;
+            if generations_torn {
+                for i in report.issues.iter_mut() {
+                    if i.kind == IssueKind::TornCatalog && i.subject == "generations.json" {
+                        i.repaired = true;
+                    }
+                }
+            }
+        }
+    }
+
+    report.quarantined = catalog::quarantine_count(root);
+    reg.counter("nggc_repo_fsck_issues_total").add(report.issues.len() as u64);
+    reg.counter("nggc_repo_fsck_repairs_total")
+        .add(report.issues.iter().filter(|i| i.repaired).count() as u64);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Repository;
+    use nggc_gdm::{Attribute, Dataset, GRegion, Sample, Schema, Strand, ValueType};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nggc_fsck_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn dataset(name: &str) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new(name, schema);
+        ds.add_sample(Sample::new("s1", name).with_regions(vec![
+            GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![0.5.into()]),
+        ]))
+        .unwrap();
+        ds
+    }
+
+    fn seeded(tag: &str) -> PathBuf {
+        let root = tmp(tag);
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&dataset("A")).unwrap();
+        repo.save(&dataset("B")).unwrap();
+        root
+    }
+
+    #[test]
+    fn clean_repo_is_clean() {
+        let root = seeded("clean");
+        let report = fsck(&root, FsckOptions::default()).unwrap();
+        assert!(report.is_clean(), "unexpected issues: {:?}", report.issues);
+        assert_eq!(report.datasets_ok, 2);
+        let deep = fsck(&root, FsckOptions { deep: true, repair: false }).unwrap();
+        assert!(deep.is_clean());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn orphan_dataset_is_reindexed_with_fresh_generation() {
+        let root = seeded("orphan");
+        // Remove A from the catalog, keeping its directory.
+        let mut repo = Repository::open(&root).unwrap();
+        let old_gen = repo.generation("A").unwrap();
+        repo.delete("A").unwrap();
+        // Resurrect the directory only (simulating a crash between
+        // catalog persist and directory removal).
+        let mut r2 = Repository::open(&root).unwrap();
+        r2.save(&dataset("A")).unwrap();
+        let resave_gen = r2.generation("A").unwrap();
+        let catalog_text = fs::read_to_string(root.join("catalog.json")).unwrap();
+        let stripped: BTreeMap<String, CatalogEntry> =
+            serde_json::from_str::<BTreeMap<String, CatalogEntry>>(&catalog_text)
+                .unwrap()
+                .into_iter()
+                .filter(|(k, _)| k != "A")
+                .collect();
+        fs::write(root.join("catalog.json"), serde_json::to_string(&stripped).unwrap()).unwrap();
+
+        let report = fsck(&root, FsckOptions::default()).unwrap();
+        assert_eq!(report.issues.len(), 1);
+        assert_eq!(report.issues[0].kind, IssueKind::OrphanDataset);
+        assert_eq!(report.unrepaired(), 1, "report-only run fixes nothing");
+
+        let repaired = fsck(&root, FsckOptions { deep: false, repair: true }).unwrap();
+        assert_eq!(repaired.unrepaired(), 0);
+        let repo = Repository::open(&root).unwrap();
+        assert!(repo.contains("A"));
+        let new_gen = repo.generation("A").unwrap();
+        assert!(new_gen > old_gen && new_gen > resave_gen, "re-index must use a fresh generation");
+        assert!(fsck(&root, FsckOptions::default()).unwrap().is_clean());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_dataset_entry_is_dropped() {
+        let root = seeded("missing");
+        fs::remove_dir_all(root.join("datasets/B")).unwrap();
+        let report = fsck(&root, FsckOptions::default()).unwrap();
+        assert!(report.issues.iter().any(|i| i.kind == IssueKind::MissingDataset));
+        let repaired = fsck(&root, FsckOptions { deep: false, repair: true }).unwrap();
+        assert_eq!(repaired.unrepaired(), 0);
+        let repo = Repository::open(&root).unwrap();
+        assert!(!repo.contains("B"));
+        assert!(repo.contains("A"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_container_quarantined_only_by_deep_pass() {
+        let root = seeded("deepquar");
+        // Flip a bit inside B's container, past header and index: the
+        // shallow pass (magic + header + index) cannot see it.
+        let container = root.join("datasets/B/data.gdm2");
+        let mut bytes = fs::read(&container).unwrap();
+        let pos = bytes.len() - 6; // inside the last block, before the trailer
+        bytes[pos] ^= 0x01;
+        fs::write(&container, &bytes).unwrap();
+
+        let shallow = fsck(&root, FsckOptions::default()).unwrap();
+        assert!(shallow.is_clean(), "shallow pass skips block checksums: {:?}", shallow.issues);
+        let deep = fsck(&root, FsckOptions { deep: true, repair: false }).unwrap();
+        assert_eq!(deep.issues.len(), 1);
+        assert_eq!(deep.issues[0].kind, IssueKind::UnreadableDataset);
+        assert!(deep.issues[0].detail.contains("checksum mismatch"), "{}", deep.issues[0].detail);
+
+        let repaired = fsck(&root, FsckOptions { deep: true, repair: true }).unwrap();
+        assert_eq!(repaired.unrepaired(), 0);
+        assert_eq!(repaired.quarantined, 1);
+        // The damaged bytes are preserved for forensics, with a reason.
+        let quarantine: Vec<_> = fs::read_dir(root.join("quarantine"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(quarantine.iter().any(|n| n.starts_with("B") && n.ends_with(".reason.txt")));
+        let repo = Repository::open(&root).unwrap();
+        assert!(!repo.contains("B"));
+        assert!(repo.contains("A"));
+        assert!(fsck(&root, FsckOptions { deep: true, repair: false }).unwrap().is_clean());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_catalog_rebuilds_and_stale_results_swept() {
+        let root = seeded("torn");
+        // A cached result recorded against current generations…
+        let store = ResultStore::open(root.join("result_cache"), 1 << 20);
+        let repo = Repository::open(&root).unwrap();
+        let gens = vec![("A".to_owned(), repo.generation("A").unwrap())];
+        let mut outs = std::collections::HashMap::new();
+        outs.insert("R".to_owned(), dataset("R"));
+        store.store(42, &gens, &outs).unwrap();
+        drop(repo);
+        // …then the catalog is torn mid-write.
+        fs::write(root.join("catalog.json"), "{\"A\": {\"name\":").unwrap();
+
+        let report = fsck(&root, FsckOptions::default()).unwrap();
+        assert!(report.issues.iter().any(|i| i.kind == IssueKind::TornCatalog));
+        let repaired = fsck(&root, FsckOptions { deep: false, repair: true }).unwrap();
+        assert_eq!(repaired.unrepaired(), 0);
+        // Rebuilt catalog knows both datasets again, under fresh
+        // generations, and the untrustworthy result cache is gone.
+        let repo = Repository::open(&root).unwrap();
+        assert!(repo.contains("A") && repo.contains("B"));
+        assert_eq!(ResultStore::open(root.join("result_cache"), 1 << 20).usage().0, 0);
+        assert!(fsck(&root, FsckOptions::default()).unwrap().is_clean());
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn orphan_temp_entries_reported_and_swept() {
+        let root = seeded("temp");
+        fs::create_dir_all(root.join("datasets/.stage-999-X")).unwrap();
+        fs::write(root.join(".tmp-999-catalog.json"), "half").unwrap();
+        fs::create_dir_all(root.join(".trash/X-1-0")).unwrap();
+        let report = fsck(&root, FsckOptions::default()).unwrap();
+        let temps = report.issues.iter().filter(|i| i.kind == IssueKind::OrphanTemp).count();
+        assert_eq!(temps, 3);
+        let repaired = fsck(&root, FsckOptions { deep: false, repair: true }).unwrap();
+        assert_eq!(repaired.unrepaired(), 0);
+        assert!(fsck(&root, FsckOptions::default()).unwrap().is_clean());
+        assert!(!root.join("datasets/.stage-999-X").exists());
+        fs::remove_dir_all(&root).ok();
+    }
+}

@@ -11,12 +11,16 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod durable;
 pub mod error;
+pub mod fsck;
 pub mod meta_index;
 pub mod result_store;
 
-pub use catalog::{CatalogEntry, MigrationReport, MigrationSweep, Repository};
+pub use catalog::{CatalogEntry, MigrationReport, MigrationSweep, RepoHealth, Repository};
+pub use durable::{CRASHPOINT_ENV, CRASH_SITES};
 pub use error::RepoError;
+pub use fsck::{fsck, FsckIssue, FsckOptions, FsckReport, IssueKind};
 pub use meta_index::{tokenize, MetaIndex, SampleRef};
 pub use nggc_formats::native_v2::StorageVersion;
 pub use result_store::ResultStore;

@@ -12,9 +12,11 @@
 //! served hit refreshes the entry's mtime.
 //!
 //! All writes are best-effort and crash-safe: entries are staged in a
-//! temp directory and renamed into place, and any unreadable entry is
-//! treated as a miss and removed.
+//! temp directory, fsynced, and renamed into place (the
+//! [`crate::durable`] protocol), and any unreadable entry is treated as
+//! a miss and removed.
 
+use crate::durable;
 use crate::error::RepoError;
 use nggc_formats::native_v2;
 use nggc_gdm::Dataset;
@@ -111,8 +113,9 @@ impl ResultStore {
             }
         }
         // Rewriting meta.json refreshes the entry's mtime, which is the
-        // LRU recency signal eviction sorts on.
-        fs::write(&meta_path, &text).ok();
+        // LRU recency signal eviction sorts on. Atomic so a crash
+        // mid-refresh cannot tear a live entry's metadata.
+        durable::atomic_write(&meta_path, text.as_bytes()).ok();
         reg.counter("nggc_result_cache_hits_total").inc();
         Some(outputs)
     }
@@ -147,9 +150,10 @@ impl ResultStore {
             bytes,
         };
         fs::write(staging.join("meta.json"), serde_json::to_string(&meta)?)?;
+        // Fsync the staged entry and swap it in durably: a crash leaves
+        // either the previous entry, no entry, or the complete new one.
         let dir = self.entry_dir(key);
-        fs::remove_dir_all(&dir).ok();
-        fs::rename(&staging, &dir)?;
+        durable::atomic_replace_dir(&staging, &dir, &self.dir.join(".trash"))?;
         nggc_obs::global().counter("nggc_result_cache_insert_bytes_total").add(bytes);
         self.evict_over_budget(Some(key));
         Ok(())
@@ -200,6 +204,57 @@ impl ResultStore {
             reg.counter("nggc_result_cache_evictions_total").inc();
             total -= bytes;
         }
+    }
+
+    /// Entries whose recorded source generations no longer match
+    /// `gen_of` (or whose metadata is unreadable): they can only ever
+    /// miss. Pure inspection — nothing is removed.
+    pub fn stale_entries(&self, gen_of: &dyn Fn(&str) -> Option<u64>) -> Vec<PathBuf> {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut stale = Vec::new();
+        for entry in read.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if !path.is_dir()
+                || path.file_name().is_some_and(|n| n.to_string_lossy().starts_with('.'))
+            {
+                continue;
+            }
+            let dead = match fs::read_to_string(path.join("meta.json"))
+                .ok()
+                .and_then(|t| serde_json::from_str::<EntryMeta>(&t).ok())
+            {
+                Some(meta) => {
+                    meta.version != STORE_VERSION
+                        || !meta.gens.iter().all(|(name, gen)| gen_of(name) == Some(*gen))
+                }
+                // Unreadable metadata is as dead as a stale snapshot.
+                None => true,
+            };
+            if dead {
+                stale.push(path);
+            }
+        }
+        stale
+    }
+
+    /// Remove every entry [`ResultStore::stale_entries`] flags — the
+    /// eager counterpart of the delete-on-sight validation
+    /// [`ResultStore::lookup`] performs lazily. `nggc fsck --repair`
+    /// runs this so a repaired repository carries no cached result
+    /// whose source generation is gone. Returns how many entries were
+    /// evicted.
+    pub fn sweep_stale(&self, gen_of: &dyn Fn(&str) -> Option<u64>) -> u64 {
+        let reg = nggc_obs::global();
+        let mut evicted = 0;
+        for path in self.stale_entries(gen_of) {
+            if fs::remove_dir_all(&path).is_ok() {
+                evicted += 1;
+                reg.counter("nggc_result_cache_invalidations_total").inc();
+            }
+        }
+        evicted
     }
 
     /// `(entries, encoded bytes)` currently resident — for tests and
@@ -322,6 +377,22 @@ mod tests {
         assert_eq!(big.usage().0, 0);
         fs::remove_dir_all(store.dir()).ok();
         fs::remove_dir_all(big.dir()).ok();
+    }
+
+    #[test]
+    fn sweep_stale_evicts_eagerly() {
+        let store = ResultStore::open(tmp("sweep"), 1 << 20);
+        store.store(1, &[("A".into(), 1)], &outputs("R", 2)).unwrap();
+        store.store(2, &[("B".into(), 7)], &outputs("R", 2)).unwrap();
+        // A's generation moved on; B's source is gone entirely.
+        let evicted = store.sweep_stale(&|n| if n == "A" { Some(2) } else { None });
+        assert_eq!(evicted, 2);
+        assert_eq!(store.usage().0, 0);
+        // Valid entries survive a sweep.
+        store.store(3, &[("C".into(), 5)], &outputs("R", 2)).unwrap();
+        assert_eq!(store.sweep_stale(&|_| Some(5)), 0);
+        assert!(store.lookup(3, &|_| Some(5)).is_some());
+        fs::remove_dir_all(store.dir()).ok();
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!   list                          list datasets with statistics
 //!   info DATASET                  schema + statistics of one dataset
 //!   migrate [DATASET | --all]     rewrite datasets in the binary v2 storage format
+//!   delete DATASET                remove a dataset (crash-safe: catalogued first,
+//!                                 then moved to trash, then swept)
+//!   fsck [--repair] [--deep]      verify repository integrity: catalog/dataset
+//!                                 cross-checks, container headers, orphaned temp
+//!                                 files, stale cached results; --deep adds a full
+//!                                 checksum pass, --repair fixes what it can
+//!        [--crashpoints]          print the registered crash-injection sites
 //!   query (-e TEXT | FILE)        run a GMQL query; prints output statistics
 //!         [--save] [--workers N] [--explain] [--explain-analyze [--json]]
 //!         [--head K] [--profile] [--timeout DUR] [--max-memory BYTES]
@@ -223,6 +230,8 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
         "list" => cmd_list(&repo_path).map_err(CliError::from),
         "info" => cmd_info(&repo_path, &rest).map_err(CliError::from),
         "migrate" => cmd_migrate(&repo_path, &rest).map_err(CliError::from),
+        "delete" => cmd_delete(&repo_path, &rest).map_err(CliError::from),
+        "fsck" => cmd_fsck(&repo_path, &rest),
         "query" => cmd_query(&repo_path, &rest),
         "stats" => cmd_stats(&repo_path, &rest).map_err(CliError::from),
         "search" => cmd_search(&repo_path, &rest).map_err(CliError::from),
@@ -238,7 +247,9 @@ fn run(mut args: Vec<String>) -> Result<(), CliError> {
 }
 
 fn usage() -> String {
-    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|migrate|query|stats|search|export|serve|client|help> [args]\n\
+    "usage: nggc [--repo PATH] <init|import|import-dir|list|info|migrate|delete|fsck|query|stats|search|export|serve|client|help> [args]\n\
+     fsck [--repair] [--deep] [--crashpoints]  verify repository integrity (--deep: full checksum pass)\n\
+     delete DATASET                            remove a dataset from the repository\n\
      run `nggc help` for details"
         .to_owned()
 }
@@ -366,6 +377,64 @@ fn cmd_migrate(repo_path: &Path, args: &[String]) -> Result<(), String> {
             failed.len(),
             reports.len() + failed.len()
         ));
+    }
+    Ok(())
+}
+
+/// `nggc delete DATASET` — crash-safe removal: the catalog forgets the
+/// dataset (durably) before any bytes leave the disk, so a crash can
+/// strand an orphan directory (repaired by `fsck`/reopen) but never a
+/// catalog entry pointing at nothing it can't explain.
+fn cmd_delete(repo_path: &Path, args: &[String]) -> Result<(), String> {
+    let Some(name) = args.first() else {
+        return Err("delete requires a dataset name".into());
+    };
+    let mut repo = open(repo_path)?;
+    repo.delete(name).map_err(|e| e.to_string())?;
+    println!("deleted {name}");
+    Ok(())
+}
+
+/// `nggc fsck [--repair] [--deep] [--crashpoints]` — verify (and
+/// optionally repair) the repository. Operates on raw paths rather than
+/// `Repository::open`, which auto-repairs and would mask damage. Exits
+/// 0 when the repository is clean or every issue was repaired, 1 when
+/// un-repaired issues remain.
+fn cmd_fsck(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
+    use nggc::repository::{fsck, FsckOptions};
+    let mut opts = FsckOptions::default();
+    for arg in args {
+        match arg.as_str() {
+            "--repair" => opts.repair = true,
+            "--deep" => opts.deep = true,
+            "--crashpoints" => {
+                for site in nggc::repository::CRASH_SITES {
+                    println!("{site}");
+                }
+                return Ok(());
+            }
+            other => return Err(format!("fsck: unexpected argument {other:?}").into()),
+        }
+    }
+    if !repo_path.exists() {
+        return Err(format!("fsck: no repository at {}", repo_path.display()).into());
+    }
+    let report = fsck::fsck(repo_path, opts).map_err(|e| CliError::from(e.to_string()))?;
+    let mode = if opts.deep { "deep" } else { "shallow" };
+    for issue in &report.issues {
+        let fixed = if issue.repaired { " [repaired]" } else { "" };
+        println!("{}: {}: {}{fixed}", issue.kind.name(), issue.subject, issue.detail);
+    }
+    println!(
+        "fsck ({mode}): {} datasets ok, {} quarantined, {} issues ({} repaired)",
+        report.datasets_ok,
+        report.quarantined,
+        report.issues.len(),
+        report.issues.iter().filter(|i| i.repaired).count()
+    );
+    let unrepaired = report.unrepaired();
+    if unrepaired > 0 {
+        return Err(format!("fsck: {unrepaired} unrepaired issue(s)").into());
     }
     Ok(())
 }
@@ -976,6 +1045,14 @@ fn cmd_stats(repo_path: &Path, args: &[String]) -> Result<(), String> {
         None
     };
     let _trace_scope = collector.as_ref().map(|_| nggc::obs::TraceContext::new().enter());
+    // One-line repo health summary (stderr keeps `--json` stdout
+    // machine-readable); only for an existing repository — `stats`
+    // must not create one as a side effect.
+    if repo_path.exists() {
+        if let Ok(repo) = Repository::open(repo_path) {
+            eprintln!("repo health: {}", repo.health());
+        }
+    }
     if fed_selftest {
         run_fed_selftest()?;
     }
@@ -1197,6 +1274,9 @@ fn cmd_serve(repo_path: &Path, args: &[String]) -> Result<(), String> {
     }
     let repo = open(repo_path)?;
     let datasets = repo.list().len();
+    // stderr: the stdout banner below stays machine-parseable (tests
+    // and scripts read the bound address from stdout's first line).
+    eprintln!("repo health: {}", repo.health());
     let server = Server::bind(&addr, repo, config).map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     let handle = server.handle();

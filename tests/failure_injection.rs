@@ -70,10 +70,19 @@ fn missing_schema_file_is_an_io_error() {
 }
 
 #[test]
-fn corrupt_repository_catalog_fails_open() {
+fn corrupt_repository_catalog_rebuilds_on_open() {
+    // A torn catalog no longer fails open: recovery rebuilds it by
+    // scanning the dataset directories (docs/robustness.md). With no
+    // datasets on disk the rebuilt catalog is simply empty, and the
+    // repair is reported via health and persisted for the next open.
     let dir = tmp("catalog");
+    fs::create_dir_all(&dir).unwrap();
     fs::write(dir.join("catalog.json"), "{ not json").unwrap();
-    assert!(Repository::open(&dir).is_err());
+    let repo = Repository::open(&dir).unwrap();
+    assert!(repo.health().catalog_rebuilt);
+    assert!(repo.list().is_empty());
+    let again = Repository::open(&dir).unwrap();
+    assert!(!again.health().catalog_rebuilt, "repair is persisted, second open is clean");
     fs::remove_dir_all(&dir).ok();
 }
 

@@ -608,4 +608,72 @@ proptest! {
     ) {
         let _ = decode_dataset_v2(&bytes);
     }
+
+    /// Any single bit flip in a current (revision 3, checksummed)
+    /// container is rejected by the full decode as a typed
+    /// `ChecksumMismatch` — never a panic, never silent garbage. The
+    /// only exemption is bit 0 of the version byte (offset 8), which
+    /// downgrades the container to the checksum-free legacy revision
+    /// (see docs/storage.md).
+    #[test]
+    fn v3_bit_flips_yield_checksum_mismatch(pos in 0usize..4096, bit in 0u8..8) {
+        let mut bytes = v2_container_bytes();
+        let len = bytes.len();
+        let pos = pos % len;
+        bytes[pos] ^= 1 << bit;
+        let result = decode_dataset_v2(&bytes);
+        if pos == 8 && bit == 0 {
+            // Version byte 3 -> 2: the documented undetectable downgrade.
+            return Ok(());
+        }
+        if pos < 9 {
+            // Magic or version byte: rejected as a structural error.
+            prop_assert!(result.is_err(), "corrupted header decoded");
+        } else {
+            prop_assert!(
+                matches!(result, Err(nggc::formats::FormatError::ChecksumMismatch { .. })),
+                "flip at {pos} bit {bit} not caught by checksum: {result:?}"
+            );
+        }
+    }
+
+    /// Truncating a checksummed container at any point keeps yielding a
+    /// typed error; a cut that leaves the trailer malformed or absent
+    /// can never decode cleanly.
+    #[test]
+    fn v3_truncation_always_errors(frac in 0.0f64..1.0) {
+        let bytes = v2_container_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(decode_dataset_v2(&bytes[..cut]).is_err(), "truncated container decoded");
+    }
+
+    /// Legacy (revision 2, checksum-free) containers written by the
+    /// previous release still decode to identical content.
+    #[test]
+    fn legacy_v2_containers_decode_under_v3_reader(extra_regions in 0usize..16) {
+        let mut ds = Dataset::new(
+            "LEGACY",
+            Schema::new(vec![Attribute::new("score", ValueType::Float)]).unwrap(),
+        );
+        let mut regions = vec![
+            GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![Value::Float(0.5)]),
+        ];
+        for i in 0..extra_regions {
+            regions.push(
+                GRegion::new("chr2", (i as u64) * 10, (i as u64) * 10 + 5, Strand::Neg)
+                    .with_values(vec![Value::Null]),
+            );
+        }
+        ds.add_sample(Sample::new("s1", "LEGACY").with_regions(regions)).unwrap();
+        let legacy = nggc::formats::native_v2::encode_dataset_v2_legacy(&ds).unwrap();
+        let decoded = decode_dataset_v2(&legacy).unwrap();
+        prop_assert_eq!(&decoded.name, &ds.name);
+        prop_assert_eq!(&decoded.schema, &ds.schema);
+        prop_assert_eq!(decoded.samples.len(), ds.samples.len());
+        prop_assert_eq!(
+            decoded.samples[0].region_count(),
+            ds.samples[0].region_count()
+        );
+        prop_assert_eq!(decoded.stats(), ds.stats());
+    }
 }
