@@ -1,0 +1,227 @@
+//! **E12** — scan pruning: predicate/projection pushdown vs full scan.
+//!
+//! The v2 container's chrom index is an offset table (docs/storage.md);
+//! the ScanSpec derivation pass (`nggc_core::derive_scan_specs`) pushes
+//! SELECT region predicates and projections down into it, so a
+//! chromosome-selective query decodes only the blocks it can touch.
+//! This experiment measures, on the E-series ENCODE-shaped synthetic
+//! dataset, a chr-filtered query executed cold two ways:
+//!
+//! * **full** — every source load decodes the whole container
+//!   (pre-pushdown behaviour, still parallel per block);
+//! * **pruned** — `Repository::load_pruned` serves the derived spec
+//!   from the chrom index.
+//!
+//! Asserted acceptance bars: the pruned run must read strictly fewer
+//! container bytes than the dataset holds, and the cold query must run
+//! at least 2× faster. Results are written as a JSON artifact
+//! (`BENCH_scan_pruning.json` by default, committed at the repo root).
+//!
+//! Usage: `exp_scan_pruning [scale] [--iters N] [--json PATH]`
+//! (default scale 0.005, 5 iterations; best-of-N timings).
+
+use nggc_bench::{human_bytes, map_workload, Table};
+use nggc_core::{self as gmql, DatasetProvider};
+use nggc_engine::ExecContext;
+use nggc_formats::native_v2::{self, ScanOptions};
+use nggc_gdm::Dataset;
+use nggc_repository::Repository;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn best_of(iters: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..iters).map(|_| f()).min().expect("at least one iteration")
+}
+
+/// Full-scan baseline: shared-`Arc` loads with the default
+/// `load_pruned` (which falls back to a full load).
+struct FullProvider<'a>(&'a Repository);
+
+impl DatasetProvider for FullProvider<'_> {
+    fn load(&self, name: &str) -> Result<Dataset, gmql::GmqlError> {
+        self.load_shared(name).map(|d| (*d).clone())
+    }
+
+    fn load_shared(&self, name: &str) -> Result<Arc<Dataset>, gmql::GmqlError> {
+        self.0.load(name).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
+    }
+}
+
+/// Pushdown path: non-trivial ScanSpecs go through the repository's
+/// pruned container read (same wiring as the CLI's `RepoProvider`).
+struct PrunedProvider<'a>(&'a Repository);
+
+impl DatasetProvider for PrunedProvider<'_> {
+    fn load(&self, name: &str) -> Result<Dataset, gmql::GmqlError> {
+        self.load_shared(name).map(|d| (*d).clone())
+    }
+
+    fn load_shared(&self, name: &str) -> Result<Arc<Dataset>, gmql::GmqlError> {
+        self.0.load(name).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
+    }
+
+    fn load_pruned(
+        &self,
+        name: &str,
+        spec: &gmql::ScanSpec,
+    ) -> Result<Arc<Dataset>, gmql::GmqlError> {
+        let opts = ScanOptions { chroms: spec.chroms.clone(), columns: spec.columns.clone() };
+        self.0.load_pruned(name, &opts).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
+    }
+}
+
+fn main() {
+    let mut scale = 0.005f64;
+    let mut iters = 5usize;
+    let mut json_path = "BENCH_scan_pruning.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(iters),
+            "--json" => json_path = args.next().unwrap_or(json_path),
+            other => {
+                if let Ok(s) = other.parse() {
+                    scale = s;
+                }
+            }
+        }
+    }
+
+    println!("== E12: scan pruning — chr-filtered query, pruned vs full cold scan ==\n");
+    let w = map_workload(scale, 42);
+    let dataset = w.encode;
+    let n_chroms = w.genome.chromosomes().len();
+    println!(
+        "workload: scale {scale} — {} samples, {} regions, {} chromosomes",
+        dataset.sample_count(),
+        dataset.region_count(),
+        n_chroms,
+    );
+
+    let root = std::env::temp_dir().join(format!("nggc_exp_scan_pruning_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    {
+        let mut repo = Repository::open(&root).expect("open repo");
+        repo.save(&dataset).expect("save dataset");
+    }
+
+    // Target the chromosome with the most regions — the worst case for
+    // pruning (the biggest surviving block), so the bars below are
+    // conservative.
+    let chrom = {
+        let mut counts = std::collections::HashMap::new();
+        for s in &dataset.samples {
+            for r in &s.regions {
+                *counts.entry(r.chrom.to_string()).or_insert(0usize) += 1;
+            }
+        }
+        counts.into_iter().max_by_key(|&(_, n)| n).expect("non-empty dataset").0
+    };
+    let query = format!("X = SELECT(region: chr == '{chrom}') {}; MATERIALIZE X;", dataset.name);
+    println!("query: {query}\n");
+
+    let ctx = ExecContext::with_workers(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+    );
+    let opts = gmql::ExecOptions::default();
+
+    // Byte accounting from the derived spec itself, via a direct pruned
+    // container read (exactly what the repository issues).
+    let statements = gmql::parse(&query).expect("parse");
+    let catalog = Repository::open(&root).expect("open repo");
+    let plan =
+        gmql::LogicalPlan::compile(&statements, &|name| catalog.schema_of(name)).expect("compile");
+    let (optimized, _) = gmql::optimize(&plan);
+    let specs = gmql::derive_scan_specs(&optimized);
+    let spec = specs.values().next().expect("one source");
+    let scan_opts = ScanOptions { chroms: spec.chroms.clone(), columns: spec.columns.clone() };
+    let container_dir = root.join("datasets").join(&dataset.name);
+    let (_, stats) =
+        native_v2::read_dataset_v2_pruned(&container_dir, &scan_opts).expect("pruned read");
+
+    // Cold runs: reopen the repository each iteration so the LRU never
+    // serves a warm Arc; both sides pay the same open cost outside the
+    // timed region.
+    let mut full_regions = 0;
+    let full_cold = best_of(iters, || {
+        let repo = Repository::open(&root).expect("open repo");
+        let provider = FullProvider(&repo);
+        let t0 = Instant::now();
+        let out =
+            gmql::run_with_provider(&query, &|name| repo.schema_of(name), &provider, &ctx, &opts)
+                .expect("full query");
+        let elapsed = t0.elapsed();
+        full_regions = out["X"].region_count();
+        elapsed
+    });
+    let mut pruned_regions = 0;
+    let pruned_cold = best_of(iters, || {
+        let repo = Repository::open(&root).expect("open repo");
+        let provider = PrunedProvider(&repo);
+        let t0 = Instant::now();
+        let out =
+            gmql::run_with_provider(&query, &|name| repo.schema_of(name), &provider, &ctx, &opts)
+                .expect("pruned query");
+        let elapsed = t0.elapsed();
+        pruned_regions = out["X"].region_count();
+        elapsed
+    });
+    assert_eq!(full_regions, pruned_regions, "pruned query must return identical results");
+
+    let mut table = Table::new(&["path", "cold query", "container bytes read"]);
+    table.row(&[
+        "full scan".into(),
+        format!("{full_cold:.2?}"),
+        human_bytes(stats.container_bytes as usize),
+    ]);
+    table.row(&[
+        format!("pruned [{chrom}]"),
+        format!("{pruned_cold:.2?}"),
+        format!(
+            "{} ({}/{} blocks)",
+            human_bytes(stats.bytes_read as usize),
+            stats.blocks_read,
+            stats.blocks_read + stats.blocks_skipped,
+        ),
+    ]);
+    println!("{}", table.render());
+
+    let speedup = full_cold.as_secs_f64() / pruned_cold.as_secs_f64();
+    println!("scan spec: {}", spec.render(Some(dataset.schema.len())));
+    println!(
+        "bytes: {} read vs {} total ({:.1}% skipped)",
+        human_bytes(stats.bytes_read as usize),
+        human_bytes(stats.container_bytes as usize),
+        100.0 * stats.bytes_skipped as f64 / (stats.bytes_read + stats.bytes_skipped) as f64,
+    );
+    println!("cold-query speedup pruned over full: {speedup:.2}× (acceptance bar: ≥ 2×)");
+    assert!(
+        stats.bytes_read < stats.container_bytes,
+        "pruned read must touch fewer bytes than the container holds"
+    );
+    assert!(
+        speedup >= 2.0,
+        "chr-filtered query must run at least 2× faster pruned (got {speedup:.2}×)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"scan_pruning\",\n  \"scale\": {scale},\n  \"samples\": {},\n  \
+         \"regions\": {},\n  \"chromosomes\": {n_chroms},\n  \"query_chrom\": \"{chrom}\",\n  \
+         \"scan_spec\": \"{}\",\n  \"container_bytes\": {},\n  \"bytes_read\": {},\n  \
+         \"bytes_skipped\": {},\n  \"blocks_read\": {},\n  \"blocks_skipped\": {},\n  \
+         \"full_cold_us\": {},\n  \"pruned_cold_us\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        dataset.sample_count(),
+        dataset.region_count(),
+        spec.render(Some(dataset.schema.len())),
+        stats.container_bytes,
+        stats.bytes_read,
+        stats.bytes_skipped,
+        stats.blocks_read,
+        stats.blocks_skipped,
+        full_cold.as_micros(),
+        pruned_cold.as_micros(),
+    );
+    std::fs::write(&json_path, json).expect("write bench json");
+    println!("results written to {json_path}");
+    std::fs::remove_dir_all(&root).ok();
+}

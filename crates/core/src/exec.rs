@@ -43,6 +43,22 @@ pub trait DatasetProvider {
     fn load_shared(&self, name: &str) -> Result<Arc<Dataset>, GmqlError> {
         self.load(name).map(Arc::new)
     }
+
+    /// Load a dataset pruned to a [`ScanSpec`](crate::scan::ScanSpec):
+    /// only the chromosomes and value columns the plan provably needs.
+    /// Returning a **superset** of the spec is always sound (operators
+    /// re-apply their predicates), and the default does exactly that by
+    /// delegating to [`DatasetProvider::load_shared`] — so closure
+    /// providers and providers without pruned storage keep today's
+    /// behaviour. Storage-backed providers (`nggc-repository`) override
+    /// this to serve the spec from the v2 chromosome index.
+    fn load_pruned(
+        &self,
+        name: &str,
+        _spec: &crate::scan::ScanSpec,
+    ) -> Result<Arc<Dataset>, GmqlError> {
+        self.load_shared(name)
+    }
 }
 
 impl<F> DatasetProvider for F
@@ -90,6 +106,16 @@ pub struct NodeMetrics {
     pub fed_retries: u64,
     /// Federation timeouts observed while this node ran.
     pub fed_timeouts: u64,
+    /// Pruned (scan-spec-restricted) source loads while this node ran.
+    pub scan_pruned: u64,
+    /// Container bytes decoded by pruned loads while this node ran.
+    pub scan_bytes_read: u64,
+    /// Container bytes skipped by pruned loads while this node ran.
+    pub scan_bytes_skipped: u64,
+    /// Chromosome blocks decoded by pruned loads while this node ran.
+    pub scan_blocks_read: u64,
+    /// Chromosome blocks skipped by pruned loads while this node ran.
+    pub scan_blocks_skipped: u64,
 }
 
 /// Point-in-time sum of the registry counters EXPLAIN ANALYZE
@@ -101,6 +127,11 @@ struct StatProbe {
     cache_misses: u64,
     fed_retries: u64,
     fed_timeouts: u64,
+    scan_pruned: u64,
+    scan_bytes_read: u64,
+    scan_bytes_skipped: u64,
+    scan_blocks_read: u64,
+    scan_blocks_skipped: u64,
 }
 
 fn stat_probe(reg: &nggc_obs::Registry) -> StatProbe {
@@ -111,6 +142,11 @@ fn stat_probe(reg: &nggc_obs::Registry) -> StatProbe {
             "nggc_repo_cache_misses_total" => p.cache_misses += v,
             "nggc_fed_retries_total" => p.fed_retries += v,
             "nggc_fed_timeouts_total" => p.fed_timeouts += v,
+            "nggc_scan_pruned_total" => p.scan_pruned += v,
+            "nggc_scan_bytes_read_total" => p.scan_bytes_read += v,
+            "nggc_scan_bytes_skipped_total" => p.scan_bytes_skipped += v,
+            "nggc_scan_chrom_blocks_read_total" => p.scan_blocks_read += v,
+            "nggc_scan_chrom_blocks_skipped_total" => p.scan_blocks_skipped += v,
             _ => {}
         }
     }
@@ -212,6 +248,10 @@ pub fn execute_governed(
     } else {
         plan.clone()
     };
+    // Derive scan pruning on the plan exactly as it executes (whether
+    // optimization ran here or upstream): per source, the chromosomes
+    // and value columns the rest of the plan provably needs.
+    let scan_specs = crate::scan::derive_scan_specs(&plan);
 
     // Reference counts: free a node's dataset after its last consumer.
     let mut refcount = vec![0usize; plan.nodes.len()];
@@ -256,7 +296,10 @@ pub fn execute_governed(
             .field("regions_in", regions_in);
         let t0 = std::time::Instant::now();
         let result = match &node.op {
-            PlanOp::Source(name) => provider.load_shared(name)?,
+            PlanOp::Source(name) => match scan_specs.get(&id).filter(|s| !s.is_trivial()) {
+                Some(spec) => provider.load_pruned(name, spec)?,
+                None => provider.load_shared(name)?,
+            },
             PlanOp::Apply(op) => {
                 let inputs: Vec<&Dataset> = node
                     .inputs
@@ -303,6 +346,11 @@ pub fn execute_governed(
                 cache_misses: p1.cache_misses - p0.cache_misses,
                 fed_retries: p1.fed_retries - p0.fed_retries,
                 fed_timeouts: p1.fed_timeouts - p0.fed_timeouts,
+                scan_pruned: p1.scan_pruned - p0.scan_pruned,
+                scan_bytes_read: p1.scan_bytes_read - p0.scan_bytes_read,
+                scan_bytes_skipped: p1.scan_bytes_skipped - p0.scan_bytes_skipped,
+                scan_blocks_read: p1.scan_blocks_read - p0.scan_blocks_read,
+                scan_blocks_skipped: p1.scan_blocks_skipped - p0.scan_blocks_skipped,
             }
         });
         let delta = probe1.unwrap_or_default();
@@ -321,6 +369,11 @@ pub fn execute_governed(
             cache_misses: delta.cache_misses,
             fed_retries: delta.fed_retries,
             fed_timeouts: delta.fed_timeouts,
+            scan_pruned: delta.scan_pruned,
+            scan_bytes_read: delta.scan_bytes_read,
+            scan_bytes_skipped: delta.scan_bytes_skipped,
+            scan_blocks_read: delta.scan_blocks_read,
+            scan_blocks_skipped: delta.scan_blocks_skipped,
         });
         // Decrement inputs; free exhausted intermediates (and give their
         // bytes back to the budget). The release is attributed to the

@@ -18,7 +18,7 @@ use crate::plan::{LogicalPlan, PlanOp};
 
 /// Version tag mixed into every fingerprint. Bump on any change to the
 /// canonical encoding below.
-pub const FINGERPRINT_VERSION: u32 = 1;
+pub const FINGERPRINT_VERSION: u32 = 2;
 
 /// A canonical fingerprint of an optimized logical plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -69,6 +69,10 @@ impl Fnv {
 pub fn fingerprint(plan: &LogicalPlan) -> PlanFingerprint {
     let mut h = Fnv::new();
     h.write(&FINGERPRINT_VERSION.to_le_bytes());
+    // Scan pruning changes what a Source node physically reads; mixing
+    // the ScanSpec derivation version in keeps cached results from
+    // aliasing across pruning-semantics changes.
+    h.write(&crate::scan::SCAN_SPEC_VERSION.to_le_bytes());
     h.write(&(plan.nodes.len() as u64).to_le_bytes());
     for node in &plan.nodes {
         match &node.op {

@@ -37,6 +37,7 @@ pub mod plan;
 pub mod predicates;
 pub mod query;
 pub mod result_cache;
+pub mod scan;
 
 pub use aggregates::{AggFunc, Aggregate};
 pub use ast::{
@@ -59,3 +60,4 @@ pub use query::{
     run_with_provider, run_with_provider_governed, EstimatedOutput, GmqlEngine, QueryEstimate,
 };
 pub use result_cache::{CacheBudget, CacheOutcome, ResultCache, ResultCacheStats};
+pub use scan::{derive_scan_specs, ScanSpec, SCAN_SPEC_VERSION};

@@ -1,0 +1,693 @@
+//! Scan pruning: derive per-source [`ScanSpec`]s from a logical plan.
+//!
+//! Queries frequently touch a sliver of each source dataset — one
+//! chromosome out of 24, two value columns out of seven — yet a plain
+//! load decodes every byte. The v2 container indexes blocks by
+//! chromosome and stores columns separately, so whatever the plan
+//! *provably* does not need can be skipped where the data lives
+//! (predicate/projection pushdown). This module is the "provably" part:
+//! a static analysis over the [`LogicalPlan`] that computes, per
+//! `Source` node,
+//!
+//! - the set of chromosomes the rest of the plan can observe
+//!   (from `SELECT` region predicates and JOIN/MAP partner extents),
+//! - the set of value columns any operator reads, and
+//! - an optional coordinate range (render-only, for EXPLAIN).
+//!
+//! ## Soundness
+//!
+//! The analysis is conservative in both directions:
+//!
+//! - **Chromosomes.** A forward pass computes `guarantee[n]` — the
+//!   chromosomes node `n`'s output regions can lie on (`None` =
+//!   unbounded) — and a backward pass computes `need[n]` — the
+//!   chromosomes whose regions downstream can observe. Operators whose
+//!   *sample set* or *metadata* depends on region content on other
+//!   chromosomes reset the need to "all": `EXTEND` (aggregates over
+//!   every region), `ORDER` with a region top-k, `COVER` (sample
+//!   emission depends on accumulation), and the backward direction of
+//!   `JOIN` (a pair with zero matches emits no sample, so partner
+//!   *guarantees* are used instead of downstream needs).
+//! - **Columns.** A column must be loaded iff some operator reads its
+//!   *values* — predicates, projection expressions, aggregate inputs,
+//!   region sort keys. Pruned columns still occupy their schema
+//!   position (typed nulls), so column pruning never changes region
+//!   existence or coordinates, only the values of columns nothing
+//!   reads.
+//!
+//! Anything the analysis cannot bound stays `None` ("load
+//! everything"), so an unknown operator shape degrades to today's full
+//! scan, never to a wrong answer.
+
+use crate::ast::Operator;
+use crate::plan::{LogicalPlan, NodeId, PlanOp};
+use crate::predicates::{BinOp, CmpOp, RegionExpr};
+use nggc_gdm::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// Version of the scan-spec derivation, mixed into plan fingerprints so
+/// cached results can never alias across pruning-semantics changes.
+pub const SCAN_SPEC_VERSION: u32 = 1;
+
+/// What a source scan provably needs. `None` means "everything" on
+/// either axis; the coordinate range is advisory (EXPLAIN rendering),
+/// never used to drop blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanSpec {
+    /// Chromosomes downstream can observe; `None` = all.
+    pub chroms: Option<BTreeSet<String>>,
+    /// Value columns (lowercased) some operator reads; `None` = all.
+    pub columns: Option<BTreeSet<String>>,
+    /// Lower coordinate bound from `left >=`-style predicates.
+    pub lo: Option<u64>,
+    /// Upper coordinate bound from `right <=`-style predicates.
+    pub hi: Option<u64>,
+}
+
+impl ScanSpec {
+    /// True when the spec restricts nothing — a pruned load with a
+    /// trivial spec is exactly a full load.
+    pub fn is_trivial(&self) -> bool {
+        self.chroms.is_none() && self.columns.is_none()
+    }
+
+    /// Human-readable form for EXPLAIN: `chr21 [5000000..] cols 2/7`.
+    /// `total_cols` is the source schema width when known.
+    pub fn render(&self, total_cols: Option<usize>) -> String {
+        let mut parts = Vec::new();
+        match &self.chroms {
+            None => parts.push("*".to_string()),
+            Some(set) if set.is_empty() => parts.push("(none)".to_string()),
+            Some(set) => parts.push(set.iter().cloned().collect::<Vec<_>>().join(",")),
+        }
+        if self.lo.is_some() || self.hi.is_some() {
+            let lo = self.lo.map(|v| v.to_string()).unwrap_or_default();
+            let hi = self.hi.map(|v| v.to_string()).unwrap_or_default();
+            parts.push(format!("[{lo}..{hi}]"));
+        }
+        if let Some(cols) = &self.columns {
+            match total_cols {
+                Some(t) => parts.push(format!("cols {}/{t}", cols.len().min(t))),
+                None => parts.push(format!("cols {}", cols.len())),
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region-expression analysis
+// ---------------------------------------------------------------------------
+
+/// Coordinate pseudo-attributes resolved positionally, never from value
+/// columns (mirrors `predicates::RegionExpr` fixed-attribute handling).
+fn is_fixed_attr(lower: &str) -> bool {
+    matches!(lower, "chr" | "left" | "right" | "strand" | "len")
+}
+
+/// Collect the value columns a region expression reads (lowercased).
+fn expr_value_attrs(expr: &RegionExpr, out: &mut BTreeSet<String>) {
+    match expr {
+        RegionExpr::Attr(name) => {
+            let lower = name.to_ascii_lowercase();
+            if !is_fixed_attr(&lower) {
+                out.insert(lower);
+            }
+        }
+        RegionExpr::Lit(_) => {}
+        RegionExpr::Binary(a, _, b) => {
+            expr_value_attrs(a, out);
+            expr_value_attrs(b, out);
+        }
+        RegionExpr::Not(inner) => expr_value_attrs(inner, out),
+    }
+}
+
+fn chrom_eq(attr: &RegionExpr, lit: &RegionExpr) -> Option<String> {
+    match (attr, lit) {
+        (RegionExpr::Attr(name), RegionExpr::Lit(Value::Str(s)))
+            if name.eq_ignore_ascii_case("chr") =>
+        {
+            Some(s.clone())
+        }
+        _ => None,
+    }
+}
+
+/// The chromosomes a region predicate can match, or `None` when it
+/// cannot be bounded. `AND` intersects bounds (an unbounded conjunct
+/// imposes none), `OR` unions them (either side unbounded → unbounded),
+/// `NOT` and every other shape are unbounded.
+fn chrom_literals(expr: &RegionExpr) -> Option<BTreeSet<String>> {
+    match expr {
+        RegionExpr::Binary(a, BinOp::And, b) => match (chrom_literals(a), chrom_literals(b)) {
+            (Some(x), Some(y)) => Some(x.intersection(&y).cloned().collect()),
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (None, None) => None,
+        },
+        RegionExpr::Binary(a, BinOp::Or, b) => match (chrom_literals(a), chrom_literals(b)) {
+            (Some(mut x), Some(y)) => {
+                x.extend(y);
+                Some(x)
+            }
+            _ => None,
+        },
+        RegionExpr::Binary(a, BinOp::Cmp(CmpOp::Eq), b) => {
+            chrom_eq(a, b).or_else(|| chrom_eq(b, a)).map(|s| std::iter::once(s).collect())
+        }
+        _ => None,
+    }
+}
+
+fn lit_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        Value::Float(f) if *f >= 0.0 && f.is_finite() => Some(*f as u64),
+        _ => None,
+    }
+}
+
+/// Advisory coordinate bounds from `left >/>=` and `right </<=`
+/// comparisons in top-level conjunctions (render-only).
+fn coord_range(expr: &RegionExpr) -> (Option<u64>, Option<u64>) {
+    match expr {
+        RegionExpr::Binary(a, BinOp::And, b) => {
+            let (lo1, hi1) = coord_range(a);
+            let (lo2, hi2) = coord_range(b);
+            (max_opt(lo1, lo2), min_opt(hi1, hi2))
+        }
+        RegionExpr::Binary(a, BinOp::Cmp(op), b) => {
+            if let (RegionExpr::Attr(name), RegionExpr::Lit(v)) = (&**a, &**b) {
+                if let Some(x) = lit_u64(v) {
+                    return match (name.to_ascii_lowercase().as_str(), op) {
+                        ("left", CmpOp::Gt | CmpOp::Ge) => (Some(x), None),
+                        ("right", CmpOp::Lt | CmpOp::Le) => (None, Some(x)),
+                        _ => (None, None),
+                    };
+                }
+            }
+            (None, None)
+        }
+        _ => (None, None),
+    }
+}
+
+fn max_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chromosome-set lattice helpers (`None` = unbounded/all)
+// ---------------------------------------------------------------------------
+
+fn intersect_opt(
+    a: Option<BTreeSet<String>>,
+    b: Option<BTreeSet<String>>,
+) -> Option<BTreeSet<String>> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.intersection(&y).cloned().collect()),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+fn union_opt(a: Option<BTreeSet<String>>, b: Option<BTreeSet<String>>) -> Option<BTreeSet<String>> {
+    match (a, b) {
+        (Some(mut x), Some(y)) => {
+            x.extend(y);
+            Some(x)
+        }
+        _ => None,
+    }
+}
+
+fn agg_attrs(aggs: &[(String, crate::aggregates::Aggregate)]) -> BTreeSet<String> {
+    aggs.iter().filter_map(|(_, a)| a.attr.as_ref().map(|s| s.to_ascii_lowercase())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Derivation
+// ---------------------------------------------------------------------------
+
+/// What one consumer demands of one of its inputs.
+#[derive(Clone, Default)]
+struct Demand {
+    chroms: Option<BTreeSet<String>>,
+    cols: Option<BTreeSet<String>>,
+    lo: Option<u64>,
+    hi: Option<u64>,
+}
+
+impl Demand {
+    /// Demand everything (the safe top of the lattice).
+    fn all() -> Demand {
+        Demand::default()
+    }
+}
+
+/// Accumulated demand on a node across all of its consumers.
+#[derive(Clone)]
+struct NeedAcc {
+    /// False until some consumer (or an output) contributes; an
+    /// untouched node is dead and gets no pruning either way.
+    seen: bool,
+    need: Demand,
+}
+
+impl NeedAcc {
+    fn widen(&mut self, d: Demand) {
+        if !self.seen {
+            self.seen = true;
+            self.need = d;
+            return;
+        }
+        let n = &mut self.need;
+        n.chroms = union_opt(std::mem::take(&mut n.chroms), d.chroms);
+        n.cols = union_opt(std::mem::take(&mut n.cols), d.cols);
+        // Range union: keep a bound only when every consumer has one.
+        n.lo = match (n.lo, d.lo) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            _ => None,
+        };
+        n.hi = match (n.hi, d.hi) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+}
+
+/// Derive a [`ScanSpec`] for every `Source` node of `plan`. Runs on the
+/// plan exactly as it will execute (optimized or not); sources nothing
+/// reaches get a trivial spec.
+pub fn derive_scan_specs(plan: &LogicalPlan) -> HashMap<NodeId, ScanSpec> {
+    let n = plan.nodes.len();
+
+    // Forward pass: guarantee[i] = chromosomes node i's output regions
+    // can lie on (None = unbounded).
+    let mut guarantee: Vec<Option<BTreeSet<String>>> = Vec::with_capacity(n);
+    for node in &plan.nodes {
+        let gi = match &node.op {
+            PlanOp::Source(_) => None,
+            PlanOp::Apply(op) => {
+                let gin = |k: usize| guarantee[node.inputs[k]].clone();
+                match op {
+                    Operator::Select { region, .. } => {
+                        intersect_opt(gin(0), region.as_ref().and_then(chrom_literals))
+                    }
+                    // Region-preserving unary operators: output regions
+                    // lie on input chromosomes.
+                    Operator::Project { .. }
+                    | Operator::Extend { .. }
+                    | Operator::Merge { .. }
+                    | Operator::Group { .. }
+                    | Operator::Order { .. }
+                    | Operator::Cover { .. } => gin(0),
+                    Operator::Union => union_opt(gin(0), gin(1)),
+                    Operator::Difference { .. } => gin(0),
+                    // JOIN matches regions on the same chromosome only.
+                    Operator::Join { .. } => intersect_opt(gin(0), gin(1)),
+                    Operator::Map { .. } => gin(0),
+                }
+            }
+        };
+        guarantee.push(gi);
+    }
+
+    // Backward pass: accumulate demand from outputs down to sources.
+    let mut acc: Vec<NeedAcc> = vec![NeedAcc { seen: false, need: Demand::all() }; n];
+    for (_, id) in &plan.outputs {
+        acc[*id].widen(Demand::all());
+    }
+    for i in (0..n).rev() {
+        if !acc[i].seen {
+            continue;
+        }
+        let need = acc[i].need.clone();
+        let node = &plan.nodes[i];
+        let demands: Vec<Demand> = match &node.op {
+            PlanOp::Source(_) => continue,
+            PlanOp::Apply(op) => match op {
+                Operator::Select { region, .. } => {
+                    let mut pred_cols = BTreeSet::new();
+                    let (mut chroms, mut lo, mut hi) = (None, None, None);
+                    if let Some(expr) = region {
+                        expr_value_attrs(expr, &mut pred_cols);
+                        chroms = chrom_literals(expr);
+                        (lo, hi) = coord_range(expr);
+                    }
+                    let d0 = Demand {
+                        chroms: intersect_opt(need.chroms.clone(), chroms),
+                        cols: need.cols.clone().map(|mut c| {
+                            c.extend(pred_cols.clone());
+                            c
+                        }),
+                        lo: max_opt(need.lo, lo),
+                        hi: min_opt(need.hi, hi),
+                    };
+                    // A semijoin partner (second input) only has its
+                    // metadata inspected, but stay conservative.
+                    let mut v = vec![d0];
+                    v.extend(node.inputs.iter().skip(1).map(|_| Demand::all()));
+                    v
+                }
+                Operator::Project { attrs, new_attrs, .. } => {
+                    let mut expr_cols = BTreeSet::new();
+                    for (_, e) in new_attrs {
+                        expr_value_attrs(e, &mut expr_cols);
+                    }
+                    let cols = match (need.cols.clone(), attrs) {
+                        (None, None) => None,
+                        (None, Some(kept)) => {
+                            let mut c: BTreeSet<String> =
+                                kept.iter().map(|s| s.to_ascii_lowercase()).collect();
+                            c.extend(expr_cols);
+                            Some(c)
+                        }
+                        (Some(nc), None) => {
+                            let mut c = nc;
+                            c.extend(expr_cols);
+                            Some(c)
+                        }
+                        (Some(nc), Some(kept)) => {
+                            let keptl: BTreeSet<String> =
+                                kept.iter().map(|s| s.to_ascii_lowercase()).collect();
+                            let mut c: BTreeSet<String> =
+                                nc.intersection(&keptl).cloned().collect();
+                            c.extend(expr_cols);
+                            Some(c)
+                        }
+                    };
+                    vec![Demand { chroms: need.chroms.clone(), cols, lo: need.lo, hi: need.hi }]
+                }
+                Operator::Extend { assignments } => {
+                    // Metadata aggregates run over *every* region of the
+                    // sample: pruning any chromosome would change them.
+                    vec![Demand {
+                        chroms: None,
+                        cols: need.cols.clone().map(|mut c| {
+                            c.extend(agg_attrs(assignments));
+                            c
+                        }),
+                        lo: None,
+                        hi: None,
+                    }]
+                }
+                Operator::Merge { .. } => vec![need.clone()],
+                Operator::Group { region_aggs, .. } => vec![Demand {
+                    chroms: need.chroms.clone(),
+                    cols: need.cols.clone().map(|mut c| {
+                        c.extend(agg_attrs(region_aggs));
+                        c
+                    }),
+                    lo: need.lo,
+                    hi: need.hi,
+                }],
+                Operator::Order { region_keys, region_top, .. } => {
+                    // A region top-k ranks regions across the whole
+                    // sample, so every chromosome participates.
+                    let bounded = region_top.is_none();
+                    vec![Demand {
+                        chroms: if bounded { need.chroms.clone() } else { None },
+                        cols: need.cols.clone().map(|mut c| {
+                            c.extend(region_keys.iter().map(|(name, _)| name.to_ascii_lowercase()));
+                            c
+                        }),
+                        lo: if bounded { need.lo } else { None },
+                        hi: if bounded { need.hi } else { None },
+                    }]
+                }
+                Operator::Union => vec![need.clone(), need.clone()],
+                Operator::Difference { .. } => {
+                    // The right side contributes coordinates only, and
+                    // only on chromosomes the (needed part of the) left
+                    // side can populate.
+                    let right_chroms =
+                        intersect_opt(need.chroms.clone(), guarantee[node.inputs[0]].clone());
+                    vec![
+                        need.clone(),
+                        Demand {
+                            chroms: right_chroms,
+                            cols: Some(BTreeSet::new()),
+                            lo: None,
+                            hi: None,
+                        },
+                    ]
+                }
+                Operator::Join { .. } => {
+                    // Backward need is unsound through JOIN (a pair with
+                    // zero matching regions emits no sample), so each
+                    // side is bounded by its *partner's guarantee*
+                    // instead: matches require both sides on the same
+                    // chromosome.
+                    let strip = |prefix: &str| -> Option<BTreeSet<String>> {
+                        need.cols.as_ref().map(|cols| {
+                            cols.iter()
+                                .filter_map(|c| c.strip_prefix(prefix))
+                                .map(str::to_string)
+                                .collect()
+                        })
+                    };
+                    vec![
+                        Demand {
+                            chroms: guarantee[node.inputs[1]].clone(),
+                            cols: strip("left."),
+                            lo: None,
+                            hi: None,
+                        },
+                        Demand {
+                            chroms: guarantee[node.inputs[0]].clone(),
+                            cols: strip("right."),
+                            lo: None,
+                            hi: None,
+                        },
+                    ]
+                }
+                Operator::Map { aggs, .. } => {
+                    // Experiment regions only matter where they can
+                    // intersect needed reference regions; aggregates
+                    // resolve against the experiment schema.
+                    let exp_chroms =
+                        intersect_opt(need.chroms.clone(), guarantee[node.inputs[0]].clone());
+                    vec![
+                        need.clone(),
+                        Demand {
+                            chroms: exp_chroms,
+                            cols: Some(agg_attrs(aggs)),
+                            lo: None,
+                            hi: None,
+                        },
+                    ]
+                }
+                Operator::Cover { aggs, .. } => {
+                    // COVER's sample emission depends on accumulation
+                    // across all regions — no chromosome pruning.
+                    vec![Demand { chroms: None, cols: Some(agg_attrs(aggs)), lo: None, hi: None }]
+                }
+            },
+        };
+        for (k, d) in node.inputs.iter().zip(demands) {
+            acc[*k].widen(d);
+        }
+    }
+
+    let mut specs = HashMap::new();
+    for (i, node) in plan.nodes.iter().enumerate() {
+        if let PlanOp::Source(_) = node.op {
+            let spec = if acc[i].seen {
+                let d = &acc[i].need;
+                ScanSpec { chroms: d.chroms.clone(), columns: d.cols.clone(), lo: d.lo, hi: d.hi }
+            } else {
+                ScanSpec::default()
+            };
+            specs.insert(i, spec);
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nggc_gdm::{Attribute, Schema, ValueType};
+
+    fn catalog(name: &str) -> Option<Schema> {
+        match name {
+            "D" | "E" => Some(
+                Schema::new(vec![
+                    Attribute::new("score", ValueType::Float),
+                    Attribute::new("p_value", ValueType::Float),
+                    Attribute::new("peak", ValueType::Int),
+                ])
+                .unwrap(),
+            ),
+            _ => None,
+        }
+    }
+
+    fn specs_for(q: &str) -> HashMap<NodeId, ScanSpec> {
+        let plan = LogicalPlan::compile(&parse(q).unwrap(), &catalog).unwrap();
+        let (opt, _) = crate::optimizer::optimize(&plan);
+        derive_scan_specs(&opt)
+    }
+
+    fn only_spec(specs: &HashMap<NodeId, ScanSpec>) -> &ScanSpec {
+        assert_eq!(specs.len(), 1);
+        specs.values().next().unwrap()
+    }
+
+    #[test]
+    fn chr_equality_prunes_chromosomes() {
+        let specs =
+            specs_for("A = SELECT(region: chr == 'chr21' AND left > 5000000) D; MATERIALIZE A;");
+        let spec = only_spec(&specs);
+        assert_eq!(
+            spec.chroms,
+            Some(std::iter::once("chr21".to_string()).collect::<BTreeSet<_>>())
+        );
+        assert_eq!(spec.lo, Some(5000000));
+        assert_eq!(spec.columns, None, "materialized output needs every column");
+        assert_eq!(spec.render(Some(3)), "chr21 [5000000..]");
+    }
+
+    #[test]
+    fn or_of_chr_literals_unions() {
+        let specs =
+            specs_for("A = SELECT(region: chr == 'chr1' OR chr == 'chr2') D; MATERIALIZE A;");
+        let chroms = only_spec(&specs).chroms.clone().unwrap();
+        assert_eq!(chroms.len(), 2);
+        assert!(chroms.contains("chr1") && chroms.contains("chr2"));
+    }
+
+    #[test]
+    fn or_with_unbounded_side_disables_pruning() {
+        let specs = specs_for("A = SELECT(region: chr == 'chr1' OR score > 2) D; MATERIALIZE A;");
+        assert_eq!(only_spec(&specs).chroms, None);
+    }
+
+    #[test]
+    fn negated_predicate_is_unbounded() {
+        let specs = specs_for("A = SELECT(region: NOT (chr == 'chr1')) D; MATERIALIZE A;");
+        assert_eq!(only_spec(&specs).chroms, None);
+    }
+
+    #[test]
+    fn map_prunes_experiment_columns_to_aggregate_inputs() {
+        let specs = specs_for(
+            "R = SELECT(region: chr == 'chrX') D;
+             M = MAP(avg AS AVG(p_value)) R E;
+             MATERIALIZE M;",
+        );
+        let plan = LogicalPlan::compile(
+            &parse(
+                "R = SELECT(region: chr == 'chrX') D;
+                 M = MAP(avg AS AVG(p_value)) R E;
+                 MATERIALIZE M;",
+            )
+            .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let (opt, _) = crate::optimizer::optimize(&plan);
+        assert_eq!(specs.len(), 2);
+        // Find the experiment source (E): its columns collapse to the
+        // aggregate input, and its chromosomes to the reference's.
+        let exp_id = opt
+            .nodes
+            .iter()
+            .position(|n| matches!(&n.op, PlanOp::Source(name) if name == "E"))
+            .unwrap();
+        let exp = &specs[&exp_id];
+        assert_eq!(
+            exp.columns,
+            Some(std::iter::once("p_value".to_string()).collect::<BTreeSet<_>>())
+        );
+        assert_eq!(exp.chroms, Some(std::iter::once("chrX".to_string()).collect::<BTreeSet<_>>()));
+        // The reference side keeps all columns (they flow to the output).
+        let ref_id = opt
+            .nodes
+            .iter()
+            .position(|n| matches!(&n.op, PlanOp::Source(name) if name == "D"))
+            .unwrap();
+        assert_eq!(specs[&ref_id].columns, None);
+    }
+
+    #[test]
+    fn join_bounds_each_side_by_partner_guarantee() {
+        let specs = specs_for(
+            "A = SELECT(region: chr == 'chr1') D;
+             B = SELECT(region: chr == 'chr2') E;
+             J = JOIN(DLE(1000)) A B;
+             MATERIALIZE J;",
+        );
+        // Each source is already select-bounded to its own chromosome;
+        // the JOIN additionally bounds it by the partner's — so both
+        // collapse to the intersection with the partner's set.
+        for spec in specs.values() {
+            let chroms = spec.chroms.clone().expect("both sides bounded");
+            assert!(chroms.len() <= 1, "partner guarantee intersected: {chroms:?}");
+        }
+    }
+
+    #[test]
+    fn extend_disables_chromosome_pruning() {
+        // The narrow chr1 demand originates *above* the EXTEND; the
+        // EXTEND's COUNT must still see every region, so the source
+        // cannot be pruned.
+        let specs = specs_for(
+            "B = EXTEND(n AS COUNT) D;
+             C = SELECT(region: chr == 'chr1') B;
+             MATERIALIZE C;",
+        );
+        assert_eq!(only_spec(&specs).chroms, None, "EXTEND aggregates over all regions");
+    }
+
+    #[test]
+    fn project_restricts_columns() {
+        let specs = specs_for("A = PROJECT(score) D; MATERIALIZE A;");
+        let cols = only_spec(&specs).columns.clone().unwrap();
+        assert_eq!(cols, std::iter::once("score".to_string()).collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn select_predicate_columns_are_loaded() {
+        let specs = specs_for(
+            "A = SELECT(region: p_value < 0.01) D;
+             B = PROJECT(score) A;
+             MATERIALIZE B;",
+        );
+        let cols = only_spec(&specs).columns.clone().unwrap();
+        assert!(cols.contains("score") && cols.contains("p_value"), "{cols:?}");
+        assert!(!cols.contains("peak"));
+    }
+
+    #[test]
+    fn trivial_spec_renders_wildcard() {
+        let specs = specs_for("A = SELECT(x == 1) D; MATERIALIZE A;");
+        let spec = only_spec(&specs);
+        assert!(spec.is_trivial());
+        assert_eq!(spec.render(None), "*");
+    }
+
+    #[test]
+    fn shared_source_unions_consumer_demands() {
+        // One consumer needs chr1 only, the other everything: the
+        // shared source must load everything.
+        let specs = specs_for(
+            "A = SELECT(region: chr == 'chr1') D;
+             U = UNION() A D;
+             MATERIALIZE U;",
+        );
+        assert_eq!(only_spec(&specs).chroms, None);
+    }
+}

@@ -117,9 +117,15 @@ impl ExecContext {
         R: Send,
         F: Fn(&Sample, &Sample) -> R + Sync,
     {
-        let pairs: Vec<(&Sample, &Sample)> =
-            refs.iter().flat_map(|r| exps.iter().map(move |e| (r, e))).collect();
-        self.pool.parallel_map(pairs, |(r, e)| f(r, e))
+        if refs.is_empty() || exps.is_empty() {
+            return Vec::new();
+        }
+        // Dispatch by flat index instead of materialising the refs×exps
+        // pair Vec up front: a huge cross-product costs O(workers) setup
+        // allocation here, not O(n·m) pair references before any work
+        // starts.
+        let m = exps.len();
+        self.pool.parallel_map_range(refs.len() * m, |i| f(&refs[i / m], &exps[i % m]))
     }
 
     /// Run a per-chromosome kernel over two samples in parallel and

@@ -71,9 +71,65 @@
 
 use crate::error::FormatError;
 use crate::native;
+use nggc_engine::WorkerPool;
 use nggc_gdm::{Attribute, Dataset, GRegion, Metadata, Sample, Schema, Strand, Value, ValueType};
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// Shared worker pool for block decoding. Sized to the machine once and
+/// reused across every decode so concurrent loads don't oversubscribe
+/// the CPU with nested pools.
+static DECODE_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+fn decode_pool() -> &'static WorkerPool {
+    DECODE_POOL.get_or_init(WorkerPool::with_default_size)
+}
+
+/// What a pruned read should decode: which chromosome blocks and which
+/// value columns. `None` means "everything" for either axis, so the
+/// default options describe a full read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Chromosomes to decode; blocks for any other chromosome are
+    /// skipped via the offset index. `None` decodes every chromosome.
+    pub chroms: Option<BTreeSet<String>>,
+    /// Value columns to decode, matched case-insensitively against the
+    /// schema. Skipped columns are filled with [`Value::Null`] so the
+    /// schema (and every region's value arity) stays stable. `None`
+    /// decodes every column.
+    pub columns: Option<BTreeSet<String>>,
+}
+
+impl ScanOptions {
+    /// True when the options restrict neither chromosomes nor columns —
+    /// a pruned read with full options is exactly a full read.
+    pub fn is_full(&self) -> bool {
+        self.chroms.is_none() && self.columns.is_none()
+    }
+
+    fn wants_chrom(&self, chrom: &str) -> bool {
+        self.chroms.as_ref().is_none_or(|set| set.contains(chrom))
+    }
+}
+
+/// What a pruned read actually touched, for observability: block and
+/// byte counts of decoded vs skipped chromosome blocks, plus the total
+/// container size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chromosome blocks decoded.
+    pub blocks_read: u64,
+    /// Chromosome blocks skipped via the offset index.
+    pub blocks_skipped: u64,
+    /// Bytes of chromosome blocks decoded.
+    pub bytes_read: u64,
+    /// Bytes of chromosome blocks skipped without decoding.
+    pub bytes_skipped: u64,
+    /// Total size of the container file in bytes.
+    pub container_bytes: u64,
+}
 
 /// Magic bytes opening every v2 container.
 pub const MAGIC: &[u8; 8] = b"NGGCGDM2";
@@ -510,6 +566,22 @@ fn decode_chrom_block(
     schema: &Schema,
     out: &mut Vec<GRegion>,
 ) -> Result<(), FormatError> {
+    decode_chrom_block_cols(cur, chrom, n, schema, None, out)
+}
+
+/// Decode one chromosome block, optionally materialising only the
+/// schema columns whose `keep` entry is true. Masked-out columns are
+/// still *consumed* (the cursor must land exactly at the block's end)
+/// but their payloads are skipped and their cells filled with
+/// [`Value::Null`], so region value arity matches the schema either way.
+fn decode_chrom_block_cols(
+    cur: &mut Cursor<'_>,
+    chrom: &str,
+    n: usize,
+    schema: &Schema,
+    keep: Option<&[bool]>,
+    out: &mut Vec<GRegion>,
+) -> Result<(), FormatError> {
     let base = out.len();
     // Each region contributes at least one byte (its left-delta varint),
     // so a count beyond the remaining bytes is corrupt — reject it before
@@ -547,9 +619,16 @@ fn decode_chrom_block(
         }
     }
     // Value columns.
-    for attr in schema.attributes() {
+    for (ci, attr) in schema.attributes().iter().enumerate() {
         let bitmap = cur.bytes(n.div_ceil(8))?.to_vec();
         let is_null = |i: usize| bitmap[i / 8] & (1 << (i % 8)) != 0;
+        if !keep.is_none_or(|k| k[ci]) {
+            skip_column_payload(cur, attr.ty, n, &is_null)?;
+            for r in &mut out[base..] {
+                r.values.push(Value::Null);
+            }
+            continue;
+        }
         match attr.ty {
             ValueType::Int => {
                 for i in 0..n {
@@ -589,6 +668,46 @@ fn decode_chrom_block(
                 for i in 0..n {
                     let v = if is_null(i) { Value::Null } else { Value::Str(cur.string()?) };
                     out[base + i].values.push(v);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Advance the cursor past one column's payload without materialising
+/// values. The null bitmap has already been consumed; `is_null` answers
+/// from it.
+fn skip_column_payload(
+    cur: &mut Cursor<'_>,
+    ty: ValueType,
+    n: usize,
+    is_null: &impl Fn(usize) -> bool,
+) -> Result<(), FormatError> {
+    match ty {
+        ValueType::Int => {
+            for i in 0..n {
+                if !is_null(i) {
+                    cur.varint()?;
+                }
+            }
+        }
+        ValueType::Float => {
+            let non_null = (0..n).filter(|&i| !is_null(i)).count();
+            let payload = non_null
+                .checked_mul(8)
+                .ok_or_else(|| cur.corrupt("float column payload overflows usize"))?;
+            cur.skip(payload)?;
+        }
+        ValueType::Bool => {
+            let non_null = (0..n).filter(|&i| !is_null(i)).count();
+            cur.skip(non_null.div_ceil(8))?;
+        }
+        ValueType::Str => {
+            for i in 0..n {
+                if !is_null(i) {
+                    let len = cur.len_prefixed("string")?;
+                    cur.skip(len)?;
                 }
             }
         }
@@ -769,31 +888,116 @@ pub fn read_index(dir: &Path) -> Result<V2Index, FormatError> {
     Ok(V2Index { name, schema, samples })
 }
 
+/// Map `opts.columns` onto schema positions (case-insensitive). Returns
+/// `None` when every column is kept, so the hot path stays mask-free.
+fn column_mask(schema: &Schema, opts: &ScanOptions) -> Option<Vec<bool>> {
+    let wanted = opts.columns.as_ref()?;
+    let lowered: BTreeSet<String> = wanted.iter().map(|c| c.to_ascii_lowercase()).collect();
+    let mask: Vec<bool> = schema
+        .attributes()
+        .iter()
+        .map(|a| lowered.contains(&a.name.to_ascii_lowercase()))
+        .collect();
+    if mask.iter().all(|&m| m) {
+        None
+    } else {
+        Some(mask)
+    }
+}
+
+/// One chromosome block scheduled for decoding: which sample it belongs
+/// to and where it starts in the container buffer.
+struct BlockJob {
+    sample: usize,
+    offset: usize,
+    entry: ChromIndexEntry,
+}
+
+/// Shared decode core: walk the per-sample chromosome indexes once to
+/// plan which blocks to decode, then decode them **in parallel** on the
+/// shared [`WorkerPool`] — each block is independent (own offset, own
+/// region count), so a fresh cursor per job needs no coordination.
+/// Blocks excluded by `opts` are skipped via the offset index without
+/// touching their bytes.
+///
+/// `verify_blocks` selects the integrity regime: pruned reads verify
+/// each decoded block's CRC32C lazily (skipped blocks stay unchecked),
+/// while full reads rely on the caller having verified the whole-file
+/// trailer up front.
+fn decode_dataset_v2_with(
+    buf: &[u8],
+    opts: &ScanOptions,
+    verify_blocks: bool,
+) -> Result<(Dataset, ScanStats), FormatError> {
+    let mut cur = Cursor::new(buf);
+    let (name, schema, version) = decode_header(&mut cur)?;
+    let mask = column_mask(&schema, opts);
+    let mut stats = ScanStats { container_bytes: buf.len() as u64, ..ScanStats::default() };
+    let n_samples = cur.len_prefixed("sample count")?;
+    let mut metas: Vec<(String, Metadata)> = Vec::with_capacity(n_samples);
+    let mut jobs: Vec<BlockJob> = Vec::new();
+    for si in 0..n_samples {
+        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
+        for entry in chroms {
+            let skip = usize::try_from(entry.bytes)
+                .map_err(|_| cur.corrupt("block extent exceeds usize"))?;
+            if opts.wants_chrom(&entry.chrom) {
+                stats.blocks_read += 1;
+                stats.bytes_read += entry.bytes;
+                jobs.push(BlockJob { sample: si, offset: cur.pos, entry });
+            } else {
+                stats.blocks_skipped += 1;
+                stats.bytes_skipped += entry.bytes;
+            }
+            cur.skip(skip)?;
+        }
+        metas.push((sample_name, metadata));
+    }
+    let keep = mask.as_deref();
+    let decoded: Vec<(usize, Vec<GRegion>)> = decode_pool().try_parallel_map(jobs, |job| {
+        let mut cur = Cursor { buf, pos: job.offset };
+        if verify_blocks {
+            verify_block(&cur, &metas[job.sample].0, &job.entry)?;
+        }
+        let n = usize::try_from(job.entry.regions)
+            .map_err(|_| cur.corrupt("region count exceeds usize"))?;
+        let mut regions = Vec::new();
+        decode_chrom_block_cols(&mut cur, &job.entry.chrom, n, &schema, keep, &mut regions)?;
+        let consumed = (cur.pos - job.offset) as u64;
+        if consumed != job.entry.bytes {
+            return Err(cur.corrupt(format!(
+                "chrom block for {:?} decoded {consumed} bytes, index says {}",
+                job.entry.chrom, job.entry.bytes
+            )));
+        }
+        Ok((job.sample, regions))
+    })?;
+    // try_parallel_map preserves input order, which is index order, so
+    // extending per sample reproduces the serial decode's region order.
+    let mut per_sample: Vec<Vec<GRegion>> = (0..n_samples).map(|_| Vec::new()).collect();
+    for (si, regions) in decoded {
+        per_sample[si].extend(regions);
+    }
+    let mut dataset = Dataset::new(name.clone(), schema);
+    for ((sample_name, metadata), regions) in metas.into_iter().zip(per_sample) {
+        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
+        dataset.add_sample(sample)?;
+    }
+    Ok((dataset, stats))
+}
+
 /// Decode a full v2 container from bytes. For revision-3 containers
 /// the whole-file trailer is verified up front: any flipped bit in the
 /// buffer — header, index or block — surfaces as
 /// [`FormatError::ChecksumMismatch`] before a single region decodes.
+/// Chromosome blocks then decode in parallel on the shared worker pool.
 pub fn decode_dataset_v2(buf: &[u8]) -> Result<Dataset, FormatError> {
     let mut cur = Cursor::new(buf);
     let version = decode_version(&mut cur)?;
     if version >= VERSION {
         verify_trailer(buf)?;
     }
-    let (name, schema) = decode_schema_block(&mut cur)?;
-    let mut dataset = Dataset::new(name.clone(), schema);
-    let n_samples = cur.len_prefixed("sample count")?;
-    for _ in 0..n_samples {
-        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
-        let mut regions = Vec::new();
-        for entry in &chroms {
-            let n = usize::try_from(entry.regions)
-                .map_err(|_| cur.corrupt("region count exceeds usize"))?;
-            decode_chrom_block(&mut cur, &entry.chrom, n, &dataset.schema, &mut regions)?;
-        }
-        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
-        dataset.add_sample(sample)?;
-    }
-    Ok(dataset)
+    decode_dataset_v2_with(buf, &ScanOptions::default(), false).map(|(ds, _)| ds)
 }
 
 /// Read a whole dataset from a v2 container directory.
@@ -802,45 +1006,36 @@ pub fn read_dataset_v2(dir: &Path) -> Result<Dataset, FormatError> {
     decode_dataset_v2(&buf)
 }
 
+/// Decode a v2 container restricted by [`ScanOptions`]: only wanted
+/// chromosome blocks are decoded (in parallel), unwanted value columns
+/// are skipped and null-filled, and every sample is kept — possibly
+/// with empty regions — so metadata stays addressable. Verification is
+/// lazy per decoded block; skipped blocks are never checksummed.
+pub fn decode_dataset_v2_pruned(
+    buf: &[u8],
+    opts: &ScanOptions,
+) -> Result<(Dataset, ScanStats), FormatError> {
+    decode_dataset_v2_with(buf, opts, true)
+}
+
+/// Read a dataset from a v2 container directory, pruned by
+/// [`ScanOptions`]. See [`decode_dataset_v2_pruned`].
+pub fn read_dataset_v2_pruned(
+    dir: &Path,
+    opts: &ScanOptions,
+) -> Result<(Dataset, ScanStats), FormatError> {
+    let buf = fs::read(dir.join(CONTAINER_FILE))?;
+    decode_dataset_v2_pruned(&buf, opts)
+}
+
 /// Read a dataset restricted to one chromosome: only that chromosome's
 /// blocks are decoded, every other block is skipped via the offset
 /// index. Samples without the chromosome are kept with empty regions so
 /// metadata stays addressable.
 pub fn read_dataset_v2_chrom(dir: &Path, chrom: &str) -> Result<Dataset, FormatError> {
-    let buf = fs::read(dir.join(CONTAINER_FILE))?;
-    let mut cur = Cursor::new(&buf);
-    let (name, schema, version) = decode_header(&mut cur)?;
-    let mut dataset = Dataset::new(name.clone(), schema);
-    let n_samples = cur.len_prefixed("sample count")?;
-    for _ in 0..n_samples {
-        let (sample_name, metadata, chroms) = decode_sample_index(&mut cur, version)?;
-        let mut regions = Vec::new();
-        for entry in &chroms {
-            if entry.chrom == chrom {
-                let n = usize::try_from(entry.regions)
-                    .map_err(|_| cur.corrupt("region count exceeds usize"))?;
-                // Lazy verification: only the block actually decoded is
-                // checksummed; skipped blocks stay untouched.
-                verify_block(&cur, &sample_name, entry)?;
-                let before = cur.pos;
-                decode_chrom_block(&mut cur, &entry.chrom, n, &dataset.schema, &mut regions)?;
-                let consumed = (cur.pos - before) as u64;
-                if consumed != entry.bytes {
-                    return Err(cur.corrupt(format!(
-                        "chrom block for {chrom:?} decoded {consumed} bytes, index says {}",
-                        entry.bytes
-                    )));
-                }
-            } else {
-                let skip = usize::try_from(entry.bytes)
-                    .map_err(|_| cur.corrupt("block extent exceeds usize"))?;
-                cur.skip(skip)?;
-            }
-        }
-        let sample = Sample::new(sample_name, &name).with_regions(regions).with_metadata(metadata);
-        dataset.add_sample(sample)?;
-    }
-    Ok(dataset)
+    let opts =
+        ScanOptions { chroms: Some(std::iter::once(chrom.to_owned()).collect()), columns: None };
+    read_dataset_v2_pruned(dir, &opts).map(|(ds, _)| ds)
 }
 
 /// Stream a v2 dataset sample by sample, mirroring
@@ -1195,6 +1390,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pruned_read_restricts_chroms_and_reports_stats() {
+        let dir = tmp("pruned_chroms");
+        write_dataset_v2(&wide_dataset(), &dir).unwrap();
+        let opts = ScanOptions {
+            chroms: Some(std::iter::once("chr2".to_string()).collect()),
+            columns: None,
+        };
+        let (ds, stats) = read_dataset_v2_pruned(&dir, &opts).unwrap();
+        // Both samples survive; only chr2 regions decode.
+        assert_eq!(ds.sample_count(), 2);
+        assert_eq!(ds.samples[0].regions.len(), 1);
+        assert_eq!(ds.samples[0].regions[0].chrom.as_str(), "chr2");
+        assert!(ds.samples[1].regions.is_empty());
+        // s1 has chr1 + chr2 blocks: one read, one skipped.
+        assert_eq!(stats.blocks_read, 1);
+        assert_eq!(stats.blocks_skipped, 1);
+        assert!(stats.bytes_read > 0);
+        assert!(stats.bytes_skipped > 0);
+        assert!(stats.container_bytes > stats.bytes_read);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_read_null_fills_masked_columns() {
+        let dir = tmp("pruned_cols");
+        write_dataset_v2(&wide_dataset(), &dir).unwrap();
+        // Keep only `count`; match case-insensitively.
+        let opts = ScanOptions {
+            chroms: None,
+            columns: Some(std::iter::once("COUNT".to_string()).collect()),
+        };
+        let (ds, stats) = read_dataset_v2_pruned(&dir, &opts).unwrap();
+        assert_eq!(stats.blocks_skipped, 0, "column pruning alone skips no blocks");
+        let full = read_dataset_v2(&dir).unwrap();
+        assert_eq!(ds.samples[0].regions.len(), full.samples[0].regions.len());
+        for (r, rf) in ds.samples[0].regions.iter().zip(&full.samples[0].regions) {
+            assert_eq!((r.left, r.right, r.strand), (rf.left, rf.right, rf.strand));
+            assert_eq!(r.values.len(), 4, "value arity must match the schema");
+            assert_eq!(r.values[2], rf.values[2], "kept column decodes normally");
+            for &i in &[0usize, 1, 3] {
+                assert_eq!(r.values[i], Value::Null, "masked column is null-filled");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_read_with_full_options_equals_full_read() {
+        let dir = tmp("pruned_full");
+        write_dataset_v2(&wide_dataset(), &dir).unwrap();
+        let (ds, stats) = read_dataset_v2_pruned(&dir, &ScanOptions::default()).unwrap();
+        assert_datasets_equal(&ds, &read_dataset_v2(&dir).unwrap());
+        assert_eq!(stats.blocks_skipped, 0);
+        assert_eq!(stats.bytes_skipped, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

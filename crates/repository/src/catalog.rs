@@ -11,7 +11,7 @@
 use crate::durable;
 use crate::error::RepoError;
 use nggc_formats::native;
-use nggc_formats::native_v2::{self, StorageVersion};
+use nggc_formats::native_v2::{self, ScanOptions, StorageVersion};
 use nggc_gdm::{Dataset, DatasetStats, Schema};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -745,6 +745,57 @@ impl Repository {
         self.load(name)
     }
 
+    /// Load a dataset with scan pruning: only the chromosome blocks and
+    /// value columns named in `opts` are decoded from the v2 container
+    /// (skipped columns come back as typed nulls so the schema stays
+    /// stable). Falls back to a full [`Repository::load`] when the
+    /// options don't restrict anything or the dataset is stored in the
+    /// v1 text format (which has no block index to prune against).
+    ///
+    /// Cache discipline — a pruned load must never poison a full-load
+    /// hit, so this path is deliberately asymmetric with `load`:
+    ///
+    /// * a cached **full** dataset is served as a superset (the caller's
+    ///   operators re-apply their own predicates), but
+    /// * a cold pruned read is **never inserted** into the cache and
+    ///   does not join the single-flight map — partial data under the
+    ///   plain dataset name would be served to later full loads.
+    pub fn load_pruned(&self, name: &str, opts: &ScanOptions) -> Result<Arc<Dataset>, RepoError> {
+        if !self.catalog.contains_key(name) {
+            return Err(RepoError::NotFound(name.to_owned()));
+        }
+        if opts.is_full() || self.storage_version(name) != Some(StorageVersion::V2) {
+            return self.load(name);
+        }
+        let reg = nggc_obs::global();
+        if let Some(cached) = self.cache.lock().unwrap_or_else(|p| p.into_inner()).get(name) {
+            // A full dataset is a superset of every pruned view of it.
+            reg.counter("nggc_repo_cache_hits_total").inc();
+            let mut span = nggc_obs::span("repo.cache");
+            span.field("dataset", name).field("outcome", "hit_superset");
+            return Ok(cached);
+        }
+        reg.counter("nggc_repo_cache_misses_total").inc();
+        let mut span = nggc_obs::span("repo.load_pruned");
+        span.field("dataset", name);
+        let t0 = Instant::now();
+        let (dataset, stats) = native_v2::read_dataset_v2_pruned(&self.dataset_dir(name), opts)?;
+        reg.counter("nggc_repo_loads_total").inc();
+        reg.counter("nggc_scan_pruned_total").inc();
+        reg.counter("nggc_scan_bytes_read_total").add(stats.bytes_read);
+        reg.counter("nggc_scan_bytes_skipped_total").add(stats.bytes_skipped);
+        reg.counter("nggc_scan_chrom_blocks_read_total").add(stats.blocks_read);
+        reg.counter("nggc_scan_chrom_blocks_skipped_total").add(stats.blocks_skipped);
+        reg.histogram("nggc_repo_load_ns").record_duration(t0.elapsed());
+        span.field("samples", dataset.sample_count())
+            .field("regions", dataset.region_count())
+            .field("blocks_read", stats.blocks_read)
+            .field("blocks_skipped", stats.blocks_skipped)
+            .field("bytes_read", stats.bytes_read)
+            .field("bytes_skipped", stats.bytes_skipped);
+        Ok(Arc::new(dataset))
+    }
+
     /// The storage version a dataset currently uses on disk, or `None`
     /// when the dataset is unknown or its directory is unreadable.
     pub fn storage_version(&self, name: &str) -> Option<StorageVersion> {
@@ -980,6 +1031,79 @@ mod tests {
         let back = repo.load("PEAKS").unwrap();
         assert_eq!(back.sample_count(), 1);
         assert!(back.samples[0].metadata.has("cell", "HeLa"));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    fn two_chrom_dataset(name: &str) -> Dataset {
+        let schema = Schema::new(vec![Attribute::new("p", ValueType::Float)]).unwrap();
+        let mut ds = Dataset::new(name, schema);
+        ds.add_sample(
+            Sample::new("s1", name)
+                .with_regions(vec![
+                    GRegion::new("chr1", 0, 10, Strand::Pos).with_values(vec![0.5.into()]),
+                    GRegion::new("chr2", 5, 25, Strand::Neg).with_values(vec![0.9.into()]),
+                ])
+                .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+        )
+        .unwrap();
+        ds
+    }
+
+    fn chr2_only() -> ScanOptions {
+        ScanOptions { chroms: Some(std::iter::once("chr2".to_string()).collect()), columns: None }
+    }
+
+    #[test]
+    fn pruned_load_restricts_chromosomes() {
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&two_chrom_dataset("DS")).unwrap();
+        }
+        // Reopen: `save` seeds the cache, and a warm cache would serve
+        // the full dataset as a superset.
+        let repo = Repository::open(&root).unwrap();
+        let pruned = repo.load_pruned("DS", &chr2_only()).unwrap();
+        assert_eq!(pruned.region_count(), 1);
+        assert_eq!(pruned.samples[0].regions[0].chrom.as_str(), "chr2");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pruned_load_never_poisons_full_cache() {
+        let root = tmp();
+        {
+            let mut repo = Repository::open(&root).unwrap();
+            repo.save(&two_chrom_dataset("DS")).unwrap();
+        }
+        let repo = Repository::open(&root).unwrap();
+        // Cold pruned load first: must not seed the cache with a
+        // partial dataset under the plain name.
+        let pruned = repo.load_pruned("DS", &chr2_only()).unwrap();
+        assert_eq!(pruned.region_count(), 1);
+        let full = repo.load("DS").unwrap();
+        assert_eq!(full.region_count(), 2, "full load after pruned load must see every region");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pruned_load_serves_cached_full_dataset_as_superset() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save(&two_chrom_dataset("DS")).unwrap();
+        let full = repo.load("DS").unwrap();
+        let served = repo.load_pruned("DS", &chr2_only()).unwrap();
+        assert!(Arc::ptr_eq(&full, &served), "warm pruned load shares the cached full Arc");
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pruned_load_falls_back_to_full_for_v1_datasets() {
+        let root = tmp();
+        let mut repo = Repository::open(&root).unwrap();
+        repo.save_with_version(&two_chrom_dataset("OLD"), StorageVersion::V1).unwrap();
+        let ds = repo.load_pruned("OLD", &chr2_only()).unwrap();
+        assert_eq!(ds.region_count(), 2, "v1 has no block index; falls back to full load");
         fs::remove_dir_all(&root).ok();
     }
 

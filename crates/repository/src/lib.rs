@@ -22,5 +22,5 @@ pub use durable::{CRASHPOINT_ENV, CRASH_SITES};
 pub use error::RepoError;
 pub use fsck::{fsck, FsckIssue, FsckOptions, FsckReport, IssueKind};
 pub use meta_index::{tokenize, MetaIndex, SampleRef};
-pub use nggc_formats::native_v2::StorageVersion;
+pub use nggc_formats::native_v2::{ScanOptions, StorageVersion};
 pub use result_store::ResultStore;

@@ -426,6 +426,31 @@ impl DatasetProvider for ServeProvider<'_> {
         }
         self.repo.load(name).map_err(|e| GmqlError::runtime(e.to_string()))
     }
+
+    fn load_pruned(
+        &self,
+        name: &str,
+        spec: &nggc_core::ScanSpec,
+    ) -> Result<Arc<Dataset>, GmqlError> {
+        let node = format!("LOAD {name}");
+        self.governor.check(&node)?;
+        if let Some(budget) = self.governor.remaining_memory() {
+            // Same conservative pre-check as `load_bounded`: the catalog
+            // estimate covers the full dataset, a ceiling on what any
+            // pruned read can bring into memory.
+            if let Some(entry) = self.repo.entry(name) {
+                let estimated = entry.stats.bytes as u64;
+                if estimated > budget {
+                    return Err(self.governor.refuse_allocation(&node, estimated));
+                }
+            }
+        }
+        let opts = nggc_repository::ScanOptions {
+            chroms: spec.chroms.clone(),
+            columns: spec.columns.clone(),
+        };
+        self.repo.load_pruned(name, &opts).map_err(|e| GmqlError::runtime(e.to_string()))
+    }
 }
 
 /// Admit, budget, execute (or answer from the result cache), and

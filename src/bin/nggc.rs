@@ -509,6 +509,11 @@ struct NodeJson {
     cache_misses: u64,
     fed_retries: u64,
     fed_timeouts: u64,
+    scan_pruned: u64,
+    scan_bytes_read: u64,
+    scan_bytes_skipped: u64,
+    scan_blocks_read: u64,
+    scan_blocks_skipped: u64,
 }
 
 fn node_json(id: usize, inputs: Vec<usize>, m: &nggc::gmql::NodeMetrics) -> NodeJson {
@@ -529,6 +534,11 @@ fn node_json(id: usize, inputs: Vec<usize>, m: &nggc::gmql::NodeMetrics) -> Node
         cache_misses: m.cache_misses,
         fed_retries: m.fed_retries,
         fed_timeouts: m.fed_timeouts,
+        scan_pruned: m.scan_pruned,
+        scan_bytes_read: m.scan_bytes_read,
+        scan_bytes_skipped: m.scan_bytes_skipped,
+        scan_blocks_read: m.scan_blocks_read,
+        scan_blocks_skipped: m.scan_blocks_skipped,
     }
 }
 
@@ -595,6 +605,15 @@ fn analyze_annotation(m: &nggc::gmql::NodeMetrics) -> String {
     );
     if m.fed_retries > 0 || m.fed_timeouts > 0 {
         s.push_str(&format!(", fed {}r/{}t", m.fed_retries, m.fed_timeouts));
+    }
+    if m.scan_pruned > 0 {
+        s.push_str(&format!(
+            ", scan {} B read/{} B skipped ({}/{} blocks)",
+            m.scan_bytes_read,
+            m.scan_bytes_skipped,
+            m.scan_blocks_read,
+            m.scan_blocks_read + m.scan_blocks_skipped,
+        ));
     }
     s.push(')');
     s
@@ -740,7 +759,21 @@ fn cmd_query(repo_path: &Path, args: &[String]) -> Result<(), CliError> {
         let (optimized, report) = nggc::gmql::optimize(&plan);
         let none = |_| String::new();
         println!("-- logical plan --\n{}", plan.render_tree(&none));
-        println!("-- optimized ({report:?}) --\n{}", optimized.render_tree(&none));
+        // Source nodes show what the scan-pruning pass will push down
+        // into the container read: chromosomes, coordinate bound, and
+        // decoded-vs-total column count.
+        let specs = nggc::gmql::derive_scan_specs(&optimized);
+        let scan_note = |id: usize| {
+            let Some(spec) = specs.get(&id) else {
+                return String::new();
+            };
+            let cols = match &optimized.nodes[id].op {
+                nggc::gmql::PlanOp::Source(name) => repo.schema_of(name).map(|s| s.len()),
+                _ => None,
+            };
+            format!("scan: {}", spec.render(cols))
+        };
+        println!("-- optimized ({report:?}) --\n{}", optimized.render_tree(&scan_note));
         return Ok(());
     }
 

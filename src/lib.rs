@@ -115,4 +115,31 @@ impl gmql::DatasetProvider for RepoProvider<'_> {
         }
         self.repo.load(name).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
     }
+
+    fn load_pruned(
+        &self,
+        name: &str,
+        spec: &gmql::ScanSpec,
+    ) -> Result<Arc<gdm::Dataset>, gmql::GmqlError> {
+        let node = || format!("LOAD {name}");
+        let opts = formats::native_v2::ScanOptions {
+            chroms: spec.chroms.clone(),
+            columns: spec.columns.clone(),
+        };
+        if let Some(g) = &self.governor {
+            g.check(&node())?;
+            if let Some(budget) = g.remaining_memory() {
+                // The catalog estimate covers the full dataset; a pruned
+                // load reads at most that, so the full-size check keeps
+                // the same conservative budget discipline as `load`.
+                if let Some(entry) = self.repo.entry(name) {
+                    let estimated = entry.stats.bytes as u64;
+                    if estimated > budget {
+                        return Err(g.refuse_allocation(&node(), estimated));
+                    }
+                }
+            }
+        }
+        self.repo.load_pruned(name, &opts).map_err(|e| gmql::GmqlError::runtime(e.to_string()))
+    }
 }

@@ -647,6 +647,142 @@ proptest! {
         prop_assert!(decode_dataset_v2(&bytes[..cut]).is_err(), "truncated container decoded");
     }
 
+    /// Scan-pruning oracle: for randomized datasets and plans, a query
+    /// answered through pruned loads (`RepoProvider` → chromosome/column
+    /// selective container reads) must return exactly what the same
+    /// query returns over full in-memory loads — and a full load issued
+    /// *after* the pruned one on the same repository must still see the
+    /// complete dataset (LRU poisoning regression).
+    #[test]
+    fn pruned_scan_query_equals_full_scan_query(
+        samples in prop::collection::vec(
+            prop::collection::vec((0usize..3, 0u64..5_000, 1u64..300), 0..25),
+            1..4,
+        ),
+        template in 0usize..5,
+        chrom_idx in 0usize..4,
+        threshold in 0u64..3_000,
+    ) {
+        let chroms = ["chr1", "chr2", "chr3"];
+        let query_chrom = ["chr1", "chr2", "chr3", "chrX"][chrom_idx];
+        let schema = Schema::new(vec![
+            Attribute::new("score", ValueType::Float),
+            Attribute::new("peak", ValueType::Int),
+        ])
+        .unwrap();
+        let mut ds = Dataset::new("D", schema);
+        for (si, sample) in samples.iter().enumerate() {
+            let mut regions: Vec<GRegion> = sample
+                .iter()
+                .enumerate()
+                .map(|(ri, &(c, l, w))| {
+                    GRegion::new(chroms[c], l, l + w, Strand::Pos).with_values(vec![
+                        Value::Float((ri as f64) * 0.25),
+                        Value::Int(ri as i64),
+                    ])
+                })
+                .collect();
+            regions.sort_by(|a, b| a.cmp_coords(b));
+            ds.add_sample(
+                Sample::new(format!("s{si}"), "D")
+                    .with_regions(regions)
+                    .with_metadata(Metadata::from_pairs([("cell", "HeLa")])),
+            )
+            .unwrap();
+        }
+
+        let query = match template {
+            0 => format!("X = SELECT(region: chr == '{query_chrom}') D; MATERIALIZE X;"),
+            1 => format!(
+                "X = SELECT(region: chr == '{query_chrom}' AND left > {threshold}) D; \
+                 MATERIALIZE X;"
+            ),
+            2 => "X = PROJECT(score) D; MATERIALIZE X;".to_owned(),
+            3 => format!(
+                "R = SELECT(region: chr == '{query_chrom}') D; \
+                 M = MAP(n AS COUNT, a AS AVG(score)) R D; MATERIALIZE M;"
+            ),
+            _ => format!(
+                "X = SELECT(region: chr == '{query_chrom}' OR chr == 'chr1') D; \
+                 MATERIALIZE X;"
+            ),
+        };
+
+        static CASE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "nggc_prune_oracle_{}_{}",
+            std::process::id(),
+            CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let mut repo = nggc::repository::Repository::open(&root).unwrap();
+        repo.save(&ds).unwrap();
+        // Reopen so the pruned run starts from a cold LRU: `save` seeds
+        // the cache, and a warm cache would serve full supersets.
+        let repo = nggc::repository::Repository::open(&root).unwrap();
+
+        let ctx = nggc::engine::ExecContext::with_workers(2);
+        let opts = nggc::gmql::ExecOptions::default();
+        let schema_of = |name: &str| repo.schema_of(name);
+        // Canonical rendering that ignores the process-global sample id
+        // counter (fresh ids are minted per materialised sample).
+        let strip_ids = |ds: &Dataset| {
+            let mut s = format!("{}|{}", ds.name, ds.schema);
+            for smp in &ds.samples {
+                s.push_str(&format!("\n{}|{:?}", smp.name, smp.metadata));
+                for r in &smp.regions {
+                    s.push_str(&format!(
+                        "\n  {} {} {} {:?} {:?}",
+                        r.chrom, r.left, r.right, r.strand, r.values
+                    ));
+                }
+            }
+            s
+        };
+        let canon = |outputs: &std::collections::HashMap<String, Dataset>| {
+            let mut names: Vec<&String> = outputs.keys().collect();
+            names.sort();
+            names
+                .iter()
+                .map(|n| format!("{n}={}", strip_ids(&outputs[*n])))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+
+        // Reference: full in-memory loads (closure providers never prune).
+        let full_ds = ds.clone();
+        let full_provider = move |name: &str| {
+            if name == "D" {
+                Ok(full_ds.clone())
+            } else {
+                Err(nggc::gmql::GmqlError::runtime(format!("unknown dataset {name}")))
+            }
+        };
+        let reference = nggc::gmql::run_with_provider(
+            &query, &schema_of, &full_provider, &ctx, &opts,
+        )
+        .unwrap();
+
+        // Pruned: the repository provider pushes the derived ScanSpec
+        // into the v2 container read.
+        let pruned_provider = nggc::RepoProvider::new(&repo);
+        let pruned = nggc::gmql::run_with_provider(
+            &query, &schema_of, &pruned_provider, &ctx, &opts,
+        )
+        .unwrap();
+        prop_assert_eq!(canon(&reference), canon(&pruned), "query: {}", query);
+
+        // Poisoning regression: a full load on the same repository after
+        // the pruned run must see the complete dataset.
+        let full_after = repo.load("D").unwrap();
+        prop_assert_eq!(
+            strip_ids(&ds),
+            strip_ids(&full_after),
+            "pruned load leaked a partial dataset into the cache"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
     /// Legacy (revision 2, checksum-free) containers written by the
     /// previous release still decode to identical content.
     #[test]
